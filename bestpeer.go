@@ -1,0 +1,258 @@
+// Package bestpeer is the public API of this BestPeer++ reproduction:
+// a peer-to-peer based large-scale data processing platform for
+// corporate networks (Chen, Hu, Jiang, Lu, Tan, Vo, Wu — ICDE 2012 /
+// TKDE 2014).
+//
+// A Network assembles the full system the paper describes: a simulated
+// elastic cloud provider (internal/cloud), the bootstrap peer with its
+// certificate authority and maintenance daemon (internal/bootstrap), a
+// BATON structured overlay (internal/baton), and any number of normal
+// peers (internal/peer), each hosting an embedded relational database
+// (internal/sqldb), a data loader fed from production systems
+// (internal/loader, internal/erp), distributed role-based access
+// control (internal/accesscontrol), and the pay-as-you-go query
+// engines (internal/engine). An HDFS-like store plus MapReduce service
+// (internal/dfs, internal/mapreduce) is mounted for analytical jobs.
+//
+// Quick start:
+//
+//	net, err := bestpeer.NewNetwork(bestpeer.Config{NumPeers: 4})
+//	...
+//	res, err := net.Query(0, "SELECT COUNT(*) FROM lineitem", bestpeer.QueryOptions{})
+//
+// See examples/ for complete programs and bench_test.go for the
+// benchmarks regenerating the paper's figures.
+package bestpeer
+
+import (
+	"crypto/ed25519"
+	"fmt"
+	"time"
+
+	"bestpeer/internal/baton"
+	"bestpeer/internal/bootstrap"
+	"bestpeer/internal/cloud"
+	"bestpeer/internal/dfs"
+	"bestpeer/internal/engine"
+	"bestpeer/internal/mapreduce"
+	"bestpeer/internal/peer"
+	"bestpeer/internal/pnet"
+	"bestpeer/internal/sqldb"
+	"bestpeer/internal/tpch"
+	"bestpeer/internal/vtime"
+)
+
+// Config sizes a new corporate network.
+type Config struct {
+	// NumPeers is the number of normal peers launched initially.
+	NumPeers int
+	// PeerPrefix names peers "<prefix>-NN" (default "peer").
+	PeerPrefix string
+	// Rates calibrates the virtual-time cost model; the zero value uses
+	// the paper-calibrated defaults.
+	Rates vtime.Rates
+	// DisableMapReduce skips mounting the DFS + MapReduce service.
+	DisableMapReduce bool
+	// RangeIndexColumns selects the columns each peer publishes range
+	// indexes for (table -> columns).
+	RangeIndexColumns map[string][]string
+	// GlobalSchema seeds the shared schema at the bootstrap. Nil means
+	// the standard TPC-H schema.
+	GlobalSchema []*sqldb.Schema
+}
+
+// QueryOptions controls one query execution.
+type QueryOptions struct {
+	// User is the submitting account ("" = benchmark full-access user).
+	User string
+	// Strategy picks the engine (default basic, per §6.1.2).
+	Strategy peer.Strategy
+	// Engine ablation switches.
+	Engine engine.Options
+}
+
+// Network is a running BestPeer++ corporate network.
+type Network struct {
+	Net       *pnet.Network
+	Provider  *cloud.SimProvider
+	Bootstrap *bootstrap.Peer
+	Overlay   *baton.Overlay
+	MRCluster *mapreduce.Cluster
+	FS        *dfs.FileSystem
+	Clock     *pnet.LogicalClock
+
+	cfg       Config
+	env       peer.Env
+	peers     []*peer.Peer
+	peersByID map[string]*peer.Peer
+	nextRepl  int
+}
+
+// NewNetwork builds and starts a network with cfg.NumPeers peers.
+func NewNetwork(cfg Config) (*Network, error) {
+	if cfg.NumPeers < 0 {
+		return nil, fmt.Errorf("bestpeer: negative peer count")
+	}
+	if cfg.PeerPrefix == "" {
+		cfg.PeerPrefix = "peer"
+	}
+	if cfg.Rates == (vtime.Rates{}) {
+		cfg.Rates = vtime.DefaultRates()
+	}
+	if cfg.GlobalSchema == nil {
+		cfg.GlobalSchema = tpch.Schemas(false)
+	}
+	if cfg.RangeIndexColumns == nil {
+		cfg.RangeIndexColumns = map[string][]string{}
+	}
+
+	n := &Network{
+		Net:       pnet.NewNetwork(),
+		Provider:  cloud.NewSimProvider(),
+		cfg:       cfg,
+		peersByID: make(map[string]*peer.Peer),
+	}
+	var err error
+	n.Bootstrap, err = bootstrap.New(n.Net, "bootstrap", n.Provider)
+	if err != nil {
+		return nil, err
+	}
+	n.Overlay = baton.NewOverlay(n.Net, "bootstrap/overlay")
+	for _, s := range cfg.GlobalSchema {
+		n.Bootstrap.DefineGlobalSchema(s)
+	}
+
+	if !cfg.DisableMapReduce {
+		var datanodes []string
+		for i := 0; i < maxPeers(cfg.NumPeers); i++ {
+			datanodes = append(datanodes, peerID(cfg.PeerPrefix, i))
+		}
+		fsCfg := dfs.DefaultConfig(datanodes)
+		n.FS, err = dfs.New(fsCfg)
+		if err != nil {
+			return nil, err
+		}
+		n.MRCluster, err = mapreduce.NewCluster(n.FS, maxPeers(cfg.NumPeers), cfg.Rates)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	n.Clock = &pnet.LogicalClock{}
+	n.env = peer.Env{
+		Net:       n.Net,
+		Bootstrap: n.Bootstrap,
+		Overlay:   n.Overlay,
+		Provider:  n.Provider,
+		MR:        n.MRCluster,
+		Rates:     cfg.Rates,
+		Clock:     n.Clock,
+	}
+	n.Bootstrap.SetFailoverHandler(bootstrap.FailoverFunc(n.failover))
+
+	for i := 0; i < cfg.NumPeers; i++ {
+		if _, err := n.AddPeer(peerID(cfg.PeerPrefix, i)); err != nil {
+			return nil, err
+		}
+	}
+	return n, nil
+}
+
+func maxPeers(n int) int {
+	if n < 1 {
+		return 1
+	}
+	return n
+}
+
+func peerID(prefix string, i int) string { return fmt.Sprintf("%s-%02d", prefix, i) }
+
+// AddPeer admits one more normal peer into the network.
+func (n *Network) AddPeer(id string) (*peer.Peer, error) {
+	p, err := peer.Join(id, n.env)
+	if err != nil {
+		return nil, err
+	}
+	n.peers = append(n.peers, p)
+	n.peersByID[id] = p
+	return p, nil
+}
+
+// Peers returns the live normal peers in join order (replaced peers
+// appear under their replacement identity).
+func (n *Network) Peers() []*peer.Peer { return n.peers }
+
+// Peer returns the i-th peer.
+func (n *Network) Peer(i int) *peer.Peer { return n.peers[i] }
+
+// PeerByID resolves a peer by identity.
+func (n *Network) PeerByID(id string) *peer.Peer { return n.peersByID[id] }
+
+// LoadTPCH loads a deterministic TPC-H partition into every peer
+// (scale factor per whole network), builds the Table 4 indexes,
+// publishes index entries into the overlay, and takes an initial cloud
+// backup of every peer — the paper's §6.1.5 loading process.
+func (n *Network) LoadTPCH(sf float64) error {
+	for i, p := range n.peers {
+		sc := tpch.Scale{ScaleFactor: sf, Peer: i, NumPeers: len(n.peers), NationKey: -1}
+		if err := tpch.Generate(p.DB(), sc); err != nil {
+			return err
+		}
+		if err := p.PublishIndexes(n.cfg.RangeIndexColumns); err != nil {
+			return err
+		}
+		if err := p.Backup(); err != nil {
+			return err
+		}
+		p.MarkRefreshed()
+	}
+	return nil
+}
+
+// Query submits a SQL query at the i-th peer.
+func (n *Network) Query(i int, sql string, opts QueryOptions) (*engine.QueryResult, error) {
+	if i < 0 || i >= len(n.peers) {
+		return nil, fmt.Errorf("bestpeer: no peer %d", i)
+	}
+	return n.peers[i].Query(sql, opts.User, opts.Strategy, opts.Engine)
+}
+
+// CrashPeer injects a crash: the cloud instance stops responding and
+// the peer becomes unreachable, exactly what the bootstrap's monitoring
+// daemon detects.
+func (n *Network) CrashPeer(id string) error {
+	if err := n.Provider.Crash(id); err != nil {
+		return err
+	}
+	n.Net.SetDown(id, true)
+	return nil
+}
+
+// RunMaintenance executes one epoch of the bootstrap's Algorithm 1
+// daemon (monitoring, fail-over, auto-scaling, resource release,
+// notifications), advancing the cloud's virtual clock.
+func (n *Network) RunMaintenance(epoch time.Duration) error {
+	n.Provider.AdvanceClock(epoch)
+	return n.Bootstrap.RunMaintenanceEpoch(epoch)
+}
+
+// failover is the bootstrap's fail-over hook: launch a replacement
+// instance, restore the database from the latest backup, take over the
+// overlay position, and republish indexes.
+func (n *Network) failover(failedID string) (string, ed25519.PublicKey, error) {
+	n.nextRepl++
+	newID := fmt.Sprintf("%s-r%d", failedID, n.nextRepl)
+	p, pub, err := peer.Recover(failedID, newID, n.env, n.cfg.RangeIndexColumns)
+	if err != nil {
+		return "", nil, err
+	}
+	for i, old := range n.peers {
+		if old.ID() == failedID {
+			n.peers[i] = p
+			break
+		}
+	}
+	delete(n.peersByID, failedID)
+	n.peersByID[newID] = p
+	return newID, pub, nil
+}

@@ -1,0 +1,103 @@
+// Command bpnet demonstrates the BestPeer++ network lifecycle: peers
+// joining with certificates, the BATON overlay growing and shrinking,
+// graceful departures, crash + fail-over through the bootstrap's
+// Algorithm 1 daemon, and load rebalancing of the overlay.
+//
+// Usage:
+//
+//	bpnet [-peers 6]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"bestpeer"
+	"bestpeer/internal/tpch"
+)
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "bpnet:", err)
+	os.Exit(1)
+}
+
+func main() {
+	peers := flag.Int("peers", 6, "number of normal peers")
+	flag.Parse()
+
+	net, err := bestpeer.NewNetwork(bestpeer.Config{NumPeers: *peers})
+	if err != nil {
+		fail(err)
+	}
+	fmt.Printf("bootstrap up; %d peers joined; overlay members in key order:\n", *peers)
+	for _, id := range net.Overlay.Members() {
+		st := net.PeerByID(id).Node().State()
+		fmt.Printf("  %-9s level=%d number=%d R0=[%.3f,%.3f)\n",
+			id, st.Level, st.Number, st.R0.Lo, st.R0.Hi)
+	}
+
+	if err := net.LoadTPCH(0.005); err != nil {
+		fail(err)
+	}
+	fmt.Println("\nTPC-H loaded and indexed; every peer backed up to the cloud store")
+
+	// One more business joins at runtime.
+	late, err := net.AddPeer("latecomer-01")
+	if err != nil {
+		fail(err)
+	}
+	if err := tpch.Generate(late.DB(), tpch.Scale{ScaleFactor: 0.001, NationKey: -1}); err != nil {
+		fail(err)
+	}
+	if err := late.PublishIndexes(nil); err != nil {
+		fail(err)
+	}
+	if err := late.Backup(); err != nil {
+		fail(err)
+	}
+	fmt.Printf("\n%s joined late; overlay size now %d; certificate serial %d verifies: %v\n",
+		late.ID(), net.Overlay.Size(), late.Certificate().Serial,
+		net.Bootstrap.CA().Verify(late.Certificate()) == nil)
+
+	// Crash one peer and let the maintenance daemon recover it.
+	victim := net.Peer(1).ID()
+	if err := net.CrashPeer(victim); err != nil {
+		fail(err)
+	}
+	fmt.Printf("\n%s crashed; running maintenance epoch ...\n", victim)
+	if err := net.RunMaintenance(time.Minute); err != nil {
+		fail(err)
+	}
+	fmt.Println("peer list after fail-over:", net.Bootstrap.Peers())
+
+	// Graceful departure.
+	leaver := net.Peer(3)
+	if err := leaver.Leave(); err != nil {
+		fail(err)
+	}
+	if err := net.RunMaintenance(time.Minute); err != nil {
+		fail(err)
+	}
+	fmt.Printf("\n%s left gracefully; overlay size %d; blacklist released\n",
+		leaver.ID(), net.Overlay.Size())
+
+	// Rebalance the overlay's index load.
+	shifts, err := net.Overlay.BalanceAdjacent()
+	if err != nil {
+		fail(err)
+	}
+	moved, err := net.Overlay.GlobalRebalance()
+	if err != nil {
+		fail(err)
+	}
+	fmt.Printf("\noverlay load balancing: %d adjacent boundary shifts, global move=%v\n", shifts, moved)
+
+	fmt.Println("\nadministrative event log:")
+	for _, e := range net.Bootstrap.Events() {
+		fmt.Printf("  [%6s] %-9s %-14s %s\n", e.At, e.Kind, e.Peer, e.Note)
+	}
+	fmt.Printf("\ncumulative network traffic: %+v\n", net.Net.Stats())
+	fmt.Printf("pay-as-you-go charges: $%.4f\n", net.Provider.TotalBillUSD())
+}

@@ -1,0 +1,112 @@
+// Command bpremote demonstrates BestPeer++'s TCP transport across OS
+// processes: one process serves a loaded corporate network's peers on a
+// TCP address; another process ships subqueries to them over the wire.
+//
+// Terminal 1:
+//
+//	bpremote -serve 127.0.0.1:7420 -peers 4 -sf 0.01
+//
+// Terminal 2:
+//
+//	bpremote -connect 127.0.0.1:7420 -peer peer-00 \
+//	    -query "SELECT COUNT(*) FROM lineitem"
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strings"
+
+	"bestpeer"
+	"bestpeer/internal/engine"
+	"bestpeer/internal/peer"
+	"bestpeer/internal/pnet"
+	"bestpeer/internal/sqldb"
+	"bestpeer/internal/tpch"
+)
+
+func main() {
+	serve := flag.String("serve", "", "serve a network's peers on this TCP address")
+	peers := flag.Int("peers", 4, "peers in the served network")
+	sf := flag.Float64("sf", 0.01, "TPC-H scale factor for the served network")
+	connect := flag.String("connect", "", "address of a serving bpremote process")
+	target := flag.String("peer", "peer-00", "data owner peer to query")
+	query := flag.String("query", "SELECT COUNT(*) FROM lineitem", "single-table subquery to ship")
+	flag.Parse()
+
+	switch {
+	case *serve != "":
+		runServer(*serve, *peers, *sf)
+	case *connect != "":
+		runClient(*connect, *target, *query)
+	default:
+		fmt.Fprintln(os.Stderr, "bpremote: pass -serve ADDR or -connect ADDR")
+		os.Exit(2)
+	}
+}
+
+func runServer(addr string, peers int, sf float64) {
+	net, err := bestpeer.NewNetwork(bestpeer.Config{
+		NumPeers:          peers,
+		RangeIndexColumns: map[string][]string{tpch.LineItem: {"l_shipdate"}},
+	})
+	if err != nil {
+		fatal(err)
+	}
+	if err := net.LoadTPCH(sf); err != nil {
+		fatal(err)
+	}
+	ln, err := net.Net.ListenTCP(addr)
+	if err != nil {
+		fatal(err)
+	}
+	defer ln.Close()
+	var ids []string
+	for _, p := range net.Peers() {
+		ids = append(ids, p.ID())
+	}
+	fmt.Printf("serving %d peers (%s) on %s\n", peers, strings.Join(ids, ", "), ln.Addr())
+	fmt.Println("ctrl-c to stop")
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt)
+	<-sig
+}
+
+func runClient(addr, target, query string) {
+	stmt, err := sqldb.ParseSelect(query)
+	if err != nil {
+		fatal(err)
+	}
+	clientNet := pnet.NewNetwork()
+	clientNet.AddRemotePeer(target, addr)
+	client := clientNet.Join("bpremote-client")
+
+	reply, err := client.Call(target, peer.MsgSubQuery,
+		engine.SubQueryRequest{Stmt: stmt}, int64(len(query)))
+	if err != nil {
+		fatal(err)
+	}
+	res := reply.Payload.(*sqldb.Result)
+	fmt.Println(strings.Join(res.Columns, " | "))
+	const maxRows = 20
+	for i, row := range res.Rows {
+		if i >= maxRows {
+			fmt.Printf("... (%d more rows)\n", len(res.Rows)-maxRows)
+			break
+		}
+		cells := make([]string, len(row))
+		for j, v := range row {
+			cells[j] = v.String()
+		}
+		fmt.Println(strings.Join(cells, " | "))
+	}
+	fmt.Printf("-- %d rows from %s over TCP (%d bytes scanned remotely)\n",
+		len(res.Rows), target, res.Stats.BytesScanned)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "bpremote:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,141 @@
+// Command bpsql is an interactive SQL shell against a small BestPeer++
+// network loaded with TPC-H data. Lines are SELECT statements executed
+// through the distributed engines; shell commands start with a dot.
+//
+// Usage:
+//
+//	bpsql [-peers 4] [-sf 0.01]
+//
+// Shell commands:
+//
+//	.strategy basic|parallel|mapreduce|adaptive   pick the engine
+//	.explain <sql>                                access plan + engine prediction
+//	.online <aggregate sql>                       progressive online aggregation
+//	.peers                                        list peers and row counts
+//	.tables                                       list global tables
+//	.help                                         this help
+//	.quit                                         exit
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"bestpeer"
+	"bestpeer/internal/peer"
+	"bestpeer/internal/tpch"
+)
+
+func main() {
+	peers := flag.Int("peers", 4, "number of normal peers")
+	sf := flag.Float64("sf", 0.01, "TPC-H scale factor for the whole network")
+	flag.Parse()
+
+	fmt.Fprintf(os.Stderr, "starting %d-peer BestPeer++ network with TPC-H sf=%g ...\n", *peers, *sf)
+	net, err := bestpeer.NewNetwork(bestpeer.Config{
+		NumPeers:          *peers,
+		RangeIndexColumns: map[string][]string{tpch.LineItem: {"l_shipdate"}},
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bpsql:", err)
+		os.Exit(1)
+	}
+	if err := net.LoadTPCH(*sf); err != nil {
+		fmt.Fprintln(os.Stderr, "bpsql:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintln(os.Stderr, "ready. type .help for shell commands.")
+
+	strategy := peer.StrategyBasic
+	scanner := bufio.NewScanner(os.Stdin)
+	scanner.Buffer(make([]byte, 1<<20), 1<<20)
+	fmt.Print("bestpeer> ")
+	for scanner.Scan() {
+		line := strings.TrimSpace(scanner.Text())
+		switch {
+		case line == "":
+		case line == ".quit" || line == ".exit":
+			return
+		case line == ".help":
+			fmt.Println(".strategy basic|parallel|mapreduce|adaptive | .explain <sql> | .online <sql> | .peers | .tables | .quit")
+		case line == ".peers":
+			for _, p := range net.Peers() {
+				total := 0
+				for _, t := range p.DB().TableNames() {
+					total += p.DB().Table(t).NumRows()
+				}
+				fmt.Printf("  %s  %d rows across %d tables\n", p.ID(), total, len(p.DB().TableNames()))
+			}
+		case line == ".tables":
+			for _, s := range net.Bootstrap.GlobalSchemas() {
+				fmt.Printf("  %s (%d columns)\n", s.Table, len(s.Columns))
+			}
+		case strings.HasPrefix(line, ".explain "):
+			sql := strings.TrimSpace(strings.TrimPrefix(line, ".explain "))
+			exp, err := net.Peer(0).Explain(sql)
+			if err != nil {
+				fmt.Println("error:", err)
+				break
+			}
+			fmt.Print(exp)
+		case strings.HasPrefix(line, ".online "):
+			sql := strings.TrimSpace(strings.TrimPrefix(line, ".online "))
+			err := net.Peer(0).QueryOnline(sql, "", 1, func(e peer.OnlineEstimate) bool {
+				label := "estimate"
+				if e.Final {
+					label = "exact"
+				}
+				cells := make([]string, len(e.Result.Rows))
+				for i, row := range e.Result.Rows {
+					vals := make([]string, len(row))
+					for j, v := range row {
+						vals[j] = v.String()
+					}
+					cells[i] = strings.Join(vals, " | ")
+				}
+				fmt.Printf("[%d/%d peers, %.0f%% seen] %s: %s\n",
+					e.PeersSeen, e.PeersTotal, e.FractionSeen*100, label, strings.Join(cells, " ; "))
+				return true
+			})
+			if err != nil {
+				fmt.Println("error:", err)
+			}
+		case strings.HasPrefix(line, ".strategy"):
+			arg := strings.TrimSpace(strings.TrimPrefix(line, ".strategy"))
+			switch peer.Strategy(arg) {
+			case peer.StrategyBasic, peer.StrategyParallel, peer.StrategyMR, peer.StrategyAdaptive:
+				strategy = peer.Strategy(arg)
+				fmt.Println("strategy =", strategy)
+			default:
+				fmt.Println("unknown strategy:", arg)
+			}
+		case strings.HasPrefix(line, "."):
+			fmt.Println("unknown command; .help lists commands")
+		default:
+			res, err := net.Query(0, line, bestpeer.QueryOptions{Strategy: strategy})
+			if err != nil {
+				fmt.Println("error:", err)
+				break
+			}
+			fmt.Println(strings.Join(res.Result.Columns, " | "))
+			const maxRows = 40
+			for i, row := range res.Result.Rows {
+				if i >= maxRows {
+					fmt.Printf("... (%d more rows)\n", len(res.Result.Rows)-maxRows)
+					break
+				}
+				cells := make([]string, len(row))
+				for j, v := range row {
+					cells[j] = v.String()
+				}
+				fmt.Println(strings.Join(cells, " | "))
+			}
+			fmt.Printf("-- %d rows, engine=%s, peers=%d, virtual latency=%v\n",
+				len(res.Result.Rows), res.Engine, len(res.Peers), res.Cost.Total())
+		}
+		fmt.Print("bestpeer> ")
+	}
+}

@@ -1,0 +1,64 @@
+// Adaptivequery: the pay-as-you-go adaptive planner (§5.5) choosing
+// between the P2P engine and the MapReduce engine by the cost models of
+// Eq. 8 and Eq. 11, across cluster sizes and query weights.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"bestpeer"
+	"bestpeer/internal/engine"
+	"bestpeer/internal/peer"
+	"bestpeer/internal/sqldb"
+	"bestpeer/internal/tpch"
+	"bestpeer/internal/vtime"
+)
+
+func main() {
+	// Scale the cost model so each toy partition represents ~1 GB, the
+	// paper's per-node volume — at that scale the engine choice matters.
+	for _, nodes := range []int{4, 12} {
+		rates := vtime.DefaultRates()
+		rates.DiskBytesPerSec /= 2000
+		rates.NetBytesPerSec /= 2000
+		rates.CPUBytesPerSec /= 2000
+
+		net, err := bestpeer.NewNetwork(bestpeer.Config{NumPeers: nodes, Rates: rates})
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := net.LoadTPCH(0.001 * float64(nodes)); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("=== %d nodes ===\n", nodes)
+
+		for _, q := range []struct {
+			name string
+			sql  string
+		}{
+			{"Q2 (light aggregate)", tpch.Q2Default()},
+			{"Q4 (join+aggregate)", tpch.Q4Default()},
+			{"Q5 (multi-join)", tpch.Q5()},
+		} {
+			// Show the planner's cost comparison explicitly.
+			p := net.Peer(0)
+			ad := engine.NewAdaptive(p, engine.Options{}, "")
+			stmt, err := sqldb.ParseSelect(q.sql)
+			if err != nil {
+				log.Fatal(err)
+			}
+			plan, err := ad.Plan(stmt)
+			if err != nil {
+				log.Fatal(err)
+			}
+			res, err := net.Query(0, q.sql, bestpeer.QueryOptions{Strategy: peer.StrategyAdaptive})
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("%-22s CBP=%.3g CMR=%.3g -> %-22s latency=%v rows=%d\n",
+				q.name, plan.CBP, plan.CMR, res.Engine, res.Cost.Total(), len(res.Result.Rows))
+		}
+		fmt.Println()
+	}
+}

@@ -1,0 +1,152 @@
+// Supplychain: the paper's §6.2 corporate network — suppliers and
+// retailers sharing nation-partitioned data under distributed
+// role-based access control, with production systems feeding the peers
+// through schema mappings and snapshot-differential loading.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"bestpeer"
+	"bestpeer/internal/accesscontrol"
+	"bestpeer/internal/erp"
+	"bestpeer/internal/schemamap"
+	"bestpeer/internal/sqldb"
+	"bestpeer/internal/sqlval"
+	"bestpeer/internal/tpch"
+)
+
+func main() {
+	// The global schema is TPC-H extended with nation-key columns; two
+	// supplier peers and two retailer peers each own one nation's data.
+	net, err := bestpeer.NewNetwork(bestpeer.Config{
+		NumPeers:     4,
+		PeerPrefix:   "biz",
+		GlobalSchema: tpch.Schemas(true),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	rangeIdx := map[string][]string{
+		tpch.Supplier: {"s_nationkey"}, tpch.PartSupp: {"ps_nationkey"}, tpch.Part: {"p_nationkey"},
+		tpch.Customer: {"c_nationkey"}, tpch.Orders: {"o_nationkey"}, tpch.LineItem: {"l_nationkey"},
+	}
+	for i, p := range net.Peers() {
+		tables := tpch.SupplierTables()
+		role := "supplier"
+		if i >= 2 {
+			tables = tpch.RetailerTables()
+			role = "retailer"
+		}
+		sc := tpch.Scale{ScaleFactor: 0.02, Peer: i, NumPeers: 4, NationKey: i, Tables: tables}
+		if err := tpch.Generate(p.DB(), sc); err != nil {
+			log.Fatal(err)
+		}
+		if err := p.PublishIndexes(rangeIdx); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%s joined as %s of nation %d\n", p.ID(), role, i)
+	}
+
+	// The service provider defines the standard roles (§6.2.1): the
+	// supplier role reads retailer tables, the retailer role reads
+	// supplier tables.
+	supplierRole := accesscontrol.FullAccess("supplier",
+		tpch.SchemaFor(tpch.LineItem, true), tpch.SchemaFor(tpch.Orders, true), tpch.SchemaFor(tpch.Customer, true))
+	retailerRole := accesscontrol.FullAccess("retailer",
+		tpch.SchemaFor(tpch.Supplier, true), tpch.SchemaFor(tpch.PartSupp, true), tpch.SchemaFor(tpch.Part, true))
+	net.Bootstrap.Roles().DefineRole(supplierRole)
+	net.Bootstrap.Roles().DefineRole(retailerRole)
+	for _, p := range net.Peers() {
+		p.ACL().DefineRole(supplierRole)
+		p.ACL().DefineRole(retailerRole)
+	}
+	// User accounts created at one peer broadcast network-wide.
+	if err := net.Bootstrap.CreateUser("supplier-analyst", "supplier"); err != nil {
+		log.Fatal(err)
+	}
+	if err := net.Bootstrap.CreateUser("retailer-buyer", "retailer"); err != nil {
+		log.Fatal(err)
+	}
+
+	// Supplier-side user queries retailer data for nation 2: the
+	// nation-key range index routes it to exactly one retailer peer and
+	// the single-peer optimization short-circuits the processing.
+	res, err := net.Query(0, tpch.RetailerQuery(2), bestpeer.QueryOptions{User: "supplier-analyst"})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nsupplier-analyst ran the retailer query on nation 2: %d customer groups via %s (engine=%s)\n",
+		len(res.Result.Rows), res.Peers, res.Engine)
+
+	// Retailer-side user queries supplier catalogs for nation 1.
+	res, err = net.Query(3, tpch.SupplierQuery(1), bestpeer.QueryOptions{User: "retailer-buyer"})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("retailer-buyer ran the supplier query on nation 1: %d rows via %s\n",
+		len(res.Result.Rows), res.Peers)
+
+	// The supplier role has no grant on supplier tables: a supplier
+	// user cannot read a competitor's catalog.
+	if _, err := net.Query(0, tpch.SupplierQuery(1), bestpeer.QueryOptions{User: "supplier-analyst"}); err != nil {
+		fmt.Printf("supplier-analyst denied on supplier tables (as intended): %v\n", err)
+	}
+
+	// One retailer attaches its production system: the ERP's local
+	// schema differs from the global one; the loader maps and syncs it.
+	sys := erp.NewSystem("PeopleSoft")
+	local := &sqldb.Schema{Table: "ps_orders", Columns: []sqldb.Column{
+		{Name: "order_no", Kind: sqlval.KindInt},
+		{Name: "cust_no", Kind: sqlval.KindInt},
+		{Name: "amount", Kind: sqlval.KindFloat},
+		{Name: "status", Kind: sqlval.KindString},
+	}}
+	if err := sys.CreateTable(local); err != nil {
+		log.Fatal(err)
+	}
+	mapping := &schemamap.Mapping{System: "PeopleSoft", Tables: []schemamap.TableMapping{{
+		LocalTable: "ps_orders", GlobalTable: tpch.Orders,
+		Columns: []schemamap.ColumnMapping{
+			{Local: "order_no", Global: "o_orderkey"},
+			{Local: "cust_no", Global: "o_custkey"},
+			{Local: "amount", Global: "o_totalprice"},
+			{Local: "status", Global: "o_orderstatus",
+				Values: map[string]string{"OPEN": "O", "FULFILLED": "F"}},
+		},
+	}}}
+	retailer := net.Peer(2)
+	if err := retailer.AttachProduction(sys, mapping); err != nil {
+		log.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		err := sys.Insert("ps_orders", sqlval.Row{
+			sqlval.Int(int64(900000 + i)), sqlval.Int(int64(i)),
+			sqlval.Float(float64(100 * (i + 1))), sqlval.Str("OPEN"),
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+	d, err := retailer.SyncData()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\ninitial ERP load at %s: %+v\n", retailer.ID(), d)
+
+	// Business activity mutates the ERP; the next sync ships only the
+	// snapshot differential.
+	if _, err := sys.Exec(`UPDATE ps_orders SET status = 'FULFILLED' WHERE order_no = 900001`); err != nil {
+		log.Fatal(err)
+	}
+	if _, err := sys.Exec(`DELETE FROM ps_orders WHERE order_no = 900004`); err != nil {
+		log.Fatal(err)
+	}
+	d, err = retailer.SyncData()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("after ERP churn: %+v (an update = delete+insert)\n", d)
+}

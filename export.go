@@ -1,0 +1,89 @@
+package bestpeer
+
+import (
+	"fmt"
+
+	"bestpeer/internal/engine"
+	"bestpeer/internal/mapreduce"
+	"bestpeer/internal/sqldb"
+	"bestpeer/internal/sqlval"
+)
+
+// This file implements the paper's §1 escape hatch for "infrequent
+// time-consuming analytical tasks": "we provide an interface for
+// exporting the data from BestPeer++ to Hadoop and allow users to
+// analyze those data using MapReduce". ExportTable ships a global
+// table's partitions from every data owner peer into the mounted DFS;
+// MapReduceOver then runs arbitrary user MapReduce jobs against the
+// exported data.
+
+// Export is one exported table in the DFS.
+type Export struct {
+	Path    string
+	Table   string
+	Columns []string
+	Rows    int
+	// splits remember the per-peer partitioning; MapReduceOver reuses it
+	// so map tasks align with the original data placement.
+	splits []mapreduce.Split
+}
+
+// ExportTable exports every peer's partition of a global table into the
+// DFS under /export/<table>. Access control applies: the export runs
+// under the given user account ("" = benchmark full-access user).
+func (n *Network) ExportTable(table, user string) (*Export, error) {
+	if n.MRCluster == nil || n.FS == nil {
+		return nil, fmt.Errorf("bestpeer: MapReduce service not mounted")
+	}
+	if len(n.peers) == 0 {
+		return nil, fmt.Errorf("bestpeer: no peers")
+	}
+	submitter := n.peers[0]
+	schema := submitter.GlobalSchema(table)
+	if schema == nil {
+		return nil, fmt.Errorf("bestpeer: unknown global table %s", table)
+	}
+	loc, err := submitter.Locate(table, nil, nil)
+	if err != nil {
+		return nil, err
+	}
+	stmt := sqldb.BuildSubQuery(
+		sqldb.TableRef{Table: schema.Table, Alias: schema.Table},
+		schema.ColumnNames(), nil)
+	ts := submitter.QueryTimestamp()
+	exp := &Export{
+		Path:    "/export/" + schema.Table,
+		Table:   schema.Table,
+		Columns: schema.ColumnNames(),
+	}
+	var all []sqlval.Row
+	for _, peerID := range loc.Peers {
+		res, err := submitter.SubQuery(peerID, engine.SubQueryRequest{Stmt: stmt, User: user, Timestamp: ts})
+		if err != nil {
+			return nil, err
+		}
+		exp.Rows += len(res.Rows)
+		exp.splits = append(exp.splits, mapreduce.Split{
+			Source: peerID, Rows: res.Rows, Bytes: res.Stats.BytesScanned,
+		})
+		all = append(all, res.Rows...)
+	}
+	if err := n.FS.Write(exp.Path, all); err != nil {
+		return nil, err
+	}
+	return exp, nil
+}
+
+// MapReduceOver runs a user-supplied MapReduce job against an exported
+// table: the job's input splits become the export's per-peer
+// partitions, and its output (when the job names one) lands in the DFS.
+func (n *Network) MapReduceOver(exp *Export, job mapreduce.Job) (*mapreduce.Result, error) {
+	if n.MRCluster == nil {
+		return nil, fmt.Errorf("bestpeer: MapReduce service not mounted")
+	}
+	if exp == nil || len(exp.splits) == 0 {
+		return nil, fmt.Errorf("bestpeer: empty export")
+	}
+	job.Splits = exp.splits
+	return n.MRCluster.Run(job)
+}

@@ -1,0 +1,3 @@
+module bestpeer
+
+go 1.22

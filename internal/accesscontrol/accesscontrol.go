@@ -1,0 +1,296 @@
+// Package accesscontrol implements BestPeer++'s distributed role-based
+// access control (paper §4.4).
+//
+// A role is a set of rules (c_i, p_j, d): column, privilege, and an
+// optional range condition on the column's values (Definition 1). The
+// service provider defines a standard set of roles when a corporate
+// network is created; each peer's local administrator assigns roles to
+// users and may derive new roles with the three operators from the
+// paper: inheritance (⊢), rule addition (+), and rule removal (−).
+//
+// Enforcement happens at the data owner: a peer receiving a data
+// retrieval request rewrites it under the requesting user's role, so
+// unreadable columns come back NULL and range-restricted columns are
+// NULLed outside the permitted range.
+package accesscontrol
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+
+	"bestpeer/internal/sqldb"
+	"bestpeer/internal/sqlval"
+)
+
+// Privilege is a bit set of access rights.
+type Privilege uint8
+
+// The privilege bits.
+const (
+	PrivRead Privilege = 1 << iota
+	PrivWrite
+)
+
+// Has reports whether p includes all bits of q.
+func (p Privilege) Has(q Privilege) bool { return p&q == q }
+
+// String renders the privilege set.
+func (p Privilege) String() string {
+	var parts []string
+	if p.Has(PrivRead) {
+		parts = append(parts, "read")
+	}
+	if p.Has(PrivWrite) {
+		parts = append(parts, "write")
+	}
+	if len(parts) == 0 {
+		return "none"
+	}
+	return strings.Join(parts, "^")
+}
+
+// ValueRange is the rule's range condition d: values outside [Lo, Hi]
+// (inclusive, per the paper's [0,100] example) are not accessible.
+type ValueRange struct {
+	Lo, Hi sqlval.Value
+}
+
+// Contains reports whether v lies inside the range.
+func (r ValueRange) Contains(v sqlval.Value) bool {
+	return sqlval.Compare(v, r.Lo) >= 0 && sqlval.Compare(v, r.Hi) <= 0
+}
+
+// Rule is one access rule (c_i, p_j, d).
+type Rule struct {
+	Table  string
+	Column string
+	Priv   Privilege
+	// Range restricts access to values inside it; nil means all values
+	// (the paper's d = null).
+	Range *ValueRange
+}
+
+func (r Rule) matches(table, column string) bool {
+	return strings.EqualFold(r.Table, table) && strings.EqualFold(r.Column, column)
+}
+
+// Role is a named set of rules.
+type Role struct {
+	Name  string
+	Rules []Rule
+}
+
+// NewRole creates a role with the given rules.
+func NewRole(name string, rules ...Rule) *Role {
+	return &Role{Name: name, Rules: rules}
+}
+
+// Inherit implements Role_i ⊢ Role_j: a new role carrying all of the
+// receiver's rules.
+func (r *Role) Inherit(name string) *Role {
+	return &Role{Name: name, Rules: append([]Rule(nil), r.Rules...)}
+}
+
+// Plus implements Role_j = Role_i + (c,p,d): the receiver's rules plus
+// one more.
+func (r *Role) Plus(name string, rule Rule) *Role {
+	n := r.Inherit(name)
+	n.Rules = append(n.Rules, rule)
+	return n
+}
+
+// Minus implements Role_j = Role_i − (c,p,d): the receiver's rules with
+// the matching column's privileges reduced by rule.Priv. A rule whose
+// privileges empty out is dropped.
+func (r *Role) Minus(name string, rule Rule) *Role {
+	n := &Role{Name: name}
+	for _, existing := range r.Rules {
+		if existing.matches(rule.Table, rule.Column) {
+			remaining := existing.Priv &^ rule.Priv
+			if remaining == 0 {
+				continue
+			}
+			existing.Priv = remaining
+		}
+		n.Rules = append(n.Rules, existing)
+	}
+	return n
+}
+
+// Access reports the role's access to a column: the granted privileges
+// and the tightest range condition among granting rules (nil = no range
+// restriction).
+func (r *Role) Access(table, column string) (Privilege, *ValueRange) {
+	var priv Privilege
+	var rng *ValueRange
+	restricted := false
+	unrestricted := false
+	for _, rule := range r.Rules {
+		if !rule.matches(table, column) {
+			continue
+		}
+		priv |= rule.Priv
+		if rule.Priv.Has(PrivRead) {
+			if rule.Range == nil {
+				unrestricted = true
+			} else {
+				restricted = true
+				rng = rule.Range
+			}
+		}
+	}
+	if unrestricted || !restricted {
+		return priv, nil
+	}
+	return priv, rng
+}
+
+// CanRead reports whether the role may read the column at all.
+func (r *Role) CanRead(table, column string) bool {
+	p, _ := r.Access(table, column)
+	return p.Has(PrivRead)
+}
+
+// CanWrite reports whether the role may write the column.
+func (r *Role) CanWrite(table, column string) bool {
+	p, _ := r.Access(table, column)
+	return p.Has(PrivWrite)
+}
+
+// MaskRows enforces the role on a single-table result in place: output
+// column i carries table column cols[i]; unreadable columns become NULL
+// in every row, and range-restricted columns are NULLed outside their
+// permitted range (the paper's Role_sales example). It returns the
+// number of masked cells.
+func MaskRows(role *Role, table string, cols []string, rows []sqlval.Row) int {
+	type colRule struct {
+		deny bool
+		rng  *ValueRange
+	}
+	rules := make([]colRule, len(cols))
+	for i, c := range cols {
+		priv, rng := role.Access(table, c)
+		rules[i] = colRule{deny: !priv.Has(PrivRead), rng: rng}
+	}
+	masked := 0
+	for _, row := range rows {
+		for i := range row {
+			if i >= len(rules) {
+				break
+			}
+			cr := rules[i]
+			if cr.deny || (cr.rng != nil && !row[i].IsNull() && !cr.rng.Contains(row[i])) {
+				if !row[i].IsNull() {
+					masked++
+				}
+				row[i] = sqlval.Null()
+			}
+		}
+	}
+	return masked
+}
+
+// CheckSelect verifies that a single-table SELECT only *references*
+// readable columns in its predicates. Filtering on a column the user
+// cannot read would leak information through the result set, so it is
+// rejected outright rather than masked.
+func CheckSelect(role *Role, table string, stmt *sqldb.SelectStmt) error {
+	for _, ref := range sqldb.ColumnsIn(stmt.Where) {
+		if !role.CanRead(table, ref.Column) {
+			return fmt.Errorf("accesscontrol: role %s may not filter on %s.%s", role.Name, table, ref.Column)
+		}
+	}
+	for _, g := range stmt.GroupBy {
+		for _, ref := range sqldb.ColumnsIn(g) {
+			if !role.CanRead(table, ref.Column) {
+				return fmt.Errorf("accesscontrol: role %s may not group by %s.%s", role.Name, table, ref.Column)
+			}
+		}
+	}
+	return nil
+}
+
+// FullAccess returns a role granting read+write on every column of the
+// given schemas (the benchmark configuration of §6.1.4).
+func FullAccess(name string, schemas ...*sqldb.Schema) *Role {
+	role := &Role{Name: name}
+	for _, s := range schemas {
+		for _, c := range s.Columns {
+			role.Rules = append(role.Rules, Rule{Table: s.Table, Column: c.Name, Priv: PrivRead | PrivWrite})
+		}
+	}
+	return role
+}
+
+// Registry stores role definitions and user→role assignments for one
+// peer. User accounts created at any peer are broadcast network-wide via
+// the bootstrap (§4.4), so every registry eventually knows every user.
+type Registry struct {
+	mu    sync.RWMutex
+	roles map[string]*Role
+	users map[string]string // user -> role name
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{roles: make(map[string]*Role), users: make(map[string]string)}
+}
+
+// DefineRole installs or replaces a role definition.
+func (g *Registry) DefineRole(r *Role) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.roles[strings.ToLower(r.Name)] = r
+}
+
+// Role returns a role definition, or nil.
+func (g *Registry) Role(name string) *Role {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	return g.roles[strings.ToLower(name)]
+}
+
+// Roles lists all defined role names.
+func (g *Registry) Roles() []string {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	out := make([]string, 0, len(g.roles))
+	for _, r := range g.roles {
+		out = append(out, r.Name)
+	}
+	return out
+}
+
+// AssignUser binds a user account to a role.
+func (g *Registry) AssignUser(user, roleName string) error {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if _, ok := g.roles[strings.ToLower(roleName)]; !ok {
+		return fmt.Errorf("accesscontrol: unknown role %s", roleName)
+	}
+	g.users[user] = roleName
+	return nil
+}
+
+// RoleOf resolves a user's role, or nil for unknown users.
+func (g *Registry) RoleOf(user string) *Role {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	name, ok := g.users[user]
+	if !ok {
+		return nil
+	}
+	return g.roles[strings.ToLower(name)]
+}
+
+// Users returns all known user accounts with their role names.
+func (g *Registry) Users() map[string]string {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	out := make(map[string]string, len(g.users))
+	for u, r := range g.users {
+		out[u] = r
+	}
+	return out
+}

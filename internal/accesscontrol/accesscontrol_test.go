@@ -1,0 +1,195 @@
+package accesscontrol
+
+import (
+	"testing"
+
+	"bestpeer/internal/sqldb"
+	"bestpeer/internal/sqlval"
+)
+
+// salesRole reproduces the paper's Role_sales example:
+// {(lineitem.extendedprice, read^write, [0,100]),
+//
+//	(lineitem.shipdate, read, null)}.
+func salesRole() *Role {
+	return NewRole("sales",
+		Rule{Table: "lineitem", Column: "extendedprice", Priv: PrivRead | PrivWrite,
+			Range: &ValueRange{Lo: sqlval.Float(0), Hi: sqlval.Float(100)}},
+		Rule{Table: "lineitem", Column: "shipdate", Priv: PrivRead},
+	)
+}
+
+func TestPrivilegeBits(t *testing.T) {
+	p := PrivRead | PrivWrite
+	if !p.Has(PrivRead) || !p.Has(PrivWrite) {
+		t.Error("Has broken")
+	}
+	if PrivRead.Has(PrivWrite) {
+		t.Error("read has write")
+	}
+	if p.String() != "read^write" || Privilege(0).String() != "none" {
+		t.Errorf("String = %q / %q", p.String(), Privilege(0).String())
+	}
+}
+
+func TestAccessPaperExample(t *testing.T) {
+	r := salesRole()
+	priv, rng := r.Access("lineitem", "extendedprice")
+	if !priv.Has(PrivRead) || !priv.Has(PrivWrite) {
+		t.Errorf("extendedprice priv = %v", priv)
+	}
+	if rng == nil || !rng.Contains(sqlval.Float(50)) || rng.Contains(sqlval.Float(101)) {
+		t.Errorf("extendedprice range = %+v", rng)
+	}
+	priv, rng = r.Access("lineitem", "shipdate")
+	if !priv.Has(PrivRead) || priv.Has(PrivWrite) {
+		t.Errorf("shipdate priv = %v", priv)
+	}
+	if rng != nil {
+		t.Errorf("shipdate range = %+v, want unrestricted", rng)
+	}
+	if r.CanRead("lineitem", "comment") {
+		t.Error("unlisted column readable")
+	}
+	if r.CanWrite("lineitem", "shipdate") {
+		t.Error("read-only column writable")
+	}
+}
+
+func TestMaskRowsPaperExample(t *testing.T) {
+	r := salesRole()
+	cols := []string{"extendedprice", "shipdate", "comment"}
+	rows := []sqlval.Row{
+		{sqlval.Float(50), sqlval.Str("1998-01-01"), sqlval.Str("secret")},
+		{sqlval.Float(150), sqlval.Str("1998-01-02"), sqlval.Str("secret")},
+	}
+	masked := MaskRows(r, "lineitem", cols, rows)
+	if masked != 3 { // comment x2 + out-of-range price x1
+		t.Errorf("masked = %d", masked)
+	}
+	if rows[0][0].AsFloat() != 50 {
+		t.Error("in-range value masked")
+	}
+	if !rows[1][0].IsNull() {
+		t.Error("out-of-range price not masked")
+	}
+	if !rows[0][2].IsNull() || !rows[1][2].IsNull() {
+		t.Error("unreadable column not masked")
+	}
+	if rows[0][1].IsNull() || rows[1][1].IsNull() {
+		t.Error("readable unrestricted column masked")
+	}
+}
+
+func TestInheritOperator(t *testing.T) {
+	base := salesRole()
+	derived := base.Inherit("sales-jr")
+	if derived.Name != "sales-jr" || len(derived.Rules) != len(base.Rules) {
+		t.Fatalf("derived = %+v", derived)
+	}
+	// Mutating the derived role must not affect the base.
+	derived.Rules[0].Priv = 0
+	if !base.CanRead("lineitem", "extendedprice") {
+		t.Error("Inherit aliased rules")
+	}
+}
+
+func TestPlusOperator(t *testing.T) {
+	r := salesRole().Plus("sales+", Rule{Table: "lineitem", Column: "comment", Priv: PrivRead})
+	if !r.CanRead("lineitem", "comment") {
+		t.Error("Plus did not add rule")
+	}
+	if !salesRole().CanRead("lineitem", "shipdate") {
+		t.Error("base role changed")
+	}
+}
+
+func TestMinusOperator(t *testing.T) {
+	r := salesRole().Minus("sales-", Rule{Table: "lineitem", Column: "extendedprice", Priv: PrivWrite})
+	if r.CanWrite("lineitem", "extendedprice") {
+		t.Error("Minus did not revoke write")
+	}
+	if !r.CanRead("lineitem", "extendedprice") {
+		t.Error("Minus removed read too")
+	}
+	// Removing the remaining privilege drops the rule entirely.
+	r2 := r.Minus("sales--", Rule{Table: "lineitem", Column: "extendedprice", Priv: PrivRead})
+	if r2.CanRead("lineitem", "extendedprice") {
+		t.Error("Minus did not revoke read")
+	}
+	for _, rule := range r2.Rules {
+		if rule.matches("lineitem", "extendedprice") {
+			t.Error("emptied rule not dropped")
+		}
+	}
+}
+
+func TestAccessMergesMultipleRules(t *testing.T) {
+	r := NewRole("multi",
+		Rule{Table: "t", Column: "c", Priv: PrivRead, Range: &ValueRange{Lo: sqlval.Int(0), Hi: sqlval.Int(10)}},
+		Rule{Table: "t", Column: "c", Priv: PrivRead}, // unrestricted grant wins
+	)
+	_, rng := r.Access("t", "c")
+	if rng != nil {
+		t.Error("unrestricted grant should lift the range restriction")
+	}
+}
+
+func TestCheckSelectRejectsFilteringOnHiddenColumn(t *testing.T) {
+	r := salesRole()
+	stmt, err := sqldb.ParseSelect(`SELECT shipdate FROM lineitem WHERE comment = 'x'`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := CheckSelect(r, "lineitem", stmt); err == nil {
+		t.Error("filter on unreadable column accepted")
+	}
+	ok, err := sqldb.ParseSelect(`SELECT shipdate FROM lineitem WHERE shipdate > '1998-01-01' GROUP BY shipdate`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := CheckSelect(r, "lineitem", ok); err != nil {
+		t.Errorf("legitimate query rejected: %v", err)
+	}
+	hiddenGroup, _ := sqldb.ParseSelect(`SELECT COUNT(*) FROM lineitem GROUP BY comment`)
+	if err := CheckSelect(r, "lineitem", hiddenGroup); err == nil {
+		t.Error("group by unreadable column accepted")
+	}
+}
+
+func TestFullAccess(t *testing.T) {
+	s := &sqldb.Schema{Table: "t", Columns: []sqldb.Column{
+		{Name: "a", Kind: sqlval.KindInt}, {Name: "b", Kind: sqlval.KindString},
+	}}
+	r := FullAccess("admin", s)
+	if !r.CanRead("t", "a") || !r.CanWrite("t", "b") {
+		t.Error("FullAccess incomplete")
+	}
+}
+
+func TestRegistry(t *testing.T) {
+	g := NewRegistry()
+	g.DefineRole(salesRole())
+	if g.Role("SALES") == nil {
+		t.Error("role lookup not case-insensitive")
+	}
+	if err := g.AssignUser("alice", "sales"); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.AssignUser("bob", "ghost-role"); err == nil {
+		t.Error("assignment to unknown role accepted")
+	}
+	if r := g.RoleOf("alice"); r == nil || r.Name != "sales" {
+		t.Errorf("RoleOf(alice) = %+v", r)
+	}
+	if g.RoleOf("nobody") != nil {
+		t.Error("unknown user has role")
+	}
+	users := g.Users()
+	if users["alice"] != "sales" || len(users) != 1 {
+		t.Errorf("Users = %v", users)
+	}
+	if roles := g.Roles(); len(roles) != 1 {
+		t.Errorf("Roles = %v", roles)
+	}
+}

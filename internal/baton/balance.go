@@ -1,0 +1,248 @@
+package baton
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Load balancing (paper §4.3): BATON first balances load between
+// adjacent nodes by shifting the shared subdomain boundary; when no
+// adjacent node can absorb the load, it performs a global adjustment by
+// relocating an under-loaded leaf into the overloaded region. Both
+// schemes are implemented here on the coordinator, which in BestPeer++
+// is the bootstrap peer's role.
+
+// imbalanceFactor is the load ratio between neighbours above which a
+// boundary shift is triggered.
+const imbalanceFactor = 2
+
+// loadOf fetches a node's item count.
+func (o *Overlay) loadOf(id string) (int, error) {
+	reply, err := o.ep.Call(id, msgStats, nil, 8)
+	if err != nil {
+		return 0, err
+	}
+	return reply.Payload.(int), nil
+}
+
+// BalanceAdjacent performs one pass of adjacent-node load balancing:
+// every in-order neighbour pair whose loads differ by more than
+// imbalanceFactor has its shared boundary shifted so the pair's items
+// split evenly. It returns the number of boundary shifts performed.
+func (o *Overlay) BalanceAdjacent() (int, error) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	ord := inorder(o.root)
+	shifts := 0
+	for i := 0; i+1 < len(ord); i++ {
+		moved, err := o.balancePair(ord[i], ord[i+1])
+		if err != nil {
+			return shifts, err
+		}
+		if moved {
+			shifts++
+		}
+	}
+	if shifts > 0 {
+		return shifts, o.refresh()
+	}
+	return 0, nil
+}
+
+// balancePair equalizes the load between two in-order neighbours by
+// moving their common subdomain boundary. Callers hold o.mu.
+func (o *Overlay) balancePair(a, b *tnode) (bool, error) {
+	la, err := o.loadOf(a.id)
+	if err != nil {
+		return false, err
+	}
+	lb, err := o.loadOf(b.id)
+	if err != nil {
+		return false, err
+	}
+	if la <= imbalanceFactor*lb+1 && lb <= imbalanceFactor*la+1 {
+		return false, nil
+	}
+	if a.r0.Hi != b.r0.Lo {
+		// Boundary is not shared (shouldn't happen with contiguous
+		// in-order ranges); skip rather than corrupt ranges.
+		return false, nil
+	}
+	itemsA, err := o.fetchItems(a.id)
+	if err != nil {
+		return false, err
+	}
+	itemsB, err := o.fetchItems(b.id)
+	if err != nil {
+		return false, err
+	}
+	all := append(append([]Item(nil), itemsA...), itemsB...)
+	if len(all) < 2 {
+		return false, nil
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].Key < all[j].Key })
+	// New boundary: key of the first item of the upper half. Items with
+	// keys >= boundary live in b afterwards.
+	boundary := all[len(all)/2].Key
+	if boundary <= a.r0.Lo || boundary >= b.r0.Hi {
+		return false, nil
+	}
+	if la > lb {
+		// Move a's items in [boundary, a.Hi) to b.
+		if err := o.moveRange(a.id, b.id, KeyRange{Lo: boundary, Hi: a.r0.Hi}); err != nil {
+			return false, err
+		}
+	} else {
+		// Move b's items in [b.Lo, boundary) to a.
+		if err := o.moveRange(b.id, a.id, KeyRange{Lo: b.r0.Lo, Hi: boundary}); err != nil {
+			return false, err
+		}
+	}
+	a.r0.Hi = boundary
+	b.r0.Lo = boundary
+	return true, nil
+}
+
+// GlobalRebalance performs the paper's global adjustment: when the most
+// loaded node still dwarfs the least loaded leaf after adjacent
+// balancing, the under-loaded leaf is relocated to become a child of the
+// overloaded node (splitting the hot subdomain), or — when the
+// overloaded node has no free child slot — its boundary with its lighter
+// neighbour is shifted instead. Returns whether any adjustment was made.
+func (o *Overlay) GlobalRebalance() (bool, error) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	if o.nodes < 3 {
+		return false, nil
+	}
+	var hot *tnode
+	hotLoad := -1
+	var coldLeaf *tnode
+	coldLoad := -1
+	for _, t := range inorder(o.root) {
+		load, err := o.loadOf(t.id)
+		if err != nil {
+			return false, err
+		}
+		if load > hotLoad {
+			hot, hotLoad = t, load
+		}
+		if t.left == nil && t.right == nil {
+			if coldLoad < 0 || load < coldLoad {
+				coldLeaf, coldLoad = t, load
+			}
+		}
+	}
+	if hot == nil || coldLeaf == nil || hot == coldLeaf {
+		return false, nil
+	}
+	if hotLoad <= 2*imbalanceFactor*coldLoad+1 {
+		return false, nil
+	}
+	if hot.left != nil && hot.right != nil {
+		// No free slot under the hot node: shift a boundary instead.
+		ord := inorder(o.root)
+		for i, t := range ord {
+			if t != hot {
+				continue
+			}
+			var moved bool
+			var err error
+			if i+1 < len(ord) {
+				moved, err = o.balancePair(hot, ord[i+1])
+			} else {
+				moved, err = o.balancePair(ord[i-1], hot)
+			}
+			if err != nil {
+				return false, err
+			}
+			if moved {
+				return true, o.refresh()
+			}
+			return false, nil
+		}
+		return false, nil
+	}
+	// Relocate the cold leaf: detach it (merging its range into a
+	// neighbour) and re-attach it under the hot node, taking half of the
+	// hot node's subdomain and the items inside.
+	coldID := coldLeaf.id
+	if coldLeaf == hot || coldLeaf.parent == hot {
+		return false, nil
+	}
+	heir := o.removeLeafFromTree(coldLeaf)
+	if err := o.moveRange(coldID, heir.id, FullRange()); err != nil {
+		return false, err
+	}
+	t := &tnode{id: coldID, parent: hot}
+	mid := hot.r0.Mid()
+	if hot.left == nil {
+		t.r0 = KeyRange{Lo: hot.r0.Lo, Hi: mid}
+		hot.r0.Lo = mid
+		hot.left = t
+	} else {
+		t.r0 = KeyRange{Lo: mid, Hi: hot.r0.Hi}
+		hot.r0.Hi = mid
+		hot.right = t
+	}
+	o.byID[coldID] = t
+	o.nodes++
+	if err := o.moveRange(hot.id, coldID, t.r0); err != nil {
+		return false, err
+	}
+	return true, o.refresh()
+}
+
+// CheckInvariants verifies the overlay's structural invariants: ranges
+// partition the domain in in-order order, subtree ranges cover their
+// descendants, and every node's installed state matches the
+// coordinator's view. Tests call it after each mutation.
+func (o *Overlay) CheckInvariants(nodesByID map[string]*Node) error {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	if o.root == nil {
+		if o.nodes != 0 {
+			return fmt.Errorf("baton: empty tree but %d nodes", o.nodes)
+		}
+		return nil
+	}
+	ord := inorder(o.root)
+	if len(ord) != o.nodes {
+		return fmt.Errorf("baton: tree has %d nodes, counter says %d", len(ord), o.nodes)
+	}
+	if ord[0].r0.Lo != 0 {
+		return fmt.Errorf("baton: domain starts at %v, want 0", ord[0].r0.Lo)
+	}
+	if ord[len(ord)-1].r0.Hi != 1 {
+		return fmt.Errorf("baton: domain ends at %v, want 1", ord[len(ord)-1].r0.Hi)
+	}
+	for i := 0; i+1 < len(ord); i++ {
+		if ord[i].r0.Hi != ord[i+1].r0.Lo {
+			return fmt.Errorf("baton: gap between %s and %s (%v != %v)",
+				ord[i].id, ord[i+1].id, ord[i].r0.Hi, ord[i+1].r0.Lo)
+		}
+	}
+	for id, n := range nodesByID {
+		t, ok := o.byID[id]
+		if !ok {
+			continue // departed node
+		}
+		st := n.State()
+		if st.R0 != t.r0 {
+			return fmt.Errorf("baton: node %s installed R0 %+v != coordinator %+v", id, st.R0, t.r0)
+		}
+		for _, it := range itemsOf(n) {
+			if !st.R0.Contains(it.Key) {
+				return fmt.Errorf("baton: node %s holds item %q with key %v outside R0 %+v", id, it.Name, it.Key, st.R0)
+			}
+		}
+	}
+	return nil
+}
+
+// itemsOf snapshots a node's items (test support).
+func itemsOf(n *Node) []Item {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	return append([]Item(nil), n.items...)
+}

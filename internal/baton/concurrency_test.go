@@ -1,0 +1,62 @@
+package baton
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// TestConcurrentLookupsAndInserts drives the overlay's query path from
+// many goroutines at once: lookups, inserts, and range scans against a
+// stable membership must be race-free (run with -race) and correct.
+func TestConcurrentLookupsAndInserts(t *testing.T) {
+	_, nodes, _ := testOverlay(t, 8)
+	var ids []string
+	for id := range nodes {
+		ids = append(ids, id)
+	}
+	var wg sync.WaitGroup
+	errCh := make(chan error, 64)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			n := nodes[ids[g%len(ids)]]
+			for i := 0; i < 50; i++ {
+				name := fmt.Sprintf("key-%d-%d", g, i)
+				if _, err := n.Insert(Item{Key: StringKey(name), Name: name, Size: 8}); err != nil {
+					errCh <- err
+					return
+				}
+				items, _, err := n.Lookup(name)
+				if err != nil {
+					errCh <- err
+					return
+				}
+				if len(items) != 1 {
+					errCh <- fmt.Errorf("lookup %s = %d items", name, len(items))
+					return
+				}
+				if i%10 == 0 {
+					if _, _, err := n.RangeSearch(FullRange()); err != nil {
+						errCh <- err
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Fatal(err)
+	}
+	// Every inserted item is visible.
+	all, _, err := nodes[ids[0]].RangeSearch(FullRange())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) != 8*50 {
+		t.Errorf("items = %d, want 400", len(all))
+	}
+}

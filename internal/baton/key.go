@@ -1,0 +1,75 @@
+// Package baton implements the BATON balanced-tree structured overlay
+// (Jagadish, Ooi, Vu; VLDB 2005) that BestPeer++ uses to index shared
+// data (paper §4.3, Table 1).
+//
+// Every node owns two ranges of the key domain: R0, the subdomain the
+// node itself manages, and R1, the domain of the subtree rooted at the
+// node. Nodes keep parent/children links, left/right adjacent links (the
+// in-order neighbours), and per-level left/right routing tables with
+// entries at distances 1, 2, 4, ... 2^i, giving O(log N) hops per
+// lookup. In-order traversal of the tree visits consecutive subdomains,
+// which is what range scans use.
+//
+// Membership changes (join, leave, fail-over, load rebalancing) are
+// coordinated by the Overlay manager. In BestPeer++ the bootstrap peer
+// already serializes all membership events (§3.1), so coordinated
+// maintenance matches the system being reproduced; queries — lookups,
+// inserts, deletes, range scans — route fully peer-to-peer over each
+// node's local links and are hop-counted.
+package baton
+
+import (
+	"encoding/binary"
+	"math"
+)
+
+// Key is a point in the overlay's key domain [0, 1).
+type Key float64
+
+// KeyRange is the half-open interval [Lo, Hi).
+type KeyRange struct {
+	Lo, Hi Key
+}
+
+// Contains reports whether k falls inside the range.
+func (r KeyRange) Contains(k Key) bool { return k >= r.Lo && k < r.Hi }
+
+// Overlaps reports whether two ranges intersect.
+func (r KeyRange) Overlaps(o KeyRange) bool { return r.Lo < o.Hi && o.Lo < r.Hi }
+
+// Mid returns the midpoint splitting the range in two.
+func (r KeyRange) Mid() Key { return r.Lo + (r.Hi-r.Lo)/2 }
+
+// FullRange is the whole key domain.
+func FullRange() KeyRange { return KeyRange{Lo: 0, Hi: 1} }
+
+// StringKey maps a string into the key domain, preserving order on the
+// first 8 bytes. Strings sharing an 8-byte prefix land on the same
+// overlay node; items carry their full name, so exact-match lookups stay
+// correct. Table and column index entries (paper Table 2) are published
+// under StringKey of their names.
+func StringKey(s string) Key {
+	var buf [8]byte
+	copy(buf[:], s)
+	u := binary.BigEndian.Uint64(buf[:])
+	k := Key(float64(u) / math.MaxUint64)
+	if k >= 1 {
+		k = Key(math.Nextafter(1, 0))
+	}
+	return k
+}
+
+// FloatKey normalizes v from the domain [lo, hi] into the key domain.
+// The histogram module maps iDistance bucket values through it.
+func FloatKey(v, lo, hi float64) Key {
+	if hi <= lo {
+		return 0
+	}
+	if v <= lo {
+		return 0
+	}
+	if v >= hi {
+		return Key(math.Nextafter(1, 0))
+	}
+	return Key((v - lo) / (hi - lo))
+}

@@ -1,0 +1,269 @@
+package bootstrap
+
+import (
+	"crypto/ed25519"
+	"testing"
+	"time"
+
+	"bestpeer/internal/accesscontrol"
+	"bestpeer/internal/cloud"
+	"bestpeer/internal/pnet"
+	"bestpeer/internal/sqldb"
+	"bestpeer/internal/sqlval"
+)
+
+func testBootstrap(t *testing.T) (*Peer, *cloud.SimProvider, *pnet.Network) {
+	t.Helper()
+	net := pnet.NewNetwork()
+	provider := cloud.NewSimProvider()
+	b, err := New(net, "bootstrap", provider)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b, provider, net
+}
+
+func peerKey(t *testing.T) ed25519.PublicKey {
+	t.Helper()
+	pub, _, err := ed25519.GenerateKey(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pub
+}
+
+// joinPeer launches an instance and admits a peer with a dummy handler
+// for membership notifications.
+func joinPeer(t *testing.T, b *Peer, provider *cloud.SimProvider, net *pnet.Network, id string) NetworkInfo {
+	t.Helper()
+	if _, err := provider.Launch(id, cloud.M1Small); err != nil {
+		t.Fatal(err)
+	}
+	ep := net.Join(id)
+	ep.Handle("peer.membership.changed", func(pnet.Message) (pnet.Message, error) { return pnet.Message{}, nil })
+	ep.Handle("peer.user.created", func(pnet.Message) (pnet.Message, error) { return pnet.Message{}, nil })
+	info, err := b.Join(id, id, peerKey(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return info
+}
+
+func TestCertificateIssueVerifyRevoke(t *testing.T) {
+	b, _, _ := testBootstrap(t)
+	pub := peerKey(t)
+	cert := b.CA().Issue("peer-1", pub)
+	if err := b.CA().Verify(cert); err != nil {
+		t.Fatalf("fresh cert invalid: %v", err)
+	}
+	// Tampering breaks the signature.
+	bad := cert
+	bad.PeerID = "mallory"
+	if err := b.CA().Verify(bad); err == nil {
+		t.Error("tampered cert verified")
+	}
+	b.CA().Revoke(cert.Serial)
+	if err := b.CA().Verify(cert); err == nil {
+		t.Error("revoked cert verified")
+	}
+}
+
+func TestJoinDeliversNetworkInfo(t *testing.T) {
+	b, provider, net := testBootstrap(t)
+	b.DefineGlobalSchema(&sqldb.Schema{Table: "orders", Columns: []sqldb.Column{{Name: "o_orderkey", Kind: sqlval.KindInt}}})
+	b.Roles().DefineRole(accessRole("supplier"))
+	info := joinPeer(t, b, provider, net, "peer-1")
+	if len(info.Participants) != 1 || info.Participants[0] != "peer-1" {
+		t.Errorf("participants = %v", info.Participants)
+	}
+	if len(info.GlobalSchema) != 1 || info.GlobalSchema[0].Table != "orders" {
+		t.Errorf("schemas = %+v", info.GlobalSchema)
+	}
+	if len(info.Roles) != 1 {
+		t.Errorf("roles = %v", info.Roles)
+	}
+	if err := b.CA().Verify(info.Certificate); err != nil {
+		t.Errorf("issued cert invalid: %v", err)
+	}
+	info2 := joinPeer(t, b, provider, net, "peer-2")
+	if len(info2.Participants) != 2 {
+		t.Errorf("second join participants = %v", info2.Participants)
+	}
+	if _, err := b.Join("peer-1", "peer-1", peerKey(t)); err == nil {
+		t.Error("duplicate join accepted")
+	}
+}
+
+func TestLeaveBlacklistsAndRevokes(t *testing.T) {
+	b, provider, net := testBootstrap(t)
+	info := joinPeer(t, b, provider, net, "peer-1")
+	if err := b.Leave("peer-1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.CA().Verify(info.Certificate); err == nil {
+		t.Error("departed peer's cert still valid")
+	}
+	if got := b.Blacklist(); len(got) != 1 || got[0] != "peer-1" {
+		t.Errorf("blacklist = %v", got)
+	}
+	if len(b.Peers()) != 0 {
+		t.Errorf("peers = %v", b.Peers())
+	}
+	if err := b.Leave("ghost"); err == nil {
+		t.Error("Leave(ghost) succeeded")
+	}
+	// The epoch releases the blacklisted resources.
+	if err := b.RunMaintenanceEpoch(time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	if len(b.Blacklist()) != 0 {
+		t.Error("blacklist not released")
+	}
+	if inst, ok := provider.Instance("peer-1"); ok && inst.State == cloud.StateRunning {
+		t.Error("departed peer's instance still running")
+	}
+}
+
+func TestMaintenanceAutoScaling(t *testing.T) {
+	b, provider, net := testBootstrap(t)
+	joinPeer(t, b, provider, net, "peer-1")
+	provider.ReportMetrics("peer-1", cloud.Metrics{CPUUtilization: 0.99, Healthy: true})
+	if err := b.RunMaintenanceEpoch(time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	inst, _ := provider.Instance("peer-1")
+	if inst.Type.Name != "m1.large" {
+		t.Errorf("instance type = %s, want m1.large after auto-scale", inst.Type.Name)
+	}
+	foundScale := false
+	for _, e := range b.Events() {
+		if e.Kind == "scaleup" && e.Peer == "peer-1" {
+			foundScale = true
+		}
+	}
+	if !foundScale {
+		t.Error("no scaleup event logged")
+	}
+}
+
+func TestMaintenanceStorageScaling(t *testing.T) {
+	b, provider, net := testBootstrap(t)
+	joinPeer(t, b, provider, net, "peer-1")
+	// 4.9 of 5 GB used on m1.small: above the 0.85 threshold.
+	provider.ReportMetrics("peer-1", cloud.Metrics{CPUUtilization: 0.1, StorageUsedGB: 4.9, Healthy: true})
+	if err := b.RunMaintenanceEpoch(time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	inst, _ := provider.Instance("peer-1")
+	if inst.Type.Name != "m1.large" {
+		t.Errorf("storage pressure did not scale up: %s", inst.Type.Name)
+	}
+}
+
+func TestMaintenanceFailover(t *testing.T) {
+	b, provider, net := testBootstrap(t)
+	joinPeer(t, b, provider, net, "peer-1")
+	joinPeer(t, b, provider, net, "peer-2")
+
+	var failedSeen string
+	b.SetFailoverHandler(FailoverFunc(func(failedID string) (string, ed25519.PublicKey, error) {
+		failedSeen = failedID
+		newID := failedID + "-v2"
+		if _, err := provider.Launch(newID, cloud.M1Small); err != nil {
+			return "", nil, err
+		}
+		ep := net.Join(newID)
+		ep.Handle("peer.membership.changed", func(pnet.Message) (pnet.Message, error) { return pnet.Message{}, nil })
+		return newID, peerKey(t), nil
+	}))
+
+	if err := provider.Crash("peer-1"); err != nil {
+		t.Fatal(err)
+	}
+	// During recovery the consistency gate must block peer-1's scope;
+	// after the epoch the replacement is online.
+	if err := b.RunMaintenanceEpoch(time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	if failedSeen != "peer-1" {
+		t.Errorf("handler saw %q", failedSeen)
+	}
+	peers := b.Peers()
+	if len(peers) != 2 {
+		t.Fatalf("peers = %v", peers)
+	}
+	if !b.Online("peer-1-v2", "peer-2") {
+		t.Error("replacement not online")
+	}
+	if b.Online("peer-1") {
+		t.Error("failed peer still online")
+	}
+	rec, ok := b.Record("peer-1-v2")
+	if !ok {
+		t.Fatal("no record for replacement")
+	}
+	if err := b.CA().Verify(rec.Cert); err != nil {
+		t.Errorf("replacement cert invalid: %v", err)
+	}
+}
+
+func TestFailoverWithoutHandlerErrors(t *testing.T) {
+	b, provider, net := testBootstrap(t)
+	joinPeer(t, b, provider, net, "peer-1")
+	if err := provider.Crash("peer-1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.RunMaintenanceEpoch(time.Minute); err == nil {
+		t.Error("epoch succeeded without failover handler")
+	}
+}
+
+func TestUserBroadcast(t *testing.T) {
+	b, provider, net := testBootstrap(t)
+	received := map[string]string{}
+	if _, err := provider.Launch("peer-1", cloud.M1Small); err != nil {
+		t.Fatal(err)
+	}
+	ep := net.Join("peer-1")
+	ep.Handle("peer.membership.changed", func(pnet.Message) (pnet.Message, error) { return pnet.Message{}, nil })
+	ep.Handle("peer.user.created", func(msg pnet.Message) (pnet.Message, error) {
+		pair := msg.Payload.([2]string)
+		received[pair[0]] = pair[1]
+		return pnet.Message{}, nil
+	})
+	if _, err := b.Join("peer-1", "peer-1", peerKey(t)); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.CreateUser("alice", "supplier"); err != nil {
+		t.Fatal(err)
+	}
+	if received["alice"] != "supplier" {
+		t.Errorf("broadcast not received: %v", received)
+	}
+	if err := b.CreateUser("alice", "retailer"); err == nil {
+		t.Error("duplicate user accepted")
+	}
+	if b.Users()["alice"] != "supplier" {
+		t.Errorf("directory = %v", b.Users())
+	}
+}
+
+func TestEventsLogged(t *testing.T) {
+	b, provider, net := testBootstrap(t)
+	joinPeer(t, b, provider, net, "peer-1")
+	if err := b.Leave("peer-1"); err != nil {
+		t.Fatal(err)
+	}
+	kinds := map[string]bool{}
+	for _, e := range b.Events() {
+		kinds[e.Kind] = true
+	}
+	if !kinds["join"] || !kinds["leave"] {
+		t.Errorf("event kinds = %v", kinds)
+	}
+}
+
+// accessRole builds a trivial role for registry tests.
+func accessRole(name string) *accesscontrol.Role {
+	return accesscontrol.NewRole(name)
+}

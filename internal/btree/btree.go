@@ -1,0 +1,279 @@
+// Package btree implements an in-memory B+-tree keyed by sqlval.Value.
+//
+// It backs the primary and secondary indexes of the embedded relational
+// engine (internal/sqldb). Leaves are linked for ordered range scans,
+// which is what index-assisted range predicates (e.g. TPC-H
+// l_shipdate > DATE '1998-11-05') compile to.
+package btree
+
+import (
+	"sort"
+
+	"bestpeer/internal/sqlval"
+)
+
+// degree is the maximum number of keys per node. 64 keeps nodes within a
+// couple of cache lines of pointers while keeping the tree shallow.
+const degree = 64
+
+// Tree is a B+-tree mapping sqlval.Value keys to opaque payloads.
+// Duplicate keys are not stored; Put replaces. The zero Tree is not
+// usable; call New.
+type Tree struct {
+	root *node
+	size int
+}
+
+type node struct {
+	keys     []sqlval.Value
+	children []*node       // internal nodes only
+	values   []interface{} // leaf nodes only
+	next     *node         // leaf chain
+	leaf     bool
+}
+
+// New returns an empty tree.
+func New() *Tree {
+	return &Tree{root: &node{leaf: true}}
+}
+
+// Len returns the number of stored keys.
+func (t *Tree) Len() int { return t.size }
+
+func (n *node) search(key sqlval.Value) int {
+	return sort.Search(len(n.keys), func(i int) bool {
+		return sqlval.Compare(n.keys[i], key) >= 0
+	})
+}
+
+// Get returns the payload stored under key.
+func (t *Tree) Get(key sqlval.Value) (interface{}, bool) {
+	n := t.root
+	for !n.leaf {
+		i := n.search(key)
+		if i < len(n.keys) && sqlval.Compare(n.keys[i], key) == 0 {
+			i++ // keys in internal nodes are the smallest key of the right child
+		}
+		n = n.children[i]
+	}
+	i := n.search(key)
+	if i < len(n.keys) && sqlval.Compare(n.keys[i], key) == 0 {
+		return n.values[i], true
+	}
+	return nil, false
+}
+
+// Put stores value under key, replacing any existing payload. It returns
+// the previous payload, if any.
+func (t *Tree) Put(key sqlval.Value, value interface{}) (interface{}, bool) {
+	prev, replaced, split, sepKey, right := t.root.insert(key, value)
+	if split {
+		t.root = &node{
+			keys:     []sqlval.Value{sepKey},
+			children: []*node{t.root, right},
+		}
+	}
+	if !replaced {
+		t.size++
+	}
+	return prev, replaced
+}
+
+func (n *node) insert(key sqlval.Value, value interface{}) (prev interface{}, replaced, split bool, sepKey sqlval.Value, right *node) {
+	if n.leaf {
+		i := n.search(key)
+		if i < len(n.keys) && sqlval.Compare(n.keys[i], key) == 0 {
+			prev = n.values[i]
+			n.values[i] = value
+			return prev, true, false, sqlval.Value{}, nil
+		}
+		n.keys = append(n.keys, sqlval.Value{})
+		copy(n.keys[i+1:], n.keys[i:])
+		n.keys[i] = key
+		n.values = append(n.values, nil)
+		copy(n.values[i+1:], n.values[i:])
+		n.values[i] = value
+	} else {
+		i := n.search(key)
+		if i < len(n.keys) && sqlval.Compare(n.keys[i], key) == 0 {
+			i++
+		}
+		var childSplit bool
+		var childSep sqlval.Value
+		var childRight *node
+		prev, replaced, childSplit, childSep, childRight = n.children[i].insert(key, value)
+		if childSplit {
+			n.keys = append(n.keys, sqlval.Value{})
+			copy(n.keys[i+1:], n.keys[i:])
+			n.keys[i] = childSep
+			n.children = append(n.children, nil)
+			copy(n.children[i+2:], n.children[i+1:])
+			n.children[i+1] = childRight
+		}
+	}
+	if len(n.keys) <= degree {
+		return prev, replaced, false, sqlval.Value{}, nil
+	}
+	sepKey, right = n.splitRight()
+	return prev, replaced, true, sepKey, right
+}
+
+// splitRight splits an over-full node, keeping the left half in n and
+// returning the separator key plus the new right sibling.
+func (n *node) splitRight() (sqlval.Value, *node) {
+	mid := len(n.keys) / 2
+	right := &node{leaf: n.leaf}
+	if n.leaf {
+		right.keys = append(right.keys, n.keys[mid:]...)
+		right.values = append(right.values, n.values[mid:]...)
+		n.keys = n.keys[:mid:mid]
+		n.values = n.values[:mid:mid]
+		right.next = n.next
+		n.next = right
+		return right.keys[0], right
+	}
+	sep := n.keys[mid]
+	right.keys = append(right.keys, n.keys[mid+1:]...)
+	right.children = append(right.children, n.children[mid+1:]...)
+	n.keys = n.keys[:mid:mid]
+	n.children = n.children[: mid+1 : mid+1]
+	return sep, right
+}
+
+// Delete removes key and returns its payload, if present. Nodes are not
+// rebalanced on delete: the engine's workload is load-then-query (MyISAM
+// style), so under-full nodes after deletion only waste a little space.
+func (t *Tree) Delete(key sqlval.Value) (interface{}, bool) {
+	n := t.root
+	for !n.leaf {
+		i := n.search(key)
+		if i < len(n.keys) && sqlval.Compare(n.keys[i], key) == 0 {
+			i++
+		}
+		n = n.children[i]
+	}
+	i := n.search(key)
+	if i >= len(n.keys) || sqlval.Compare(n.keys[i], key) != 0 {
+		return nil, false
+	}
+	prev := n.values[i]
+	n.keys = append(n.keys[:i], n.keys[i+1:]...)
+	n.values = append(n.values[:i], n.values[i+1:]...)
+	t.size--
+	return prev, true
+}
+
+// leftmostLeafGE returns the leaf containing the first key >= key and the
+// index of that key within the leaf (possibly len(keys), meaning the scan
+// must continue into the next leaf).
+func (t *Tree) leftmostLeafGE(key sqlval.Value) (*node, int) {
+	n := t.root
+	for !n.leaf {
+		i := n.search(key)
+		if i < len(n.keys) && sqlval.Compare(n.keys[i], key) == 0 {
+			i++
+		}
+		n = n.children[i]
+	}
+	return n, n.search(key)
+}
+
+// Ascend visits all entries in key order until fn returns false.
+func (t *Tree) Ascend(fn func(key sqlval.Value, value interface{}) bool) {
+	n := t.root
+	for !n.leaf {
+		n = n.children[0]
+	}
+	for ; n != nil; n = n.next {
+		for i, k := range n.keys {
+			if !fn(k, n.values[i]) {
+				return
+			}
+		}
+	}
+}
+
+// AscendRange visits entries with lo <= key <= hi in order until fn
+// returns false. Passing loInclusive=false (resp. hiInclusive=false)
+// makes the corresponding bound strict. A NULL lo means unbounded below;
+// a NULL hi means unbounded above.
+func (t *Tree) AscendRange(lo, hi sqlval.Value, loInclusive, hiInclusive bool, fn func(key sqlval.Value, value interface{}) bool) {
+	var n *node
+	var i int
+	if lo.IsNull() {
+		n = t.root
+		for !n.leaf {
+			n = n.children[0]
+		}
+	} else {
+		n, i = t.leftmostLeafGE(lo)
+	}
+	for ; n != nil; n, i = n.next, 0 {
+		for ; i < len(n.keys); i++ {
+			k := n.keys[i]
+			if !lo.IsNull() && !loInclusive && sqlval.Compare(k, lo) == 0 {
+				continue
+			}
+			if !hi.IsNull() {
+				c := sqlval.Compare(k, hi)
+				if c > 0 || (c == 0 && !hiInclusive) {
+					return
+				}
+			}
+			if !fn(k, n.values[i]) {
+				return
+			}
+		}
+	}
+}
+
+// Min returns the smallest key and its payload.
+func (t *Tree) Min() (sqlval.Value, interface{}, bool) {
+	if t.size == 0 {
+		return sqlval.Value{}, nil, false
+	}
+	n := t.root
+	for !n.leaf {
+		n = n.children[0]
+	}
+	for n != nil && len(n.keys) == 0 {
+		n = n.next
+	}
+	if n == nil {
+		return sqlval.Value{}, nil, false
+	}
+	return n.keys[0], n.values[0], true
+}
+
+// Max returns the largest key and its payload.
+func (t *Tree) Max() (sqlval.Value, interface{}, bool) {
+	if t.size == 0 {
+		return sqlval.Value{}, nil, false
+	}
+	var lastK sqlval.Value
+	var lastV interface{}
+	found := false
+	// Rightmost path may end in a leaf emptied by deletes; walk the leaf
+	// chain from the start only in that unlikely case.
+	n := t.root
+	for !n.leaf {
+		n = n.children[len(n.children)-1]
+	}
+	if len(n.keys) > 0 {
+		return n.keys[len(n.keys)-1], n.values[len(n.values)-1], true
+	}
+	t.Ascend(func(k sqlval.Value, v interface{}) bool {
+		lastK, lastV, found = k, v, true
+		return true
+	})
+	return lastK, lastV, found
+}
+
+// depth returns the height of the tree (for tests/invariants).
+func (t *Tree) depth() int {
+	d := 1
+	for n := t.root; !n.leaf; n = n.children[0] {
+		d++
+	}
+	return d
+}

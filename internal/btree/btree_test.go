@@ -1,0 +1,212 @@
+package btree
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"bestpeer/internal/sqlval"
+)
+
+func TestPutGet(t *testing.T) {
+	tr := New()
+	for i := 0; i < 1000; i++ {
+		tr.Put(sqlval.Int(int64(i)), i)
+	}
+	if tr.Len() != 1000 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+	for i := 0; i < 1000; i++ {
+		v, ok := tr.Get(sqlval.Int(int64(i)))
+		if !ok || v.(int) != i {
+			t.Fatalf("Get(%d) = %v, %v", i, v, ok)
+		}
+	}
+	if _, ok := tr.Get(sqlval.Int(5000)); ok {
+		t.Error("Get of absent key returned ok")
+	}
+}
+
+func TestPutReplaces(t *testing.T) {
+	tr := New()
+	tr.Put(sqlval.Str("k"), 1)
+	prev, replaced := tr.Put(sqlval.Str("k"), 2)
+	if !replaced || prev.(int) != 1 {
+		t.Fatalf("replace: prev=%v replaced=%v", prev, replaced)
+	}
+	if tr.Len() != 1 {
+		t.Fatalf("Len after replace = %d", tr.Len())
+	}
+	v, _ := tr.Get(sqlval.Str("k"))
+	if v.(int) != 2 {
+		t.Fatalf("value after replace = %v", v)
+	}
+}
+
+func TestDelete(t *testing.T) {
+	tr := New()
+	const n = 500
+	for i := 0; i < n; i++ {
+		tr.Put(sqlval.Int(int64(i)), i)
+	}
+	for i := 0; i < n; i += 2 {
+		v, ok := tr.Delete(sqlval.Int(int64(i)))
+		if !ok || v.(int) != i {
+			t.Fatalf("Delete(%d) = %v, %v", i, v, ok)
+		}
+	}
+	if tr.Len() != n/2 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+	for i := 0; i < n; i++ {
+		_, ok := tr.Get(sqlval.Int(int64(i)))
+		if ok != (i%2 == 1) {
+			t.Fatalf("Get(%d) ok=%v after deletes", i, ok)
+		}
+	}
+	if _, ok := tr.Delete(sqlval.Int(10_000)); ok {
+		t.Error("Delete of absent key returned ok")
+	}
+}
+
+func TestAscendOrdered(t *testing.T) {
+	tr := New()
+	perm := rand.New(rand.NewSource(1)).Perm(2000)
+	for _, k := range perm {
+		tr.Put(sqlval.Int(int64(k)), k)
+	}
+	var got []int64
+	tr.Ascend(func(k sqlval.Value, v interface{}) bool {
+		got = append(got, k.AsInt())
+		return true
+	})
+	if len(got) != 2000 {
+		t.Fatalf("visited %d", len(got))
+	}
+	if !sort.SliceIsSorted(got, func(i, j int) bool { return got[i] < got[j] }) {
+		t.Error("Ascend not in key order")
+	}
+}
+
+func TestAscendEarlyStop(t *testing.T) {
+	tr := New()
+	for i := 0; i < 100; i++ {
+		tr.Put(sqlval.Int(int64(i)), i)
+	}
+	count := 0
+	tr.Ascend(func(k sqlval.Value, v interface{}) bool {
+		count++
+		return count < 10
+	})
+	if count != 10 {
+		t.Errorf("early stop visited %d", count)
+	}
+}
+
+func TestAscendRangeBounds(t *testing.T) {
+	tr := New()
+	for i := 0; i < 100; i++ {
+		tr.Put(sqlval.Int(int64(i)), i)
+	}
+	collect := func(lo, hi sqlval.Value, loInc, hiInc bool) []int64 {
+		var out []int64
+		tr.AscendRange(lo, hi, loInc, hiInc, func(k sqlval.Value, v interface{}) bool {
+			out = append(out, k.AsInt())
+			return true
+		})
+		return out
+	}
+	if got := collect(sqlval.Int(10), sqlval.Int(12), true, true); len(got) != 3 || got[0] != 10 || got[2] != 12 {
+		t.Errorf("inclusive range = %v", got)
+	}
+	if got := collect(sqlval.Int(10), sqlval.Int(12), false, false); len(got) != 1 || got[0] != 11 {
+		t.Errorf("exclusive range = %v", got)
+	}
+	if got := collect(sqlval.Null(), sqlval.Int(2), true, true); len(got) != 3 {
+		t.Errorf("unbounded below = %v", got)
+	}
+	if got := collect(sqlval.Int(97), sqlval.Null(), true, true); len(got) != 3 {
+		t.Errorf("unbounded above = %v", got)
+	}
+	if got := collect(sqlval.Int(200), sqlval.Null(), true, true); len(got) != 0 {
+		t.Errorf("empty range = %v", got)
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	tr := New()
+	if _, _, ok := tr.Min(); ok {
+		t.Error("Min on empty tree returned ok")
+	}
+	if _, _, ok := tr.Max(); ok {
+		t.Error("Max on empty tree returned ok")
+	}
+	for _, k := range []int64{5, 1, 9, 3} {
+		tr.Put(sqlval.Int(k), k)
+	}
+	if k, _, _ := tr.Min(); k.AsInt() != 1 {
+		t.Errorf("Min = %v", k)
+	}
+	if k, _, _ := tr.Max(); k.AsInt() != 9 {
+		t.Errorf("Max = %v", k)
+	}
+}
+
+func TestDepthStaysLogarithmic(t *testing.T) {
+	tr := New()
+	for i := 0; i < 100_000; i++ {
+		tr.Put(sqlval.Int(int64(i)), nil)
+	}
+	if d := tr.depth(); d > 5 {
+		t.Errorf("depth = %d for 100k sequential keys", d)
+	}
+}
+
+// TestQuickMapEquivalence drives the tree with random operations and
+// checks it agrees with a reference map at every step.
+func TestQuickMapEquivalence(t *testing.T) {
+	f := func(ops []int16) bool {
+		tr := New()
+		ref := map[int64]int{}
+		for i, op := range ops {
+			k := int64(op % 64)
+			if op >= 0 {
+				tr.Put(sqlval.Int(k), i)
+				ref[k] = i
+			} else {
+				tr.Delete(sqlval.Int(k))
+				delete(ref, k)
+			}
+		}
+		if tr.Len() != len(ref) {
+			return false
+		}
+		for k, want := range ref {
+			got, ok := tr.Get(sqlval.Int(k))
+			if !ok || got.(int) != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMixedKindKeys(t *testing.T) {
+	tr := New()
+	tr.Put(sqlval.Str("a"), "sa")
+	tr.Put(sqlval.Int(1), "i1")
+	tr.Put(sqlval.Float(0.5), "f")
+	var kinds []sqlval.Kind
+	tr.Ascend(func(k sqlval.Value, v interface{}) bool {
+		kinds = append(kinds, k.Kind())
+		return true
+	})
+	// Numeric kinds interleave by value, strings come after by kind tag.
+	if len(kinds) != 3 || kinds[2] != sqlval.KindString {
+		t.Errorf("kind ordering = %v", kinds)
+	}
+}

@@ -1,0 +1,289 @@
+// Package cloud implements the elastic infrastructure layer behind
+// BestPeer++'s adapter design (paper §2, §2.1).
+//
+// The paper separates BestPeer++ into a platform-independent core and an
+// adapter implementing an elastic infrastructure service interface; the
+// authors ship an Amazon adapter built on EC2 (instance provisioning),
+// RDS/EBS (backup and restore), and CloudWatch (health metrics). This
+// package defines that abstract interface (Adapter) and provides
+// SimProvider, an in-memory provider with the same observable behavior:
+// instance lifecycle, typed instances (m1.small, m1.large), asynchronous
+// backups, metric collection, fault injection for fail-over drills, and
+// pay-as-you-go billing by instance-hour and storage.
+package cloud
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// InstanceType describes a virtual server class.
+type InstanceType struct {
+	Name      string
+	VCores    int
+	MemoryMB  int
+	StorageGB int
+	// HourlyUSD is the pay-as-you-go rate charged per instance-hour.
+	HourlyUSD float64
+	// StorageUSDGBMonth is the storage rate per GB-month.
+	StorageUSDGBMonth float64
+}
+
+// The instance types the paper mentions (§2.1): every BestPeer++
+// instance starts as m1.small and can scale up to m1.large.
+var (
+	M1Small = InstanceType{Name: "m1.small", VCores: 1, MemoryMB: 1700, StorageGB: 5, HourlyUSD: 0.08, StorageUSDGBMonth: 0.10}
+	M1Large = InstanceType{Name: "m1.large", VCores: 4, MemoryMB: 7680, StorageGB: 50, HourlyUSD: 0.32, StorageUSDGBMonth: 0.10}
+)
+
+// NextLarger returns the next instance type up, for auto-scaling.
+func NextLarger(t InstanceType) (InstanceType, bool) {
+	if t.Name == M1Small.Name {
+		return M1Large, true
+	}
+	return t, false
+}
+
+// State is an instance's lifecycle state.
+type State string
+
+// Instance lifecycle states.
+const (
+	StateRunning    State = "running"
+	StateCrashed    State = "crashed"
+	StateTerminated State = "terminated"
+)
+
+// Instance is one provisioned virtual server.
+type Instance struct {
+	ID    string
+	Type  InstanceType
+	State State
+	// LaunchedAt is in the provider's virtual clock.
+	LaunchedAt time.Duration
+	// AccruedUSD is the pay-as-you-go charge accumulated so far.
+	AccruedUSD float64
+}
+
+// Metrics is one CloudWatch-style health sample.
+type Metrics struct {
+	CPUUtilization float64 // 0..1
+	StorageUsedGB  float64
+	Healthy        bool
+}
+
+// Snapshot is an opaque backup payload (the peer's database state).
+type Snapshot struct {
+	Data    interface{}
+	TakenAt time.Duration
+}
+
+// Adapter is the abstract elastic-infrastructure interface the
+// BestPeer++ core programs against. With an appropriate implementation
+// it ports to any cloud or on-premise environment (§2).
+type Adapter interface {
+	// Launch provisions a new instance.
+	Launch(id string, typ InstanceType) (*Instance, error)
+	// Terminate releases an instance and stops its billing.
+	Terminate(id string) error
+	// ScaleUp upgrades an instance to the next larger type.
+	ScaleUp(id string) (InstanceType, error)
+	// Backup stores a snapshot of the instance's data (the paper backs
+	// up each MySQL database to EBS in a four-minute window,
+	// asynchronously and without service interruption).
+	Backup(id string, snap Snapshot) error
+	// Restore returns the latest backup for an instance ID.
+	Restore(id string) (Snapshot, bool)
+	// Metrics polls the instance's health (CloudWatch).
+	Metrics(id string) (Metrics, bool)
+}
+
+// ErrUnknownInstance is returned for operations on absent instances.
+var ErrUnknownInstance = errors.New("cloud: unknown instance")
+
+// SimProvider is the in-memory Adapter with fault injection and a
+// virtual billing clock.
+type SimProvider struct {
+	mu        sync.Mutex
+	instances map[string]*Instance
+	backups   map[string]Snapshot
+	metrics   map[string]Metrics
+	clock     time.Duration
+}
+
+// NewSimProvider returns an empty provider.
+func NewSimProvider() *SimProvider {
+	return &SimProvider{
+		instances: make(map[string]*Instance),
+		backups:   make(map[string]Snapshot),
+		metrics:   make(map[string]Metrics),
+	}
+}
+
+// Launch provisions a new instance in the running state.
+func (p *SimProvider) Launch(id string, typ InstanceType) (*Instance, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if inst, ok := p.instances[id]; ok && inst.State != StateTerminated {
+		return nil, fmt.Errorf("cloud: instance %s already exists", id)
+	}
+	inst := &Instance{ID: id, Type: typ, State: StateRunning, LaunchedAt: p.clock}
+	p.instances[id] = inst
+	p.metrics[id] = Metrics{Healthy: true}
+	out := *inst
+	return &out, nil
+}
+
+// Terminate stops an instance.
+func (p *SimProvider) Terminate(id string) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	inst, ok := p.instances[id]
+	if !ok || inst.State == StateTerminated {
+		return fmt.Errorf("%w: %s", ErrUnknownInstance, id)
+	}
+	inst.State = StateTerminated
+	delete(p.metrics, id)
+	return nil
+}
+
+// ScaleUp upgrades the instance type (processing dimension of the
+// paper's two-dimensional scaling; the storage dimension is part of the
+// larger type's allocation).
+func (p *SimProvider) ScaleUp(id string) (InstanceType, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	inst, ok := p.instances[id]
+	if !ok || inst.State != StateRunning {
+		return InstanceType{}, fmt.Errorf("%w: %s", ErrUnknownInstance, id)
+	}
+	next, ok := NextLarger(inst.Type)
+	if !ok {
+		return inst.Type, nil
+	}
+	inst.Type = next
+	return next, nil
+}
+
+// Backup stores a snapshot. The real adapter is asynchronous with a
+// four-minute window; the simulation stores synchronously and stamps the
+// virtual clock, which preserves the property the system relies on: the
+// latest completed backup is what fail-over restores.
+func (p *SimProvider) Backup(id string, snap Snapshot) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if _, ok := p.instances[id]; !ok {
+		return fmt.Errorf("%w: %s", ErrUnknownInstance, id)
+	}
+	snap.TakenAt = p.clock
+	p.backups[id] = snap
+	return nil
+}
+
+// Restore fetches the latest backup for the ID.
+func (p *SimProvider) Restore(id string) (Snapshot, bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	s, ok := p.backups[id]
+	return s, ok
+}
+
+// Metrics polls an instance's health sample. Crashed and terminated
+// instances report not-found, which is how the bootstrap daemon detects
+// failures (an instance that "fails to respond").
+func (p *SimProvider) Metrics(id string) (Metrics, bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	inst, ok := p.instances[id]
+	if !ok || inst.State != StateRunning {
+		return Metrics{}, false
+	}
+	return p.metrics[id], true
+}
+
+// ReportMetrics lets an instance (or a test) publish its health sample,
+// as EC2 instances feed CloudWatch.
+func (p *SimProvider) ReportMetrics(id string, m Metrics) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if inst, ok := p.instances[id]; ok && inst.State == StateRunning {
+		p.metrics[id] = m
+	}
+}
+
+// Crash injects an instance failure: it stops responding to metrics and
+// all state is lost except completed backups.
+func (p *SimProvider) Crash(id string) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	inst, ok := p.instances[id]
+	if !ok || inst.State != StateRunning {
+		return fmt.Errorf("%w: %s", ErrUnknownInstance, id)
+	}
+	inst.State = StateCrashed
+	delete(p.metrics, id)
+	return nil
+}
+
+// Instance returns a copy of the instance record.
+func (p *SimProvider) Instance(id string) (Instance, bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	inst, ok := p.instances[id]
+	if !ok {
+		return Instance{}, false
+	}
+	return *inst, true
+}
+
+// Instances lists all non-terminated instances.
+func (p *SimProvider) Instances() []Instance {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	var out []Instance
+	for _, inst := range p.instances {
+		if inst.State != StateTerminated {
+			out = append(out, *inst)
+		}
+	}
+	return out
+}
+
+// AdvanceClock moves the provider's virtual clock forward, accruing
+// pay-as-you-go charges on every running instance (instance-hours plus
+// allocated storage).
+func (p *SimProvider) AdvanceClock(d time.Duration) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.clock += d
+	hours := d.Hours()
+	const hoursPerMonth = 24 * 30
+	for _, inst := range p.instances {
+		if inst.State != StateRunning {
+			continue
+		}
+		inst.AccruedUSD += hours * inst.Type.HourlyUSD
+		inst.AccruedUSD += hours / hoursPerMonth * float64(inst.Type.StorageGB) * inst.Type.StorageUSDGBMonth
+	}
+}
+
+// Clock returns the provider's virtual time.
+func (p *SimProvider) Clock() time.Duration {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.clock
+}
+
+// TotalBillUSD sums accrued charges over all instances, including
+// terminated ones (pay for what was used).
+func (p *SimProvider) TotalBillUSD() float64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	var total float64
+	for _, inst := range p.instances {
+		total += inst.AccruedUSD
+	}
+	return total
+}

@@ -1,0 +1,185 @@
+package cloud
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"time"
+)
+
+func TestLaunchTerminateLifecycle(t *testing.T) {
+	p := NewSimProvider()
+	inst, err := p.Launch("i-1", M1Small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inst.Type.Name != "m1.small" || inst.State != StateRunning {
+		t.Errorf("inst = %+v", inst)
+	}
+	if _, err := p.Launch("i-1", M1Small); err == nil {
+		t.Error("duplicate launch accepted")
+	}
+	if err := p.Terminate("i-1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Terminate("i-1"); !errors.Is(err, ErrUnknownInstance) {
+		t.Errorf("double terminate: %v", err)
+	}
+	// The ID can be relaunched after termination.
+	if _, err := p.Launch("i-1", M1Large); err != nil {
+		t.Errorf("relaunch failed: %v", err)
+	}
+}
+
+func TestScaleUp(t *testing.T) {
+	p := NewSimProvider()
+	if _, err := p.Launch("i-1", M1Small); err != nil {
+		t.Fatal(err)
+	}
+	typ, err := p.ScaleUp("i-1")
+	if err != nil || typ.Name != "m1.large" {
+		t.Errorf("ScaleUp = %v, %v", typ, err)
+	}
+	// Already at the top: no-op.
+	typ, err = p.ScaleUp("i-1")
+	if err != nil || typ.Name != "m1.large" {
+		t.Errorf("ScaleUp at top = %v, %v", typ, err)
+	}
+	if _, err := p.ScaleUp("ghost"); err == nil {
+		t.Error("ScaleUp(ghost) succeeded")
+	}
+}
+
+func TestMetricsAndCrash(t *testing.T) {
+	p := NewSimProvider()
+	if _, err := p.Launch("i-1", M1Small); err != nil {
+		t.Fatal(err)
+	}
+	if m, ok := p.Metrics("i-1"); !ok || !m.Healthy {
+		t.Errorf("fresh instance metrics = %+v, %v", m, ok)
+	}
+	p.ReportMetrics("i-1", Metrics{CPUUtilization: 0.95, StorageUsedGB: 4.9, Healthy: true})
+	m, _ := p.Metrics("i-1")
+	if m.CPUUtilization != 0.95 {
+		t.Errorf("metrics = %+v", m)
+	}
+	if err := p.Crash("i-1"); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := p.Metrics("i-1"); ok {
+		t.Error("crashed instance responds to metrics")
+	}
+	inst, _ := p.Instance("i-1")
+	if inst.State != StateCrashed {
+		t.Errorf("state = %v", inst.State)
+	}
+	if err := p.Crash("i-1"); err == nil {
+		t.Error("double crash accepted")
+	}
+}
+
+func TestBackupRestoreSurvivesCrash(t *testing.T) {
+	p := NewSimProvider()
+	if _, err := p.Launch("i-1", M1Small); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Backup("i-1", Snapshot{Data: "database-state"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Crash("i-1"); err != nil {
+		t.Fatal(err)
+	}
+	snap, ok := p.Restore("i-1")
+	if !ok || snap.Data.(string) != "database-state" {
+		t.Errorf("restore = %+v, %v", snap, ok)
+	}
+	if _, ok := p.Restore("never-backed-up"); ok {
+		t.Error("restore of absent backup succeeded")
+	}
+	if err := p.Backup("ghost", Snapshot{}); err == nil {
+		t.Error("backup of unknown instance accepted")
+	}
+}
+
+func TestBackupKeepsLatest(t *testing.T) {
+	p := NewSimProvider()
+	if _, err := p.Launch("i-1", M1Small); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Backup("i-1", Snapshot{Data: 1}); err != nil {
+		t.Fatal(err)
+	}
+	p.AdvanceClock(4 * time.Minute)
+	if err := p.Backup("i-1", Snapshot{Data: 2}); err != nil {
+		t.Fatal(err)
+	}
+	snap, _ := p.Restore("i-1")
+	if snap.Data.(int) != 2 || snap.TakenAt != 4*time.Minute {
+		t.Errorf("snap = %+v", snap)
+	}
+}
+
+func TestBillingAccrual(t *testing.T) {
+	p := NewSimProvider()
+	if _, err := p.Launch("small", M1Small); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Launch("large", M1Large); err != nil {
+		t.Fatal(err)
+	}
+	p.AdvanceClock(10 * time.Hour)
+	small, _ := p.Instance("small")
+	large, _ := p.Instance("large")
+	if small.AccruedUSD <= 0 || large.AccruedUSD <= small.AccruedUSD {
+		t.Errorf("bills: small=%v large=%v", small.AccruedUSD, large.AccruedUSD)
+	}
+	wantSmall := 10*M1Small.HourlyUSD + 10.0/(24*30)*float64(M1Small.StorageGB)*M1Small.StorageUSDGBMonth
+	if math.Abs(small.AccruedUSD-wantSmall) > 1e-9 {
+		t.Errorf("small bill = %v, want %v", small.AccruedUSD, wantSmall)
+	}
+	// Terminated instances stop accruing but keep their charges.
+	if err := p.Terminate("large"); err != nil {
+		t.Fatal(err)
+	}
+	before := p.TotalBillUSD()
+	p.AdvanceClock(10 * time.Hour)
+	after := p.TotalBillUSD()
+	if after-before <= 0 {
+		t.Error("running instance stopped accruing")
+	}
+	largeAfter, _ := p.Instance("large")
+	if largeAfter.AccruedUSD != large.AccruedUSD+large.Type.HourlyUSD*0 {
+		// terminated: unchanged
+		if largeAfter.AccruedUSD != large.AccruedUSD {
+			t.Errorf("terminated instance accrued: %v -> %v", large.AccruedUSD, largeAfter.AccruedUSD)
+		}
+	}
+}
+
+func TestInstancesListing(t *testing.T) {
+	p := NewSimProvider()
+	for _, id := range []string{"a", "b", "c"} {
+		if _, err := p.Launch(id, M1Small); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := p.Terminate("b"); err != nil {
+		t.Fatal(err)
+	}
+	list := p.Instances()
+	if len(list) != 2 {
+		t.Errorf("instances = %+v", list)
+	}
+	if _, ok := p.Instance("nope"); ok {
+		t.Error("Instance(nope) found")
+	}
+}
+
+func TestNextLarger(t *testing.T) {
+	if n, ok := NextLarger(M1Small); !ok || n.Name != M1Large.Name {
+		t.Error("small -> large broken")
+	}
+	if _, ok := NextLarger(M1Large); ok {
+		t.Error("large has larger?")
+	}
+}

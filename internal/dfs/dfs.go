@@ -1,0 +1,200 @@
+// Package dfs is the HDFS-like distributed file system mounted for
+// MapReduce processing (paper §5.4: "a Hadoop distributed file system
+// (HDFS) is mounted at system start time to serve as the temporal
+// storage media for MapReduce jobs").
+//
+// Files hold rows (the record format MapReduce jobs exchange); they are
+// chunked into blocks, and each block is placed on `replication`
+// datanodes. A read succeeds while at least one replica of every block
+// is on a live datanode — the property HadoopDB's configuration
+// (replication factor 3, §6.1.3) buys.
+package dfs
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"bestpeer/internal/sqlval"
+)
+
+// ErrNoSuchFile is returned when reading or deleting an absent path.
+var ErrNoSuchFile = errors.New("dfs: no such file")
+
+// ErrBlockUnavailable is returned when every replica of some block is on
+// a failed datanode.
+var ErrBlockUnavailable = errors.New("dfs: block unavailable")
+
+// Config sizes the file system.
+type Config struct {
+	// BlockSizeBytes chunks files (HadoopDB's benchmark setting is
+	// 256 MB; tests use small blocks to exercise chunking).
+	BlockSizeBytes int64
+	// Replication is the number of datanodes holding each block.
+	Replication int
+	// Datanodes lists the storage node IDs.
+	Datanodes []string
+}
+
+// DefaultConfig mirrors the paper's HadoopDB settings over the given
+// datanodes.
+func DefaultConfig(datanodes []string) Config {
+	return Config{BlockSizeBytes: 256 << 20, Replication: 3, Datanodes: datanodes}
+}
+
+type block struct {
+	rows     []sqlval.Row
+	bytes    int64
+	replicas []string // datanode IDs
+}
+
+type file struct {
+	blocks []block
+	bytes  int64
+}
+
+// FileSystem is the in-memory namenode plus datanode state.
+type FileSystem struct {
+	cfg Config
+
+	mu           sync.Mutex
+	files        map[string]*file
+	down         map[string]bool
+	nextDatanode int
+	bytesWritten int64 // including replication
+}
+
+// New creates a file system. Replication is capped at the datanode
+// count.
+func New(cfg Config) (*FileSystem, error) {
+	if cfg.BlockSizeBytes <= 0 {
+		return nil, fmt.Errorf("dfs: block size must be positive")
+	}
+	if len(cfg.Datanodes) == 0 {
+		return nil, fmt.Errorf("dfs: need at least one datanode")
+	}
+	if cfg.Replication < 1 {
+		cfg.Replication = 1
+	}
+	if cfg.Replication > len(cfg.Datanodes) {
+		cfg.Replication = len(cfg.Datanodes)
+	}
+	return &FileSystem{
+		cfg:   cfg,
+		files: make(map[string]*file),
+		down:  make(map[string]bool),
+	}, nil
+}
+
+// Write stores rows under path, replacing any existing file. Blocks are
+// placed round-robin across datanodes with the configured replication.
+func (fs *FileSystem) Write(path string, rows []sqlval.Row) error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	f := &file{}
+	var cur block
+	flush := func() {
+		if len(cur.rows) == 0 {
+			return
+		}
+		for r := 0; r < fs.cfg.Replication; r++ {
+			dn := fs.cfg.Datanodes[(fs.nextDatanode+r)%len(fs.cfg.Datanodes)]
+			cur.replicas = append(cur.replicas, dn)
+		}
+		fs.nextDatanode++
+		fs.bytesWritten += cur.bytes * int64(fs.cfg.Replication)
+		f.bytes += cur.bytes
+		f.blocks = append(f.blocks, cur)
+		cur = block{}
+	}
+	for _, row := range rows {
+		sz := int64(row.EncodedSize())
+		if cur.bytes+sz > fs.cfg.BlockSizeBytes && len(cur.rows) > 0 {
+			flush()
+		}
+		cur.rows = append(cur.rows, row)
+		cur.bytes += sz
+	}
+	flush()
+	fs.files[path] = f
+	return nil
+}
+
+// Read returns the file's rows. It fails if any block has no live
+// replica.
+func (fs *FileSystem) Read(path string) ([]sqlval.Row, error) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	f, ok := fs.files[path]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNoSuchFile, path)
+	}
+	var out []sqlval.Row
+	for i, b := range f.blocks {
+		alive := false
+		for _, dn := range b.replicas {
+			if !fs.down[dn] {
+				alive = true
+				break
+			}
+		}
+		if !alive {
+			return nil, fmt.Errorf("%w: %s block %d", ErrBlockUnavailable, path, i)
+		}
+		out = append(out, b.rows...)
+	}
+	return out, nil
+}
+
+// Size returns the file's logical size in bytes.
+func (fs *FileSystem) Size(path string) (int64, error) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	f, ok := fs.files[path]
+	if !ok {
+		return 0, fmt.Errorf("%w: %s", ErrNoSuchFile, path)
+	}
+	return f.bytes, nil
+}
+
+// Delete removes a file.
+func (fs *FileSystem) Delete(path string) error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if _, ok := fs.files[path]; !ok {
+		return fmt.Errorf("%w: %s", ErrNoSuchFile, path)
+	}
+	delete(fs.files, path)
+	return nil
+}
+
+// List returns all paths (unordered).
+func (fs *FileSystem) List() []string {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	out := make([]string, 0, len(fs.files))
+	for p := range fs.files {
+		out = append(out, p)
+	}
+	return out
+}
+
+// SetDatanodeDown marks a datanode failed or recovered.
+func (fs *FileSystem) SetDatanodeDown(id string, down bool) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if down {
+		fs.down[id] = true
+	} else {
+		delete(fs.down, id)
+	}
+}
+
+// BytesWritten returns the cumulative physical bytes written (logical
+// bytes times replication), which the cost model charges for HDFS
+// output.
+func (fs *FileSystem) BytesWritten() int64 {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	return fs.bytesWritten
+}

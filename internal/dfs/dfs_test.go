@@ -1,0 +1,173 @@
+package dfs
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"bestpeer/internal/sqlval"
+)
+
+func rows(n int) []sqlval.Row {
+	out := make([]sqlval.Row, n)
+	for i := range out {
+		out[i] = sqlval.Row{sqlval.Int(int64(i)), sqlval.Str("payload")}
+	}
+	return out
+}
+
+func newFS(t *testing.T, blockSize int64, replication int, datanodes int) *FileSystem {
+	t.Helper()
+	var dns []string
+	for i := 0; i < datanodes; i++ {
+		dns = append(dns, fmt.Sprintf("dn-%d", i))
+	}
+	fs, err := New(Config{BlockSizeBytes: blockSize, Replication: replication, Datanodes: dns})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fs
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	fs := newFS(t, 1<<20, 3, 4)
+	in := rows(100)
+	if err := fs.Write("/job/out", in); err != nil {
+		t.Fatal(err)
+	}
+	out, err := fs.Read("/job/out")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 100 {
+		t.Fatalf("read %d rows", len(out))
+	}
+	for i := range out {
+		if out[i][0].AsInt() != int64(i) {
+			t.Fatalf("row %d = %v", i, out[i])
+		}
+	}
+}
+
+func TestChunkingIntoBlocks(t *testing.T) {
+	// Rows are ~17 bytes each; a 40-byte block holds 2.
+	fs := newFS(t, 40, 1, 3)
+	if err := fs.Write("/f", rows(10)); err != nil {
+		t.Fatal(err)
+	}
+	f := fs.files["/f"]
+	if len(f.blocks) < 4 {
+		t.Errorf("blocks = %d, want chunking", len(f.blocks))
+	}
+	out, err := fs.Read("/f")
+	if err != nil || len(out) != 10 {
+		t.Fatalf("read = %d rows, %v", len(out), err)
+	}
+}
+
+func TestReplicationSurvivesDatanodeFailure(t *testing.T) {
+	fs := newFS(t, 64, 3, 5)
+	if err := fs.Write("/f", rows(50)); err != nil {
+		t.Fatal(err)
+	}
+	fs.SetDatanodeDown("dn-0", true)
+	fs.SetDatanodeDown("dn-1", true)
+	if _, err := fs.Read("/f"); err != nil {
+		t.Errorf("read with 2/5 datanodes down: %v", err)
+	}
+}
+
+func TestReadFailsWhenAllReplicasDown(t *testing.T) {
+	fs := newFS(t, 1<<20, 1, 2)
+	if err := fs.Write("/f", rows(10)); err != nil {
+		t.Fatal(err)
+	}
+	fs.SetDatanodeDown("dn-0", true)
+	fs.SetDatanodeDown("dn-1", true)
+	if _, err := fs.Read("/f"); !errors.Is(err, ErrBlockUnavailable) {
+		t.Errorf("err = %v", err)
+	}
+	fs.SetDatanodeDown("dn-0", false)
+	if _, err := fs.Read("/f"); err != nil {
+		t.Errorf("read after recovery: %v", err)
+	}
+}
+
+func TestDeleteAndList(t *testing.T) {
+	fs := newFS(t, 1<<20, 1, 1)
+	if err := fs.Write("/a", rows(1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Write("/b", rows(1)); err != nil {
+		t.Fatal(err)
+	}
+	if len(fs.List()) != 2 {
+		t.Errorf("list = %v", fs.List())
+	}
+	if err := fs.Delete("/a"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fs.Read("/a"); !errors.Is(err, ErrNoSuchFile) {
+		t.Errorf("read deleted: %v", err)
+	}
+	if err := fs.Delete("/a"); !errors.Is(err, ErrNoSuchFile) {
+		t.Errorf("double delete: %v", err)
+	}
+}
+
+func TestSizeAndBytesWritten(t *testing.T) {
+	fs := newFS(t, 1<<20, 3, 3)
+	in := rows(10)
+	var logical int64
+	for _, r := range in {
+		logical += int64(r.EncodedSize())
+	}
+	if err := fs.Write("/f", in); err != nil {
+		t.Fatal(err)
+	}
+	size, err := fs.Size("/f")
+	if err != nil || size != logical {
+		t.Errorf("size = %d, want %d (%v)", size, logical, err)
+	}
+	if fs.BytesWritten() != logical*3 {
+		t.Errorf("bytes written = %d, want %d (x3 replication)", fs.BytesWritten(), logical*3)
+	}
+	if _, err := fs.Size("/ghost"); !errors.Is(err, ErrNoSuchFile) {
+		t.Errorf("size of ghost: %v", err)
+	}
+}
+
+func TestOverwriteReplaces(t *testing.T) {
+	fs := newFS(t, 1<<20, 1, 1)
+	if err := fs.Write("/f", rows(10)); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Write("/f", rows(3)); err != nil {
+		t.Fatal(err)
+	}
+	out, _ := fs.Read("/f")
+	if len(out) != 3 {
+		t.Errorf("rows after overwrite = %d", len(out))
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	if _, err := New(Config{BlockSizeBytes: 0, Datanodes: []string{"a"}}); err == nil {
+		t.Error("zero block size accepted")
+	}
+	if _, err := New(Config{BlockSizeBytes: 1, Datanodes: nil}); err == nil {
+		t.Error("no datanodes accepted")
+	}
+	// Replication capped at datanode count.
+	fs, err := New(Config{BlockSizeBytes: 1 << 20, Replication: 5, Datanodes: []string{"a", "b"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fs.cfg.Replication != 2 {
+		t.Errorf("replication = %d", fs.cfg.Replication)
+	}
+	def := DefaultConfig([]string{"a", "b", "c", "d"})
+	if def.Replication != 3 || def.BlockSizeBytes != 256<<20 {
+		t.Errorf("default = %+v", def)
+	}
+}

@@ -1,0 +1,220 @@
+package engine
+
+import (
+	"errors"
+	"sort"
+
+	"bestpeer/internal/indexer"
+	"bestpeer/internal/mapreduce"
+	"bestpeer/internal/sqldb"
+	"bestpeer/internal/sqlval"
+	"bestpeer/internal/vtime"
+)
+
+// ErrSnapshotNewer is the Definition 2 rejection: the data owner's
+// database snapshot is newer than the query's timestamp, so it cannot
+// answer for the snapshot the query names; the query processor must
+// terminate and resubmit the query with a fresh timestamp.
+var ErrSnapshotNewer = errors.New("engine: peer snapshot newer than query timestamp; resubmit")
+
+// SubQueryRequest is a single-table data retrieval pushed to a data
+// owner peer. The receiving peer executes it against its local database
+// under the requesting user's access role.
+type SubQueryRequest struct {
+	Stmt *sqldb.SelectStmt
+	// User identifies the submitting user for access-control rewriting
+	// at the data owner ("" = benchmark full-access user).
+	User string
+	// Timestamp is the query's logical submission time (Definition 2).
+	// Zero disables the snapshot check (local tooling).
+	Timestamp uint64
+	// Bloom, when set with BloomColumn, makes the data owner drop rows
+	// whose BloomColumn value cannot match the filter before returning
+	// (bloom join, §5.2).
+	BloomColumn string
+	Bloom       *Bloom
+}
+
+// JoinTask asks a data peer to act as a processing node of the parallel
+// P2P engine (§5.3, Fig. 4): it fetches its local partition with Local,
+// joins it with the replicated Shipped rows on the given keys, applies
+// Residual conditions over the combined layout, and — when Partial is
+// set — pre-aggregates the joined rows before returning them.
+type JoinTask struct {
+	Local SubQueryRequest
+	// Shipped is the replicated intermediate result; its layout is
+	// ShippedBindings. Combined rows are shipped columns followed by
+	// local columns.
+	Shipped         []sqlval.Row
+	ShippedBindings []sqldb.Binding
+	// LocalBinding describes the local partition's columns in the
+	// combined layout.
+	LocalBinding sqldb.Binding
+	// ShippedKeys/LocalKeys are the equi-join key expressions over the
+	// shipped and local layouts respectively.
+	ShippedKeys []sqldb.Expr
+	LocalKeys   []sqldb.Expr
+	// Residual conditions are evaluated over the combined layout.
+	Residual []sqldb.Expr
+	// Partial, when non-nil, aggregates the combined rows at the
+	// processing node (distributed partial aggregation).
+	Partial *sqldb.SelectStmt
+}
+
+// Backend is the surface the engines program against; the peer package
+// implements it over pnet, local databases, access control, and the
+// BATON-based locator.
+type Backend interface {
+	// Self is the query submitting peer's ID.
+	Self() string
+	// Schema resolves a global table's schema.
+	Schema(table string) *sqldb.Schema
+	// Locate resolves the data owner peers for one table access.
+	Locate(table string, conjuncts []sqldb.Expr, columns []string) (indexer.Location, error)
+	// Gate enforces strong consistency: it fails (or blocks until
+	// recovery) when any peer's data scope is offline (§3.2).
+	Gate(peers []string) error
+	// SubQuery executes a single-table subquery at a data owner peer.
+	SubQuery(peer string, req SubQueryRequest) (*sqldb.Result, error)
+	// JoinAt executes a replicated-join task at a processing node.
+	JoinAt(peer string, task JoinTask) (*sqldb.Result, error)
+	// MR returns the MapReduce cluster, or nil when not mounted.
+	MR() *mapreduce.Cluster
+	// QueryTimestamp returns the logical time to stamp a new query with
+	// (Definition 2); zero disables snapshot checking.
+	QueryTimestamp() uint64
+	// Rates returns the virtual-time cost rates.
+	Rates() vtime.Rates
+}
+
+// QueryResult is a completed distributed query.
+type QueryResult struct {
+	Result *sqldb.Result
+	// Engine names the strategy that ran: "basic", "parallel",
+	// "mapreduce", or "single-peer".
+	Engine string
+	// Cost is the query's virtual-time latency.
+	Cost vtime.Cost
+	// Peers lists the data peers contacted.
+	Peers []string
+	// SubQueries counts remote data retrievals.
+	SubQueries int
+	// BytesFetched is the volume shipped to the submitting peer.
+	BytesFetched int64
+	// BytesScanned is the remote disk volume read.
+	BytesScanned int64
+	// IndexKind reports which index type located the data owners.
+	IndexKind indexer.IndexKind
+	// Resubmissions counts Definition 2 retries before this result.
+	Resubmissions int
+	// PayGoUnits is the pay-as-you-go charge for this query under Eq. 1,
+	// C = (α+β)·N + γ·t, applied to the measured quantities: disk bytes
+	// scanned, bytes shipped, and processing seconds (§5: "BestPeer++
+	// charges the user for data retrieval, network bandwidth usages and
+	// query processing").
+	PayGoUnits float64
+}
+
+// chargePayGo computes and stores the query's Eq. 1 charge.
+func (qr *QueryResult) chargePayGo(p CostParams) {
+	qr.PayGoUnits = p.Alpha*float64(qr.BytesScanned) +
+		p.BetaBP*float64(qr.BytesFetched) +
+		p.Gamma*qr.Cost.CPU.Seconds()
+}
+
+// Options tune the engines; the zero value disables nothing (defaults
+// on). The ablation benchmarks flip individual flags.
+type Options struct {
+	// DisableBloomJoin turns off the bloom-join optimization.
+	DisableBloomJoin bool
+	// DisableSinglePeer turns off the single-peer optimization
+	// (§6.2.3).
+	DisableSinglePeer bool
+	// PushIntermediateTransfer models the paper's pull-vs-push ablation:
+	// false (default) keeps BestPeer++'s push transfers; true adds the
+	// MapReduce-style pull delay to every fetch round.
+	SimulatePullTransfer bool
+}
+
+// tableAccess is one FROM entry's resolved access plan.
+type tableAccess struct {
+	ref       sqldb.TableRef
+	schema    *sqldb.Schema
+	columns   []string
+	subSchema *sqldb.Schema
+	conjuncts []sqldb.Expr
+	loc       indexer.Location
+}
+
+// resolveAccess locates data owners and builds push-down plans for every
+// FROM entry.
+func resolveAccess(b Backend, stmt *sqldb.SelectStmt) ([]*tableAccess, []sqldb.Expr, error) {
+	schemas := make([]*sqldb.Schema, len(stmt.From))
+	for i, ref := range stmt.From {
+		s := b.Schema(ref.Table)
+		if s == nil {
+			return nil, nil, &UnknownTableError{Table: ref.Table}
+		}
+		schemas[i] = s
+	}
+	perTable, cross := sqldb.SplitConjunctsPerTable(stmt.Where, stmt.From, schemas)
+	out := make([]*tableAccess, len(stmt.From))
+	for i, ref := range stmt.From {
+		cols := sqldb.NeededColumns(stmt, ref, schemas[i])
+		sub, err := sqldb.SubSchema(schemas[i], cols)
+		if err != nil {
+			return nil, nil, err
+		}
+		loc, err := b.Locate(ref.Table, perTable[i], cols)
+		if err != nil {
+			return nil, nil, err
+		}
+		out[i] = &tableAccess{
+			ref:       ref,
+			schema:    schemas[i],
+			columns:   cols,
+			subSchema: sub,
+			conjuncts: perTable[i],
+			loc:       loc,
+		}
+	}
+	return out, cross, nil
+}
+
+// UnknownTableError reports a FROM table absent from the global schema.
+type UnknownTableError struct{ Table string }
+
+func (e *UnknownTableError) Error() string {
+	return "engine: unknown global table " + e.Table
+}
+
+// allPeers unions the access plans' peer lists, sorted.
+func allPeers(accesses []*tableAccess) []string {
+	set := make(map[string]bool)
+	for _, a := range accesses {
+		for _, p := range a.loc.Peers {
+			set[p] = true
+		}
+	}
+	out := make([]string, 0, len(set))
+	for p := range set {
+		out = append(out, p)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// singleCommonPeer reports whether one peer hosts every involved table
+// (the single-peer optimization's trigger).
+func singleCommonPeer(accesses []*tableAccess) (string, bool) {
+	peers := allPeers(accesses)
+	if len(peers) != 1 {
+		return "", false
+	}
+	for _, a := range accesses {
+		if len(a.loc.Peers) != 1 {
+			return "", false
+		}
+	}
+	return peers[0], true
+}

@@ -1,0 +1,177 @@
+package engine
+
+import (
+	"fmt"
+	"sort"
+	"testing"
+
+	"bestpeer/internal/dfs"
+	"bestpeer/internal/indexer"
+	"bestpeer/internal/mapreduce"
+	"bestpeer/internal/sqldb"
+	"bestpeer/internal/sqlval"
+	"bestpeer/internal/tpch"
+	"bestpeer/internal/vtime"
+)
+
+// testBackend is an in-memory Backend for engine tests: per-peer
+// databases, table-index-style location, and an optional MR cluster.
+type testBackend struct {
+	self    string
+	dbs     map[string]*sqldb.DB
+	schemas map[string]*sqldb.Schema
+	rates   vtime.Rates
+	mr      *mapreduce.Cluster
+	offline map[string]bool
+}
+
+func (b *testBackend) Self() string { return b.self }
+
+func (b *testBackend) Schema(table string) *sqldb.Schema { return b.schemas[table] }
+
+func (b *testBackend) Locate(table string, _ []sqldb.Expr, _ []string) (indexer.Location, error) {
+	loc := indexer.Location{Kind: indexer.KindTable}
+	var peers []string
+	for id := range b.dbs {
+		peers = append(peers, id)
+	}
+	sort.Strings(peers)
+	for _, id := range peers {
+		t := b.dbs[id].Table(table)
+		if t == nil || t.NumRows() == 0 {
+			continue
+		}
+		loc.Peers = append(loc.Peers, id)
+		loc.Entries = append(loc.Entries, indexer.TableEntry{
+			Table: table, Peer: id, Rows: int64(t.NumRows()), Bytes: t.DataBytes(),
+		})
+	}
+	if len(loc.Peers) == 0 {
+		loc.Kind = indexer.KindNone
+	}
+	return loc, nil
+}
+
+func (b *testBackend) Gate(peers []string) error {
+	for _, p := range peers {
+		if b.offline[p] {
+			return fmt.Errorf("engine test: peer %s offline", p)
+		}
+	}
+	return nil
+}
+
+func (b *testBackend) SubQuery(peer string, req SubQueryRequest) (*sqldb.Result, error) {
+	db, ok := b.dbs[peer]
+	if !ok {
+		return nil, fmt.Errorf("engine test: unknown peer %s", peer)
+	}
+	if b.offline[peer] {
+		return nil, fmt.Errorf("engine test: peer %s offline", peer)
+	}
+	res, err := db.ExecStmt(req.Stmt)
+	if err != nil {
+		return nil, err
+	}
+	ApplyBloomToResult(res, req.BloomColumn, req.Bloom)
+	return res, nil
+}
+
+func (b *testBackend) JoinAt(peer string, task JoinTask) (*sqldb.Result, error) {
+	local, err := b.SubQuery(peer, task.Local)
+	if err != nil {
+		return nil, err
+	}
+	res, err := ExecuteJoinTask(task, local.Rows)
+	if err != nil {
+		return nil, err
+	}
+	res.Stats.BytesScanned = local.Stats.BytesScanned
+	res.Stats.RowsScanned = local.Stats.RowsScanned
+	for _, r := range res.Rows {
+		res.Stats.BytesReturned += int64(r.EncodedSize())
+	}
+	return res, nil
+}
+
+func (b *testBackend) MR() *mapreduce.Cluster { return b.mr }
+
+func (b *testBackend) QueryTimestamp() uint64 { return 0 }
+
+func (b *testBackend) Rates() vtime.Rates { return b.rates }
+
+// newTPCHBackend builds peers each holding a TPC-H partition, plus an
+// oracle DB merging all partitions for expected results.
+func newTPCHBackend(t *testing.T, peers int, sf float64) (*testBackend, *sqldb.DB) {
+	t.Helper()
+	b := &testBackend{
+		self:    "peer-00",
+		dbs:     make(map[string]*sqldb.DB),
+		schemas: make(map[string]*sqldb.Schema),
+		rates:   vtime.DefaultRates(),
+		offline: make(map[string]bool),
+	}
+	for _, s := range tpch.Schemas(false) {
+		b.schemas[s.Table] = s
+	}
+	oracle := sqldb.NewDB()
+	var dns []string
+	for i := 0; i < peers; i++ {
+		id := fmt.Sprintf("peer-%02d", i)
+		dns = append(dns, id)
+		db := sqldb.NewDB()
+		sc := tpch.Scale{ScaleFactor: sf, Peer: i, NumPeers: peers, NationKey: -1}
+		if err := tpch.Generate(db, sc); err != nil {
+			t.Fatal(err)
+		}
+		if err := tpch.Generate(oracle, sc); err != nil {
+			t.Fatal(err)
+		}
+		b.dbs[id] = db
+	}
+	fs, err := dfs.New(dfs.Config{BlockSizeBytes: 1 << 20, Replication: 2, Datanodes: dns})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cluster, err := mapreduce.NewCluster(fs, peers, b.rates)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.mr = cluster
+	return b, oracle
+}
+
+// canonical renders a result as sorted row strings for order-insensitive
+// comparison, normalizing numeric formatting.
+func canonical(res *sqldb.Result) []string {
+	out := make([]string, 0, len(res.Rows))
+	for _, row := range res.Rows {
+		s := ""
+		for i, v := range row {
+			if i > 0 {
+				s += "|"
+			}
+			if v.Numeric() || v.Kind() == sqlval.KindDate {
+				s += fmt.Sprintf("%.4f", v.AsFloat())
+			} else {
+				s += v.String()
+			}
+		}
+		out = append(out, s)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func assertSameResult(t *testing.T, name string, got, want *sqldb.Result) {
+	t.Helper()
+	g, w := canonical(got), canonical(want)
+	if len(g) != len(w) {
+		t.Fatalf("%s: got %d rows, want %d", name, len(g), len(w))
+	}
+	for i := range g {
+		if g[i] != w[i] {
+			t.Fatalf("%s: row %d differs:\n got  %s\n want %s", name, i, g[i], w[i])
+		}
+	}
+}

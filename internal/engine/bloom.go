@@ -1,0 +1,131 @@
+package engine
+
+import (
+	"errors"
+	"math"
+
+	"bestpeer/internal/sqlval"
+)
+
+// Bloom is the bloom filter used by the bloom-join optimization (§5.2:
+// "for equi-join queries, the system employs bloom join algorithm to
+// reduce the volume of data transmitted through the network"). The
+// query submitting peer builds a filter over the join keys it already
+// holds and ships it with the subquery; the remote peer drops tuples
+// whose keys cannot match before sending them back.
+type Bloom struct {
+	bits   []uint64
+	k      int
+	mBits  uint64
+	adds   int
+	hashes [8]uint64 // salt per hash function
+}
+
+// NewBloom sizes a filter for n expected keys at ~1% false positives.
+func NewBloom(n int) *Bloom {
+	if n < 1 {
+		n = 1
+	}
+	m := uint64(math.Ceil(float64(n) * 9.6)) // bits per key for p≈0.01
+	if m < 64 {
+		m = 64
+	}
+	words := (m + 63) / 64
+	b := &Bloom{bits: make([]uint64, words), k: 7, mBits: words * 64}
+	for i := range b.hashes {
+		b.hashes[i] = 0x9e3779b97f4a7c15 * uint64(i+1)
+	}
+	return b
+}
+
+func (b *Bloom) positions(v sqlval.Value) []uint64 {
+	h := v.Hash()
+	out := make([]uint64, b.k)
+	for i := 0; i < b.k; i++ {
+		x := h ^ b.hashes[i]
+		x ^= x >> 33
+		x *= 0xff51afd7ed558ccd
+		x ^= x >> 33
+		out[i] = x % b.mBits
+	}
+	return out
+}
+
+// Add inserts a key.
+func (b *Bloom) Add(v sqlval.Value) {
+	for _, p := range b.positions(v) {
+		b.bits[p/64] |= 1 << (p % 64)
+	}
+	b.adds++
+}
+
+// MayContain reports whether the key could be present (false = certainly
+// absent).
+func (b *Bloom) MayContain(v sqlval.Value) bool {
+	for _, p := range b.positions(v) {
+		if b.bits[p/64]&(1<<(p%64)) == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Len returns the number of added keys.
+func (b *Bloom) Len() int { return b.adds }
+
+// SizeBytes returns the filter's transfer size for cost accounting.
+func (b *Bloom) SizeBytes() int64 { return int64(len(b.bits) * 8) }
+
+// GobEncode lets filters ship to data owners over the TCP transport.
+func (b *Bloom) GobEncode() ([]byte, error) {
+	out := make([]byte, 0, 8*(len(b.bits)+len(b.hashes))+24)
+	putU64 := func(v uint64) {
+		for i := 0; i < 8; i++ {
+			out = append(out, byte(v>>(8*i)))
+		}
+	}
+	putU64(uint64(len(b.bits)))
+	for _, w := range b.bits {
+		putU64(w)
+	}
+	putU64(uint64(b.k))
+	putU64(b.mBits)
+	putU64(uint64(b.adds))
+	for _, h := range b.hashes {
+		putU64(h)
+	}
+	return out, nil
+}
+
+// GobDecode is the inverse of GobEncode.
+func (b *Bloom) GobDecode(data []byte) error {
+	if len(data) < 8 {
+		return errShortBloom
+	}
+	pos := 0
+	getU64 := func() uint64 {
+		var v uint64
+		for i := 0; i < 8; i++ {
+			v |= uint64(data[pos+i]) << (8 * i)
+		}
+		pos += 8
+		return v
+	}
+	n := int(getU64())
+	if len(data) < 8*(n+4+len(b.hashes)) {
+		return errShortBloom
+	}
+	b.bits = make([]uint64, n)
+	for i := range b.bits {
+		b.bits[i] = getU64()
+	}
+	b.k = int(getU64())
+	b.mBits = getU64()
+	b.adds = int(getU64())
+	for i := range b.hashes {
+		b.hashes[i] = getU64()
+	}
+	return nil
+}
+
+var errShortBloom = errors.New("engine: short bloom filter payload")

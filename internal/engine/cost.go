@@ -1,0 +1,170 @@
+// Package engine implements BestPeer++'s pay-as-you-go query processing
+// (paper §5): the basic fetch-and-process strategy, the parallel P2P
+// strategy with replicated joins over a processing graph, the
+// MapReduce strategy with symmetric hash joins, and the adaptive planner
+// that chooses between them using the paper's cost models.
+package engine
+
+import "bestpeer/internal/vtime"
+
+// CostParams carries the cost-model constants of Table 3 and §5.2.
+type CostParams struct {
+	// Alpha is the cost ratio of local disk usage (per byte).
+	Alpha float64
+	// BetaBP is the network cost ratio of the P2P engine (per byte).
+	BetaBP float64
+	// BetaMR is the network cost ratio of the MapReduce engine (per
+	// byte); MapReduce shuffles each tuple once per level instead of
+	// replicating it, but its transfers go through HDFS materialization.
+	BetaMR float64
+	// Gamma is the cost of using one processing node for a second
+	// (Eq. 1).
+	Gamma float64
+	// Mu is u in Eq. 2: bytes one processing node works through per
+	// second.
+	Mu float64
+	// Phi is ϕ in Eq. 9: the constant per-job overhead of configuring
+	// and launching a MapReduce job, expressed in byte-equivalents of
+	// work (measured at runtime, per the paper, and adjusted by the
+	// statistics module's feedback loop).
+	Phi float64
+}
+
+// DefaultCostParams derives byte-cost ratios from the virtual-time
+// rates: a byte of disk, network, or CPU work costs time 1/rate, and ϕ
+// is the startup cost converted through µ.
+func DefaultCostParams(r vtime.Rates) CostParams {
+	return CostParams{
+		Alpha:  1 / r.DiskBytesPerSec,
+		BetaBP: 1 / r.NetBytesPerSec,
+		BetaMR: 1.5 / r.NetBytesPerSec, // shuffle + HDFS materialization
+		Gamma:  1,
+		Mu:     r.CPUBytesPerSec,
+		Phi:    r.MRJobStartup.Seconds() * r.CPUBytesPerSec,
+	}
+}
+
+// CBasic implements Eq. 2: the charge for the basic strategy processing
+// N bytes on a single node, C = (α+β)·N + γ·N/µ.
+func (p CostParams) CBasic(n int64) float64 {
+	return (p.Alpha+p.BetaBP)*float64(n) + p.Gamma*float64(n)/p.Mu
+}
+
+// Level describes one level of a processing graph (Definition 3): the
+// table joined at this level, its size in bytes, its partition count
+// t(T_i), and the join selectivity g(i) relating the level's output to
+// its inputs (Eq. 4: s(i) = s(i+1)·S(T_i)·g(i)).
+type Level struct {
+	Table      string
+	SizeBytes  float64 // S(T_i)
+	Partitions int     // t(T_i)
+	G          float64 // g(i)
+}
+
+// IntermediateSizes returns s(i) for i = L..1 (index 0 is level L, the
+// leaves), via the recurrence of Eq. 5 with s(L+1) = 1.
+func IntermediateSizes(levels []Level) []float64 {
+	out := make([]float64, len(levels))
+	s := 1.0
+	for i, lv := range levels {
+		s = s * lv.SizeBytes * lv.G
+		out[i] = s
+	}
+	return out
+}
+
+// CBP implements Eq. 8: the parallel P2P engine's cost. The workload of
+// level i is W(i) = t(T_i)·s(i+1) (Eq. 3: the level-(i+1) intermediate
+// result is broadcast to every partition of T_i), and the total charge
+// is (α+β_BP)·ΣW(i).
+func (p CostParams) CBP(levels []Level) float64 {
+	var total float64
+	sPrev := 1.0
+	for _, lv := range levels {
+		w := float64(lv.Partitions) * sPrev
+		total += w
+		sPrev = sPrev * lv.SizeBytes * lv.G
+	}
+	return (p.Alpha + p.BetaBP) * total
+}
+
+// CMR implements Eq. 11: the MapReduce engine's cost. The workload of
+// level i is W(i) = s(i+1) + S(T_i) + ϕ (Eq. 9: each tuple is shuffled
+// once per level, plus the job-launch overhead), and the total charge is
+// (α+β_MR)·ΣW(i).
+func (p CostParams) CMR(levels []Level) float64 {
+	var total float64
+	sPrev := 1.0
+	for _, lv := range levels {
+		total += sPrev + lv.SizeBytes + p.Phi
+		sPrev = sPrev * lv.SizeBytes * lv.G
+	}
+	return (p.Alpha + p.BetaMR) * total
+}
+
+// PredictLatencyBP converts the P2P processing-graph workload into a
+// virtual-time estimate: each level broadcasts the previous intermediate
+// result to t partitions and processes partition+intermediate in
+// parallel.
+func (p CostParams) PredictLatencyBP(levels []Level, rates vtime.Rates) vtime.Cost {
+	var cost vtime.Cost
+	sPrev := 1.0
+	for _, lv := range levels {
+		broadcast := float64(lv.Partitions) * sPrev
+		perNode := sPrev + lv.SizeBytes/float64(maxInt(lv.Partitions, 1))
+		cost = cost.Add(rates.NetTransfer(int64(broadcast)))
+		cost = cost.Add(rates.CPUWork(int64(perNode)))
+		sPrev = sPrev * lv.SizeBytes * lv.G
+	}
+	return cost
+}
+
+// PredictLatencyMR converts the MapReduce workload into a virtual-time
+// estimate: one job per level (startup + pull delay), scanning the
+// level's table partition-parallel and shuffling the intermediate
+// result once.
+func (p CostParams) PredictLatencyMR(levels []Level, rates vtime.Rates) vtime.Cost {
+	var cost vtime.Cost
+	sPrev := 1.0
+	for _, lv := range levels {
+		cost = cost.Add(rates.JobStartup(1)).Add(rates.PullDelay(1))
+		parts := maxInt(lv.Partitions, 1)
+		cost = cost.Add(rates.DiskRead(int64(lv.SizeBytes / float64(parts))))
+		cost = cost.Add(rates.NetTransfer(int64((sPrev + lv.SizeBytes) / float64(parts))))
+		cost = cost.Add(rates.CPUWork(int64((sPrev + lv.SizeBytes) / float64(parts))))
+		sPrev = sPrev * lv.SizeBytes * lv.G
+	}
+	return cost
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Feedback is the statistics module's feedback loop (§5.5): measured
+// selectivities from executed queries refine later estimates. Keys are
+// per (table, level) pairs.
+type Feedback struct {
+	g map[string]float64
+}
+
+// NewFeedback returns an empty feedback store.
+func NewFeedback() *Feedback { return &Feedback{g: make(map[string]float64)} }
+
+// Record stores a measured selectivity for a table's join level.
+func (f *Feedback) Record(table string, g float64) {
+	if g > 0 {
+		f.g[table] = g
+	}
+}
+
+// Lookup returns the recorded selectivity, or def when none measured.
+func (f *Feedback) Lookup(table string, def float64) float64 {
+	if v, ok := f.g[table]; ok {
+		return v
+	}
+	return def
+}

@@ -1,0 +1,309 @@
+package engine
+
+import (
+	"testing"
+
+	"bestpeer/internal/sqldb"
+	"bestpeer/internal/sqlval"
+	"bestpeer/internal/tpch"
+	"bestpeer/internal/vtime"
+)
+
+func schemaOf(t *testing.T) func(string) *sqldb.Schema {
+	t.Helper()
+	schemas := map[string]*sqldb.Schema{}
+	for _, s := range tpch.Schemas(false) {
+		schemas[s.Table] = s
+	}
+	return func(name string) *sqldb.Schema { return schemas[name] }
+}
+
+func TestDecomposeNonAggregate(t *testing.T) {
+	stmt, _ := sqldb.ParseSelect(`SELECT l_orderkey FROM lineitem`)
+	_, ok, err := DecomposeAggregates(stmt, schemaOf(t))
+	if err != nil || ok {
+		t.Errorf("plain select decomposed: %v %v", ok, err)
+	}
+}
+
+func TestDecomposeSumCount(t *testing.T) {
+	stmt, _ := sqldb.ParseSelect(`SELECT COUNT(*), SUM(l_quantity) FROM lineitem WHERE l_quantity > 5`)
+	d, ok, err := DecomposeAggregates(stmt, schemaOf(t))
+	if err != nil || !ok {
+		t.Fatalf("decompose: %v %v", ok, err)
+	}
+	if len(d.PartialSchema.Columns) != 2 {
+		t.Fatalf("partial columns = %+v", d.PartialSchema.Columns)
+	}
+	// Simulate two peers' partials: (count, sum).
+	partials := []sqlval.Row{
+		{sqlval.Int(3), sqlval.Int(30)},
+		{sqlval.Int(2), sqlval.Int(12)},
+	}
+	res, err := sqldb.ProjectRows(d.Merge, []sqldb.Binding{{Alias: "partial", Schema: d.PartialSchema}}, partials)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rows[0][0].AsInt() != 5 || res.Rows[0][1].AsInt() != 42 {
+		t.Errorf("merged = %v", res.Rows[0])
+	}
+}
+
+func TestDecomposeAvgAsSumOverCount(t *testing.T) {
+	stmt, _ := sqldb.ParseSelect(`SELECT AVG(l_quantity) FROM lineitem`)
+	d, ok, err := DecomposeAggregates(stmt, schemaOf(t))
+	if err != nil || !ok {
+		t.Fatal(err)
+	}
+	// Partial = (sum, count); peers: (10, 2) and (20, 3) -> avg 6.
+	partials := []sqlval.Row{
+		{sqlval.Int(10), sqlval.Int(2)},
+		{sqlval.Int(20), sqlval.Int(3)},
+	}
+	res, err := sqldb.ProjectRows(d.Merge, []sqldb.Binding{{Alias: "partial", Schema: d.PartialSchema}}, partials)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rows[0][0].AsFloat() != 6 {
+		t.Errorf("avg = %v", res.Rows[0][0])
+	}
+}
+
+func TestDecomposeGroupByHaving(t *testing.T) {
+	stmt, _ := sqldb.ParseSelect(`SELECT l_returnflag, MIN(l_quantity), MAX(l_quantity) FROM lineitem GROUP BY l_returnflag HAVING COUNT(*) > 1 ORDER BY l_returnflag`)
+	d, ok, err := DecomposeAggregates(stmt, schemaOf(t))
+	if err != nil || !ok {
+		t.Fatal(err)
+	}
+	// Partial schema: g0, min, max, count-for-having.
+	if len(d.PartialSchema.Columns) != 4 {
+		t.Fatalf("partial schema = %+v", d.PartialSchema.Columns)
+	}
+	partials := []sqlval.Row{
+		{sqlval.Str("A"), sqlval.Int(1), sqlval.Int(5), sqlval.Int(1)},
+		{sqlval.Str("A"), sqlval.Int(2), sqlval.Int(9), sqlval.Int(2)},
+		{sqlval.Str("B"), sqlval.Int(4), sqlval.Int(4), sqlval.Int(1)},
+	}
+	res, err := sqldb.ProjectRows(d.Merge, []sqldb.Binding{{Alias: "partial", Schema: d.PartialSchema}}, partials)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Group B has count 1: HAVING filters it.
+	if len(res.Rows) != 1 || res.Rows[0][0].AsString() != "A" {
+		t.Fatalf("rows = %+v", res.Rows)
+	}
+	if res.Rows[0][1].AsInt() != 1 || res.Rows[0][2].AsInt() != 9 {
+		t.Errorf("min/max = %v/%v", res.Rows[0][1], res.Rows[0][2])
+	}
+}
+
+func TestDecomposeRejectsStar(t *testing.T) {
+	stmt, _ := sqldb.ParseSelect(`SELECT * FROM lineitem GROUP BY l_returnflag`)
+	if _, _, err := DecomposeAggregates(stmt, schemaOf(t)); err == nil {
+		t.Error("star + group by accepted")
+	}
+}
+
+func TestMergePartialRowsOps(t *testing.T) {
+	d := &Decomposition{PartialMergeOps: []string{"key", "SUM", "MIN", "MAX"}}
+	rows := []sqlval.Row{
+		{sqlval.Str("k"), sqlval.Int(10), sqlval.Int(5), sqlval.Int(5)},
+		{sqlval.Str("k"), sqlval.Null(), sqlval.Int(2), sqlval.Int(9)},
+		{sqlval.Str("k"), sqlval.Int(1), sqlval.Null(), sqlval.Null()},
+	}
+	out := d.MergePartialRows(rows)
+	if out[0].AsString() != "k" || out[1].AsInt() != 11 || out[2].AsInt() != 2 || out[3].AsInt() != 9 {
+		t.Errorf("merged = %v", out)
+	}
+	if d.MergePartialRows(nil) != nil {
+		t.Error("empty merge not nil")
+	}
+	// NULL-led SUM picks up later values.
+	rows2 := []sqlval.Row{
+		{sqlval.Str("k"), sqlval.Null(), sqlval.Int(1), sqlval.Int(1)},
+		{sqlval.Str("k"), sqlval.Int(7), sqlval.Int(1), sqlval.Int(1)},
+	}
+	if got := d.MergePartialRows(rows2); got[1].AsInt() != 7 {
+		t.Errorf("NULL-led sum = %v", got[1])
+	}
+}
+
+func TestBloomFilterBasics(t *testing.T) {
+	b := NewBloom(1000)
+	for i := 0; i < 1000; i++ {
+		b.Add(sqlval.Int(int64(i)))
+	}
+	for i := 0; i < 1000; i++ {
+		if !b.MayContain(sqlval.Int(int64(i))) {
+			t.Fatalf("false negative on %d", i)
+		}
+	}
+	fp := 0
+	for i := 10_000; i < 20_000; i++ {
+		if b.MayContain(sqlval.Int(int64(i))) {
+			fp++
+		}
+	}
+	if fp > 300 { // ~1% target; allow 3%
+		t.Errorf("false positives = %d / 10000", fp)
+	}
+	if b.Len() != 1000 || b.SizeBytes() <= 0 {
+		t.Errorf("len/size = %d/%d", b.Len(), b.SizeBytes())
+	}
+}
+
+func TestApplyBloomToResult(t *testing.T) {
+	bloom := NewBloom(4)
+	bloom.Add(sqlval.Int(1))
+	bloom.Add(sqlval.Int(2))
+	res := &sqldb.Result{
+		Columns: []string{"k", "v"},
+		Rows: []sqlval.Row{
+			{sqlval.Int(1), sqlval.Str("a")},
+			{sqlval.Int(99), sqlval.Str("b")},
+			{sqlval.Int(2), sqlval.Str("c")},
+		},
+	}
+	dropped := ApplyBloomToResult(res, "K", bloom) // case-insensitive
+	if dropped != 1 || len(res.Rows) != 2 {
+		t.Errorf("dropped=%d rows=%d", dropped, len(res.Rows))
+	}
+	if res.Stats.RowsReturned != 2 || res.Stats.BytesReturned <= 0 {
+		t.Errorf("stats = %+v", res.Stats)
+	}
+	// Missing column or nil bloom: no-op.
+	if ApplyBloomToResult(res, "ghost", bloom) != 0 {
+		t.Error("ghost column filtered")
+	}
+	if ApplyBloomToResult(res, "k", nil) != 0 {
+		t.Error("nil bloom filtered")
+	}
+}
+
+func TestCostModelEquations(t *testing.T) {
+	p := CostParams{Alpha: 1, BetaBP: 2, BetaMR: 3, Gamma: 4, Mu: 2, Phi: 10}
+	// Eq. 2: CBasic = (α+β)N + γN/µ = 3*100 + 4*50 = 500.
+	if got := p.CBasic(100); got != 500 {
+		t.Errorf("CBasic = %v", got)
+	}
+	levels := []Level{
+		{Table: "a", SizeBytes: 100, Partitions: 1, G: 0.01}, // s1 = 1
+		{Table: "b", SizeBytes: 200, Partitions: 4, G: 0.01}, // s2 = 2
+	}
+	// CBP: W = 1*1 + 4*1 = 5; (α+βBP)=3 -> 15.
+	if got := p.CBP(levels); got != 15 {
+		t.Errorf("CBP = %v", got)
+	}
+	// CMR: W = (1+100+10) + (1+200+10) = 322; (α+βMR)=4 -> 1288.
+	if got := p.CMR(levels); got != 1288 {
+		t.Errorf("CMR = %v", got)
+	}
+	sizes := IntermediateSizes(levels)
+	if sizes[0] != 1 || sizes[1] != 2 {
+		t.Errorf("sizes = %v", sizes)
+	}
+}
+
+func TestFeedbackStore(t *testing.T) {
+	f := NewFeedback()
+	if got := f.Lookup("t", 0.5); got != 0.5 {
+		t.Errorf("default = %v", got)
+	}
+	f.Record("t", 0.1)
+	if got := f.Lookup("t", 0.5); got != 0.1 {
+		t.Errorf("recorded = %v", got)
+	}
+	f.Record("t", -1) // invalid selectivity ignored
+	if got := f.Lookup("t", 0.5); got != 0.1 {
+		t.Errorf("invalid overwrote: %v", got)
+	}
+}
+
+func TestPredictLatencies(t *testing.T) {
+	r := vtime.DefaultRates()
+	p := DefaultCostParams(r)
+	small := []Level{
+		{Table: "a", SizeBytes: 1e6, Partitions: 1, G: 1e-6},
+		{Table: "b", SizeBytes: 1e6, Partitions: 4, G: 1e-6},
+	}
+	big := []Level{
+		{Table: "a", SizeBytes: 1e9, Partitions: 1, G: 1e-9},
+		{Table: "b", SizeBytes: 1e9, Partitions: 4, G: 1e-9},
+	}
+	bpSmall := p.PredictLatencyBP(small, r).Total()
+	bpBig := p.PredictLatencyBP(big, r).Total()
+	if bpBig <= bpSmall {
+		t.Errorf("BP latency not monotone in size: %v vs %v", bpSmall, bpBig)
+	}
+	mr := p.PredictLatencyMR(small, r)
+	// Two levels = two jobs' worth of startup and pull delay.
+	wantStartup := 2 * (r.MRJobStartup + r.MRPullDelay)
+	if mr.Startup != wantStartup {
+		t.Errorf("MR predicted startup = %v, want %v", mr.Startup, wantStartup)
+	}
+	// For tiny inputs the MR prediction is startup-dominated and exceeds
+	// the P2P prediction.
+	if mr.Total() <= bpSmall {
+		t.Errorf("MR prediction %v <= BP %v on tiny input", mr.Total(), bpSmall)
+	}
+}
+
+func TestBloomGobRoundTrip(t *testing.T) {
+	b := NewBloom(100)
+	for i := 0; i < 100; i++ {
+		b.Add(sqlval.Int(int64(i * 3)))
+	}
+	data, err := b.GobEncode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Bloom
+	if err := back.GobDecode(data); err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != b.Len() || back.SizeBytes() != b.SizeBytes() {
+		t.Errorf("metadata changed: %d/%d vs %d/%d", back.Len(), back.SizeBytes(), b.Len(), b.SizeBytes())
+	}
+	for i := 0; i < 100; i++ {
+		if !back.MayContain(sqlval.Int(int64(i * 3))) {
+			t.Fatalf("false negative after round trip at %d", i*3)
+		}
+	}
+	if err := back.GobDecode([]byte{1}); err == nil {
+		t.Error("short payload accepted")
+	}
+	if err := back.GobDecode(make([]byte, 16)); err == nil {
+		t.Error("truncated payload accepted")
+	}
+}
+
+func TestRouteKeyMultiColumn(t *testing.T) {
+	b := []sqldb.Binding{{Alias: "t", Schema: &sqldb.Schema{Table: "t", Columns: []sqldb.Column{
+		{Name: "a", Kind: sqlval.KindInt}, {Name: "b", Kind: sqlval.KindString},
+	}}}}
+	keys := []sqldb.Expr{&sqldb.ColumnRef{Column: "a"}, &sqldb.ColumnRef{Column: "b"}}
+	r1 := sqlval.Row{sqlval.Int(1), sqlval.Str("x")}
+	r2 := sqlval.Row{sqlval.Int(1), sqlval.Str("x")}
+	r3 := sqlval.Row{sqlval.Int(2), sqlval.Str("x")}
+	k1, err := routeKey(b, keys, r1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k2, _ := routeKey(b, keys, r2)
+	k3, _ := routeKey(b, keys, r3)
+	if !sqlval.Equal(k1, k2) {
+		t.Error("equal keys routed differently")
+	}
+	if sqlval.Equal(k1, k3) {
+		t.Error("different keys routed identically (exact collision)")
+	}
+	if k, _ := routeKey(b, nil, r1); !k.IsNull() {
+		t.Errorf("empty key list = %v", k)
+	}
+	if k := groupKeyOf(sqlval.Row{sqlval.Int(1), sqlval.Int(2)}); k.Kind() != sqlval.KindString {
+		t.Errorf("multi group key kind = %v", k.Kind())
+	}
+	if k := groupKeyOf(nil); !k.IsNull() {
+		t.Errorf("empty group key = %v", k)
+	}
+}

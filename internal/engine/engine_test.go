@@ -1,0 +1,351 @@
+package engine
+
+import (
+	"strings"
+	"testing"
+
+	"bestpeer/internal/sqldb"
+	"bestpeer/internal/tpch"
+	"bestpeer/internal/vtime"
+)
+
+// paperQueries are the five benchmark queries of §6.1.
+func paperQueries() map[string]string {
+	return map[string]string{
+		"Q1": tpch.Q1Default(),
+		"Q2": tpch.Q2Default(),
+		"Q3": tpch.Q3Default(),
+		"Q4": tpch.Q4Default(),
+		"Q5": tpch.Q5(),
+	}
+}
+
+// TestEnginesAgreeWithOracle runs every benchmark query on every engine
+// and checks the distributed results against a single merged database.
+func TestEnginesAgreeWithOracle(t *testing.T) {
+	b, oracle := newTPCHBackend(t, 4, 0.004)
+	for name, q := range paperQueries() {
+		stmt, err := sqldb.ParseSelect(q)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		want, err := oracle.ExecStmt(stmt)
+		if err != nil {
+			t.Fatalf("%s oracle: %v", name, err)
+		}
+		engines := map[string]interface {
+			Execute(*sqldb.SelectStmt) (*QueryResult, error)
+		}{
+			"basic":     &Basic{B: b},
+			"parallel":  &Parallel{B: b},
+			"mapreduce": &MapReduce{B: b},
+			"adaptive":  NewAdaptive(b, Options{}, ""),
+		}
+		for ename, e := range engines {
+			got, err := e.Execute(stmt)
+			if err != nil {
+				t.Fatalf("%s on %s: %v", name, ename, err)
+			}
+			assertSameResult(t, name+"/"+ename, got.Result, want)
+			if got.Cost.Total() <= 0 {
+				t.Errorf("%s on %s: zero cost", name, ename)
+			}
+		}
+	}
+}
+
+func TestBasicSelectionContactsAllPeers(t *testing.T) {
+	b, _ := newTPCHBackend(t, 4, 0.002)
+	stmt, _ := sqldb.ParseSelect(tpch.Q1Default())
+	e := &Basic{B: b}
+	qr, err := e.Execute(stmt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(qr.Peers) != 4 || qr.SubQueries != 4 {
+		t.Errorf("peers=%v subqueries=%d", qr.Peers, qr.SubQueries)
+	}
+	if qr.Engine != "basic" {
+		t.Errorf("engine = %s", qr.Engine)
+	}
+}
+
+func TestAggregationShipsPartialsNotRows(t *testing.T) {
+	b, _ := newTPCHBackend(t, 4, 0.004)
+	agg, _ := sqldb.ParseSelect(tpch.Q2Default())
+	raw, _ := sqldb.ParseSelect(`SELECT l_extendedprice, l_discount FROM lineitem WHERE l_shipdate > DATE '1998-06-01'`)
+	e := &Basic{B: b}
+	aggRes, err := e.Execute(agg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rawRes, err := e.Execute(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if aggRes.BytesFetched*10 > rawRes.BytesFetched {
+		t.Errorf("partial aggregation fetched %d bytes, raw rows %d — expected ≥10x reduction",
+			aggRes.BytesFetched, rawRes.BytesFetched)
+	}
+}
+
+func TestBloomJoinReducesTransfer(t *testing.T) {
+	b, _ := newTPCHBackend(t, 3, 0.004)
+	// A selective predicate on orders makes most lineitem rows bloom out.
+	q := `SELECT l.l_extendedprice, o.o_totalprice FROM orders o JOIN lineitem l ON o.o_orderkey = l.l_orderkey WHERE o.o_orderdate > DATE '1998-06-01'`
+	stmt, err := sqldb.ParseSelect(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	with := &Basic{B: b}
+	without := &Basic{B: b, Opts: Options{DisableBloomJoin: true}}
+	rWith, err := with.Execute(stmt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rWithout, err := without.Execute(stmt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameResult(t, "bloom equivalence", rWith.Result, rWithout.Result)
+	if rWith.BytesFetched >= rWithout.BytesFetched {
+		t.Errorf("bloom join fetched %d >= %d without", rWith.BytesFetched, rWithout.BytesFetched)
+	}
+}
+
+func TestGateBlocksOfflinePeers(t *testing.T) {
+	b, _ := newTPCHBackend(t, 3, 0.002)
+	b.offline["peer-01"] = true
+	stmt, _ := sqldb.ParseSelect(tpch.Q1Default())
+	if _, err := (&Basic{B: b}).Execute(stmt); err == nil {
+		t.Error("query over offline peer's scope succeeded (strong consistency violated)")
+	}
+}
+
+func TestUnknownTableError(t *testing.T) {
+	b, _ := newTPCHBackend(t, 2, 0.002)
+	stmt, _ := sqldb.ParseSelect(`SELECT x FROM ghost`)
+	_, err := (&Basic{B: b}).Execute(stmt)
+	if err == nil || !strings.Contains(err.Error(), "ghost") {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestEmptyLocationYieldsEmptyResult(t *testing.T) {
+	b, _ := newTPCHBackend(t, 2, 0.002)
+	// Region exists in schema but only peer-00 generated it; drop it to
+	// simulate a table with no publishers.
+	for _, db := range b.dbs {
+		db.DropTable("region")
+	}
+	stmt, _ := sqldb.ParseSelect(`SELECT r_name FROM region`)
+	qr, err := (&Basic{B: b}).Execute(stmt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(qr.Result.Rows) != 0 {
+		t.Errorf("rows = %d", len(qr.Result.Rows))
+	}
+}
+
+func TestMapReduceJobShapePerQuery(t *testing.T) {
+	b, _ := newTPCHBackend(t, 3, 0.002)
+	r := b.rates
+	cases := []struct {
+		name    string
+		sql     string
+		minJobs int
+		maxJobs int
+	}{
+		{"Q1 map-only", tpch.Q1Default(), 1, 1},
+		{"Q2 one job", tpch.Q2Default(), 1, 1},
+		{"Q3 one join job", tpch.Q3Default(), 1, 1},
+		{"Q4 join+agg", tpch.Q4Default(), 2, 2},
+		{"Q5 three joins + agg", tpch.Q5(), 4, 4},
+	}
+	for _, c := range cases {
+		stmt, _ := sqldb.ParseSelect(c.sql)
+		qr, err := (&MapReduce{B: b}).Execute(stmt)
+		if err != nil {
+			t.Fatalf("%s: %v", c.name, err)
+		}
+		jobs := int(qr.Cost.Startup / (r.MRJobStartup + r.MRPullDelay))
+		if qr.Cost.Startup%(r.MRJobStartup+r.MRPullDelay) != 0 {
+			// Map-only jobs have no pull delay; count by startup alone.
+			jobs = int(qr.Cost.Startup / r.MRJobStartup)
+		}
+		if jobs < c.minJobs || jobs > c.maxJobs {
+			t.Errorf("%s: %d jobs (startup %v), want %d..%d", c.name, jobs, qr.Cost.Startup, c.minJobs, c.maxJobs)
+		}
+	}
+}
+
+func TestParallelFasterThanBasicOnJoins(t *testing.T) {
+	b, _ := newTPCHBackend(t, 4, 0.004)
+	stmt, _ := sqldb.ParseSelect(tpch.Q4Default())
+	basic, err := (&Basic{B: b}).Execute(stmt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := (&Parallel{B: b}).Execute(stmt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The parallel engine spreads the join CPU across nodes; its CPU
+	// component should not meaningfully exceed the basic engine's
+	// (small fixed overheads aside).
+	if par.Cost.CPU > basic.Cost.CPU*11/10 {
+		t.Errorf("parallel CPU %v > basic CPU %v", par.Cost.CPU, basic.Cost.CPU)
+	}
+}
+
+func TestAdaptivePrefersP2PForSmallAndMRForLarge(t *testing.T) {
+	params := DefaultCostParams(vtime.DefaultRates())
+	small := []Level{
+		{Table: "a", SizeBytes: 1e6, Partitions: 1, G: 1},
+		{Table: "b", SizeBytes: 1e6, Partitions: 5, G: 1e-6},
+	}
+	if params.CBP(small) >= params.CMR(small) {
+		t.Errorf("small workload: CBP %v >= CMR %v (ϕ should dominate)", params.CBP(small), params.CMR(small))
+	}
+	big := []Level{
+		{Table: "a", SizeBytes: 5e9, Partitions: 1, G: 1},
+		{Table: "b", SizeBytes: 5e9, Partitions: 50, G: 2e-10},
+		{Table: "c", SizeBytes: 5e9, Partitions: 50, G: 2e-10},
+		{Table: "d", SizeBytes: 5e9, Partitions: 50, G: 2e-10},
+	}
+	if params.CBP(big) <= params.CMR(big) {
+		t.Errorf("big workload: CBP %v <= CMR %v (replication should dominate)", params.CBP(big), params.CMR(big))
+	}
+}
+
+func TestAdaptiveExecutesChosenEngine(t *testing.T) {
+	b, oracle := newTPCHBackend(t, 3, 0.002)
+	a := NewAdaptive(b, Options{}, "")
+	stmt, _ := sqldb.ParseSelect(tpch.Q5())
+	plan, err := a.Plan(stmt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Engine != "parallel" && plan.Engine != "mapreduce" {
+		t.Fatalf("plan engine = %s", plan.Engine)
+	}
+	qr, err := a.Execute(stmt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(qr.Engine, "adaptive(") {
+		t.Errorf("engine = %s", qr.Engine)
+	}
+	want, _ := oracle.ExecStmt(stmt)
+	assertSameResult(t, "adaptive Q5", qr.Result, want)
+	// Feedback was recorded for the joined tables.
+	if len(a.FB.g) == 0 {
+		t.Error("no feedback recorded")
+	}
+}
+
+func TestPlanSingleTableSkipsCostComparison(t *testing.T) {
+	b, _ := newTPCHBackend(t, 2, 0.002)
+	a := NewAdaptive(b, Options{}, "")
+	stmt, _ := sqldb.ParseSelect(tpch.Q1Default())
+	plan, err := a.Plan(stmt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Engine != "parallel" || len(plan.Levels) != 0 {
+		t.Errorf("plan = %+v", plan)
+	}
+}
+
+func TestPayGoChargeRecorded(t *testing.T) {
+	b, _ := newTPCHBackend(t, 3, 0.003)
+	small, err := (&Basic{B: b}).Execute(mustSelect(t, tpch.Q1Default()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	big, err := (&Basic{B: b}).Execute(mustSelect(t, tpch.Q5()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if small.PayGoUnits <= 0 || big.PayGoUnits <= 0 {
+		t.Fatalf("charges = %v / %v", small.PayGoUnits, big.PayGoUnits)
+	}
+	// The heavier query costs more (Eq. 1 is monotone in bytes processed).
+	if big.PayGoUnits <= small.PayGoUnits {
+		t.Errorf("Q5 charge %v <= Q1 charge %v", big.PayGoUnits, small.PayGoUnits)
+	}
+	for name, e := range map[string]interface {
+		Execute(*sqldb.SelectStmt) (*QueryResult, error)
+	}{
+		"parallel": &Parallel{B: b}, "mapreduce": &MapReduce{B: b},
+	} {
+		qr, err := e.Execute(mustSelect(t, tpch.Q4Default()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if qr.PayGoUnits <= 0 {
+			t.Errorf("%s charge = %v", name, qr.PayGoUnits)
+		}
+	}
+}
+
+func mustSelect(t *testing.T, sql string) *sqldb.SelectStmt {
+	t.Helper()
+	stmt, err := sqldb.ParseSelect(sql)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return stmt
+}
+
+// TestCrossTableNonEquiPredicate: a residual (non-equi) cross-table
+// condition applies correctly in every engine.
+func TestCrossTableNonEquiPredicate(t *testing.T) {
+	b, oracle := newTPCHBackend(t, 3, 0.003)
+	sql := `SELECT o.o_orderkey, l.l_extendedprice FROM orders o
+		JOIN lineitem l ON o.o_orderkey = l.l_orderkey
+		WHERE l.l_extendedprice * 4 > o.o_totalprice`
+	stmt := mustSelect(t, sql)
+	want, err := oracle.ExecStmt(stmt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(want.Rows) == 0 {
+		t.Fatal("test query selects nothing; adjust the predicate")
+	}
+	for name, e := range map[string]interface {
+		Execute(*sqldb.SelectStmt) (*QueryResult, error)
+	}{
+		"basic": &Basic{B: b}, "parallel": &Parallel{B: b}, "mapreduce": &MapReduce{B: b},
+	} {
+		got, err := e.Execute(stmt)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		assertSameResult(t, "non-equi/"+name, got.Result, want)
+	}
+}
+
+// TestIsNullSurvivesDistribution: masked/NULL-aware predicates behave
+// identically distributed and local.
+func TestIsNullSurvivesDistribution(t *testing.T) {
+	b, oracle := newTPCHBackend(t, 2, 0.002)
+	// No generated column is NULL, so IS NOT NULL keeps everything and
+	// IS NULL keeps nothing — both sides must agree.
+	for _, sql := range []string{
+		`SELECT COUNT(*) FROM lineitem WHERE l_comment IS NOT NULL`,
+		`SELECT COUNT(*) FROM lineitem WHERE l_comment IS NULL`,
+	} {
+		stmt := mustSelect(t, sql)
+		want, err := oracle.ExecStmt(stmt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := (&Basic{B: b}).Execute(stmt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		assertSameResult(t, sql, got.Result, want)
+	}
+}

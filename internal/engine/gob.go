@@ -1,0 +1,8 @@
+package engine
+
+import "bestpeer/internal/pnet"
+
+// Register the engine payloads for the TCP transport.
+func init() {
+	pnet.RegisterPayload(SubQueryRequest{}, JoinTask{}, &Bloom{})
+}

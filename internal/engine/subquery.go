@@ -1,0 +1,42 @@
+package engine
+
+import (
+	"strings"
+
+	"bestpeer/internal/sqldb"
+)
+
+// ApplyBloomToResult performs the data-owner side of a bloom join:
+// rows whose filter-column value cannot appear in the filter are
+// dropped before the result ships back. The peer package and test
+// backends share it. It returns the number of rows dropped.
+func ApplyBloomToResult(res *sqldb.Result, column string, bloom *Bloom) int {
+	if bloom == nil || column == "" {
+		return 0
+	}
+	ci := -1
+	for i, c := range res.Columns {
+		if strings.EqualFold(c, column) {
+			ci = i
+			break
+		}
+	}
+	if ci < 0 {
+		return 0
+	}
+	kept := res.Rows[:0]
+	dropped := 0
+	var keptBytes int64
+	for _, row := range res.Rows {
+		if bloom.MayContain(row[ci]) {
+			kept = append(kept, row)
+			keptBytes += int64(row.EncodedSize())
+		} else {
+			dropped++
+		}
+	}
+	res.Rows = kept
+	res.Stats.RowsReturned = int64(len(kept))
+	res.Stats.BytesReturned = keptBytes
+	return dropped
+}

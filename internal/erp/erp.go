@@ -1,0 +1,72 @@
+// Package erp simulates the production systems (the paper names SAP and
+// PeopleSoft) that corporate-network participants extract shared data
+// from. A System stores relations under its own *local* schema — its own
+// table names, column names, column order, and local vocabulary — and
+// keeps mutating while the business operates, which is exactly the
+// consistency challenge the BestPeer++ data loader solves (§4.2).
+package erp
+
+import (
+	"fmt"
+
+	"bestpeer/internal/sqldb"
+	"bestpeer/internal/sqlval"
+)
+
+// System is one synthetic production system.
+type System struct {
+	// Kind names the product family (e.g. "SAP", "PeopleSoft"); the
+	// schema-mapping templates are keyed by it.
+	Kind string
+	db   *sqldb.DB
+}
+
+// NewSystem creates an empty production system of the given kind.
+func NewSystem(kind string) *System {
+	return &System{Kind: kind, db: sqldb.NewDB()}
+}
+
+// CreateTable declares one local relation.
+func (s *System) CreateTable(schema *sqldb.Schema) error {
+	_, err := s.db.CreateTable(schema)
+	return err
+}
+
+// Schema returns the local schema of a table, or nil.
+func (s *System) Schema(table string) *sqldb.Schema {
+	t := s.db.Table(table)
+	if t == nil {
+		return nil
+	}
+	return t.Schema()
+}
+
+// Tables lists the local table names.
+func (s *System) Tables() []string { return s.db.TableNames() }
+
+// Insert adds a business record.
+func (s *System) Insert(table string, row sqlval.Row) error {
+	return s.db.InsertRow(table, row)
+}
+
+// Exec runs arbitrary SQL against the production store; business
+// activity in tests and examples uses it to mutate data between loader
+// refreshes.
+func (s *System) Exec(sql string) (*sqldb.Result, error) {
+	return s.db.Exec(sql)
+}
+
+// Extract snapshots all rows of a local table in insertion order. This
+// is the loader's only read path into the production system.
+func (s *System) Extract(table string) ([]sqlval.Row, error) {
+	t := s.db.Table(table)
+	if t == nil {
+		return nil, fmt.Errorf("erp: %s has no table %s", s.Kind, table)
+	}
+	out := make([]sqlval.Row, 0, t.NumRows())
+	t.Scan(func(_ int, row sqlval.Row) bool {
+		out = append(out, row.Clone())
+		return true
+	})
+	return out, nil
+}

@@ -1,0 +1,80 @@
+package erp
+
+import (
+	"testing"
+
+	"bestpeer/internal/sqldb"
+	"bestpeer/internal/sqlval"
+)
+
+func newSys(t *testing.T) *System {
+	t.Helper()
+	s := NewSystem("SAP")
+	err := s.CreateTable(&sqldb.Schema{
+		Table: "t",
+		Columns: []sqldb.Column{
+			{Name: "id", Kind: sqlval.KindInt},
+			{Name: "name", Kind: sqlval.KindString},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestExtractSnapshotsRows(t *testing.T) {
+	s := newSys(t)
+	for i := 0; i < 5; i++ {
+		if err := s.Insert("t", sqlval.Row{sqlval.Int(int64(i)), sqlval.Str("n")}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rows, err := s.Extract("t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 5 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	// Extracted rows are clones: mutating them must not affect the store.
+	rows[0][0] = sqlval.Int(999)
+	again, _ := s.Extract("t")
+	if again[0][0].AsInt() == 999 {
+		t.Error("Extract returned aliased rows")
+	}
+}
+
+func TestExtractUnknownTable(t *testing.T) {
+	s := newSys(t)
+	if _, err := s.Extract("missing"); err == nil {
+		t.Error("Extract(missing) succeeded")
+	}
+}
+
+func TestExecMutatesStore(t *testing.T) {
+	s := newSys(t)
+	if _, err := s.Exec(`INSERT INTO t VALUES (1, 'a'), (2, 'b')`); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Exec(`DELETE FROM t WHERE id = 1`); err != nil {
+		t.Fatal(err)
+	}
+	rows, _ := s.Extract("t")
+	if len(rows) != 1 || rows[0][0].AsInt() != 2 {
+		t.Errorf("rows = %+v", rows)
+	}
+}
+
+func TestSchemaAndTables(t *testing.T) {
+	s := newSys(t)
+	if s.Schema("t") == nil || s.Schema("x") != nil {
+		t.Error("Schema lookup broken")
+	}
+	if tables := s.Tables(); len(tables) != 1 || tables[0] != "t" {
+		t.Errorf("Tables = %v", tables)
+	}
+	if s.Kind != "SAP" {
+		t.Errorf("Kind = %q", s.Kind)
+	}
+}

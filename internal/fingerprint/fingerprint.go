@@ -1,0 +1,68 @@
+// Package fingerprint implements 32-bit Rabin fingerprinting (Rabin,
+// 1981), used by the data loader to detect changed tuples between
+// consecutive snapshots of a production system (paper §4.2: "the system
+// first fingerprints every tuple of the tables in the two snapshots to a
+// unique integer. We use 32Bits Rabin fingerprinting method").
+//
+// A Rabin fingerprint treats the input as a polynomial over GF(2) and
+// reduces it modulo a fixed irreducible polynomial of degree 32. Equal
+// tuples always produce equal fingerprints; distinct tuples collide with
+// probability ~2^-32, which the loader tolerates by comparing full
+// tuples on fingerprint equality.
+package fingerprint
+
+// Poly is the default irreducible polynomial of degree 32 used by the
+// data loader: x^32 + x^7 + x^3 + x^2 + 1. The degree-32 term is
+// implicit in the reduction; the constant below holds the low 32
+// coefficients.
+const Poly uint32 = 0x0000008D
+
+// Table is a precomputed byte-at-a-time reduction table for one
+// polynomial.
+type Table struct {
+	shift [256]uint32
+}
+
+// NewTable builds the reduction table for the given degree-32
+// polynomial (low coefficients only; the x^32 term is implicit): entry b
+// holds b(x)·x^32 mod (x^32 + poly).
+func NewTable(poly uint32) *Table {
+	t := &Table{}
+	for b := 0; b < 256; b++ {
+		t.shift[b] = reduce64(uint64(b)<<32, poly)
+	}
+	return t
+}
+
+// reduce64 reduces a 64-bit polynomial modulo x^32 + poly.
+func reduce64(v uint64, poly uint32) uint32 {
+	p := uint64(poly) | 1<<32
+	for i := 63; i >= 32; i-- {
+		if v&(1<<uint(i)) != 0 {
+			v ^= p << uint(i-32)
+		}
+	}
+	return uint32(v)
+}
+
+// defaultTable is the shared table for Poly.
+var defaultTable = NewTable(Poly)
+
+// Fingerprint returns the 32-bit Rabin fingerprint of data under the
+// default polynomial.
+func Fingerprint(data []byte) uint32 {
+	var fp uint32
+	for _, b := range data {
+		fp = (fp << 8) ^ uint32(b) ^ defaultTable.shift[fp>>24]
+	}
+	return fp
+}
+
+// String fingerprints a string without copying it to a byte slice.
+func String(s string) uint32 {
+	var fp uint32
+	for i := 0; i < len(s); i++ {
+		fp = (fp << 8) ^ uint32(s[i]) ^ defaultTable.shift[fp>>24]
+	}
+	return fp
+}

@@ -1,0 +1,93 @@
+package fingerprint
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterministic(t *testing.T) {
+	a := Fingerprint([]byte("hello world"))
+	b := Fingerprint([]byte("hello world"))
+	if a != b {
+		t.Errorf("non-deterministic: %x vs %x", a, b)
+	}
+}
+
+func TestStringMatchesBytes(t *testing.T) {
+	f := func(s string) bool {
+		return String(s) == Fingerprint([]byte(s))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDistinguishesNearInputs(t *testing.T) {
+	pairs := [][2]string{
+		{"1|a|2020-01-01", "1|a|2020-01-02"},
+		{"1|a", "1|b"},
+		{"", "0"},
+		{"ab", "ba"},
+		{"tuple", "tuplE"},
+	}
+	for _, p := range pairs {
+		if String(p[0]) == String(p[1]) {
+			t.Errorf("collision: %q vs %q", p[0], p[1])
+		}
+	}
+}
+
+func TestEmptyInput(t *testing.T) {
+	if Fingerprint(nil) != 0 {
+		t.Error("empty fingerprint nonzero")
+	}
+}
+
+// TestLinearity verifies the defining algebraic property of Rabin
+// fingerprints: fp is the input polynomial reduced mod P, so reducing a
+// degree-shifted polynomial step by step must agree with the table-driven
+// byte-at-a-time computation.
+func TestLinearity(t *testing.T) {
+	f := func(data []byte) bool {
+		if len(data) > 6 {
+			data = data[:6] // keep the naive 64-bit reduction in range
+		}
+		// Naive: build the polynomial in a big int... for <= 4 bytes the
+		// value fits 64 bits pre-reduction after each step.
+		var fp uint32
+		for _, b := range data {
+			fp = reduce64(uint64(fp)<<8|uint64(b), Poly)
+		}
+		return fp == Fingerprint(data)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestUniformish(t *testing.T) {
+	// Bucket fingerprints of sequential inputs; no bucket should be
+	// wildly over-populated (sanity, not a rigorous statistical test).
+	const n = 10000
+	buckets := make([]int, 16)
+	for i := 0; i < n; i++ {
+		fp := String(string(rune('a'+i%26)) + string(rune('0'+i%10)) + string(rune(i)))
+		buckets[fp%16]++
+	}
+	for i, c := range buckets {
+		if c > n/4 {
+			t.Errorf("bucket %d holds %d of %d", i, c, n)
+		}
+	}
+}
+
+func BenchmarkFingerprint1K(b *testing.B) {
+	data := make([]byte, 1024)
+	for i := range data {
+		data[i] = byte(i)
+	}
+	b.SetBytes(1024)
+	for i := 0; i < b.N; i++ {
+		Fingerprint(data)
+	}
+}

@@ -1,0 +1,198 @@
+// Package hadoopdb implements the HadoopDB baseline the paper
+// benchmarks BestPeer++ against (§6.1; Abouzeid et al., VLDB 2009).
+//
+// HadoopDB's architecture: every worker node runs a task tracker plus a
+// local PostgreSQL instance (here: internal/sqldb); an SMS planner
+// compiles SQL into MapReduce jobs, pushing selections and projections
+// into the local databases through the map-side DB connector; joins run
+// reduce-side, one job per join level, with intermediate results in
+// HDFS. Per the paper's benchmark configuration:
+//
+//   - the Global/Local Hasher co-partitioning is disabled (businesses do
+//     not move raw data between nodes, §6.1.5), so every join shuffles;
+//   - the reducer count is set manually to the worker count (the default
+//     single reducer "yields poor performance", §6.1.8);
+//   - HDFS runs with replication factor 3 and 256 MB blocks (§6.1.3).
+package hadoopdb
+
+import (
+	"fmt"
+	"sort"
+
+	"bestpeer/internal/dfs"
+	"bestpeer/internal/engine"
+	"bestpeer/internal/indexer"
+	"bestpeer/internal/mapreduce"
+	"bestpeer/internal/sqldb"
+	"bestpeer/internal/tpch"
+	"bestpeer/internal/vtime"
+)
+
+// Cluster is a running HadoopDB deployment.
+type Cluster struct {
+	workers map[string]*sqldb.DB
+	order   []string
+	schemas map[string]*sqldb.Schema
+	fs      *dfs.FileSystem
+	mr      *mapreduce.Cluster
+	rates   vtime.Rates
+}
+
+// New provisions a HadoopDB cluster with the given worker count.
+func New(workers int, rates vtime.Rates) (*Cluster, error) {
+	if workers < 1 {
+		return nil, fmt.Errorf("hadoopdb: need at least one worker")
+	}
+	c := &Cluster{
+		workers: make(map[string]*sqldb.DB, workers),
+		schemas: make(map[string]*sqldb.Schema),
+		rates:   rates,
+	}
+	var datanodes []string
+	for i := 0; i < workers; i++ {
+		id := fmt.Sprintf("worker-%02d", i)
+		c.workers[id] = sqldb.NewDB()
+		c.order = append(c.order, id)
+		datanodes = append(datanodes, id)
+	}
+	fs, err := dfs.New(dfs.DefaultConfig(datanodes))
+	if err != nil {
+		return nil, err
+	}
+	c.fs = fs
+	c.mr, err = mapreduce.NewCluster(fs, workers, rates)
+	if err != nil {
+		return nil, err
+	}
+	for _, s := range tpch.Schemas(false) {
+		c.schemas[s.Table] = s
+	}
+	return c, nil
+}
+
+// Workers returns the worker count.
+func (c *Cluster) Workers() int { return len(c.order) }
+
+// WorkerDB exposes worker i's local database.
+func (c *Cluster) WorkerDB(i int) *sqldb.DB { return c.workers[c.order[i]] }
+
+// LoadTPCH bulk-loads each worker's TPC-H partition into its local
+// database with the Table 4 indexes (the paper's SQL COPY + index build,
+// §6.1.5). No co-partitioning is performed.
+func (c *Cluster) LoadTPCH(sf float64) error {
+	for i, id := range c.order {
+		sc := tpch.Scale{ScaleFactor: sf, Peer: i, NumPeers: len(c.order), NationKey: -1}
+		if err := tpch.Generate(c.workers[id], sc); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Result is one completed HadoopDB query.
+type Result struct {
+	Result *sqldb.Result
+	// Cost is the query's virtual-time latency, including per-job
+	// startup and shuffle pull delays.
+	Cost vtime.Cost
+	// Jobs is the number of MapReduce jobs the SMS planner emitted.
+	Jobs int
+}
+
+// Query compiles sql with the SMS planner and runs the job chain.
+func (c *Cluster) Query(sql string) (*Result, error) {
+	stmt, err := sqldb.ParseSelect(sql)
+	if err != nil {
+		return nil, err
+	}
+	b := &smsBackend{c: c}
+	e := &engine.MapReduce{B: b}
+	qr, err := e.Execute(stmt)
+	if err != nil {
+		return nil, err
+	}
+	jobs := countJobs(qr.Cost, c.rates)
+	return &Result{Result: qr.Result, Cost: qr.Cost, Jobs: jobs}, nil
+}
+
+// countJobs recovers the job count from the accumulated startup cost.
+func countJobs(cost vtime.Cost, r vtime.Rates) int {
+	if r.MRJobStartup <= 0 {
+		return 0
+	}
+	// Each job charges one startup; jobs with a reduce phase add one
+	// pull delay. Bound the count by startup alone.
+	n := 0
+	remaining := cost.Startup
+	for remaining >= r.MRJobStartup {
+		remaining -= r.MRJobStartup
+		if remaining >= r.MRPullDelay {
+			remaining -= r.MRPullDelay
+		}
+		n++
+	}
+	return n
+}
+
+// smsBackend adapts the cluster to the shared engine machinery: every
+// worker hosts a partition of every table (no index layer — HadoopDB
+// always scans all workers), subqueries run on the local DBs, and the
+// cluster's MapReduce service executes the jobs.
+type smsBackend struct {
+	c *Cluster
+}
+
+func (b *smsBackend) Self() string { return "sms-client" }
+
+func (b *smsBackend) Schema(table string) *sqldb.Schema {
+	if s, ok := b.c.schemas[table]; ok {
+		return s
+	}
+	// Fall back to any worker's local definition.
+	for _, db := range b.c.workers {
+		if t := db.Table(table); t != nil {
+			return t.Schema()
+		}
+	}
+	return nil
+}
+
+func (b *smsBackend) Locate(table string, _ []sqldb.Expr, _ []string) (indexer.Location, error) {
+	loc := indexer.Location{Kind: indexer.KindTable}
+	ids := append([]string(nil), b.c.order...)
+	sort.Strings(ids)
+	for _, id := range ids {
+		t := b.c.workers[id].Table(table)
+		if t == nil {
+			continue
+		}
+		loc.Peers = append(loc.Peers, id)
+		loc.Entries = append(loc.Entries, indexer.TableEntry{
+			Table: table, Peer: id, Rows: int64(t.NumRows()), Bytes: t.DataBytes(),
+		})
+	}
+	if len(loc.Peers) == 0 {
+		loc.Kind = indexer.KindNone
+	}
+	return loc, nil
+}
+
+func (b *smsBackend) Gate([]string) error { return nil }
+
+func (b *smsBackend) SubQuery(worker string, req engine.SubQueryRequest) (*sqldb.Result, error) {
+	db, ok := b.c.workers[worker]
+	if !ok {
+		return nil, fmt.Errorf("hadoopdb: unknown worker %s", worker)
+	}
+	return db.ExecStmt(req.Stmt)
+}
+
+func (b *smsBackend) JoinAt(string, engine.JoinTask) (*sqldb.Result, error) {
+	return nil, fmt.Errorf("hadoopdb: replicated joins are a BestPeer++ strategy")
+}
+
+func (b *smsBackend) MR() *mapreduce.Cluster { return b.c.mr }
+
+func (b *smsBackend) QueryTimestamp() uint64 { return 0 }
+
+func (b *smsBackend) Rates() vtime.Rates { return b.c.rates }

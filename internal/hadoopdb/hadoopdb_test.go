@@ -1,0 +1,136 @@
+package hadoopdb
+
+import (
+	"fmt"
+	"sort"
+	"testing"
+	"time"
+
+	"bestpeer/internal/sqldb"
+	"bestpeer/internal/sqlval"
+	"bestpeer/internal/tpch"
+	"bestpeer/internal/vtime"
+)
+
+func testCluster(t *testing.T, workers int, sf float64) *Cluster {
+	t.Helper()
+	c, err := New(workers, vtime.DefaultRates())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.LoadTPCH(sf); err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func oracle(t *testing.T, workers int, sf float64) *sqldb.DB {
+	t.Helper()
+	db := sqldb.NewDB()
+	for i := 0; i < workers; i++ {
+		sc := tpch.Scale{ScaleFactor: sf, Peer: i, NumPeers: workers, NationKey: -1}
+		if err := tpch.Generate(db, sc); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return db
+}
+
+func canonical(rows []sqlval.Row) []string {
+	out := make([]string, 0, len(rows))
+	for _, row := range rows {
+		s := ""
+		for i, v := range row {
+			if i > 0 {
+				s += "|"
+			}
+			if v.Numeric() || v.Kind() == sqlval.KindDate {
+				s += fmt.Sprintf("%.4f", v.AsFloat())
+			} else {
+				s += v.String()
+			}
+		}
+		out = append(out, s)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func TestQueriesMatchOracle(t *testing.T) {
+	const workers = 3
+	const sf = 0.003
+	c := testCluster(t, workers, sf)
+	db := oracle(t, workers, sf)
+	for name, sql := range map[string]string{
+		"Q1": tpch.Q1Default(), "Q2": tpch.Q2Default(), "Q3": tpch.Q3Default(),
+		"Q4": tpch.Q4Default(), "Q5": tpch.Q5(),
+	} {
+		want, err := db.Query(sql)
+		if err != nil {
+			t.Fatalf("%s oracle: %v", name, err)
+		}
+		got, err := c.Query(sql)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		g, w := canonical(got.Result.Rows), canonical(want.Rows)
+		if len(g) != len(w) {
+			t.Fatalf("%s: %d rows, want %d", name, len(g), len(w))
+		}
+		for i := range g {
+			if g[i] != w[i] {
+				t.Fatalf("%s row %d: %s != %s", name, i, g[i], w[i])
+			}
+		}
+	}
+}
+
+func TestSMSJobCounts(t *testing.T) {
+	c := testCluster(t, 3, 0.002)
+	cases := map[string]int{
+		tpch.Q1Default(): 1, // map-only
+		tpch.Q2Default(): 1,
+		tpch.Q3Default(): 1,
+		tpch.Q4Default(): 2, // join + aggregate (§6.1.9)
+		tpch.Q5():        4, // three joins + aggregate (§6.1.10)
+	}
+	for sql, want := range cases {
+		res, err := c.Query(sql)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Jobs != want {
+			t.Errorf("jobs for %.40q = %d, want %d", sql, res.Jobs, want)
+		}
+	}
+}
+
+func TestStartupDominatesShortQueries(t *testing.T) {
+	c := testCluster(t, 3, 0.002)
+	res, err := c.Query(tpch.Q1Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cost.Total() < 10*time.Second {
+		t.Errorf("Q1 latency %v; the ~10-15s job startup should dominate", res.Cost.Total())
+	}
+	if res.Cost.Startup < 10*time.Second {
+		t.Errorf("startup component = %v", res.Cost.Startup)
+	}
+}
+
+func TestClusterValidation(t *testing.T) {
+	if _, err := New(0, vtime.DefaultRates()); err == nil {
+		t.Error("zero workers accepted")
+	}
+	c, err := New(2, vtime.DefaultRates())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Workers() != 2 || c.WorkerDB(0) == nil {
+		t.Error("accessors broken")
+	}
+	if _, err := c.Query("not sql"); err == nil {
+		t.Error("bad SQL accepted")
+	}
+}

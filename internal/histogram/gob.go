@@ -1,0 +1,8 @@
+package histogram
+
+import "bestpeer/internal/pnet"
+
+// Register the published bucket payload for the TCP transport.
+func init() {
+	pnet.RegisterPayload(BucketEntry{})
+}

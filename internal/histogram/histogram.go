@@ -1,0 +1,245 @@
+// Package histogram implements the statistics layer of BestPeer++'s
+// pay-as-you-go query processing (paper §5.1).
+//
+// Because attributes in a relation are correlated, BestPeer++ keeps
+// multi-dimensional histograms, built MHIST-style (Poosala & Ioannidis):
+// starting from one bucket covering the data, the bucket holding the
+// most skew is repeatedly split along its most valuable attribute until
+// the bucket budget is reached. The resulting hyper-rectangular buckets
+// are mapped to one-dimensional keys with iDistance (Jagadish et al.)
+// and published into the BATON overlay, so any peer's query planner can
+// fetch the buckets overlapping a query region.
+//
+// The estimators at the bottom of this file are the paper's formulas:
+// relation size ES(R), per-histogram region counts EC(H(R)), and the
+// pairwise join result size ES(q) = EC(H(Rx))·EC(H(Ry)) / Π W_i.
+package histogram
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Bucket is one hyper-rectangle of a multi-dimensional histogram, with
+// inclusive bounds and a tuple count.
+type Bucket struct {
+	Lo, Hi []float64
+	Count  int64
+}
+
+// volume returns the bucket's d-dimensional volume; degenerate (point)
+// dimensions count as width 1 so densities stay finite.
+func (b Bucket) volume() float64 {
+	v := 1.0
+	for i := range b.Lo {
+		w := b.Hi[i] - b.Lo[i]
+		if w <= 0 {
+			w = 1
+		}
+		v *= w
+	}
+	return v
+}
+
+// overlapFraction returns Area_o(b, region) / Area(b): the fraction of
+// the bucket's volume covered by the query region (paper's EC formula).
+func (b Bucket) overlapFraction(region []Interval1) float64 {
+	f := 1.0
+	for i := range b.Lo {
+		if i >= len(region) {
+			continue
+		}
+		r := region[i]
+		lo := math.Max(b.Lo[i], r.Lo)
+		hi := math.Min(b.Hi[i], r.Hi)
+		if hi < lo {
+			return 0
+		}
+		w := b.Hi[i] - b.Lo[i]
+		if w <= 0 {
+			// Point dimension: inside or outside.
+			continue
+		}
+		f *= (hi - lo) / w
+	}
+	return f
+}
+
+// Interval1 is a closed interval on one dimension; use ±Inf for
+// unbounded sides.
+type Interval1 struct {
+	Lo, Hi float64
+}
+
+// FullInterval returns the unbounded interval.
+func FullInterval() Interval1 {
+	return Interval1{Lo: math.Inf(-1), Hi: math.Inf(1)}
+}
+
+// Width returns the interval's width (W_i in the paper's Eq. for ES(q)).
+func (iv Interval1) Width() float64 { return iv.Hi - iv.Lo }
+
+// Histogram is a multi-dimensional histogram over the listed columns of
+// one global table.
+type Histogram struct {
+	Table   string
+	Columns []string
+	Buckets []Bucket
+}
+
+// Build constructs an MHIST-style histogram over points (each point has
+// one coordinate per column), using at most maxBuckets buckets. The
+// split heuristic picks the bucket with the largest count and splits it
+// along the attribute with the greatest normalized spread at the median,
+// iterating "until enough histogram buckets are generated" (§5.1).
+func Build(table string, columns []string, points [][]float64, maxBuckets int) (*Histogram, error) {
+	if maxBuckets < 1 {
+		return nil, fmt.Errorf("histogram: maxBuckets must be >= 1")
+	}
+	dims := len(columns)
+	for _, p := range points {
+		if len(p) != dims {
+			return nil, fmt.Errorf("histogram: point has %d dims, want %d", len(p), dims)
+		}
+	}
+	h := &Histogram{Table: table, Columns: columns}
+	if len(points) == 0 {
+		return h, nil
+	}
+
+	type workBucket struct {
+		points [][]float64
+	}
+	bounds := func(pts [][]float64) (lo, hi []float64) {
+		lo = make([]float64, dims)
+		hi = make([]float64, dims)
+		copy(lo, pts[0])
+		copy(hi, pts[0])
+		for _, p := range pts[1:] {
+			for i, v := range p {
+				if v < lo[i] {
+					lo[i] = v
+				}
+				if v > hi[i] {
+					hi[i] = v
+				}
+			}
+		}
+		return lo, hi
+	}
+
+	work := []workBucket{{points: points}}
+	for len(work) < maxBuckets {
+		// The "most valuable" bucket to split: largest population with a
+		// non-degenerate extent.
+		best := -1
+		for i, wb := range work {
+			if len(wb.points) < 2 {
+				continue
+			}
+			lo, hi := bounds(wb.points)
+			degenerate := true
+			for d := 0; d < dims; d++ {
+				if hi[d] > lo[d] {
+					degenerate = false
+					break
+				}
+			}
+			if degenerate {
+				continue
+			}
+			if best < 0 || len(wb.points) > len(work[best].points) {
+				best = i
+			}
+		}
+		if best < 0 {
+			break
+		}
+		wb := work[best]
+		lo, hi := bounds(wb.points)
+		// Most valuable attribute: the one with the largest spread
+		// relative to the bucket (a MaxDiff surrogate over spread).
+		dim := 0
+		bestSpread := -1.0
+		for d := 0; d < dims; d++ {
+			spread := hi[d] - lo[d]
+			if spread > bestSpread {
+				bestSpread, dim = spread, d
+			}
+		}
+		sort.Slice(wb.points, func(i, j int) bool { return wb.points[i][dim] < wb.points[j][dim] })
+		// Split at the median value boundary so no value straddles both
+		// halves.
+		mid := len(wb.points) / 2
+		splitVal := wb.points[mid][dim]
+		cut := sort.Search(len(wb.points), func(i int) bool { return wb.points[i][dim] >= splitVal })
+		if cut == 0 || cut == len(wb.points) {
+			// All points share the median value along dim; try cutting
+			// after the run of equal values.
+			cut = sort.Search(len(wb.points), func(i int) bool { return wb.points[i][dim] > splitVal })
+			if cut == len(wb.points) {
+				break
+			}
+		}
+		left := workBucket{points: wb.points[:cut]}
+		right := workBucket{points: wb.points[cut:]}
+		work[best] = left
+		work = append(work, right)
+	}
+
+	for _, wb := range work {
+		lo, hi := bounds(wb.points)
+		h.Buckets = append(h.Buckets, Bucket{Lo: lo, Hi: hi, Count: int64(len(wb.points))})
+	}
+	return h, nil
+}
+
+// EstimateSize implements ES(R): the estimated relation cardinality, the
+// sum of all bucket counts.
+func (h *Histogram) EstimateSize() float64 {
+	var s float64
+	for _, b := range h.Buckets {
+		s += float64(b.Count)
+	}
+	return s
+}
+
+// EstimateRegion implements EC(H(R)): the estimated number of tuples in
+// the query region, assuming uniformity within each bucket. The region
+// has one interval per histogram column; missing trailing intervals are
+// unbounded.
+func (h *Histogram) EstimateRegion(region []Interval1) float64 {
+	var s float64
+	for _, b := range h.Buckets {
+		s += float64(b.Count) * b.overlapFraction(region)
+	}
+	return s
+}
+
+// Selectivity returns EC / ES: the fraction of the relation inside the
+// region (g(i) in the paper's cost model notation).
+func (h *Histogram) Selectivity(region []Interval1) float64 {
+	total := h.EstimateSize()
+	if total == 0 {
+		return 0
+	}
+	return h.EstimateRegion(region) / total
+}
+
+// EstimateJoinSize implements ES(q) = EC(H(Rx)) · EC(H(Ry)) / Π W_i:
+// the estimated result size of an equi-join restricted to a query
+// region whose width along dimension i is widths[i]. Unbounded or
+// degenerate widths are skipped (they contribute no reduction).
+func EstimateJoinSize(ecx, ecy float64, widths []float64) float64 {
+	denom := 1.0
+	for _, w := range widths {
+		if w > 0 && !math.IsInf(w, 1) {
+			denom *= w
+		}
+	}
+	if denom <= 0 {
+		denom = 1
+	}
+	return ecx * ecy / denom
+}

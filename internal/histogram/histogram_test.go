@@ -1,0 +1,274 @@
+package histogram
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+
+	"bestpeer/internal/baton"
+	"bestpeer/internal/pnet"
+)
+
+func uniformPoints(n int, seed int64) [][]float64 {
+	rng := rand.New(rand.NewSource(seed))
+	pts := make([][]float64, n)
+	for i := range pts {
+		pts[i] = []float64{rng.Float64() * 100, rng.Float64() * 10}
+	}
+	return pts
+}
+
+func TestBuildBucketCountAndTotal(t *testing.T) {
+	pts := uniformPoints(1000, 1)
+	h, err := Build("t", []string{"a", "b"}, pts, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(h.Buckets) == 0 || len(h.Buckets) > 16 {
+		t.Fatalf("buckets = %d", len(h.Buckets))
+	}
+	if h.EstimateSize() != 1000 {
+		t.Errorf("ES(R) = %v, want 1000", h.EstimateSize())
+	}
+}
+
+func TestBuildValidation(t *testing.T) {
+	if _, err := Build("t", []string{"a"}, nil, 0); err == nil {
+		t.Error("maxBuckets=0 accepted")
+	}
+	if _, err := Build("t", []string{"a"}, [][]float64{{1, 2}}, 4); err == nil {
+		t.Error("dimension mismatch accepted")
+	}
+	h, err := Build("t", []string{"a"}, nil, 4)
+	if err != nil || len(h.Buckets) != 0 {
+		t.Errorf("empty build = %+v, %v", h, err)
+	}
+}
+
+func TestBuildDegenerateData(t *testing.T) {
+	// All points identical: one bucket, never an infinite loop.
+	pts := make([][]float64, 50)
+	for i := range pts {
+		pts[i] = []float64{7, 7}
+	}
+	h, err := Build("t", []string{"a", "b"}, pts, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(h.Buckets) != 1 || h.Buckets[0].Count != 50 {
+		t.Fatalf("buckets = %+v", h.Buckets)
+	}
+}
+
+func TestEstimateRegionUniform(t *testing.T) {
+	pts := uniformPoints(10_000, 2)
+	h, err := Build("t", []string{"a", "b"}, pts, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Query region covering ~25% of dimension a, all of b.
+	region := []Interval1{{Lo: 0, Hi: 25}, FullInterval()}
+	est := h.EstimateRegion(region)
+	actual := 0
+	for _, p := range pts {
+		if p[0] <= 25 {
+			actual++
+		}
+	}
+	if math.Abs(est-float64(actual)) > float64(actual)/5 {
+		t.Errorf("EC = %v, actual %d (>20%% off)", est, actual)
+	}
+	sel := h.Selectivity(region)
+	if math.Abs(sel-0.25) > 0.08 {
+		t.Errorf("selectivity = %v, want ~0.25", sel)
+	}
+}
+
+func TestEstimateRegionSkewedBeatsOneBucket(t *testing.T) {
+	// 90% of the data in [0,10), 10% in [90,100): multi-bucket histogram
+	// must estimate a query on the dense region much better than a
+	// single bucket would.
+	var pts [][]float64
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 900; i++ {
+		pts = append(pts, []float64{rng.Float64() * 10})
+	}
+	for i := 0; i < 100; i++ {
+		pts = append(pts, []float64{90 + rng.Float64()*10})
+	}
+	h, err := Build("t", []string{"a"}, pts, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	one, err := Build("t", []string{"a"}, pts, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	region := []Interval1{{Lo: 0, Hi: 10}}
+	multi := h.EstimateRegion(region)
+	single := one.EstimateRegion(region)
+	if math.Abs(multi-900) > 90 {
+		t.Errorf("multi-bucket EC = %v, want ~900", multi)
+	}
+	if math.Abs(single-900) < math.Abs(multi-900) {
+		t.Errorf("single bucket (%v) beat multi (%v)?", single, multi)
+	}
+}
+
+func TestEstimateJoinSize(t *testing.T) {
+	// Paper Eq: ES(q) = EC(Hx)*EC(Hy) / prod(Wi).
+	if got := EstimateJoinSize(100, 200, []float64{10}); got != 2000 {
+		t.Errorf("ES(q) = %v, want 2000", got)
+	}
+	if got := EstimateJoinSize(100, 200, nil); got != 20000 {
+		t.Errorf("no widths: %v", got)
+	}
+	if got := EstimateJoinSize(100, 200, []float64{math.Inf(1)}); got != 20000 {
+		t.Errorf("inf width: %v", got)
+	}
+}
+
+func TestIDistanceKeyPartitions(t *testing.T) {
+	m, err := NewIDistance([][]float64{{0, 0}, {100, 100}}, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kNear0 := m.Key([]float64{1, 1})
+	kNear1 := m.Key([]float64{99, 99})
+	if kNear0 >= 1000 {
+		t.Errorf("near ref 0 key = %v", kNear0)
+	}
+	if kNear1 < 1000 || kNear1 >= 2000 {
+		t.Errorf("near ref 1 key = %v", kNear1)
+	}
+	if m.MaxKey() != 2000 {
+		t.Errorf("MaxKey = %v", m.MaxKey())
+	}
+}
+
+func TestIDistanceValidation(t *testing.T) {
+	if _, err := NewIDistance(nil, 10); err == nil {
+		t.Error("no refs accepted")
+	}
+	if _, err := NewIDistance([][]float64{{0}}, 0); err == nil {
+		t.Error("zero stride accepted")
+	}
+}
+
+func TestIDistanceRegionRangesCoverKeys(t *testing.T) {
+	m, err := GridRefs([]float64{0, 0}, []float64{100, 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(9))
+	lo := []float64{20, 30}
+	hi := []float64{60, 70}
+	ranges := m.RegionRanges(lo, hi)
+	for trial := 0; trial < 500; trial++ {
+		p := []float64{
+			lo[0] + rng.Float64()*(hi[0]-lo[0]),
+			lo[1] + rng.Float64()*(hi[1]-lo[1]),
+		}
+		k := m.Key(p)
+		covered := false
+		for _, r := range ranges {
+			if k >= r[0] && k <= r[1] {
+				covered = true
+				break
+			}
+		}
+		if !covered {
+			t.Fatalf("point %v key %v not covered by region ranges", p, k)
+		}
+	}
+}
+
+func TestPublishFetchRoundTrip(t *testing.T) {
+	net := pnet.NewNetwork()
+	o := baton.NewOverlay(net, "@overlay")
+	nodes := make([]*baton.Node, 6)
+	for i := range nodes {
+		nodes[i] = baton.NewNode(net.Join(fmt.Sprintf("p%d", i)))
+		if err := o.AddNode(nodes[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	pts := uniformPoints(2000, 5)
+	h, err := Build("orders", []string{"a", "b"}, pts, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := GridRefs([]float64{0, 0}, []float64{100, 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Publish(nodes[0], "p0", h, m); err != nil {
+		t.Fatal(err)
+	}
+	region := []Interval1{{Lo: 0, Hi: 50}, {Lo: 0, Hi: 10}}
+	got, err := FetchForRegion(nodes[4], "orders", m, region)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) == 0 {
+		t.Fatal("no buckets fetched")
+	}
+	// The fetched buckets estimate the region as well as the full local
+	// histogram does.
+	var fetched Histogram
+	fetched.Buckets = got
+	est := fetched.EstimateRegion(region)
+	want := h.EstimateRegion(region)
+	if math.Abs(est-want) > want/100+1 {
+		t.Errorf("fetched estimate %v != local %v", est, want)
+	}
+	// A different table name fetches nothing.
+	none, err := FetchForRegion(nodes[2], "lineitem", m, region)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(none) != 0 {
+		t.Errorf("cross-table leak: %d buckets", len(none))
+	}
+}
+
+func TestRepublishReplaces(t *testing.T) {
+	net := pnet.NewNetwork()
+	o := baton.NewOverlay(net, "@overlay")
+	node := baton.NewNode(net.Join("p0"))
+	if err := o.AddNode(node); err != nil {
+		t.Fatal(err)
+	}
+	m, err := GridRefs([]float64{0}, []float64{100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts1 := make([][]float64, 100)
+	for i := range pts1 {
+		pts1[i] = []float64{float64(i)}
+	}
+	h1, err := Build("t", []string{"a"}, pts1, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Publish(node, "p0", h1, m); err != nil {
+		t.Fatal(err)
+	}
+	pts2 := pts1[:40]
+	h2, _ := Build("t", []string{"a"}, pts2, 4)
+	if err := Publish(node, "p0", h2, m); err != nil {
+		t.Fatal(err)
+	}
+	got, err := FetchForRegion(node, "t", m, []Interval1{FullInterval()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var total int64
+	for _, b := range got {
+		total += b.Count
+	}
+	if total != 40 {
+		t.Errorf("after republish total = %d, want 40", total)
+	}
+}

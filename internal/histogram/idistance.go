@@ -1,0 +1,227 @@
+package histogram
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"bestpeer/internal/baton"
+)
+
+// IDistance maps multi-dimensional points to one-dimensional keys
+// (Jagadish, Ooi, Tan, Yu, Zhang; TODS 2005): space is partitioned by a
+// set of reference points; a point p in partition i (its nearest
+// reference) maps to key i·C + dist(p, ref_i). BestPeer++ uses it to
+// turn histogram buckets (hyper-rectangles, represented by their
+// centers) into keys indexable by BATON (§5.1).
+type IDistance struct {
+	Refs [][]float64
+	// C is the per-partition stride; it must exceed any point's distance
+	// to its nearest reference so partitions never overlap in key space.
+	C float64
+}
+
+// NewIDistance builds a mapping with the given reference points.
+func NewIDistance(refs [][]float64, c float64) (*IDistance, error) {
+	if len(refs) == 0 {
+		return nil, fmt.Errorf("idistance: need at least one reference point")
+	}
+	if c <= 0 {
+		return nil, fmt.Errorf("idistance: stride C must be positive")
+	}
+	return &IDistance{Refs: refs, C: c}, nil
+}
+
+// GridRefs generates reference points for the bounding box [lo, hi]: the
+// box center plus each corner-ward midpoint, a simple spread that keeps
+// partitions compact. The stride is the box diagonal.
+func GridRefs(lo, hi []float64) (*IDistance, error) {
+	if len(lo) != len(hi) || len(lo) == 0 {
+		return nil, fmt.Errorf("idistance: bad bounding box")
+	}
+	dims := len(lo)
+	center := make([]float64, dims)
+	diag := 0.0
+	for i := range lo {
+		center[i] = (lo[i] + hi[i]) / 2
+		d := hi[i] - lo[i]
+		diag += d * d
+	}
+	diag = math.Sqrt(diag)
+	if diag == 0 {
+		diag = 1
+	}
+	refs := [][]float64{center}
+	// One reference midway toward each corner of the box (2^dims corners
+	// capped at 8 to keep the partition count bounded).
+	corners := 1 << dims
+	if corners > 8 {
+		corners = 8
+	}
+	for c := 0; c < corners; c++ {
+		p := make([]float64, dims)
+		for i := 0; i < dims; i++ {
+			if c&(1<<i) != 0 {
+				p[i] = (center[i] + hi[i]) / 2
+			} else {
+				p[i] = (center[i] + lo[i]) / 2
+			}
+		}
+		refs = append(refs, p)
+	}
+	return NewIDistance(refs, diag+1)
+}
+
+func dist(a, b []float64) float64 {
+	var s float64
+	for i := range a {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return math.Sqrt(s)
+}
+
+// partition returns the nearest reference index and the distance to it.
+func (m *IDistance) partition(p []float64) (int, float64) {
+	best, bestD := 0, math.Inf(1)
+	for i, r := range m.Refs {
+		if d := dist(p, r); d < bestD {
+			best, bestD = i, d
+		}
+	}
+	return best, bestD
+}
+
+// Key maps a point to its one-dimensional iDistance key.
+func (m *IDistance) Key(p []float64) float64 {
+	i, d := m.partition(p)
+	if d >= m.C {
+		d = m.C - 1e-9 // clamp: point farther than the stride bound
+	}
+	return float64(i)*m.C + d
+}
+
+// MaxKey returns the exclusive upper bound of the key space.
+func (m *IDistance) MaxKey() float64 { return float64(len(m.Refs)) * m.C }
+
+// RegionRanges returns, per partition, the key interval that any point
+// of the region [lo, hi] could map into: [i·C + minDist, i·C + maxDist].
+// A range query over these intervals retrieves every candidate point in
+// the region (plus false positives filtered by the caller).
+func (m *IDistance) RegionRanges(lo, hi []float64) [][2]float64 {
+	out := make([][2]float64, 0, len(m.Refs))
+	for i, r := range m.Refs {
+		minD, maxD := regionDistance(r, lo, hi)
+		if minD >= m.C {
+			minD = m.C - 1e-9
+		}
+		if maxD >= m.C {
+			maxD = m.C - 1e-9
+		}
+		out = append(out, [2]float64{float64(i)*m.C + minD, float64(i)*m.C + maxD})
+	}
+	return out
+}
+
+// regionDistance returns the min and max Euclidean distance from point p
+// to the box [lo, hi].
+func regionDistance(p, lo, hi []float64) (minD, maxD float64) {
+	var minS, maxS float64
+	for i := range p {
+		var dMin float64
+		switch {
+		case p[i] < lo[i]:
+			dMin = lo[i] - p[i]
+		case p[i] > hi[i]:
+			dMin = p[i] - hi[i]
+		}
+		dMax := math.Max(math.Abs(p[i]-lo[i]), math.Abs(p[i]-hi[i]))
+		minS += dMin * dMin
+		maxS += dMax * dMax
+	}
+	return math.Sqrt(minS), math.Sqrt(maxS)
+}
+
+// BucketEntry is the overlay payload for one published histogram bucket.
+type BucketEntry struct {
+	Table   string
+	Columns []string
+	Bucket  Bucket
+}
+
+// bucketName returns the overlay item name for bucket i of a table.
+func bucketName(table string, i int) string {
+	return fmt.Sprintf("HB:%s:%d", table, i)
+}
+
+// Publish writes every bucket of a histogram into the overlay, keyed by
+// the iDistance of the bucket center. Re-publishing first removes the
+// owner's previous buckets for the table.
+func Publish(node *baton.Node, owner string, h *Histogram, m *IDistance) error {
+	// Remove previous publication (bounded probe: bucket counts are
+	// small; stop at the first missing name after the new count).
+	for i := 0; ; i++ {
+		deleted, _, err := node.Delete(bucketName(h.Table, i), owner)
+		if err != nil {
+			return err
+		}
+		if deleted == 0 && i >= len(h.Buckets) {
+			break
+		}
+	}
+	for i, b := range h.Buckets {
+		center := make([]float64, len(b.Lo))
+		for d := range b.Lo {
+			center[d] = (b.Lo[d] + b.Hi[d]) / 2
+		}
+		key := baton.FloatKey(m.Key(center), 0, m.MaxKey())
+		entry := BucketEntry{Table: h.Table, Columns: h.Columns, Bucket: b}
+		_, err := node.Insert(baton.Item{
+			Key:   key,
+			Name:  bucketName(h.Table, i),
+			Owner: owner,
+			Value: entry,
+			Size:  int64(16*len(b.Lo) + 16),
+		})
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// FetchForRegion retrieves the published buckets of a table whose
+// hyper-rectangles overlap the region, using iDistance range searches to
+// visit only the relevant part of the overlay key space.
+func FetchForRegion(node *baton.Node, table string, m *IDistance, region []Interval1) ([]Bucket, error) {
+	lo := make([]float64, len(region))
+	hi := make([]float64, len(region))
+	for i, iv := range region {
+		lo[i], hi[i] = iv.Lo, iv.Hi
+	}
+	seen := make(map[string]bool)
+	var out []Bucket
+	for _, kr := range m.RegionRanges(lo, hi) {
+		bLo := baton.FloatKey(kr[0], 0, m.MaxKey())
+		bHi := baton.FloatKey(kr[1], 0, m.MaxKey())
+		if bHi <= bLo {
+			bHi = bLo + 1e-12
+		}
+		items, _, err := node.RangeSearch(baton.KeyRange{Lo: bLo, Hi: bHi})
+		if err != nil {
+			return nil, err
+		}
+		for _, it := range items {
+			entry, ok := it.Value.(BucketEntry)
+			if !ok || entry.Table != table || seen[it.Name+"@"+it.Owner] {
+				continue
+			}
+			seen[it.Name+"@"+it.Owner] = true
+			if entry.Bucket.overlapFraction(region) > 0 {
+				out = append(out, entry.Bucket)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Lo[0] < out[j].Lo[0] })
+	return out, nil
+}

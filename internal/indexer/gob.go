@@ -1,0 +1,9 @@
+package indexer
+
+import "bestpeer/internal/pnet"
+
+// Register index entry payloads (they travel inside baton.Item values
+// and as has-table probe replies).
+func init() {
+	pnet.RegisterPayload(TableEntry{}, ColumnEntry{}, RangeEntry{})
+}

@@ -1,0 +1,233 @@
+// Package indexer implements BestPeer++'s three index types over the
+// BATON overlay (paper §4.3, Table 2):
+//
+//   - table index I_T: table name → peers storing data of the table;
+//   - column index I_C: column name → (peer, tables containing the
+//     column at that peer);
+//   - range index I_D: table name → (column, min–max of the column's
+//     values at a peer, peer).
+//
+// At query time the Locator resolves "which peers hold data relevant to
+// this query" with the paper's priority Range > Column > Table: the most
+// selective available index wins. Peers cache index entries in memory to
+// avoid repeated BATON traversals (§5.2, first optimization).
+package indexer
+
+import (
+	"strings"
+
+	"bestpeer/internal/baton"
+	"bestpeer/internal/sqldb"
+	"bestpeer/internal/sqlval"
+)
+
+// TableEntry is one peer's I_T publication.
+type TableEntry struct {
+	Table string
+	Peer  string
+	// Rows and Bytes describe the peer's partition; the engines use them
+	// for cost estimation without an extra round trip.
+	Rows  int64
+	Bytes int64
+}
+
+// ColumnEntry is one peer's I_C publication for one column.
+type ColumnEntry struct {
+	Column string
+	Peer   string
+	Tables []string
+}
+
+// RangeEntry is one peer's I_D publication for one (table, column).
+type RangeEntry struct {
+	Table  string
+	Column string
+	Min    sqlval.Value
+	Max    sqlval.Value
+	Peer   string
+}
+
+// Index-entry name prefixes in the overlay key space.
+const (
+	tableKeyPrefix  = "IT:"
+	columnKeyPrefix = "IC:"
+	rangeKeyPrefix  = "ID:"
+)
+
+// TableKey returns the overlay name of a table-index entry.
+func TableKey(table string) string { return tableKeyPrefix + strings.ToLower(table) }
+
+// ColumnKey returns the overlay name of a column-index entry.
+func ColumnKey(column string) string { return columnKeyPrefix + strings.ToLower(column) }
+
+// RangeKey returns the overlay name of a range-index entry. Per the
+// paper, range indexes are keyed by table name; the column lives in the
+// entry value.
+func RangeKey(table string) string { return rangeKeyPrefix + strings.ToLower(table) }
+
+// Indexer publishes one peer's index entries.
+type Indexer struct {
+	node *baton.Node
+	peer string
+}
+
+// New creates an indexer publishing on behalf of peer through node.
+func New(node *baton.Node, peer string) *Indexer {
+	return &Indexer{node: node, peer: peer}
+}
+
+// PublishTable publishes an I_T entry.
+func (ix *Indexer) PublishTable(table string, rows, bytes int64) error {
+	name := TableKey(table)
+	entry := TableEntry{Table: table, Peer: ix.peer, Rows: rows, Bytes: bytes}
+	// Refresh semantics: drop any previous entry from this peer first.
+	if _, _, err := ix.node.Delete(name, ix.peer); err != nil {
+		return err
+	}
+	_, err := ix.node.Insert(baton.Item{
+		Key: baton.StringKey(name), Name: name, Owner: ix.peer,
+		Value: entry, Size: int64(len(table)) + 32,
+	})
+	return err
+}
+
+// PublishColumn publishes an I_C entry listing the peer's tables that
+// contain the column.
+func (ix *Indexer) PublishColumn(column string, tables []string) error {
+	name := ColumnKey(column)
+	entry := ColumnEntry{Column: column, Peer: ix.peer, Tables: tables}
+	if _, _, err := ix.node.Delete(name, ix.peer); err != nil {
+		return err
+	}
+	size := int64(len(column)) + 16
+	for _, t := range tables {
+		size += int64(len(t))
+	}
+	_, err := ix.node.Insert(baton.Item{
+		Key: baton.StringKey(name), Name: name, Owner: ix.peer,
+		Value: entry, Size: size,
+	})
+	return err
+}
+
+// PublishRange publishes an I_D entry carrying the min–max of the
+// column's values at this peer.
+func (ix *Indexer) PublishRange(table, column string, min, max sqlval.Value) error {
+	name := RangeKey(table)
+	entry := RangeEntry{Table: table, Column: column, Min: min, Max: max, Peer: ix.peer}
+	// A peer may publish range entries for several columns of one table;
+	// deleting all of its entries and republishing would lose the others,
+	// so deletion here is per (table, column) pair: fetch, filter, and
+	// re-insert is avoided by keying the delete on owner and checking the
+	// column on lookup instead. Duplicate (owner, column) entries are
+	// prevented by the callers publishing once per column.
+	_, err := ix.node.Insert(baton.Item{
+		Key: baton.StringKey(name), Name: name, Owner: ix.peer,
+		Value: entry, Size: int64(len(table)+len(column)) + 48,
+	})
+	return err
+}
+
+// PublishDB publishes index entries for every table of a database: one
+// I_T entry per table, one I_C entry per column, and an I_D entry for
+// each (table, column) listed in rangeColumns (values taken from the
+// column's local secondary index, or a table scan when unindexed).
+func (ix *Indexer) PublishDB(db *sqldb.DB, rangeColumns map[string][]string) error {
+	byColumn := make(map[string][]string)
+	for _, tname := range db.TableNames() {
+		t := db.Table(tname)
+		if err := ix.PublishTable(tname, int64(t.NumRows()), t.DataBytes()); err != nil {
+			return err
+		}
+		for _, c := range t.Schema().Columns {
+			byColumn[strings.ToLower(c.Name)] = append(byColumn[strings.ToLower(c.Name)], tname)
+		}
+	}
+	for col, tables := range byColumn {
+		if err := ix.PublishColumn(col, tables); err != nil {
+			return err
+		}
+	}
+	// Refresh semantics: withdraw this peer's previous range entries so
+	// republishing with a different configuration cannot leave stale
+	// min-max advertisements behind.
+	for _, tname := range db.TableNames() {
+		if _, _, err := ix.node.Delete(RangeKey(tname), ix.peer); err != nil {
+			return err
+		}
+	}
+	for tname, cols := range rangeColumns {
+		t := db.Table(tname)
+		if t == nil {
+			// Multi-tenant schemas: peers host subsets of the global
+			// schema; range columns for absent tables are skipped.
+			continue
+		}
+		for _, col := range cols {
+			min, max, ok := columnMinMax(t, col)
+			if !ok {
+				continue // empty table: nothing to advertise
+			}
+			if err := ix.PublishRange(tname, col, min, max); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// columnMinMax reads the min and max of a column from its local index,
+// falling back to a scan.
+func columnMinMax(t *sqldb.Table, col string) (sqlval.Value, sqlval.Value, bool) {
+	if idx := t.IndexOn(col); idx != nil {
+		return minMaxFromIndex(idx)
+	}
+	ci := t.Schema().ColumnIndex(col)
+	if ci < 0 {
+		return sqlval.Null(), sqlval.Null(), false
+	}
+	var min, max sqlval.Value
+	found := false
+	t.Scan(func(_ int, row sqlval.Row) bool {
+		v := row[ci]
+		if v.IsNull() {
+			return true
+		}
+		if !found {
+			min, max, found = v, v, true
+			return true
+		}
+		if sqlval.Less(v, min) {
+			min = v
+		}
+		if sqlval.Less(max, v) {
+			max = v
+		}
+		return true
+	})
+	return min, max, found
+}
+
+func minMaxFromIndex(idx *sqldb.Index) (sqlval.Value, sqlval.Value, bool) {
+	lo, hi, ok := idx.MinMax()
+	return lo, hi, ok
+}
+
+// UnpublishAll removes every index entry owned by the peer for the given
+// tables and columns (graceful departure).
+func (ix *Indexer) UnpublishAll(tables, columns []string) error {
+	for _, t := range tables {
+		if _, _, err := ix.node.Delete(TableKey(t), ix.peer); err != nil {
+			return err
+		}
+		if _, _, err := ix.node.Delete(RangeKey(t), ix.peer); err != nil {
+			return err
+		}
+	}
+	for _, c := range columns {
+		if _, _, err := ix.node.Delete(ColumnKey(c), ix.peer); err != nil {
+			return err
+		}
+	}
+	return nil
+}

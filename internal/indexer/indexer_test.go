@@ -1,0 +1,316 @@
+package indexer
+
+import (
+	"fmt"
+	"testing"
+
+	"bestpeer/internal/baton"
+	"bestpeer/internal/pnet"
+	"bestpeer/internal/sqldb"
+	"bestpeer/internal/sqlval"
+)
+
+// testNetwork builds n overlay nodes and returns them by peer ID.
+func testNetwork(t *testing.T, n int) map[string]*baton.Node {
+	t.Helper()
+	net := pnet.NewNetwork()
+	o := baton.NewOverlay(net, "@overlay")
+	nodes := make(map[string]*baton.Node, n)
+	for i := 0; i < n; i++ {
+		id := fmt.Sprintf("peer-%02d", i)
+		node := baton.NewNode(net.Join(id))
+		if err := o.AddNode(node); err != nil {
+			t.Fatal(err)
+		}
+		nodes[id] = node
+	}
+	return nodes
+}
+
+// peerDB builds a small lineitem table with the given shipdate span.
+func peerDB(t *testing.T, loDay, hiDay int64) *sqldb.DB {
+	t.Helper()
+	db := sqldb.NewDB()
+	if _, err := db.Exec(`CREATE TABLE lineitem (l_orderkey INT, l_shipdate DATE, l_price FLOAT)`); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Exec(`CREATE INDEX idx_ship ON lineitem (l_shipdate)`); err != nil {
+		t.Fatal(err)
+	}
+	for d := loDay; d <= hiDay; d++ {
+		row := sqlval.Row{sqlval.Int(d), sqlval.Date(d), sqlval.Float(float64(d))}
+		if err := db.InsertRow("lineitem", row); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return db
+}
+
+func TestPublishAndLocateTableIndex(t *testing.T) {
+	nodes := testNetwork(t, 4)
+	for id, node := range nodes {
+		ix := New(node, id)
+		if err := ix.PublishTable("lineitem", 100, 10_000); err != nil {
+			t.Fatal(err)
+		}
+	}
+	lc := NewLocator(nodes["peer-00"])
+	loc, err := lc.PeersForTable("LineItem") // case-insensitive
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loc.Kind != KindTable || len(loc.Peers) != 4 {
+		t.Fatalf("loc = %+v", loc)
+	}
+	if loc.Entries[0].Rows != 100 || loc.Entries[0].Bytes != 10_000 {
+		t.Errorf("entry stats = %+v", loc.Entries[0])
+	}
+}
+
+func TestLocateUnknownTable(t *testing.T) {
+	nodes := testNetwork(t, 2)
+	lc := NewLocator(nodes["peer-00"])
+	loc, err := lc.PeersForTable("ghost")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loc.Kind != KindNone || len(loc.Peers) != 0 {
+		t.Errorf("loc = %+v", loc)
+	}
+}
+
+func TestRepublishReplacesEntry(t *testing.T) {
+	nodes := testNetwork(t, 3)
+	ix := New(nodes["peer-00"], "peer-00")
+	if err := ix.PublishTable("t", 10, 100); err != nil {
+		t.Fatal(err)
+	}
+	if err := ix.PublishTable("t", 20, 200); err != nil {
+		t.Fatal(err)
+	}
+	lc := NewLocator(nodes["peer-01"])
+	loc, err := lc.PeersForTable("t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(loc.Peers) != 1 || loc.Entries[0].Rows != 20 {
+		t.Fatalf("loc = %+v", loc)
+	}
+}
+
+func TestRangeIndexPriority(t *testing.T) {
+	nodes := testNetwork(t, 3)
+	// Three peers hold disjoint shipdate ranges.
+	spans := map[string][2]int64{
+		"peer-00": {0, 99},
+		"peer-01": {100, 199},
+		"peer-02": {200, 299},
+	}
+	for id, node := range nodes {
+		ix := New(node, id)
+		db := peerDB(t, spans[id][0], spans[id][1])
+		err := ix.PublishDB(db, map[string][]string{"lineitem": {"l_shipdate"}})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	lc := NewLocator(nodes["peer-00"])
+	stmt, err := sqldb.ParseSelect(`SELECT l_orderkey FROM lineitem WHERE l_shipdate > 150 AND l_shipdate < 180`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Note: the date column is published as DATE; integers in the
+	// predicate compare as date days via sqlval ordering.
+	loc, err := lc.Locate("lineitem", sqldb.Conjuncts(stmt.Where), []string{"l_orderkey", "l_shipdate"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loc.Kind != KindRange {
+		t.Fatalf("kind = %v", loc.Kind)
+	}
+	if len(loc.Peers) != 1 || loc.Peers[0] != "peer-01" {
+		t.Fatalf("peers = %v", loc.Peers)
+	}
+}
+
+func TestRangeIndexBoundaryOverlap(t *testing.T) {
+	nodes := testNetwork(t, 2)
+	for i, id := range []string{"peer-00", "peer-01"} {
+		ix := New(nodes[id], id)
+		db := peerDB(t, int64(i*100), int64(i*100+99))
+		if err := ix.PublishDB(db, map[string][]string{"lineitem": {"l_shipdate"}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	lc := NewLocator(nodes["peer-00"])
+	stmt, _ := sqldb.ParseSelect(`SELECT * FROM lineitem WHERE l_shipdate >= 99 AND l_shipdate <= 100`)
+	loc, err := lc.Locate("lineitem", sqldb.Conjuncts(stmt.Where), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loc.Kind != KindRange || len(loc.Peers) != 2 {
+		t.Fatalf("loc = %+v", loc)
+	}
+}
+
+func TestColumnIndexFallback(t *testing.T) {
+	nodes := testNetwork(t, 3)
+	// peer-00 and peer-01 host lineitem with the column; peer-02 hosts
+	// the table too but in a schema without l_price (multi-tenant case).
+	for _, id := range []string{"peer-00", "peer-01"} {
+		ix := New(nodes[id], id)
+		db := peerDB(t, 0, 9)
+		if err := ix.PublishDB(db, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ix := New(nodes["peer-02"], "peer-02")
+	db := sqldb.NewDB()
+	if _, err := db.Exec(`CREATE TABLE lineitem (l_orderkey INT)`); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.InsertRow("lineitem", sqlval.Row{sqlval.Int(1)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := ix.PublishDB(db, nil); err != nil {
+		t.Fatal(err)
+	}
+
+	lc := NewLocator(nodes["peer-00"])
+	// No literal predicate -> no range index; l_price referenced ->
+	// column index filters out peer-02.
+	loc, err := lc.Locate("lineitem", nil, []string{"l_price"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loc.Kind != KindColumn {
+		t.Fatalf("kind = %v", loc.Kind)
+	}
+	if len(loc.Peers) != 2 {
+		t.Fatalf("peers = %v", loc.Peers)
+	}
+	// Worst case: only the table index applies.
+	loc, err = lc.Locate("lineitem", nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loc.Kind != KindTable || len(loc.Peers) != 3 {
+		t.Fatalf("table fallback loc = %+v", loc)
+	}
+}
+
+func TestLocatorCache(t *testing.T) {
+	nodes := testNetwork(t, 4)
+	for id, node := range nodes {
+		if err := New(node, id).PublishTable("t", 1, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	lc := NewLocator(nodes["peer-00"])
+	loc1, err := lc.PeersForTable("t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loc1.CacheHit {
+		t.Error("first lookup claims cache hit")
+	}
+	loc2, err := lc.PeersForTable("t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !loc2.CacheHit || loc2.Hops != 0 {
+		t.Errorf("second lookup = %+v", loc2)
+	}
+	hits, misses := lc.CacheStats()
+	if hits != 1 || misses != 1 {
+		t.Errorf("stats = %d/%d", hits, misses)
+	}
+	lc.Invalidate()
+	loc3, _ := lc.PeersForTable("t")
+	if loc3.CacheHit {
+		t.Error("lookup after Invalidate hit cache")
+	}
+	lc.SetCache(false)
+	loc4, _ := lc.PeersForTable("t")
+	loc5, _ := lc.PeersForTable("t")
+	if loc4.CacheHit || loc5.CacheHit {
+		t.Error("disabled cache still hit")
+	}
+}
+
+func TestUnpublishAll(t *testing.T) {
+	nodes := testNetwork(t, 3)
+	for id, node := range nodes {
+		ix := New(node, id)
+		db := peerDB(t, 0, 9)
+		if err := ix.PublishDB(db, map[string][]string{"lineitem": {"l_shipdate"}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ix := New(nodes["peer-01"], "peer-01")
+	err := ix.UnpublishAll([]string{"lineitem"}, []string{"l_orderkey", "l_shipdate", "l_price"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lc := NewLocator(nodes["peer-02"])
+	loc, err := lc.PeersForTable("lineitem")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(loc.Peers) != 2 {
+		t.Fatalf("peers after unpublish = %v", loc.Peers)
+	}
+	for _, p := range loc.Peers {
+		if p == "peer-01" {
+			t.Error("departed peer still indexed")
+		}
+	}
+}
+
+func TestExtractIntervals(t *testing.T) {
+	stmt, err := sqldb.ParseSelect(
+		`SELECT * FROM t WHERE a > 5 AND a <= 10 AND b = 'x' AND c BETWEEN 1 AND 3 AND 7 < d AND e + 1 > 2`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ivs := ExtractIntervals(sqldb.Conjuncts(stmt.Where))
+	a := ivs["a"]
+	if a.Lo.AsInt() != 5 || a.LoInc || a.Hi.AsInt() != 10 || !a.HiInc {
+		t.Errorf("a = %+v", a)
+	}
+	b := ivs["b"]
+	if b.Lo.AsString() != "x" || b.Hi.AsString() != "x" {
+		t.Errorf("b = %+v", b)
+	}
+	c := ivs["c"]
+	if c.Lo.AsInt() != 1 || c.Hi.AsInt() != 3 || !c.LoInc || !c.HiInc {
+		t.Errorf("c = %+v", c)
+	}
+	d := ivs["d"]
+	if d.Lo.AsInt() != 7 || d.LoInc {
+		t.Errorf("flipped d = %+v", d)
+	}
+	if _, ok := ivs["e"]; ok {
+		t.Error("non-literal predicate produced interval")
+	}
+}
+
+func TestIntervalOverlaps(t *testing.T) {
+	iv := Interval{Lo: sqlval.Int(10), Hi: sqlval.Int(20), LoInc: true, HiInc: false}
+	cases := []struct {
+		min, max int64
+		want     bool
+	}{
+		{0, 5, false},
+		{0, 10, true},
+		{15, 16, true},
+		{20, 30, false}, // Hi exclusive
+		{19, 30, true},
+		{25, 30, false},
+	}
+	for _, c := range cases {
+		if got := iv.Overlaps(sqlval.Int(c.min), sqlval.Int(c.max)); got != c.want {
+			t.Errorf("Overlaps(%d, %d) = %v", c.min, c.max, got)
+		}
+	}
+}

@@ -1,0 +1,364 @@
+package indexer
+
+import (
+	"sort"
+	"strings"
+	"sync"
+
+	"bestpeer/internal/baton"
+	"bestpeer/internal/sqldb"
+	"bestpeer/internal/sqlval"
+)
+
+// IndexKind identifies which index type answered a location query.
+type IndexKind string
+
+// The index kinds, in the paper's priority order.
+const (
+	KindRange  IndexKind = "range"
+	KindColumn IndexKind = "column"
+	KindTable  IndexKind = "table"
+	KindNone   IndexKind = "none"
+)
+
+// Location is the answer to "who holds data for this query".
+type Location struct {
+	Peers []string
+	Kind  IndexKind
+	// Hops is the overlay hops spent (0 on a cache hit).
+	Hops     int
+	CacheHit bool
+	// Entries carries the raw table entries when Kind includes them, for
+	// cost estimation (partition sizes).
+	Entries []TableEntry
+}
+
+// Locator resolves query → peers using the published indexes, with an
+// in-memory cache of index entries (§5.2: peers "cache sufficient table
+// index, column index, and range index entries in memory to speed up
+// the search for data owner peers, instead of traversing the BATON
+// structure").
+type Locator struct {
+	node *baton.Node
+
+	mu    sync.Mutex
+	cache map[string][]baton.Item
+	// CacheEnabled can be switched off to measure the ablation of index
+	// caching against per-query BATON traversal.
+	cacheEnabled bool
+
+	hits, misses int64
+}
+
+// NewLocator creates a locator with caching enabled.
+func NewLocator(node *baton.Node) *Locator {
+	return &Locator{node: node, cache: make(map[string][]baton.Item), cacheEnabled: true}
+}
+
+// SetCache enables or disables the index-entry cache.
+func (lc *Locator) SetCache(enabled bool) {
+	lc.mu.Lock()
+	defer lc.mu.Unlock()
+	lc.cacheEnabled = enabled
+	if !enabled {
+		lc.cache = make(map[string][]baton.Item)
+	}
+}
+
+// Invalidate drops cached entries (callers invalidate on membership
+// change notifications from the bootstrap).
+func (lc *Locator) Invalidate() {
+	lc.mu.Lock()
+	defer lc.mu.Unlock()
+	lc.cache = make(map[string][]baton.Item)
+}
+
+// CacheStats returns cumulative cache hits and misses.
+func (lc *Locator) CacheStats() (hits, misses int64) {
+	lc.mu.Lock()
+	defer lc.mu.Unlock()
+	return lc.hits, lc.misses
+}
+
+// lookup fetches index items by overlay name, through the cache.
+func (lc *Locator) lookup(name string) ([]baton.Item, int, bool, error) {
+	lc.mu.Lock()
+	if lc.cacheEnabled {
+		if items, ok := lc.cache[name]; ok {
+			lc.hits++
+			lc.mu.Unlock()
+			return items, 0, true, nil
+		}
+	}
+	lc.misses++
+	lc.mu.Unlock()
+	items, hops, err := lc.node.Lookup(name)
+	if err != nil {
+		return nil, hops, false, err
+	}
+	lc.mu.Lock()
+	if lc.cacheEnabled {
+		lc.cache[name] = items
+	}
+	lc.mu.Unlock()
+	return items, hops, false, nil
+}
+
+// PeersForTable resolves the peers storing any data of a table (I_T).
+func (lc *Locator) PeersForTable(table string) (Location, error) {
+	items, hops, hit, err := lc.lookup(TableKey(table))
+	if err != nil {
+		return Location{}, err
+	}
+	loc := Location{Kind: KindTable, Hops: hops, CacheHit: hit}
+	if len(items) == 0 {
+		loc.Kind = KindNone
+	}
+	for _, it := range items {
+		e := it.Value.(TableEntry)
+		loc.Peers = append(loc.Peers, e.Peer)
+		loc.Entries = append(loc.Entries, e)
+	}
+	sort.Strings(loc.Peers)
+	return loc, nil
+}
+
+// Interval is a literal-bounded restriction on one column extracted from
+// a query's conjuncts.
+type Interval struct {
+	Lo, Hi       sqlval.Value // NULL = unbounded
+	LoInc, HiInc bool
+}
+
+// Overlaps reports whether [min,max] (both inclusive) intersects the
+// interval.
+func (iv Interval) Overlaps(min, max sqlval.Value) bool {
+	if !iv.Lo.IsNull() {
+		c := sqlval.Compare(max, iv.Lo)
+		if c < 0 || (c == 0 && !iv.LoInc) {
+			return false
+		}
+	}
+	if !iv.Hi.IsNull() {
+		c := sqlval.Compare(min, iv.Hi)
+		if c > 0 || (c == 0 && !iv.HiInc) {
+			return false
+		}
+	}
+	return true
+}
+
+// ExtractIntervals pulls per-column literal restrictions out of a
+// conjunct list: col = v, col < v, col BETWEEN a AND b, etc. Columns
+// referenced without usable literal bounds are omitted.
+func ExtractIntervals(conjuncts []sqldb.Expr) map[string]Interval {
+	out := make(map[string]Interval)
+	merge := func(col string, iv Interval) {
+		col = strings.ToLower(col)
+		cur, ok := out[col]
+		if !ok {
+			out[col] = iv
+			return
+		}
+		if !iv.Lo.IsNull() && (cur.Lo.IsNull() || sqlval.Compare(iv.Lo, cur.Lo) > 0) {
+			cur.Lo, cur.LoInc = iv.Lo, iv.LoInc
+		}
+		if !iv.Hi.IsNull() && (cur.Hi.IsNull() || sqlval.Compare(iv.Hi, cur.Hi) < 0) {
+			cur.Hi, cur.HiInc = iv.Hi, iv.HiInc
+		}
+		out[col] = cur
+	}
+	for _, c := range conjuncts {
+		switch x := c.(type) {
+		case *sqldb.Binary:
+			ref, okL := x.L.(*sqldb.ColumnRef)
+			lit, okR := x.R.(*sqldb.Literal)
+			op := x.Op
+			if !okL || !okR {
+				if ref2, ok := x.R.(*sqldb.ColumnRef); ok {
+					if lit2, ok2 := x.L.(*sqldb.Literal); ok2 {
+						ref, lit, okL, okR = ref2, lit2, true, true
+						op = flip(op)
+					}
+				}
+			}
+			if !okL || !okR {
+				continue
+			}
+			v := normalizeLiteral(lit.Val)
+			switch op {
+			case "=":
+				merge(ref.Column, Interval{Lo: v, Hi: v, LoInc: true, HiInc: true})
+			case "<":
+				merge(ref.Column, Interval{Hi: v})
+			case "<=":
+				merge(ref.Column, Interval{Hi: v, HiInc: true})
+			case ">":
+				merge(ref.Column, Interval{Lo: v})
+			case ">=":
+				merge(ref.Column, Interval{Lo: v, LoInc: true})
+			}
+		case *sqldb.Between:
+			ref, ok := x.E.(*sqldb.ColumnRef)
+			if !ok || x.Not {
+				continue
+			}
+			lo, okLo := x.Lo.(*sqldb.Literal)
+			hi, okHi := x.Hi.(*sqldb.Literal)
+			if !okLo || !okHi {
+				continue
+			}
+			merge(ref.Column, Interval{
+				Lo: normalizeLiteral(lo.Val), Hi: normalizeLiteral(hi.Val),
+				LoInc: true, HiInc: true,
+			})
+		}
+	}
+	return out
+}
+
+// normalizeLiteral converts date-shaped strings so they compare against
+// DATE columns' published min–max values.
+func normalizeLiteral(v sqlval.Value) sqlval.Value {
+	if v.Kind() == sqlval.KindString {
+		if d, err := sqlval.ParseDate(v.AsString()); err == nil {
+			return d
+		}
+	}
+	return v
+}
+
+func flip(op string) string {
+	switch op {
+	case "<":
+		return ">"
+	case "<=":
+		return ">="
+	case ">":
+		return "<"
+	case ">=":
+		return "<="
+	default:
+		return op
+	}
+}
+
+// Locate resolves the peers relevant to a single-table access with the
+// paper's index priority:
+//
+//  1. Range index: when the query restricts a range-indexed column, only
+//     peers whose published [min, max] overlaps the restriction qualify.
+//  2. Column index: peers that host the table with the referenced
+//     columns populated.
+//  3. Table index: every peer hosting any part of the table.
+func (lc *Locator) Locate(table string, conjuncts []sqldb.Expr, referencedColumns []string) (Location, error) {
+	intervals := ExtractIntervals(conjuncts)
+
+	tableLoc, err := lc.PeersForTable(table)
+	if err != nil {
+		return Location{}, err
+	}
+	if tableLoc.Kind == KindNone {
+		return tableLoc, nil
+	}
+	entryByPeer := make(map[string]TableEntry, len(tableLoc.Entries))
+	for _, e := range tableLoc.Entries {
+		entryByPeer[e.Peer] = e
+	}
+
+	// 1. Range index.
+	if len(intervals) > 0 {
+		items, hops, hit, err := lc.lookup(RangeKey(table))
+		if err != nil {
+			return Location{}, err
+		}
+		// Group the range entries per column, then intersect: a peer
+		// qualifies if for every restricted column with range entries,
+		// its published min-max overlaps the restriction.
+		byColumn := make(map[string]map[string][2]sqlval.Value) // column -> peer -> [min, max]
+		for _, it := range items {
+			e := it.Value.(RangeEntry)
+			col := strings.ToLower(e.Column)
+			if byColumn[col] == nil {
+				byColumn[col] = make(map[string][2]sqlval.Value)
+			}
+			byColumn[col][e.Peer] = [2]sqlval.Value{e.Min, e.Max}
+		}
+		applied := false
+		qualified := make(map[string]bool, len(tableLoc.Peers))
+		for _, p := range tableLoc.Peers {
+			qualified[p] = true
+		}
+		for col, iv := range intervals {
+			peers, ok := byColumn[col]
+			if !ok {
+				continue
+			}
+			applied = true
+			for p := range qualified {
+				mm, has := peers[p]
+				if !has || !iv.Overlaps(mm[0], mm[1]) {
+					delete(qualified, p)
+				}
+			}
+		}
+		if applied {
+			loc := Location{Kind: KindRange, Hops: tableLoc.Hops + hops, CacheHit: hit && tableLoc.CacheHit}
+			for p := range qualified {
+				loc.Peers = append(loc.Peers, p)
+				loc.Entries = append(loc.Entries, entryByPeer[p])
+			}
+			sort.Strings(loc.Peers)
+			return loc, nil
+		}
+	}
+
+	// 2. Column index.
+	if len(referencedColumns) > 0 {
+		qualified := make(map[string]bool, len(tableLoc.Peers))
+		for _, p := range tableLoc.Peers {
+			qualified[p] = true
+		}
+		applied := false
+		totalHops := tableLoc.Hops
+		allHit := tableLoc.CacheHit
+		for _, col := range referencedColumns {
+			items, hops, hit, err := lc.lookup(ColumnKey(col))
+			if err != nil {
+				return Location{}, err
+			}
+			totalHops += hops
+			allHit = allHit && hit
+			if len(items) == 0 {
+				continue
+			}
+			applied = true
+			has := make(map[string]bool)
+			for _, it := range items {
+				e := it.Value.(ColumnEntry)
+				for _, t := range e.Tables {
+					if strings.EqualFold(t, table) {
+						has[e.Peer] = true
+					}
+				}
+			}
+			for p := range qualified {
+				if !has[p] {
+					delete(qualified, p)
+				}
+			}
+		}
+		if applied {
+			loc := Location{Kind: KindColumn, Hops: totalHops, CacheHit: allHit}
+			for p := range qualified {
+				loc.Peers = append(loc.Peers, p)
+				loc.Entries = append(loc.Entries, entryByPeer[p])
+			}
+			sort.Strings(loc.Peers)
+			return loc, nil
+		}
+	}
+
+	// 3. Table index.
+	return tableLoc, nil
+}

@@ -1,0 +1,249 @@
+package loader
+
+import (
+	"fmt"
+	"testing"
+
+	"bestpeer/internal/erp"
+	"bestpeer/internal/schemamap"
+	"bestpeer/internal/sqldb"
+	"bestpeer/internal/sqlval"
+)
+
+// testSetup builds a production system with a local schema that differs
+// from the global one in table name, column names, column order, and
+// vocabulary — the full schema-mapping surface.
+func testSetup(t *testing.T) (*erp.System, *schemamap.Mapping, *sqldb.DB, func(string) *sqldb.Schema) {
+	t.Helper()
+	sys := erp.NewSystem("SAP")
+	localSchema := &sqldb.Schema{
+		Table: "vbak_orders",
+		Columns: []sqldb.Column{
+			{Name: "status_code", Kind: sqlval.KindString},
+			{Name: "order_id", Kind: sqlval.KindInt},
+			{Name: "net_value", Kind: sqlval.KindFloat},
+		},
+	}
+	if err := sys.CreateTable(localSchema); err != nil {
+		t.Fatal(err)
+	}
+	globalSchema := &sqldb.Schema{
+		Table: "orders",
+		Columns: []sqldb.Column{
+			{Name: "o_orderkey", Kind: sqlval.KindInt},
+			{Name: "o_totalprice", Kind: sqlval.KindFloat},
+			{Name: "o_orderstatus", Kind: sqlval.KindString},
+			{Name: "o_comment", Kind: sqlval.KindString}, // unmapped -> NULL
+		},
+	}
+	global := func(name string) *sqldb.Schema {
+		if name == "orders" {
+			return globalSchema
+		}
+		return nil
+	}
+	mapping := &schemamap.Mapping{
+		System: "SAP",
+		Tables: []schemamap.TableMapping{{
+			LocalTable:  "vbak_orders",
+			GlobalTable: "orders",
+			Columns: []schemamap.ColumnMapping{
+				{Local: "order_id", Global: "o_orderkey"},
+				{Local: "net_value", Global: "o_totalprice"},
+				{Local: "status_code", Global: "o_orderstatus",
+					Values: map[string]string{"03": "SHIPPED", "01": "OPEN"}},
+			},
+		}},
+	}
+	return sys, mapping, sqldb.NewDB(), global
+}
+
+func insertOrder(t *testing.T, sys *erp.System, status string, id int, value float64) {
+	t.Helper()
+	if err := sys.Insert("vbak_orders", sqlval.Row{sqlval.Str(status), sqlval.Int(int64(id)), sqlval.Float(value)}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInitialLoadTransforms(t *testing.T) {
+	sys, mapping, dest, global := testSetup(t)
+	insertOrder(t, sys, "03", 1, 100.5)
+	insertOrder(t, sys, "01", 2, 200.0)
+
+	l, err := New(sys, mapping, dest, global)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := l.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Inserted != 2 || d.Deleted != 0 || d.TablesLoaded != 1 {
+		t.Fatalf("delta = %+v", d)
+	}
+	res, err := dest.Query(`SELECT o_orderkey, o_totalprice, o_orderstatus, o_comment FROM orders ORDER BY o_orderkey`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	r := res.Rows[0]
+	if r[0].AsInt() != 1 || r[1].AsFloat() != 100.5 {
+		t.Errorf("row = %v", r)
+	}
+	if r[2].AsString() != "SHIPPED" {
+		t.Errorf("value mapping not applied: %v", r[2])
+	}
+	if !r[3].IsNull() {
+		t.Errorf("unmapped column = %v, want NULL", r[3])
+	}
+}
+
+func TestRefreshDetectsInsert(t *testing.T) {
+	sys, mapping, dest, global := testSetup(t)
+	insertOrder(t, sys, "01", 1, 10)
+	l, _ := New(sys, mapping, dest, global)
+	if _, err := l.Run(); err != nil {
+		t.Fatal(err)
+	}
+	insertOrder(t, sys, "01", 2, 20)
+	d, err := l.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Inserted != 1 || d.Deleted != 0 || d.Unchanged != 1 {
+		t.Fatalf("delta = %+v", d)
+	}
+}
+
+func TestRefreshDetectsDelete(t *testing.T) {
+	sys, mapping, dest, global := testSetup(t)
+	insertOrder(t, sys, "01", 1, 10)
+	insertOrder(t, sys, "01", 2, 20)
+	l, _ := New(sys, mapping, dest, global)
+	if _, err := l.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.Exec(`DELETE FROM vbak_orders WHERE order_id = 1`); err != nil {
+		t.Fatal(err)
+	}
+	d, err := l.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Deleted != 1 || d.Inserted != 0 || d.Unchanged != 1 {
+		t.Fatalf("delta = %+v", d)
+	}
+	res, _ := dest.Query(`SELECT COUNT(*) FROM orders`)
+	if res.Rows[0][0].AsInt() != 1 {
+		t.Errorf("dest rows = %v", res.Rows[0][0])
+	}
+}
+
+func TestRefreshDetectsUpdateAsDeletePlusInsert(t *testing.T) {
+	sys, mapping, dest, global := testSetup(t)
+	insertOrder(t, sys, "01", 1, 10)
+	l, _ := New(sys, mapping, dest, global)
+	if _, err := l.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.Exec(`UPDATE vbak_orders SET net_value = 99.0 WHERE order_id = 1`); err != nil {
+		t.Fatal(err)
+	}
+	d, err := l.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Deleted != 1 || d.Inserted != 1 || d.Unchanged != 0 {
+		t.Fatalf("delta = %+v", d)
+	}
+	res, _ := dest.Query(`SELECT o_totalprice FROM orders`)
+	if len(res.Rows) != 1 || res.Rows[0][0].AsFloat() != 99.0 {
+		t.Errorf("dest after update = %+v", res.Rows)
+	}
+}
+
+func TestRefreshNoChangesIsNoop(t *testing.T) {
+	sys, mapping, dest, global := testSetup(t)
+	for i := 0; i < 50; i++ {
+		insertOrder(t, sys, "01", i, float64(i))
+	}
+	l, _ := New(sys, mapping, dest, global)
+	if _, err := l.Run(); err != nil {
+		t.Fatal(err)
+	}
+	d, err := l.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Inserted != 0 || d.Deleted != 0 || d.Unchanged != 50 {
+		t.Fatalf("delta = %+v", d)
+	}
+}
+
+func TestDuplicateTuplesHandled(t *testing.T) {
+	sys, mapping, dest, global := testSetup(t)
+	insertOrder(t, sys, "01", 7, 1.0)
+	insertOrder(t, sys, "01", 7, 1.0) // identical tuple
+	l, _ := New(sys, mapping, dest, global)
+	d, err := l.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Inserted != 2 {
+		t.Fatalf("delta = %+v", d)
+	}
+	if _, err := sys.Exec(`DELETE FROM vbak_orders WHERE order_id = 7`); err != nil {
+		t.Fatal(err)
+	}
+	// Re-insert just one copy: net effect is one delete.
+	insertOrder(t, sys, "01", 7, 1.0)
+	d, err = l.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Deleted != 1 || d.Inserted != 0 || d.Unchanged != 1 {
+		t.Fatalf("delta = %+v", d)
+	}
+}
+
+func TestChurnConvergence(t *testing.T) {
+	sys, mapping, dest, global := testSetup(t)
+	l, _ := New(sys, mapping, dest, global)
+	live := map[int]float64{}
+	next := 0
+	for round := 0; round < 10; round++ {
+		for k := 0; k < 5; k++ {
+			insertOrder(t, sys, "01", next, float64(next))
+			live[next] = float64(next)
+			next++
+		}
+		if round%2 == 1 {
+			victim := next - 3
+			if _, err := sys.Exec(fmt.Sprintf(`DELETE FROM vbak_orders WHERE order_id = %d`, victim)); err != nil {
+				t.Fatal(err)
+			}
+			delete(live, victim)
+		}
+		if _, err := l.Run(); err != nil {
+			t.Fatal(err)
+		}
+		res, err := dest.Query(`SELECT COUNT(*) FROM orders`)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := res.Rows[0][0].AsInt(); got != int64(len(live)) {
+			t.Fatalf("round %d: dest has %d rows, want %d", round, got, len(live))
+		}
+	}
+}
+
+func TestNewRejectsBadMapping(t *testing.T) {
+	sys, mapping, dest, global := testSetup(t)
+	mapping.Tables[0].Columns = append(mapping.Tables[0].Columns,
+		schemamap.ColumnMapping{Local: "no_such_col", Global: "o_comment"})
+	if _, err := New(sys, mapping, dest, global); err == nil {
+		t.Error("bad mapping accepted")
+	}
+}

@@ -1,0 +1,292 @@
+// Package mapreduce is the MapReduce framework BestPeer++ mounts for
+// large-scale analytical jobs (paper §5.4) and the substrate of the
+// HadoopDB baseline (§6.1.3). It reproduces the structural costs the
+// paper's figures hinge on:
+//
+//   - per-job startup cost: scheduling map tasks on task trackers and
+//     launching fresh task processes costs 10–15 s regardless of cluster
+//     size (§6.1.6) — charged once per job;
+//   - pull-based shuffle: reducers poll for map-completion events and
+//     then pull intermediate data, adding a noticeable delay between map
+//     completion and reduce start (§6.1.7) — charged once per job with a
+//     reduce phase;
+//   - wave execution: with one map and one reduce slot per worker, tasks
+//     beyond the worker count run in sequential waves.
+//
+// Jobs execute for real: user map and reduce functions run over actual
+// rows (concurrently, capped at the worker count) and produce actual
+// outputs, while the job's physical work is charged to the virtual-time
+// cost model.
+package mapreduce
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"bestpeer/internal/dfs"
+	"bestpeer/internal/sqlval"
+	"bestpeer/internal/vtime"
+)
+
+// KV is one intermediate key/value record.
+type KV struct {
+	Key sqlval.Value
+	Row sqlval.Row
+}
+
+// MapFunc transforms one input row into intermediate records. src names
+// the split's source (worker or peer ID).
+type MapFunc func(src string, row sqlval.Row) ([]KV, error)
+
+// ReduceFunc folds all rows sharing a key into output rows.
+type ReduceFunc func(key sqlval.Value, rows []sqlval.Row) ([]sqlval.Row, error)
+
+// Split is one map task's input: rows already resident at a source
+// (a worker's local database or a DFS partition) plus the number of
+// bytes the map task reads to produce them.
+type Split struct {
+	Source string
+	Rows   []sqlval.Row
+	Bytes  int64
+}
+
+// Job describes one MapReduce job.
+type Job struct {
+	Name string
+	// Map defaults to the identity mapper (key NULL, row unchanged).
+	Map MapFunc
+	// Reduce nil makes a map-only job: map outputs are the job output
+	// and no shuffle happens (e.g. HadoopDB's Q1 plan).
+	Reduce ReduceFunc
+	// NumReducers defaults to the cluster's worker count (the manual
+	// setting the paper applies to HadoopDB's join queries).
+	NumReducers int
+	// Splits are the map inputs.
+	Splits []Split
+	// Output, when non-empty, writes the job output to this DFS path.
+	Output string
+}
+
+// Result is a completed job's output and accounting.
+type Result struct {
+	Rows []sqlval.Row
+	Cost vtime.Cost
+
+	MapTasks       int
+	ReduceTasks    int
+	MapOutputBytes int64
+	ShuffleBytes   int64
+	OutputBytes    int64
+}
+
+// Cluster is a running MapReduce service: a job tracker over worker
+// task slots and a DFS for job output.
+type Cluster struct {
+	fs      *dfs.FileSystem
+	workers int
+	rates   vtime.Rates
+}
+
+// NewCluster creates a cluster with the given worker count (each worker
+// contributes one map slot and one reduce slot, per the paper's Hadoop
+// configuration).
+func NewCluster(fs *dfs.FileSystem, workers int, rates vtime.Rates) (*Cluster, error) {
+	if workers < 1 {
+		return nil, fmt.Errorf("mapreduce: need at least one worker")
+	}
+	return &Cluster{fs: fs, workers: workers, rates: rates}, nil
+}
+
+// Workers returns the cluster's worker count.
+func (c *Cluster) Workers() int { return c.workers }
+
+// FS returns the cluster's file system.
+func (c *Cluster) FS() *dfs.FileSystem { return c.fs }
+
+// Run executes one job to completion.
+func (c *Cluster) Run(job Job) (*Result, error) {
+	mapFn := job.Map
+	if mapFn == nil {
+		mapFn = func(_ string, row sqlval.Row) ([]KV, error) {
+			return []KV{{Key: sqlval.Null(), Row: row}}, nil
+		}
+	}
+	numReducers := job.NumReducers
+	if numReducers <= 0 {
+		numReducers = c.workers
+	}
+
+	res := &Result{MapTasks: len(job.Splits)}
+	res.Cost = res.Cost.Add(c.rates.JobStartup(1))
+
+	// --- map phase: run tasks concurrently, capped at the worker count.
+	type mapOut struct {
+		kvs   []KV
+		bytes int64
+		err   error
+	}
+	outs := make([]mapOut, len(job.Splits))
+	sem := make(chan struct{}, c.workers)
+	var wg sync.WaitGroup
+	for i, split := range job.Splits {
+		wg.Add(1)
+		go func(i int, split Split) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			var kvs []KV
+			var bytes int64
+			for _, row := range split.Rows {
+				out, err := mapFn(split.Source, row)
+				if err != nil {
+					outs[i] = mapOut{err: err}
+					return
+				}
+				for _, kv := range out {
+					bytes += int64(kv.Row.EncodedSize()) + int64(kv.Key.EncodedSize())
+				}
+				kvs = append(kvs, out...)
+			}
+			outs[i] = mapOut{kvs: kvs, bytes: bytes}
+		}(i, split)
+	}
+	wg.Wait()
+
+	// Map cost: waves of parallel tasks; each task reads its split and
+	// processes it.
+	var waveCosts []vtime.Cost
+	var wave vtime.Cost
+	for i, split := range job.Splits {
+		if outs[i].err != nil {
+			return nil, fmt.Errorf("mapreduce: %s map task %d: %w", job.Name, i, outs[i].err)
+		}
+		task := c.rates.DiskRead(split.Bytes).Add(c.rates.CPUWork(split.Bytes))
+		wave = vtime.Par(wave, task)
+		res.MapOutputBytes += outs[i].bytes
+		if (i+1)%c.workers == 0 {
+			waveCosts = append(waveCosts, wave)
+			wave = vtime.Cost{}
+		}
+	}
+	if wave.Total() > 0 {
+		waveCosts = append(waveCosts, wave)
+	}
+	for _, wc := range waveCosts {
+		res.Cost = res.Cost.Add(wc)
+	}
+
+	// --- map-only job: concatenate outputs in split order.
+	if job.Reduce == nil {
+		for _, o := range outs {
+			for _, kv := range o.kvs {
+				res.Rows = append(res.Rows, kv.Row)
+			}
+		}
+		return c.finish(job, res)
+	}
+
+	// --- shuffle: hash-partition intermediate records across reducers.
+	partitions := make([][]KV, numReducers)
+	partBytes := make([]int64, numReducers)
+	for _, o := range outs {
+		for _, kv := range o.kvs {
+			p := int(kv.Key.Hash() % uint64(numReducers))
+			partitions[p] = append(partitions[p], kv)
+			partBytes[p] += int64(kv.Row.EncodedSize()) + int64(kv.Key.EncodedSize())
+		}
+	}
+	var maxPart int64
+	for _, b := range partBytes {
+		res.ShuffleBytes += b
+		if b > maxPart {
+			maxPart = b
+		}
+	}
+	// Reducers poll for completion events, then pull their partitions in
+	// parallel; the slowest (largest) partition is the critical path.
+	res.Cost = res.Cost.Add(c.rates.PullDelay(1)).Add(c.rates.NetTransfer(maxPart))
+
+	// --- reduce phase: group each partition by key (sorted for
+	// determinism) and fold.
+	res.ReduceTasks = numReducers
+	type redOut struct {
+		rows []sqlval.Row
+		err  error
+	}
+	redOuts := make([]redOut, numReducers)
+	var rwg sync.WaitGroup
+	rsem := make(chan struct{}, c.workers)
+	for p := 0; p < numReducers; p++ {
+		rwg.Add(1)
+		go func(p int) {
+			defer rwg.Done()
+			rsem <- struct{}{}
+			defer func() { <-rsem }()
+			part := partitions[p]
+			sort.SliceStable(part, func(i, j int) bool {
+				return sqlval.Less(part[i].Key, part[j].Key)
+			})
+			var rows []sqlval.Row
+			for i := 0; i < len(part); {
+				j := i
+				for j < len(part) && sqlval.Equal(part[j].Key, part[i].Key) {
+					j++
+				}
+				group := make([]sqlval.Row, 0, j-i)
+				for _, kv := range part[i:j] {
+					group = append(group, kv.Row)
+				}
+				out, err := job.Reduce(part[i].Key, group)
+				if err != nil {
+					redOuts[p] = redOut{err: err}
+					return
+				}
+				rows = append(rows, out...)
+				i = j
+			}
+			redOuts[p] = redOut{rows: rows}
+		}(p)
+	}
+	rwg.Wait()
+
+	var reduceWave vtime.Cost
+	waveCosts = waveCosts[:0]
+	for p := 0; p < numReducers; p++ {
+		if redOuts[p].err != nil {
+			return nil, fmt.Errorf("mapreduce: %s reduce task %d: %w", job.Name, p, redOuts[p].err)
+		}
+		task := c.rates.CPUWork(partBytes[p])
+		reduceWave = vtime.Par(reduceWave, task)
+		if (p+1)%c.workers == 0 {
+			waveCosts = append(waveCosts, reduceWave)
+			reduceWave = vtime.Cost{}
+		}
+		res.Rows = append(res.Rows, redOuts[p].rows...)
+	}
+	if reduceWave.Total() > 0 {
+		waveCosts = append(waveCosts, reduceWave)
+	}
+	for _, wc := range waveCosts {
+		res.Cost = res.Cost.Add(wc)
+	}
+	return c.finish(job, res)
+}
+
+// finish writes job output to DFS (charging the replicated write) and
+// totals output bytes.
+func (c *Cluster) finish(job Job, res *Result) (*Result, error) {
+	for _, row := range res.Rows {
+		res.OutputBytes += int64(row.EncodedSize())
+	}
+	if job.Output != "" {
+		if c.fs == nil {
+			return nil, fmt.Errorf("mapreduce: job %s requests DFS output but cluster has no file system", job.Name)
+		}
+		if err := c.fs.Write(job.Output, res.Rows); err != nil {
+			return nil, err
+		}
+		res.Cost = res.Cost.Add(c.rates.DiskRead(res.OutputBytes))
+	}
+	return res, nil
+}

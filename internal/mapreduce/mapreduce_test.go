@@ -1,0 +1,298 @@
+package mapreduce
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"bestpeer/internal/dfs"
+	"bestpeer/internal/sqlval"
+	"bestpeer/internal/vtime"
+)
+
+func testCluster(t *testing.T, workers int) *Cluster {
+	t.Helper()
+	var dns []string
+	for i := 0; i < workers; i++ {
+		dns = append(dns, fmt.Sprintf("w%d", i))
+	}
+	fs, err := dfs.New(dfs.Config{BlockSizeBytes: 1 << 20, Replication: 1, Datanodes: dns})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := NewCluster(fs, workers, vtime.DefaultRates())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func splitOf(src string, vals ...int64) Split {
+	s := Split{Source: src}
+	for _, v := range vals {
+		row := sqlval.Row{sqlval.Int(v)}
+		s.Rows = append(s.Rows, row)
+		s.Bytes += int64(row.EncodedSize())
+	}
+	return s
+}
+
+func TestWordCountStyleJob(t *testing.T) {
+	c := testCluster(t, 4)
+	job := Job{
+		Name: "count-mod3",
+		Map: func(_ string, row sqlval.Row) ([]KV, error) {
+			return []KV{{Key: sqlval.Int(row[0].AsInt() % 3), Row: sqlval.Row{sqlval.Int(1)}}}, nil
+		},
+		Reduce: func(key sqlval.Value, rows []sqlval.Row) ([]sqlval.Row, error) {
+			var n int64
+			for range rows {
+				n++
+			}
+			return []sqlval.Row{{key, sqlval.Int(n)}}, nil
+		},
+		Splits: []Split{splitOf("a", 0, 1, 2, 3, 4, 5), splitOf("b", 6, 7, 8)},
+	}
+	res, err := c.Run(job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[int64]int64{}
+	for _, r := range res.Rows {
+		counts[r[0].AsInt()] = r[1].AsInt()
+	}
+	if counts[0] != 3 || counts[1] != 3 || counts[2] != 3 {
+		t.Errorf("counts = %v", counts)
+	}
+	if res.MapTasks != 2 || res.ReduceTasks != 4 {
+		t.Errorf("tasks = %d/%d", res.MapTasks, res.ReduceTasks)
+	}
+	if res.MapOutputBytes == 0 || res.ShuffleBytes == 0 {
+		t.Errorf("bytes = %+v", res)
+	}
+}
+
+func TestStartupCostChargedOncePerJob(t *testing.T) {
+	c := testCluster(t, 2)
+	job := Job{Name: "tiny", Splits: []Split{splitOf("a", 1)}}
+	res, err := c.Run(job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := vtime.DefaultRates()
+	if res.Cost.Startup != r.MRJobStartup {
+		t.Errorf("startup = %v, want %v (map-only: no pull delay)", res.Cost.Startup, r.MRJobStartup)
+	}
+	if res.Cost.Total() < 10*time.Second {
+		t.Errorf("tiny job total %v should be dominated by startup", res.Cost.Total())
+	}
+}
+
+func TestPullDelayOnlyWithReduce(t *testing.T) {
+	c := testCluster(t, 2)
+	withReduce := Job{
+		Name:   "r",
+		Reduce: func(k sqlval.Value, rows []sqlval.Row) ([]sqlval.Row, error) { return rows, nil },
+		Splits: []Split{splitOf("a", 1, 2)},
+	}
+	res, err := c.Run(withReduce)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := vtime.DefaultRates()
+	want := r.MRJobStartup + r.MRPullDelay
+	if res.Cost.Startup != want {
+		t.Errorf("startup+pull = %v, want %v", res.Cost.Startup, want)
+	}
+}
+
+func TestMapOnlyJobPreservesOrder(t *testing.T) {
+	c := testCluster(t, 2)
+	job := Job{Name: "identity", Splits: []Split{splitOf("a", 1, 2), splitOf("b", 3)}}
+	res, err := c.Run(job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 3 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	for i, want := range []int64{1, 2, 3} {
+		if res.Rows[i][0].AsInt() != want {
+			t.Errorf("row %d = %v (split order not preserved)", i, res.Rows[i])
+		}
+	}
+}
+
+func TestWaveCostScalesWithTasks(t *testing.T) {
+	// 8 equal splits on 2 workers = 4 waves; on 8 workers = 1 wave.
+	big := make([]int64, 1000)
+	for i := range big {
+		big[i] = int64(i)
+	}
+	mkJob := func() Job {
+		var splits []Split
+		for s := 0; s < 8; s++ {
+			splits = append(splits, splitOf(fmt.Sprintf("s%d", s), big...))
+		}
+		return Job{Name: "waves", Splits: splits}
+	}
+	c2 := testCluster(t, 2)
+	c8 := testCluster(t, 8)
+	r2, err := c2.Run(mkJob())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r8, err := c8.Run(mkJob())
+	if err != nil {
+		t.Fatal(err)
+	}
+	slow := r2.Cost.Disk + r2.Cost.CPU
+	fast := r8.Cost.Disk + r8.Cost.CPU
+	if slow < 3*fast {
+		t.Errorf("2-worker work %v not ~4x the 8-worker %v", slow, fast)
+	}
+}
+
+func TestSymmetricHashJoinJob(t *testing.T) {
+	// The join pattern the BestPeer++ MR engine uses (§5.4): map tags
+	// rows by source table, shuffle on the join key, reduce joins.
+	c := testCluster(t, 3)
+	left := Split{Source: "L"}
+	for i := int64(0); i < 10; i++ {
+		left.Rows = append(left.Rows, sqlval.Row{sqlval.Str("L"), sqlval.Int(i), sqlval.Str(fmt.Sprintf("left-%d", i))})
+	}
+	right := Split{Source: "R"}
+	for i := int64(5); i < 15; i++ {
+		right.Rows = append(right.Rows, sqlval.Row{sqlval.Str("R"), sqlval.Int(i), sqlval.Str(fmt.Sprintf("right-%d", i))})
+	}
+	job := Job{
+		Name: "join",
+		Map: func(_ string, row sqlval.Row) ([]KV, error) {
+			return []KV{{Key: row[1], Row: row}}, nil
+		},
+		Reduce: func(key sqlval.Value, rows []sqlval.Row) ([]sqlval.Row, error) {
+			var ls, rs []sqlval.Row
+			for _, r := range rows {
+				if r[0].AsString() == "L" {
+					ls = append(ls, r)
+				} else {
+					rs = append(rs, r)
+				}
+			}
+			var out []sqlval.Row
+			for _, l := range ls {
+				for _, r := range rs {
+					out = append(out, sqlval.Row{key, l[2], r[2]})
+				}
+			}
+			return out, nil
+		},
+		Splits: []Split{left, right},
+	}
+	res, err := c.Run(job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 5 { // keys 5..9 match
+		t.Fatalf("join rows = %d", len(res.Rows))
+	}
+}
+
+func TestJobOutputToDFS(t *testing.T) {
+	c := testCluster(t, 2)
+	job := Job{Name: "out", Splits: []Split{splitOf("a", 1, 2, 3)}, Output: "/jobs/out"}
+	res, err := c.Run(job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := c.FS().Read("/jobs/out")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 || res.OutputBytes == 0 {
+		t.Errorf("dfs rows = %d, output bytes = %d", len(rows), res.OutputBytes)
+	}
+}
+
+func TestMapErrorPropagates(t *testing.T) {
+	c := testCluster(t, 2)
+	boom := errors.New("boom")
+	job := Job{
+		Name:   "failing",
+		Map:    func(string, sqlval.Row) ([]KV, error) { return nil, boom },
+		Splits: []Split{splitOf("a", 1)},
+	}
+	if _, err := c.Run(job); !errors.Is(err, boom) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestReduceErrorPropagates(t *testing.T) {
+	c := testCluster(t, 2)
+	boom := errors.New("red")
+	job := Job{
+		Name:   "failing",
+		Reduce: func(sqlval.Value, []sqlval.Row) ([]sqlval.Row, error) { return nil, boom },
+		Splits: []Split{splitOf("a", 1)},
+	}
+	if _, err := c.Run(job); !errors.Is(err, boom) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestNewClusterValidation(t *testing.T) {
+	if _, err := NewCluster(nil, 0, vtime.DefaultRates()); err == nil {
+		t.Error("zero workers accepted")
+	}
+	c, err := NewCluster(nil, 2, vtime.DefaultRates())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Run(Job{Name: "x", Splits: []Split{splitOf("a", 1)}, Output: "/x"}); err == nil {
+		t.Error("DFS output without file system accepted")
+	}
+	if c.Workers() != 2 {
+		t.Errorf("Workers = %d", c.Workers())
+	}
+}
+
+// TestJobDeterminism: identical jobs produce byte-identical outputs
+// despite concurrent task execution.
+func TestJobDeterminism(t *testing.T) {
+	run := func() []string {
+		c := testCluster(t, 4)
+		job := Job{
+			Name: "det",
+			Map: func(_ string, row sqlval.Row) ([]KV, error) {
+				return []KV{{Key: sqlval.Int(row[0].AsInt() % 7), Row: row}}, nil
+			},
+			Reduce: func(key sqlval.Value, rows []sqlval.Row) ([]sqlval.Row, error) {
+				var sum int64
+				for _, r := range rows {
+					sum += r[0].AsInt()
+				}
+				return []sqlval.Row{{key, sqlval.Int(sum)}}, nil
+			},
+			Splits: []Split{splitOf("a", 1, 2, 3, 4, 5, 6, 7, 8, 9), splitOf("b", 10, 11, 12, 13)},
+		}
+		res, err := c.Run(job)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out := make([]string, len(res.Rows))
+		for i, r := range res.Rows {
+			out[i] = r.String()
+		}
+		return out
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatalf("lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("row %d differs: %q vs %q", i, a[i], b[i])
+		}
+	}
+}

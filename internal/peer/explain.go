@@ -1,0 +1,95 @@
+package peer
+
+import (
+	"fmt"
+	"strings"
+
+	"bestpeer/internal/engine"
+	"bestpeer/internal/sqldb"
+)
+
+// Explanation describes how a query would execute without running it:
+// the data owners each table resolves to (and through which index
+// kind), the adaptive planner's processing graph, and the predicted
+// engine costs.
+type Explanation struct {
+	Tables []TableAccessPlan
+	Plan   *engine.Plan
+}
+
+// TableAccessPlan is one FROM entry's resolved access.
+type TableAccessPlan struct {
+	Table       string
+	IndexKind   string
+	Peers       []string
+	Selectivity float64
+	PushedWhere string
+	Columns     []string
+}
+
+// Explain resolves a query's access plan and the adaptive planner's
+// prediction. It performs index lookups but ships no data.
+func (p *Peer) Explain(sql string) (*Explanation, error) {
+	stmt, err := sqldb.ParseSelect(sql)
+	if err != nil {
+		return nil, err
+	}
+	schemas := make([]*sqldb.Schema, len(stmt.From))
+	for i, ref := range stmt.From {
+		s := p.GlobalSchema(ref.Table)
+		if s == nil {
+			return nil, fmt.Errorf("peer: unknown global table %s", ref.Table)
+		}
+		schemas[i] = s
+	}
+	perTable, _ := sqldb.SplitConjunctsPerTable(stmt.Where, stmt.From, schemas)
+	out := &Explanation{}
+	for i, ref := range stmt.From {
+		cols := sqldb.NeededColumns(stmt, ref, schemas[i])
+		loc, err := p.Locate(ref.Table, perTable[i], cols)
+		if err != nil {
+			return nil, err
+		}
+		plan := TableAccessPlan{
+			Table:       ref.Table,
+			IndexKind:   string(loc.Kind),
+			Peers:       loc.Peers,
+			Selectivity: p.StatsSelectivity(ref.Table, perTable[i]),
+			Columns:     cols,
+		}
+		if w := sqldb.AndAll(perTable[i]); w != nil {
+			plan.PushedWhere = w.String()
+		}
+		out.Tables = append(out.Tables, plan)
+	}
+	ad := engine.NewAdaptive(p, engine.Options{}, "")
+	ad.Selectivity = p.StatsSelectivity
+	out.Plan, err = ad.Plan(stmt)
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// String renders the explanation for humans.
+func (e *Explanation) String() string {
+	var sb strings.Builder
+	for _, t := range e.Tables {
+		fmt.Fprintf(&sb, "table %-12s via %-6s index -> %d peer(s)", t.Table, t.IndexKind, len(t.Peers))
+		if t.Selectivity < 1 {
+			fmt.Fprintf(&sb, ", est. selectivity %.3f", t.Selectivity)
+		}
+		if t.PushedWhere != "" {
+			fmt.Fprintf(&sb, "\n  pushdown: %s", t.PushedWhere)
+		}
+		fmt.Fprintf(&sb, "\n  columns:  %s\n", strings.Join(t.Columns, ", "))
+	}
+	if e.Plan != nil {
+		fmt.Fprintf(&sb, "planner: engine=%s", e.Plan.Engine)
+		if len(e.Plan.Levels) > 0 {
+			fmt.Fprintf(&sb, " CBP=%.4g CMR=%.4g, %d graph levels", e.Plan.CBP, e.Plan.CMR, len(e.Plan.Levels))
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}

@@ -1,0 +1,142 @@
+package peer
+
+import (
+	"fmt"
+	"math/rand"
+
+	"bestpeer/internal/engine"
+	"bestpeer/internal/sqldb"
+	"bestpeer/internal/sqlval"
+)
+
+// Distributed online aggregation: BestPeer carried this capability into
+// BestPeer++ (paper §2, citing Wu et al., "Distributed Online
+// Aggregation", VLDB 2009). For a single-table aggregate query, instead
+// of waiting for every data owner peer, the processor streams partial
+// aggregates peer by peer in random order and emits, after each peer, a
+// running estimate extrapolated from the fraction of the relation seen
+// so far. Analysts watching a long-running aggregate can stop as soon
+// as the estimate is stable enough.
+
+// OnlineEstimate is one progressive result.
+type OnlineEstimate struct {
+	// Result is the merged aggregate over the peers seen so far, with
+	// SUM/COUNT columns extrapolated to the full relation.
+	Result *sqldb.Result
+	// PeersSeen / PeersTotal measure progress.
+	PeersSeen  int
+	PeersTotal int
+	// FractionSeen is the fraction of the relation's rows consumed; the
+	// extrapolation factor is its inverse.
+	FractionSeen float64
+	// Final marks the exact, fully-consumed result.
+	Final bool
+}
+
+// QueryOnline runs a single-table aggregate query progressively. The
+// callback receives an estimate after each peer's partials arrive;
+// returning false stops early. The final callback (Final=true) carries
+// the exact result. Seed orders the peer visits.
+func (p *Peer) QueryOnline(sql, user string, seed int64, fn func(OnlineEstimate) bool) error {
+	stmt, err := sqldb.ParseSelect(sql)
+	if err != nil {
+		return err
+	}
+	if len(stmt.From) != 1 {
+		return fmt.Errorf("peer: online aggregation supports single-table queries")
+	}
+	d, ok, err := engine.DecomposeAggregates(stmt, p.GlobalSchema)
+	if err != nil {
+		return err
+	}
+	if !ok {
+		return fmt.Errorf("peer: online aggregation needs an aggregate query")
+	}
+	schema := p.GlobalSchema(stmt.From[0].Table)
+	perTable, _ := sqldb.SplitConjunctsPerTable(stmt.Where, stmt.From, []*sqldb.Schema{schema})
+	cols := sqldb.NeededColumns(stmt, stmt.From[0], schema)
+	loc, err := p.Locate(stmt.From[0].Table, perTable[0], cols)
+	if err != nil {
+		return err
+	}
+	if err := p.Gate(loc.Peers); err != nil {
+		return err
+	}
+	rowsByPeer := make(map[string]int64, len(loc.Entries))
+	var totalRows int64
+	for _, e := range loc.Entries {
+		rowsByPeer[e.Peer] = e.Rows
+		totalRows += e.Rows
+	}
+	order := append([]string(nil), loc.Peers...)
+	rng := rand.New(rand.NewSource(seed))
+	rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+
+	ts := p.QueryTimestamp()
+	pb := []sqldb.Binding{{Alias: "partial", Schema: d.PartialSchema}}
+	var partials []sqlval.Row
+	var seenRows int64
+	for i, peerID := range order {
+		res, err := p.SubQuery(peerID, engine.SubQueryRequest{Stmt: d.Partial, User: user, Timestamp: ts})
+		if err != nil {
+			return err
+		}
+		partials = append(partials, res.Rows...)
+		seenRows += rowsByPeer[peerID]
+		final := i == len(order)-1
+
+		fraction := 1.0
+		if totalRows > 0 && !final {
+			fraction = float64(seenRows) / float64(totalRows)
+		}
+		scaled := partials
+		if !final && fraction > 0 && fraction < 1 {
+			scaled = scalePartials(d, partials, 1/fraction)
+		}
+		merged, err := sqldb.ProjectRows(d.Merge, pb, scaled)
+		if err != nil {
+			return err
+		}
+		est := OnlineEstimate{
+			Result:       merged,
+			PeersSeen:    i + 1,
+			PeersTotal:   len(order),
+			FractionSeen: fraction,
+			Final:        final,
+		}
+		if !fn(est) && !final {
+			return nil
+		}
+	}
+	if len(order) == 0 {
+		merged, err := sqldb.ProjectRows(d.Merge, pb, nil)
+		if err != nil {
+			return err
+		}
+		fn(OnlineEstimate{Result: merged, Final: true, FractionSeen: 1})
+	}
+	return nil
+}
+
+// scalePartials extrapolates SUM-mergeable partial columns (sums and
+// counts) by the inverse of the seen fraction; MIN/MAX and group-key
+// columns pass through (extrema cannot be extrapolated).
+func scalePartials(d *engine.Decomposition, partials []sqlval.Row, factor float64) []sqlval.Row {
+	out := make([]sqlval.Row, len(partials))
+	for i, row := range partials {
+		nr := row.Clone()
+		for c, op := range d.PartialMergeOps {
+			if op != "SUM" || c >= len(nr) || nr[c].IsNull() {
+				continue
+			}
+			switch nr[c].Kind() {
+			case sqlval.KindInt:
+				nr[c] = sqlval.Int(int64(float64(nr[c].AsInt()) * factor))
+			case sqlval.KindFloat:
+				nr[c] = sqlval.Float(nr[c].AsFloat() * factor)
+			}
+		}
+		out[i] = nr
+	}
+	return out
+}

@@ -1,0 +1,101 @@
+package peer
+
+import (
+	"math"
+	"testing"
+)
+
+func TestQueryOnlineConvergesToExact(t *testing.T) {
+	env := testEnv(t)
+	peers := joinLoaded(t, env, 5, 0.005)
+	sql := `SELECT COUNT(*) AS n, SUM(l_extendedprice) AS total FROM lineitem`
+	exact, err := peers[0].Query(sql, "", StrategyBasic, optsNone())
+	if err != nil {
+		t.Fatal(err)
+	}
+	exactN := exact.Result.Rows[0][0].AsFloat()
+	exactSum := exact.Result.Rows[0][1].AsFloat()
+
+	var estimates []float64
+	var finalN, finalSum float64
+	var sawFinal bool
+	err = peers[0].QueryOnline(sql, "", 7, func(e OnlineEstimate) bool {
+		estimates = append(estimates, e.Result.Rows[0][0].AsFloat())
+		if e.Final {
+			sawFinal = true
+			finalN = e.Result.Rows[0][0].AsFloat()
+			finalSum = e.Result.Rows[0][1].AsFloat()
+			if e.FractionSeen != 1 {
+				t.Errorf("final fraction = %v", e.FractionSeen)
+			}
+		}
+		return true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sawFinal || len(estimates) != 5 {
+		t.Fatalf("estimates = %d, final = %v", len(estimates), sawFinal)
+	}
+	if finalN != exactN || math.Abs(finalSum-exactSum) > 1e-6*exactSum {
+		t.Errorf("final (%v, %v) != exact (%v, %v)", finalN, finalSum, exactN, exactSum)
+	}
+	// Early estimates are already in the right ballpark: partitions are
+	// uniform, so extrapolation should land within 30% after one peer.
+	if ratio := estimates[0] / exactN; ratio < 0.7 || ratio > 1.3 {
+		t.Errorf("first estimate off by %vx", ratio)
+	}
+}
+
+func TestQueryOnlineEarlyStop(t *testing.T) {
+	env := testEnv(t)
+	peers := joinLoaded(t, env, 4, 0.004)
+	calls := 0
+	err := peers[0].QueryOnline(`SELECT COUNT(*) FROM orders`, "", 1, func(e OnlineEstimate) bool {
+		calls++
+		return false // stop after the first estimate
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls != 1 {
+		t.Errorf("callback ran %d times after early stop", calls)
+	}
+}
+
+func TestQueryOnlineGroupedAggregates(t *testing.T) {
+	env := testEnv(t)
+	peers := joinLoaded(t, env, 3, 0.004)
+	sql := `SELECT l_returnflag, COUNT(*) AS n FROM lineitem GROUP BY l_returnflag`
+	exact, err := peers[0].Query(sql, "", StrategyBasic, optsNone())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var finalRows int
+	err = peers[0].QueryOnline(sql, "", 2, func(e OnlineEstimate) bool {
+		if e.Final {
+			finalRows = len(e.Result.Rows)
+		}
+		return true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if finalRows != len(exact.Result.Rows) {
+		t.Errorf("final groups = %d, want %d", finalRows, len(exact.Result.Rows))
+	}
+}
+
+func TestQueryOnlineRejectsNonAggregates(t *testing.T) {
+	env := testEnv(t)
+	peers := joinLoaded(t, env, 2, 0.002)
+	if err := peers[0].QueryOnline(`SELECT l_orderkey FROM lineitem`, "", 1, nil); err == nil {
+		t.Error("plain select accepted")
+	}
+	if err := peers[0].QueryOnline(`SELECT COUNT(*) FROM lineitem l, orders o WHERE l.l_orderkey = o.o_orderkey`, "", 1, nil); err == nil {
+		t.Error("join accepted")
+	}
+	if err := peers[0].QueryOnline(`not sql`, "", 1, nil); err == nil {
+		t.Error("garbage accepted")
+	}
+}

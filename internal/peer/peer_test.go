@@ -1,0 +1,453 @@
+package peer
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+
+	"bestpeer/internal/baton"
+	"bestpeer/internal/bootstrap"
+	"bestpeer/internal/cloud"
+	"bestpeer/internal/engine"
+	"bestpeer/internal/pnet"
+	"bestpeer/internal/sqldb"
+	"bestpeer/internal/tpch"
+	"bestpeer/internal/vtime"
+)
+
+// testEnv builds a complete shared environment with a TPC-H global
+// schema.
+func testEnv(t *testing.T) Env {
+	t.Helper()
+	net := pnet.NewNetwork()
+	provider := cloud.NewSimProvider()
+	bs, err := bootstrap.New(net, "bootstrap", provider)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range tpch.Schemas(false) {
+		bs.DefineGlobalSchema(s)
+	}
+	return Env{
+		Net:       net,
+		Bootstrap: bs,
+		Overlay:   baton.NewOverlay(net, "bootstrap/overlay"),
+		Provider:  provider,
+		Rates:     vtime.DefaultRates(),
+		Clock:     &pnet.LogicalClock{},
+	}
+}
+
+// joinLoaded joins n peers, each with a TPC-H partition, indexes
+// published and backups taken.
+func joinLoaded(t *testing.T, env Env, n int, sf float64) []*Peer {
+	t.Helper()
+	peers := make([]*Peer, n)
+	for i := range peers {
+		p, err := Join(fmt.Sprintf("peer-%02d", i), env)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sc := tpch.Scale{ScaleFactor: sf, Peer: i, NumPeers: n, NationKey: -1}
+		if err := tpch.Generate(p.DB(), sc); err != nil {
+			t.Fatal(err)
+		}
+		if err := p.PublishIndexes(nil); err != nil {
+			t.Fatal(err)
+		}
+		if err := p.Backup(); err != nil {
+			t.Fatal(err)
+		}
+		p.MarkRefreshed()
+		peers[i] = p
+	}
+	return peers
+}
+
+func TestJoinIssuesVerifiableCertificate(t *testing.T) {
+	env := testEnv(t)
+	peers := joinLoaded(t, env, 2, 0.002)
+	for _, p := range peers {
+		if err := env.Bootstrap.CA().Verify(p.Certificate()); err != nil {
+			t.Errorf("%s cert invalid: %v", p.ID(), err)
+		}
+	}
+	if env.Overlay.Size() != 2 {
+		t.Errorf("overlay size = %d", env.Overlay.Size())
+	}
+	if p := peers[0].GlobalSchema("LINEITEM"); p == nil {
+		t.Error("case-insensitive global schema lookup failed")
+	}
+}
+
+func TestQueryAcrossPeers(t *testing.T) {
+	env := testEnv(t)
+	peers := joinLoaded(t, env, 3, 0.003)
+	res, err := peers[0].Query(`SELECT COUNT(*) FROM orders`, "", StrategyBasic, engine.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want int64
+	for _, p := range peers {
+		r, _ := p.DB().Query(`SELECT COUNT(*) FROM orders`)
+		want += r.Rows[0][0].AsInt()
+	}
+	if got := res.Result.Rows[0][0].AsInt(); got != want {
+		t.Errorf("count = %d, want %d", got, want)
+	}
+	if res.Resubmissions != 0 {
+		t.Errorf("resubmissions = %d", res.Resubmissions)
+	}
+}
+
+func TestUnknownStrategyRejected(t *testing.T) {
+	env := testEnv(t)
+	peers := joinLoaded(t, env, 1, 0.002)
+	if _, err := peers[0].Query(`SELECT 1 FROM orders`, "", Strategy("warp"), engine.Options{}); err == nil {
+		t.Error("unknown strategy accepted")
+	}
+}
+
+// TestDefinition2SnapshotSemantics: a query stamped before a data
+// owner's refresh is rejected by that owner (its snapshot is newer than
+// the query's timestamp); a resubmission with a fresh timestamp
+// succeeds.
+func TestDefinition2SnapshotSemantics(t *testing.T) {
+	env := testEnv(t)
+	peers := joinLoaded(t, env, 2, 0.002)
+
+	// The race: the query is stamped, then peer 1 refreshes its data
+	// before the subquery arrives.
+	staleT := env.Clock.Now()
+	peers[1].MarkRefreshed()
+
+	stmt, err := sqldb.ParseSelect(`SELECT COUNT(*) FROM orders`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := &engine.Basic{B: peers[0], Timestamp: staleT}
+	if _, err := e.Execute(stmt); !errors.Is(err, engine.ErrSnapshotNewer) {
+		t.Fatalf("stale-stamped query: err = %v, want ErrSnapshotNewer", err)
+	}
+	// Resubmission through the peer's query processor takes a fresh
+	// timestamp and succeeds.
+	res, err := peers[0].Query(`SELECT COUNT(*) FROM orders`, "", StrategyBasic, engine.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Result.Rows) != 1 {
+		t.Error("resubmitted query returned nothing")
+	}
+}
+
+func TestDefinition2GivesUpAfterRepeatedRaces(t *testing.T) {
+	env := testEnv(t)
+	peers := joinLoaded(t, env, 2, 0.002)
+	// A snapshot permanently in the future can never be caught: the
+	// query must terminate with the sentinel error.
+	peers[1].snapshotTS.Store(env.Clock.Now() + 1_000_000)
+	_, err := peers[0].Query(`SELECT COUNT(*) FROM orders`, "", StrategyBasic, engine.Options{})
+	if !errors.Is(err, engine.ErrSnapshotNewer) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestSnapshotAdvancesWithSync(t *testing.T) {
+	env := testEnv(t)
+	peers := joinLoaded(t, env, 1, 0.002)
+	before := peers[0].SnapshotTS()
+	peers[0].MarkRefreshed()
+	if peers[0].SnapshotTS() <= before {
+		t.Error("MarkRefreshed did not advance the snapshot timestamp")
+	}
+}
+
+func TestDumpRestoreRoundTrip(t *testing.T) {
+	env := testEnv(t)
+	peers := joinLoaded(t, env, 1, 0.002)
+	dump := DumpDB(peers[0].DB())
+	restored, err := RestoreDB(dump)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, table := range peers[0].DB().TableNames() {
+		orig, _ := peers[0].DB().Query(`SELECT COUNT(*) FROM ` + table)
+		got, err := restored.Query(`SELECT COUNT(*) FROM ` + table)
+		if err != nil {
+			t.Fatalf("%s: %v", table, err)
+		}
+		if orig.Rows[0][0].AsInt() != got.Rows[0][0].AsInt() {
+			t.Errorf("%s: %v != %v", table, got.Rows[0][0], orig.Rows[0][0])
+		}
+	}
+	// Secondary indexes were rebuilt.
+	li := restored.Table(tpch.LineItem)
+	if li.IndexOn("l_shipdate") == nil {
+		t.Error("restored lineitem lacks l_shipdate index")
+	}
+	res, err := restored.Query(tpch.Q1Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Stats.IndexUsed {
+		t.Error("restored index unused")
+	}
+}
+
+func TestRecoverRestoresFromBackup(t *testing.T) {
+	env := testEnv(t)
+	peers := joinLoaded(t, env, 3, 0.003)
+	victim := peers[1]
+	victimRows, _ := victim.DB().Query(`SELECT COUNT(*) FROM lineitem`)
+
+	env.Provider.Crash(victim.ID())
+	env.Net.SetDown(victim.ID(), true)
+
+	replacement, pub, err := Recover(victim.ID(), victim.ID()+"-v2", env, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pub) == 0 {
+		t.Error("no public key for replacement")
+	}
+	got, err := replacement.DB().Query(`SELECT COUNT(*) FROM lineitem`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Rows[0][0].AsInt() != victimRows.Rows[0][0].AsInt() {
+		t.Errorf("restored rows %v, want %v", got.Rows[0][0], victimRows.Rows[0][0])
+	}
+	// The replacement's index entries point at the new identity.
+	loc, err := peers[0].Locator().Locate(tpch.LineItem, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	peers[0].Locator().Invalidate()
+	loc, err = peers[0].Locator().Locate(tpch.LineItem, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	foundNew := false
+	for _, id := range loc.Peers {
+		if id == victim.ID() {
+			t.Errorf("failed identity still indexed: %v", loc.Peers)
+		}
+		if id == victim.ID()+"-v2" {
+			foundNew = true
+		}
+	}
+	if !foundNew {
+		t.Errorf("replacement not indexed: %v", loc.Peers)
+	}
+}
+
+func TestRecoverWithoutBackupFails(t *testing.T) {
+	env := testEnv(t)
+	p, err := Join("peer-00", env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = p
+	if _, _, err := Recover("never-existed", "x", env, nil); err == nil {
+		t.Error("recover without backup succeeded")
+	}
+}
+
+func TestJoinTaskHandlerRejectsUnknownUser(t *testing.T) {
+	env := testEnv(t)
+	peers := joinLoaded(t, env, 2, 0.002)
+	stmt, _ := sqldb.ParseSelect(`SELECT o_orderkey FROM orders`)
+	task := engine.JoinTask{
+		Local:        engine.SubQueryRequest{Stmt: stmt, User: "ghost"},
+		LocalBinding: sqldb.Binding{Alias: "orders", Schema: tpch.SchemaFor(tpch.Orders, false)},
+	}
+	if _, err := peers[0].JoinAt(peers[1].ID(), task); err == nil {
+		t.Error("join task for unknown user accepted")
+	}
+}
+
+func TestLeaveWithdrawsEverything(t *testing.T) {
+	env := testEnv(t)
+	peers := joinLoaded(t, env, 3, 0.003)
+	if err := peers[2].Leave(); err != nil {
+		t.Fatal(err)
+	}
+	peers[0].Locator().Invalidate()
+	loc, err := peers[0].Locator().Locate(tpch.Orders, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range loc.Peers {
+		if id == peers[2].ID() {
+			t.Error("departed peer still indexed")
+		}
+	}
+	if env.Overlay.Size() != 2 {
+		t.Errorf("overlay size = %d", env.Overlay.Size())
+	}
+	if len(env.Bootstrap.Peers()) != 2 {
+		t.Errorf("bootstrap peers = %v", env.Bootstrap.Peers())
+	}
+}
+
+func TestUserBroadcastReachesHandlers(t *testing.T) {
+	env := testEnv(t)
+	peers := joinLoaded(t, env, 2, 0.002)
+	role := fullAccessRole()
+	env.Bootstrap.Roles().DefineRole(role)
+	for _, p := range peers {
+		p.ACL().DefineRole(role)
+	}
+	if err := env.Bootstrap.CreateUser("carol", "everything"); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range peers {
+		if r := p.ACL().RoleOf("carol"); r == nil || r.Name != "everything" {
+			t.Errorf("%s did not learn carol", p.ID())
+		}
+	}
+	// The user can now query through any peer.
+	res, err := peers[1].Query(`SELECT COUNT(*) FROM orders`, "carol", StrategyBasic, engine.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Result.Rows) != 1 {
+		t.Error("no result for authorized user")
+	}
+}
+
+func fullAccessRole() *roleT {
+	return roleFull("everything", tpch.Schemas(false)...)
+}
+
+func TestSubQuerySizeAccounting(t *testing.T) {
+	env := testEnv(t)
+	peers := joinLoaded(t, env, 2, 0.002)
+	env.Net.ResetStats()
+	if _, err := peers[0].Query(`SELECT COUNT(*) FROM orders`, "", StrategyBasic, engine.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	stats := env.Net.Stats()
+	if stats.Messages == 0 || stats.BytesSent == 0 {
+		t.Errorf("no traffic accounted: %+v", stats)
+	}
+}
+
+func TestCheckAccessComputationsOverHiddenColumns(t *testing.T) {
+	env := testEnv(t)
+	peers := joinLoaded(t, env, 2, 0.002)
+	// analyst can read l_quantity only.
+	role := roleReadOnly("analyst", tpch.LineItem, "l_quantity")
+	env.Bootstrap.Roles().DefineRole(role)
+	for _, p := range peers {
+		p.ACL().DefineRole(role)
+	}
+	if err := env.Bootstrap.CreateUser("dave", "analyst"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := peers[0].Query(`SELECT SUM(l_quantity) FROM lineitem`, "dave", StrategyBasic, engine.Options{}); err != nil {
+		t.Errorf("aggregate over readable column rejected: %v", err)
+	}
+	if _, err := peers[0].Query(`SELECT SUM(l_extendedprice) FROM lineitem`, "dave", StrategyBasic, engine.Options{}); err == nil {
+		t.Error("aggregate over hidden column accepted")
+	}
+	// Plain projection of a hidden column is allowed but masked.
+	res, err := peers[0].Query(`SELECT l_quantity, l_extendedprice FROM lineitem`, "dave", StrategyBasic, engine.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range res.Result.Rows {
+		if !row[1].IsNull() {
+			t.Fatal("hidden column leaked")
+		}
+	}
+	if !strings.Contains(res.Engine, "basic") {
+		t.Errorf("engine = %s", res.Engine)
+	}
+}
+
+// TestPartialIndexingFallback: peers that never publish index entries
+// for a table are still reachable — the locator probes participants
+// directly (just-in-time retrieval over partially indexed data).
+func TestPartialIndexingFallback(t *testing.T) {
+	env := testEnv(t)
+	peers := make([]*Peer, 3)
+	for i := range peers {
+		p, err := Join(fmt.Sprintf("peer-%02d", i), env)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sc := tpch.Scale{ScaleFactor: 0.002, Peer: i, NumPeers: 3, NationKey: -1}
+		if err := tpch.Generate(p.DB(), sc); err != nil {
+			t.Fatal(err)
+		}
+		// Deliberately publish NO index entries (partial indexing: the
+		// peers treat every table as cold).
+		peers[i] = p
+	}
+	loc, err := peers[0].Locate(tpch.Orders, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(loc.Peers) != 3 {
+		t.Fatalf("probe found %v", loc.Peers)
+	}
+	if loc.Hops == 0 {
+		t.Error("probe hops not accounted")
+	}
+	// Queries work end to end without any published indexes.
+	res, err := peers[0].Query(`SELECT COUNT(*) FROM orders`, "", StrategyBasic, optsNone())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want int64
+	for _, p := range peers {
+		r, _ := p.DB().Query(`SELECT COUNT(*) FROM orders`)
+		want += r.Rows[0][0].AsInt()
+	}
+	if got := res.Result.Rows[0][0].AsInt(); got != want {
+		t.Errorf("count = %d, want %d", got, want)
+	}
+	// A genuinely absent table still resolves to nothing.
+	loc, err = peers[0].Locate("region", nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// region is generated only at peer 0.
+	if len(loc.Peers) != 1 {
+		t.Errorf("region probe = %v", loc.Peers)
+	}
+}
+
+func TestExplain(t *testing.T) {
+	env := testEnv(t)
+	peers := joinLoaded(t, env, 3, 0.003)
+	exp, err := peers[0].Explain(tpch.Q3Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(exp.Tables) != 2 {
+		t.Fatalf("tables = %d", len(exp.Tables))
+	}
+	for _, tp := range exp.Tables {
+		if len(tp.Peers) != 3 {
+			t.Errorf("%s peers = %v", tp.Table, tp.Peers)
+		}
+		if len(tp.Columns) == 0 {
+			t.Errorf("%s has no pushed columns", tp.Table)
+		}
+	}
+	if exp.Tables[0].PushedWhere == "" && exp.Tables[1].PushedWhere == "" {
+		t.Error("no pushdown predicates recorded for a selective query")
+	}
+	if exp.Plan == nil || (exp.Plan.Engine != "parallel" && exp.Plan.Engine != "mapreduce") {
+		t.Errorf("plan = %+v", exp.Plan)
+	}
+	if s := exp.String(); !strings.Contains(s, "lineitem") || !strings.Contains(s, "planner:") {
+		t.Errorf("rendering = %q", s)
+	}
+	if _, err := peers[0].Explain(`SELECT x FROM ghost`); err == nil {
+		t.Error("explain of unknown table succeeded")
+	}
+}

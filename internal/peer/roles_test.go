@@ -1,0 +1,27 @@
+package peer
+
+import (
+	"bestpeer/internal/accesscontrol"
+	"bestpeer/internal/engine"
+	"bestpeer/internal/sqldb"
+)
+
+// Test-local role helpers.
+
+type roleT = accesscontrol.Role
+
+func roleFull(name string, schemas ...*sqldb.Schema) *roleT {
+	return accesscontrol.FullAccess(name, schemas...)
+}
+
+func roleReadOnly(name, table string, columns ...string) *roleT {
+	r := accesscontrol.NewRole(name)
+	for _, c := range columns {
+		r.Rules = append(r.Rules, accesscontrol.Rule{
+			Table: table, Column: c, Priv: accesscontrol.PrivRead,
+		})
+	}
+	return r
+}
+
+func optsNone() engine.Options { return engine.Options{} }

@@ -1,0 +1,165 @@
+package peer
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"bestpeer/internal/histogram"
+	"bestpeer/internal/indexer"
+	"bestpeer/internal/sqldb"
+	"bestpeer/internal/sqlval"
+)
+
+// Statistics publication (paper §5.1): each normal peer builds
+// multi-dimensional MHIST histograms over its partition of a global
+// table, maps the buckets to one-dimensional keys with iDistance, and
+// publishes them into BATON. Query planners on any peer then fetch the
+// buckets overlapping a query region to estimate sizes and
+// selectivities for the cost models of §5.2–§5.5.
+//
+// The iDistance mapping must be identical network-wide for publishers
+// and readers to agree on key placement, so its parameters — the
+// histogram columns and their value domain — are part of the corporate
+// network's metadata at the bootstrap peer (StatsDomain).
+
+// StatsDomain names the histogram columns of one global table and their
+// network-agreed value domain.
+type StatsDomain struct {
+	Columns []string
+	Lo, Hi  []float64
+}
+
+// Validate checks structural consistency.
+func (d StatsDomain) Validate() error {
+	if len(d.Columns) == 0 || len(d.Columns) != len(d.Lo) || len(d.Lo) != len(d.Hi) {
+		return fmt.Errorf("peer: malformed stats domain %+v", d)
+	}
+	for i := range d.Lo {
+		if !(d.Lo[i] < d.Hi[i]) {
+			return fmt.Errorf("peer: empty stats domain on %s", d.Columns[i])
+		}
+	}
+	return nil
+}
+
+// mapping builds the network-agreed iDistance mapping for the domain.
+func (d StatsDomain) mapping() (*histogram.IDistance, error) {
+	return histogram.GridRefs(d.Lo, d.Hi)
+}
+
+// PublishStatistics builds the MHIST histogram of this peer's partition
+// of a table over the network's stats domain and publishes its buckets
+// into the overlay (replacing any previous publication by this peer).
+func (p *Peer) PublishStatistics(table string, maxBuckets int) error {
+	rec, ok := p.env.Bootstrap.StatsDomainRec(table)
+	if !ok {
+		return fmt.Errorf("peer: no stats domain registered for %s", table)
+	}
+	domain := StatsDomain(rec)
+	if err := domain.Validate(); err != nil {
+		return err
+	}
+	t := p.db.Table(table)
+	if t == nil {
+		return fmt.Errorf("peer %s: no local table %s", p.id, table)
+	}
+	cols := make([]int, len(domain.Columns))
+	for i, c := range domain.Columns {
+		ci := t.Schema().ColumnIndex(c)
+		if ci < 0 {
+			return fmt.Errorf("peer %s: table %s has no column %s", p.id, table, c)
+		}
+		cols[i] = ci
+	}
+	var points [][]float64
+	t.Scan(func(_ int, row sqlval.Row) bool {
+		pt := make([]float64, len(cols))
+		for i, ci := range cols {
+			v := row[ci]
+			if v.IsNull() {
+				return true // skip rows with NULL histogram dimensions
+			}
+			pt[i] = v.AsFloat()
+		}
+		points = append(points, pt)
+		return true
+	})
+	h, err := histogram.Build(table, domain.Columns, points, maxBuckets)
+	if err != nil {
+		return err
+	}
+	m, err := domain.mapping()
+	if err != nil {
+		return err
+	}
+	return histogram.Publish(p.node, p.id, h, m)
+}
+
+// StatsSelectivity estimates the fraction of a table's tuples that
+// satisfy the conjuncts, from the published histograms: EC(region) /
+// ES. It returns 1 (no reduction) when no statistics apply.
+func (p *Peer) StatsSelectivity(table string, conjuncts []sqldb.Expr) float64 {
+	rec, ok := p.env.Bootstrap.StatsDomainRec(table)
+	if !ok {
+		return 1
+	}
+	domain := StatsDomain(rec)
+	if domain.Validate() != nil {
+		return 1
+	}
+	intervals := indexer.ExtractIntervals(conjuncts)
+	if len(intervals) == 0 {
+		return 1
+	}
+	region := make([]histogram.Interval1, len(domain.Columns))
+	restricted := false
+	for i, c := range domain.Columns {
+		region[i] = histogram.FullInterval()
+		iv, ok := intervals[strings.ToLower(c)]
+		if !ok {
+			continue
+		}
+		if !iv.Lo.IsNull() {
+			region[i].Lo = iv.Lo.AsFloat()
+			restricted = true
+		}
+		if !iv.Hi.IsNull() {
+			region[i].Hi = iv.Hi.AsFloat()
+			restricted = true
+		}
+	}
+	if !restricted {
+		return 1
+	}
+	m, err := domain.mapping()
+	if err != nil {
+		return 1
+	}
+	buckets, err := histogram.FetchForRegion(p.node, table, m, region)
+	if err != nil {
+		return 1
+	}
+	// Totals come from the published table-index entries (partition row
+	// counts), avoiding a full-domain histogram fetch.
+	loc, err := p.lc.PeersForTable(table)
+	if err != nil {
+		return 1
+	}
+	var total float64
+	for _, e := range loc.Entries {
+		total += float64(e.Rows)
+	}
+	if total <= 0 {
+		return 1
+	}
+	regional := (&histogram.Histogram{Buckets: buckets}).EstimateRegion(region)
+	sel := regional / total
+	if math.IsNaN(sel) || sel < 0 {
+		return 1
+	}
+	if sel > 1 {
+		sel = 1
+	}
+	return sel
+}

@@ -1,0 +1,110 @@
+package peer
+
+import (
+	"math"
+	"testing"
+
+	"bestpeer/internal/bootstrap"
+	"bestpeer/internal/engine"
+	"bestpeer/internal/sqldb"
+	"bestpeer/internal/sqlval"
+	"bestpeer/internal/tpch"
+)
+
+// shipdateDomain registers the histogram configuration used by the
+// statistics tests: one dimension over l_shipdate's day range.
+func shipdateDomain(env Env) {
+	lo := sqlval.MustParseDate("1992-01-01").AsFloat()
+	hi := sqlval.MustParseDate("1998-12-31").AsFloat()
+	env.Bootstrap.DefineStatsDomain(tpch.LineItem, bootstrap.StatsDomainRecord{
+		Columns: []string{"l_shipdate"},
+		Lo:      []float64{lo},
+		Hi:      []float64{hi},
+	})
+}
+
+func TestPublishStatisticsRequiresDomain(t *testing.T) {
+	env := testEnv(t)
+	peers := joinLoaded(t, env, 1, 0.002)
+	if err := peers[0].PublishStatistics(tpch.LineItem, 16); err == nil {
+		t.Error("publish without registered domain succeeded")
+	}
+	env.Bootstrap.DefineStatsDomain("ghost", bootstrap.StatsDomainRecord{
+		Columns: []string{"x"}, Lo: []float64{0}, Hi: []float64{1},
+	})
+	if err := peers[0].PublishStatistics("ghost", 16); err == nil {
+		t.Error("publish for absent table succeeded")
+	}
+}
+
+func TestStatsSelectivityMatchesActualFraction(t *testing.T) {
+	env := testEnv(t)
+	peers := joinLoaded(t, env, 3, 0.004)
+	shipdateDomain(env)
+	for _, p := range peers {
+		if err := p.PublishStatistics(tpch.LineItem, 32); err != nil {
+			t.Fatal(err)
+		}
+	}
+	stmt, err := sqldb.ParseSelect(`SELECT l_orderkey FROM lineitem WHERE l_shipdate > DATE '1997-08-01'`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	conj := sqldb.Conjuncts(stmt.Where)
+	sel := peers[0].StatsSelectivity(tpch.LineItem, conj)
+	if sel <= 0 || sel >= 1 {
+		t.Fatalf("selectivity = %v", sel)
+	}
+	// Actual fraction across all peers.
+	var qualified, total float64
+	for _, p := range peers {
+		q, _ := p.DB().Query(`SELECT COUNT(*) FROM lineitem WHERE l_shipdate > DATE '1997-08-01'`)
+		a, _ := p.DB().Query(`SELECT COUNT(*) FROM lineitem`)
+		qualified += float64(q.Rows[0][0].AsInt())
+		total += float64(a.Rows[0][0].AsInt())
+	}
+	actual := qualified / total
+	if math.Abs(sel-actual) > 0.1 {
+		t.Errorf("estimated selectivity %.3f vs actual %.3f", sel, actual)
+	}
+}
+
+func TestStatsSelectivityDefaultsToOne(t *testing.T) {
+	env := testEnv(t)
+	peers := joinLoaded(t, env, 2, 0.002)
+	// No domain registered.
+	if sel := peers[0].StatsSelectivity(tpch.LineItem, nil); sel != 1 {
+		t.Errorf("selectivity without domain = %v", sel)
+	}
+	shipdateDomain(env)
+	// Domain registered but no predicate on the histogram columns.
+	stmt, _ := sqldb.ParseSelect(`SELECT l_orderkey FROM lineitem WHERE l_quantity > 5`)
+	if sel := peers[0].StatsSelectivity(tpch.LineItem, sqldb.Conjuncts(stmt.Where)); sel != 1 {
+		t.Errorf("selectivity without applicable predicate = %v", sel)
+	}
+}
+
+func TestAdaptivePlannerUsesStatistics(t *testing.T) {
+	env := testEnv(t)
+	peers := joinLoaded(t, env, 3, 0.004)
+	shipdateDomain(env)
+	for _, p := range peers {
+		if err := p.PublishStatistics(tpch.LineItem, 32); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// A selective Q3 through the adaptive strategy must still return
+	// correct results; the planner now sizes the lineitem level by the
+	// predicate's selectivity.
+	res, err := peers[0].Query(tpch.Q3Default(), "", StrategyAdaptive, engine.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	basic, err := peers[0].Query(tpch.Q3Default(), "", StrategyBasic, engine.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Result.Rows) != len(basic.Result.Rows) {
+		t.Errorf("adaptive rows %d != basic %d", len(res.Result.Rows), len(basic.Result.Rows))
+	}
+}

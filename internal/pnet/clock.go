@@ -1,0 +1,18 @@
+package pnet
+
+import "sync/atomic"
+
+// LogicalClock is the network's shared logical timestamp source, used
+// by the query semantics of Definition 2: a query is stamped with the
+// clock value at submission, and every data owner compares its database
+// snapshot's timestamp with the query's. Loader refreshes tick the
+// clock; queries read it.
+type LogicalClock struct {
+	v atomic.Uint64
+}
+
+// Now returns the current logical time.
+func (c *LogicalClock) Now() uint64 { return c.v.Load() }
+
+// Tick advances the clock and returns the new time.
+func (c *LogicalClock) Tick() uint64 { return c.v.Add(1) }

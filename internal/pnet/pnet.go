@@ -1,0 +1,222 @@
+// Package pnet is the in-process messaging substrate connecting
+// BestPeer++ instances.
+//
+// Peers within one process deliver messages by direct handler
+// invocation; peers in other processes are reachable through the TCP
+// transport (ListenTCP / AddRemotePeer in remote.go) with gob-encoded
+// payloads. Either way the substrate preserves the properties the
+// system depends on: peers address each other only by ID, every
+// exchange is size-accounted (feeding the virtual-time cost model and
+// the pay-as-you-go billing), and a peer marked down is unreachable
+// exactly as a crashed EC2 instance would be.
+package pnet
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// ErrPeerDown is returned when the destination peer is marked failed.
+var ErrPeerDown = errors.New("pnet: peer is down")
+
+// ErrUnknownPeer is returned when the destination was never registered
+// or has left the network.
+var ErrUnknownPeer = errors.New("pnet: unknown peer")
+
+// ErrNoHandler is returned when the destination has no handler for the
+// message type.
+var ErrNoHandler = errors.New("pnet: no handler for message type")
+
+// Message is one request or reply. Size is the encoded payload size in
+// bytes as accounted by the sender; the network sums it into its
+// transfer statistics.
+type Message struct {
+	From    string
+	To      string
+	Type    string
+	Payload interface{}
+	Size    int64
+}
+
+// Handler processes one request and returns the reply.
+type Handler func(msg Message) (Message, error)
+
+// Transport is the sender-side interface the overlay and engines use.
+type Transport interface {
+	// Call sends a request and waits for the reply.
+	Call(to, msgType string, payload interface{}, size int64) (Message, error)
+	// ID returns the local peer ID.
+	ID() string
+}
+
+// Stats aggregates network traffic counters.
+type Stats struct {
+	Messages  int64
+	BytesSent int64
+}
+
+// Network is the hub connecting all endpoints.
+type Network struct {
+	mu      sync.RWMutex
+	peers   map[string]*Endpoint
+	down    map[string]bool
+	remotes map[string]*remotePeer // peers served by other processes
+
+	messages  atomic.Int64
+	bytesSent atomic.Int64
+}
+
+// NewNetwork returns an empty network.
+func NewNetwork() *Network {
+	return &Network{
+		peers: make(map[string]*Endpoint),
+		down:  make(map[string]bool),
+	}
+}
+
+// Join registers a peer and returns its endpoint. Joining an existing ID
+// replaces the previous endpoint (used by fail-over: the replacement
+// instance takes over the failed peer's identity).
+func (n *Network) Join(id string) *Endpoint {
+	e := &Endpoint{id: id, net: n, handlers: make(map[string]Handler)}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.peers[id] = e
+	delete(n.down, id)
+	return e
+}
+
+// Leave removes a peer from the network.
+func (n *Network) Leave(id string) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	delete(n.peers, id)
+	delete(n.down, id)
+}
+
+// SetDown marks a peer failed (true) or recovered (false). Messages to a
+// down peer fail with ErrPeerDown.
+func (n *Network) SetDown(id string, down bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if down {
+		n.down[id] = true
+	} else {
+		delete(n.down, id)
+	}
+}
+
+// IsDown reports whether the peer is marked failed.
+func (n *Network) IsDown(id string) bool {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	return n.down[id]
+}
+
+// Peers returns the IDs of all registered peers.
+func (n *Network) Peers() []string {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	out := make([]string, 0, len(n.peers))
+	for id := range n.peers {
+		out = append(out, id)
+	}
+	return out
+}
+
+// Stats returns cumulative traffic counters.
+func (n *Network) Stats() Stats {
+	return Stats{
+		Messages:  n.messages.Load(),
+		BytesSent: n.bytesSent.Load(),
+	}
+}
+
+// ResetStats zeroes the traffic counters (between benchmark runs).
+func (n *Network) ResetStats() {
+	n.messages.Store(0)
+	n.bytesSent.Store(0)
+}
+
+// deliver routes one request message to its destination handler, local
+// or remote.
+func (n *Network) deliver(msg Message) (Message, error) {
+	n.mu.RLock()
+	dest, ok := n.peers[msg.To]
+	remote := n.remotes[msg.To]
+	isDown := n.down[msg.To] || n.down[msg.From]
+	n.mu.RUnlock()
+	if !ok && remote != nil {
+		if isDown {
+			return Message{}, fmt.Errorf("%w: %s", ErrPeerDown, msg.To)
+		}
+		n.messages.Add(1)
+		n.bytesSent.Add(msg.Size)
+		reply, err := remote.call(msg)
+		if err != nil {
+			return Message{}, err
+		}
+		n.bytesSent.Add(reply.Size)
+		reply.From = msg.To
+		reply.To = msg.From
+		return reply, nil
+	}
+	if !ok {
+		return Message{}, fmt.Errorf("%w: %s", ErrUnknownPeer, msg.To)
+	}
+	if isDown {
+		return Message{}, fmt.Errorf("%w: %s", ErrPeerDown, msg.To)
+	}
+	dest.mu.RLock()
+	h, ok := dest.handlers[msg.Type]
+	dest.mu.RUnlock()
+	if !ok {
+		return Message{}, fmt.Errorf("%w: %s at %s", ErrNoHandler, msg.Type, msg.To)
+	}
+	n.messages.Add(1)
+	n.bytesSent.Add(msg.Size)
+	reply, err := h(msg)
+	if err != nil {
+		return Message{}, err
+	}
+	n.bytesSent.Add(reply.Size)
+	reply.From = msg.To
+	reply.To = msg.From
+	return reply, nil
+}
+
+// Endpoint is one peer's attachment to the network.
+type Endpoint struct {
+	id       string
+	net      *Network
+	mu       sync.RWMutex
+	handlers map[string]Handler
+}
+
+// ID returns the peer ID of this endpoint.
+func (e *Endpoint) ID() string { return e.id }
+
+// Handle registers the handler for a message type, replacing any
+// previous registration.
+func (e *Endpoint) Handle(msgType string, h Handler) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.handlers[msgType] = h
+}
+
+// Call sends a request to another peer and waits for the reply. Calling
+// yourself is allowed and goes through the same accounting.
+func (e *Endpoint) Call(to, msgType string, payload interface{}, size int64) (Message, error) {
+	return e.net.deliver(Message{
+		From:    e.id,
+		To:      to,
+		Type:    msgType,
+		Payload: payload,
+		Size:    size,
+	})
+}
+
+// Network returns the network this endpoint belongs to.
+func (e *Endpoint) Network() *Network { return e.net }

@@ -1,0 +1,182 @@
+package pnet
+
+import (
+	"errors"
+	"sync"
+	"testing"
+)
+
+func TestCallRoundTrip(t *testing.T) {
+	n := NewNetwork()
+	a := n.Join("a")
+	b := n.Join("b")
+	b.Handle("echo", func(msg Message) (Message, error) {
+		return Message{Type: "echo.reply", Payload: msg.Payload, Size: msg.Size}, nil
+	})
+	reply, err := a.Call("b", "echo", "hello", 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reply.Payload.(string) != "hello" || reply.From != "b" || reply.To != "a" {
+		t.Errorf("reply = %+v", reply)
+	}
+}
+
+func TestStatsAccounting(t *testing.T) {
+	n := NewNetwork()
+	a := n.Join("a")
+	b := n.Join("b")
+	b.Handle("q", func(msg Message) (Message, error) {
+		return Message{Size: 100}, nil
+	})
+	for i := 0; i < 3; i++ {
+		if _, err := a.Call("b", "q", nil, 10); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s := n.Stats()
+	if s.Messages != 3 {
+		t.Errorf("messages = %d", s.Messages)
+	}
+	if s.BytesSent != 3*(10+100) {
+		t.Errorf("bytes = %d", s.BytesSent)
+	}
+	n.ResetStats()
+	if s := n.Stats(); s.Messages != 0 || s.BytesSent != 0 {
+		t.Errorf("reset stats = %+v", s)
+	}
+}
+
+func TestUnknownPeer(t *testing.T) {
+	n := NewNetwork()
+	a := n.Join("a")
+	_, err := a.Call("ghost", "q", nil, 0)
+	if !errors.Is(err, ErrUnknownPeer) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestNoHandler(t *testing.T) {
+	n := NewNetwork()
+	a := n.Join("a")
+	n.Join("b")
+	_, err := a.Call("b", "missing", nil, 0)
+	if !errors.Is(err, ErrNoHandler) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestDownPeerUnreachable(t *testing.T) {
+	n := NewNetwork()
+	a := n.Join("a")
+	b := n.Join("b")
+	b.Handle("q", func(msg Message) (Message, error) { return Message{}, nil })
+	n.SetDown("b", true)
+	if !n.IsDown("b") {
+		t.Error("IsDown = false after SetDown")
+	}
+	if _, err := a.Call("b", "q", nil, 0); !errors.Is(err, ErrPeerDown) {
+		t.Errorf("err = %v", err)
+	}
+	n.SetDown("b", false)
+	if _, err := a.Call("b", "q", nil, 0); err != nil {
+		t.Errorf("recovered peer unreachable: %v", err)
+	}
+}
+
+func TestDownSenderCannotSend(t *testing.T) {
+	n := NewNetwork()
+	a := n.Join("a")
+	b := n.Join("b")
+	b.Handle("q", func(msg Message) (Message, error) { return Message{}, nil })
+	n.SetDown("a", true)
+	if _, err := a.Call("b", "q", nil, 0); !errors.Is(err, ErrPeerDown) {
+		t.Errorf("down sender could send: %v", err)
+	}
+}
+
+func TestLeaveRemovesPeer(t *testing.T) {
+	n := NewNetwork()
+	a := n.Join("a")
+	n.Join("b")
+	n.Leave("b")
+	if _, err := a.Call("b", "q", nil, 0); !errors.Is(err, ErrUnknownPeer) {
+		t.Errorf("err = %v", err)
+	}
+	if len(n.Peers()) != 1 {
+		t.Errorf("peers = %v", n.Peers())
+	}
+}
+
+func TestRejoinReplacesEndpointAndClearsDown(t *testing.T) {
+	n := NewNetwork()
+	a := n.Join("a")
+	b1 := n.Join("b")
+	b1.Handle("q", func(msg Message) (Message, error) {
+		return Message{Payload: "old"}, nil
+	})
+	n.SetDown("b", true)
+	b2 := n.Join("b") // fail-over: replacement instance takes the identity
+	b2.Handle("q", func(msg Message) (Message, error) {
+		return Message{Payload: "new"}, nil
+	})
+	reply, err := a.Call("b", "q", nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reply.Payload.(string) != "new" {
+		t.Errorf("reply from %v, want replacement", reply.Payload)
+	}
+}
+
+func TestSelfCall(t *testing.T) {
+	n := NewNetwork()
+	a := n.Join("a")
+	a.Handle("q", func(msg Message) (Message, error) {
+		return Message{Payload: msg.From}, nil
+	})
+	reply, err := a.Call("a", "q", nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reply.Payload.(string) != "a" {
+		t.Errorf("self call = %v", reply.Payload)
+	}
+}
+
+func TestHandlerErrorPropagates(t *testing.T) {
+	n := NewNetwork()
+	a := n.Join("a")
+	b := n.Join("b")
+	sentinel := errors.New("boom")
+	b.Handle("q", func(msg Message) (Message, error) { return Message{}, sentinel })
+	if _, err := a.Call("b", "q", nil, 0); !errors.Is(err, sentinel) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestConcurrentCalls(t *testing.T) {
+	n := NewNetwork()
+	b := n.Join("b")
+	b.Handle("q", func(msg Message) (Message, error) {
+		return Message{Size: 1}, nil
+	})
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		e := n.Join(string(rune('c' + i)))
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				if _, err := e.Call("b", "q", nil, 1); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if s := n.Stats(); s.Messages != 1600 {
+		t.Errorf("messages = %d", s.Messages)
+	}
+}

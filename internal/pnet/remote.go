@@ -1,0 +1,167 @@
+package pnet
+
+import (
+	"encoding/gob"
+	"fmt"
+	"net"
+	"sync"
+)
+
+// TCP transport: a Network can expose its peers on a TCP listener and
+// register peers of other processes as remote. Calls addressed to a
+// remote peer are gob-encoded, shipped over TCP, delivered into the
+// remote Network, and the reply travels back — transparently to every
+// layer above (BATON, subqueries, join tasks all flow unchanged). This
+// is the multi-host deployment path the in-process substrate was
+// designed to keep open: peers address each other only by ID, and every
+// payload type that crosses pnet is gob-serializable.
+//
+// Payload types are registered with RegisterPayload (each producing
+// package registers its own in an init function).
+
+// RegisterPayload makes a payload type encodable on the TCP transport.
+func RegisterPayload(values ...interface{}) {
+	for _, v := range values {
+		gob.Register(v)
+	}
+}
+
+// wireRequest frames one remote call.
+type wireRequest struct {
+	Msg Message
+}
+
+// wireResponse frames the reply (or the handler's error).
+type wireResponse struct {
+	Msg Message
+	Err string
+}
+
+// Listener serves remote calls into a Network.
+type Listener struct {
+	ln   net.Listener
+	net  *Network
+	mu   sync.Mutex
+	done bool
+}
+
+// ListenTCP exposes the network's peers on addr (use "127.0.0.1:0" to
+// pick a free port). Incoming requests are delivered exactly like local
+// calls, including size accounting and down-peer semantics.
+func (n *Network) ListenTCP(addr string) (*Listener, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("pnet: listen %s: %w", addr, err)
+	}
+	l := &Listener{ln: ln, net: n}
+	go l.acceptLoop()
+	return l, nil
+}
+
+// Addr returns the listener's bound address.
+func (l *Listener) Addr() string { return l.ln.Addr().String() }
+
+// Close stops serving.
+func (l *Listener) Close() error {
+	l.mu.Lock()
+	l.done = true
+	l.mu.Unlock()
+	return l.ln.Close()
+}
+
+func (l *Listener) acceptLoop() {
+	for {
+		conn, err := l.ln.Accept()
+		if err != nil {
+			l.mu.Lock()
+			done := l.done
+			l.mu.Unlock()
+			if done {
+				return
+			}
+			continue
+		}
+		go l.serve(conn)
+	}
+}
+
+// serve handles one connection: a stream of request/response pairs.
+func (l *Listener) serve(conn net.Conn) {
+	defer conn.Close()
+	dec := gob.NewDecoder(conn)
+	enc := gob.NewEncoder(conn)
+	for {
+		var req wireRequest
+		if err := dec.Decode(&req); err != nil {
+			return
+		}
+		reply, err := l.net.deliver(req.Msg)
+		resp := wireResponse{Msg: reply}
+		if err != nil {
+			resp.Err = err.Error()
+		}
+		if err := enc.Encode(&resp); err != nil {
+			return
+		}
+	}
+}
+
+// remotePeer is a connection (pool of one) to another process's network.
+type remotePeer struct {
+	addr string
+
+	mu   sync.Mutex
+	conn net.Conn
+	enc  *gob.Encoder
+	dec  *gob.Decoder
+}
+
+// AddRemotePeer registers id as reachable at a TCP address served by
+// another Network's ListenTCP. Calls to id from any local endpoint are
+// shipped there.
+func (n *Network) AddRemotePeer(id, addr string) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.remotes == nil {
+		n.remotes = make(map[string]*remotePeer)
+	}
+	n.remotes[id] = &remotePeer{addr: addr}
+}
+
+// RemoveRemotePeer unregisters a remote peer.
+func (n *Network) RemoveRemotePeer(id string) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	delete(n.remotes, id)
+}
+
+// call ships one message to the remote peer, reconnecting once on a
+// broken connection.
+func (r *remotePeer) call(msg Message) (Message, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for attempt := 0; attempt < 2; attempt++ {
+		if r.conn == nil {
+			conn, err := net.Dial("tcp", r.addr)
+			if err != nil {
+				return Message{}, fmt.Errorf("pnet: dial %s: %w", r.addr, err)
+			}
+			r.conn = conn
+			r.enc = gob.NewEncoder(conn)
+			r.dec = gob.NewDecoder(conn)
+		}
+		var resp wireResponse
+		if err := r.enc.Encode(wireRequest{Msg: msg}); err == nil {
+			if err := r.dec.Decode(&resp); err == nil {
+				if resp.Err != "" {
+					return Message{}, fmt.Errorf("pnet: remote: %s", resp.Err)
+				}
+				return resp.Msg, nil
+			}
+		}
+		// Broken pipe: drop the connection and retry once.
+		r.conn.Close()
+		r.conn, r.enc, r.dec = nil, nil, nil
+	}
+	return Message{}, fmt.Errorf("pnet: remote call to %s failed", r.addr)
+}

@@ -1,0 +1,177 @@
+package pnet
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func init() {
+	RegisterPayload("", int(0), []byte(nil))
+}
+
+// twoNetworks wires network A to reach peer "b" living on network B
+// over real TCP.
+func twoNetworks(t *testing.T) (*Network, *Network, *Listener) {
+	t.Helper()
+	netA := NewNetwork()
+	netB := NewNetwork()
+	b := netB.Join("b")
+	b.Handle("echo", func(msg Message) (Message, error) {
+		return Message{Payload: msg.Payload, Size: msg.Size}, nil
+	})
+	b.Handle("upper", func(msg Message) (Message, error) {
+		s := msg.Payload.(string)
+		return Message{Payload: strings.ToUpper(s), Size: int64(len(s))}, nil
+	})
+	ln, err := netB.ListenTCP("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ln.Close() })
+	netA.AddRemotePeer("b", ln.Addr())
+	return netA, netB, ln
+}
+
+func TestRemoteCallRoundTrip(t *testing.T) {
+	netA, _, _ := twoNetworks(t)
+	a := netA.Join("a")
+	reply, err := a.Call("b", "upper", "hello over tcp", 14)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reply.Payload.(string) != "HELLO OVER TCP" {
+		t.Errorf("reply = %v", reply.Payload)
+	}
+	if reply.From != "b" || reply.To != "a" {
+		t.Errorf("addressing = %+v", reply)
+	}
+}
+
+func TestRemoteCallAccounting(t *testing.T) {
+	netA, netB, _ := twoNetworks(t)
+	a := netA.Join("a")
+	netA.ResetStats()
+	netB.ResetStats()
+	if _, err := a.Call("b", "echo", "x", 1); err != nil {
+		t.Fatal(err)
+	}
+	if s := netA.Stats(); s.Messages != 1 {
+		t.Errorf("sender stats = %+v", s)
+	}
+	if s := netB.Stats(); s.Messages != 1 {
+		t.Errorf("receiver stats = %+v", s)
+	}
+}
+
+func TestRemoteHandlerErrorPropagates(t *testing.T) {
+	netA, netB, _ := twoNetworks(t)
+	bEp := netB.Join("b2")
+	bEp.Handle("fail", func(msg Message) (Message, error) {
+		return Message{}, ErrNoHandler
+	})
+	netA.AddRemotePeer("b2", mustAddrOf(t, netB))
+	a := netA.Join("a")
+	_, err := a.Call("b2", "fail", nil, 0)
+	if err == nil || !strings.Contains(err.Error(), "no handler") {
+		t.Errorf("err = %v", err)
+	}
+	// Unknown message types on the remote side error cleanly too.
+	if _, err := a.Call("b", "missing", nil, 0); err == nil {
+		t.Error("missing handler succeeded remotely")
+	}
+}
+
+// mustAddrOf spins a fresh listener for netB (test helper for multiple
+// remote ids pointing at one process).
+func mustAddrOf(t *testing.T, n *Network) string {
+	t.Helper()
+	ln, err := n.ListenTCP("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ln.Close() })
+	return ln.Addr()
+}
+
+func TestRemoteConnectionReuse(t *testing.T) {
+	netA, _, _ := twoNetworks(t)
+	a := netA.Join("a")
+	for i := 0; i < 50; i++ {
+		if _, err := a.Call("b", "echo", i, 8); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestRemoteConcurrentCalls(t *testing.T) {
+	netA, _, _ := twoNetworks(t)
+	var wg sync.WaitGroup
+	errs := make(chan error, 8)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		ep := netA.Join(fmt.Sprintf("client-%d", g))
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 25; i++ {
+				if _, err := ep.Call("b", "echo", i, 8); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+func TestRemoteReconnectAfterListenerRestart(t *testing.T) {
+	netA := NewNetwork()
+	netB := NewNetwork()
+	b := netB.Join("b")
+	b.Handle("echo", func(msg Message) (Message, error) {
+		return Message{Payload: msg.Payload}, nil
+	})
+	ln, err := netB.ListenTCP("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr()
+	netA.AddRemotePeer("b", addr)
+	a := netA.Join("a")
+	if _, err := a.Call("b", "echo", "one", 3); err != nil {
+		t.Fatal(err)
+	}
+	// Kill and restart the listener on the same address: the cached
+	// connection breaks and the caller reconnects.
+	ln.Close()
+	ln2, err := netB.ListenTCP(addr)
+	if err != nil {
+		t.Fatalf("rebind %s: %v", addr, err)
+	}
+	defer ln2.Close()
+	if _, err := a.Call("b", "echo", "two", 3); err != nil {
+		t.Fatalf("call after restart: %v", err)
+	}
+}
+
+func TestRemoteDownPeerRespected(t *testing.T) {
+	netA, _, _ := twoNetworks(t)
+	a := netA.Join("a")
+	netA.SetDown("b", true)
+	if _, err := a.Call("b", "echo", "x", 1); err == nil {
+		t.Error("call to down remote succeeded")
+	}
+	netA.SetDown("b", false)
+	if _, err := a.Call("b", "echo", "x", 1); err != nil {
+		t.Errorf("call after recovery: %v", err)
+	}
+	netA.RemoveRemotePeer("b")
+	if _, err := a.Call("b", "echo", "x", 1); err == nil {
+		t.Error("call after removal succeeded")
+	}
+}

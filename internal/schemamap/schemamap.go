@@ -1,0 +1,203 @@
+// Package schemamap implements relational schema mapping between the
+// local schema of a participant's production system and the shared
+// global schema of the corporate network (paper §4.1).
+//
+// A mapping has two levels, both from the paper: metadata mappings
+// (local table/column definitions onto global ones) and value mappings
+// (local vocabulary onto global terms — e.g. a local status code "03"
+// onto the global term "SHIPPED"). Mappings are usually instantiated
+// from a per-product template (§4.1: "for each popular production system
+// (i.e., SAP or PeopleSoft), we provide a mapping template") and then
+// customized by the participant.
+package schemamap
+
+import (
+	"fmt"
+	"strings"
+
+	"bestpeer/internal/sqldb"
+	"bestpeer/internal/sqlval"
+)
+
+// ColumnMapping maps one local column onto one global column, with an
+// optional value mapping translating local terms.
+type ColumnMapping struct {
+	Local  string
+	Global string
+	// Values translates local string terms to global terms; values not
+	// present pass through unchanged.
+	Values map[string]string
+}
+
+// TableMapping maps one local table onto one global table.
+type TableMapping struct {
+	LocalTable  string
+	GlobalTable string
+	Columns     []ColumnMapping
+}
+
+// Mapping is a participant's full schema mapping.
+type Mapping struct {
+	// System is the production system kind this mapping applies to.
+	System string
+	Tables []TableMapping
+}
+
+// TableFor returns the mapping for a local table, or nil.
+func (m *Mapping) TableFor(localTable string) *TableMapping {
+	for i := range m.Tables {
+		if strings.EqualFold(m.Tables[i].LocalTable, localTable) {
+			return &m.Tables[i]
+		}
+	}
+	return nil
+}
+
+// Validate checks the mapping against concrete local and global schemas:
+// every referenced column must exist and the mapped kinds must be
+// storable (identical, numeric-compatible, or string→date).
+func (m *Mapping) Validate(local func(table string) *sqldb.Schema, global func(table string) *sqldb.Schema) error {
+	for _, tm := range m.Tables {
+		ls := local(tm.LocalTable)
+		if ls == nil {
+			return fmt.Errorf("schemamap: local table %s not found", tm.LocalTable)
+		}
+		gs := global(tm.GlobalTable)
+		if gs == nil {
+			return fmt.Errorf("schemamap: global table %s not found", tm.GlobalTable)
+		}
+		for _, cm := range tm.Columns {
+			if ls.ColumnIndex(cm.Local) < 0 {
+				return fmt.Errorf("schemamap: %s has no column %s", tm.LocalTable, cm.Local)
+			}
+			if gs.ColumnIndex(cm.Global) < 0 {
+				return fmt.Errorf("schemamap: %s has no column %s", tm.GlobalTable, cm.Global)
+			}
+		}
+	}
+	return nil
+}
+
+// Transform converts one local row into a row of the global table's
+// schema. Global columns with no mapped local column become NULL (the
+// multi-tenant case the paper notes: participants may share a schema but
+// populate different column subsets).
+func (tm *TableMapping) Transform(local *sqldb.Schema, global *sqldb.Schema, row sqlval.Row) (sqlval.Row, error) {
+	if len(row) != len(local.Columns) {
+		return nil, fmt.Errorf("schemamap: row width %d != local schema width %d", len(row), len(local.Columns))
+	}
+	out := make(sqlval.Row, len(global.Columns))
+	for i := range out {
+		out[i] = sqlval.Null()
+	}
+	for _, cm := range tm.Columns {
+		li := local.ColumnIndex(cm.Local)
+		gi := global.ColumnIndex(cm.Global)
+		if li < 0 || gi < 0 {
+			return nil, fmt.Errorf("schemamap: unmapped column %s -> %s", cm.Local, cm.Global)
+		}
+		v := row[li]
+		if len(cm.Values) > 0 && v.Kind() == sqlval.KindString {
+			if mapped, ok := cm.Values[v.AsString()]; ok {
+				v = sqlval.Str(mapped)
+			}
+		}
+		out[gi] = v
+	}
+	return out, nil
+}
+
+// Identity returns the trivial mapping for participants whose local
+// schema already equals the global schema (the configuration the paper
+// uses for its performance benchmark, §6.1.4).
+func Identity(schemas ...*sqldb.Schema) *Mapping {
+	m := &Mapping{System: "identity"}
+	for _, s := range schemas {
+		tm := TableMapping{LocalTable: s.Table, GlobalTable: s.Table}
+		for _, c := range s.Columns {
+			tm.Columns = append(tm.Columns, ColumnMapping{Local: c.Name, Global: c.Name})
+		}
+		m.Tables = append(m.Tables, tm)
+	}
+	return m
+}
+
+// Template returns the base mapping template for a production-system
+// kind, or nil if none is registered. Participants clone and customize
+// the template (§4.1). Templates are registered with RegisterTemplate.
+func Template(kind string) *Mapping {
+	t, ok := templates[strings.ToLower(kind)]
+	if !ok {
+		return nil
+	}
+	return t.clone()
+}
+
+// RegisterTemplate installs (or replaces) the template for a kind.
+func RegisterTemplate(kind string, m *Mapping) {
+	templates[strings.ToLower(kind)] = m.clone()
+}
+
+var templates = map[string]*Mapping{}
+
+func (m *Mapping) clone() *Mapping {
+	out := &Mapping{System: m.System}
+	for _, tm := range m.Tables {
+		ntm := TableMapping{LocalTable: tm.LocalTable, GlobalTable: tm.GlobalTable}
+		for _, cm := range tm.Columns {
+			ncm := ColumnMapping{Local: cm.Local, Global: cm.Global}
+			if cm.Values != nil {
+				ncm.Values = make(map[string]string, len(cm.Values))
+				for k, v := range cm.Values {
+					ncm.Values[k] = v
+				}
+			}
+			ntm.Columns = append(ntm.Columns, ncm)
+		}
+		out.Tables = append(out.Tables, ntm)
+	}
+	return out
+}
+
+// InferColumns performs simple instance-level matching [19]: for each
+// unmapped global column it proposes the local column whose sample
+// values overlap the global samples most. It complements schema-level
+// mapping when column names carry no signal, and returns the proposals
+// without mutating the mapping — a human confirms them, as the paper
+// notes the process "requires human to be involved".
+func InferColumns(localSchema *sqldb.Schema, localRows []sqlval.Row, globalSchema *sqldb.Schema, globalSamples []sqlval.Row) []ColumnMapping {
+	var out []ColumnMapping
+	for gi, gc := range globalSchema.Columns {
+		bestScore := 0
+		best := -1
+		for li, lc := range localSchema.Columns {
+			if lc.Kind != gc.Kind {
+				continue
+			}
+			score := overlap(localRows, li, globalSamples, gi)
+			if score > bestScore {
+				bestScore, best = score, li
+			}
+		}
+		if best >= 0 {
+			out = append(out, ColumnMapping{Local: localSchema.Columns[best].Name, Global: gc.Name})
+		}
+	}
+	return out
+}
+
+func overlap(a []sqlval.Row, ai int, b []sqlval.Row, bi int) int {
+	seen := make(map[string]bool)
+	for _, r := range a {
+		if ai < len(r) && !r[ai].IsNull() {
+			seen[r[ai].String()] = true
+		}
+	}
+	n := 0
+	for _, r := range b {
+		if bi < len(r) && !r[bi].IsNull() && seen[r[bi].String()] {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,163 @@
+package schemamap
+
+import (
+	"testing"
+
+	"bestpeer/internal/sqldb"
+	"bestpeer/internal/sqlval"
+)
+
+func localSchema() *sqldb.Schema {
+	return &sqldb.Schema{
+		Table: "loc",
+		Columns: []sqldb.Column{
+			{Name: "b_local", Kind: sqlval.KindString},
+			{Name: "a_local", Kind: sqlval.KindInt},
+		},
+	}
+}
+
+func globalSchema() *sqldb.Schema {
+	return &sqldb.Schema{
+		Table: "glob",
+		Columns: []sqldb.Column{
+			{Name: "a", Kind: sqlval.KindInt},
+			{Name: "b", Kind: sqlval.KindString},
+			{Name: "c", Kind: sqlval.KindFloat},
+		},
+	}
+}
+
+func testMapping() *Mapping {
+	return &Mapping{
+		System: "test",
+		Tables: []TableMapping{{
+			LocalTable:  "loc",
+			GlobalTable: "glob",
+			Columns: []ColumnMapping{
+				{Local: "a_local", Global: "a"},
+				{Local: "b_local", Global: "b", Values: map[string]string{"x": "mapped-x"}},
+			},
+		}},
+	}
+}
+
+func TestTransformReordersAndTranslates(t *testing.T) {
+	m := testMapping()
+	tm := m.TableFor("LOC") // case-insensitive
+	if tm == nil {
+		t.Fatal("TableFor failed")
+	}
+	out, err := tm.Transform(localSchema(), globalSchema(), sqlval.Row{sqlval.Str("x"), sqlval.Int(42)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out[0].AsInt() != 42 {
+		t.Errorf("a = %v", out[0])
+	}
+	if out[1].AsString() != "mapped-x" {
+		t.Errorf("b = %v (value mapping)", out[1])
+	}
+	if !out[2].IsNull() {
+		t.Errorf("c = %v, want NULL", out[2])
+	}
+}
+
+func TestTransformUnmappedTermPassesThrough(t *testing.T) {
+	tm := testMapping().TableFor("loc")
+	out, err := tm.Transform(localSchema(), globalSchema(), sqlval.Row{sqlval.Str("y"), sqlval.Int(1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out[1].AsString() != "y" {
+		t.Errorf("unmapped term = %v", out[1])
+	}
+}
+
+func TestTransformWidthMismatch(t *testing.T) {
+	tm := testMapping().TableFor("loc")
+	if _, err := tm.Transform(localSchema(), globalSchema(), sqlval.Row{sqlval.Int(1)}); err == nil {
+		t.Error("width mismatch accepted")
+	}
+}
+
+func TestValidate(t *testing.T) {
+	m := testMapping()
+	local := func(string) *sqldb.Schema { return localSchema() }
+	global := func(string) *sqldb.Schema { return globalSchema() }
+	if err := m.Validate(local, global); err != nil {
+		t.Errorf("valid mapping rejected: %v", err)
+	}
+	bad := testMapping()
+	bad.Tables[0].Columns[0].Global = "nope"
+	if err := bad.Validate(local, global); err == nil {
+		t.Error("bad global column accepted")
+	}
+	if err := m.Validate(func(string) *sqldb.Schema { return nil }, global); err == nil {
+		t.Error("missing local table accepted")
+	}
+}
+
+func TestIdentityMapping(t *testing.T) {
+	g := globalSchema()
+	m := Identity(g)
+	tm := m.TableFor("glob")
+	if tm == nil {
+		t.Fatal("identity TableFor failed")
+	}
+	row := sqlval.Row{sqlval.Int(1), sqlval.Str("s"), sqlval.Float(2.5)}
+	out, err := tm.Transform(g, g, row)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range row {
+		if !sqlval.Equal(out[i], row[i]) {
+			t.Errorf("identity changed column %d: %v", i, out[i])
+		}
+	}
+}
+
+func TestTemplateRegistryClones(t *testing.T) {
+	RegisterTemplate("SAP", testMapping())
+	got := Template("sap")
+	if got == nil {
+		t.Fatal("template not found (case-insensitive)")
+	}
+	// Customizing the returned template must not mutate the registry.
+	got.Tables[0].Columns[0].Global = "customized"
+	again := Template("SAP")
+	if again.Tables[0].Columns[0].Global == "customized" {
+		t.Error("template registry leaked mutation")
+	}
+	if Template("peoplesoft-unknown") != nil {
+		t.Error("unknown template not nil")
+	}
+}
+
+func TestInferColumns(t *testing.T) {
+	ls := localSchema()
+	gs := globalSchema()
+	localRows := []sqlval.Row{
+		{sqlval.Str("alpha"), sqlval.Int(1)},
+		{sqlval.Str("beta"), sqlval.Int(2)},
+		{sqlval.Str("gamma"), sqlval.Int(3)},
+	}
+	globalSamples := []sqlval.Row{
+		{sqlval.Int(2), sqlval.Str("beta"), sqlval.Float(0)},
+		{sqlval.Int(3), sqlval.Str("gamma"), sqlval.Float(0)},
+	}
+	props := InferColumns(ls, localRows, gs, globalSamples)
+	found := map[string]string{}
+	for _, p := range props {
+		found[p.Global] = p.Local
+	}
+	if found["a"] != "a_local" {
+		t.Errorf("a mapped to %q", found["a"])
+	}
+	if found["b"] != "b_local" {
+		t.Errorf("b mapped to %q", found["b"])
+	}
+	if _, ok := found["c"]; ok {
+		t.Error("c mapped despite no kind-compatible local column with overlap")
+	}
+}

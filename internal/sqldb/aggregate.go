@@ -1,0 +1,370 @@
+package sqldb
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"bestpeer/internal/sqlval"
+)
+
+// aggState accumulates one aggregate function over a group.
+type aggState struct {
+	fn    string
+	count int64
+	sum   float64
+	sumI  int64
+	isInt bool
+	min   sqlval.Value
+	max   sqlval.Value
+	seen  bool
+}
+
+func newAggState(fn string) *aggState {
+	return &aggState{fn: fn, isInt: true}
+}
+
+func (a *aggState) add(v sqlval.Value) {
+	if a.fn == "COUNT" {
+		// COUNT(expr) counts non-NULL; COUNT(*) feeds a non-null marker.
+		if !v.IsNull() {
+			a.count++
+		}
+		return
+	}
+	if v.IsNull() {
+		return
+	}
+	a.seen = true
+	a.count++
+	switch a.fn {
+	case "SUM", "AVG":
+		if v.Kind() == sqlval.KindInt {
+			a.sumI += v.AsInt()
+		} else {
+			a.isInt = false
+		}
+		a.sum += v.AsFloat()
+	case "MIN":
+		if a.min.IsNull() || sqlval.Less(v, a.min) {
+			a.min = v
+		}
+	case "MAX":
+		if a.max.IsNull() || sqlval.Less(a.max, v) {
+			a.max = v
+		}
+	}
+}
+
+// merge folds another partial state into a; the engines use it to
+// combine per-peer partial aggregates at the query submitting peer.
+func (a *aggState) merge(o *aggState) {
+	a.count += o.count
+	a.sum += o.sum
+	a.sumI += o.sumI
+	a.isInt = a.isInt && o.isInt
+	a.seen = a.seen || o.seen
+	if !o.min.IsNull() && (a.min.IsNull() || sqlval.Less(o.min, a.min)) {
+		a.min = o.min
+	}
+	if !o.max.IsNull() && (a.max.IsNull() || sqlval.Less(a.max, o.max)) {
+		a.max = o.max
+	}
+}
+
+func (a *aggState) result() sqlval.Value {
+	switch a.fn {
+	case "COUNT":
+		return sqlval.Int(a.count)
+	case "SUM":
+		if !a.seen {
+			return sqlval.Null()
+		}
+		if a.isInt {
+			return sqlval.Int(a.sumI)
+		}
+		return sqlval.Float(a.sum)
+	case "AVG":
+		if !a.seen {
+			return sqlval.Null()
+		}
+		return sqlval.Float(a.sum / float64(a.count))
+	case "MIN":
+		return a.min
+	case "MAX":
+		return a.max
+	default:
+		return sqlval.Null()
+	}
+}
+
+// aggCollector finds the distinct aggregate calls appearing anywhere in
+// the SELECT list, HAVING, and ORDER BY, keyed by their SQL rendering.
+type aggCollector struct {
+	order []string
+	calls map[string]*FuncCall
+}
+
+func collectAggregates(stmt *SelectStmt) *aggCollector {
+	c := &aggCollector{calls: make(map[string]*FuncCall)}
+	var walk func(Expr)
+	walk = func(e Expr) {
+		switch x := e.(type) {
+		case nil:
+		case *FuncCall:
+			if isAggregateName(x.Name) {
+				key := x.String()
+				if _, ok := c.calls[key]; !ok {
+					c.calls[key] = x
+					c.order = append(c.order, key)
+				}
+				return // aggregates do not nest
+			}
+			for _, a := range x.Args {
+				walk(a)
+			}
+		case *Binary:
+			walk(x.L)
+			walk(x.R)
+		case *Unary:
+			walk(x.E)
+		case *Between:
+			walk(x.E)
+			walk(x.Lo)
+			walk(x.Hi)
+		case *InList:
+			walk(x.E)
+			for _, v := range x.List {
+				walk(v)
+			}
+		case *IsNull:
+			walk(x.E)
+		}
+	}
+	for _, item := range stmt.Items {
+		if !item.Star {
+			walk(item.Expr)
+		}
+	}
+	walk(stmt.Having)
+	for _, o := range stmt.OrderBy {
+		walk(o.Expr)
+	}
+	return c
+}
+
+// group holds the accumulation state for one GROUP BY bucket.
+type group struct {
+	key    sqlval.Row
+	sample sqlval.Row // first input row; evaluates non-aggregate refs
+	aggs   []*aggState
+}
+
+// projectGrouped executes grouping, aggregation, HAVING, ORDER BY and
+// projection for aggregate queries.
+func projectGrouped(f *frame, stmt *SelectStmt, rows []sqlval.Row) (*Result, error) {
+	coll := collectAggregates(stmt)
+	groups := make(map[uint64][]*group)
+	var orderedGroups []*group
+
+	newGroup := func(key, sample sqlval.Row) *group {
+		g := &group{key: key, sample: sample}
+		for _, name := range coll.order {
+			g.aggs = append(g.aggs, newAggState(coll.calls[name].Name))
+		}
+		return g
+	}
+
+	for _, row := range rows {
+		key := make(sqlval.Row, len(stmt.GroupBy))
+		for i, e := range stmt.GroupBy {
+			v, err := evalExpr(f, e, row)
+			if err != nil {
+				return nil, err
+			}
+			key[i] = v
+		}
+		var h uint64 = 14695981039346656037
+		for _, v := range key {
+			h = h*1099511628211 ^ v.Hash()
+		}
+		var g *group
+		for _, cand := range groups[h] {
+			same := true
+			for i := range key {
+				if !sqlval.Equal(cand.key[i], key[i]) {
+					same = false
+					break
+				}
+			}
+			if same {
+				g = cand
+				break
+			}
+		}
+		if g == nil {
+			g = newGroup(key, row)
+			groups[h] = append(groups[h], g)
+			orderedGroups = append(orderedGroups, g)
+		}
+		for i, name := range coll.order {
+			call := coll.calls[name]
+			if call.Star {
+				g.aggs[i].add(sqlval.Int(1))
+				continue
+			}
+			v, err := evalExpr(f, call.Args[0], row)
+			if err != nil {
+				return nil, err
+			}
+			g.aggs[i].add(v)
+		}
+	}
+
+	// A global aggregate (no GROUP BY) over zero rows still yields one row.
+	if len(stmt.GroupBy) == 0 && len(orderedGroups) == 0 {
+		orderedGroups = append(orderedGroups, newGroup(nil, nil))
+	}
+
+	cols, exprs, err := expandItems(f, stmt.Items)
+	if err != nil {
+		return nil, err
+	}
+
+	evalAgg := func(g *group, e Expr) (sqlval.Value, error) {
+		return evalWithAggs(f, e, g, coll)
+	}
+
+	res := &Result{Columns: cols}
+	type sorted struct {
+		out  sqlval.Row
+		keys sqlval.Row
+	}
+	var outs []sorted
+	for _, g := range orderedGroups {
+		if stmt.Having != nil {
+			v, err := evalAgg(g, stmt.Having)
+			if err != nil {
+				return nil, err
+			}
+			if v.IsNull() || !truthy(v) {
+				continue
+			}
+		}
+		out := make(sqlval.Row, len(exprs))
+		for i, e := range exprs {
+			v, err := evalAgg(g, e)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = v
+		}
+		var keys sqlval.Row
+		for _, o := range stmt.OrderBy {
+			v, err := evalAgg(g, o.Expr)
+			if err != nil {
+				v2, err2 := orderByAlias(o.Expr, cols, out)
+				if err2 != nil {
+					return nil, err
+				}
+				v = v2
+			}
+			keys = append(keys, v)
+		}
+		outs = append(outs, sorted{out: out, keys: keys})
+	}
+	if len(stmt.OrderBy) > 0 {
+		sort.SliceStable(outs, func(i, j int) bool {
+			return lessKeys(outs[i].keys, outs[j].keys, stmt.OrderBy)
+		})
+	}
+	seen := newDistinctFilter(stmt.Distinct)
+	for _, s := range outs {
+		if !seen.admit(s.out) {
+			continue
+		}
+		if stmt.Limit >= 0 && len(res.Rows) >= stmt.Limit {
+			break
+		}
+		res.Rows = append(res.Rows, s.out)
+	}
+	return res, nil
+}
+
+// evalWithAggs evaluates an expression in aggregate context: aggregate
+// calls read their computed state; other column references evaluate
+// against the group's sample row (MySQL-permissive semantics).
+func evalWithAggs(f *frame, e Expr, g *group, coll *aggCollector) (sqlval.Value, error) {
+	switch x := e.(type) {
+	case *FuncCall:
+		if isAggregateName(x.Name) {
+			key := x.String()
+			for i, name := range coll.order {
+				if name == key {
+					return g.aggs[i].result(), nil
+				}
+			}
+			return sqlval.Null(), fmt.Errorf("sqldb: uncollected aggregate %s", key)
+		}
+		return sqlval.Null(), fmt.Errorf("sqldb: unknown function %s", x.Name)
+	case *Binary:
+		if strings.EqualFold(x.Op, "AND") || strings.EqualFold(x.Op, "OR") {
+			lv, err := evalWithAggs(f, x.L, g, coll)
+			if err != nil {
+				return sqlval.Null(), err
+			}
+			rv, err := evalWithAggs(f, x.R, g, coll)
+			if err != nil {
+				return sqlval.Null(), err
+			}
+			lb, rb := !lv.IsNull() && truthy(lv), !rv.IsNull() && truthy(rv)
+			if strings.EqualFold(x.Op, "AND") {
+				return boolVal(lb && rb), nil
+			}
+			return boolVal(lb || rb), nil
+		}
+		lv, err := evalWithAggs(f, x.L, g, coll)
+		if err != nil {
+			return sqlval.Null(), err
+		}
+		rv, err := evalWithAggs(f, x.R, g, coll)
+		if err != nil {
+			return sqlval.Null(), err
+		}
+		switch x.Op {
+		case "+":
+			return sqlval.Add(lv, rv), nil
+		case "-":
+			return sqlval.Sub(lv, rv), nil
+		case "*":
+			return sqlval.Mul(lv, rv), nil
+		case "/":
+			return sqlval.Div(lv, rv), nil
+		default:
+			if lv.IsNull() || rv.IsNull() {
+				return sqlval.Null(), nil
+			}
+			return boolVal(compareCoerced(lv, rv, x.Op)), nil
+		}
+	case *Unary:
+		v, err := evalWithAggs(f, x.E, g, coll)
+		if err != nil {
+			return sqlval.Null(), err
+		}
+		if x.Op == "NOT" {
+			if v.IsNull() {
+				return sqlval.Null(), nil
+			}
+			return boolVal(!truthy(v)), nil
+		}
+		return sqlval.Sub(sqlval.Int(0), v), nil
+	default:
+		if g.sample == nil {
+			if _, ok := e.(*Literal); ok {
+				return evalExpr(f, e, nil)
+			}
+			return sqlval.Null(), nil
+		}
+		return evalExpr(f, e, g.sample)
+	}
+}

@@ -1,0 +1,329 @@
+package sqldb
+
+import (
+	"fmt"
+	"strings"
+
+	"bestpeer/internal/sqlval"
+)
+
+// Statement is any parsed SQL statement.
+type Statement interface{ stmt() }
+
+// CreateTableStmt is CREATE TABLE.
+type CreateTableStmt struct {
+	Schema *Schema
+}
+
+// CreateIndexStmt is CREATE [UNIQUE] INDEX.
+type CreateIndexStmt struct {
+	Name   string
+	Table  string
+	Column string
+	Unique bool
+}
+
+// InsertStmt is INSERT INTO ... VALUES (...), (...).
+type InsertStmt struct {
+	Table string
+	Rows  [][]Expr
+}
+
+// DeleteStmt is DELETE FROM ... [WHERE ...].
+type DeleteStmt struct {
+	Table string
+	Where Expr // nil = all rows
+}
+
+// Assignment is one SET clause of an UPDATE.
+type Assignment struct {
+	Column string
+	Value  Expr
+}
+
+// UpdateStmt is UPDATE ... SET ... [WHERE ...].
+type UpdateStmt struct {
+	Table string
+	Set   []Assignment
+	Where Expr
+}
+
+// TableRef names a table in a FROM clause, optionally aliased.
+type TableRef struct {
+	Table string
+	Alias string // equals Table when no alias given
+}
+
+// SelectItem is one output expression of a SELECT list.
+type SelectItem struct {
+	Expr  Expr
+	Alias string // "" = derive from expression
+	Star  bool   // SELECT * or alias.*
+	Table string // qualifier for alias.*; "" = all tables
+}
+
+// OrderItem is one ORDER BY key.
+type OrderItem struct {
+	Expr Expr
+	Desc bool
+}
+
+// SelectStmt is a SELECT query. JOIN ... ON conditions are normalized
+// into Where as conjuncts during parsing, so From is a plain table list.
+type SelectStmt struct {
+	Distinct bool
+	Items    []SelectItem
+	From     []TableRef
+	Where    Expr
+	GroupBy  []Expr
+	Having   Expr
+	OrderBy  []OrderItem
+	Limit    int // -1 = no limit
+}
+
+func (*CreateTableStmt) stmt() {}
+func (*CreateIndexStmt) stmt() {}
+func (*InsertStmt) stmt()      {}
+func (*DeleteStmt) stmt()      {}
+func (*UpdateStmt) stmt()      {}
+func (*SelectStmt) stmt()      {}
+
+// Expr is a SQL expression node. String renders the expression in SQL
+// syntax; the engines use it to rewrite and re-emit subqueries.
+type Expr interface {
+	fmt.Stringer
+	expr()
+}
+
+// ColumnRef references a (possibly qualified) column.
+type ColumnRef struct {
+	Table  string // "" = unqualified
+	Column string
+}
+
+// Literal is a constant value.
+type Literal struct {
+	Val sqlval.Value
+}
+
+// Binary is a binary operation: arithmetic (+ - * /), comparison
+// (= <> < <= > >=), or logical (AND, OR).
+type Binary struct {
+	Op   string
+	L, R Expr
+}
+
+// Unary is NOT or numeric negation.
+type Unary struct {
+	Op string // "NOT" or "-"
+	E  Expr
+}
+
+// FuncCall is a function call; the engine implements the SQL aggregates
+// COUNT, SUM, AVG, MIN, MAX (Star marks COUNT(*)).
+type FuncCall struct {
+	Name string
+	Args []Expr
+	Star bool
+}
+
+// Between is E [NOT] BETWEEN Lo AND Hi.
+type Between struct {
+	E, Lo, Hi Expr
+	Not       bool
+}
+
+// InList is E [NOT] IN (v1, v2, ...).
+type InList struct {
+	E    Expr
+	List []Expr
+	Not  bool
+}
+
+// IsNull is E IS [NOT] NULL.
+type IsNull struct {
+	E   Expr
+	Not bool
+}
+
+func (*ColumnRef) expr() {}
+func (*Literal) expr()   {}
+func (*Binary) expr()    {}
+func (*Unary) expr()     {}
+func (*FuncCall) expr()  {}
+func (*Between) expr()   {}
+func (*InList) expr()    {}
+func (*IsNull) expr()    {}
+
+func (e *ColumnRef) String() string {
+	if e.Table != "" {
+		return e.Table + "." + e.Column
+	}
+	return e.Column
+}
+
+func (e *Literal) String() string {
+	switch e.Val.Kind() {
+	case sqlval.KindString:
+		return "'" + strings.ReplaceAll(e.Val.AsString(), "'", "''") + "'"
+	case sqlval.KindDate:
+		return "DATE '" + e.Val.String() + "'"
+	default:
+		return e.Val.String()
+	}
+}
+
+func (e *Binary) String() string {
+	return "(" + e.L.String() + " " + e.Op + " " + e.R.String() + ")"
+}
+
+func (e *Unary) String() string {
+	if e.Op == "NOT" {
+		return "(NOT " + e.E.String() + ")"
+	}
+	return "(-" + e.E.String() + ")"
+}
+
+func (e *FuncCall) String() string {
+	if e.Star {
+		return e.Name + "(*)"
+	}
+	args := make([]string, len(e.Args))
+	for i, a := range e.Args {
+		args[i] = a.String()
+	}
+	return e.Name + "(" + strings.Join(args, ", ") + ")"
+}
+
+func (e *Between) String() string {
+	op := " BETWEEN "
+	if e.Not {
+		op = " NOT BETWEEN "
+	}
+	return "(" + e.E.String() + op + e.Lo.String() + " AND " + e.Hi.String() + ")"
+}
+
+func (e *InList) String() string {
+	items := make([]string, len(e.List))
+	for i, v := range e.List {
+		items[i] = v.String()
+	}
+	op := " IN ("
+	if e.Not {
+		op = " NOT IN ("
+	}
+	return "(" + e.E.String() + op + strings.Join(items, ", ") + "))"
+}
+
+func (e *IsNull) String() string {
+	if e.Not {
+		return "(" + e.E.String() + " IS NOT NULL)"
+	}
+	return "(" + e.E.String() + " IS NULL)"
+}
+
+// HasAggregate reports whether the expression contains an aggregate
+// function call.
+func HasAggregate(e Expr) bool {
+	switch x := e.(type) {
+	case nil:
+		return false
+	case *FuncCall:
+		if isAggregateName(x.Name) {
+			return true
+		}
+		for _, a := range x.Args {
+			if HasAggregate(a) {
+				return true
+			}
+		}
+	case *Binary:
+		return HasAggregate(x.L) || HasAggregate(x.R)
+	case *Unary:
+		return HasAggregate(x.E)
+	case *Between:
+		return HasAggregate(x.E) || HasAggregate(x.Lo) || HasAggregate(x.Hi)
+	case *InList:
+		if HasAggregate(x.E) {
+			return true
+		}
+		for _, v := range x.List {
+			if HasAggregate(v) {
+				return true
+			}
+		}
+	case *IsNull:
+		return HasAggregate(x.E)
+	}
+	return false
+}
+
+func isAggregateName(name string) bool {
+	switch strings.ToUpper(name) {
+	case "COUNT", "SUM", "AVG", "MIN", "MAX":
+		return true
+	}
+	return false
+}
+
+// Conjuncts splits an expression into its top-level AND terms.
+func Conjuncts(e Expr) []Expr {
+	if e == nil {
+		return nil
+	}
+	if b, ok := e.(*Binary); ok && strings.EqualFold(b.Op, "AND") {
+		return append(Conjuncts(b.L), Conjuncts(b.R)...)
+	}
+	return []Expr{e}
+}
+
+// AndAll combines expressions into a conjunction; nil if the list is empty.
+func AndAll(exprs []Expr) Expr {
+	var out Expr
+	for _, e := range exprs {
+		if e == nil {
+			continue
+		}
+		if out == nil {
+			out = e
+		} else {
+			out = &Binary{Op: "AND", L: out, R: e}
+		}
+	}
+	return out
+}
+
+// ColumnsIn collects every column reference in the expression.
+func ColumnsIn(e Expr) []*ColumnRef {
+	var out []*ColumnRef
+	var walk func(Expr)
+	walk = func(e Expr) {
+		switch x := e.(type) {
+		case nil:
+		case *ColumnRef:
+			out = append(out, x)
+		case *Binary:
+			walk(x.L)
+			walk(x.R)
+		case *Unary:
+			walk(x.E)
+		case *FuncCall:
+			for _, a := range x.Args {
+				walk(a)
+			}
+		case *Between:
+			walk(x.E)
+			walk(x.Lo)
+			walk(x.Hi)
+		case *InList:
+			walk(x.E)
+			for _, v := range x.List {
+				walk(v)
+			}
+		case *IsNull:
+			walk(x.E)
+		}
+	}
+	walk(e)
+	return out
+}

@@ -1,0 +1,255 @@
+package sqldb
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"bestpeer/internal/sqlval"
+)
+
+// DB is one embedded database instance: the stand-in for the MySQL
+// server a normal peer hosts (or the PostgreSQL server a HadoopDB worker
+// hosts). It is safe for concurrent use; reads share an RWMutex.
+type DB struct {
+	mu     sync.RWMutex
+	tables map[string]*Table
+}
+
+// NewDB returns an empty database.
+func NewDB() *DB {
+	return &DB{tables: make(map[string]*Table)}
+}
+
+// table returns the named table, or nil. Callers must hold db.mu.
+func (db *DB) table(name string) *Table {
+	return db.tables[strings.ToLower(name)]
+}
+
+// Table returns the named table, or nil.
+func (db *DB) Table(name string) *Table {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.table(name)
+}
+
+// TableNames returns the names of all tables, sorted.
+func (db *DB) TableNames() []string {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	out := make([]string, 0, len(db.tables))
+	for _, t := range db.tables {
+		out = append(out, t.Schema().Table)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// CreateTable creates a table from a schema (programmatic alternative to
+// CREATE TABLE, used by the data loader and the TPC-H generator).
+func (db *DB) CreateTable(schema *Schema) (*Table, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	key := strings.ToLower(schema.Table)
+	if _, ok := db.tables[key]; ok {
+		return nil, fmt.Errorf("sqldb: table %s already exists", schema.Table)
+	}
+	t, err := NewTable(schema)
+	if err != nil {
+		return nil, err
+	}
+	db.tables[key] = t
+	return t, nil
+}
+
+// DropTable removes a table; it reports whether the table existed.
+func (db *DB) DropTable(name string) bool {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	key := strings.ToLower(name)
+	_, ok := db.tables[key]
+	delete(db.tables, key)
+	return ok
+}
+
+// InsertRow appends a row to the named table without going through SQL.
+func (db *DB) InsertRow(table string, row sqlval.Row) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	t := db.table(table)
+	if t == nil {
+		return fmt.Errorf("sqldb: unknown table %s", table)
+	}
+	_, err := t.Insert(row)
+	return err
+}
+
+// Exec parses and executes a single SQL statement.
+func (db *DB) Exec(sql string) (*Result, error) {
+	stmt, err := Parse(sql)
+	if err != nil {
+		return nil, err
+	}
+	return db.ExecStmt(stmt)
+}
+
+// Query executes a SELECT statement and returns its result.
+func (db *DB) Query(sql string) (*Result, error) {
+	stmt, err := ParseSelect(sql)
+	if err != nil {
+		return nil, err
+	}
+	return db.ExecStmt(stmt)
+}
+
+// ExecStmt executes an already-parsed statement.
+func (db *DB) ExecStmt(stmt Statement) (*Result, error) {
+	switch s := stmt.(type) {
+	case *SelectStmt:
+		db.mu.RLock()
+		defer db.mu.RUnlock()
+		return db.executeSelect(s)
+	case *CreateTableStmt:
+		if _, err := db.CreateTable(s.Schema); err != nil {
+			return nil, err
+		}
+		return &Result{}, nil
+	case *CreateIndexStmt:
+		db.mu.Lock()
+		defer db.mu.Unlock()
+		t := db.table(s.Table)
+		if t == nil {
+			return nil, fmt.Errorf("sqldb: unknown table %s", s.Table)
+		}
+		if err := t.CreateIndex(s.Name, s.Column, s.Unique); err != nil {
+			return nil, err
+		}
+		return &Result{}, nil
+	case *InsertStmt:
+		return db.executeInsert(s)
+	case *DeleteStmt:
+		return db.executeDelete(s)
+	case *UpdateStmt:
+		return db.executeUpdate(s)
+	default:
+		return nil, fmt.Errorf("sqldb: unsupported statement %T", stmt)
+	}
+}
+
+func (db *DB) executeInsert(s *InsertStmt) (*Result, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	t := db.table(s.Table)
+	if t == nil {
+		return nil, fmt.Errorf("sqldb: unknown table %s", s.Table)
+	}
+	empty := &frame{}
+	n := 0
+	for _, exprRow := range s.Rows {
+		row := make(sqlval.Row, len(exprRow))
+		for i, e := range exprRow {
+			v, err := evalExpr(empty, e, nil)
+			if err != nil {
+				return nil, fmt.Errorf("sqldb: INSERT values must be constants: %w", err)
+			}
+			row[i] = v
+		}
+		if _, err := t.Insert(row); err != nil {
+			return nil, err
+		}
+		n++
+	}
+	return &Result{Stats: Stats{RowsReturned: int64(n)}}, nil
+}
+
+func (db *DB) executeDelete(s *DeleteStmt) (*Result, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	t := db.table(s.Table)
+	if t == nil {
+		return nil, fmt.Errorf("sqldb: unknown table %s", s.Table)
+	}
+	f := &frame{}
+	f.push(s.Table, t.Schema())
+	var ids []int
+	var ferr error
+	t.Scan(func(id int, row sqlval.Row) bool {
+		if s.Where != nil {
+			ok, err := evalPred(f, s.Where, row)
+			if err != nil {
+				ferr = err
+				return false
+			}
+			if !ok {
+				return true
+			}
+		}
+		ids = append(ids, id)
+		return true
+	})
+	if ferr != nil {
+		return nil, ferr
+	}
+	for _, id := range ids {
+		t.Delete(id)
+	}
+	return &Result{Stats: Stats{RowsReturned: int64(len(ids))}}, nil
+}
+
+func (db *DB) executeUpdate(s *UpdateStmt) (*Result, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	t := db.table(s.Table)
+	if t == nil {
+		return nil, fmt.Errorf("sqldb: unknown table %s", s.Table)
+	}
+	f := &frame{}
+	f.push(s.Table, t.Schema())
+	cols := make([]int, len(s.Set))
+	for i, a := range s.Set {
+		ci := t.Schema().ColumnIndex(a.Column)
+		if ci < 0 {
+			return nil, fmt.Errorf("sqldb: unknown column %s in UPDATE", a.Column)
+		}
+		cols[i] = ci
+	}
+	type change struct {
+		id  int
+		row sqlval.Row
+	}
+	var changes []change
+	var ferr error
+	t.Scan(func(id int, row sqlval.Row) bool {
+		if s.Where != nil {
+			ok, err := evalPred(f, s.Where, row)
+			if err != nil {
+				ferr = err
+				return false
+			}
+			if !ok {
+				return true
+			}
+		}
+		nr := row.Clone()
+		for i, a := range s.Set {
+			v, err := evalExpr(f, a.Value, row)
+			if err != nil {
+				ferr = err
+				return false
+			}
+			nr[cols[i]] = v
+		}
+		changes = append(changes, change{id: id, row: nr})
+		return true
+	})
+	if ferr != nil {
+		return nil, ferr
+	}
+	for _, c := range changes {
+		if err := t.Update(c.id, c.row); err != nil {
+			return nil, err
+		}
+	}
+	return &Result{Stats: Stats{RowsReturned: int64(len(changes))}}, nil
+}

@@ -1,0 +1,497 @@
+package sqldb
+
+import (
+	"fmt"
+	"testing"
+
+	"bestpeer/internal/sqlval"
+)
+
+// testDB builds a small two-table database used across executor tests.
+func testDB(t *testing.T) *DB {
+	t.Helper()
+	db := NewDB()
+	mustExec(t, db, `CREATE TABLE orders (o_orderkey INT PRIMARY KEY, o_custkey INT, o_totalprice FLOAT, o_orderdate DATE)`)
+	mustExec(t, db, `CREATE TABLE lineitem (l_orderkey INT, l_partkey INT, l_quantity INT, l_extendedprice FLOAT, l_shipdate DATE)`)
+	mustExec(t, db, `CREATE INDEX idx_li_ship ON lineitem (l_shipdate)`)
+	mustExec(t, db, `CREATE INDEX idx_li_ok ON lineitem (l_orderkey)`)
+	for i := 1; i <= 20; i++ {
+		mustExec(t, db, fmt.Sprintf(
+			`INSERT INTO orders VALUES (%d, %d, %f, DATE '1998-01-%02d')`,
+			i, i%5, float64(i)*100, i%28+1))
+		for j := 0; j < 3; j++ {
+			mustExec(t, db, fmt.Sprintf(
+				`INSERT INTO lineitem VALUES (%d, %d, %d, %f, DATE '1998-%02d-15')`,
+				i, i*10+j, j+1, float64(j+1)*10, j+1))
+		}
+	}
+	return db
+}
+
+func mustExec(t *testing.T, db *DB, sql string) *Result {
+	t.Helper()
+	res, err := db.Exec(sql)
+	if err != nil {
+		t.Fatalf("Exec(%q): %v", sql, err)
+	}
+	return res
+}
+
+func TestSelectProjectionAndFilter(t *testing.T) {
+	db := testDB(t)
+	res := mustExec(t, db, `SELECT o_orderkey, o_totalprice FROM orders WHERE o_totalprice > 1500`)
+	if len(res.Rows) != 5 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	if res.Columns[0] != "o_orderkey" || res.Columns[1] != "o_totalprice" {
+		t.Errorf("columns = %v", res.Columns)
+	}
+	for _, r := range res.Rows {
+		if r[1].AsFloat() <= 1500 {
+			t.Errorf("filter leaked row %v", r)
+		}
+	}
+}
+
+func TestSelectStar(t *testing.T) {
+	db := testDB(t)
+	res := mustExec(t, db, `SELECT * FROM orders WHERE o_orderkey = 1`)
+	if len(res.Rows) != 1 || len(res.Rows[0]) != 4 {
+		t.Fatalf("star result = %+v", res.Rows)
+	}
+	if len(res.Columns) != 4 || res.Columns[0] != "o_orderkey" {
+		t.Errorf("columns = %v", res.Columns)
+	}
+}
+
+func TestSelectUsesPrimaryIndex(t *testing.T) {
+	db := testDB(t)
+	res := mustExec(t, db, `SELECT * FROM orders WHERE o_orderkey = 7`)
+	if !res.Stats.IndexUsed {
+		t.Error("primary index not used for equality")
+	}
+	if res.Stats.RowsScanned != 1 {
+		t.Errorf("rows scanned = %d, want 1", res.Stats.RowsScanned)
+	}
+}
+
+func TestSelectUsesSecondaryIndexRange(t *testing.T) {
+	db := testDB(t)
+	res := mustExec(t, db, `SELECT * FROM lineitem WHERE l_shipdate > DATE '1998-02-20'`)
+	if !res.Stats.IndexUsed {
+		t.Error("secondary index not used for range")
+	}
+	// Only March rows qualify: 20 orders x 1 lineitem.
+	if len(res.Rows) != 20 {
+		t.Errorf("rows = %d", len(res.Rows))
+	}
+	if res.Stats.RowsScanned != 20 {
+		t.Errorf("rows scanned = %d, want 20 (index range)", res.Stats.RowsScanned)
+	}
+}
+
+func TestSelectFullScanWhenNoIndex(t *testing.T) {
+	db := testDB(t)
+	res := mustExec(t, db, `SELECT * FROM lineitem WHERE l_quantity = 2`)
+	if res.Stats.IndexUsed {
+		t.Error("claimed index on unindexed column")
+	}
+	if res.Stats.RowsScanned != 60 {
+		t.Errorf("rows scanned = %d, want 60 (full scan)", res.Stats.RowsScanned)
+	}
+	if len(res.Rows) != 20 {
+		t.Errorf("rows = %d", len(res.Rows))
+	}
+}
+
+func TestSelectBetweenUsesIndex(t *testing.T) {
+	db := testDB(t)
+	res := mustExec(t, db, `SELECT * FROM lineitem WHERE l_shipdate BETWEEN DATE '1998-02-01' AND DATE '1998-02-28'`)
+	if !res.Stats.IndexUsed {
+		t.Error("BETWEEN did not use index")
+	}
+	if len(res.Rows) != 20 {
+		t.Errorf("rows = %d", len(res.Rows))
+	}
+}
+
+func TestSelectFlippedComparison(t *testing.T) {
+	db := testDB(t)
+	// literal OP column must work and use the index.
+	res := mustExec(t, db, `SELECT * FROM lineitem WHERE DATE '1998-02-20' < l_shipdate`)
+	if len(res.Rows) != 20 {
+		t.Errorf("rows = %d", len(res.Rows))
+	}
+	if !res.Stats.IndexUsed {
+		t.Error("flipped comparison did not use index")
+	}
+}
+
+func TestHashJoin(t *testing.T) {
+	db := testDB(t)
+	res := mustExec(t, db, `SELECT o.o_orderkey, l.l_partkey FROM orders o JOIN lineitem l ON o.o_orderkey = l.l_orderkey WHERE o.o_totalprice > 1800`)
+	// Orders 19, 20 qualify; each joins 3 lineitems.
+	if len(res.Rows) != 6 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+}
+
+func TestThreeWayJoin(t *testing.T) {
+	db := testDB(t)
+	mustExec(t, db, `CREATE TABLE customer (c_custkey INT PRIMARY KEY, c_name VARCHAR(20))`)
+	for i := 0; i < 5; i++ {
+		mustExec(t, db, fmt.Sprintf(`INSERT INTO customer VALUES (%d, 'cust%d')`, i, i))
+	}
+	res := mustExec(t, db, `SELECT c.c_name, COUNT(*) AS n FROM customer c, orders o, lineitem l
+		WHERE c.c_custkey = o.o_custkey AND o.o_orderkey = l.l_orderkey GROUP BY c.c_name ORDER BY c.c_name`)
+	if len(res.Rows) != 5 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	total := int64(0)
+	for _, r := range res.Rows {
+		total += r[1].AsInt()
+	}
+	if total != 60 {
+		t.Errorf("total join cardinality = %d, want 60", total)
+	}
+}
+
+func TestCartesianProductWithoutKeys(t *testing.T) {
+	db := NewDB()
+	mustExec(t, db, `CREATE TABLE a (x INT)`)
+	mustExec(t, db, `CREATE TABLE b (y INT)`)
+	mustExec(t, db, `INSERT INTO a VALUES (1), (2)`)
+	mustExec(t, db, `INSERT INTO b VALUES (10), (20), (30)`)
+	res := mustExec(t, db, `SELECT x, y FROM a, b`)
+	if len(res.Rows) != 6 {
+		t.Errorf("cartesian rows = %d", len(res.Rows))
+	}
+}
+
+func TestGlobalAggregates(t *testing.T) {
+	db := testDB(t)
+	res := mustExec(t, db, `SELECT COUNT(*), SUM(l_extendedprice), AVG(l_quantity), MIN(l_quantity), MAX(l_quantity) FROM lineitem`)
+	if len(res.Rows) != 1 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	r := res.Rows[0]
+	if r[0].AsInt() != 60 {
+		t.Errorf("count = %v", r[0])
+	}
+	if r[1].AsFloat() != 20*60.0 {
+		t.Errorf("sum = %v", r[1])
+	}
+	if r[2].AsFloat() != 2 {
+		t.Errorf("avg = %v", r[2])
+	}
+	if r[3].AsInt() != 1 || r[4].AsInt() != 3 {
+		t.Errorf("min/max = %v/%v", r[3], r[4])
+	}
+}
+
+func TestAggregateOverEmptyInput(t *testing.T) {
+	db := testDB(t)
+	res := mustExec(t, db, `SELECT COUNT(*), SUM(l_quantity) FROM lineitem WHERE l_quantity > 100`)
+	if len(res.Rows) != 1 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	if res.Rows[0][0].AsInt() != 0 {
+		t.Errorf("count = %v", res.Rows[0][0])
+	}
+	if !res.Rows[0][1].IsNull() {
+		t.Errorf("sum over empty = %v, want NULL", res.Rows[0][1])
+	}
+}
+
+func TestGroupByWithHaving(t *testing.T) {
+	db := testDB(t)
+	res := mustExec(t, db, `SELECT o_custkey, COUNT(*) AS cnt FROM orders GROUP BY o_custkey HAVING COUNT(*) >= 4 ORDER BY o_custkey`)
+	// 20 orders over 5 custkeys -> 4 each; all pass HAVING.
+	if len(res.Rows) != 5 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	for _, r := range res.Rows {
+		if r[1].AsInt() != 4 {
+			t.Errorf("group %v count = %v", r[0], r[1])
+		}
+	}
+	res2 := mustExec(t, db, `SELECT o_custkey FROM orders GROUP BY o_custkey HAVING COUNT(*) > 4`)
+	if len(res2.Rows) != 0 {
+		t.Errorf("having leak: %d rows", len(res2.Rows))
+	}
+}
+
+func TestGroupByExpression(t *testing.T) {
+	db := testDB(t)
+	res := mustExec(t, db, `SELECT SUM(l_extendedprice * (1 + 0)) AS rev FROM lineitem GROUP BY l_quantity ORDER BY rev DESC`)
+	if len(res.Rows) != 3 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	if res.Rows[0][0].AsFloat() < res.Rows[2][0].AsFloat() {
+		t.Error("ORDER BY DESC on alias not applied")
+	}
+}
+
+func TestOrderByMultipleKeys(t *testing.T) {
+	db := testDB(t)
+	res := mustExec(t, db, `SELECT o_custkey, o_orderkey FROM orders ORDER BY o_custkey ASC, o_orderkey DESC`)
+	if len(res.Rows) != 20 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	for i := 1; i < len(res.Rows); i++ {
+		a, b := res.Rows[i-1], res.Rows[i]
+		if a[0].AsInt() > b[0].AsInt() {
+			t.Fatal("primary key order violated")
+		}
+		if a[0].AsInt() == b[0].AsInt() && a[1].AsInt() < b[1].AsInt() {
+			t.Fatal("secondary DESC order violated")
+		}
+	}
+}
+
+func TestLimit(t *testing.T) {
+	db := testDB(t)
+	res := mustExec(t, db, `SELECT o_orderkey FROM orders ORDER BY o_orderkey LIMIT 3`)
+	if len(res.Rows) != 3 || res.Rows[0][0].AsInt() != 1 {
+		t.Errorf("limit rows = %+v", res.Rows)
+	}
+	res = mustExec(t, db, `SELECT o_custkey, COUNT(*) FROM orders GROUP BY o_custkey LIMIT 2`)
+	if len(res.Rows) != 2 {
+		t.Errorf("grouped limit rows = %d", len(res.Rows))
+	}
+}
+
+func TestStringDateCoercionInPredicate(t *testing.T) {
+	db := testDB(t)
+	a := mustExec(t, db, `SELECT COUNT(*) FROM lineitem WHERE l_shipdate > DATE '1998-02-20'`)
+	b := mustExec(t, db, `SELECT COUNT(*) FROM lineitem WHERE l_shipdate > '1998-02-20'`)
+	if a.Rows[0][0].AsInt() != b.Rows[0][0].AsInt() {
+		t.Errorf("string date compare mismatch: %v vs %v", a.Rows[0][0], b.Rows[0][0])
+	}
+}
+
+func TestInListPredicate(t *testing.T) {
+	db := testDB(t)
+	res := mustExec(t, db, `SELECT COUNT(*) FROM orders WHERE o_custkey IN (1, 2)`)
+	if res.Rows[0][0].AsInt() != 8 {
+		t.Errorf("IN count = %v", res.Rows[0][0])
+	}
+	res = mustExec(t, db, `SELECT COUNT(*) FROM orders WHERE o_custkey NOT IN (1, 2)`)
+	if res.Rows[0][0].AsInt() != 12 {
+		t.Errorf("NOT IN count = %v", res.Rows[0][0])
+	}
+}
+
+func TestNullSemantics(t *testing.T) {
+	db := NewDB()
+	mustExec(t, db, `CREATE TABLE t (a INT, b INT)`)
+	mustExec(t, db, `INSERT INTO t VALUES (1, 10), (2, NULL), (NULL, 30)`)
+	res := mustExec(t, db, `SELECT COUNT(*) FROM t WHERE b > 5`)
+	if res.Rows[0][0].AsInt() != 2 {
+		t.Errorf("NULL comparison leaked: %v", res.Rows[0][0])
+	}
+	res = mustExec(t, db, `SELECT COUNT(a), COUNT(*) FROM t`)
+	if res.Rows[0][0].AsInt() != 2 || res.Rows[0][1].AsInt() != 3 {
+		t.Errorf("COUNT null handling = %v", res.Rows[0])
+	}
+	res = mustExec(t, db, `SELECT SUM(b) FROM t`)
+	if res.Rows[0][0].AsInt() != 40 {
+		t.Errorf("SUM skips NULL = %v", res.Rows[0][0])
+	}
+}
+
+func TestDeleteAndUpdate(t *testing.T) {
+	db := testDB(t)
+	res := mustExec(t, db, `DELETE FROM orders WHERE o_orderkey <= 5`)
+	if res.Stats.RowsReturned != 5 {
+		t.Errorf("deleted = %d", res.Stats.RowsReturned)
+	}
+	res = mustExec(t, db, `SELECT COUNT(*) FROM orders`)
+	if res.Rows[0][0].AsInt() != 15 {
+		t.Errorf("remaining = %v", res.Rows[0][0])
+	}
+	res = mustExec(t, db, `UPDATE orders SET o_totalprice = o_totalprice * 2 WHERE o_orderkey = 10`)
+	if res.Stats.RowsReturned != 1 {
+		t.Errorf("updated = %d", res.Stats.RowsReturned)
+	}
+	res = mustExec(t, db, `SELECT o_totalprice FROM orders WHERE o_orderkey = 10`)
+	if res.Rows[0][0].AsFloat() != 2000 {
+		t.Errorf("price after update = %v", res.Rows[0][0])
+	}
+}
+
+func TestUniqueConstraintViolation(t *testing.T) {
+	db := testDB(t)
+	if _, err := db.Exec(`INSERT INTO orders VALUES (1, 1, 1.0, DATE '1998-01-01')`); err == nil {
+		t.Error("duplicate primary key accepted")
+	}
+}
+
+func TestErrorsOnBadQueries(t *testing.T) {
+	db := testDB(t)
+	bad := []string{
+		`SELECT nope FROM orders`,
+		`SELECT * FROM nonexistent`,
+		`SELECT o_orderkey FROM orders, lineitem WHERE zzz = 1`,
+		`SELECT o.o_orderkey FROM orders x`,
+		`INSERT INTO orders VALUES (1, 2)`,
+		`UPDATE orders SET nope = 1`,
+	}
+	for _, sql := range bad {
+		if _, err := db.Exec(sql); err == nil {
+			t.Errorf("Exec(%q) succeeded, want error", sql)
+		}
+	}
+}
+
+func TestAmbiguousColumn(t *testing.T) {
+	db := NewDB()
+	mustExec(t, db, `CREATE TABLE a (x INT)`)
+	mustExec(t, db, `CREATE TABLE b (x INT)`)
+	mustExec(t, db, `INSERT INTO a VALUES (1)`)
+	mustExec(t, db, `INSERT INTO b VALUES (1)`)
+	if _, err := db.Exec(`SELECT x FROM a, b`); err == nil {
+		t.Error("ambiguous column accepted")
+	}
+	if _, err := db.Exec(`SELECT a.x FROM a, b`); err != nil {
+		t.Errorf("qualified column rejected: %v", err)
+	}
+}
+
+func TestConcurrentReads(t *testing.T) {
+	db := testDB(t)
+	done := make(chan error, 8)
+	for i := 0; i < 8; i++ {
+		go func() {
+			for j := 0; j < 50; j++ {
+				if _, err := db.Query(`SELECT COUNT(*) FROM lineitem WHERE l_quantity = 2`); err != nil {
+					done <- err
+					return
+				}
+			}
+			done <- nil
+		}()
+	}
+	for i := 0; i < 8; i++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestTableAPIScanAndBytes(t *testing.T) {
+	db := testDB(t)
+	tbl := db.Table("orders")
+	if tbl == nil {
+		t.Fatal("Table lookup failed")
+	}
+	if tbl.NumRows() != 20 {
+		t.Errorf("NumRows = %d", tbl.NumRows())
+	}
+	if tbl.DataBytes() <= 0 {
+		t.Error("DataBytes not tracked")
+	}
+	n := 0
+	tbl.Scan(func(_ int, _ sqlval.Row) bool { n++; return true })
+	if n != 20 {
+		t.Errorf("scan visited %d", n)
+	}
+}
+
+func TestIndexMinMax(t *testing.T) {
+	db := testDB(t)
+	idx := db.Table("lineitem").IndexOn("l_shipdate")
+	if idx == nil {
+		t.Fatal("no index on l_shipdate")
+	}
+	lo, hi, ok := idx.MinMax()
+	if !ok {
+		t.Fatal("MinMax not ok")
+	}
+	if lo.String() != "1998-01-15" || hi.String() != "1998-03-15" {
+		t.Errorf("minmax = %s..%s", lo, hi)
+	}
+}
+
+func TestDropTable(t *testing.T) {
+	db := testDB(t)
+	if !db.DropTable("orders") {
+		t.Error("DropTable returned false")
+	}
+	if db.DropTable("orders") {
+		t.Error("double drop returned true")
+	}
+	if _, err := db.Query(`SELECT * FROM orders`); err == nil {
+		t.Error("query against dropped table succeeded")
+	}
+}
+
+func TestTableNamesSorted(t *testing.T) {
+	db := testDB(t)
+	names := db.TableNames()
+	if len(names) != 2 || names[0] != "lineitem" || names[1] != "orders" {
+		t.Errorf("names = %v", names)
+	}
+}
+
+func TestSelectDistinct(t *testing.T) {
+	db := testDB(t)
+	all := mustExec(t, db, `SELECT o_custkey FROM orders`)
+	if len(all.Rows) != 20 {
+		t.Fatalf("rows = %d", len(all.Rows))
+	}
+	res := mustExec(t, db, `SELECT DISTINCT o_custkey FROM orders ORDER BY o_custkey`)
+	if len(res.Rows) != 5 {
+		t.Fatalf("distinct rows = %d, want 5", len(res.Rows))
+	}
+	for i := 1; i < len(res.Rows); i++ {
+		if res.Rows[i][0].AsInt() <= res.Rows[i-1][0].AsInt() {
+			t.Fatal("distinct output not strictly increasing")
+		}
+	}
+	// DISTINCT with LIMIT: dedupe happens before the limit.
+	res = mustExec(t, db, `SELECT DISTINCT o_custkey FROM orders ORDER BY o_custkey LIMIT 3`)
+	if len(res.Rows) != 3 || res.Rows[2][0].AsInt() != 2 {
+		t.Fatalf("distinct+limit = %+v", res.Rows)
+	}
+	// Multi-column distinct keeps distinct pairs.
+	res = mustExec(t, db, `SELECT DISTINCT l_quantity, l_extendedprice FROM lineitem`)
+	if len(res.Rows) != 3 {
+		t.Fatalf("pair-distinct rows = %d", len(res.Rows))
+	}
+	// DISTINCT over a grouped query deduplicates the output rows.
+	res = mustExec(t, db, `SELECT DISTINCT COUNT(*) FROM orders GROUP BY o_custkey`)
+	if len(res.Rows) != 1 || res.Rows[0][0].AsInt() != 4 {
+		t.Fatalf("distinct grouped = %+v", res.Rows)
+	}
+}
+
+func TestIsNullPredicate(t *testing.T) {
+	db := NewDB()
+	mustExec(t, db, `CREATE TABLE t (a INT, b VARCHAR(10))`)
+	mustExec(t, db, `INSERT INTO t VALUES (1, 'x'), (NULL, 'y'), (3, NULL), (NULL, NULL)`)
+	res := mustExec(t, db, `SELECT COUNT(*) FROM t WHERE a IS NULL`)
+	if res.Rows[0][0].AsInt() != 2 {
+		t.Errorf("IS NULL count = %v", res.Rows[0][0])
+	}
+	res = mustExec(t, db, `SELECT COUNT(*) FROM t WHERE a IS NOT NULL AND b IS NULL`)
+	if res.Rows[0][0].AsInt() != 1 {
+		t.Errorf("combined null predicate = %v", res.Rows[0][0])
+	}
+	// NOT (a IS NULL) is the same as a IS NOT NULL.
+	res = mustExec(t, db, `SELECT COUNT(*) FROM t WHERE NOT a IS NULL`)
+	if res.Rows[0][0].AsInt() != 2 {
+		t.Errorf("NOT IS NULL = %v", res.Rows[0][0])
+	}
+	// Rendering round-trips.
+	stmt, err := ParseSelect(`SELECT a FROM t WHERE (a IS NULL) AND (b IS NOT NULL)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ParseSelect("SELECT a FROM t WHERE " + stmt.Where.String()); err != nil {
+		t.Errorf("IS NULL rendering does not reparse: %v", err)
+	}
+	if _, err := db.Exec(`SELECT a FROM t WHERE a IS 5`); err == nil {
+		t.Error("IS without NULL accepted")
+	}
+}

@@ -1,0 +1,13 @@
+package sqldb
+
+import "bestpeer/internal/pnet"
+
+// Register the statement and expression types that cross pnet when the
+// TCP transport is active (subqueries, join tasks, results).
+func init() {
+	pnet.RegisterPayload(
+		&SelectStmt{}, &Result{},
+		&ColumnRef{}, &Literal{}, &Binary{}, &Unary{}, &FuncCall{}, &Between{}, &InList{},
+		Binding{}, TableRef{}, SelectItem{}, OrderItem{},
+	)
+}

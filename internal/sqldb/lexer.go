@@ -1,0 +1,182 @@
+package sqldb
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// tokenKind classifies lexer output.
+type tokenKind int
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokNumber
+	tokString
+	tokSymbol // punctuation and operators
+)
+
+type token struct {
+	kind tokenKind
+	text string // identifiers are kept verbatim; keyword matching is case-insensitive
+	pos  int
+}
+
+// lexer tokenizes a SQL string.
+type lexer struct {
+	src string
+	pos int
+	tok token
+	err error
+}
+
+func newLexer(src string) *lexer {
+	l := &lexer{src: src}
+	l.next()
+	return l
+}
+
+// next advances to the following token.
+func (l *lexer) next() {
+	if l.err != nil {
+		return
+	}
+	for l.pos < len(l.src) && unicode.IsSpace(rune(l.src[l.pos])) {
+		l.pos++
+	}
+	start := l.pos
+	if l.pos >= len(l.src) {
+		l.tok = token{kind: tokEOF, pos: start}
+		return
+	}
+	c := l.src[l.pos]
+	switch {
+	case isIdentStart(c):
+		for l.pos < len(l.src) && isIdentPart(l.src[l.pos]) {
+			l.pos++
+		}
+		l.tok = token{kind: tokIdent, text: l.src[start:l.pos], pos: start}
+	case c >= '0' && c <= '9' || c == '.' && l.pos+1 < len(l.src) && l.src[l.pos+1] >= '0' && l.src[l.pos+1] <= '9':
+		seenDot := false
+		for l.pos < len(l.src) {
+			ch := l.src[l.pos]
+			if ch == '.' {
+				if seenDot {
+					break
+				}
+				seenDot = true
+			} else if ch < '0' || ch > '9' {
+				break
+			}
+			l.pos++
+		}
+		l.tok = token{kind: tokNumber, text: l.src[start:l.pos], pos: start}
+	case c == '\'':
+		l.pos++
+		var sb strings.Builder
+		for {
+			if l.pos >= len(l.src) {
+				l.err = fmt.Errorf("sqldb: unterminated string literal at offset %d", start)
+				l.tok = token{kind: tokEOF, pos: l.pos}
+				return
+			}
+			ch := l.src[l.pos]
+			if ch == '\'' {
+				// '' escapes a quote inside a string.
+				if l.pos+1 < len(l.src) && l.src[l.pos+1] == '\'' {
+					sb.WriteByte('\'')
+					l.pos += 2
+					continue
+				}
+				l.pos++
+				break
+			}
+			sb.WriteByte(ch)
+			l.pos++
+		}
+		l.tok = token{kind: tokString, text: sb.String(), pos: start}
+	default:
+		// Two-character operators first.
+		if l.pos+1 < len(l.src) {
+			two := l.src[l.pos : l.pos+2]
+			switch two {
+			case "<=", ">=", "<>", "!=":
+				l.pos += 2
+				l.tok = token{kind: tokSymbol, text: two, pos: start}
+				return
+			}
+		}
+		switch c {
+		case '=', '<', '>', '(', ')', ',', '*', '+', '-', '/', ';', '.':
+			l.pos++
+			l.tok = token{kind: tokSymbol, text: string(c), pos: start}
+		default:
+			l.err = fmt.Errorf("sqldb: unexpected character %q at offset %d", c, l.pos)
+			l.tok = token{kind: tokEOF, pos: l.pos}
+		}
+	}
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z'
+}
+
+func isIdentPart(c byte) bool {
+	return isIdentStart(c) || c >= '0' && c <= '9'
+}
+
+// isKeyword reports whether the current token is the given keyword
+// (case-insensitive identifier match).
+func (l *lexer) isKeyword(kw string) bool {
+	return l.tok.kind == tokIdent && strings.EqualFold(l.tok.text, kw)
+}
+
+// acceptKeyword consumes the keyword if present.
+func (l *lexer) acceptKeyword(kw string) bool {
+	if l.isKeyword(kw) {
+		l.next()
+		return true
+	}
+	return false
+}
+
+// expectKeyword consumes the keyword or records an error.
+func (l *lexer) expectKeyword(kw string) error {
+	if !l.acceptKeyword(kw) {
+		return fmt.Errorf("sqldb: expected %s at offset %d (got %q)", kw, l.tok.pos, l.tok.text)
+	}
+	return nil
+}
+
+// isSymbol reports whether the current token is the given symbol.
+func (l *lexer) isSymbol(sym string) bool {
+	return l.tok.kind == tokSymbol && l.tok.text == sym
+}
+
+// acceptSymbol consumes the symbol if present.
+func (l *lexer) acceptSymbol(sym string) bool {
+	if l.isSymbol(sym) {
+		l.next()
+		return true
+	}
+	return false
+}
+
+// expectSymbol consumes the symbol or records an error.
+func (l *lexer) expectSymbol(sym string) error {
+	if !l.acceptSymbol(sym) {
+		return fmt.Errorf("sqldb: expected %q at offset %d (got %q)", sym, l.tok.pos, l.tok.text)
+	}
+	return nil
+}
+
+// expectIdent consumes and returns an identifier.
+func (l *lexer) expectIdent() (string, error) {
+	if l.tok.kind != tokIdent {
+		return "", fmt.Errorf("sqldb: expected identifier at offset %d (got %q)", l.tok.pos, l.tok.text)
+	}
+	name := l.tok.text
+	l.next()
+	return name, nil
+}

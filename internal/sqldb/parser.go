@@ -1,0 +1,731 @@
+package sqldb
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"bestpeer/internal/sqlval"
+)
+
+// Parse parses a single SQL statement.
+func Parse(src string) (Statement, error) {
+	l := newLexer(src)
+	stmt, err := parseStatement(l)
+	if err != nil {
+		return nil, err
+	}
+	l.acceptSymbol(";")
+	if l.err != nil {
+		return nil, l.err
+	}
+	if l.tok.kind != tokEOF {
+		return nil, fmt.Errorf("sqldb: trailing input at offset %d (%q)", l.tok.pos, l.tok.text)
+	}
+	return stmt, nil
+}
+
+// ParseSelect parses src and requires it to be a SELECT statement.
+func ParseSelect(src string) (*SelectStmt, error) {
+	stmt, err := Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	sel, ok := stmt.(*SelectStmt)
+	if !ok {
+		return nil, fmt.Errorf("sqldb: expected SELECT statement, got %T", stmt)
+	}
+	return sel, nil
+}
+
+func parseStatement(l *lexer) (Statement, error) {
+	switch {
+	case l.isKeyword("SELECT"):
+		return parseSelect(l)
+	case l.isKeyword("CREATE"):
+		return parseCreate(l)
+	case l.isKeyword("INSERT"):
+		return parseInsert(l)
+	case l.isKeyword("DELETE"):
+		return parseDelete(l)
+	case l.isKeyword("UPDATE"):
+		return parseUpdate(l)
+	default:
+		return nil, fmt.Errorf("sqldb: unsupported statement starting with %q", l.tok.text)
+	}
+}
+
+func parseCreate(l *lexer) (Statement, error) {
+	l.next() // CREATE
+	unique := l.acceptKeyword("UNIQUE")
+	switch {
+	case l.acceptKeyword("TABLE"):
+		if unique {
+			return nil, fmt.Errorf("sqldb: CREATE UNIQUE TABLE is not valid")
+		}
+		return parseCreateTable(l)
+	case l.acceptKeyword("INDEX"):
+		return parseCreateIndex(l, unique)
+	default:
+		return nil, fmt.Errorf("sqldb: expected TABLE or INDEX after CREATE")
+	}
+}
+
+func parseCreateTable(l *lexer) (Statement, error) {
+	name, err := l.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	if err := l.expectSymbol("("); err != nil {
+		return nil, err
+	}
+	schema := &Schema{Table: name}
+	for {
+		if l.acceptKeyword("PRIMARY") {
+			if err := l.expectKeyword("KEY"); err != nil {
+				return nil, err
+			}
+			if err := l.expectSymbol("("); err != nil {
+				return nil, err
+			}
+			pk, err := l.expectIdent()
+			if err != nil {
+				return nil, err
+			}
+			if err := l.expectSymbol(")"); err != nil {
+				return nil, err
+			}
+			schema.PrimaryKey = pk
+		} else {
+			col, err := l.expectIdent()
+			if err != nil {
+				return nil, err
+			}
+			kind, err := parseType(l)
+			if err != nil {
+				return nil, err
+			}
+			schema.Columns = append(schema.Columns, Column{Name: col, Kind: kind})
+			if l.acceptKeyword("PRIMARY") {
+				if err := l.expectKeyword("KEY"); err != nil {
+					return nil, err
+				}
+				schema.PrimaryKey = col
+			}
+		}
+		if l.acceptSymbol(",") {
+			continue
+		}
+		break
+	}
+	if err := l.expectSymbol(")"); err != nil {
+		return nil, err
+	}
+	return &CreateTableStmt{Schema: schema}, nil
+}
+
+func parseType(l *lexer) (sqlval.Kind, error) {
+	name, err := l.expectIdent()
+	if err != nil {
+		return sqlval.KindNull, err
+	}
+	// Swallow optional length parameters: VARCHAR(25), DECIMAL(15,2).
+	if l.acceptSymbol("(") {
+		for !l.acceptSymbol(")") {
+			if l.tok.kind == tokEOF {
+				return sqlval.KindNull, fmt.Errorf("sqldb: unterminated type parameter list")
+			}
+			l.next()
+		}
+	}
+	switch strings.ToUpper(name) {
+	case "INT", "INTEGER", "BIGINT", "SMALLINT", "TINYINT":
+		return sqlval.KindInt, nil
+	case "FLOAT", "DOUBLE", "REAL", "DECIMAL", "NUMERIC":
+		return sqlval.KindFloat, nil
+	case "VARCHAR", "CHAR", "TEXT", "STRING":
+		return sqlval.KindString, nil
+	case "DATE", "DATETIME", "TIMESTAMP":
+		return sqlval.KindDate, nil
+	default:
+		return sqlval.KindNull, fmt.Errorf("sqldb: unknown type %s", name)
+	}
+}
+
+func parseCreateIndex(l *lexer, unique bool) (Statement, error) {
+	name, err := l.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	if err := l.expectKeyword("ON"); err != nil {
+		return nil, err
+	}
+	table, err := l.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	if err := l.expectSymbol("("); err != nil {
+		return nil, err
+	}
+	col, err := l.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	if err := l.expectSymbol(")"); err != nil {
+		return nil, err
+	}
+	return &CreateIndexStmt{Name: name, Table: table, Column: col, Unique: unique}, nil
+}
+
+func parseInsert(l *lexer) (Statement, error) {
+	l.next() // INSERT
+	if err := l.expectKeyword("INTO"); err != nil {
+		return nil, err
+	}
+	table, err := l.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	if err := l.expectKeyword("VALUES"); err != nil {
+		return nil, err
+	}
+	stmt := &InsertStmt{Table: table}
+	for {
+		if err := l.expectSymbol("("); err != nil {
+			return nil, err
+		}
+		var row []Expr
+		for {
+			e, err := parseExpr(l)
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, e)
+			if !l.acceptSymbol(",") {
+				break
+			}
+		}
+		if err := l.expectSymbol(")"); err != nil {
+			return nil, err
+		}
+		stmt.Rows = append(stmt.Rows, row)
+		if !l.acceptSymbol(",") {
+			break
+		}
+	}
+	return stmt, nil
+}
+
+func parseDelete(l *lexer) (Statement, error) {
+	l.next() // DELETE
+	if err := l.expectKeyword("FROM"); err != nil {
+		return nil, err
+	}
+	table, err := l.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	stmt := &DeleteStmt{Table: table}
+	if l.acceptKeyword("WHERE") {
+		e, err := parseExpr(l)
+		if err != nil {
+			return nil, err
+		}
+		stmt.Where = e
+	}
+	return stmt, nil
+}
+
+func parseUpdate(l *lexer) (Statement, error) {
+	l.next() // UPDATE
+	table, err := l.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	if err := l.expectKeyword("SET"); err != nil {
+		return nil, err
+	}
+	stmt := &UpdateStmt{Table: table}
+	for {
+		col, err := l.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		if err := l.expectSymbol("="); err != nil {
+			return nil, err
+		}
+		e, err := parseExpr(l)
+		if err != nil {
+			return nil, err
+		}
+		stmt.Set = append(stmt.Set, Assignment{Column: col, Value: e})
+		if !l.acceptSymbol(",") {
+			break
+		}
+	}
+	if l.acceptKeyword("WHERE") {
+		e, err := parseExpr(l)
+		if err != nil {
+			return nil, err
+		}
+		stmt.Where = e
+	}
+	return stmt, nil
+}
+
+func parseSelect(l *lexer) (*SelectStmt, error) {
+	l.next() // SELECT
+	stmt := &SelectStmt{Limit: -1}
+	stmt.Distinct = l.acceptKeyword("DISTINCT")
+	for {
+		item, err := parseSelectItem(l)
+		if err != nil {
+			return nil, err
+		}
+		stmt.Items = append(stmt.Items, item)
+		if !l.acceptSymbol(",") {
+			break
+		}
+	}
+	if err := l.expectKeyword("FROM"); err != nil {
+		return nil, err
+	}
+	var joinConds []Expr
+	ref, err := parseTableRef(l)
+	if err != nil {
+		return nil, err
+	}
+	stmt.From = append(stmt.From, ref)
+	for {
+		if l.acceptSymbol(",") {
+			ref, err := parseTableRef(l)
+			if err != nil {
+				return nil, err
+			}
+			stmt.From = append(stmt.From, ref)
+			continue
+		}
+		if l.acceptKeyword("INNER") {
+			if err := l.expectKeyword("JOIN"); err != nil {
+				return nil, err
+			}
+		} else if !l.acceptKeyword("JOIN") {
+			break
+		}
+		ref, err := parseTableRef(l)
+		if err != nil {
+			return nil, err
+		}
+		stmt.From = append(stmt.From, ref)
+		if err := l.expectKeyword("ON"); err != nil {
+			return nil, err
+		}
+		cond, err := parseExpr(l)
+		if err != nil {
+			return nil, err
+		}
+		joinConds = append(joinConds, cond)
+	}
+	if l.acceptKeyword("WHERE") {
+		e, err := parseExpr(l)
+		if err != nil {
+			return nil, err
+		}
+		joinConds = append(joinConds, e)
+	}
+	stmt.Where = AndAll(joinConds)
+	if l.acceptKeyword("GROUP") {
+		if err := l.expectKeyword("BY"); err != nil {
+			return nil, err
+		}
+		for {
+			e, err := parseExpr(l)
+			if err != nil {
+				return nil, err
+			}
+			stmt.GroupBy = append(stmt.GroupBy, e)
+			if !l.acceptSymbol(",") {
+				break
+			}
+		}
+	}
+	if l.acceptKeyword("HAVING") {
+		e, err := parseExpr(l)
+		if err != nil {
+			return nil, err
+		}
+		stmt.Having = e
+	}
+	if l.acceptKeyword("ORDER") {
+		if err := l.expectKeyword("BY"); err != nil {
+			return nil, err
+		}
+		for {
+			e, err := parseExpr(l)
+			if err != nil {
+				return nil, err
+			}
+			item := OrderItem{Expr: e}
+			if l.acceptKeyword("DESC") {
+				item.Desc = true
+			} else {
+				l.acceptKeyword("ASC")
+			}
+			stmt.OrderBy = append(stmt.OrderBy, item)
+			if !l.acceptSymbol(",") {
+				break
+			}
+		}
+	}
+	if l.acceptKeyword("LIMIT") {
+		if l.tok.kind != tokNumber {
+			return nil, fmt.Errorf("sqldb: expected number after LIMIT")
+		}
+		n, err := strconv.Atoi(l.tok.text)
+		if err != nil {
+			return nil, fmt.Errorf("sqldb: bad LIMIT %q", l.tok.text)
+		}
+		stmt.Limit = n
+		l.next()
+	}
+	return stmt, nil
+}
+
+func parseSelectItem(l *lexer) (SelectItem, error) {
+	if l.acceptSymbol("*") {
+		return SelectItem{Star: true}, nil
+	}
+	// alias.* requires two-token lookahead; probe by position.
+	if l.tok.kind == tokIdent {
+		save := *l
+		name := l.tok.text
+		l.next()
+		if l.acceptSymbol(".") && l.acceptSymbol("*") {
+			return SelectItem{Star: true, Table: name}, nil
+		}
+		*l = save
+	}
+	e, err := parseExpr(l)
+	if err != nil {
+		return SelectItem{}, err
+	}
+	item := SelectItem{Expr: e}
+	if l.acceptKeyword("AS") {
+		alias, err := l.expectIdent()
+		if err != nil {
+			return SelectItem{}, err
+		}
+		item.Alias = alias
+	} else if l.tok.kind == tokIdent && !isReservedAfterItem(l.tok.text) {
+		item.Alias = l.tok.text
+		l.next()
+	}
+	return item, nil
+}
+
+func isReservedAfterItem(word string) bool {
+	switch strings.ToUpper(word) {
+	case "FROM", "WHERE", "GROUP", "HAVING", "ORDER", "LIMIT", "JOIN", "INNER", "ON", "AS", "AND", "OR", "ASC", "DESC", "BETWEEN", "IN", "NOT":
+		return true
+	}
+	return false
+}
+
+func parseTableRef(l *lexer) (TableRef, error) {
+	name, err := l.expectIdent()
+	if err != nil {
+		return TableRef{}, err
+	}
+	ref := TableRef{Table: name, Alias: name}
+	if l.acceptKeyword("AS") {
+		alias, err := l.expectIdent()
+		if err != nil {
+			return TableRef{}, err
+		}
+		ref.Alias = alias
+	} else if l.tok.kind == tokIdent && !isReservedAfterItem(l.tok.text) {
+		ref.Alias = l.tok.text
+		l.next()
+	}
+	return ref, nil
+}
+
+// Expression grammar, lowest precedence first:
+//
+//	expr     = orExpr
+//	orExpr   = andExpr { OR andExpr }
+//	andExpr  = notExpr { AND notExpr }
+//	notExpr  = [NOT] cmpExpr
+//	cmpExpr  = addExpr [ (= <> != < <= > >=) addExpr
+//	                   | [NOT] BETWEEN addExpr AND addExpr
+//	                   | [NOT] IN ( expr {, expr} ) ]
+//	addExpr  = mulExpr { (+|-) mulExpr }
+//	mulExpr  = unary { (*|/) unary }
+//	unary    = [-] primary
+//	primary  = literal | funcCall | columnRef | ( expr )
+func parseExpr(l *lexer) (Expr, error) { return parseOr(l) }
+
+func parseOr(l *lexer) (Expr, error) {
+	left, err := parseAnd(l)
+	if err != nil {
+		return nil, err
+	}
+	for l.acceptKeyword("OR") {
+		right, err := parseAnd(l)
+		if err != nil {
+			return nil, err
+		}
+		left = &Binary{Op: "OR", L: left, R: right}
+	}
+	return left, nil
+}
+
+func parseAnd(l *lexer) (Expr, error) {
+	left, err := parseNot(l)
+	if err != nil {
+		return nil, err
+	}
+	for l.acceptKeyword("AND") {
+		right, err := parseNot(l)
+		if err != nil {
+			return nil, err
+		}
+		left = &Binary{Op: "AND", L: left, R: right}
+	}
+	return left, nil
+}
+
+func parseNot(l *lexer) (Expr, error) {
+	if l.acceptKeyword("NOT") {
+		e, err := parseNot(l)
+		if err != nil {
+			return nil, err
+		}
+		return &Unary{Op: "NOT", E: e}, nil
+	}
+	return parseComparison(l)
+}
+
+func parseComparison(l *lexer) (Expr, error) {
+	left, err := parseAdd(l)
+	if err != nil {
+		return nil, err
+	}
+	not := false
+	if l.isKeyword("NOT") {
+		// NOT here must precede BETWEEN or IN.
+		save := *l
+		l.next()
+		if !l.isKeyword("BETWEEN") && !l.isKeyword("IN") {
+			*l = save
+			return left, nil
+		}
+		not = true
+	}
+	switch {
+	case l.acceptKeyword("IS"):
+		isNot := l.acceptKeyword("NOT")
+		if !l.acceptKeyword("NULL") {
+			return nil, fmt.Errorf("sqldb: expected NULL after IS at offset %d", l.tok.pos)
+		}
+		return &IsNull{E: left, Not: isNot}, nil
+	case l.acceptKeyword("BETWEEN"):
+		lo, err := parseAdd(l)
+		if err != nil {
+			return nil, err
+		}
+		if err := l.expectKeyword("AND"); err != nil {
+			return nil, err
+		}
+		hi, err := parseAdd(l)
+		if err != nil {
+			return nil, err
+		}
+		return &Between{E: left, Lo: lo, Hi: hi, Not: not}, nil
+	case l.acceptKeyword("IN"):
+		if err := l.expectSymbol("("); err != nil {
+			return nil, err
+		}
+		var list []Expr
+		for {
+			e, err := parseExpr(l)
+			if err != nil {
+				return nil, err
+			}
+			list = append(list, e)
+			if !l.acceptSymbol(",") {
+				break
+			}
+		}
+		if err := l.expectSymbol(")"); err != nil {
+			return nil, err
+		}
+		return &InList{E: left, List: list, Not: not}, nil
+	}
+	for _, op := range []string{"<=", ">=", "<>", "!=", "=", "<", ">"} {
+		if l.acceptSymbol(op) {
+			right, err := parseAdd(l)
+			if err != nil {
+				return nil, err
+			}
+			if op == "!=" {
+				op = "<>"
+			}
+			return &Binary{Op: op, L: left, R: right}, nil
+		}
+	}
+	return left, nil
+}
+
+func parseAdd(l *lexer) (Expr, error) {
+	left, err := parseMul(l)
+	if err != nil {
+		return nil, err
+	}
+	for {
+		var op string
+		switch {
+		case l.acceptSymbol("+"):
+			op = "+"
+		case l.acceptSymbol("-"):
+			op = "-"
+		default:
+			return left, nil
+		}
+		right, err := parseMul(l)
+		if err != nil {
+			return nil, err
+		}
+		left = &Binary{Op: op, L: left, R: right}
+	}
+}
+
+func parseMul(l *lexer) (Expr, error) {
+	left, err := parseUnary(l)
+	if err != nil {
+		return nil, err
+	}
+	for {
+		var op string
+		switch {
+		case l.acceptSymbol("*"):
+			op = "*"
+		case l.acceptSymbol("/"):
+			op = "/"
+		default:
+			return left, nil
+		}
+		right, err := parseUnary(l)
+		if err != nil {
+			return nil, err
+		}
+		left = &Binary{Op: op, L: left, R: right}
+	}
+}
+
+func parseUnary(l *lexer) (Expr, error) {
+	if l.acceptSymbol("-") {
+		e, err := parseUnary(l)
+		if err != nil {
+			return nil, err
+		}
+		if lit, ok := e.(*Literal); ok {
+			switch lit.Val.Kind() {
+			case sqlval.KindInt:
+				return &Literal{Val: sqlval.Int(-lit.Val.AsInt())}, nil
+			case sqlval.KindFloat:
+				return &Literal{Val: sqlval.Float(-lit.Val.AsFloat())}, nil
+			}
+		}
+		return &Unary{Op: "-", E: e}, nil
+	}
+	return parsePrimary(l)
+}
+
+func parsePrimary(l *lexer) (Expr, error) {
+	switch l.tok.kind {
+	case tokNumber:
+		text := l.tok.text
+		l.next()
+		if strings.Contains(text, ".") {
+			f, err := strconv.ParseFloat(text, 64)
+			if err != nil {
+				return nil, fmt.Errorf("sqldb: bad number %q", text)
+			}
+			return &Literal{Val: sqlval.Float(f)}, nil
+		}
+		n, err := strconv.ParseInt(text, 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("sqldb: bad number %q", text)
+		}
+		return &Literal{Val: sqlval.Int(n)}, nil
+	case tokString:
+		s := l.tok.text
+		l.next()
+		return &Literal{Val: sqlval.Str(s)}, nil
+	case tokSymbol:
+		if l.acceptSymbol("(") {
+			e, err := parseExpr(l)
+			if err != nil {
+				return nil, err
+			}
+			if err := l.expectSymbol(")"); err != nil {
+				return nil, err
+			}
+			return e, nil
+		}
+		return nil, fmt.Errorf("sqldb: unexpected symbol %q at offset %d", l.tok.text, l.tok.pos)
+	case tokIdent:
+		name := l.tok.text
+		// DATE '1998-11-05' literal.
+		if strings.EqualFold(name, "DATE") {
+			save := *l
+			l.next()
+			if l.tok.kind == tokString {
+				v, err := sqlval.ParseDate(l.tok.text)
+				if err != nil {
+					return nil, err
+				}
+				l.next()
+				return &Literal{Val: v}, nil
+			}
+			*l = save
+		}
+		if strings.EqualFold(name, "NULL") {
+			l.next()
+			return &Literal{Val: sqlval.Null()}, nil
+		}
+		l.next()
+		if l.acceptSymbol("(") {
+			fn := &FuncCall{Name: strings.ToUpper(name)}
+			if l.acceptSymbol("*") {
+				fn.Star = true
+			} else if !l.isSymbol(")") {
+				for {
+					a, err := parseExpr(l)
+					if err != nil {
+						return nil, err
+					}
+					fn.Args = append(fn.Args, a)
+					if !l.acceptSymbol(",") {
+						break
+					}
+				}
+			}
+			if err := l.expectSymbol(")"); err != nil {
+				return nil, err
+			}
+			return fn, nil
+		}
+		if l.acceptSymbol(".") {
+			col, err := l.expectIdent()
+			if err != nil {
+				return nil, err
+			}
+			return &ColumnRef{Table: name, Column: col}, nil
+		}
+		return &ColumnRef{Column: name}, nil
+	default:
+		return nil, fmt.Errorf("sqldb: unexpected end of expression")
+	}
+}

@@ -1,0 +1,280 @@
+package sqldb
+
+import (
+	"strings"
+	"testing"
+
+	"bestpeer/internal/sqlval"
+)
+
+func mustParse(t *testing.T, sql string) Statement {
+	t.Helper()
+	stmt, err := Parse(sql)
+	if err != nil {
+		t.Fatalf("Parse(%q): %v", sql, err)
+	}
+	return stmt
+}
+
+func TestParseCreateTable(t *testing.T) {
+	stmt := mustParse(t, `CREATE TABLE orders (
+		o_orderkey INT PRIMARY KEY,
+		o_custkey INT,
+		o_totalprice DECIMAL(15,2),
+		o_orderdate DATE,
+		o_comment VARCHAR(79)
+	)`).(*CreateTableStmt)
+	s := stmt.Schema
+	if s.Table != "orders" || len(s.Columns) != 5 {
+		t.Fatalf("schema = %+v", s)
+	}
+	if s.PrimaryKey != "o_orderkey" {
+		t.Errorf("primary key = %q", s.PrimaryKey)
+	}
+	wantKinds := []sqlval.Kind{sqlval.KindInt, sqlval.KindInt, sqlval.KindFloat, sqlval.KindDate, sqlval.KindString}
+	for i, k := range wantKinds {
+		if s.Columns[i].Kind != k {
+			t.Errorf("column %d kind = %v, want %v", i, s.Columns[i].Kind, k)
+		}
+	}
+}
+
+func TestParseCreateTableTrailingPrimaryKey(t *testing.T) {
+	stmt := mustParse(t, `CREATE TABLE t (a INT, b INT, PRIMARY KEY (b))`).(*CreateTableStmt)
+	if stmt.Schema.PrimaryKey != "b" {
+		t.Errorf("primary key = %q", stmt.Schema.PrimaryKey)
+	}
+}
+
+func TestParseCreateIndex(t *testing.T) {
+	stmt := mustParse(t, `CREATE INDEX idx_ship ON lineitem (l_shipdate)`).(*CreateIndexStmt)
+	if stmt.Name != "idx_ship" || stmt.Table != "lineitem" || stmt.Column != "l_shipdate" || stmt.Unique {
+		t.Errorf("stmt = %+v", stmt)
+	}
+	u := mustParse(t, `CREATE UNIQUE INDEX pk ON t (a)`).(*CreateIndexStmt)
+	if !u.Unique {
+		t.Error("UNIQUE not parsed")
+	}
+}
+
+func TestParseInsertMultiRow(t *testing.T) {
+	stmt := mustParse(t, `INSERT INTO t VALUES (1, 'a', 2.5), (2, 'b''c', DATE '2001-02-03')`).(*InsertStmt)
+	if len(stmt.Rows) != 2 || len(stmt.Rows[0]) != 3 {
+		t.Fatalf("rows = %+v", stmt.Rows)
+	}
+	if lit := stmt.Rows[1][1].(*Literal); lit.Val.AsString() != "b'c" {
+		t.Errorf("escaped string = %q", lit.Val.AsString())
+	}
+	if lit := stmt.Rows[1][2].(*Literal); lit.Val.Kind() != sqlval.KindDate {
+		t.Errorf("date literal kind = %v", lit.Val.Kind())
+	}
+}
+
+func TestParseSelectBasic(t *testing.T) {
+	stmt := mustParse(t, `SELECT l_orderkey, l_extendedprice FROM lineitem WHERE l_shipdate > DATE '1998-11-05' AND l_commitdate < DATE '1998-11-12'`).(*SelectStmt)
+	if len(stmt.Items) != 2 || len(stmt.From) != 1 || stmt.From[0].Table != "lineitem" {
+		t.Fatalf("stmt = %+v", stmt)
+	}
+	conj := Conjuncts(stmt.Where)
+	if len(conj) != 2 {
+		t.Fatalf("conjuncts = %d", len(conj))
+	}
+}
+
+func TestParseSelectJoinOnFoldsIntoWhere(t *testing.T) {
+	stmt := mustParse(t, `SELECT o.o_orderkey FROM lineitem l JOIN orders o ON l.l_orderkey = o.o_orderkey WHERE o.o_totalprice > 100`).(*SelectStmt)
+	if len(stmt.From) != 2 {
+		t.Fatalf("from = %+v", stmt.From)
+	}
+	if stmt.From[0].Alias != "l" || stmt.From[1].Alias != "o" {
+		t.Errorf("aliases = %+v", stmt.From)
+	}
+	if got := len(Conjuncts(stmt.Where)); got != 2 {
+		t.Errorf("conjuncts = %d (ON should fold into WHERE)", got)
+	}
+}
+
+func TestParseSelectCommaJoin(t *testing.T) {
+	stmt := mustParse(t, `SELECT * FROM a, b, c WHERE a.x = b.y AND b.z = c.w`).(*SelectStmt)
+	if len(stmt.From) != 3 {
+		t.Fatalf("from = %+v", stmt.From)
+	}
+	if !stmt.Items[0].Star {
+		t.Error("star not parsed")
+	}
+}
+
+func TestParseGroupByHavingOrderLimit(t *testing.T) {
+	stmt := mustParse(t, `SELECT p_type, SUM(ps_supplycost) AS total FROM part, partsupp
+		WHERE p_partkey = ps_partkey GROUP BY p_type HAVING SUM(ps_supplycost) > 10
+		ORDER BY total DESC, p_type ASC LIMIT 5`).(*SelectStmt)
+	if len(stmt.GroupBy) != 1 || stmt.Having == nil || len(stmt.OrderBy) != 2 || stmt.Limit != 5 {
+		t.Fatalf("stmt = %+v", stmt)
+	}
+	if !stmt.OrderBy[0].Desc || stmt.OrderBy[1].Desc {
+		t.Error("order direction wrong")
+	}
+	if stmt.Items[1].Alias != "total" {
+		t.Errorf("alias = %q", stmt.Items[1].Alias)
+	}
+}
+
+func TestParseAggregateCalls(t *testing.T) {
+	stmt := mustParse(t, `SELECT COUNT(*), AVG(x), MIN(y), MAX(y), SUM(x*y) FROM t`).(*SelectStmt)
+	if len(stmt.Items) != 5 {
+		t.Fatalf("items = %d", len(stmt.Items))
+	}
+	if fc := stmt.Items[0].Expr.(*FuncCall); !fc.Star || fc.Name != "COUNT" {
+		t.Errorf("COUNT(*) = %+v", fc)
+	}
+	if !HasAggregate(stmt.Items[4].Expr) {
+		t.Error("SUM(x*y) not detected as aggregate")
+	}
+}
+
+func TestParseExpressionPrecedence(t *testing.T) {
+	stmt := mustParse(t, `SELECT a + b * c FROM t`).(*SelectStmt)
+	bin := stmt.Items[0].Expr.(*Binary)
+	if bin.Op != "+" {
+		t.Fatalf("top op = %s", bin.Op)
+	}
+	if inner := bin.R.(*Binary); inner.Op != "*" {
+		t.Errorf("inner op = %s", inner.Op)
+	}
+}
+
+func TestParseAndOrPrecedence(t *testing.T) {
+	stmt := mustParse(t, `SELECT * FROM t WHERE a = 1 OR b = 2 AND c = 3`).(*SelectStmt)
+	or := stmt.Where.(*Binary)
+	if or.Op != "OR" {
+		t.Fatalf("top = %s", or.Op)
+	}
+	if and := or.R.(*Binary); and.Op != "AND" {
+		t.Errorf("right = %s", and.Op)
+	}
+}
+
+func TestParseBetweenAndIn(t *testing.T) {
+	stmt := mustParse(t, `SELECT * FROM t WHERE a BETWEEN 1 AND 10 AND b IN ('x','y') AND c NOT IN (3) AND d NOT BETWEEN 5 AND 6`).(*SelectStmt)
+	conj := Conjuncts(stmt.Where)
+	if len(conj) != 4 {
+		t.Fatalf("conjuncts = %d", len(conj))
+	}
+	if b := conj[0].(*Between); b.Not {
+		t.Error("BETWEEN marked NOT")
+	}
+	if in := conj[2].(*InList); !in.Not {
+		t.Error("NOT IN not marked")
+	}
+	if b := conj[3].(*Between); !b.Not {
+		t.Error("NOT BETWEEN not marked")
+	}
+}
+
+func TestParseNegativeNumbers(t *testing.T) {
+	stmt := mustParse(t, `SELECT -5, -2.5, -x FROM t`).(*SelectStmt)
+	if lit := stmt.Items[0].Expr.(*Literal); lit.Val.AsInt() != -5 {
+		t.Errorf("neg int = %v", lit.Val)
+	}
+	if lit := stmt.Items[1].Expr.(*Literal); lit.Val.AsFloat() != -2.5 {
+		t.Errorf("neg float = %v", lit.Val)
+	}
+	if _, ok := stmt.Items[2].Expr.(*Unary); !ok {
+		t.Error("-x not unary")
+	}
+}
+
+func TestParseDeleteUpdate(t *testing.T) {
+	del := mustParse(t, `DELETE FROM t WHERE a = 1`).(*DeleteStmt)
+	if del.Table != "t" || del.Where == nil {
+		t.Errorf("delete = %+v", del)
+	}
+	up := mustParse(t, `UPDATE t SET a = 2, b = b + 1 WHERE c < 5`).(*UpdateStmt)
+	if len(up.Set) != 2 || up.Where == nil {
+		t.Errorf("update = %+v", up)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"SELEC * FROM t",
+		"SELECT FROM t",
+		"SELECT * FROM",
+		"SELECT * FROM t WHERE",
+		"SELECT * FROM t LIMIT x",
+		"INSERT INTO t VALUES 1",
+		"CREATE TABLE t",
+		"SELECT 'unterminated FROM t",
+		"SELECT * FROM t; SELECT * FROM u",
+		"SELECT a # b FROM t",
+	}
+	for _, sql := range bad {
+		if _, err := Parse(sql); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", sql)
+		}
+	}
+}
+
+func TestExprStringRoundTrip(t *testing.T) {
+	// Rendering a parsed expression and re-parsing it must preserve
+	// the structure: the engines rely on this when shipping subqueries.
+	sqls := []string{
+		`SELECT a FROM t WHERE (a = 1 AND b > 2.5) OR c = 'x''y'`,
+		`SELECT SUM(a * (1 - b)) FROM t WHERE d BETWEEN DATE '1994-01-01' AND DATE '1995-01-01'`,
+		`SELECT a FROM t WHERE b IN (1, 2, 3) AND NOT c = 4`,
+	}
+	for _, sql := range sqls {
+		stmt1 := mustParse(t, sql).(*SelectStmt)
+		rendered := "SELECT x FROM t WHERE " + stmt1.Where.String()
+		stmt2 := mustParse(t, rendered).(*SelectStmt)
+		if stmt1.Where.String() != stmt2.Where.String() {
+			t.Errorf("round trip mismatch:\n%s\n%s", stmt1.Where.String(), stmt2.Where.String())
+		}
+	}
+}
+
+func TestConjunctsAndAll(t *testing.T) {
+	stmt := mustParse(t, `SELECT * FROM t WHERE a = 1 AND b = 2 AND c = 3`).(*SelectStmt)
+	conj := Conjuncts(stmt.Where)
+	if len(conj) != 3 {
+		t.Fatalf("conjuncts = %d", len(conj))
+	}
+	back := AndAll(conj)
+	if len(Conjuncts(back)) != 3 {
+		t.Error("AndAll/Conjuncts not inverse")
+	}
+	if AndAll(nil) != nil {
+		t.Error("AndAll(nil) != nil")
+	}
+}
+
+func TestColumnsIn(t *testing.T) {
+	e := mustParse(t, `SELECT * FROM t WHERE a.x + b.y * z > 0`).(*SelectStmt).Where
+	cols := ColumnsIn(e)
+	if len(cols) != 3 {
+		t.Fatalf("columns = %d", len(cols))
+	}
+	names := make([]string, len(cols))
+	for i, c := range cols {
+		names[i] = c.String()
+	}
+	joined := strings.Join(names, ",")
+	if joined != "a.x,b.y,z" {
+		t.Errorf("columns = %s", joined)
+	}
+}
+
+func TestParseSelectDistinctIgnored(t *testing.T) {
+	stmt := mustParse(t, `SELECT DISTINCT a FROM t`).(*SelectStmt)
+	if len(stmt.Items) != 1 {
+		t.Fatalf("items = %d", len(stmt.Items))
+	}
+}
+
+func TestParseQualifiedStar(t *testing.T) {
+	stmt := mustParse(t, `SELECT l.*, o.o_orderkey FROM lineitem l, orders o`).(*SelectStmt)
+	if !stmt.Items[0].Star || stmt.Items[0].Table != "l" {
+		t.Errorf("qualified star = %+v", stmt.Items[0])
+	}
+}

@@ -1,0 +1,217 @@
+package sqldb
+
+import (
+	"fmt"
+	"strings"
+
+	"bestpeer/internal/sqlval"
+)
+
+// This file exports the pieces of the local executor that the
+// distributed query engines (BestPeer++'s basic/parallel/MapReduce
+// engines and the HadoopDB baseline) reuse: name resolution over joined
+// rows, conjunct placement, equi-join key extraction, and final
+// projection/aggregation over rows fetched from remote peers.
+
+// Binding names one table occurrence inside a joined-row layout.
+type Binding struct {
+	Alias  string
+	Schema *Schema
+}
+
+func frameOf(bindings []Binding) *frame {
+	f := &frame{}
+	for _, b := range bindings {
+		f.push(b.Alias, b.Schema)
+	}
+	return f
+}
+
+// EvalExprOver evaluates a non-aggregate expression against a joined row
+// laid out by bindings.
+func EvalExprOver(bindings []Binding, e Expr, row sqlval.Row) (sqlval.Value, error) {
+	return evalExpr(frameOf(bindings), e, row)
+}
+
+// EvalPredicate evaluates e as a predicate over a joined row (SQL
+// unknown is false).
+func EvalPredicate(bindings []Binding, e Expr, row sqlval.Row) (bool, error) {
+	return evalPred(frameOf(bindings), e, row)
+}
+
+// Resolvable reports whether every column of e resolves in the bindings.
+func Resolvable(bindings []Binding, e Expr) bool {
+	return frameOf(bindings).resolvable(e)
+}
+
+// ProjectRows applies the SELECT list, grouping/aggregation, HAVING,
+// ORDER BY, and LIMIT of stmt to already-joined, already-filtered rows.
+// The engines call it at the query submitting peer after assembling the
+// distributed intermediate result.
+func ProjectRows(stmt *SelectStmt, bindings []Binding, rows []sqlval.Row) (*Result, error) {
+	return project(frameOf(bindings), stmt, rows)
+}
+
+// SplitConjunctsPerTable partitions WHERE conjuncts into per-table
+// filters (fully resolvable against one FROM entry) and cross-table
+// conditions, in FROM order.
+func SplitConjunctsPerTable(where Expr, refs []TableRef, schemas []*Schema) (perTable [][]Expr, cross []Expr) {
+	return splitConjuncts(where, refs, schemas)
+}
+
+// EquiJoinConds finds equality conjuncts linking the left bindings to
+// the right bindings, returning paired key expressions (left side,
+// right side) plus the conditions it could not use.
+func EquiJoinConds(conds []Expr, left, right []Binding) (lkeys, rkeys []Expr, rest []Expr) {
+	return equiJoinKeys(conds, frameOf(left), frameOf(right))
+}
+
+// JoinKeyHash hashes a row's join key for hash-partitioned shuffles and
+// hash joins; rows with equal keys hash equally.
+func JoinKeyHash(bindings []Binding, keys []Expr, row sqlval.Row) (uint64, error) {
+	return hashKey(frameOf(bindings), keys, row)
+}
+
+// JoinKeysEqual compares two rows' join keys; NULL keys never match.
+func JoinKeysEqual(lb []Binding, lkeys []Expr, lrow sqlval.Row, rb []Binding, rkeys []Expr, rrow sqlval.Row) (bool, error) {
+	return keysEqual(frameOf(lb), lkeys, lrow, frameOf(rb), rkeys, rrow)
+}
+
+// NeededColumns lists the columns of one FROM entry referenced anywhere
+// in the statement (select list, WHERE, GROUP BY, HAVING, ORDER BY).
+// The engines push exactly this projection down to data owner peers. A
+// star select returns every column.
+func NeededColumns(stmt *SelectStmt, ref TableRef, schema *Schema) []string {
+	all := func() []string { return schema.ColumnNames() }
+	needed := make(map[string]bool)
+	addRef := func(cr *ColumnRef) bool {
+		if cr.Table != "" && !strings.EqualFold(cr.Table, ref.Alias) {
+			return true
+		}
+		ci := schema.ColumnIndex(cr.Column)
+		if ci < 0 {
+			// Unqualified reference to a column of another table.
+			if cr.Table == "" {
+				return true
+			}
+			return false
+		}
+		needed[strings.ToLower(schema.Columns[ci].Name)] = true
+		return true
+	}
+	var exprs []Expr
+	for _, item := range stmt.Items {
+		if item.Star && (item.Table == "" || strings.EqualFold(item.Table, ref.Alias)) {
+			return all()
+		}
+		if !item.Star {
+			exprs = append(exprs, item.Expr)
+		}
+	}
+	exprs = append(exprs, stmt.Where, stmt.Having)
+	exprs = append(exprs, stmt.GroupBy...)
+	for _, o := range stmt.OrderBy {
+		exprs = append(exprs, o.Expr)
+	}
+	for _, e := range exprs {
+		if e == nil {
+			continue
+		}
+		for _, cr := range ColumnsIn(e) {
+			if !addRef(cr) {
+				return all()
+			}
+		}
+	}
+	out := make([]string, 0, len(needed))
+	for _, c := range schema.Columns {
+		if needed[strings.ToLower(c.Name)] {
+			out = append(out, c.Name)
+		}
+	}
+	return out
+}
+
+// SubSchema builds the reduced schema produced by projecting the listed
+// columns of a table (the shape of a pushed-down subquery result).
+func SubSchema(schema *Schema, columns []string) (*Schema, error) {
+	out := &Schema{Table: schema.Table}
+	for _, c := range columns {
+		ci := schema.ColumnIndex(c)
+		if ci < 0 {
+			return nil, fmt.Errorf("sqldb: no column %s in %s", c, schema.Table)
+		}
+		out.Columns = append(out.Columns, schema.Columns[ci])
+	}
+	return out, nil
+}
+
+// BuildSubQuery constructs the single-table SELECT pushed down to a data
+// owner peer: the needed columns of one table under its per-table
+// conjuncts.
+func BuildSubQuery(table TableRef, columns []string, conjuncts []Expr) *SelectStmt {
+	stmt := &SelectStmt{
+		From:  []TableRef{{Table: table.Table, Alias: table.Table}},
+		Where: AndAll(stripQualifiers(conjuncts, table.Alias)),
+		Limit: -1,
+	}
+	for _, c := range columns {
+		stmt.Items = append(stmt.Items, SelectItem{Expr: &ColumnRef{Column: c}})
+	}
+	return stmt
+}
+
+// stripQualifiers rewrites alias-qualified column references to bare
+// ones so a subquery extracted from a join parses at a peer that only
+// sees the single table.
+func stripQualifiers(conjuncts []Expr, alias string) []Expr {
+	out := make([]Expr, 0, len(conjuncts))
+	for _, c := range conjuncts {
+		out = append(out, rewriteRefs(c, func(cr *ColumnRef) Expr {
+			if strings.EqualFold(cr.Table, alias) {
+				return &ColumnRef{Column: cr.Column}
+			}
+			return cr
+		}))
+	}
+	return out
+}
+
+// rewriteRefs rebuilds an expression applying fn to every column
+// reference.
+func rewriteRefs(e Expr, fn func(*ColumnRef) Expr) Expr {
+	switch x := e.(type) {
+	case nil:
+		return nil
+	case *ColumnRef:
+		return fn(x)
+	case *Literal:
+		return x
+	case *Binary:
+		return &Binary{Op: x.Op, L: rewriteRefs(x.L, fn), R: rewriteRefs(x.R, fn)}
+	case *Unary:
+		return &Unary{Op: x.Op, E: rewriteRefs(x.E, fn)}
+	case *FuncCall:
+		out := &FuncCall{Name: x.Name, Star: x.Star}
+		for _, a := range x.Args {
+			out.Args = append(out.Args, rewriteRefs(a, fn))
+		}
+		return out
+	case *Between:
+		return &Between{E: rewriteRefs(x.E, fn), Lo: rewriteRefs(x.Lo, fn), Hi: rewriteRefs(x.Hi, fn), Not: x.Not}
+	case *InList:
+		out := &InList{E: rewriteRefs(x.E, fn), Not: x.Not}
+		for _, v := range x.List {
+			out.List = append(out.List, rewriteRefs(v, fn))
+		}
+		return out
+	case *IsNull:
+		return &IsNull{E: rewriteRefs(x.E, fn), Not: x.Not}
+	default:
+		return e
+	}
+}
+
+// RewriteRefs exposes expression rewriting to the engines (used by
+// aggregate decomposition).
+func RewriteRefs(e Expr, fn func(*ColumnRef) Expr) Expr { return rewriteRefs(e, fn) }

@@ -1,0 +1,104 @@
+package sqldb
+
+import (
+	"math/rand"
+	"testing"
+
+	"bestpeer/internal/sqlval"
+)
+
+// randomExpr builds a random expression tree over a small column pool.
+func randomExpr(rng *rand.Rand, depth int) Expr {
+	if depth <= 0 || rng.Intn(3) == 0 {
+		switch rng.Intn(4) {
+		case 0:
+			return &ColumnRef{Column: []string{"a", "b", "c"}[rng.Intn(3)]}
+		case 1:
+			return &ColumnRef{Table: "t", Column: []string{"a", "b"}[rng.Intn(2)]}
+		case 2:
+			return &Literal{Val: sqlval.Int(int64(rng.Intn(1000)))}
+		default:
+			return &Literal{Val: sqlval.Str([]string{"x", "it's", "long value"}[rng.Intn(3)])}
+		}
+	}
+	switch rng.Intn(7) {
+	case 0:
+		return &Binary{Op: []string{"+", "-", "*", "/"}[rng.Intn(4)],
+			L: randomExpr(rng, depth-1), R: randomExpr(rng, depth-1)}
+	case 1:
+		return &Binary{Op: []string{"=", "<>", "<", "<=", ">", ">="}[rng.Intn(6)],
+			L: randomExpr(rng, depth-1), R: randomExpr(rng, depth-1)}
+	case 2:
+		return &Binary{Op: []string{"AND", "OR"}[rng.Intn(2)],
+			L: randomExpr(rng, depth-1), R: randomExpr(rng, depth-1)}
+	case 3:
+		return &Unary{Op: "NOT", E: randomExpr(rng, depth-1)}
+	case 4:
+		return &Between{E: randomExpr(rng, depth-1),
+			Lo:  &Literal{Val: sqlval.Int(int64(rng.Intn(10)))},
+			Hi:  &Literal{Val: sqlval.Int(int64(rng.Intn(100) + 10))},
+			Not: rng.Intn(2) == 0}
+	case 5:
+		in := &InList{E: randomExpr(rng, depth-1), Not: rng.Intn(2) == 0}
+		for i := 0; i < rng.Intn(3)+1; i++ {
+			in.List = append(in.List, &Literal{Val: sqlval.Int(int64(i))})
+		}
+		return in
+	default:
+		return &IsNull{E: randomExpr(rng, depth-1), Not: rng.Intn(2) == 0}
+	}
+}
+
+// TestExprRenderParseFixpoint: rendering any expression and re-parsing
+// it yields an expression with the identical rendering. The engines
+// depend on this when they rewrite and re-ship subqueries as SQL text.
+func TestExprRenderParseFixpoint(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 300; trial++ {
+		e := randomExpr(rng, 4)
+		sql := "SELECT x FROM t WHERE " + e.String()
+		stmt, err := ParseSelect(sql)
+		if err != nil {
+			t.Fatalf("trial %d: rendered SQL does not parse: %v\n%s", trial, err, sql)
+		}
+		if got := stmt.Where.String(); got != e.String() {
+			t.Fatalf("trial %d: fixpoint violated\n orig: %s\n reparsed: %s", trial, e.String(), got)
+		}
+	}
+}
+
+// TestDateLiteralRoundTrip covers DATE rendering specifically.
+func TestDateLiteralRoundTrip(t *testing.T) {
+	e := &Binary{Op: ">", L: &ColumnRef{Column: "d"},
+		R: &Literal{Val: sqlval.MustParseDate("1997-03-15")}}
+	stmt, err := ParseSelect("SELECT x FROM t WHERE " + e.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stmt.Where.String() != e.String() {
+		t.Errorf("date round trip: %s vs %s", stmt.Where.String(), e.String())
+	}
+}
+
+// TestRewriteRefsPreservesStructure: rewriting with the identity
+// function returns an equal rendering on random expressions.
+func TestRewriteRefsPreservesStructure(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 200; trial++ {
+		e := randomExpr(rng, 4)
+		id := RewriteRefs(e, func(cr *ColumnRef) Expr { return cr })
+		if id.String() != e.String() {
+			t.Fatalf("identity rewrite changed expression:\n%s\n%s", e.String(), id.String())
+		}
+		// Qualify every bare reference; the result must still parse.
+		q := RewriteRefs(e, func(cr *ColumnRef) Expr {
+			if cr.Table == "" {
+				return &ColumnRef{Table: "q", Column: cr.Column}
+			}
+			return cr
+		})
+		if _, err := ParseSelect("SELECT x FROM t WHERE " + q.String()); err != nil {
+			t.Fatalf("qualified rewrite does not parse: %v", err)
+		}
+	}
+}

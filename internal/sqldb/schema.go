@@ -1,0 +1,81 @@
+// Package sqldb is the embedded relational engine hosted by every
+// BestPeer++ peer. It stands in for the MySQL instance each normal peer
+// runs in the paper (and the PostgreSQL instance each HadoopDB worker
+// runs): peers push SQL subqueries to it, it answers them using primary
+// and secondary B+-tree indexes, and it reports scan statistics that the
+// virtual-time cost model charges for.
+//
+// The engine supports the subset of SQL the paper's workloads need:
+// CREATE TABLE / CREATE INDEX / INSERT / UPDATE / DELETE and SELECT with
+// multi-table joins, WHERE predicates, GROUP BY aggregation, ORDER BY,
+// and LIMIT.
+package sqldb
+
+import (
+	"fmt"
+	"strings"
+
+	"bestpeer/internal/sqlval"
+)
+
+// Column describes one column of a table schema.
+type Column struct {
+	Name string
+	Kind sqlval.Kind
+}
+
+// Schema describes a table: ordered columns plus an optional primary key.
+type Schema struct {
+	Table      string
+	Columns    []Column
+	PrimaryKey string // name of the primary-key column; "" if none
+}
+
+// ColumnIndex returns the ordinal of the named column, or -1. Matching
+// is case-insensitive, as in MySQL.
+func (s *Schema) ColumnIndex(name string) int {
+	for i, c := range s.Columns {
+		if strings.EqualFold(c.Name, name) {
+			return i
+		}
+	}
+	return -1
+}
+
+// ColumnNames returns the column names in order.
+func (s *Schema) ColumnNames() []string {
+	out := make([]string, len(s.Columns))
+	for i, c := range s.Columns {
+		out[i] = c.Name
+	}
+	return out
+}
+
+// Clone returns a deep copy of the schema.
+func (s *Schema) Clone() *Schema {
+	out := &Schema{Table: s.Table, PrimaryKey: s.PrimaryKey}
+	out.Columns = append([]Column(nil), s.Columns...)
+	return out
+}
+
+// validate checks structural invariants of the schema.
+func (s *Schema) validate() error {
+	if s.Table == "" {
+		return fmt.Errorf("sqldb: schema with empty table name")
+	}
+	if len(s.Columns) == 0 {
+		return fmt.Errorf("sqldb: table %s has no columns", s.Table)
+	}
+	seen := make(map[string]bool, len(s.Columns))
+	for _, c := range s.Columns {
+		lc := strings.ToLower(c.Name)
+		if seen[lc] {
+			return fmt.Errorf("sqldb: table %s: duplicate column %s", s.Table, c.Name)
+		}
+		seen[lc] = true
+	}
+	if s.PrimaryKey != "" && s.ColumnIndex(s.PrimaryKey) < 0 {
+		return fmt.Errorf("sqldb: table %s: primary key %s is not a column", s.Table, s.PrimaryKey)
+	}
+	return nil
+}

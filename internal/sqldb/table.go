@@ -1,0 +1,298 @@
+package sqldb
+
+import (
+	"fmt"
+	"strings"
+
+	"bestpeer/internal/btree"
+	"bestpeer/internal/sqlval"
+)
+
+// Table is the physical storage for one relation: a row store plus any
+// number of B+-tree indexes. Deleted rows leave tombstones (nil rows);
+// the workload is load-mostly, matching the MyISAM read-optimized
+// configuration the paper uses.
+type Table struct {
+	schema  *Schema
+	rows    []sqlval.Row // index = rowID; nil = tombstone
+	live    int
+	bytes   int64 // encoded size of live rows
+	indexes map[string]*Index
+}
+
+// Index is a secondary (or primary) index over a single column. Because
+// secondary keys may repeat, each B+-tree entry holds the slice of row
+// IDs carrying that key.
+type Index struct {
+	Name   string
+	Column string
+	col    int
+	unique bool
+	tree   *btree.Tree
+}
+
+// NewTable creates an empty table for the schema. A primary index is
+// built automatically when the schema declares a primary key.
+func NewTable(schema *Schema) (*Table, error) {
+	if err := schema.validate(); err != nil {
+		return nil, err
+	}
+	t := &Table{schema: schema.Clone(), indexes: make(map[string]*Index)}
+	if schema.PrimaryKey != "" {
+		if err := t.CreateIndex("primary", schema.PrimaryKey, true); err != nil {
+			return nil, err
+		}
+	}
+	return t, nil
+}
+
+// Schema returns the table's schema.
+func (t *Table) Schema() *Schema { return t.schema }
+
+// NumRows returns the number of live rows.
+func (t *Table) NumRows() int { return t.live }
+
+// DataBytes returns the total encoded size of live rows; the cost model
+// charges full-table scans by this figure.
+func (t *Table) DataBytes() int64 { return t.bytes }
+
+// CreateIndex builds an index named name over column col. Unique indexes
+// reject duplicate keys at insert time.
+func (t *Table) CreateIndex(name, col string, unique bool) error {
+	ci := t.schema.ColumnIndex(col)
+	if ci < 0 {
+		return fmt.Errorf("sqldb: table %s: no column %s to index", t.schema.Table, col)
+	}
+	lname := strings.ToLower(name)
+	if _, ok := t.indexes[lname]; ok {
+		return fmt.Errorf("sqldb: table %s: index %s already exists", t.schema.Table, name)
+	}
+	idx := &Index{Name: name, Column: col, col: ci, unique: unique, tree: btree.New()}
+	for rowID, row := range t.rows {
+		if row == nil {
+			continue
+		}
+		if err := idx.add(row[ci], rowID); err != nil {
+			return err
+		}
+	}
+	t.indexes[lname] = idx
+	return nil
+}
+
+// IndexOn returns an index whose key column is col, preferring unique
+// indexes, or nil when the column is unindexed.
+func (t *Table) IndexOn(col string) *Index {
+	var found *Index
+	for _, idx := range t.indexes {
+		if strings.EqualFold(idx.Column, col) {
+			if idx.unique {
+				return idx
+			}
+			found = idx
+		}
+	}
+	return found
+}
+
+// Indexes returns all indexes on the table.
+func (t *Table) Indexes() []*Index {
+	out := make([]*Index, 0, len(t.indexes))
+	for _, idx := range t.indexes {
+		out = append(out, idx)
+	}
+	return out
+}
+
+func (idx *Index) add(key sqlval.Value, rowID int) error {
+	cur, ok := idx.tree.Get(key)
+	if !ok {
+		idx.tree.Put(key, []int{rowID})
+		return nil
+	}
+	ids := cur.([]int)
+	if idx.unique && len(ids) > 0 {
+		return fmt.Errorf("sqldb: duplicate key %v for unique index %s", key, idx.Name)
+	}
+	idx.tree.Put(key, append(ids, rowID))
+	return nil
+}
+
+func (idx *Index) remove(key sqlval.Value, rowID int) {
+	cur, ok := idx.tree.Get(key)
+	if !ok {
+		return
+	}
+	ids := cur.([]int)
+	for i, id := range ids {
+		if id == rowID {
+			ids = append(ids[:i], ids[i+1:]...)
+			break
+		}
+	}
+	if len(ids) == 0 {
+		idx.tree.Delete(key)
+	} else {
+		idx.tree.Put(key, ids)
+	}
+}
+
+// Lookup returns the row IDs whose indexed column equals key.
+func (idx *Index) Lookup(key sqlval.Value) []int {
+	cur, ok := idx.tree.Get(key)
+	if !ok {
+		return nil
+	}
+	return append([]int(nil), cur.([]int)...)
+}
+
+// Range returns row IDs whose indexed column lies in [lo, hi] with the
+// given bound inclusivities; NULL bounds are unbounded.
+func (idx *Index) Range(lo, hi sqlval.Value, loInc, hiInc bool) []int {
+	var out []int
+	idx.tree.AscendRange(lo, hi, loInc, hiInc, func(_ sqlval.Value, v interface{}) bool {
+		out = append(out, v.([]int)...)
+		return true
+	})
+	return out
+}
+
+// MinMax returns the smallest and largest indexed key; ok is false for
+// an empty index. The range-index publisher uses it.
+func (idx *Index) MinMax() (lo, hi sqlval.Value, ok bool) {
+	lo, _, ok1 := idx.tree.Min()
+	hi, _, ok2 := idx.tree.Max()
+	return lo, hi, ok1 && ok2
+}
+
+// Insert appends a row, returning its row ID. The row is cloned, so the
+// caller may reuse its slice.
+func (t *Table) Insert(row sqlval.Row) (int, error) {
+	if len(row) != len(t.schema.Columns) {
+		return 0, fmt.Errorf("sqldb: table %s: insert with %d values, want %d", t.schema.Table, len(row), len(t.schema.Columns))
+	}
+	coerced := make(sqlval.Row, len(row))
+	for i, v := range row {
+		cv, err := coerce(v, t.schema.Columns[i].Kind)
+		if err != nil {
+			return 0, fmt.Errorf("sqldb: table %s column %s: %w", t.schema.Table, t.schema.Columns[i].Name, err)
+		}
+		coerced[i] = cv
+	}
+	rowID := len(t.rows)
+	added := make([]*Index, 0, len(t.indexes))
+	for _, idx := range t.indexes {
+		if err := idx.add(coerced[idx.col], rowID); err != nil {
+			// Roll back exactly the entries added before the failure
+			// (map iteration order differs between passes, so the adds
+			// are tracked explicitly).
+			for _, prior := range added {
+				prior.remove(coerced[prior.col], rowID)
+			}
+			return 0, err
+		}
+		added = append(added, idx)
+	}
+	t.rows = append(t.rows, coerced)
+	t.live++
+	t.bytes += int64(coerced.EncodedSize())
+	return rowID, nil
+}
+
+// Delete removes the row with the given ID; it reports whether a live
+// row was removed.
+func (t *Table) Delete(rowID int) bool {
+	if rowID < 0 || rowID >= len(t.rows) || t.rows[rowID] == nil {
+		return false
+	}
+	row := t.rows[rowID]
+	for _, idx := range t.indexes {
+		idx.remove(row[idx.col], rowID)
+	}
+	t.bytes -= int64(row.EncodedSize())
+	t.rows[rowID] = nil
+	t.live--
+	return true
+}
+
+// Update replaces the row with the given ID.
+func (t *Table) Update(rowID int, row sqlval.Row) error {
+	if rowID < 0 || rowID >= len(t.rows) || t.rows[rowID] == nil {
+		return fmt.Errorf("sqldb: table %s: update of absent row %d", t.schema.Table, rowID)
+	}
+	old := t.rows[rowID]
+	coerced := make(sqlval.Row, len(row))
+	for i, v := range row {
+		cv, err := coerce(v, t.schema.Columns[i].Kind)
+		if err != nil {
+			return err
+		}
+		coerced[i] = cv
+	}
+	swapped := make([]*Index, 0, len(t.indexes))
+	for _, idx := range t.indexes {
+		idx.remove(old[idx.col], rowID)
+		if err := idx.add(coerced[idx.col], rowID); err != nil {
+			// Restore this index's old entry and undo every index
+			// already swapped to the new key.
+			idx.add(old[idx.col], rowID)
+			for _, prior := range swapped {
+				prior.remove(coerced[prior.col], rowID)
+				prior.add(old[prior.col], rowID)
+			}
+			return err
+		}
+		swapped = append(swapped, idx)
+	}
+	t.bytes += int64(coerced.EncodedSize()) - int64(old.EncodedSize())
+	t.rows[rowID] = coerced
+	return nil
+}
+
+// Row returns the live row with the given ID, or nil.
+func (t *Table) Row(rowID int) sqlval.Row {
+	if rowID < 0 || rowID >= len(t.rows) {
+		return nil
+	}
+	return t.rows[rowID]
+}
+
+// Scan visits every live row in insertion order until fn returns false.
+func (t *Table) Scan(fn func(rowID int, row sqlval.Row) bool) {
+	for id, row := range t.rows {
+		if row == nil {
+			continue
+		}
+		if !fn(id, row) {
+			return
+		}
+	}
+}
+
+// coerce converts v to the declared column kind, widening or narrowing
+// numerics and parsing date strings. NULL passes through unchanged.
+func coerce(v sqlval.Value, kind sqlval.Kind) (sqlval.Value, error) {
+	if v.IsNull() || v.Kind() == kind {
+		return v, nil
+	}
+	switch kind {
+	case sqlval.KindInt:
+		if v.Kind() == sqlval.KindFloat {
+			return sqlval.Int(int64(v.AsFloat())), nil
+		}
+	case sqlval.KindFloat:
+		if v.Kind() == sqlval.KindInt {
+			return sqlval.Float(v.AsFloat()), nil
+		}
+	case sqlval.KindDate:
+		switch v.Kind() {
+		case sqlval.KindString:
+			return sqlval.ParseDate(v.AsString())
+		case sqlval.KindInt:
+			return sqlval.Date(v.AsInt()), nil
+		}
+	case sqlval.KindString:
+		return sqlval.Str(v.String()), nil
+	}
+	return sqlval.Null(), fmt.Errorf("cannot store %s value as %s", v.Kind(), kind)
+}

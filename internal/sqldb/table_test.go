@@ -1,0 +1,226 @@
+package sqldb
+
+import (
+	"testing"
+
+	"bestpeer/internal/sqlval"
+)
+
+func smallSchema() *Schema {
+	return &Schema{
+		Table:      "t",
+		PrimaryKey: "id",
+		Columns: []Column{
+			{Name: "id", Kind: sqlval.KindInt},
+			{Name: "v", Kind: sqlval.KindString},
+			{Name: "f", Kind: sqlval.KindFloat},
+		},
+	}
+}
+
+func TestNewTableValidation(t *testing.T) {
+	if _, err := NewTable(&Schema{}); err == nil {
+		t.Error("empty schema accepted")
+	}
+	if _, err := NewTable(&Schema{Table: "t"}); err == nil {
+		t.Error("no-column schema accepted")
+	}
+	if _, err := NewTable(&Schema{Table: "t", Columns: []Column{{Name: "a"}, {Name: "A"}}}); err == nil {
+		t.Error("duplicate column accepted")
+	}
+	if _, err := NewTable(&Schema{Table: "t", Columns: []Column{{Name: "a"}}, PrimaryKey: "zz"}); err == nil {
+		t.Error("phantom primary key accepted")
+	}
+}
+
+func TestTableInsertWidthAndCoercion(t *testing.T) {
+	tbl, err := NewTable(smallSchema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tbl.Insert(sqlval.Row{sqlval.Int(1)}); err == nil {
+		t.Error("short row accepted")
+	}
+	// Int stored into float column widens; float into int truncates.
+	id, err := tbl.Insert(sqlval.Row{sqlval.Float(7.9), sqlval.Str("x"), sqlval.Int(3)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	row := tbl.Row(id)
+	if row[0].Kind() != sqlval.KindInt || row[0].AsInt() != 7 {
+		t.Errorf("narrowed id = %v (%v)", row[0], row[0].Kind())
+	}
+	if row[2].Kind() != sqlval.KindFloat || row[2].AsFloat() != 3 {
+		t.Errorf("widened f = %v", row[2])
+	}
+	// A date column accepts strings and ints; a string column accepts
+	// anything via rendering.
+	dt, err := NewTable(&Schema{Table: "d", Columns: []Column{{Name: "d", Kind: sqlval.KindDate}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := dt.Insert(sqlval.Row{sqlval.Str("2001-05-06")}); err != nil {
+		t.Errorf("date string rejected: %v", err)
+	}
+	if _, err := dt.Insert(sqlval.Row{sqlval.Str("garbage")}); err == nil {
+		t.Error("garbage date accepted")
+	}
+	if _, err := dt.Insert(sqlval.Row{sqlval.Float(1.5)}); err == nil {
+		t.Error("float date accepted")
+	}
+}
+
+func TestUniqueInsertRollsBackIndexEntries(t *testing.T) {
+	tbl, err := NewTable(smallSchema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tbl.CreateIndex("by_v", "v", false); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tbl.Insert(sqlval.Row{sqlval.Int(1), sqlval.Str("a"), sqlval.Float(0)}); err != nil {
+		t.Fatal(err)
+	}
+	// Duplicate primary key: the insert fails and must not leave a
+	// stray secondary-index entry behind.
+	if _, err := tbl.Insert(sqlval.Row{sqlval.Int(1), sqlval.Str("ghost"), sqlval.Float(0)}); err == nil {
+		t.Fatal("duplicate pk accepted")
+	}
+	if ids := tbl.IndexOn("v").Lookup(sqlval.Str("ghost")); len(ids) != 0 {
+		t.Errorf("stray index entry after failed insert: %v", ids)
+	}
+	if tbl.NumRows() != 1 {
+		t.Errorf("rows = %d", tbl.NumRows())
+	}
+}
+
+func TestUpdateRestoresIndexOnConflict(t *testing.T) {
+	tbl, err := NewTable(smallSchema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	id1, _ := tbl.Insert(sqlval.Row{sqlval.Int(1), sqlval.Str("a"), sqlval.Float(0)})
+	if _, err := tbl.Insert(sqlval.Row{sqlval.Int(2), sqlval.Str("b"), sqlval.Float(0)}); err != nil {
+		t.Fatal(err)
+	}
+	// Updating row 1's primary key to collide with row 2 must fail and
+	// keep row 1 findable under its old key.
+	err = tbl.Update(id1, sqlval.Row{sqlval.Int(2), sqlval.Str("a"), sqlval.Float(0)})
+	if err == nil {
+		t.Fatal("conflicting update accepted")
+	}
+	if ids := tbl.IndexOn("id").Lookup(sqlval.Int(1)); len(ids) != 1 {
+		t.Errorf("row 1 lost from primary index: %v", ids)
+	}
+	if err := tbl.Update(999, sqlval.Row{sqlval.Int(9), sqlval.Str("x"), sqlval.Float(0)}); err == nil {
+		t.Error("update of absent row accepted")
+	}
+}
+
+func TestDeleteBookkeeping(t *testing.T) {
+	tbl, _ := NewTable(smallSchema())
+	id, _ := tbl.Insert(sqlval.Row{sqlval.Int(1), sqlval.Str("a"), sqlval.Float(0)})
+	before := tbl.DataBytes()
+	if before <= 0 {
+		t.Fatal("no bytes tracked")
+	}
+	if !tbl.Delete(id) {
+		t.Fatal("delete failed")
+	}
+	if tbl.Delete(id) {
+		t.Error("double delete succeeded")
+	}
+	if tbl.Delete(-1) || tbl.Delete(999) {
+		t.Error("out-of-range delete succeeded")
+	}
+	if tbl.DataBytes() != 0 || tbl.NumRows() != 0 {
+		t.Errorf("bookkeeping after delete: %d bytes, %d rows", tbl.DataBytes(), tbl.NumRows())
+	}
+	if tbl.Row(id) != nil {
+		t.Error("tombstoned row still visible")
+	}
+}
+
+func TestCreateIndexErrors(t *testing.T) {
+	tbl, _ := NewTable(smallSchema())
+	if err := tbl.CreateIndex("x", "ghost", false); err == nil {
+		t.Error("index on ghost column accepted")
+	}
+	if err := tbl.CreateIndex("primary", "v", false); err == nil {
+		t.Error("duplicate index name accepted")
+	}
+	// Building an index over existing data with a uniqueness violation
+	// fails.
+	tbl.Insert(sqlval.Row{sqlval.Int(1), sqlval.Str("dup"), sqlval.Float(0)})
+	tbl.Insert(sqlval.Row{sqlval.Int(2), sqlval.Str("dup"), sqlval.Float(0)})
+	if err := tbl.CreateIndex("uniq_v", "v", true); err == nil {
+		t.Error("unique index over duplicates accepted")
+	}
+	if len(tbl.Indexes()) != 1 {
+		t.Errorf("indexes = %d", len(tbl.Indexes()))
+	}
+}
+
+func TestIndexPrefersUnique(t *testing.T) {
+	tbl, _ := NewTable(smallSchema())
+	if err := tbl.CreateIndex("v_nonuniq", "v", false); err != nil {
+		t.Fatal(err)
+	}
+	if err := tbl.CreateIndex("v_uniq", "v", true); err != nil {
+		t.Fatal(err)
+	}
+	idx := tbl.IndexOn("v")
+	if idx == nil || idx.Name != "v_uniq" {
+		t.Errorf("IndexOn picked %+v, want the unique index", idx)
+	}
+}
+
+func TestLexerEdgeCases(t *testing.T) {
+	bad := []string{
+		`SELECT 'unterminated`,
+		`SELECT a ~ b FROM t`,
+		`CREATE TABLE t (a VARCHAR(10`,
+	}
+	for _, sql := range bad {
+		if _, err := Parse(sql); err == nil {
+			t.Errorf("Parse(%q) succeeded", sql)
+		}
+	}
+	// Doubled quotes escape; leading-dot floats parse.
+	stmt, err := ParseSelect(`SELECT 'it''s', .5 FROM t`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lit := stmt.Items[0].Expr.(*Literal); lit.Val.AsString() != "it's" {
+		t.Errorf("escaped quote = %q", lit.Val.AsString())
+	}
+	if lit := stmt.Items[1].Expr.(*Literal); lit.Val.AsFloat() != 0.5 {
+		t.Errorf("leading-dot float = %v", lit.Val)
+	}
+}
+
+func TestUpdateConflictRestoresAllIndexes(t *testing.T) {
+	tbl, err := NewTable(smallSchema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tbl.CreateIndex("by_v", "v", false); err != nil {
+		t.Fatal(err)
+	}
+	id1, _ := tbl.Insert(sqlval.Row{sqlval.Int(1), sqlval.Str("a"), sqlval.Float(0)})
+	tbl.Insert(sqlval.Row{sqlval.Int(2), sqlval.Str("b"), sqlval.Float(0)})
+	// The update changes BOTH indexed columns but conflicts on the
+	// primary key; every index must be restored to the old row.
+	if err := tbl.Update(id1, sqlval.Row{sqlval.Int(2), sqlval.Str("zzz"), sqlval.Float(0)}); err == nil {
+		t.Fatal("conflicting update accepted")
+	}
+	if ids := tbl.IndexOn("v").Lookup(sqlval.Str("a")); len(ids) != 1 {
+		t.Errorf("old secondary entry lost: %v", ids)
+	}
+	if ids := tbl.IndexOn("v").Lookup(sqlval.Str("zzz")); len(ids) != 0 {
+		t.Errorf("new secondary entry leaked: %v", ids)
+	}
+	if ids := tbl.IndexOn("id").Lookup(sqlval.Int(1)); len(ids) != 1 {
+		t.Errorf("primary entry lost: %v", ids)
+	}
+}

@@ -1,0 +1,352 @@
+// Package sqlval defines the typed value system shared by the embedded
+// relational engine, the BATON index layer, and the histogram module.
+//
+// A Value is a compact tagged union over the SQL types BestPeer++
+// supports: 64-bit integers, 64-bit floats, strings, dates, and NULL.
+// Dates are stored as days since the Unix epoch so that range predicates
+// over dates (e.g. TPC-H l_shipdate) reduce to integer comparisons.
+package sqlval
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math"
+	"strconv"
+	"time"
+)
+
+// Kind enumerates the runtime type of a Value.
+type Kind uint8
+
+// The supported value kinds.
+const (
+	KindNull Kind = iota
+	KindInt
+	KindFloat
+	KindString
+	KindDate
+)
+
+// String returns the SQL-ish name of the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindNull:
+		return "NULL"
+	case KindInt:
+		return "INT"
+	case KindFloat:
+		return "FLOAT"
+	case KindString:
+		return "VARCHAR"
+	case KindDate:
+		return "DATE"
+	default:
+		return fmt.Sprintf("Kind(%d)", uint8(k))
+	}
+}
+
+// Value is a single SQL value. The zero Value is NULL.
+type Value struct {
+	kind Kind
+	i    int64 // int, date (days since epoch), and float bits
+	s    string
+}
+
+// Null returns the NULL value.
+func Null() Value { return Value{} }
+
+// Int returns an integer value.
+func Int(v int64) Value { return Value{kind: KindInt, i: v} }
+
+// Float returns a float value.
+func Float(v float64) Value { return Value{kind: KindFloat, i: int64(math.Float64bits(v))} }
+
+// Str returns a string value.
+func Str(v string) Value { return Value{kind: KindString, s: v} }
+
+// Date returns a date value from days since the Unix epoch.
+func Date(days int64) Value { return Value{kind: KindDate, i: days} }
+
+// DateFromTime converts a time.Time (UTC midnight assumed) to a date value.
+func DateFromTime(t time.Time) Value {
+	return Date(t.UTC().Unix() / 86400)
+}
+
+// ParseDate parses a YYYY-MM-DD literal into a date value.
+func ParseDate(s string) (Value, error) {
+	t, err := time.Parse("2006-01-02", s)
+	if err != nil {
+		return Null(), fmt.Errorf("sqlval: bad date %q: %w", s, err)
+	}
+	return DateFromTime(t), nil
+}
+
+// MustParseDate is ParseDate that panics on malformed input; intended for
+// literals in tests and generators.
+func MustParseDate(s string) Value {
+	v, err := ParseDate(s)
+	if err != nil {
+		panic(err)
+	}
+	return v
+}
+
+// Kind reports the value's runtime type.
+func (v Value) Kind() Kind { return v.kind }
+
+// IsNull reports whether the value is NULL.
+func (v Value) IsNull() bool { return v.kind == KindNull }
+
+// AsInt returns the integer payload. It is valid for KindInt and KindDate.
+func (v Value) AsInt() int64 { return v.i }
+
+// AsFloat returns the float payload for KindFloat, or a widened integer
+// for KindInt/KindDate.
+func (v Value) AsFloat() float64 {
+	switch v.kind {
+	case KindFloat:
+		return math.Float64frombits(uint64(v.i))
+	case KindInt, KindDate:
+		return float64(v.i)
+	default:
+		return 0
+	}
+}
+
+// AsString returns the string payload for KindString.
+func (v Value) AsString() string { return v.s }
+
+// AsDays returns the day count for KindDate.
+func (v Value) AsDays() int64 { return v.i }
+
+// Numeric reports whether the value is INT or FLOAT.
+func (v Value) Numeric() bool { return v.kind == KindInt || v.kind == KindFloat }
+
+// String renders the value for display and for stable fingerprinting.
+func (v Value) String() string {
+	switch v.kind {
+	case KindNull:
+		return "NULL"
+	case KindInt:
+		return strconv.FormatInt(v.i, 10)
+	case KindFloat:
+		return strconv.FormatFloat(v.AsFloat(), 'g', -1, 64)
+	case KindString:
+		return v.s
+	case KindDate:
+		return time.Unix(v.i*86400, 0).UTC().Format("2006-01-02")
+	default:
+		return fmt.Sprintf("Value(kind=%d)", v.kind)
+	}
+}
+
+// numericLike reports whether the value compares on the number line:
+// INT, FLOAT, and DATE (dates are day counts, so a date and an integer
+// day number compare numerically).
+func (v Value) numericLike() bool {
+	return v.kind == KindInt || v.kind == KindFloat || v.kind == KindDate
+}
+
+// Compare orders two values. NULL sorts before everything; mixed
+// number-line kinds (INT, FLOAT, DATE) compare numerically; otherwise
+// values of different kinds order by kind tag. Returns -1, 0, or +1.
+func Compare(a, b Value) int {
+	if a.kind == KindNull || b.kind == KindNull {
+		switch {
+		case a.kind == b.kind:
+			return 0
+		case a.kind == KindNull:
+			return -1
+		default:
+			return 1
+		}
+	}
+	if a.numericLike() && b.numericLike() && a.kind != b.kind {
+		return cmpFloat(a.AsFloat(), b.AsFloat())
+	}
+	if a.kind != b.kind {
+		if a.kind < b.kind {
+			return -1
+		}
+		return 1
+	}
+	switch a.kind {
+	case KindInt, KindDate:
+		switch {
+		case a.i < b.i:
+			return -1
+		case a.i > b.i:
+			return 1
+		default:
+			return 0
+		}
+	case KindFloat:
+		return cmpFloat(a.AsFloat(), b.AsFloat())
+	case KindString:
+		switch {
+		case a.s < b.s:
+			return -1
+		case a.s > b.s:
+			return 1
+		default:
+			return 0
+		}
+	}
+	return 0
+}
+
+func cmpFloat(a, b float64) int {
+	switch {
+	case a < b:
+		return -1
+	case a > b:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// Equal reports whether two values compare equal. NULL equals NULL for
+// the purposes of grouping and index keys (SQL three-valued logic is
+// applied at the predicate layer, not here).
+func Equal(a, b Value) bool { return Compare(a, b) == 0 }
+
+// Less reports a < b under Compare ordering.
+func Less(a, b Value) bool { return Compare(a, b) < 0 }
+
+// Hash returns a stable 64-bit hash of the value, used for hash joins,
+// grouping, and MapReduce shuffle partitioning. Values that compare
+// equal hash equally (numeric kinds hash via their float widening).
+func (v Value) Hash() uint64 {
+	h := fnv.New64a()
+	var buf [9]byte
+	switch v.kind {
+	case KindNull:
+		buf[0] = 0
+		h.Write(buf[:1])
+	case KindInt, KindFloat, KindDate:
+		buf[0] = 1
+		f := v.AsFloat()
+		bits := math.Float64bits(f)
+		for i := 0; i < 8; i++ {
+			buf[1+i] = byte(bits >> (8 * i))
+		}
+		h.Write(buf[:9])
+	case KindString:
+		buf[0] = 2
+		h.Write(buf[:1])
+		h.Write([]byte(v.s))
+	}
+	return h.Sum64()
+}
+
+// EncodedSize approximates the wire/storage footprint of the value in
+// bytes. The virtual-time cost model uses it to account disk and network
+// transfer volume.
+func (v Value) EncodedSize() int {
+	switch v.kind {
+	case KindNull:
+		return 1
+	case KindInt, KindFloat, KindDate:
+		return 9
+	case KindString:
+		return 1 + len(v.s)
+	default:
+		return 1
+	}
+}
+
+// Add returns a+b with numeric widening. Any NULL operand yields NULL.
+func Add(a, b Value) Value {
+	return arith(a, b, func(x, y int64) int64 { return x + y }, func(x, y float64) float64 { return x + y })
+}
+
+// Sub returns a-b with numeric widening. Any NULL operand yields NULL.
+func Sub(a, b Value) Value {
+	return arith(a, b, func(x, y int64) int64 { return x - y }, func(x, y float64) float64 { return x - y })
+}
+
+// Mul returns a*b with numeric widening. Any NULL operand yields NULL.
+func Mul(a, b Value) Value {
+	return arith(a, b, func(x, y int64) int64 { return x * y }, func(x, y float64) float64 { return x * y })
+}
+
+// Div returns a/b as a float; NULL on NULL operands or division by zero.
+func Div(a, b Value) Value {
+	if a.IsNull() || b.IsNull() || !a.Numeric() || !b.Numeric() {
+		return Null()
+	}
+	d := b.AsFloat()
+	if d == 0 {
+		return Null()
+	}
+	return Float(a.AsFloat() / d)
+}
+
+func arith(a, b Value, fi func(int64, int64) int64, ff func(float64, float64) float64) Value {
+	if a.IsNull() || b.IsNull() || !a.Numeric() || !b.Numeric() {
+		return Null()
+	}
+	if a.kind == KindInt && b.kind == KindInt {
+		return Int(fi(a.i, b.i))
+	}
+	return Float(ff(a.AsFloat(), b.AsFloat()))
+}
+
+// Row is a tuple of values.
+type Row []Value
+
+// Clone returns a copy of the row that shares no backing array.
+func (r Row) Clone() Row {
+	out := make(Row, len(r))
+	copy(out, r)
+	return out
+}
+
+// EncodedSize sums the encoded sizes of the row's values.
+func (r Row) EncodedSize() int {
+	n := 0
+	for _, v := range r {
+		n += v.EncodedSize()
+	}
+	return n
+}
+
+// String renders the row as a pipe-separated record; the data loader's
+// fingerprinting uses it as the canonical tuple encoding.
+func (r Row) String() string {
+	out := make([]byte, 0, 16*len(r))
+	for i, v := range r {
+		if i > 0 {
+			out = append(out, '|')
+		}
+		out = append(out, v.String()...)
+	}
+	return string(out)
+}
+
+// GobEncode implements gob.GobEncoder: values cross process boundaries
+// when pnet runs over TCP. Layout: kind byte, 8-byte payload, string.
+func (v Value) GobEncode() ([]byte, error) {
+	out := make([]byte, 0, 9+len(v.s))
+	out = append(out, byte(v.kind))
+	for i := 0; i < 8; i++ {
+		out = append(out, byte(v.i>>(8*i)))
+	}
+	out = append(out, v.s...)
+	return out, nil
+}
+
+// GobDecode implements gob.GobDecoder.
+func (v *Value) GobDecode(data []byte) error {
+	if len(data) < 9 {
+		return fmt.Errorf("sqlval: short gob payload (%d bytes)", len(data))
+	}
+	v.kind = Kind(data[0])
+	v.i = 0
+	for i := 0; i < 8; i++ {
+		v.i |= int64(data[1+i]) << (8 * i)
+	}
+	v.s = string(data[9:])
+	return nil
+}

@@ -1,0 +1,207 @@
+package sqlval
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestKindString(t *testing.T) {
+	cases := map[Kind]string{
+		KindNull:   "NULL",
+		KindInt:    "INT",
+		KindFloat:  "FLOAT",
+		KindString: "VARCHAR",
+		KindDate:   "DATE",
+	}
+	for k, want := range cases {
+		if got := k.String(); got != want {
+			t.Errorf("Kind(%d).String() = %q, want %q", k, got, want)
+		}
+	}
+}
+
+func TestConstructorsAndAccessors(t *testing.T) {
+	if v := Int(42); v.Kind() != KindInt || v.AsInt() != 42 {
+		t.Errorf("Int(42) = %+v", v)
+	}
+	if v := Float(2.5); v.Kind() != KindFloat || v.AsFloat() != 2.5 {
+		t.Errorf("Float(2.5) = %+v", v)
+	}
+	if v := Str("abc"); v.Kind() != KindString || v.AsString() != "abc" {
+		t.Errorf("Str(abc) = %+v", v)
+	}
+	if v := Date(100); v.Kind() != KindDate || v.AsDays() != 100 {
+		t.Errorf("Date(100) = %+v", v)
+	}
+	if !Null().IsNull() {
+		t.Error("Null().IsNull() = false")
+	}
+	var zero Value
+	if !zero.IsNull() {
+		t.Error("zero Value is not NULL")
+	}
+}
+
+func TestParseDate(t *testing.T) {
+	v, err := ParseDate("1998-11-05")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := time.Date(1998, 11, 5, 0, 0, 0, 0, time.UTC).Unix() / 86400
+	if v.AsDays() != want {
+		t.Errorf("ParseDate days = %d, want %d", v.AsDays(), want)
+	}
+	if v.String() != "1998-11-05" {
+		t.Errorf("round-trip = %q", v.String())
+	}
+	if _, err := ParseDate("not-a-date"); err == nil {
+		t.Error("ParseDate accepted garbage")
+	}
+}
+
+func TestMustParseDatePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustParseDate did not panic on bad input")
+		}
+	}()
+	MustParseDate("xx")
+}
+
+func TestCompareOrdering(t *testing.T) {
+	cases := []struct {
+		a, b Value
+		want int
+	}{
+		{Null(), Null(), 0},
+		{Null(), Int(0), -1},
+		{Int(0), Null(), 1},
+		{Int(1), Int(2), -1},
+		{Int(2), Int(2), 0},
+		{Int(3), Int(2), 1},
+		{Float(1.5), Float(2.5), -1},
+		{Int(2), Float(2.0), 0},
+		{Float(1.9), Int(2), -1},
+		{Str("a"), Str("b"), -1},
+		{Str("b"), Str("b"), 0},
+		{Date(10), Date(20), -1},
+		{Int(5), Str("5"), -1}, // differing non-numeric kinds order by tag
+	}
+	for _, c := range cases {
+		if got := Compare(c.a, c.b); got != c.want {
+			t.Errorf("Compare(%v, %v) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestCompareAntisymmetry(t *testing.T) {
+	f := func(a, b int64) bool {
+		return Compare(Int(a), Int(b)) == -Compare(Int(b), Int(a))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHashEqualValuesHashEqual(t *testing.T) {
+	f := func(x int64) bool {
+		return Int(x).Hash() == Float(float64(x)).Hash() || float64(x) != math.Trunc(float64(x))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+	if Str("abc").Hash() == Str("abd").Hash() {
+		t.Error("suspicious collision on near strings")
+	}
+}
+
+func TestArithmetic(t *testing.T) {
+	if v := Add(Int(2), Int(3)); v.AsInt() != 5 || v.Kind() != KindInt {
+		t.Errorf("Add int = %v", v)
+	}
+	if v := Add(Int(2), Float(0.5)); v.Kind() != KindFloat || v.AsFloat() != 2.5 {
+		t.Errorf("Add mixed = %v", v)
+	}
+	if v := Sub(Int(2), Int(3)); v.AsInt() != -1 {
+		t.Errorf("Sub = %v", v)
+	}
+	if v := Mul(Float(2), Float(4)); v.AsFloat() != 8 {
+		t.Errorf("Mul = %v", v)
+	}
+	if v := Div(Int(1), Int(2)); v.AsFloat() != 0.5 {
+		t.Errorf("Div = %v", v)
+	}
+	if !Div(Int(1), Int(0)).IsNull() {
+		t.Error("Div by zero not NULL")
+	}
+	if !Add(Null(), Int(1)).IsNull() {
+		t.Error("Add with NULL not NULL")
+	}
+	if !Mul(Str("x"), Int(1)).IsNull() {
+		t.Error("Mul with string not NULL")
+	}
+}
+
+func TestEncodedSize(t *testing.T) {
+	if Null().EncodedSize() != 1 {
+		t.Error("null size")
+	}
+	if Int(7).EncodedSize() != 9 {
+		t.Error("int size")
+	}
+	if Str("abcd").EncodedSize() != 5 {
+		t.Error("string size")
+	}
+	r := Row{Int(1), Str("ab")}
+	if r.EncodedSize() != 12 {
+		t.Errorf("row size = %d", r.EncodedSize())
+	}
+}
+
+func TestRowCloneIndependence(t *testing.T) {
+	r := Row{Int(1), Int(2)}
+	c := r.Clone()
+	c[0] = Int(99)
+	if r[0].AsInt() != 1 {
+		t.Error("Clone shares backing array")
+	}
+}
+
+func TestRowString(t *testing.T) {
+	r := Row{Int(1), Str("x"), Null()}
+	if got := r.String(); got != "1|x|NULL" {
+		t.Errorf("Row.String() = %q", got)
+	}
+}
+
+func TestValueStringFloat(t *testing.T) {
+	if got := Float(2.5).String(); got != "2.5" {
+		t.Errorf("Float string = %q", got)
+	}
+}
+
+func TestGobRoundTrip(t *testing.T) {
+	vals := []Value{
+		Null(), Int(-42), Float(3.25), Str("hello 'world'"),
+		MustParseDate("1998-11-05"), Str(""),
+	}
+	for _, v := range vals {
+		data, err := v.GobEncode()
+		if err != nil {
+			t.Fatal(err)
+		}
+		var back Value
+		if err := back.GobDecode(data); err != nil {
+			t.Fatal(err)
+		}
+		if Compare(v, back) != 0 || v.Kind() != back.Kind() {
+			t.Errorf("round trip changed %v (%v) -> %v (%v)", v, v.Kind(), back, back.Kind())
+		}
+	}
+	var v Value
+	if err := v.GobDecode([]byte{1, 2}); err == nil {
+		t.Error("short payload accepted")
+	}
+}

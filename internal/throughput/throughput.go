@@ -1,0 +1,214 @@
+// Package throughput is the closed/open-loop workload simulator behind
+// the paper's throughput benchmark (§6.2, Figs. 12–14).
+//
+// The benchmark's queries are single-peer (the nation-key clause plus
+// the single-peer optimization route each query to exactly one supplier
+// or retailer peer), so the system behaves as a bank of independent
+// multi-threaded servers. The simulator runs a discrete-event model over
+// virtual time: queries arrive (open loop at an offered rate, or closed
+// loop from a fixed client population), queue FIFO at their target peer,
+// and occupy one of the peer's service threads for the query's measured
+// service time. Latency-versus-throughput curves and scalability
+// series fall out directly.
+package throughput
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// Config describes the serving fleet.
+type Config struct {
+	// Peers is the number of data peers serving this workload class.
+	Peers int
+	// Threads is the number of concurrent query threads per peer (the
+	// paper configures 20 fetch threads per peer, §6.1.2).
+	Threads int
+	// ServiceTime is the per-query service time at a peer, measured by
+	// executing the workload query once under the virtual-time model.
+	ServiceTime time.Duration
+}
+
+func (c Config) validate() error {
+	if c.Peers < 1 || c.Threads < 1 || c.ServiceTime <= 0 {
+		return fmt.Errorf("throughput: invalid config %+v", c)
+	}
+	return nil
+}
+
+// Capacity returns the fleet's saturation throughput in queries/sec.
+func (c Config) Capacity() float64 {
+	return float64(c.Peers) * float64(c.Threads) / c.ServiceTime.Seconds()
+}
+
+// Point is one measured operating point.
+type Point struct {
+	OfferedQPS  float64
+	AchievedQPS float64
+	AvgLatency  time.Duration
+	P95Latency  time.Duration
+	Completed   int
+}
+
+// peerState tracks one peer's thread pool as a min-heap of
+// times-at-which-a-thread-frees.
+type peerState struct {
+	free []time.Duration // heap
+}
+
+func (p *peerState) Len() int           { return len(p.free) }
+func (p *peerState) Less(i, j int) bool { return p.free[i] < p.free[j] }
+func (p *peerState) Swap(i, j int)      { p.free[i], p.free[j] = p.free[j], p.free[i] }
+func (p *peerState) Push(x interface{}) { p.free = append(p.free, x.(time.Duration)) }
+func (p *peerState) Pop() interface{} {
+	old := p.free
+	n := len(old)
+	x := old[n-1]
+	p.free = old[:n-1]
+	return x
+}
+
+// serve runs one query arriving at time t on peer ps and returns its
+// completion time.
+func serve(ps *peerState, t time.Duration, service time.Duration) time.Duration {
+	start := t
+	if threadFree := ps.free[0]; threadFree > start {
+		start = threadFree
+	}
+	done := start + service
+	ps.free[0] = done
+	heap.Fix(ps, 0)
+	return done
+}
+
+// OpenLoop simulates an offered load of qps for the given virtual
+// duration: arrivals are uniformly spaced and routed uniformly at random
+// across peers (the benchmark picks nation keys at random, §6.2.3). A
+// warm-up prefix of 10% is discarded, as the paper discards a 20-minute
+// warm-up.
+func OpenLoop(cfg Config, qps float64, duration time.Duration, seed int64) (Point, error) {
+	if err := cfg.validate(); err != nil {
+		return Point{}, err
+	}
+	if qps <= 0 {
+		return Point{}, fmt.Errorf("throughput: non-positive load")
+	}
+	rng := rand.New(rand.NewSource(seed))
+	peers := make([]*peerState, cfg.Peers)
+	for i := range peers {
+		peers[i] = &peerState{free: make([]time.Duration, cfg.Threads)}
+		heap.Init(peers[i])
+	}
+	interval := time.Duration(float64(time.Second) / qps)
+	if interval <= 0 {
+		interval = 1
+	}
+	warmup := duration / 10
+	var latencies []time.Duration
+	completed := 0
+	var measuredSpan time.Duration
+	for t := time.Duration(0); t < duration; t += interval {
+		ps := peers[rng.Intn(len(peers))]
+		done := serve(ps, t, cfg.ServiceTime)
+		if t < warmup {
+			continue
+		}
+		latencies = append(latencies, done-t)
+		completed++
+		if done > measuredSpan {
+			measuredSpan = done
+		}
+	}
+	p := Point{OfferedQPS: qps, Completed: completed}
+	if completed > 0 {
+		var sum time.Duration
+		for _, l := range latencies {
+			sum += l
+		}
+		p.AvgLatency = sum / time.Duration(completed)
+		sorted := append([]time.Duration(nil), latencies...)
+		sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+		p.P95Latency = sorted[len(sorted)*95/100]
+		span := measuredSpan - warmup
+		if span <= 0 {
+			span = duration - warmup
+		}
+		p.AchievedQPS = float64(completed) / span.Seconds()
+	}
+	return p, nil
+}
+
+// ClosedLoop simulates a fixed client population: each client submits
+// its next query the moment the previous one completes (zero think
+// time), which measures sustainable throughput — the shape of Fig. 12's
+// scalability series.
+func ClosedLoop(cfg Config, clients int, duration time.Duration, seed int64) (Point, error) {
+	if err := cfg.validate(); err != nil {
+		return Point{}, err
+	}
+	if clients < 1 {
+		return Point{}, fmt.Errorf("throughput: need at least one client")
+	}
+	rng := rand.New(rand.NewSource(seed))
+	peers := make([]*peerState, cfg.Peers)
+	for i := range peers {
+		peers[i] = &peerState{free: make([]time.Duration, cfg.Threads)}
+		heap.Init(peers[i])
+	}
+	// Event queue of client-ready times.
+	ready := make(clientHeap, clients)
+	heap.Init(&ready)
+	completed := 0
+	var totalLatency time.Duration
+	for {
+		t := ready[0]
+		if t >= duration {
+			break
+		}
+		ps := peers[rng.Intn(len(peers))]
+		done := serve(ps, t, cfg.ServiceTime)
+		totalLatency += done - t
+		completed++
+		ready[0] = done
+		heap.Fix(&ready, 0)
+	}
+	p := Point{Completed: completed}
+	if completed > 0 {
+		p.AchievedQPS = float64(completed) / duration.Seconds()
+		p.AvgLatency = totalLatency / time.Duration(completed)
+		p.OfferedQPS = p.AchievedQPS
+	}
+	return p, nil
+}
+
+type clientHeap []time.Duration
+
+func (h clientHeap) Len() int            { return len(h) }
+func (h clientHeap) Less(i, j int) bool  { return h[i] < h[j] }
+func (h clientHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *clientHeap) Push(x interface{}) { *h = append(*h, x.(time.Duration)) }
+func (h *clientHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// Curve sweeps offered loads and returns the latency-vs-throughput
+// series of Figs. 13–14. Loads are fractions of the fleet's capacity.
+func Curve(cfg Config, loadFractions []float64, duration time.Duration, seed int64) ([]Point, error) {
+	capacity := cfg.Capacity()
+	out := make([]Point, 0, len(loadFractions))
+	for _, f := range loadFractions {
+		p, err := OpenLoop(cfg, f*capacity, duration, seed)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, p)
+	}
+	return out, nil
+}

@@ -1,0 +1,139 @@
+package throughput
+
+import (
+	"testing"
+	"time"
+)
+
+func lightCfg(peers int) Config {
+	return Config{Peers: peers, Threads: 20, ServiceTime: 20 * time.Millisecond}
+}
+
+func TestCapacity(t *testing.T) {
+	cfg := Config{Peers: 10, Threads: 2, ServiceTime: 100 * time.Millisecond}
+	if got := cfg.Capacity(); got != 200 {
+		t.Errorf("capacity = %v, want 200 qps", got)
+	}
+}
+
+func TestValidation(t *testing.T) {
+	if _, err := OpenLoop(Config{}, 10, time.Second, 1); err == nil {
+		t.Error("zero config accepted")
+	}
+	if _, err := OpenLoop(lightCfg(1), 0, time.Second, 1); err == nil {
+		t.Error("zero load accepted")
+	}
+	if _, err := ClosedLoop(lightCfg(1), 0, time.Second, 1); err == nil {
+		t.Error("zero clients accepted")
+	}
+}
+
+func TestOpenLoopLowLoadLatencyIsServiceTime(t *testing.T) {
+	cfg := lightCfg(10)
+	p, err := OpenLoop(cfg, 0.1*cfg.Capacity(), 2*time.Minute, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.AvgLatency < cfg.ServiceTime || p.AvgLatency > 2*cfg.ServiceTime {
+		t.Errorf("low-load latency = %v, want ≈ %v", p.AvgLatency, cfg.ServiceTime)
+	}
+	if p.AchievedQPS < 0.08*cfg.Capacity() {
+		t.Errorf("achieved %v at offered %v", p.AchievedQPS, p.OfferedQPS)
+	}
+}
+
+func TestOpenLoopSaturationHockeyStick(t *testing.T) {
+	cfg := lightCfg(10)
+	under, err := OpenLoop(cfg, 0.5*cfg.Capacity(), time.Minute, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	over, err := OpenLoop(cfg, 1.5*cfg.Capacity(), time.Minute, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if over.AvgLatency < 5*under.AvgLatency {
+		t.Errorf("saturated latency %v not >> unsaturated %v", over.AvgLatency, under.AvgLatency)
+	}
+	// Achieved throughput caps near capacity even when offered exceeds it.
+	if over.AchievedQPS > 1.2*cfg.Capacity() {
+		t.Errorf("achieved %v exceeds capacity %v", over.AchievedQPS, cfg.Capacity())
+	}
+}
+
+func TestClosedLoopThroughputScalesWithPeers(t *testing.T) {
+	var qps []float64
+	for _, peers := range []int{10, 20, 50} {
+		cfg := lightCfg(peers)
+		clients := peers * 40 // enough to saturate
+		p, err := ClosedLoop(cfg, clients, 30*time.Second, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		qps = append(qps, p.AchievedQPS)
+	}
+	// Near-linear scalability: 20 peers ≈ 2x, 50 peers ≈ 5x of 10 peers.
+	if r := qps[1] / qps[0]; r < 1.7 || r > 2.3 {
+		t.Errorf("20/10 peer throughput ratio = %v, want ≈ 2", r)
+	}
+	if r := qps[2] / qps[0]; r < 4.2 || r > 5.8 {
+		t.Errorf("50/10 peer throughput ratio = %v, want ≈ 5", r)
+	}
+}
+
+func TestClosedLoopUndersubscribed(t *testing.T) {
+	cfg := lightCfg(4)
+	p, err := ClosedLoop(cfg, 2, 10*time.Second, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two clients, zero queueing: latency equals service time and
+	// throughput equals clients/serviceTime.
+	if p.AvgLatency != cfg.ServiceTime {
+		t.Errorf("latency = %v", p.AvgLatency)
+	}
+	want := 2 / cfg.ServiceTime.Seconds()
+	if p.AchievedQPS < 0.95*want || p.AchievedQPS > 1.05*want {
+		t.Errorf("qps = %v, want ≈ %v", p.AchievedQPS, want)
+	}
+}
+
+func TestCurveMonotoneLatency(t *testing.T) {
+	cfg := lightCfg(10)
+	pts, err := Curve(cfg, []float64{0.2, 0.5, 0.8, 1.0, 1.2}, time.Minute, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 5 {
+		t.Fatalf("points = %d", len(pts))
+	}
+	for i := 1; i < len(pts); i++ {
+		if pts[i].AvgLatency < pts[i-1].AvgLatency {
+			t.Errorf("latency not monotone: %v then %v", pts[i-1].AvgLatency, pts[i].AvgLatency)
+		}
+	}
+	if pts[0].P95Latency < pts[0].AvgLatency {
+		t.Error("p95 below average")
+	}
+}
+
+func TestHeavyVsLightWorkloads(t *testing.T) {
+	// The paper's retailer queries are heavy (~10s at saturation,
+	// 3,400 q/s peak) and supplier queries light (<1s, 19,000 q/s).
+	light := Config{Peers: 25, Threads: 20, ServiceTime: 25 * time.Millisecond}
+	heavy := Config{Peers: 25, Threads: 20, ServiceTime: 140 * time.Millisecond}
+	if light.Capacity() <= heavy.Capacity() {
+		t.Error("light workload should have higher capacity")
+	}
+	lp, err := OpenLoop(light, 0.9*light.Capacity(), time.Minute, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hp, err := OpenLoop(heavy, 0.9*heavy.Capacity(), time.Minute, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lp.AvgLatency >= hp.AvgLatency {
+		t.Errorf("light latency %v >= heavy %v", lp.AvgLatency, hp.AvgLatency)
+	}
+}

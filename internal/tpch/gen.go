@@ -1,0 +1,352 @@
+package tpch
+
+import (
+	"fmt"
+	"math/rand"
+
+	"bestpeer/internal/sqldb"
+	"bestpeer/internal/sqlval"
+)
+
+// Scale configures how much data one peer generates. ScaleFactor 1.0
+// corresponds to the official TPC-H per-table cardinalities; the
+// benchmarks use small factors and let the virtual-time model supply
+// the latency shape (the paper distributes 1 GB per node).
+type Scale struct {
+	ScaleFactor float64
+	// Peer and NumPeers horizontally partition the key space: peer i of
+	// n generates disjoint key ranges, exactly as running dbgen per node
+	// does in the paper's loading process.
+	Peer     int
+	NumPeers int
+	// NationKey, when >= 0, restricts generated rows to one nation and
+	// populates the added nation-key columns (throughput benchmark).
+	NationKey int
+	// Tables restricts generation to a subset (nil = all).
+	Tables []string
+}
+
+// cardinality returns the base row count of a table at scale factor 1.
+func cardinality(table string) int {
+	switch table {
+	case Region:
+		return 5
+	case Nation:
+		return 25
+	case Supplier:
+		return 10_000
+	case Customer:
+		return 150_000
+	case Part:
+		return 200_000
+	case PartSupp:
+		return 800_000
+	case Orders:
+		return 1_500_000
+	case LineItem:
+		return 0 // derived: ~4 per order
+	}
+	return 0
+}
+
+var regionNames = []string{"AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST"}
+
+var nationNames = []string{
+	"ALGERIA", "ARGENTINA", "BRAZIL", "CANADA", "EGYPT", "ETHIOPIA", "FRANCE",
+	"GERMANY", "INDIA", "INDONESIA", "IRAN", "IRAQ", "JAPAN", "JORDAN", "KENYA",
+	"MOROCCO", "MOZAMBIQUE", "PERU", "CHINA", "ROMANIA", "SAUDI ARABIA",
+	"VIETNAM", "RUSSIA", "UNITED KINGDOM", "UNITED STATES",
+}
+
+var shipModes = []string{"REG AIR", "AIR", "RAIL", "SHIP", "TRUCK", "MAIL", "FOB"}
+var segments = []string{"AUTOMOBILE", "BUILDING", "FURNITURE", "MACHINERY", "HOUSEHOLD"}
+var priorities = []string{"1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECIFIED", "5-LOW"}
+var containers = []string{"SM CASE", "LG BOX", "MED BAG", "JUMBO JAR", "WRAP PACK"}
+var types = []string{"STANDARD ANODIZED TIN", "SMALL PLATED COPPER", "MEDIUM POLISHED STEEL", "LARGE BURNISHED BRASS", "ECONOMY BRUSHED NICKEL", "PROMO POLISHED STEEL"}
+
+// Date range of TPC-H: orders span 1992-01-01 .. 1998-08-02.
+var (
+	startDay = sqlval.MustParseDate("1992-01-01").AsDays()
+	endDay   = sqlval.MustParseDate("1998-08-02").AsDays()
+)
+
+// Generate populates db with TPC-H data for one peer: tables are
+// created (with primary keys and the Table 4 secondary indexes) and
+// filled deterministically. Generation is a pure function of the Scale,
+// so re-running it reproduces identical data.
+func Generate(db *sqldb.DB, sc Scale) error {
+	if sc.NumPeers <= 0 {
+		sc.NumPeers = 1
+	}
+	if sc.Peer < 0 || sc.Peer >= sc.NumPeers {
+		return fmt.Errorf("tpch: peer %d out of range [0,%d)", sc.Peer, sc.NumPeers)
+	}
+	if sc.ScaleFactor <= 0 {
+		return fmt.Errorf("tpch: scale factor must be positive")
+	}
+	withNation := sc.NationKey >= 0
+	want := func(table string) bool {
+		if sc.Tables == nil {
+			return true
+		}
+		for _, t := range sc.Tables {
+			if t == table {
+				return true
+			}
+		}
+		return false
+	}
+	for _, schema := range Schemas(withNation) {
+		if !want(schema.Table) {
+			continue
+		}
+		if db.Table(schema.Table) == nil {
+			if _, err := db.CreateTable(schema); err != nil {
+				return err
+			}
+		}
+	}
+
+	rng := rand.New(rand.NewSource(int64(sc.Peer)*7919 + 17))
+	comment := func(n int) sqlval.Value {
+		const alphabet = "abcdefghijklmnopqrstuvwxyz    "
+		b := make([]byte, n)
+		for i := range b {
+			b[i] = alphabet[rng.Intn(len(alphabet))]
+		}
+		return sqlval.Str(string(b))
+	}
+	pick := func(list []string) sqlval.Value { return sqlval.Str(list[rng.Intn(len(list))]) }
+	nation := func() int64 {
+		if sc.NationKey >= 0 {
+			return int64(sc.NationKey)
+		}
+		return int64(rng.Intn(len(nationNames)))
+	}
+	date := func() sqlval.Value {
+		return sqlval.Date(startDay + rng.Int63n(endDay-startDay+1))
+	}
+
+	// rows(table) = cardinality * SF / NumPeers, at least 1.
+	countFor := func(table string) int {
+		n := int(float64(cardinality(table)) * sc.ScaleFactor / float64(sc.NumPeers))
+		if n < 1 {
+			n = 1
+		}
+		return n
+	}
+	// Key spaces are partitioned per peer so that primary keys never
+	// collide across peers.
+	keyBase := func(table string) int64 {
+		span := int64(float64(cardinality(table))*sc.ScaleFactor) + 1
+		return int64(sc.Peer) * span
+	}
+
+	appendNation := func(row sqlval.Row) sqlval.Row {
+		if withNation {
+			return append(row, sqlval.Int(nation()))
+		}
+		return row
+	}
+
+	if want(Region) && sc.Peer == 0 {
+		for i, name := range regionNames {
+			row := sqlval.Row{sqlval.Int(int64(i)), sqlval.Str(name), comment(20)}
+			if err := db.InsertRow(Region, row); err != nil {
+				return err
+			}
+		}
+	}
+	if want(Nation) && sc.Peer == 0 {
+		for i, name := range nationNames {
+			row := sqlval.Row{sqlval.Int(int64(i)), sqlval.Str(name), sqlval.Int(int64(i % 5)), comment(20)}
+			if err := db.InsertRow(Nation, row); err != nil {
+				return err
+			}
+		}
+	}
+
+	nSupplier := countFor(Supplier)
+	if want(Supplier) {
+		base := keyBase(Supplier)
+		for i := 0; i < nSupplier; i++ {
+			k := base + int64(i)
+			row := sqlval.Row{
+				sqlval.Int(k),
+				sqlval.Str(fmt.Sprintf("Supplier#%09d", k)),
+				comment(15),
+				sqlval.Int(nation()),
+				sqlval.Str(fmt.Sprintf("%02d-%07d", rng.Intn(25)+10, rng.Intn(10_000_000))),
+				sqlval.Float(float64(rng.Intn(1_000_000))/100 - 1000),
+				comment(30),
+			}
+			if err := db.InsertRow(Supplier, row); err != nil {
+				return err
+			}
+		}
+	}
+
+	nCustomer := countFor(Customer)
+	if want(Customer) {
+		base := keyBase(Customer)
+		for i := 0; i < nCustomer; i++ {
+			k := base + int64(i)
+			row := sqlval.Row{
+				sqlval.Int(k),
+				sqlval.Str(fmt.Sprintf("Customer#%09d", k)),
+				comment(15),
+				sqlval.Int(nation()),
+				sqlval.Str(fmt.Sprintf("%02d-%07d", rng.Intn(25)+10, rng.Intn(10_000_000))),
+				sqlval.Float(float64(rng.Intn(1_100_000))/100 - 1000),
+				pick(segments),
+				comment(40),
+			}
+			if err := db.InsertRow(Customer, row); err != nil {
+				return err
+			}
+		}
+	}
+
+	nPart := countFor(Part)
+	if want(Part) {
+		base := keyBase(Part)
+		for i := 0; i < nPart; i++ {
+			k := base + int64(i)
+			row := sqlval.Row{
+				sqlval.Int(k),
+				comment(25),
+				sqlval.Str(fmt.Sprintf("Manufacturer#%d", rng.Intn(5)+1)),
+				sqlval.Str(fmt.Sprintf("Brand#%d%d", rng.Intn(5)+1, rng.Intn(5)+1)),
+				pick(types),
+				sqlval.Int(int64(rng.Intn(50) + 1)),
+				pick(containers),
+				sqlval.Float(900 + float64(k%1000)/10),
+				comment(10),
+			}
+			row = appendNation(row)
+			if err := db.InsertRow(Part, row); err != nil {
+				return err
+			}
+		}
+	}
+
+	if want(PartSupp) {
+		partBase := keyBase(Part)
+		suppBase := keyBase(Supplier)
+		n := countFor(PartSupp)
+		perPart := 4
+		for i := 0; i < n; i++ {
+			partKey := partBase + int64(i/perPart%max(nPart, 1))
+			suppKey := suppBase + int64(i%max(nSupplier, 1))
+			row := sqlval.Row{
+				sqlval.Int(partKey),
+				sqlval.Int(suppKey),
+				sqlval.Int(int64(rng.Intn(9999) + 1)),
+				sqlval.Float(float64(rng.Intn(100_000)) / 100),
+				comment(20),
+			}
+			row = appendNation(row)
+			if err := db.InsertRow(PartSupp, row); err != nil {
+				return err
+			}
+		}
+	}
+
+	if want(Orders) || want(LineItem) {
+		orderBase := keyBase(Orders)
+		custBase := keyBase(Customer)
+		partBase := keyBase(Part)
+		suppBase := keyBase(Supplier)
+		nOrders := countFor(Orders)
+		for i := 0; i < nOrders; i++ {
+			k := orderBase + int64(i)
+			odate := date()
+			lineCount := rng.Intn(4) + 1
+			var total float64
+			type lineRec struct {
+				row sqlval.Row
+			}
+			var lines []lineRec
+			for ln := 0; ln < lineCount; ln++ {
+				qty := rng.Intn(50) + 1
+				price := float64(rng.Intn(90_000)+10_000) / 100
+				total += price * float64(qty)
+				ship := odate.AsDays() + int64(rng.Intn(120)+1)
+				commit := odate.AsDays() + int64(rng.Intn(90)+30)
+				receipt := ship + int64(rng.Intn(30)+1)
+				lrow := sqlval.Row{
+					sqlval.Int(k),
+					sqlval.Int(partBase + rng.Int63n(int64(max(nPart, 1)))),
+					sqlval.Int(suppBase + rng.Int63n(int64(max(nSupplier, 1)))),
+					sqlval.Int(int64(ln + 1)),
+					sqlval.Int(int64(qty)),
+					sqlval.Float(price * float64(qty)),
+					sqlval.Float(float64(rng.Intn(11)) / 100),
+					sqlval.Float(float64(rng.Intn(9)) / 100),
+					pick([]string{"A", "N", "R"}),
+					pick([]string{"O", "F"}),
+					sqlval.Date(ship),
+					sqlval.Date(commit),
+					sqlval.Date(receipt),
+					pick([]string{"DELIVER IN PERSON", "COLLECT COD", "NONE", "TAKE BACK RETURN"}),
+					pick(shipModes),
+					comment(25),
+				}
+				lrow = appendNation(lrow)
+				lines = append(lines, lineRec{row: lrow})
+			}
+			if want(Orders) {
+				orow := sqlval.Row{
+					sqlval.Int(k),
+					sqlval.Int(custBase + rng.Int63n(int64(max(nCustomer, 1)))),
+					pick([]string{"O", "F", "P"}),
+					sqlval.Float(total),
+					odate,
+					pick(priorities),
+					sqlval.Str(fmt.Sprintf("Clerk#%09d", rng.Intn(1000))),
+					sqlval.Int(0),
+					comment(30),
+				}
+				orow = appendNation(orow)
+				if err := db.InsertRow(Orders, orow); err != nil {
+					return err
+				}
+			}
+			if want(LineItem) {
+				for _, l := range lines {
+					if err := db.InsertRow(LineItem, l.row); err != nil {
+						return err
+					}
+				}
+			}
+		}
+	}
+
+	return BuildIndexes(db)
+}
+
+// BuildIndexes creates the primary-key and Table 4 secondary indexes on
+// every generated table that exists in db.
+func BuildIndexes(db *sqldb.DB) error {
+	for table, cols := range SecondaryIndexes() {
+		t := db.Table(table)
+		if t == nil {
+			continue
+		}
+		for _, col := range cols {
+			name := "idx_" + table + "_" + col
+			if err := t.CreateIndex(name, col, false); err != nil {
+				// Re-generation over the same DB: index already exists.
+				continue
+			}
+		}
+	}
+	return nil
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

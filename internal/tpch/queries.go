@@ -1,0 +1,93 @@
+package tpch
+
+import "fmt"
+
+// The five benchmark queries of the performance benchmark (§6.1). The
+// paper prints Q1 and sketches the rest ("we implement the benchmark
+// queries by ourselves since the TPC-H queries are complex and
+// time-consuming queries which are not suitable for benchmarking
+// corporate network applications"); these implementations match the
+// described shapes: Q1 a simple selection, Q2 a simple aggregation, Q3
+// a two-table join, Q4 a join plus aggregation (two MapReduce jobs for
+// HadoopDB), and Q5 a multi-table join compiled into four MapReduce
+// jobs.
+
+// Q1 is the simple selection on LineItem (predicates on l_shipdate and
+// l_commitdate, §6.1.6).
+func Q1(shipAfter, commitBefore string) string {
+	return fmt.Sprintf(`SELECT l_orderkey, l_partkey, l_quantity, l_extendedprice
+FROM lineitem
+WHERE l_shipdate > DATE '%s' AND l_commitdate < DATE '%s'`, shipAfter, commitBefore)
+}
+
+// Q1Default uses predicates selecting a small tail of each peer's
+// partition, like the paper's ~3,000 tuples per peer.
+func Q1Default() string { return Q1("1998-09-01", "1998-10-01") }
+
+// Q2 is the simple aggregation over qualified LineItem tuples (§6.1.7).
+func Q2(shipAfter string) string {
+	return fmt.Sprintf(`SELECT SUM(l_extendedprice * (1 - l_discount)) AS total_price
+FROM lineitem
+WHERE l_shipdate > DATE '%s'`, shipAfter)
+}
+
+// Q2Default matches Q1's selectivity band.
+func Q2Default() string { return Q2("1998-06-01") }
+
+// Q3 joins LineItem with Orders under selective predicates on both
+// sides (§6.1.8; both selection columns carry Table 4 indexes).
+func Q3(orderAfter, shipAfter string) string {
+	return fmt.Sprintf(`SELECT l.l_orderkey, o.o_orderdate, l.l_extendedprice
+FROM lineitem l JOIN orders o ON l.l_orderkey = o.o_orderkey
+WHERE o.o_orderdate > DATE '%s' AND l.l_shipdate > DATE '%s'`, orderAfter, shipAfter)
+}
+
+// Q3Default selects roughly the last two months of orders.
+func Q3Default() string { return Q3("1998-06-01", "1998-06-01") }
+
+// Q4 joins PartSupp with Part and aggregates (two MapReduce jobs for
+// HadoopDB's SMS planner, §6.1.9).
+func Q4(maxSize int) string {
+	return fmt.Sprintf(`SELECT p.p_brand, SUM(ps.ps_supplycost * ps.ps_availqty) AS value
+FROM part p JOIN partsupp ps ON p.p_partkey = ps.ps_partkey
+WHERE p.p_size < %d
+GROUP BY p.p_brand`, maxSize)
+}
+
+// Q4Default selects the smaller ~30% of parts by size.
+func Q4Default() string { return Q4(15) }
+
+// Q5 is the multi-table join (three joins plus a final aggregation,
+// compiled by HadoopDB into four MapReduce jobs, §6.1.10).
+func Q5() string {
+	return `SELECT o.o_orderpriority, SUM(l.l_extendedprice * (1 - l.l_discount)) AS revenue
+FROM customer c
+JOIN orders o ON c.c_custkey = o.o_custkey
+JOIN lineitem l ON o.o_orderkey = l.l_orderkey
+JOIN supplier s ON l.l_suppkey = s.s_suppkey
+GROUP BY o.o_orderpriority`
+}
+
+// SupplierQuery is the light-weight throughput query sent by retailer
+// users against one supplier peer's data (§6.2.3); nationKey restricts
+// it to a single nation, hence a single peer.
+func SupplierQuery(nationKey int) string {
+	return fmt.Sprintf(`SELECT s.s_name, p.p_name, ps.ps_availqty, ps.ps_supplycost
+FROM supplier s
+JOIN partsupp ps ON s.s_suppkey = ps.ps_suppkey
+JOIN part p ON ps.ps_partkey = p.p_partkey
+WHERE s.s_nationkey = %d AND ps.ps_nationkey = %d AND p.p_nationkey = %d`,
+		nationKey, nationKey, nationKey)
+}
+
+// RetailerQuery is the heavy-weight throughput query sent by supplier
+// users against one retailer peer's data: a three-table join with
+// aggregation.
+func RetailerQuery(nationKey int) string {
+	return fmt.Sprintf(`SELECT c.c_custkey, SUM(l.l_extendedprice * (1 - l.l_discount)) AS revenue
+FROM customer c
+JOIN orders o ON c.c_custkey = o.o_custkey
+JOIN lineitem l ON o.o_orderkey = l.l_orderkey
+WHERE c.c_nationkey = %d AND o.o_nationkey = %d AND l.l_nationkey = %d
+GROUP BY c.c_custkey`, nationKey, nationKey, nationKey)
+}

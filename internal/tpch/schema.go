@@ -1,0 +1,201 @@
+// Package tpch provides the TPC-H substrate of the paper's evaluation:
+// the eight-table schema (used as the corporate network's shared global
+// schema, §6.1.4), a deterministic dbgen-style data generator with
+// uniform value distributions (§6.1.5), the five benchmark queries
+// Q1–Q5 (§6.1.6–§6.1.10), and the supplier/retailer partitioning of the
+// throughput benchmark (§6.2.1).
+package tpch
+
+import (
+	"bestpeer/internal/sqldb"
+	"bestpeer/internal/sqlval"
+)
+
+// Table names.
+const (
+	Region   = "region"
+	Nation   = "nation"
+	Supplier = "supplier"
+	Customer = "customer"
+	Part     = "part"
+	PartSupp = "partsupp"
+	Orders   = "orders"
+	LineItem = "lineitem"
+)
+
+// Schemas returns the TPC-H schema. When withNationKey is true, every
+// table carries a nation-key column, the paper's modification for the
+// throughput benchmark ("to reflect the fact that each table is
+// partitioned based on nations, we modify the original TPC-H schema and
+// add a nation key column in each table", §6.2.1); the tables that
+// already have one are unchanged.
+func Schemas(withNationKey bool) []*sqldb.Schema {
+	s := []*sqldb.Schema{
+		{
+			Table:      Region,
+			PrimaryKey: "r_regionkey",
+			Columns: []sqldb.Column{
+				{Name: "r_regionkey", Kind: sqlval.KindInt},
+				{Name: "r_name", Kind: sqlval.KindString},
+				{Name: "r_comment", Kind: sqlval.KindString},
+			},
+		},
+		{
+			Table:      Nation,
+			PrimaryKey: "n_nationkey",
+			Columns: []sqldb.Column{
+				{Name: "n_nationkey", Kind: sqlval.KindInt},
+				{Name: "n_name", Kind: sqlval.KindString},
+				{Name: "n_regionkey", Kind: sqlval.KindInt},
+				{Name: "n_comment", Kind: sqlval.KindString},
+			},
+		},
+		{
+			Table:      Supplier,
+			PrimaryKey: "s_suppkey",
+			Columns: []sqldb.Column{
+				{Name: "s_suppkey", Kind: sqlval.KindInt},
+				{Name: "s_name", Kind: sqlval.KindString},
+				{Name: "s_address", Kind: sqlval.KindString},
+				{Name: "s_nationkey", Kind: sqlval.KindInt},
+				{Name: "s_phone", Kind: sqlval.KindString},
+				{Name: "s_acctbal", Kind: sqlval.KindFloat},
+				{Name: "s_comment", Kind: sqlval.KindString},
+			},
+		},
+		{
+			Table:      Customer,
+			PrimaryKey: "c_custkey",
+			Columns: []sqldb.Column{
+				{Name: "c_custkey", Kind: sqlval.KindInt},
+				{Name: "c_name", Kind: sqlval.KindString},
+				{Name: "c_address", Kind: sqlval.KindString},
+				{Name: "c_nationkey", Kind: sqlval.KindInt},
+				{Name: "c_phone", Kind: sqlval.KindString},
+				{Name: "c_acctbal", Kind: sqlval.KindFloat},
+				{Name: "c_mktsegment", Kind: sqlval.KindString},
+				{Name: "c_comment", Kind: sqlval.KindString},
+			},
+		},
+		{
+			Table:      Part,
+			PrimaryKey: "p_partkey",
+			Columns: []sqldb.Column{
+				{Name: "p_partkey", Kind: sqlval.KindInt},
+				{Name: "p_name", Kind: sqlval.KindString},
+				{Name: "p_mfgr", Kind: sqlval.KindString},
+				{Name: "p_brand", Kind: sqlval.KindString},
+				{Name: "p_type", Kind: sqlval.KindString},
+				{Name: "p_size", Kind: sqlval.KindInt},
+				{Name: "p_container", Kind: sqlval.KindString},
+				{Name: "p_retailprice", Kind: sqlval.KindFloat},
+				{Name: "p_comment", Kind: sqlval.KindString},
+			},
+		},
+		{
+			Table: PartSupp,
+			Columns: []sqldb.Column{
+				{Name: "ps_partkey", Kind: sqlval.KindInt},
+				{Name: "ps_suppkey", Kind: sqlval.KindInt},
+				{Name: "ps_availqty", Kind: sqlval.KindInt},
+				{Name: "ps_supplycost", Kind: sqlval.KindFloat},
+				{Name: "ps_comment", Kind: sqlval.KindString},
+			},
+		},
+		{
+			Table:      Orders,
+			PrimaryKey: "o_orderkey",
+			Columns: []sqldb.Column{
+				{Name: "o_orderkey", Kind: sqlval.KindInt},
+				{Name: "o_custkey", Kind: sqlval.KindInt},
+				{Name: "o_orderstatus", Kind: sqlval.KindString},
+				{Name: "o_totalprice", Kind: sqlval.KindFloat},
+				{Name: "o_orderdate", Kind: sqlval.KindDate},
+				{Name: "o_orderpriority", Kind: sqlval.KindString},
+				{Name: "o_clerk", Kind: sqlval.KindString},
+				{Name: "o_shippriority", Kind: sqlval.KindInt},
+				{Name: "o_comment", Kind: sqlval.KindString},
+			},
+		},
+		{
+			Table: LineItem,
+			Columns: []sqldb.Column{
+				{Name: "l_orderkey", Kind: sqlval.KindInt},
+				{Name: "l_partkey", Kind: sqlval.KindInt},
+				{Name: "l_suppkey", Kind: sqlval.KindInt},
+				{Name: "l_linenumber", Kind: sqlval.KindInt},
+				{Name: "l_quantity", Kind: sqlval.KindInt},
+				{Name: "l_extendedprice", Kind: sqlval.KindFloat},
+				{Name: "l_discount", Kind: sqlval.KindFloat},
+				{Name: "l_tax", Kind: sqlval.KindFloat},
+				{Name: "l_returnflag", Kind: sqlval.KindString},
+				{Name: "l_linestatus", Kind: sqlval.KindString},
+				{Name: "l_shipdate", Kind: sqlval.KindDate},
+				{Name: "l_commitdate", Kind: sqlval.KindDate},
+				{Name: "l_receiptdate", Kind: sqlval.KindDate},
+				{Name: "l_shipinstruct", Kind: sqlval.KindString},
+				{Name: "l_shipmode", Kind: sqlval.KindString},
+				{Name: "l_comment", Kind: sqlval.KindString},
+			},
+		},
+	}
+	if withNationKey {
+		for _, sc := range s {
+			switch sc.Table {
+			case Nation, Supplier, Customer, Region:
+				continue // already keyed (or global reference data)
+			}
+			sc.Columns = append(sc.Columns, sqldb.Column{Name: nationKeyColumn(sc.Table), Kind: sqlval.KindInt})
+		}
+	}
+	return s
+}
+
+// nationKeyColumn names the added nation-key column of a table in the
+// throughput schema.
+func nationKeyColumn(table string) string {
+	switch table {
+	case Part:
+		return "p_nationkey"
+	case PartSupp:
+		return "ps_nationkey"
+	case Orders:
+		return "o_nationkey"
+	case LineItem:
+		return "l_nationkey"
+	default:
+		return table + "_nationkey"
+	}
+}
+
+// SchemaFor returns one table's schema from the standard set.
+func SchemaFor(table string, withNationKey bool) *sqldb.Schema {
+	for _, s := range Schemas(withNationKey) {
+		if s.Table == table {
+			return s
+		}
+	}
+	return nil
+}
+
+// SecondaryIndexes lists the secondary indexes built during data loading
+// (paper Table 4; the table's full contents are not reproduced in the
+// text, so this is the set the benchmark queries Q1–Q5 exercise:
+// selection columns of Q1/Q2 and the join keys of Q3–Q5).
+func SecondaryIndexes() map[string][]string {
+	return map[string][]string{
+		LineItem: {"l_shipdate", "l_commitdate", "l_orderkey", "l_partkey"},
+		Orders:   {"o_orderdate", "o_custkey"},
+		PartSupp: {"ps_partkey", "ps_suppkey"},
+		Part:     {"p_size"},
+		Customer: {"c_nationkey"},
+		Supplier: {"s_nationkey"},
+	}
+}
+
+// SupplierTables is the sub-schema owned by supplier peers in the
+// throughput benchmark (§6.2.1).
+func SupplierTables() []string { return []string{Supplier, PartSupp, Part, Nation, Region} }
+
+// RetailerTables is the sub-schema owned by retailer peers.
+func RetailerTables() []string { return []string{LineItem, Orders, Customer, Nation, Region} }

@@ -1,0 +1,200 @@
+package tpch
+
+import (
+	"testing"
+
+	"bestpeer/internal/sqldb"
+)
+
+func genDB(t *testing.T, sc Scale) *sqldb.DB {
+	t.Helper()
+	db := sqldb.NewDB()
+	if err := Generate(db, sc); err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+func TestSchemasComplete(t *testing.T) {
+	s := Schemas(false)
+	if len(s) != 8 {
+		t.Fatalf("tables = %d", len(s))
+	}
+	if SchemaFor(LineItem, false) == nil || SchemaFor("ghost", false) != nil {
+		t.Error("SchemaFor broken")
+	}
+	li := SchemaFor(LineItem, false)
+	if li.ColumnIndex("l_shipdate") < 0 || li.ColumnIndex("l_nationkey") >= 0 {
+		t.Error("standard lineitem schema wrong")
+	}
+	liN := SchemaFor(LineItem, true)
+	if liN.ColumnIndex("l_nationkey") < 0 {
+		t.Error("nation-key column missing in throughput schema")
+	}
+	// Already-keyed tables unchanged.
+	if sup := SchemaFor(Supplier, true); sup.ColumnIndex("supplier_nationkey") >= 0 {
+		t.Error("supplier gained a duplicate nation key")
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	sc := Scale{ScaleFactor: 0.001, Peer: 0, NumPeers: 2, NationKey: -1}
+	a := genDB(t, sc)
+	b := genDB(t, sc)
+	for _, table := range []string{Orders, LineItem, Supplier} {
+		ra, err := a.Query(`SELECT COUNT(*) FROM ` + table)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rb, _ := b.Query(`SELECT COUNT(*) FROM ` + table)
+		if ra.Rows[0][0].AsInt() != rb.Rows[0][0].AsInt() {
+			t.Errorf("%s cardinality differs across runs", table)
+		}
+	}
+	// Sample rows identical.
+	qa, _ := a.Query(`SELECT o_totalprice FROM orders ORDER BY o_orderkey LIMIT 5`)
+	qb, _ := b.Query(`SELECT o_totalprice FROM orders ORDER BY o_orderkey LIMIT 5`)
+	for i := range qa.Rows {
+		if qa.Rows[i][0].AsFloat() != qb.Rows[i][0].AsFloat() {
+			t.Fatal("row content differs across identical generations")
+		}
+	}
+}
+
+func TestGenerateCardinalityScales(t *testing.T) {
+	small := genDB(t, Scale{ScaleFactor: 0.001, NationKey: -1})
+	big := genDB(t, Scale{ScaleFactor: 0.002, NationKey: -1})
+	cs, _ := small.Query(`SELECT COUNT(*) FROM orders`)
+	cb, _ := big.Query(`SELECT COUNT(*) FROM orders`)
+	ns, nb := cs.Rows[0][0].AsInt(), cb.Rows[0][0].AsInt()
+	if nb < ns*3/2 {
+		t.Errorf("orders: sf 0.002 = %d vs sf 0.001 = %d", nb, ns)
+	}
+}
+
+func TestPeersGenerateDisjointKeys(t *testing.T) {
+	p0 := genDB(t, Scale{ScaleFactor: 0.001, Peer: 0, NumPeers: 3, NationKey: -1})
+	p1 := genDB(t, Scale{ScaleFactor: 0.001, Peer: 1, NumPeers: 3, NationKey: -1})
+	max0, _ := p0.Query(`SELECT MAX(o_orderkey) FROM orders`)
+	min1, _ := p1.Query(`SELECT MIN(o_orderkey) FROM orders`)
+	if max0.Rows[0][0].AsInt() >= min1.Rows[0][0].AsInt() {
+		t.Errorf("order keys overlap: peer0 max %v, peer1 min %v", max0.Rows[0][0], min1.Rows[0][0])
+	}
+	if _, err := p0.Query(`SELECT COUNT(*) FROM region`); err != nil {
+		t.Errorf("peer 0 lacks region: %v", err)
+	}
+}
+
+func TestReferentialIntegrityWithinPeer(t *testing.T) {
+	db := genDB(t, Scale{ScaleFactor: 0.001, NationKey: -1})
+	// Every lineitem's order key exists in orders.
+	res, err := db.Query(`SELECT COUNT(*) FROM lineitem l JOIN orders o ON l.l_orderkey = o.o_orderkey`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	all, _ := db.Query(`SELECT COUNT(*) FROM lineitem`)
+	if res.Rows[0][0].AsInt() != all.Rows[0][0].AsInt() {
+		t.Errorf("dangling lineitem orderkeys: joined %v of %v", res.Rows[0][0], all.Rows[0][0])
+	}
+	// Order totals equal the sum of their lineitems' extended prices.
+	byOrder, err := db.Query(`SELECT o.o_orderkey, o.o_totalprice, SUM(l.l_extendedprice) AS s
+		FROM orders o JOIN lineitem l ON o.o_orderkey = l.l_orderkey
+		GROUP BY o.o_orderkey LIMIT 20`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range byOrder.Rows {
+		if diff := r[1].AsFloat() - r[2].AsFloat(); diff > 0.01 || diff < -0.01 {
+			t.Errorf("order %v total %v != lineitem sum %v", r[0], r[1], r[2])
+		}
+	}
+}
+
+func TestSecondaryIndexesBuilt(t *testing.T) {
+	db := genDB(t, Scale{ScaleFactor: 0.001, NationKey: -1})
+	for table, cols := range SecondaryIndexes() {
+		tbl := db.Table(table)
+		if tbl == nil {
+			t.Fatalf("missing table %s", table)
+		}
+		for _, col := range cols {
+			if tbl.IndexOn(col) == nil {
+				t.Errorf("no index on %s.%s", table, col)
+			}
+		}
+	}
+	// An indexed selection actually uses the index.
+	res, err := db.Query(Q1Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Stats.IndexUsed {
+		t.Error("Q1 did not use the l_shipdate index")
+	}
+}
+
+func TestNationRestrictedGeneration(t *testing.T) {
+	db := genDB(t, Scale{ScaleFactor: 0.001, NationKey: 7, Tables: RetailerTables()})
+	res, err := db.Query(`SELECT COUNT(*) FROM lineitem WHERE l_nationkey = 7`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	all, _ := db.Query(`SELECT COUNT(*) FROM lineitem`)
+	if res.Rows[0][0].AsInt() != all.Rows[0][0].AsInt() {
+		t.Error("lineitem rows outside the restricted nation")
+	}
+	// Supplier tables were not generated.
+	if db.Table(PartSupp) != nil {
+		t.Error("retailer peer generated supplier tables")
+	}
+}
+
+func TestBenchmarkQueriesParseAndRun(t *testing.T) {
+	db := genDB(t, Scale{ScaleFactor: 0.002, NationKey: -1})
+	for name, q := range map[string]string{
+		"Q1": Q1Default(), "Q2": Q2Default(), "Q3": Q3Default(),
+		"Q4": Q4Default(), "Q5": Q5(),
+	} {
+		res, err := db.Query(q)
+		if err != nil {
+			t.Errorf("%s failed: %v", name, err)
+			continue
+		}
+		if name == "Q2" && len(res.Rows) != 1 {
+			t.Errorf("Q2 rows = %d", len(res.Rows))
+		}
+	}
+}
+
+func TestThroughputQueriesParseAndRun(t *testing.T) {
+	supplier := genDB(t, Scale{ScaleFactor: 0.01, NationKey: 3, Tables: SupplierTables()})
+	retailer := genDB(t, Scale{ScaleFactor: 0.01, NationKey: 3, Tables: RetailerTables()})
+	if _, err := supplier.Query(SupplierQuery(3)); err != nil {
+		t.Errorf("supplier query: %v", err)
+	}
+	res, err := retailer.Query(RetailerQuery(3))
+	if err != nil {
+		t.Fatalf("retailer query: %v", err)
+	}
+	if len(res.Rows) == 0 {
+		t.Error("retailer query returned nothing")
+	}
+	// Wrong nation returns nothing (single-peer restriction works).
+	res2, err := retailer.Query(RetailerQuery(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res2.Rows) != 0 {
+		t.Errorf("nation 4 rows on a nation-3 peer: %d", len(res2.Rows))
+	}
+}
+
+func TestGenerateValidation(t *testing.T) {
+	db := sqldb.NewDB()
+	if err := Generate(db, Scale{ScaleFactor: 0}); err == nil {
+		t.Error("zero scale accepted")
+	}
+	if err := Generate(db, Scale{ScaleFactor: 1, Peer: 5, NumPeers: 2}); err == nil {
+		t.Error("out-of-range peer accepted")
+	}
+}

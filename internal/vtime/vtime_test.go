@@ -1,0 +1,102 @@
+package vtime
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestDiskReadRate(t *testing.T) {
+	r := Rates{DiskBytesPerSec: 100e6}
+	c := r.DiskRead(100e6)
+	if c.Disk != time.Second {
+		t.Errorf("DiskRead(100MB) = %v, want 1s", c.Disk)
+	}
+	if got := r.DiskRead(0).Total(); got != 0 {
+		t.Errorf("DiskRead(0) = %v", got)
+	}
+	if got := r.DiskRead(-5).Total(); got != 0 {
+		t.Errorf("DiskRead(-5) = %v", got)
+	}
+}
+
+func TestNetTransferIncludesLatency(t *testing.T) {
+	r := Rates{NetBytesPerSec: 100e6, NetLatencyPerMsg: 3 * time.Millisecond}
+	c := r.NetTransfer(50e6)
+	want := 3*time.Millisecond + 500*time.Millisecond
+	if c.Net != want {
+		t.Errorf("NetTransfer = %v, want %v", c.Net, want)
+	}
+	if r.NetMsgs(4).Net != 12*time.Millisecond {
+		t.Errorf("NetMsgs = %v", r.NetMsgs(4).Net)
+	}
+}
+
+func TestJobStartupScalesWithJobs(t *testing.T) {
+	r := DefaultRates()
+	if r.JobStartup(4).Startup != 4*r.MRJobStartup {
+		t.Error("JobStartup not linear in job count")
+	}
+	if r.PullDelay(2).Startup != 2*r.MRPullDelay {
+		t.Error("PullDelay not linear")
+	}
+}
+
+func TestAddAccumulatesComponents(t *testing.T) {
+	a := Cost{Disk: 1, Net: 2, CPU: 3, Startup: 4}
+	b := Cost{Disk: 10, Net: 20, CPU: 30, Startup: 40}
+	c := a.Add(b)
+	if c.Disk != 11 || c.Net != 22 || c.CPU != 33 || c.Startup != 44 {
+		t.Errorf("Add = %+v", c)
+	}
+	if c.Total() != 110 {
+		t.Errorf("Total = %v", c.Total())
+	}
+}
+
+func TestParTakesCriticalPath(t *testing.T) {
+	fast := Cost{CPU: time.Second}
+	slow := Cost{Net: 2 * time.Second}
+	if got := Par(fast, slow); got != slow {
+		t.Errorf("Par = %+v", got)
+	}
+	if got := Par(slow, fast); got != slow {
+		t.Errorf("Par order-dependent: %+v", got)
+	}
+	branches := []Cost{{CPU: 1}, {CPU: 5}, {CPU: 3}}
+	if got := ParAll(branches); got.CPU != 5 {
+		t.Errorf("ParAll = %+v", got)
+	}
+	if got := ParAll(nil); got.Total() != 0 {
+		t.Errorf("ParAll(nil) = %+v", got)
+	}
+}
+
+func TestParTotalIsMaxProperty(t *testing.T) {
+	f := func(a, b uint32) bool {
+		ca := Cost{CPU: time.Duration(a)}
+		cb := Cost{Net: time.Duration(b)}
+		p := Par(ca, cb)
+		max := ca.Total()
+		if cb.Total() > max {
+			max = cb.Total()
+		}
+		return p.Total() == max
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDefaultRatesMatchPaperConstants(t *testing.T) {
+	r := DefaultRates()
+	if r.DiskBytesPerSec != 90e6 {
+		t.Errorf("disk rate = %v, want 90 MB/s (paper §6.1.1)", r.DiskBytesPerSec)
+	}
+	if r.NetBytesPerSec != 100e6 {
+		t.Errorf("net rate = %v, want 100 MB/s (paper §6.1.1)", r.NetBytesPerSec)
+	}
+	if r.MRJobStartup < 10*time.Second || r.MRJobStartup > 15*time.Second {
+		t.Errorf("MR startup = %v, want within the paper's 10-15 s", r.MRJobStartup)
+	}
+}
