@@ -1,0 +1,28 @@
+# Tier-1 verification gate (see ROADMAP.md): every PR must leave
+# `make verify` green.
+
+GO ?= go
+
+.PHONY: verify build vet test race bench fanout
+
+verify: build vet race
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# Regenerate the paper's figures (virtual-time, deterministic).
+bench:
+	$(GO) run ./cmd/bpbench
+
+# Wall-clock fan-out comparison; refreshes the trajectory file.
+fanout:
+	$(GO) run ./cmd/bpbench -fig fanout | tee BENCH_fanout.json

@@ -3,7 +3,11 @@
 //
 // Usage:
 //
-//	bpbench [-fig all|6|7|8|9|10|11|12|13|14|ablations] [-nodes 10,20,50] [-sf 0.0004]
+//	bpbench [-fig all|6|7|8|9|10|11|12|13|14|ablations|fanout] [-nodes 10,20,50] [-sf 0.0004]
+//
+// The "fanout" experiment is the only wall-clock one: it compares
+// sequential vs concurrent multi-peer fetch under an injected per-call
+// service delay and prints a JSON line for BENCH_fanout.json.
 package main
 
 import (
@@ -12,12 +16,15 @@ import (
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
 	"bestpeer/internal/bench"
 )
 
 func main() {
-	fig := flag.String("fig", "all", "figure to regenerate (6..14, 'ablations', or 'all')")
+	fig := flag.String("fig", "all", "figure to regenerate (6..14, 'ablations', 'fanout', or 'all')")
+	fanoutPeers := flag.Int("fanout-peers", 8, "data peers for the wall-clock fan-out comparison")
+	fanoutDelay := flag.Duration("fanout-delay", 10*time.Millisecond, "per-call service delay for the fan-out comparison")
 	nodes := flag.String("nodes", "10,20,50", "comma-separated cluster sizes")
 	sf := flag.Float64("sf", 0.0004, "TPC-H scale factor contributed per node")
 	seed := flag.Int64("seed", 1, "throughput simulator seed")
@@ -38,6 +45,16 @@ func main() {
 		"6": bench.Fig6, "7": bench.Fig7, "8": bench.Fig8, "9": bench.Fig9,
 		"10": bench.Fig10, "11": bench.Fig11, "12": bench.Fig12,
 		"13": bench.Fig13, "14": bench.Fig14, "ablations": bench.Ablations,
+	}
+
+	if *fig == "fanout" {
+		r, err := bench.FanoutWallClock(*fanoutPeers, *fanoutDelay)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bpbench: fanout: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Println(r.JSONLine())
+		return
 	}
 
 	run := func(name string, f func(bench.Config) (*bench.Table, error)) {

@@ -1,0 +1,166 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"time"
+
+	"bestpeer/internal/engine"
+	"bestpeer/internal/indexer"
+	"bestpeer/internal/mapreduce"
+	"bestpeer/internal/sqldb"
+	"bestpeer/internal/tpch"
+	"bestpeer/internal/vtime"
+)
+
+// This file measures the one thing the virtual-time experiments cannot:
+// real wall-clock concurrency. Every figure benchmark charges remote
+// rounds with vtime.Par whether or not the calls overlap in real time;
+// the fan-out comparison below injects a fixed per-call service delay
+// into a stub backend, so the measured wall clock exposes whether the
+// engine's fetch round actually runs its data owners in parallel.
+
+// FanoutResult is one sequential-vs-concurrent comparison, emitted as a
+// JSON line so successive PRs can track the trajectory in BENCH_*.json.
+type FanoutResult struct {
+	Peers        int     `json:"peers"`
+	DelayMS      float64 `json:"delay_ms"`
+	SequentialMS float64 `json:"sequential_ms"`
+	ConcurrentMS float64 `json:"concurrent_ms"`
+	Speedup      float64 `json:"speedup"`
+}
+
+// JSONLine renders the result as a single JSON line.
+func (r *FanoutResult) JSONLine() string {
+	b, _ := json.Marshal(r)
+	return string(b)
+}
+
+// delayBackend is an engine.Backend whose remote calls each cost a
+// fixed service delay, standing in for the network round trip and
+// remote scan the in-process substrate completes instantly.
+type delayBackend struct {
+	delay   time.Duration
+	peers   []string
+	dbs     map[string]*sqldb.DB
+	schemas map[string]*sqldb.Schema
+	rates   vtime.Rates
+}
+
+func (b *delayBackend) Self() string                      { return b.peers[0] }
+func (b *delayBackend) Schema(table string) *sqldb.Schema { return b.schemas[table] }
+func (b *delayBackend) Gate([]string) error               { return nil }
+func (b *delayBackend) MR() *mapreduce.Cluster            { return nil }
+func (b *delayBackend) QueryTimestamp() uint64            { return 0 }
+func (b *delayBackend) Rates() vtime.Rates                { return b.rates }
+
+func (b *delayBackend) Locate(table string, _ []sqldb.Expr, _ []string) (indexer.Location, error) {
+	loc := indexer.Location{Kind: indexer.KindTable}
+	for _, id := range b.peers {
+		t := b.dbs[id].Table(table)
+		if t == nil || t.NumRows() == 0 {
+			continue
+		}
+		loc.Peers = append(loc.Peers, id)
+		loc.Entries = append(loc.Entries, indexer.TableEntry{
+			Table: table, Peer: id, Rows: int64(t.NumRows()), Bytes: t.DataBytes(),
+		})
+	}
+	if len(loc.Peers) == 0 {
+		loc.Kind = indexer.KindNone
+	}
+	return loc, nil
+}
+
+func (b *delayBackend) SubQuery(peer string, req engine.SubQueryRequest) (*sqldb.Result, error) {
+	time.Sleep(b.delay)
+	db, ok := b.dbs[peer]
+	if !ok {
+		return nil, fmt.Errorf("bench: unknown peer %s", peer)
+	}
+	res, err := db.ExecStmt(req.Stmt)
+	if err != nil {
+		return nil, err
+	}
+	engine.ApplyBloomToResult(res, req.BloomColumn, req.Bloom)
+	return res, nil
+}
+
+func (b *delayBackend) JoinAt(peer string, task engine.JoinTask) (*sqldb.Result, error) {
+	local, err := b.SubQuery(peer, task.Local)
+	if err != nil {
+		return nil, err
+	}
+	res, err := engine.ExecuteJoinTask(task, local.Rows)
+	if err != nil {
+		return nil, err
+	}
+	res.Stats.BytesScanned = local.Stats.BytesScanned
+	for _, r := range res.Rows {
+		res.Stats.BytesReturned += int64(r.EncodedSize())
+	}
+	return res, nil
+}
+
+// FanoutWallClock builds the given number of data peers, charges every
+// remote call the service delay, and times the same multi-peer fetch
+// under sequential (FanoutWidth 1) and concurrent (default width)
+// execution. Both runs must produce identical results — the engines'
+// determinism tests pin that — so the comparison isolates dispatch.
+func FanoutWallClock(peers int, delay time.Duration) (*FanoutResult, error) {
+	b := &delayBackend{
+		delay:   delay,
+		dbs:     make(map[string]*sqldb.DB),
+		schemas: make(map[string]*sqldb.Schema),
+		rates:   vtime.DefaultRates(),
+	}
+	for _, s := range tpch.Schemas(false) {
+		b.schemas[s.Table] = s
+	}
+	for i := 0; i < peers; i++ {
+		id := fmt.Sprintf("peer-%02d", i)
+		b.peers = append(b.peers, id)
+		db := sqldb.NewDB()
+		sc := tpch.Scale{ScaleFactor: 0.0005, Peer: i, NumPeers: peers, NationKey: -1, Tables: []string{tpch.LineItem}}
+		if err := tpch.Generate(db, sc); err != nil {
+			return nil, err
+		}
+		b.dbs[id] = db
+	}
+	stmt, err := sqldb.ParseSelect("SELECT l_orderkey, l_extendedprice FROM lineitem")
+	if err != nil {
+		return nil, err
+	}
+	run := func(width int) (time.Duration, error) {
+		best := time.Duration(0)
+		for trial := 0; trial < 3; trial++ {
+			e := &engine.Basic{B: b, Opts: engine.Options{FanoutWidth: width}}
+			start := time.Now()
+			if _, err := e.Execute(stmt); err != nil {
+				return 0, err
+			}
+			if d := time.Since(start); trial == 0 || d < best {
+				best = d
+			}
+		}
+		return best, nil
+	}
+	seq, err := run(1)
+	if err != nil {
+		return nil, err
+	}
+	conc, err := run(0)
+	if err != nil {
+		return nil, err
+	}
+	r := &FanoutResult{
+		Peers:        peers,
+		DelayMS:      float64(delay) / float64(time.Millisecond),
+		SequentialMS: float64(seq) / float64(time.Millisecond),
+		ConcurrentMS: float64(conc) / float64(time.Millisecond),
+	}
+	if conc > 0 {
+		r.Speedup = float64(seq) / float64(conc)
+	}
+	return r, nil
+}

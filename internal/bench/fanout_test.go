@@ -1,0 +1,23 @@
+package bench
+
+import (
+	"testing"
+	"time"
+)
+
+// TestFanoutWallClockSpeedup pins the acceptance bar for the concurrency
+// layer: with 8 data peers each charging a 10 ms service delay, the
+// concurrent fetch must beat the sequential one by at least 2× (it
+// lands near 8× when the scheduler cooperates; 2× leaves headroom for
+// loaded CI machines).
+func TestFanoutWallClockSpeedup(t *testing.T) {
+	r, err := FanoutWallClock(8, 10*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("fanout: %s", r.JSONLine())
+	if r.Speedup < 2 {
+		t.Errorf("concurrent fan-out speedup %.2fx, want >= 2x (seq %.1fms, conc %.1fms)",
+			r.Speedup, r.SequentialMS, r.ConcurrentMS)
+	}
+}

@@ -48,7 +48,7 @@ type Plan struct {
 
 // Plan estimates both strategies for the statement.
 func (e *Adaptive) Plan(stmt *sqldb.SelectStmt) (*Plan, error) {
-	accesses, _, err := resolveAccess(e.B, stmt)
+	accesses, _, err := resolveAccess(e.B, stmt, e.Opts.FanoutWidth)
 	if err != nil {
 		return nil, err
 	}

@@ -47,6 +47,11 @@ type JoinTask struct {
 	// local columns.
 	Shipped         []sqlval.Row
 	ShippedBindings []sqldb.Binding
+	// ShippedBytes is the encoded size of Shipped, computed once per
+	// join level at the sender so per-node dispatch and cost accounting
+	// need not re-encode the replicated rows for every processing node.
+	// Zero means "unknown; measure locally".
+	ShippedBytes int64
 	// LocalBinding describes the local partition's columns in the
 	// combined layout.
 	LocalBinding sqldb.Binding
@@ -134,6 +139,13 @@ type Options struct {
 	// false (default) keeps BestPeer++'s push transfers; true adds the
 	// MapReduce-style pull delay to every fetch round.
 	SimulatePullTransfer bool
+	// FanoutWidth bounds the concurrent remote calls per fan-out round
+	// (subquery fetches, replicated-join dispatch, table resolution).
+	// 0 selects min(DefaultFanoutWidth, #targets), the paper's 20
+	// fetch threads (§6.1.2); 1 forces sequential execution — the
+	// ablation baseline the determinism tests and benchmarks compare
+	// against.
+	FanoutWidth int
 }
 
 // tableAccess is one FROM entry's resolved access plan.
@@ -147,8 +159,10 @@ type tableAccess struct {
 }
 
 // resolveAccess locates data owners and builds push-down plans for every
-// FROM entry.
-func resolveAccess(b Backend, stmt *sqldb.SelectStmt) ([]*tableAccess, []sqldb.Expr, error) {
+// FROM entry. The per-table Locate calls — index lookups that may fall
+// back to probing every participant — fan out concurrently with the
+// given width.
+func resolveAccess(b Backend, stmt *sqldb.SelectStmt, width int) ([]*tableAccess, []sqldb.Expr, error) {
 	schemas := make([]*sqldb.Schema, len(stmt.From))
 	for i, ref := range stmt.From {
 		s := b.Schema(ref.Table)
@@ -158,25 +172,28 @@ func resolveAccess(b Backend, stmt *sqldb.SelectStmt) ([]*tableAccess, []sqldb.E
 		schemas[i] = s
 	}
 	perTable, cross := sqldb.SplitConjunctsPerTable(stmt.Where, stmt.From, schemas)
-	out := make([]*tableAccess, len(stmt.From))
-	for i, ref := range stmt.From {
+	out, err := FanOut(width, len(stmt.From), func(i int) (*tableAccess, error) {
+		ref := stmt.From[i]
 		cols := sqldb.NeededColumns(stmt, ref, schemas[i])
 		sub, err := sqldb.SubSchema(schemas[i], cols)
 		if err != nil {
-			return nil, nil, err
+			return nil, err
 		}
 		loc, err := b.Locate(ref.Table, perTable[i], cols)
 		if err != nil {
-			return nil, nil, err
+			return nil, err
 		}
-		out[i] = &tableAccess{
+		return &tableAccess{
 			ref:       ref,
 			schema:    schemas[i],
 			columns:   cols,
 			subSchema: sub,
 			conjuncts: perTable[i],
 			loc:       loc,
-		}
+		}, nil
+	})
+	if err != nil {
+		return nil, nil, err
 	}
 	return out, cross, nil
 }

@@ -43,19 +43,28 @@ func (e *Basic) fetch(a *tableAccess, bloomCol string, bloom *Bloom) (*fetchRoun
 	stmt := sqldb.BuildSubQuery(a.ref, a.columns, a.conjuncts)
 	round := &fetchRound{peerCount: len(a.loc.Peers)}
 	rates := e.B.Rates()
+	req := SubQueryRequest{Stmt: stmt, User: e.User, Timestamp: e.Timestamp}
+	if bloom != nil && !e.Opts.DisableBloomJoin {
+		req.BloomColumn = bloomCol
+		req.Bloom = bloom
+	}
+	results, err := FanOut(e.Opts.FanoutWidth, len(a.loc.Peers), func(i int) (*sqldb.Result, error) {
+		return e.B.SubQuery(a.loc.Peers[i], req)
+	})
+	if err != nil {
+		return nil, err
+	}
+	var total int
+	for _, res := range results {
+		total += len(res.Rows)
+	}
+	round.rows = make([]sqlval.Row, 0, total)
 	var remote vtime.Cost
 	var inboundBytes int64
-	for _, peer := range a.loc.Peers {
-		req := SubQueryRequest{Stmt: stmt, User: e.User, Timestamp: e.Timestamp}
-		if bloom != nil && !e.Opts.DisableBloomJoin {
-			req.BloomColumn = bloomCol
-			req.Bloom = bloom
+	for _, res := range results {
+		if req.Bloom != nil {
 			// The filter itself ships to the peer.
-			round.cost = round.cost.Add(rates.NetTransfer(bloom.SizeBytes()))
-		}
-		res, err := e.B.SubQuery(peer, req)
-		if err != nil {
-			return nil, err
+			round.cost = round.cost.Add(rates.NetTransfer(req.Bloom.SizeBytes()))
 		}
 		round.rows = append(round.rows, res.Rows...)
 		round.fetched += res.Stats.BytesReturned
@@ -86,7 +95,7 @@ func (e *Basic) execute(stmt *sqldb.SelectStmt) (*QueryResult, error) {
 		e.Timestamp = e.B.QueryTimestamp()
 	}
 	rates := e.B.Rates()
-	accesses, cross, err := resolveAccess(e.B, stmt)
+	accesses, cross, err := resolveAccess(e.B, stmt, e.Opts.FanoutWidth)
 	if err != nil {
 		return nil, err
 	}
@@ -137,14 +146,17 @@ func (e *Basic) execute(stmt *sqldb.SelectStmt) (*QueryResult, error) {
 		if d, ok, err := DecomposeAggregates(stmt, func(t string) *sqldb.Schema { return e.B.Schema(t) }); err != nil {
 			return nil, err
 		} else if ok {
+			req := SubQueryRequest{Stmt: d.Partial, User: e.User, Timestamp: e.Timestamp}
+			results, err := FanOut(e.Opts.FanoutWidth, len(a.loc.Peers), func(i int) (*sqldb.Result, error) {
+				return e.B.SubQuery(a.loc.Peers[i], req)
+			})
+			if err != nil {
+				return nil, err
+			}
 			var partialRows []sqlval.Row
 			var remote vtime.Cost
 			var inbound int64
-			for _, peer := range a.loc.Peers {
-				res, err := e.B.SubQuery(peer, SubQueryRequest{Stmt: d.Partial, User: e.User, Timestamp: e.Timestamp})
-				if err != nil {
-					return nil, err
-				}
+			for _, res := range results {
 				partialRows = append(partialRows, res.Rows...)
 				qr.SubQueries++
 				qr.BytesFetched += res.Stats.BytesReturned
@@ -177,6 +189,9 @@ func (e *Basic) execute(stmt *sqldb.SelectStmt) (*QueryResult, error) {
 	rows := round.rows
 	qr.addRound(round)
 	pending := cross
+	// rowsBytes caches bytesOf(rows), measured once per working set, so
+	// the per-level and final CPU charges don't re-encode the same rows.
+	var rowsBytes int64
 
 	for i := 1; i < len(accesses); i++ {
 		a := accesses[i]
@@ -216,18 +231,22 @@ func (e *Basic) execute(stmt *sqldb.SelectStmt) (*QueryResult, error) {
 			return nil, err
 		}
 		cur = next
+		rowsBytes = bytesOf(rows)
 		// Final processing happens on the submitting peer's single node.
-		qr.Cost = qr.Cost.Add(rates.CPUWork(bytesOf(rows)))
+		qr.Cost = qr.Cost.Add(rates.CPUWork(rowsBytes))
 	}
 	if len(pending) > 0 {
 		return nil, fmt.Errorf("engine: unresolvable predicate %s", sqldb.AndAll(pending))
+	}
+	if len(accesses) == 1 {
+		rowsBytes = bytesOf(rows) // no join level measured the seed
 	}
 
 	res, err := sqldb.ProjectRows(stmt, cur, rows)
 	if err != nil {
 		return nil, err
 	}
-	qr.Cost = qr.Cost.Add(rates.CPUWork(bytesOf(rows)))
+	qr.Cost = qr.Cost.Add(rates.CPUWork(rowsBytes))
 	qr.Result = res
 	return qr, nil
 }
@@ -268,8 +287,8 @@ func worstIndexKind(accesses []*tableAccess) indexer.IndexKind {
 // combined binding list. Empty keys produce the cartesian product.
 func hashJoin(lb []sqldb.Binding, lrows []sqlval.Row, rb []sqldb.Binding, rrows []sqlval.Row, lkeys, rkeys []sqldb.Expr) ([]sqlval.Row, []sqldb.Binding, error) {
 	next := append(append([]sqldb.Binding{}, lb...), rb...)
-	var out []sqlval.Row
 	if len(lkeys) == 0 {
+		out := make([]sqlval.Row, 0, len(lrows)*len(rrows))
 		for _, l := range lrows {
 			for _, r := range rrows {
 				out = append(out, combinedRow(l, r))
@@ -277,6 +296,9 @@ func hashJoin(lb []sqldb.Binding, lrows []sqlval.Row, rb []sqldb.Binding, rrows 
 		}
 		return out, next, nil
 	}
+	// Equi-joins here are foreign-key shaped (TPC-H), so the output is
+	// near the probe side's cardinality; size the slice accordingly.
+	out := make([]sqlval.Row, 0, len(lrows))
 	build := make(map[uint64][]sqlval.Row, len(rrows))
 	for _, r := range rrows {
 		h, err := sqldb.JoinKeyHash(rb, rkeys, r)

@@ -1,0 +1,162 @@
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"reflect"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"bestpeer/internal/sqldb"
+)
+
+// TestFanOutIndexOrderedSlots proves the slots come back in index order
+// regardless of completion order: later indexes finish first.
+func TestFanOutIndexOrderedSlots(t *testing.T) {
+	const n = 16
+	got, err := FanOut(n, n, func(i int) (int, error) {
+		time.Sleep(time.Duration(n-i) * time.Millisecond)
+		return i, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("slot %d holds %d", i, v)
+		}
+	}
+}
+
+// TestFanOutLowestIndexErrorWins proves the deterministic error choice:
+// whatever completes first, the error at the lowest index is returned —
+// the same one the sequential loop would have surfaced — so a data
+// owner's ErrSnapshotNewer keeps winning (Definition 2 resubmission).
+func TestFanOutLowestIndexErrorWins(t *testing.T) {
+	late := fmt.Errorf("wrapped: %w", ErrSnapshotNewer)
+	early := errors.New("fast unrelated failure")
+	for trial := 0; trial < 5; trial++ {
+		_, err := FanOut(8, 8, func(i int) (int, error) {
+			switch i {
+			case 2:
+				time.Sleep(20 * time.Millisecond) // slow, lowest-index error
+				return 0, late
+			case 6:
+				return 0, early // fails immediately
+			}
+			return i, nil
+		})
+		if !errors.Is(err, ErrSnapshotNewer) {
+			t.Fatalf("trial %d: got %v, want the index-2 snapshot error", trial, err)
+		}
+	}
+}
+
+// TestFanOutWidthOneIsSequential proves the ablation baseline stops at
+// the first error without issuing later calls.
+func TestFanOutWidthOneIsSequential(t *testing.T) {
+	var calls atomic.Int32
+	boom := errors.New("boom")
+	_, err := FanOut(1, 8, func(i int) (int, error) {
+		calls.Add(1)
+		if i == 3 {
+			return 0, boom
+		}
+		return i, nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+	if got := calls.Load(); got != 4 {
+		t.Fatalf("sequential path issued %d calls, want 4", got)
+	}
+}
+
+// barrierBackend wraps the TPC-H test backend with a rendezvous: every
+// SubQuery blocks until all data owners' calls are in flight at once,
+// so the query can only complete when the engine drives the owners from
+// multiple goroutines. A sequential engine deadlocks and trips the
+// timeout error instead.
+type barrierBackend struct {
+	*testBackend
+	want    int32
+	arrived atomic.Int32
+	release chan struct{}
+}
+
+func (b *barrierBackend) SubQuery(peer string, req SubQueryRequest) (*sqldb.Result, error) {
+	if b.arrived.Add(1) == b.want {
+		close(b.release)
+	}
+	select {
+	case <-b.release:
+	case <-time.After(10 * time.Second):
+		return nil, fmt.Errorf("fan-out barrier: call to %s alone in flight; engine is not concurrent", peer)
+	}
+	return b.testBackend.SubQuery(peer, req)
+}
+
+// TestBasicFetchRunsConcurrently proves the fetch round really
+// dispatches to all data owners at once (§5.2's parallel fetch).
+func TestBasicFetchRunsConcurrently(t *testing.T) {
+	inner, _ := newTPCHBackend(t, 8, 0.001)
+	b := &barrierBackend{testBackend: inner, want: 8, release: make(chan struct{})}
+	stmt, err := sqldb.ParseSelect("SELECT l_orderkey FROM lineitem")
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := &Basic{B: b}
+	qr, err := e.Execute(stmt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if qr.SubQueries != 8 {
+		t.Fatalf("SubQueries = %d, want 8", qr.SubQueries)
+	}
+}
+
+// TestConcurrentExecutionDeterministic proves the tentpole invariant:
+// concurrent fan-out produces byte-for-byte the same rows, virtual-time
+// cost, and pay-as-you-go charge as the sequential loops it replaced,
+// for every paper query on both distributed engines.
+func TestConcurrentExecutionDeterministic(t *testing.T) {
+	b, _ := newTPCHBackend(t, 4, 0.002)
+	for name, q := range paperQueries() {
+		stmt, err := sqldb.ParseSelect(q)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		engines := map[string]func(Options) interface {
+			Execute(*sqldb.SelectStmt) (*QueryResult, error)
+		}{
+			"basic":    func(o Options) interface{ Execute(*sqldb.SelectStmt) (*QueryResult, error) } { return &Basic{B: b, Opts: o} },
+			"parallel": func(o Options) interface{ Execute(*sqldb.SelectStmt) (*QueryResult, error) } { return &Parallel{B: b, Opts: o} },
+		}
+		for ename, mk := range engines {
+			seq, err := mk(Options{FanoutWidth: 1}).Execute(stmt)
+			if err != nil {
+				t.Fatalf("%s on sequential %s: %v", name, ename, err)
+			}
+			conc, err := mk(Options{}).Execute(stmt)
+			if err != nil {
+				t.Fatalf("%s on concurrent %s: %v", name, ename, err)
+			}
+			if !reflect.DeepEqual(seq.Result.Rows, conc.Result.Rows) {
+				t.Errorf("%s/%s: concurrent rows differ from sequential", name, ename)
+			}
+			if !reflect.DeepEqual(seq.Result.Columns, conc.Result.Columns) {
+				t.Errorf("%s/%s: columns differ", name, ename)
+			}
+			if seq.Cost != conc.Cost {
+				t.Errorf("%s/%s: cost %v != %v", name, ename, seq.Cost, conc.Cost)
+			}
+			if seq.PayGoUnits != conc.PayGoUnits {
+				t.Errorf("%s/%s: paygo %v != %v", name, ename, seq.PayGoUnits, conc.PayGoUnits)
+			}
+			if seq.SubQueries != conc.SubQueries || seq.BytesFetched != conc.BytesFetched || seq.BytesScanned != conc.BytesScanned {
+				t.Errorf("%s/%s: counters differ: %+v vs %+v", name, ename, seq, conc)
+			}
+		}
+	}
+}

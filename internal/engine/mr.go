@@ -42,7 +42,7 @@ func (e *MapReduce) execute(stmt *sqldb.SelectStmt) (*QueryResult, error) {
 		e.Timestamp = e.B.QueryTimestamp()
 	}
 	rates := e.B.Rates()
-	accesses, cross, err := resolveAccess(e.B, stmt)
+	accesses, cross, err := resolveAccess(e.B, stmt, e.Opts.FanoutWidth)
 	if err != nil {
 		return nil, err
 	}
@@ -59,19 +59,23 @@ func (e *MapReduce) execute(stmt *sqldb.SelectStmt) (*QueryResult, error) {
 	}
 
 	// splitsFor pulls one table's partitions as input splits (the
-	// mapper-side DB connector: local SQL push-down per peer).
+	// mapper-side DB connector: local SQL push-down per peer, all
+	// connectors reading concurrently like HadoopDB's mappers).
 	splitsFor := func(a *tableAccess, sub *sqldb.SelectStmt) ([]mapreduce.Split, error) {
-		var splits []mapreduce.Split
-		for _, peer := range a.loc.Peers {
-			res, err := e.B.SubQuery(peer, SubQueryRequest{Stmt: sub, User: e.User, Timestamp: e.Timestamp})
-			if err != nil {
-				return nil, err
-			}
+		req := SubQueryRequest{Stmt: sub, User: e.User, Timestamp: e.Timestamp}
+		results, err := FanOut(e.Opts.FanoutWidth, len(a.loc.Peers), func(i int) (*sqldb.Result, error) {
+			return e.B.SubQuery(a.loc.Peers[i], req)
+		})
+		if err != nil {
+			return nil, err
+		}
+		splits := make([]mapreduce.Split, 0, len(results))
+		for i, res := range results {
 			qr.SubQueries++
 			qr.BytesScanned += res.Stats.BytesScanned
 			qr.BytesFetched += res.Stats.BytesReturned
 			splits = append(splits, mapreduce.Split{
-				Source: peer,
+				Source: a.loc.Peers[i],
 				Rows:   res.Rows,
 				Bytes:  res.Stats.BytesScanned,
 			})

@@ -38,7 +38,7 @@ func (e *Parallel) execute(stmt *sqldb.SelectStmt) (*QueryResult, error) {
 		e.Timestamp = e.B.QueryTimestamp()
 	}
 	rates := e.B.Rates()
-	accesses, cross, err := resolveAccess(e.B, stmt)
+	accesses, cross, err := resolveAccess(e.B, stmt, e.Opts.FanoutWidth)
 	if err != nil {
 		return nil, err
 	}
@@ -76,6 +76,10 @@ func (e *Parallel) execute(stmt *sqldb.SelectStmt) (*QueryResult, error) {
 	}
 	qr.addRound(seed)
 	shipped := seed.rows
+	// shippedBytes caches bytesOf(shipped), re-measured only when a new
+	// intermediate result replaces it, so broadcast costs and the final
+	// CPU charge don't re-encode the same rows.
+	shippedBytes := bytesOf(shipped)
 	shippedBindings := []sqldb.Binding{{Alias: accesses[0].ref.Alias, Schema: accesses[0].subSchema}}
 	pending := cross
 
@@ -119,17 +123,19 @@ func (e *Parallel) execute(stmt *sqldb.SelectStmt) (*QueryResult, error) {
 		// Replicate the intermediate result to every partition of T_i
 		// and run the joins in parallel (cost: the broadcast serializes
 		// at the sender, W(i) = t(T_i)·s(i+1); the node joins run in
-		// parallel).
-		shippedBytes := bytesOf(shipped)
+		// parallel — and really do, through the fan-out pool).
+		task.ShippedBytes = shippedBytes
 		qr.Cost = qr.Cost.Add(rates.NetTransfer(shippedBytes * int64(len(a.loc.Peers))))
+		results, err := FanOut(e.Opts.FanoutWidth, len(a.loc.Peers), func(i int) (*sqldb.Result, error) {
+			return e.B.JoinAt(a.loc.Peers[i], task)
+		})
+		if err != nil {
+			return nil, err
+		}
 		var nodeCost vtime.Cost
 		var nextRows []sqlval.Row
 		var inbound int64
-		for _, peer := range a.loc.Peers {
-			res, err := e.B.JoinAt(peer, task)
-			if err != nil {
-				return nil, err
-			}
+		for _, res := range results {
 			qr.SubQueries++
 			qr.BytesScanned += res.Stats.BytesScanned
 			qr.BytesFetched += res.Stats.BytesReturned
@@ -147,6 +153,7 @@ func (e *Parallel) execute(stmt *sqldb.SelectStmt) (*QueryResult, error) {
 			break
 		}
 		shipped = nextRows
+		shippedBytes = bytesOf(shipped)
 		shippedBindings = combined
 		pending = stillPending
 	}
@@ -163,7 +170,7 @@ func (e *Parallel) execute(stmt *sqldb.SelectStmt) (*QueryResult, error) {
 			if err != nil {
 				return nil, err
 			}
-			qr.Cost = qr.Cost.Add(rates.CPUWork(bytesOf(shipped)))
+			qr.Cost = qr.Cost.Add(rates.CPUWork(shippedBytes))
 			qr.Result = res
 			return qr, nil
 		}
@@ -180,7 +187,7 @@ func (e *Parallel) execute(stmt *sqldb.SelectStmt) (*QueryResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	qr.Cost = qr.Cost.Add(rates.CPUWork(bytesOf(shipped)))
+	qr.Cost = qr.Cost.Add(rates.CPUWork(shippedBytes))
 	qr.Result = res
 	return qr, nil
 }

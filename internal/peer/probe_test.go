@@ -1,0 +1,63 @@
+package peer
+
+import (
+	"fmt"
+	"testing"
+
+	"bestpeer/internal/tpch"
+)
+
+// probeEnvPeers joins n peers holding TPC-H partitions with NO indexes
+// published, so Locate must fall back to probing every participant.
+func probeEnvPeers(t *testing.T, n int) (Env, []*Peer) {
+	t.Helper()
+	env := testEnv(t)
+	peers := make([]*Peer, n)
+	for i := range peers {
+		p, err := Join(fmt.Sprintf("peer-%02d", i), env)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sc := tpch.Scale{ScaleFactor: 0.002, Peer: i, NumPeers: n, NationKey: -1}
+		if err := tpch.Generate(p.DB(), sc); err != nil {
+			t.Fatal(err)
+		}
+		peers[i] = p
+	}
+	return env, peers
+}
+
+// TestProbeParticipantsSkipsUnreachablePeers: a participant that crashed
+// between the bootstrap's online check and the probe call is skipped —
+// the locate degrades to the answering peers instead of aborting.
+func TestProbeParticipantsSkipsUnreachablePeers(t *testing.T) {
+	env, peers := probeEnvPeers(t, 3)
+	// Down at the transport only: the bootstrap still believes the peer
+	// is online, so the probe is attempted and fails.
+	env.Net.SetDown("peer-02", true)
+	loc, err := peers[0].Locate(tpch.LineItem, nil, nil)
+	if err != nil {
+		t.Fatalf("locate should degrade gracefully, got %v", err)
+	}
+	if len(loc.Peers) != 2 {
+		t.Fatalf("located %v, want the two reachable owners", loc.Peers)
+	}
+	for _, id := range loc.Peers {
+		if id == "peer-02" {
+			t.Fatalf("down peer listed as data owner: %v", loc.Peers)
+		}
+	}
+}
+
+// TestProbeParticipantsErrorsWhenNoPeerAnswers: when every probe fails
+// the locate must surface an error rather than silently reporting the
+// table as absent.
+func TestProbeParticipantsErrorsWhenNoPeerAnswers(t *testing.T) {
+	env, peers := probeEnvPeers(t, 3)
+	for i := 0; i < 3; i++ {
+		env.Net.SetDown(fmt.Sprintf("peer-%02d", i), true)
+	}
+	if _, err := peers[0].Locate(tpch.LineItem, nil, nil); err == nil {
+		t.Fatal("expected an error when no participant answered any probe")
+	}
+}

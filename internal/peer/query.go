@@ -101,24 +101,52 @@ func (p *Peer) Locate(table string, conjuncts []sqldb.Expr, columns []string) (i
 }
 
 // probeParticipants asks every online participant whether it holds the
-// table (the unindexed fallback). The result is not cached: partial
-// indexing trades lookup traffic for index size.
+// table (the unindexed fallback), probing all of them concurrently.
+// The result is not cached: partial indexing trades lookup traffic for
+// index size. A participant whose probe fails — crashed between the
+// bootstrap's online check and the call, say — is skipped so one down
+// peer cannot abort the whole locate; the probe only errors when no
+// participant answered at all.
 func (p *Peer) probeParticipants(table string) (indexer.Location, error) {
 	loc := indexer.Location{Kind: indexer.KindNone}
+	var ids []string
 	for _, id := range p.env.Bootstrap.Peers() {
 		if id == "" || !p.env.Bootstrap.Online(id) {
 			continue
 		}
-		reply, err := p.ep.Call(id, MsgHasTable, table, int64(len(table)))
+		ids = append(ids, id)
+	}
+	type probe struct {
+		entry indexer.TableEntry
+		err   error
+	}
+	// The per-probe error travels in the slot so FanOut drains every
+	// probe instead of failing the round.
+	probes, _ := engine.FanOut(0, len(ids), func(i int) (probe, error) {
+		reply, err := p.ep.Call(ids[i], MsgHasTable, table, int64(len(table)))
 		if err != nil {
-			return loc, err
+			return probe{err: err}, nil
 		}
-		entry := reply.Payload.(indexer.TableEntry)
-		if entry.Rows == 0 && entry.Bytes == 0 {
+		return probe{entry: reply.Payload.(indexer.TableEntry)}, nil
+	})
+	var firstErr error
+	answered := 0
+	for i, pr := range probes {
+		if pr.err != nil {
+			if firstErr == nil {
+				firstErr = pr.err
+			}
 			continue
 		}
-		loc.Peers = append(loc.Peers, id)
-		loc.Entries = append(loc.Entries, entry)
+		answered++
+		if pr.entry.Rows == 0 && pr.entry.Bytes == 0 {
+			continue
+		}
+		loc.Peers = append(loc.Peers, ids[i])
+		loc.Entries = append(loc.Entries, pr.entry)
+	}
+	if answered == 0 && firstErr != nil {
+		return loc, fmt.Errorf("peer %s: probing participants for %s: %w", p.id, table, firstErr)
 	}
 	if len(loc.Peers) > 0 {
 		loc.Kind = indexer.KindTable
@@ -155,9 +183,11 @@ func (p *Peer) SubQuery(peerID string, req engine.SubQueryRequest) (*sqldb.Resul
 // JoinAt implements engine.Backend: dispatch a replicated-join task to
 // a processing node.
 func (p *Peer) JoinAt(peerID string, task engine.JoinTask) (*sqldb.Result, error) {
-	var size int64 = 64
-	for _, r := range task.Shipped {
-		size += int64(r.EncodedSize())
+	size := int64(64) + task.ShippedBytes
+	if task.ShippedBytes == 0 {
+		for _, r := range task.Shipped {
+			size += int64(r.EncodedSize())
+		}
 	}
 	reply, err := p.ep.Call(peerID, MsgJoinTask, task, size)
 	if err != nil {

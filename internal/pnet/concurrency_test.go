@@ -1,0 +1,75 @@
+package pnet
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// TestConcurrentCallHandleSetDown hammers the substrate the way the
+// concurrent engines now drive it: many goroutines calling into the
+// same endpoints while peers flap down/up and handlers are re-registered
+// (fail-over re-wires handlers live). Run under -race; the assertions
+// only check that replies are intact and errors are the documented ones.
+func TestConcurrentCallHandleSetDown(t *testing.T) {
+	n := NewNetwork()
+	const peers = 8
+	const rounds = 300
+	echo := func(msg Message) (Message, error) {
+		return Message{Payload: msg.Payload, Size: msg.Size}, nil
+	}
+	eps := make([]*Endpoint, peers)
+	for i := range eps {
+		eps[i] = n.Join(fmt.Sprintf("p%d", i))
+		eps[i].Handle("echo", echo)
+	}
+
+	var wg sync.WaitGroup
+	for g := 0; g < 12; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for k := 0; k < rounds; k++ {
+				from := eps[(g+k)%peers]
+				to := fmt.Sprintf("p%d", (g*5+k)%peers)
+				reply, err := from.Call(to, "echo", k, 8)
+				if err != nil {
+					if !errors.Is(err, ErrPeerDown) {
+						t.Errorf("call %s->%s: %v", from.ID(), to, err)
+					}
+					continue
+				}
+				if reply.Payload.(int) != k {
+					t.Errorf("echo mangled: got %v want %d", reply.Payload, k)
+				}
+			}
+		}(g)
+	}
+	// Flap peers down and up while calls are in flight.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for k := 0; k < rounds; k++ {
+			id := fmt.Sprintf("p%d", k%peers)
+			n.SetDown(id, true)
+			if n.IsDown(id) {
+				n.SetDown(id, false)
+			}
+		}
+	}()
+	// Re-register handlers live, as fail-over does.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for k := 0; k < rounds; k++ {
+			eps[k%peers].Handle("echo", echo)
+			_ = n.Peers()
+		}
+	}()
+	wg.Wait()
+
+	if s := n.Stats(); s.Messages == 0 || s.BytesSent == 0 {
+		t.Errorf("no traffic accounted: %+v", s)
+	}
+}
