@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: verify build vet test race bench fanout
+.PHONY: verify build vet test race bench fanout bench-telemetry
 
 verify: build vet race
 
@@ -12,6 +12,7 @@ build:
 
 vet:
 	$(GO) vet ./...
+	$(GO) vet -structtag -copylocks ./internal/telemetry/ ./internal/pnet/
 
 test:
 	$(GO) test ./...
@@ -26,3 +27,8 @@ bench:
 # Wall-clock fan-out comparison; refreshes the trajectory file.
 fanout:
 	$(GO) run ./cmd/bpbench -fig fanout | tee BENCH_fanout.json
+
+# Wall-clock telemetry instrumentation overhead on the fig-6 workload;
+# refreshes the trajectory file. Expected overhead_pct < 2.
+bench-telemetry:
+	$(GO) run ./cmd/bpbench -fig telemetry | tee BENCH_telemetry.json

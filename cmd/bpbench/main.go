@@ -3,11 +3,13 @@
 //
 // Usage:
 //
-//	bpbench [-fig all|6|7|8|9|10|11|12|13|14|ablations|fanout] [-nodes 10,20,50] [-sf 0.0004]
+//	bpbench [-fig all|6|7|8|9|10|11|12|13|14|ablations|fanout|telemetry] [-nodes 10,20,50] [-sf 0.0004]
 //
-// The "fanout" experiment is the only wall-clock one: it compares
+// Two experiments are wall-clock rather than vtime: "fanout" compares
 // sequential vs concurrent multi-peer fetch under an injected per-call
-// service delay and prints a JSON line for BENCH_fanout.json.
+// service delay (JSON line for BENCH_fanout.json), and "telemetry"
+// measures the instrumentation overhead of the metrics/tracing layer on
+// the fig-6 workload (JSON line for BENCH_telemetry.json).
 package main
 
 import (
@@ -25,6 +27,8 @@ func main() {
 	fig := flag.String("fig", "all", "figure to regenerate (6..14, 'ablations', 'fanout', or 'all')")
 	fanoutPeers := flag.Int("fanout-peers", 8, "data peers for the wall-clock fan-out comparison")
 	fanoutDelay := flag.Duration("fanout-delay", 10*time.Millisecond, "per-call service delay for the fan-out comparison")
+	telemetryPeers := flag.Int("telemetry-peers", 4, "peers for the telemetry overhead measurement")
+	telemetryQueries := flag.Int("telemetry-queries", 50, "queries per timed batch for the telemetry overhead measurement")
 	nodes := flag.String("nodes", "10,20,50", "comma-separated cluster sizes")
 	sf := flag.Float64("sf", 0.0004, "TPC-H scale factor contributed per node")
 	seed := flag.Int64("seed", 1, "throughput simulator seed")
@@ -51,6 +55,16 @@ func main() {
 		r, err := bench.FanoutWallClock(*fanoutPeers, *fanoutDelay)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "bpbench: fanout: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Println(r.JSONLine())
+		return
+	}
+
+	if *fig == "telemetry" {
+		r, err := bench.TelemetryOverhead(*telemetryPeers, *telemetryQueries)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bpbench: telemetry: %v\n", err)
 			os.Exit(1)
 		}
 		fmt.Println(r.JSONLine())

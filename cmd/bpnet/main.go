@@ -12,6 +12,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"time"
 
 	"bestpeer"
@@ -66,7 +67,11 @@ func main() {
 	if err := net.CrashPeer(victim); err != nil {
 		fail(err)
 	}
-	fmt.Printf("\n%s crashed; running maintenance epoch ...\n", victim)
+	fmt.Printf("\n%s crashed; a query that still targets it fails fast:\n", victim)
+	if _, qerr := net.Query(0, "SELECT COUNT(*) FROM orders", bestpeer.QueryOptions{}); qerr != nil {
+		fmt.Printf("  query during outage: %v\n", qerr)
+	}
+	fmt.Println("running maintenance epoch ...")
 	if err := net.RunMaintenance(time.Minute); err != nil {
 		fail(err)
 	}
@@ -99,5 +104,18 @@ func main() {
 		fmt.Printf("  [%6s] %-9s %-14s %s\n", e.At, e.Kind, e.Peer, e.Note)
 	}
 	fmt.Printf("\ncumulative network traffic: %+v\n", net.Net.Stats())
+	if errs := net.Net.PeerErrors(); len(errs) > 0 {
+		fmt.Println("per-destination delivery failures (crashes and departures leave tracks):")
+		ids := make([]string, 0, len(errs))
+		for id := range errs {
+			ids = append(ids, id)
+		}
+		sort.Strings(ids)
+		for _, id := range ids {
+			s := errs[id]
+			fmt.Printf("  %-14s total=%d (down=%d unknown=%d no-handler=%d handler=%d)\n",
+				id, s.Total(), s.PeerDown, s.UnknownPeer, s.NoHandler, s.Handler)
+		}
+	}
 	fmt.Printf("pay-as-you-go charges: $%.4f\n", net.Provider.TotalBillUSD())
 }

@@ -10,6 +10,12 @@
 //
 //	bpremote -connect 127.0.0.1:7420 -peer peer-00 \
 //	    -query "SELECT COUNT(*) FROM lineitem"
+//
+// With -telemetry, the client fetches the serving process's telemetry
+// registry (Prometheus-style text exposition) over the same TCP verb
+// surface instead of shipping a query:
+//
+//	bpremote -connect 127.0.0.1:7420 -peer peer-00 -telemetry
 package main
 
 import (
@@ -34,11 +40,14 @@ func main() {
 	connect := flag.String("connect", "", "address of a serving bpremote process")
 	target := flag.String("peer", "peer-00", "data owner peer to query")
 	query := flag.String("query", "SELECT COUNT(*) FROM lineitem", "single-table subquery to ship")
+	telemetryMode := flag.Bool("telemetry", false, "fetch the remote process's telemetry exposition instead of querying")
 	flag.Parse()
 
 	switch {
 	case *serve != "":
 		runServer(*serve, *peers, *sf)
+	case *connect != "" && *telemetryMode:
+		runTelemetry(*connect, *target)
 	case *connect != "":
 		runClient(*connect, *target, *query)
 	default:
@@ -104,6 +113,22 @@ func runClient(addr, target, query string) {
 	}
 	fmt.Printf("-- %d rows from %s over TCP (%d bytes scanned remotely)\n",
 		len(res.Rows), target, res.Stats.BytesScanned)
+}
+
+// runTelemetry asks the serving process for its metrics registry via
+// the peer.telemetry verb — the serving process answers with its
+// process-wide exposition text, so one fetch covers every peer it
+// hosts.
+func runTelemetry(addr, target string) {
+	clientNet := pnet.NewNetwork()
+	clientNet.AddRemotePeer(target, addr)
+	client := clientNet.Join("bpremote-client")
+
+	reply, err := client.Call(target, peer.MsgTelemetry, nil, 8)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Print(reply.Payload.(string))
 }
 
 func fatal(err error) {

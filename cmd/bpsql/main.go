@@ -4,13 +4,19 @@
 //
 // Usage:
 //
-//	bpsql [-peers 4] [-sf 0.01]
+//	bpsql [-peers 4] [-sf 0.01] [-trace]
+//
+// With -trace, every query prints its span tree afterwards: engine
+// rounds, rpc hops, and remote executions with wall-clock and virtual
+// time side by side. The .trace shell command toggles it at runtime.
 //
 // Shell commands:
 //
 //	.strategy basic|parallel|mapreduce|adaptive   pick the engine
 //	.explain <sql>                                access plan + engine prediction
 //	.online <aggregate sql>                       progressive online aggregation
+//	.trace on|off                                 toggle per-query span trees
+//	.metrics                                      dump the telemetry registry
 //	.peers                                        list peers and row counts
 //	.tables                                       list global tables
 //	.help                                         this help
@@ -26,12 +32,14 @@ import (
 
 	"bestpeer"
 	"bestpeer/internal/peer"
+	"bestpeer/internal/telemetry"
 	"bestpeer/internal/tpch"
 )
 
 func main() {
 	peers := flag.Int("peers", 4, "number of normal peers")
 	sf := flag.Float64("sf", 0.01, "TPC-H scale factor for the whole network")
+	trace := flag.Bool("trace", false, "print each query's span tree (wall-clock + virtual time)")
 	flag.Parse()
 
 	fmt.Fprintf(os.Stderr, "starting %d-peer BestPeer++ network with TPC-H sf=%g ...\n", *peers, *sf)
@@ -60,7 +68,19 @@ func main() {
 		case line == ".quit" || line == ".exit":
 			return
 		case line == ".help":
-			fmt.Println(".strategy basic|parallel|mapreduce|adaptive | .explain <sql> | .online <sql> | .peers | .tables | .quit")
+			fmt.Println(".strategy basic|parallel|mapreduce|adaptive | .explain <sql> | .online <sql> | .trace on|off | .metrics | .peers | .tables | .quit")
+		case line == ".metrics":
+			fmt.Print(telemetry.Default.Text())
+		case strings.HasPrefix(line, ".trace"):
+			switch strings.TrimSpace(strings.TrimPrefix(line, ".trace")) {
+			case "on":
+				*trace = true
+			case "off":
+				*trace = false
+			default:
+				fmt.Println("usage: .trace on|off")
+			}
+			fmt.Println("trace =", *trace)
 		case line == ".peers":
 			for _, p := range net.Peers() {
 				total := 0
@@ -135,6 +155,11 @@ func main() {
 			}
 			fmt.Printf("-- %d rows, engine=%s, peers=%d, virtual latency=%v\n",
 				len(res.Result.Rows), res.Engine, len(res.Peers), res.Cost.Total())
+			if *trace {
+				if tree := peer.FormatQueryTrace(res); tree != "" {
+					fmt.Print(tree)
+				}
+			}
 		}
 		fmt.Print("bestpeer> ")
 	}

@@ -11,6 +11,7 @@ import (
 	"bestpeer/internal/cloud"
 	"bestpeer/internal/pnet"
 	"bestpeer/internal/sqldb"
+	"bestpeer/internal/telemetry"
 )
 
 // PeerStatus is a normal peer's state as seen by the bootstrap.
@@ -351,6 +352,7 @@ func (b *Peer) handleUserCreated(msg pnet.Message) (pnet.Message, error) {
 // resources and notify participants of membership changes. advance is
 // the epoch length on the bootstrap's virtual clock.
 func (b *Peer) RunMaintenanceEpoch(advance time.Duration) error {
+	telemetry.Default.Counter("bootstrap_maintenance_epochs_total").Inc()
 	b.mu.Lock()
 	b.clock += advance
 	type target struct {
@@ -372,6 +374,7 @@ func (b *Peer) RunMaintenanceEpoch(advance time.Duration) error {
 		if !ok || !metrics.Healthy {
 			// Fail-over (Algorithm 1 lines 6-10): launch a replacement,
 			// restore from backup, blacklist the failed peer.
+			telemetry.Default.Counter("bootstrap_failovers_total").Inc()
 			if err := b.doFailover(tg.id); err != nil {
 				return err
 			}
@@ -390,6 +393,7 @@ func (b *Peer) RunMaintenanceEpoch(advance time.Duration) error {
 			if err != nil {
 				return err
 			}
+			telemetry.Default.Counter("bootstrap_scaleups_total").Inc()
 			b.mu.Lock()
 			b.logEvent("scaleup", tg.id, newType.Name)
 			b.mu.Unlock()
@@ -408,10 +412,15 @@ func (b *Peer) RunMaintenanceEpoch(advance time.Duration) error {
 	}
 	notify := changed || len(released) > 0
 	peers := make([]string, 0, len(b.peers))
-	for id := range b.peers {
+	online := 0
+	for id, rec := range b.peers {
 		peers = append(peers, id)
+		if rec.Status == StatusOnline {
+			online++
+		}
 	}
 	b.mu.Unlock()
+	telemetry.Default.Gauge("bootstrap_peers_online").Set(int64(online))
 	sort.Strings(released)
 	for _, id := range released {
 		// Terminate the departed/failed peer's instance if it is still

@@ -17,6 +17,8 @@ import (
 	"fmt"
 	"sync"
 	"time"
+
+	"bestpeer/internal/telemetry"
 )
 
 // InstanceType describes a virtual server class.
@@ -132,6 +134,8 @@ func (p *SimProvider) Launch(id string, typ InstanceType) (*Instance, error) {
 	inst := &Instance{ID: id, Type: typ, State: StateRunning, LaunchedAt: p.clock}
 	p.instances[id] = inst
 	p.metrics[id] = Metrics{Healthy: true}
+	telemetry.Default.Counter("cloud_instances_launched_total").Inc()
+	telemetry.Default.Gauge("cloud_instances_running").Add(1)
 	out := *inst
 	return &out, nil
 }
@@ -146,6 +150,8 @@ func (p *SimProvider) Terminate(id string) error {
 	}
 	inst.State = StateTerminated
 	delete(p.metrics, id)
+	telemetry.Default.Counter("cloud_instances_terminated_total").Inc()
+	telemetry.Default.Gauge("cloud_instances_running").Add(-1)
 	return nil
 }
 
@@ -164,6 +170,7 @@ func (p *SimProvider) ScaleUp(id string) (InstanceType, error) {
 		return inst.Type, nil
 	}
 	inst.Type = next
+	telemetry.Default.Counter("cloud_scaleups_total").Inc()
 	return next, nil
 }
 
@@ -196,6 +203,7 @@ func (p *SimProvider) Restore(id string) (Snapshot, bool) {
 func (p *SimProvider) Metrics(id string) (Metrics, bool) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
+	telemetry.Default.Counter("cloud_metric_polls_total").Inc()
 	inst, ok := p.instances[id]
 	if !ok || inst.State != StateRunning {
 		return Metrics{}, false

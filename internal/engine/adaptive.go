@@ -1,9 +1,11 @@
 package engine
 
 import (
+	"fmt"
 	"math"
 
 	"bestpeer/internal/sqldb"
+	"bestpeer/internal/telemetry"
 )
 
 // Adaptive is the pay-as-you-go adaptive query processor (§5.5,
@@ -22,6 +24,9 @@ type Adaptive struct {
 	// per-table conjuncts, typically backed by the published MHIST
 	// histograms (§5.1). Nil means no statistics (selectivity 1).
 	Selectivity func(table string, conjuncts []sqldb.Expr) float64
+	// Span is the query's parent span; the plan phase and the chosen
+	// engine's rounds open children under it. Nil disables tracing.
+	Span *telemetry.Span
 }
 
 // NewAdaptive builds an adaptive engine with default parameters derived
@@ -48,14 +53,21 @@ type Plan struct {
 
 // Plan estimates both strategies for the statement.
 func (e *Adaptive) Plan(stmt *sqldb.SelectStmt) (*Plan, error) {
-	accesses, _, err := resolveAccess(e.B, stmt, e.Opts.FanoutWidth)
+	if err := e.Opts.Validate(); err != nil {
+		return nil, err
+	}
+	sp := e.Span.StartChild("plan")
+	defer sp.End()
+	accesses, _, err := resolveAccess(e.B, stmt, e.Opts.FanoutWidth, sp)
 	if err != nil {
+		sp.SetError(err)
 		return nil, err
 	}
 	levels := e.levelsOf(accesses, stmt)
 	p := &Plan{Levels: levels}
 	if len(levels) == 0 || e.B.MR() == nil {
 		p.Engine = "parallel"
+		sp.SetAttr("engine", p.Engine)
 		return p, nil
 	}
 	p.CBP = e.Params.CBP(levels)
@@ -65,6 +77,9 @@ func (e *Adaptive) Plan(stmt *sqldb.SelectStmt) (*Plan, error) {
 	} else {
 		p.Engine = "parallel"
 	}
+	sp.SetAttr("engine", p.Engine)
+	sp.SetAttr("cbp", fmt.Sprintf("%.0f", p.CBP))
+	sp.SetAttr("cmr", fmt.Sprintf("%.0f", p.CMR))
 	return p, nil
 }
 
@@ -145,10 +160,11 @@ func (e *Adaptive) Execute(stmt *sqldb.SelectStmt) (*QueryResult, error) {
 	if err != nil {
 		return nil, err
 	}
+	telemetry.Default.Counter("engine_adaptive_choices_total", telemetry.L("engine", plan.Engine)).Inc()
 	var qr *QueryResult
 	switch plan.Engine {
 	case "mapreduce":
-		mr := &MapReduce{B: e.B, Opts: e.Opts, User: e.User}
+		mr := &MapReduce{B: e.B, Opts: e.Opts, User: e.User, Span: e.Span}
 		qr, err = mr.Execute(stmt)
 	default:
 		// The P2P branch runs the native fetch-and-process strategy —
@@ -156,7 +172,7 @@ func (e *Adaptive) Execute(stmt *sqldb.SelectStmt) (*QueryResult, error) {
 		// switches against MapReduce (§6.1.11). The replicated-join
 		// parallel engine (§5.3) remains available as an explicit
 		// strategy.
-		basic := &Basic{B: e.B, Opts: e.Opts, User: e.User}
+		basic := &Basic{B: e.B, Opts: e.Opts, User: e.User, Span: e.Span}
 		qr, err = basic.Execute(stmt)
 		if qr != nil {
 			qr.Engine = "p2p"

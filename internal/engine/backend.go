@@ -2,12 +2,14 @@ package engine
 
 import (
 	"errors"
+	"fmt"
 	"sort"
 
 	"bestpeer/internal/indexer"
 	"bestpeer/internal/mapreduce"
 	"bestpeer/internal/sqldb"
 	"bestpeer/internal/sqlval"
+	"bestpeer/internal/telemetry"
 	"bestpeer/internal/vtime"
 )
 
@@ -33,6 +35,10 @@ type SubQueryRequest struct {
 	// (bloom join, §5.2).
 	BloomColumn string
 	Bloom       *Bloom
+	// Trace is the calling round's span context; the backend attaches
+	// it to the pnet message so the data owner's execution nests under
+	// the caller's trace. Zero means "untraced".
+	Trace telemetry.SpanContext
 }
 
 // JoinTask asks a data peer to act as a processing node of the parallel
@@ -118,6 +124,9 @@ type QueryResult struct {
 	// charges the user for data retrieval, network bandwidth usages and
 	// query processing").
 	PayGoUnits float64
+	// Trace is the query's collected span tree (nil when tracing was
+	// off or the engine was driven without a root span).
+	Trace *telemetry.Trace
 }
 
 // chargePayGo computes and stores the query's Eq. 1 charge.
@@ -144,8 +153,19 @@ type Options struct {
 	// 0 selects min(DefaultFanoutWidth, #targets), the paper's 20
 	// fetch threads (§6.1.2); 1 forces sequential execution — the
 	// ablation baseline the determinism tests and benchmarks compare
-	// against.
+	// against. Negative widths are rejected by Validate.
 	FanoutWidth int
+}
+
+// Validate rejects malformed options before any remote work starts.
+// Every engine entry point calls it, so a negative FanoutWidth fails
+// loudly instead of silently selecting the default width.
+func (o Options) Validate() error {
+	if o.FanoutWidth < 0 {
+		return fmt.Errorf("engine: invalid FanoutWidth %d: must be >= 0 (0 selects the default of %d, 1 forces sequential execution)",
+			o.FanoutWidth, DefaultFanoutWidth)
+	}
+	return nil
 }
 
 // tableAccess is one FROM entry's resolved access plan.
@@ -161,8 +181,10 @@ type tableAccess struct {
 // resolveAccess locates data owners and builds push-down plans for every
 // FROM entry. The per-table Locate calls — index lookups that may fall
 // back to probing every participant — fan out concurrently with the
-// given width.
-func resolveAccess(b Backend, stmt *sqldb.SelectStmt, width int) ([]*tableAccess, []sqldb.Expr, error) {
+// given width. The round is traced as one "resolve" span under parent.
+func resolveAccess(b Backend, stmt *sqldb.SelectStmt, width int, parent *telemetry.Span) ([]*tableAccess, []sqldb.Expr, error) {
+	sp := parent.StartChild("resolve", telemetry.L("tables", fmt.Sprintf("%d", len(stmt.From))))
+	defer sp.End()
 	schemas := make([]*sqldb.Schema, len(stmt.From))
 	for i, ref := range stmt.From {
 		s := b.Schema(ref.Table)
@@ -193,6 +215,7 @@ func resolveAccess(b Backend, stmt *sqldb.SelectStmt, width int) ([]*tableAccess
 		}, nil
 	})
 	if err != nil {
+		sp.SetError(err)
 		return nil, nil, err
 	}
 	return out, cross, nil

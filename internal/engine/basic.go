@@ -6,6 +6,7 @@ import (
 	"bestpeer/internal/indexer"
 	"bestpeer/internal/sqldb"
 	"bestpeer/internal/sqlval"
+	"bestpeer/internal/telemetry"
 	"bestpeer/internal/vtime"
 )
 
@@ -24,6 +25,9 @@ type Basic struct {
 	// "stamp at Execute from the backend's clock". One engine value
 	// serves one query (Definition 2: resubmission takes a fresh stamp).
 	Timestamp uint64
+	// Span is the query's parent span (minted at Peer.Query); rounds
+	// open children under it. Nil disables tracing.
+	Span *telemetry.Span
 }
 
 // fetchRound pulls one table's rows from all its data owner peers and
@@ -40,10 +44,12 @@ type fetchRound struct {
 }
 
 func (e *Basic) fetch(a *tableAccess, bloomCol string, bloom *Bloom) (*fetchRound, error) {
+	sp := e.Span.StartChild("fetch:"+a.ref.Table, telemetry.L("peers", fmt.Sprintf("%d", len(a.loc.Peers))))
+	defer sp.End()
 	stmt := sqldb.BuildSubQuery(a.ref, a.columns, a.conjuncts)
 	round := &fetchRound{peerCount: len(a.loc.Peers)}
 	rates := e.B.Rates()
-	req := SubQueryRequest{Stmt: stmt, User: e.User, Timestamp: e.Timestamp}
+	req := SubQueryRequest{Stmt: stmt, User: e.User, Timestamp: e.Timestamp, Trace: sp.Context()}
 	if bloom != nil && !e.Opts.DisableBloomJoin {
 		req.BloomColumn = bloomCol
 		req.Bloom = bloom
@@ -52,6 +58,7 @@ func (e *Basic) fetch(a *tableAccess, bloomCol string, bloom *Bloom) (*fetchRoun
 		return e.B.SubQuery(a.loc.Peers[i], req)
 	})
 	if err != nil {
+		sp.SetError(err)
 		return nil, err
 	}
 	var total int
@@ -78,6 +85,8 @@ func (e *Basic) fetch(a *tableAccess, bloomCol string, bloom *Bloom) (*fetchRoun
 	if e.Opts.SimulatePullTransfer {
 		round.cost = round.cost.Add(rates.PullDelay(1))
 	}
+	sp.SetVTime(round.cost.Total())
+	sp.SetAttr("rows", fmt.Sprintf("%d", len(round.rows)))
 	return round, nil
 }
 
@@ -91,11 +100,14 @@ func (e *Basic) Execute(stmt *sqldb.SelectStmt) (*QueryResult, error) {
 }
 
 func (e *Basic) execute(stmt *sqldb.SelectStmt) (*QueryResult, error) {
+	if err := e.Opts.Validate(); err != nil {
+		return nil, err
+	}
 	if e.Timestamp == 0 {
 		e.Timestamp = e.B.QueryTimestamp()
 	}
 	rates := e.B.Rates()
-	accesses, cross, err := resolveAccess(e.B, stmt, e.Opts.FanoutWidth)
+	accesses, cross, err := resolveAccess(e.B, stmt, e.Opts.FanoutWidth, e.Span)
 	if err != nil {
 		return nil, err
 	}
@@ -123,8 +135,11 @@ func (e *Basic) execute(stmt *sqldb.SelectStmt) (*QueryResult, error) {
 	// Single-peer optimization: ship the whole SQL to the one peer that
 	// has everything and skip the final processing phase (§6.2.3).
 	if peer, ok := singleCommonPeer(accesses); ok && !e.Opts.DisableSinglePeer {
-		res, err := e.B.SubQuery(peer, SubQueryRequest{Stmt: stmt, User: e.User, Timestamp: e.Timestamp})
+		sp := e.Span.StartChild("single-peer", telemetry.L("peer", peer))
+		res, err := e.B.SubQuery(peer, SubQueryRequest{Stmt: stmt, User: e.User, Timestamp: e.Timestamp, Trace: sp.Context()})
 		if err != nil {
+			sp.SetError(err)
+			sp.End()
 			return nil, err
 		}
 		qr.Engine = "single-peer"
@@ -136,6 +151,8 @@ func (e *Basic) execute(stmt *sqldb.SelectStmt) (*QueryResult, error) {
 			Add(rates.DiskRead(res.Stats.BytesScanned)).
 			Add(rates.CPUWork(res.Stats.BytesScanned)).
 			Add(rates.NetTransfer(res.Stats.BytesReturned))
+		sp.SetVTime(qr.Cost.Total())
+		sp.End()
 		return qr, nil
 	}
 
@@ -146,11 +163,14 @@ func (e *Basic) execute(stmt *sqldb.SelectStmt) (*QueryResult, error) {
 		if d, ok, err := DecomposeAggregates(stmt, func(t string) *sqldb.Schema { return e.B.Schema(t) }); err != nil {
 			return nil, err
 		} else if ok {
-			req := SubQueryRequest{Stmt: d.Partial, User: e.User, Timestamp: e.Timestamp}
+			sp := e.Span.StartChild("partial-agg:"+a.ref.Table, telemetry.L("peers", fmt.Sprintf("%d", len(a.loc.Peers))))
+			req := SubQueryRequest{Stmt: d.Partial, User: e.User, Timestamp: e.Timestamp, Trace: sp.Context()}
 			results, err := FanOut(e.Opts.FanoutWidth, len(a.loc.Peers), func(i int) (*sqldb.Result, error) {
 				return e.B.SubQuery(a.loc.Peers[i], req)
 			})
 			if err != nil {
+				sp.SetError(err)
+				sp.End()
 				return nil, err
 			}
 			var partialRows []sqlval.Row
@@ -168,6 +188,8 @@ func (e *Basic) execute(stmt *sqldb.SelectStmt) (*QueryResult, error) {
 			if e.Opts.SimulatePullTransfer {
 				qr.Cost = qr.Cost.Add(rates.PullDelay(1))
 			}
+			sp.SetVTime(qr.Cost.Total())
+			sp.End()
 			merged, err := sqldb.ProjectRows(d.Merge, []sqldb.Binding{{Alias: "partial", Schema: d.PartialSchema}}, partialRows)
 			if err != nil {
 				return nil, err

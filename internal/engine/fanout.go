@@ -3,6 +3,9 @@ package engine
 import (
 	"sync"
 	"sync/atomic"
+	"time"
+
+	"bestpeer/internal/telemetry"
 )
 
 // This file is the engines' real concurrency layer. The paper's query
@@ -20,6 +23,14 @@ import (
 // fan-out round, the paper's per-peer fetch-thread count (§6.1.2: "20
 // threads are used for fetching data in parallel").
 const DefaultFanoutWidth = 20
+
+// Metric handles are resolved once; FanOut sits on every query's path.
+var (
+	fanoutRounds        = telemetry.Default.Counter("engine_fanout_rounds_total")
+	fanoutQueueWait     = telemetry.Default.Histogram("engine_fanout_queue_seconds", nil)
+	fanoutWorkersActive = telemetry.Default.Gauge("engine_fanout_workers_active")
+	fanoutPoolExhausted = telemetry.Default.Counter("engine_fanout_pool_exhausted_total")
+)
 
 // sharedPool bounds the *extra* worker goroutines across every fan-out
 // round executing in the process, so many concurrent queries cannot
@@ -94,6 +105,7 @@ func FanOut[T any](width, n int, call func(i int) (T, error)) ([]T, error) {
 	if width > n {
 		width = n
 	}
+	fanoutRounds.Inc()
 	slots := make([]T, n)
 	if width <= 1 {
 		for i := 0; i < n; i++ {
@@ -106,6 +118,11 @@ func FanOut[T any](width, n int, call func(i int) (T, error)) ([]T, error) {
 		return slots, nil
 	}
 
+	// Queue wait is the gap between the round opening and a task being
+	// picked up by a worker — the saturation signal for the shared pool.
+	roundStart := time.Now()
+	var picked atomic.Bool
+
 	errs := make([]error, n)
 	var next atomic.Int64
 	work := func() {
@@ -114,6 +131,9 @@ func FanOut[T any](width, n int, call func(i int) (T, error)) ([]T, error) {
 			if i >= n {
 				return
 			}
+			if picked.CompareAndSwap(false, true) {
+				fanoutQueueWait.ObserveDuration(time.Since(roundStart))
+			}
 			slots[i], errs[i] = call(i)
 		}
 	}
@@ -121,11 +141,14 @@ func FanOut[T any](width, n int, call func(i int) (T, error)) ([]T, error) {
 	for extra := 0; extra < width-1; extra++ {
 		tokens, ok := sharedPool.tryAcquire()
 		if !ok {
+			fanoutPoolExhausted.Inc()
 			break
 		}
 		wg.Add(1)
+		fanoutWorkersActive.Add(1)
 		go func() {
 			defer wg.Done()
+			defer fanoutWorkersActive.Add(-1)
 			defer func() { tokens <- struct{}{} }()
 			work()
 		}()

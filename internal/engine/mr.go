@@ -7,6 +7,7 @@ import (
 	"bestpeer/internal/mapreduce"
 	"bestpeer/internal/sqldb"
 	"bestpeer/internal/sqlval"
+	"bestpeer/internal/telemetry"
 )
 
 // MapReduce is the MapReduce-style engine mounted beside the native P2P
@@ -21,6 +22,9 @@ type MapReduce struct {
 	Opts      Options
 	User      string
 	Timestamp uint64
+	// Span is the query's parent span; split rounds and jobs open
+	// children under it. Nil disables tracing.
+	Span *telemetry.Span
 }
 
 // Execute runs the query as a chain of MapReduce jobs and charges it
@@ -38,11 +42,14 @@ func (e *MapReduce) execute(stmt *sqldb.SelectStmt) (*QueryResult, error) {
 	if cluster == nil {
 		return nil, fmt.Errorf("engine: MapReduce engine requested but no cluster is mounted")
 	}
+	if err := e.Opts.Validate(); err != nil {
+		return nil, err
+	}
 	if e.Timestamp == 0 {
 		e.Timestamp = e.B.QueryTimestamp()
 	}
 	rates := e.B.Rates()
-	accesses, cross, err := resolveAccess(e.B, stmt, e.Opts.FanoutWidth)
+	accesses, cross, err := resolveAccess(e.B, stmt, e.Opts.FanoutWidth, e.Span)
 	if err != nil {
 		return nil, err
 	}
@@ -62,11 +69,14 @@ func (e *MapReduce) execute(stmt *sqldb.SelectStmt) (*QueryResult, error) {
 	// mapper-side DB connector: local SQL push-down per peer, all
 	// connectors reading concurrently like HadoopDB's mappers).
 	splitsFor := func(a *tableAccess, sub *sqldb.SelectStmt) ([]mapreduce.Split, error) {
-		req := SubQueryRequest{Stmt: sub, User: e.User, Timestamp: e.Timestamp}
+		sp := e.Span.StartChild("splits:"+a.ref.Table, telemetry.L("peers", fmt.Sprintf("%d", len(a.loc.Peers))))
+		defer sp.End()
+		req := SubQueryRequest{Stmt: sub, User: e.User, Timestamp: e.Timestamp, Trace: sp.Context()}
 		results, err := FanOut(e.Opts.FanoutWidth, len(a.loc.Peers), func(i int) (*sqldb.Result, error) {
 			return e.B.SubQuery(a.loc.Peers[i], req)
 		})
 		if err != nil {
+			sp.SetError(err)
 			return nil, err
 		}
 		splits := make([]mapreduce.Split, 0, len(results))
@@ -102,7 +112,7 @@ func (e *MapReduce) execute(stmt *sqldb.SelectStmt) (*QueryResult, error) {
 		if err != nil {
 			return nil, err
 		}
-		job := mapreduce.Job{Name: "select:" + a.ref.Table, Splits: splits, Output: "/query/select"}
+		job := mapreduce.Job{Name: "select:" + a.ref.Table, Splits: splits, Output: "/query/select", Trace: e.Span.Context()}
 		res, err := cluster.Run(job)
 		if err != nil {
 			return nil, err
@@ -158,6 +168,7 @@ func (e *MapReduce) execute(stmt *sqldb.SelectStmt) (*QueryResult, error) {
 		job := mapreduce.Job{
 			Name:   fmt.Sprintf("join%d:%s", jobIndex, a.ref.Table),
 			Splits: splits,
+			Trace:  e.Span.Context(),
 			Map: func(src string, row sqlval.Row) ([]mapreduce.KV, error) {
 				side, keys, b := "L", lkeys, lb
 				if strings.HasPrefix(src, "R|") {
@@ -219,6 +230,7 @@ func (e *MapReduce) execute(stmt *sqldb.SelectStmt) (*QueryResult, error) {
 		job := mapreduce.Job{
 			Name:   "aggregate",
 			Splits: splits,
+			Trace:  e.Span.Context(),
 			Map: func(_ string, row sqlval.Row) ([]mapreduce.KV, error) {
 				key, err := routeKey(lb, groupBy, row)
 				if err != nil {
@@ -269,6 +281,7 @@ func (e *MapReduce) finishAggregate(qr *QueryResult, cluster *mapreduce.Cluster,
 	job := mapreduce.Job{
 		Name:   fmt.Sprintf("agg%d", jobIndex),
 		Splits: splits,
+		Trace:  e.Span.Context(),
 		Map: func(_ string, row sqlval.Row) ([]mapreduce.KV, error) {
 			// Partial rows start with the group columns g0..g(n-1).
 			key := groupKeyOf(row[:nGroup])

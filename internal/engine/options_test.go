@@ -1,0 +1,48 @@
+package engine
+
+import (
+	"strings"
+	"testing"
+
+	"bestpeer/internal/sqldb"
+	"bestpeer/internal/tpch"
+)
+
+// TestNegativeFanoutWidthRejected pins that a negative width fails fast
+// with a descriptive error at every engine entry point, instead of
+// silently selecting the default.
+func TestNegativeFanoutWidthRejected(t *testing.T) {
+	b, _ := newTPCHBackend(t, 2, 0.002)
+	stmt, err := sqldb.ParseSelect(tpch.Q1Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := Options{FanoutWidth: -3}
+
+	engines := map[string]interface {
+		Execute(*sqldb.SelectStmt) (*QueryResult, error)
+	}{
+		"basic":    &Basic{B: b, Opts: opts},
+		"parallel": &Parallel{B: b, Opts: opts},
+		"adaptive": NewAdaptive(b, opts, ""),
+	}
+	for name, e := range engines {
+		if _, err := e.Execute(stmt); err == nil {
+			t.Errorf("%s: negative FanoutWidth accepted", name)
+		} else if !strings.Contains(err.Error(), "invalid FanoutWidth -3") {
+			t.Errorf("%s: error %q does not name the invalid width", name, err)
+		}
+	}
+}
+
+func TestOptionsValidate(t *testing.T) {
+	if err := (Options{}).Validate(); err != nil {
+		t.Errorf("zero options should validate: %v", err)
+	}
+	if err := (Options{FanoutWidth: 20}).Validate(); err != nil {
+		t.Errorf("positive width should validate: %v", err)
+	}
+	if err := (Options{FanoutWidth: -1}).Validate(); err == nil {
+		t.Error("negative width should be rejected")
+	}
+}

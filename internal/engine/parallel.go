@@ -3,6 +3,7 @@ package engine
 import (
 	"bestpeer/internal/sqldb"
 	"bestpeer/internal/sqlval"
+	"bestpeer/internal/telemetry"
 	"bestpeer/internal/vtime"
 	"fmt"
 )
@@ -21,6 +22,9 @@ type Parallel struct {
 	Opts      Options
 	User      string
 	Timestamp uint64
+	// Span is the query's parent span; join levels open children under
+	// it. Nil disables tracing.
+	Span *telemetry.Span
 }
 
 // Execute runs the query through the processing graph and charges it
@@ -34,11 +38,14 @@ func (e *Parallel) Execute(stmt *sqldb.SelectStmt) (*QueryResult, error) {
 }
 
 func (e *Parallel) execute(stmt *sqldb.SelectStmt) (*QueryResult, error) {
+	if err := e.Opts.Validate(); err != nil {
+		return nil, err
+	}
 	if e.Timestamp == 0 {
 		e.Timestamp = e.B.QueryTimestamp()
 	}
 	rates := e.B.Rates()
-	accesses, cross, err := resolveAccess(e.B, stmt, e.Opts.FanoutWidth)
+	accesses, cross, err := resolveAccess(e.B, stmt, e.Opts.FanoutWidth, e.Span)
 	if err != nil {
 		return nil, err
 	}
@@ -58,7 +65,7 @@ func (e *Parallel) execute(stmt *sqldb.SelectStmt) (*QueryResult, error) {
 	// strategy's machinery (the processing graph degenerates to the
 	// root).
 	if len(accesses) < 2 {
-		basic := &Basic{B: e.B, Opts: e.Opts, User: e.User, Timestamp: e.Timestamp}
+		basic := &Basic{B: e.B, Opts: e.Opts, User: e.User, Timestamp: e.Timestamp, Span: e.Span}
 		res, err := basic.Execute(stmt)
 		if err != nil {
 			return nil, err
@@ -69,7 +76,7 @@ func (e *Parallel) execute(stmt *sqldb.SelectStmt) (*QueryResult, error) {
 
 	// Level L: fetch the first table's rows to the submitting peer; this
 	// seeds the intermediate result that levels L-1..1 replicate.
-	basicHelper := &Basic{B: e.B, Opts: e.Opts, User: e.User, Timestamp: e.Timestamp}
+	basicHelper := &Basic{B: e.B, Opts: e.Opts, User: e.User, Timestamp: e.Timestamp, Span: e.Span}
 	seed, err := basicHelper.fetch(accesses[0], "", nil)
 	if err != nil {
 		return nil, err
@@ -107,8 +114,10 @@ func (e *Parallel) execute(stmt *sqldb.SelectStmt) (*QueryResult, error) {
 		}
 
 		last := i == len(accesses)-1
+		sp := e.Span.StartChild(fmt.Sprintf("join-level-%d:%s", i, a.ref.Table),
+			telemetry.L("peers", fmt.Sprintf("%d", len(a.loc.Peers))))
 		task := JoinTask{
-			Local:           SubQueryRequest{Stmt: sqldb.BuildSubQuery(a.ref, a.columns, a.conjuncts), User: e.User, Timestamp: e.Timestamp},
+			Local:           SubQueryRequest{Stmt: sqldb.BuildSubQuery(a.ref, a.columns, a.conjuncts), User: e.User, Timestamp: e.Timestamp, Trace: sp.Context()},
 			Shipped:         shipped,
 			ShippedBindings: shippedBindings,
 			LocalBinding:    sqldb.Binding{Alias: a.ref.Alias, Schema: a.subSchema},
@@ -130,6 +139,8 @@ func (e *Parallel) execute(stmt *sqldb.SelectStmt) (*QueryResult, error) {
 			return e.B.JoinAt(a.loc.Peers[i], task)
 		})
 		if err != nil {
+			sp.SetError(err)
+			sp.End()
 			return nil, err
 		}
 		var nodeCost vtime.Cost
@@ -145,6 +156,9 @@ func (e *Parallel) execute(stmt *sqldb.SelectStmt) (*QueryResult, error) {
 			nextRows = append(nextRows, res.Rows...)
 		}
 		qr.Cost = qr.Cost.Add(nodeCost).Add(rates.NetMsgs(len(a.loc.Peers))).Add(rates.NetTransfer(inbound))
+		sp.SetVTime(qr.Cost.Total())
+		sp.SetAttr("rows", fmt.Sprintf("%d", len(nextRows)))
+		sp.End()
 
 		if last && task.Partial != nil {
 			partialRows = nextRows

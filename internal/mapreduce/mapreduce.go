@@ -23,9 +23,11 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"time"
 
 	"bestpeer/internal/dfs"
 	"bestpeer/internal/sqlval"
+	"bestpeer/internal/telemetry"
 	"bestpeer/internal/vtime"
 )
 
@@ -66,6 +68,10 @@ type Job struct {
 	Splits []Split
 	// Output, when non-empty, writes the job output to this DFS path.
 	Output string
+	// Trace is the submitting query's span context; the job and its
+	// map/shuffle/reduce phases open spans under it. Zero disables
+	// tracing.
+	Trace telemetry.SpanContext
 }
 
 // Result is a completed job's output and accounting.
@@ -106,6 +112,25 @@ func (c *Cluster) FS() *dfs.FileSystem { return c.fs }
 
 // Run executes one job to completion.
 func (c *Cluster) Run(job Job) (*Result, error) {
+	jsp := telemetry.StartSpan(job.Trace, "mr-job:"+job.Name,
+		telemetry.L("splits", fmt.Sprintf("%d", len(job.Splits))))
+	res, err := c.run(job, jsp)
+	if err != nil {
+		jsp.SetError(err)
+	} else {
+		jsp.SetVTime(res.Cost.Total())
+	}
+	jsp.End()
+	telemetry.Default.Counter("mapreduce_jobs_total").Inc()
+	if err == nil {
+		telemetry.Default.Counter("mapreduce_map_tasks_total").Add(int64(res.MapTasks))
+		telemetry.Default.Counter("mapreduce_reduce_tasks_total").Add(int64(res.ReduceTasks))
+		telemetry.Default.Counter("mapreduce_shuffle_bytes_total").Add(res.ShuffleBytes)
+	}
+	return res, err
+}
+
+func (c *Cluster) run(job Job, jsp *telemetry.Span) (*Result, error) {
 	mapFn := job.Map
 	if mapFn == nil {
 		mapFn = func(_ string, row sqlval.Row) ([]KV, error) {
@@ -119,6 +144,8 @@ func (c *Cluster) Run(job Job) (*Result, error) {
 
 	res := &Result{MapTasks: len(job.Splits)}
 	res.Cost = res.Cost.Add(c.rates.JobStartup(1))
+	phaseStart := time.Now()
+	msp := jsp.StartChild("map", telemetry.L("tasks", fmt.Sprintf("%d", len(job.Splits))))
 
 	// --- map phase: run tasks concurrently, capped at the worker count.
 	type mapOut struct {
@@ -159,7 +186,10 @@ func (c *Cluster) Run(job Job) (*Result, error) {
 	var wave vtime.Cost
 	for i, split := range job.Splits {
 		if outs[i].err != nil {
-			return nil, fmt.Errorf("mapreduce: %s map task %d: %w", job.Name, i, outs[i].err)
+			err := fmt.Errorf("mapreduce: %s map task %d: %w", job.Name, i, outs[i].err)
+			msp.SetError(err)
+			msp.End()
+			return nil, err
 		}
 		task := c.rates.DiskRead(split.Bytes).Add(c.rates.CPUWork(split.Bytes))
 		wave = vtime.Par(wave, task)
@@ -175,6 +205,9 @@ func (c *Cluster) Run(job Job) (*Result, error) {
 	for _, wc := range waveCosts {
 		res.Cost = res.Cost.Add(wc)
 	}
+	msp.End()
+	telemetry.Default.Histogram("mapreduce_phase_seconds", nil, telemetry.L("phase", "map")).
+		ObserveDuration(time.Since(phaseStart))
 
 	// --- map-only job: concatenate outputs in split order.
 	if job.Reduce == nil {
@@ -187,6 +220,8 @@ func (c *Cluster) Run(job Job) (*Result, error) {
 	}
 
 	// --- shuffle: hash-partition intermediate records across reducers.
+	phaseStart = time.Now()
+	ssp := jsp.StartChild("shuffle", telemetry.L("reducers", fmt.Sprintf("%d", numReducers)))
 	partitions := make([][]KV, numReducers)
 	partBytes := make([]int64, numReducers)
 	for _, o := range outs {
@@ -206,9 +241,14 @@ func (c *Cluster) Run(job Job) (*Result, error) {
 	// Reducers poll for completion events, then pull their partitions in
 	// parallel; the slowest (largest) partition is the critical path.
 	res.Cost = res.Cost.Add(c.rates.PullDelay(1)).Add(c.rates.NetTransfer(maxPart))
+	ssp.End()
+	telemetry.Default.Histogram("mapreduce_phase_seconds", nil, telemetry.L("phase", "shuffle")).
+		ObserveDuration(time.Since(phaseStart))
 
 	// --- reduce phase: group each partition by key (sorted for
 	// determinism) and fold.
+	phaseStart = time.Now()
+	rsp := jsp.StartChild("reduce", telemetry.L("tasks", fmt.Sprintf("%d", numReducers)))
 	res.ReduceTasks = numReducers
 	type redOut struct {
 		rows []sqlval.Row
@@ -254,7 +294,10 @@ func (c *Cluster) Run(job Job) (*Result, error) {
 	waveCosts = waveCosts[:0]
 	for p := 0; p < numReducers; p++ {
 		if redOuts[p].err != nil {
-			return nil, fmt.Errorf("mapreduce: %s reduce task %d: %w", job.Name, p, redOuts[p].err)
+			err := fmt.Errorf("mapreduce: %s reduce task %d: %w", job.Name, p, redOuts[p].err)
+			rsp.SetError(err)
+			rsp.End()
+			return nil, err
 		}
 		task := c.rates.CPUWork(partBytes[p])
 		reduceWave = vtime.Par(reduceWave, task)
@@ -270,6 +313,9 @@ func (c *Cluster) Run(job Job) (*Result, error) {
 	for _, wc := range waveCosts {
 		res.Cost = res.Cost.Add(wc)
 	}
+	rsp.End()
+	telemetry.Default.Histogram("mapreduce_phase_seconds", nil, telemetry.L("phase", "reduce")).
+		ObserveDuration(time.Since(phaseStart))
 	return c.finish(job, res)
 }
 

@@ -71,6 +71,17 @@ func (p *Peer) Explain(sql string) (*Explanation, error) {
 	return out, nil
 }
 
+// FormatQueryTrace renders a completed query's span tree — rounds,
+// remote executions, and rpc hops with wall-clock and virtual time side
+// by side. It returns "" when the query ran untraced (telemetry
+// disabled or the result predates tracing).
+func FormatQueryTrace(qr *engine.QueryResult) string {
+	if qr == nil || qr.Trace == nil {
+		return ""
+	}
+	return qr.Trace.Render()
+}
+
 // String renders the explanation for humans.
 func (e *Explanation) String() string {
 	var sb strings.Builder

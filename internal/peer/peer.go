@@ -26,6 +26,7 @@ import (
 	"bestpeer/internal/schemamap"
 	"bestpeer/internal/sqldb"
 	"bestpeer/internal/sqlval"
+	"bestpeer/internal/telemetry"
 	"bestpeer/internal/vtime"
 )
 
@@ -36,6 +37,7 @@ const (
 	MsgMembership = "peer.membership.changed"
 	MsgUserNew    = "peer.user.created"
 	MsgHasTable   = "peer.hastable"
+	MsgTelemetry  = "peer.telemetry"
 )
 
 // Env is the shared environment a peer joins: the message network, the
@@ -157,6 +159,13 @@ func (p *Peer) registerHandlers() {
 		defer p.mu.Unlock()
 		_ = p.acl.AssignUser(pair[0], pair[1])
 		return pnet.Message{}, nil
+	})
+	p.ep.Handle(MsgTelemetry, func(pnet.Message) (pnet.Message, error) {
+		// The exposition text of the process-wide registry, served over
+		// the same substrate every other verb uses (and relayed to other
+		// processes by the bpremote TCP surface).
+		text := telemetry.Default.Text()
+		return pnet.Message{Payload: text, Size: int64(len(text))}, nil
 	})
 }
 

@@ -10,6 +10,7 @@ import (
 	"bestpeer/internal/mapreduce"
 	"bestpeer/internal/pnet"
 	"bestpeer/internal/sqldb"
+	"bestpeer/internal/telemetry"
 	"bestpeer/internal/vtime"
 )
 
@@ -25,6 +26,19 @@ const (
 	StrategyAdaptive Strategy = "adaptive"
 )
 
+// Per-strategy query counters, resolved once: Query is the hot entry
+// point.
+var (
+	queryCounters = map[string]*telemetry.Counter{}
+	resubmissions = telemetry.Default.Counter("peer_query_resubmissions_total")
+)
+
+func init() {
+	for _, s := range []Strategy{StrategyBasic, StrategyParallel, StrategyMR, StrategyAdaptive} {
+		queryCounters[string(s)] = telemetry.Default.Counter("peer_queries_total", telemetry.L("strategy", string(s)))
+	}
+}
+
 // Query parses and executes a SQL query on behalf of user, using the
 // given strategy. It is the peer's online data flow entry point. A
 // query rejected by a data owner whose snapshot advanced past the
@@ -35,36 +49,65 @@ func (p *Peer) Query(sql, user string, strategy Strategy, opts engine.Options) (
 	if err != nil {
 		return nil, err
 	}
+	strategyName := string(strategy)
+	if strategyName == "" {
+		strategyName = string(StrategyBasic)
+	}
+	root := telemetry.StartTrace("query",
+		telemetry.L("peer", p.id), telemetry.L("strategy", strategyName))
+	defer root.End()
+	if c := queryCounters[strategyName]; c != nil {
+		c.Inc()
+	} else {
+		telemetry.Default.Counter("peer_queries_total", telemetry.L("strategy", strategyName)).Inc()
+	}
 	const maxAttempts = 3
 	var lastErr error
 	for attempt := 0; attempt < maxAttempts; attempt++ {
-		res, err := p.execute(stmt, user, strategy, opts)
+		sp := root
+		if attempt > 0 {
+			// Resubmissions (Definition 2) get their own span so retried
+			// rounds don't interleave with the first attempt's.
+			sp = root.StartChild(fmt.Sprintf("attempt-%d", attempt+1))
+		}
+		res, err := p.execute(stmt, user, strategy, opts, sp)
+		if sp != root {
+			sp.SetError(err)
+			sp.End()
+		}
 		if err == nil {
 			res.Resubmissions = attempt
+			res.Trace = root.Trace()
+			root.SetVTime(res.Cost.Total())
+			root.SetAttr("engine", res.Engine)
 			return res, nil
 		}
 		if !errors.Is(err, engine.ErrSnapshotNewer) {
+			root.SetError(err)
 			return nil, err
 		}
+		resubmissions.Inc()
 		lastErr = err
 	}
+	root.SetError(lastErr)
 	return nil, fmt.Errorf("peer %s: query kept racing loader refreshes after %d attempts: %w", p.id, maxAttempts, lastErr)
 }
 
-func (p *Peer) execute(stmt *sqldb.SelectStmt, user string, strategy Strategy, opts engine.Options) (*engine.QueryResult, error) {
+func (p *Peer) execute(stmt *sqldb.SelectStmt, user string, strategy Strategy, opts engine.Options, sp *telemetry.Span) (*engine.QueryResult, error) {
 	switch strategy {
 	case StrategyBasic, "":
-		e := &engine.Basic{B: p, Opts: opts, User: user}
+		e := &engine.Basic{B: p, Opts: opts, User: user, Span: sp}
 		return e.Execute(stmt)
 	case StrategyParallel:
-		e := &engine.Parallel{B: p, Opts: opts, User: user}
+		e := &engine.Parallel{B: p, Opts: opts, User: user, Span: sp}
 		return e.Execute(stmt)
 	case StrategyMR:
-		e := &engine.MapReduce{B: p, Opts: opts, User: user}
+		e := &engine.MapReduce{B: p, Opts: opts, User: user, Span: sp}
 		return e.Execute(stmt)
 	case StrategyAdaptive:
 		e := engine.NewAdaptive(p, opts, user)
 		e.Selectivity = p.StatsSelectivity
+		e.Span = sp
 		return e.Execute(stmt)
 	default:
 		return nil, fmt.Errorf("peer: unknown strategy %q", strategy)
@@ -173,7 +216,7 @@ func (p *Peer) SubQuery(peerID string, req engine.SubQueryRequest) (*sqldb.Resul
 	if req.Bloom != nil {
 		size += req.Bloom.SizeBytes()
 	}
-	reply, err := p.ep.Call(peerID, MsgSubQuery, req, size)
+	reply, err := p.ep.CallTraced(req.Trace, peerID, MsgSubQuery, req, size)
 	if err != nil {
 		return nil, err
 	}
@@ -189,7 +232,7 @@ func (p *Peer) JoinAt(peerID string, task engine.JoinTask) (*sqldb.Result, error
 			size += int64(r.EncodedSize())
 		}
 	}
-	reply, err := p.ep.Call(peerID, MsgJoinTask, task, size)
+	reply, err := p.ep.CallTraced(task.Local.Trace, peerID, MsgJoinTask, task, size)
 	if err != nil {
 		return nil, err
 	}
@@ -219,46 +262,61 @@ func (p *Peer) Rates() vtime.Rates { return p.env.Rates }
 // carries a filter, and the (masked) rows are pushed back.
 func (p *Peer) handleSubQuery(msg pnet.Message) (pnet.Message, error) {
 	req := msg.Payload.(engine.SubQueryRequest)
+	sp := telemetry.StartSpan(msg.Trace, "exec-subquery", telemetry.L("peer", p.id))
+	defer sp.End()
 	if err := p.checkSnapshot(req.Timestamp); err != nil {
+		sp.SetError(err)
 		return pnet.Message{}, err
 	}
 	role, err := p.roleFor(req.User)
 	if err != nil {
+		sp.SetError(err)
 		return pnet.Message{}, err
 	}
 	if role != nil {
 		if err := p.checkAccess(role, req.Stmt); err != nil {
+			sp.SetError(err)
 			return pnet.Message{}, err
 		}
 	}
 	res, err := p.db.ExecStmt(req.Stmt)
 	if err != nil {
+		sp.SetError(err)
 		return pnet.Message{}, err
 	}
 	engine.ApplyBloomToResult(res, req.BloomColumn, req.Bloom)
 	if role != nil && len(req.Stmt.From) == 1 {
 		accesscontrol.MaskRows(role, req.Stmt.From[0].Table, res.Columns, res.Rows)
 	}
+	sp.SetAttr("rows", fmt.Sprintf("%d", len(res.Rows)))
+	sp.SetAttr("bytes", fmt.Sprintf("%d", res.Stats.BytesReturned))
+	sp.SetVTime(p.env.Rates.DiskRead(res.Stats.BytesScanned).Add(p.env.Rates.CPUWork(res.Stats.BytesScanned)).Total())
 	return pnet.Message{Payload: res, Size: res.Stats.BytesReturned}, nil
 }
 
 // handleJoinTask serves a processing-node task of the parallel engine.
 func (p *Peer) handleJoinTask(msg pnet.Message) (pnet.Message, error) {
 	task := msg.Payload.(engine.JoinTask)
+	sp := telemetry.StartSpan(msg.Trace, "exec-jointask", telemetry.L("peer", p.id))
+	defer sp.End()
 	if err := p.checkSnapshot(task.Local.Timestamp); err != nil {
+		sp.SetError(err)
 		return pnet.Message{}, err
 	}
 	role, err := p.roleFor(task.Local.User)
 	if err != nil {
+		sp.SetError(err)
 		return pnet.Message{}, err
 	}
 	if role != nil {
 		if err := p.checkAccess(role, task.Local.Stmt); err != nil {
+			sp.SetError(err)
 			return pnet.Message{}, err
 		}
 	}
 	local, err := p.db.ExecStmt(task.Local.Stmt)
 	if err != nil {
+		sp.SetError(err)
 		return pnet.Message{}, err
 	}
 	if role != nil && len(task.Local.Stmt.From) == 1 {
@@ -266,6 +324,7 @@ func (p *Peer) handleJoinTask(msg pnet.Message) (pnet.Message, error) {
 	}
 	res, err := engine.ExecuteJoinTask(task, local.Rows)
 	if err != nil {
+		sp.SetError(err)
 		return pnet.Message{}, err
 	}
 	res.Stats.BytesScanned = local.Stats.BytesScanned
@@ -273,6 +332,9 @@ func (p *Peer) handleJoinTask(msg pnet.Message) (pnet.Message, error) {
 	for _, r := range res.Rows {
 		res.Stats.BytesReturned += int64(r.EncodedSize())
 	}
+	sp.SetAttr("rows", fmt.Sprintf("%d", len(res.Rows)))
+	sp.SetAttr("bytes", fmt.Sprintf("%d", res.Stats.BytesReturned))
+	sp.SetVTime(p.env.Rates.DiskRead(res.Stats.BytesScanned).Add(p.env.Rates.CPUWork(res.Stats.BytesScanned + task.ShippedBytes)).Total())
 	return pnet.Message{Payload: res, Size: res.Stats.BytesReturned}, nil
 }
 

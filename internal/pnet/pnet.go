@@ -16,6 +16,9 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
+
+	"bestpeer/internal/telemetry"
 )
 
 // ErrPeerDown is returned when the destination peer is marked failed.
@@ -38,6 +41,10 @@ type Message struct {
 	Type    string
 	Payload interface{}
 	Size    int64
+	// Trace is the caller's span context, propagated so work executed
+	// at the destination nests under the calling query's trace. The
+	// zero value means "untraced".
+	Trace telemetry.SpanContext
 }
 
 // Handler processes one request and returns the reply.
@@ -66,6 +73,74 @@ type Network struct {
 
 	messages  atomic.Int64
 	bytesSent atomic.Int64
+
+	// dest caches per-destination telemetry handles so the hot deliver
+	// path does one sync.Map read instead of a registry lookup.
+	dest sync.Map // string -> *destMetrics
+}
+
+// destMetrics is one destination's cached telemetry handles.
+type destMetrics struct {
+	calls       *telemetry.Counter
+	bytes       *telemetry.Counter
+	errDown     *telemetry.Counter
+	errUnknown  *telemetry.Counter
+	errNoHandle *telemetry.Counter
+	errHandler  *telemetry.Counter
+	latency     *telemetry.Histogram
+}
+
+func (n *Network) destOf(to string) *destMetrics {
+	if v, ok := n.dest.Load(to); ok {
+		return v.(*destMetrics)
+	}
+	peer := telemetry.L("peer", to)
+	d := &destMetrics{
+		calls:       telemetry.Default.Counter("pnet_calls_total", peer),
+		bytes:       telemetry.Default.Counter("pnet_bytes_total", peer),
+		errDown:     telemetry.Default.Counter("pnet_errors_total", peer, telemetry.L("kind", "peer_down")),
+		errUnknown:  telemetry.Default.Counter("pnet_errors_total", peer, telemetry.L("kind", "unknown_peer")),
+		errNoHandle: telemetry.Default.Counter("pnet_errors_total", peer, telemetry.L("kind", "no_handler")),
+		errHandler:  telemetry.Default.Counter("pnet_errors_total", peer, telemetry.L("kind", "handler")),
+		latency:     telemetry.Default.Histogram("pnet_call_seconds", nil, peer),
+	}
+	actual, _ := n.dest.LoadOrStore(to, d)
+	return actual.(*destMetrics)
+}
+
+// PeerErrorStats counts failed deliveries to one destination by cause.
+// Probe degradation (a fan-out round skipping a crashed participant)
+// shows up here instead of disappearing into a skipped slot.
+type PeerErrorStats struct {
+	PeerDown    int64
+	UnknownPeer int64
+	NoHandler   int64
+	Handler     int64
+}
+
+// Total sums the per-cause counts.
+func (s PeerErrorStats) Total() int64 {
+	return s.PeerDown + s.UnknownPeer + s.NoHandler + s.Handler
+}
+
+// PeerErrors returns cumulative delivery-failure counts per
+// destination, for destinations that recorded at least one failure.
+func (n *Network) PeerErrors() map[string]PeerErrorStats {
+	out := make(map[string]PeerErrorStats)
+	n.dest.Range(func(k, v interface{}) bool {
+		d := v.(*destMetrics)
+		s := PeerErrorStats{
+			PeerDown:    d.errDown.Value(),
+			UnknownPeer: d.errUnknown.Value(),
+			NoHandler:   d.errNoHandle.Value(),
+			Handler:     d.errHandler.Value(),
+		}
+		if s.Total() > 0 {
+			out[k.(string)] = s
+		}
+		return true
+	})
+	return out
 }
 
 // NewNetwork returns an empty network.
@@ -141,8 +216,26 @@ func (n *Network) ResetStats() {
 }
 
 // deliver routes one request message to its destination handler, local
-// or remote.
+// or remote, accounting every outcome in telemetry: calls, bytes in
+// both directions, per-cause failures, and the call's wall-clock
+// latency per destination. A traced message gets an rpc span, and the
+// span's context replaces the message's before the handler runs so
+// spans the destination opens nest under the delivery.
 func (n *Network) deliver(msg Message) (Message, error) {
+	dm := n.destOf(msg.To)
+	sp := telemetry.StartSpan(msg.Trace, "rpc:"+msg.Type, telemetry.L("to", msg.To))
+	if sp != nil {
+		msg.Trace = sp.Context()
+	}
+	start := time.Now()
+	reply, err := n.deliverInner(msg, dm)
+	dm.latency.ObserveDuration(time.Since(start))
+	sp.SetError(err)
+	sp.End()
+	return reply, err
+}
+
+func (n *Network) deliverInner(msg Message, dm *destMetrics) (Message, error) {
 	n.mu.RLock()
 	dest, ok := n.peers[msg.To]
 	remote := n.remotes[msg.To]
@@ -150,38 +243,50 @@ func (n *Network) deliver(msg Message) (Message, error) {
 	n.mu.RUnlock()
 	if !ok && remote != nil {
 		if isDown {
+			dm.errDown.Inc()
 			return Message{}, fmt.Errorf("%w: %s", ErrPeerDown, msg.To)
 		}
 		n.messages.Add(1)
 		n.bytesSent.Add(msg.Size)
+		dm.calls.Inc()
+		dm.bytes.Add(msg.Size)
 		reply, err := remote.call(msg)
 		if err != nil {
+			dm.errHandler.Inc()
 			return Message{}, err
 		}
 		n.bytesSent.Add(reply.Size)
+		dm.bytes.Add(reply.Size)
 		reply.From = msg.To
 		reply.To = msg.From
 		return reply, nil
 	}
 	if !ok {
+		dm.errUnknown.Inc()
 		return Message{}, fmt.Errorf("%w: %s", ErrUnknownPeer, msg.To)
 	}
 	if isDown {
+		dm.errDown.Inc()
 		return Message{}, fmt.Errorf("%w: %s", ErrPeerDown, msg.To)
 	}
 	dest.mu.RLock()
 	h, ok := dest.handlers[msg.Type]
 	dest.mu.RUnlock()
 	if !ok {
+		dm.errNoHandle.Inc()
 		return Message{}, fmt.Errorf("%w: %s at %s", ErrNoHandler, msg.Type, msg.To)
 	}
 	n.messages.Add(1)
 	n.bytesSent.Add(msg.Size)
+	dm.calls.Inc()
+	dm.bytes.Add(msg.Size)
 	reply, err := h(msg)
 	if err != nil {
+		dm.errHandler.Inc()
 		return Message{}, err
 	}
 	n.bytesSent.Add(reply.Size)
+	dm.bytes.Add(reply.Size)
 	reply.From = msg.To
 	reply.To = msg.From
 	return reply, nil
@@ -209,12 +314,19 @@ func (e *Endpoint) Handle(msgType string, h Handler) {
 // Call sends a request to another peer and waits for the reply. Calling
 // yourself is allowed and goes through the same accounting.
 func (e *Endpoint) Call(to, msgType string, payload interface{}, size int64) (Message, error) {
+	return e.CallTraced(telemetry.SpanContext{}, to, msgType, payload, size)
+}
+
+// CallTraced is Call with the caller's span context attached, so spans
+// opened at the destination nest under the calling query's trace.
+func (e *Endpoint) CallTraced(tc telemetry.SpanContext, to, msgType string, payload interface{}, size int64) (Message, error) {
 	return e.net.deliver(Message{
 		From:    e.id,
 		To:      to,
 		Type:    msgType,
 		Payload: payload,
 		Size:    size,
+		Trace:   tc,
 	})
 }
 

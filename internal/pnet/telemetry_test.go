@@ -1,0 +1,98 @@
+package pnet
+
+import (
+	"errors"
+	"testing"
+
+	"bestpeer/internal/telemetry"
+)
+
+// TestPeerErrorCounters pins that failed deliveries are counted per
+// destination and cause — the observability the probe-degradation path
+// relies on instead of silently skipping down peers.
+func TestPeerErrorCounters(t *testing.T) {
+	n := NewNetwork()
+	a := n.Join("a")
+	b := n.Join("b")
+	// The telemetry registry is process-global and other tests in this
+	// package also talk to peers named "a"/"b"; prime the handles and
+	// measure deltas.
+	for _, id := range []string{"a", "b", "nobody"} {
+		n.destOf(id)
+	}
+	before := n.PeerErrors()
+	b.Handle("ping", func(msg Message) (Message, error) {
+		return Message{Payload: "pong", Size: 4}, nil
+	})
+
+	if _, err := a.Call("b", "ping", nil, 8); err != nil {
+		t.Fatalf("ping: %v", err)
+	}
+	if _, err := a.Call("nobody", "ping", nil, 8); !errors.Is(err, ErrUnknownPeer) {
+		t.Fatalf("unknown peer: got %v", err)
+	}
+	n.SetDown("b", true)
+	for i := 0; i < 3; i++ {
+		if _, err := a.Call("b", "ping", nil, 8); !errors.Is(err, ErrPeerDown) {
+			t.Fatalf("down peer: got %v", err)
+		}
+	}
+	if _, err := a.Call("a", "nosuch", nil, 8); !errors.Is(err, ErrNoHandler) {
+		t.Fatalf("no handler: got %v", err)
+	}
+
+	errsByPeer := n.PeerErrors()
+	if got := errsByPeer["b"].PeerDown - before["b"].PeerDown; got != 3 {
+		t.Errorf("b peer_down delta = %d, want 3", got)
+	}
+	if got := errsByPeer["nobody"].UnknownPeer - before["nobody"].UnknownPeer; got != 1 {
+		t.Errorf("nobody unknown_peer delta = %d, want 1", got)
+	}
+	if got := errsByPeer["a"].NoHandler - before["a"].NoHandler; got != 1 {
+		t.Errorf("a no_handler delta = %d, want 1", got)
+	}
+	if _, ok := errsByPeer["zzz"]; ok {
+		t.Errorf("destination with no failures should be absent")
+	}
+
+	// The successful call fed the shared registry's counters too.
+	if got := telemetry.Default.Counter("pnet_calls_total", telemetry.L("peer", "b")).Value(); got < 1 {
+		t.Errorf("pnet_calls_total{peer=b} = %d, want >= 1", got)
+	}
+}
+
+// TestDeliverTracePropagation pins that a traced call wraps the
+// handler in an rpc span and hands the handler the rewritten context.
+func TestDeliverTracePropagation(t *testing.T) {
+	n := NewNetwork()
+	a := n.Join("a")
+	b := n.Join("b")
+	var seen telemetry.SpanContext
+	b.Handle("work", func(msg Message) (Message, error) {
+		seen = msg.Trace
+		return Message{}, nil
+	})
+
+	root := telemetry.StartTrace("query")
+	if _, err := a.CallTraced(root.Context(), "b", "work", nil, 1); err != nil {
+		t.Fatalf("call: %v", err)
+	}
+	root.End()
+
+	if !seen.Valid() {
+		t.Fatal("handler saw no trace context")
+	}
+	if seen.TraceID != root.Context().TraceID {
+		t.Errorf("handler trace ID = %x, want %x", seen.TraceID, root.Context().TraceID)
+	}
+	if seen.SpanID == root.Context().SpanID {
+		t.Errorf("handler should see the rpc span's context, not the root's")
+	}
+	spans := root.Trace().Spans()
+	if len(spans) != 2 || spans[1].Name != "rpc:work" {
+		t.Fatalf("trace spans = %+v, want root + rpc:work", spans)
+	}
+	if spans[1].Parent != spans[0].ID {
+		t.Errorf("rpc span not nested under root")
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"sync"
 
 	"bestpeer/internal/sqlval"
+	"bestpeer/internal/telemetry"
 )
 
 // DB is one embedded database instance: the stand-in for the MySQL
@@ -103,8 +104,52 @@ func (db *DB) Query(sql string) (*Result, error) {
 	return db.ExecStmt(stmt)
 }
 
+// Statement counters, resolved once per kind: ExecStmt runs on every
+// subquery a data owner serves.
+var (
+	stmtCounters = map[string]*telemetry.Counter{}
+	rowsScanned  = telemetry.Default.Counter("sqldb_rows_scanned_total")
+)
+
+func init() {
+	for _, kind := range []string{"select", "create_table", "create_index", "insert", "delete", "update", "other"} {
+		stmtCounters[kind] = telemetry.Default.Counter("sqldb_statements_total", telemetry.L("kind", kind))
+	}
+}
+
 // ExecStmt executes an already-parsed statement.
 func (db *DB) ExecStmt(stmt Statement) (*Result, error) {
+	res, err := db.execStmt(stmt)
+	if err == nil && res != nil {
+		stmtCounters[stmtKind(stmt)].Inc()
+		if res.Stats.RowsScanned > 0 {
+			rowsScanned.Add(res.Stats.RowsScanned)
+		}
+	}
+	return res, err
+}
+
+// stmtKind names a statement for the per-kind statement counter.
+func stmtKind(stmt Statement) string {
+	switch stmt.(type) {
+	case *SelectStmt:
+		return "select"
+	case *CreateTableStmt:
+		return "create_table"
+	case *CreateIndexStmt:
+		return "create_index"
+	case *InsertStmt:
+		return "insert"
+	case *DeleteStmt:
+		return "delete"
+	case *UpdateStmt:
+		return "update"
+	default:
+		return "other"
+	}
+}
+
+func (db *DB) execStmt(stmt Statement) (*Result, error) {
 	switch s := stmt.(type) {
 	case *SelectStmt:
 		db.mu.RLock()

@@ -1,0 +1,137 @@
+package telemetry
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestSpanNesting(t *testing.T) {
+	root := StartTrace("query", L("peer", "peer-00"))
+	if root == nil {
+		t.Fatal("StartTrace returned nil with telemetry enabled")
+	}
+	child := root.StartChild("fetch:lineitem")
+	child.SetVTime(3 * time.Second)
+	child.End()
+	root.End()
+
+	tr := root.Trace()
+	spans := tr.Spans()
+	if len(spans) != 2 {
+		t.Fatalf("trace has %d spans, want 2", len(spans))
+	}
+	if spans[1].Parent != spans[0].ID {
+		t.Errorf("child parent = %d, want root ID %d", spans[1].Parent, spans[0].ID)
+	}
+	if !spans[1].HasVTime || spans[1].VTime != 3*time.Second {
+		t.Errorf("child vtime = %v (has=%v)", spans[1].VTime, spans[1].HasVTime)
+	}
+	out := tr.Render()
+	if !strings.Contains(out, "query {peer=peer-00}") || !strings.Contains(out, "fetch:lineitem") {
+		t.Errorf("render missing spans:\n%s", out)
+	}
+	if !strings.Contains(out, "vtime=3s") {
+		t.Errorf("render missing vtime column:\n%s", out)
+	}
+}
+
+// TestContextPropagation covers the remote-handler path: a span opened
+// from a propagated SpanContext must land in the caller's trace, nested
+// under the propagated span.
+func TestContextPropagation(t *testing.T) {
+	root := StartTrace("query")
+	rpc := root.StartChild("rpc:peer.subquery")
+	remote := StartSpan(rpc.Context(), "exec-subquery", L("peer", "peer-01"))
+	remote.End()
+	rpc.End()
+	root.End()
+
+	if got, want := remote.Trace(), root.Trace(); got != want {
+		t.Fatalf("remote span landed in trace %p, want caller's %p", got, want)
+	}
+	spans := root.Trace().Spans()
+	if len(spans) != 3 {
+		t.Fatalf("trace has %d spans, want 3", len(spans))
+	}
+	if spans[2].Parent != spans[1].ID {
+		t.Errorf("remote span parent = %d, want rpc span %d", spans[2].Parent, spans[1].ID)
+	}
+}
+
+// TestForeignContext covers the cross-process side: a context whose
+// trace is not resident creates a local trace under the caller's ID.
+func TestForeignContext(t *testing.T) {
+	ctx := SpanContext{TraceID: 0xfeed, SpanID: 0xbeef}
+	sp := StartSpan(ctx, "remote-half")
+	if sp == nil {
+		t.Fatal("StartSpan returned nil for valid foreign context")
+	}
+	if sp.Trace().ID != 0xfeed {
+		t.Errorf("foreign trace ID = %x, want feed", sp.Trace().ID)
+	}
+	// The orphan span (parent not resident) still renders at root level.
+	if out := sp.Trace().Render(); !strings.Contains(out, "remote-half") {
+		t.Errorf("orphan span missing from render:\n%s", out)
+	}
+}
+
+func TestInvalidContextIsNoop(t *testing.T) {
+	if sp := StartSpan(SpanContext{}, "x"); sp != nil {
+		t.Errorf("StartSpan with invalid context should return nil")
+	}
+	var nilSpan *Span
+	nilSpan.End()
+	nilSpan.SetVTime(time.Second)
+	nilSpan.SetAttr("k", "v")
+	nilSpan.SetError(nil)
+	if nilSpan.Context().Valid() {
+		t.Errorf("nil span context should be invalid")
+	}
+	if nilSpan.StartChild("y") != nil {
+		t.Errorf("nil span StartChild should return nil")
+	}
+}
+
+// TestConcurrentSpans appends spans from many goroutines (the fan-out
+// pool does exactly this) — run under -race.
+func TestConcurrentSpans(t *testing.T) {
+	root := StartTrace("query")
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 200; j++ {
+				sp := root.StartChild("call")
+				sp.SetVTime(time.Millisecond)
+				sp.End()
+			}
+		}()
+	}
+	// Render concurrently with span creation.
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 50; i++ {
+			_ = root.Trace().Render()
+		}
+	}()
+	wg.Wait()
+	<-done
+	root.End()
+	if got := len(root.Trace().Spans()); got != 1+8*200 {
+		t.Errorf("trace has %d spans, want %d", got, 1+8*200)
+	}
+}
+
+func TestCollectorBounded(t *testing.T) {
+	first := StartTrace("first")
+	for i := 0; i < maxTraces+10; i++ {
+		StartTrace("filler").End()
+	}
+	if lookupTrace(first.Trace().ID) != nil {
+		t.Errorf("old trace still resident after %d newer traces", maxTraces+10)
+	}
+}
