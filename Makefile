@@ -3,12 +3,17 @@
 
 GO ?= go
 
-.PHONY: verify build vet test race bench fanout bench-telemetry
+.PHONY: verify build fmt vet test race bench fanout bench-telemetry bench-monitor
 
-verify: build vet race
+verify: build fmt vet race
 
 build:
 	$(GO) build ./...
+
+# Formatting gate: gofmt -l prints unformatted files; any output fails.
+fmt:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 
 vet:
 	$(GO) vet ./...
@@ -32,3 +37,9 @@ fanout:
 # refreshes the trajectory file. Expected overhead_pct < 2.
 bench-telemetry:
 	$(GO) run ./cmd/bpbench -fig telemetry | tee BENCH_telemetry.json
+
+# Wall-clock monitoring-plane overhead (reporter loops + bootstrap
+# collector) on the fig-6 workload; refreshes the trajectory file.
+# Expected overhead_pct < 2.
+bench-monitor:
+	$(GO) run ./cmd/bpbench -fig monitor | tee BENCH_monitor.json

@@ -228,6 +228,30 @@ func (n *Network) CrashPeer(id string) error {
 	return nil
 }
 
+// ReportTelemetry pushes one telemetry delta report from every live
+// peer to the bootstrap's collector. Unreachable peers are skipped —
+// their silence is itself the signal (last-report age grows and other
+// peers' sender-side RPC stats report the failures).
+func (n *Network) ReportTelemetry() {
+	for _, p := range n.peers {
+		_ = p.ReportTelemetry()
+	}
+}
+
+// StartTelemetryReporters launches every peer's epoch reporter loop and
+// returns a single stop function for all of them.
+func (n *Network) StartTelemetryReporters(interval time.Duration) (stop func()) {
+	stops := make([]func(), 0, len(n.peers))
+	for _, p := range n.peers {
+		stops = append(stops, p.StartTelemetryReporter(interval))
+	}
+	return func() {
+		for _, s := range stops {
+			s()
+		}
+	}
+}
+
 // RunMaintenance executes one epoch of the bootstrap's Algorithm 1
 // daemon (monitoring, fail-over, auto-scaling, resource release,
 // notifications), advancing the cloud's virtual clock.

@@ -3,13 +3,16 @@
 //
 // Usage:
 //
-//	bpbench [-fig all|6|7|8|9|10|11|12|13|14|ablations|fanout|telemetry] [-nodes 10,20,50] [-sf 0.0004]
+//	bpbench [-fig all|6|7|8|9|10|11|12|13|14|ablations|fanout|telemetry|monitor] [-nodes 10,20,50] [-sf 0.0004]
 //
-// Two experiments are wall-clock rather than vtime: "fanout" compares
+// Three experiments are wall-clock rather than vtime: "fanout" compares
 // sequential vs concurrent multi-peer fetch under an injected per-call
-// service delay (JSON line for BENCH_fanout.json), and "telemetry"
+// service delay (JSON line for BENCH_fanout.json), "telemetry"
 // measures the instrumentation overhead of the metrics/tracing layer on
-// the fig-6 workload (JSON line for BENCH_telemetry.json).
+// the fig-6 workload (JSON line for BENCH_telemetry.json), and
+// "monitor" measures the monitoring plane — reporter loops plus the
+// bootstrap collector — on the same workload (JSON line for
+// BENCH_monitor.json).
 package main
 
 import (
@@ -29,6 +32,7 @@ func main() {
 	fanoutDelay := flag.Duration("fanout-delay", 10*time.Millisecond, "per-call service delay for the fan-out comparison")
 	telemetryPeers := flag.Int("telemetry-peers", 4, "peers for the telemetry overhead measurement")
 	telemetryQueries := flag.Int("telemetry-queries", 50, "queries per timed batch for the telemetry overhead measurement")
+	monitorEpoch := flag.Duration("monitor-epoch", 50*time.Millisecond, "report epoch for the monitoring-plane overhead measurement")
 	nodes := flag.String("nodes", "10,20,50", "comma-separated cluster sizes")
 	sf := flag.Float64("sf", 0.0004, "TPC-H scale factor contributed per node")
 	seed := flag.Int64("seed", 1, "throughput simulator seed")
@@ -65,6 +69,16 @@ func main() {
 		r, err := bench.TelemetryOverhead(*telemetryPeers, *telemetryQueries)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "bpbench: telemetry: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Println(r.JSONLine())
+		return
+	}
+
+	if *fig == "monitor" {
+		r, err := bench.MonitorOverhead(*telemetryPeers, *telemetryQueries, *monitorEpoch)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bpbench: monitor: %v\n", err)
 			os.Exit(1)
 		}
 		fmt.Println(r.JSONLine())

@@ -16,6 +16,12 @@
 // surface instead of shipping a query:
 //
 //	bpremote -connect 127.0.0.1:7420 -peer peer-00 -telemetry
+//
+// Adding -all fans the telemetry fetch out to every online peer (the
+// bootstrap's bootstrap.peers verb lists them) and prints one merged
+// exposition with each series labeled by its peer:
+//
+//	bpremote -connect 127.0.0.1:7420 -telemetry -all
 package main
 
 import (
@@ -26,10 +32,12 @@ import (
 	"strings"
 
 	"bestpeer"
+	"bestpeer/internal/bootstrap"
 	"bestpeer/internal/engine"
 	"bestpeer/internal/peer"
 	"bestpeer/internal/pnet"
 	"bestpeer/internal/sqldb"
+	"bestpeer/internal/telemetry"
 	"bestpeer/internal/tpch"
 )
 
@@ -41,11 +49,14 @@ func main() {
 	target := flag.String("peer", "peer-00", "data owner peer to query")
 	query := flag.String("query", "SELECT COUNT(*) FROM lineitem", "single-table subquery to ship")
 	telemetryMode := flag.Bool("telemetry", false, "fetch the remote process's telemetry exposition instead of querying")
+	all := flag.Bool("all", false, "with -telemetry: merge every online peer's registry snapshot")
 	flag.Parse()
 
 	switch {
 	case *serve != "":
 		runServer(*serve, *peers, *sf)
+	case *connect != "" && *telemetryMode && *all:
+		runTelemetryAll(*connect)
 	case *connect != "" && *telemetryMode:
 		runTelemetry(*connect, *target)
 	case *connect != "":
@@ -129,6 +140,41 @@ func runTelemetry(addr, target string) {
 		fatal(err)
 	}
 	fmt.Print(reply.Payload.(string))
+}
+
+// runTelemetryAll asks the bootstrap for the online peer list, fetches
+// every peer's full registry snapshot over peer.telemetry.snapshot, and
+// merges them into one registry under peer=<id> labels. The exposition
+// is deterministically ordered (sorted family names, sorted label
+// signatures), so two runs against an idle server print byte-identical
+// tables.
+func runTelemetryAll(addr string) {
+	clientNet := pnet.NewNetwork()
+	clientNet.AddRemotePeer("bootstrap", addr)
+	client := clientNet.Join("bpremote-client")
+
+	reply, err := client.Call("bootstrap", bootstrap.MsgListPeers, nil, 8)
+	if err != nil {
+		fatal(err)
+	}
+	ids := reply.Payload.([]string)
+	cluster := telemetry.NewRegistry()
+	fetched := 0
+	for _, id := range ids {
+		clientNet.AddRemotePeer(id, addr)
+		rep, err := client.Call(id, peer.MsgTelemetrySnapshot, nil, 8)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bpremote: %s: %v (skipped)\n", id, err)
+			continue
+		}
+		snap := rep.Payload.(telemetry.Report)
+		if err := cluster.Merge(snap.Delta, telemetry.L("peer", snap.Peer)); err != nil {
+			fatal(err)
+		}
+		fetched++
+	}
+	fmt.Printf("# merged %d/%d peer snapshots from %s\n", fetched, len(ids), addr)
+	fmt.Print(cluster.Text())
 }
 
 func fatal(err error) {

@@ -17,6 +17,7 @@
 //	.online <aggregate sql>                       progressive online aggregation
 //	.trace on|off                                 toggle per-query span trees
 //	.metrics                                      dump the telemetry registry
+//	.slowlog [threshold]                          show (or re-arm) the slow-query log
 //	.peers                                        list peers and row counts
 //	.tables                                       list global tables
 //	.help                                         this help
@@ -29,6 +30,7 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"bestpeer"
 	"bestpeer/internal/peer"
@@ -68,9 +70,51 @@ func main() {
 		case line == ".quit" || line == ".exit":
 			return
 		case line == ".help":
-			fmt.Println(".strategy basic|parallel|mapreduce|adaptive | .explain <sql> | .online <sql> | .trace on|off | .metrics | .peers | .tables | .quit")
+			fmt.Println(".strategy basic|parallel|mapreduce|adaptive | .explain <sql> | .online <sql> | .trace on|off | .metrics | .slowlog [threshold] | .peers | .tables | .quit")
 		case line == ".metrics":
 			fmt.Print(telemetry.Default.Text())
+		case strings.HasPrefix(line, ".slowlog"):
+			arg := strings.TrimSpace(strings.TrimPrefix(line, ".slowlog"))
+			if arg != "" {
+				d, err := time.ParseDuration(arg)
+				if err != nil {
+					fmt.Println("usage: .slowlog [threshold, e.g. 100ms]")
+					break
+				}
+				for _, p := range net.Peers() {
+					p.SetSlowQueryThreshold(d)
+				}
+				fmt.Println("slow-query threshold =", d)
+				break
+			}
+			// The submitting peer fetches every peer's log over the
+			// peer.slowlog verb — same path an operator would use against
+			// a live network.
+			shown := 0
+			for _, p := range net.Peers() {
+				entries, err := net.Peer(0).FetchSlowLog(p.ID())
+				if err != nil {
+					fmt.Printf("  %s: error: %v\n", p.ID(), err)
+					continue
+				}
+				for _, e := range entries {
+					shown++
+					status := "ok"
+					if e.Err != "" {
+						status = "error: " + e.Err
+					}
+					fmt.Printf("[%s] %s wall=%v vtime=%v engine=%s peers=%d resubmits=%d %s\n  %s\n",
+						e.At.Format("15:04:05.000"), e.Peer, e.Wall, e.VTime,
+						e.Engine, e.Peers, e.Resubmissions, status, e.SQL)
+					if len(e.OpenSpans) > 0 {
+						fmt.Printf("  LEAKED SPANS: %s\n", strings.Join(e.OpenSpans, ", "))
+					}
+					fmt.Print(e.Trace)
+				}
+			}
+			if shown == 0 {
+				fmt.Println("no slow queries captured (threshold:", peer.DefaultSlowQueryThreshold, "— lower it with .slowlog 1ms)")
+			}
 		case strings.HasPrefix(line, ".trace"):
 			switch strings.TrimSpace(strings.TrimPrefix(line, ".trace")) {
 			case "on":

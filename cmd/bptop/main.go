@@ -1,0 +1,179 @@
+// Command bptop is a live cluster dashboard for a BestPeer++ network:
+// top(1) for the monitoring plane. It launches an in-process network,
+// loads TPC-H, drives a background query workload, and redraws the
+// bootstrap collector's per-peer health table every refresh — health
+// score, QPS, p99 query latency, error and RPC-failure rates, rows
+// scanned, shuffle volume, fan-out queue wait, and last-report age.
+//
+// Usage:
+//
+//	bptop [-peers 8] [-sf 0.01] [-report 200ms] [-refresh 500ms]
+//	      [-frames 0] [-crash 0] [-prom]
+//
+// With -crash D, one peer is crashed after D so the dashboard shows the
+// monitoring plane reacting live: the victim's last-report age grows,
+// other peers' sender-side RPC failures drag its health score down, and
+// the next maintenance epoch fails it over (the event line names the
+// signal that fired). -frames N renders N frames and exits, making the
+// dashboard scriptable; -prom dumps the merged cluster-wide
+// Prometheus-style exposition on exit.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"os/signal"
+	"sync"
+	"time"
+
+	"bestpeer"
+	"bestpeer/internal/bootstrap"
+	"bestpeer/internal/peer"
+	"bestpeer/internal/tpch"
+)
+
+func main() {
+	peers := flag.Int("peers", 8, "number of normal peers")
+	sf := flag.Float64("sf", 0.01, "TPC-H scale factor for the whole network")
+	report := flag.Duration("report", 200*time.Millisecond, "telemetry report epoch")
+	refresh := flag.Duration("refresh", 500*time.Millisecond, "dashboard refresh interval")
+	frames := flag.Int("frames", 0, "render this many frames then exit (0 = until interrupted)")
+	crash := flag.Duration("crash", 0, "crash one peer after this long (0 = never)")
+	prom := flag.Bool("prom", false, "print the merged cluster exposition on exit")
+	flag.Parse()
+
+	fmt.Fprintf(os.Stderr, "starting %d-peer network with TPC-H sf=%g ...\n", *peers, *sf)
+	net, err := bestpeer.NewNetwork(bestpeer.Config{
+		NumPeers:          *peers,
+		RangeIndexColumns: map[string][]string{tpch.LineItem: {"l_shipdate"}},
+	})
+	if err != nil {
+		fatal(err)
+	}
+	if err := net.LoadTPCH(*sf); err != nil {
+		fatal(err)
+	}
+
+	stopReporters := net.StartTelemetryReporters(*report)
+	defer stopReporters()
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+
+	// Background workload: a few clients rotating over submitting peers
+	// and engines, so every peer has traffic to report.
+	queries := []string{
+		`SELECT COUNT(*) FROM lineitem`,
+		tpch.Q1Default(),
+		`SELECT o_orderpriority, COUNT(*) FROM orders GROUP BY o_orderpriority`,
+	}
+	strategies := []peer.Strategy{peer.StrategyBasic, peer.StrategyParallel, peer.StrategyAdaptive}
+	for w := 0; w < 3; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w)))
+			for i := 0; ; i++ {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				at := rng.Intn(*peers)
+				if net.PeerByID(net.Peers()[at].ID()) == nil {
+					continue
+				}
+				_, _ = net.Query(at, queries[i%len(queries)], bestpeer.QueryOptions{
+					Strategy: strategies[rng.Intn(len(strategies))],
+				})
+			}
+		}(w)
+	}
+
+	// Maintenance daemon: Algorithm 1 every refresh, consuming the cloud
+	// sim AND the collector's aggregated telemetry.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		t := time.NewTicker(*refresh)
+		defer t.Stop()
+		for {
+			select {
+			case <-done:
+				return
+			case <-t.C:
+				if err := net.RunMaintenance(*refresh); err != nil {
+					fmt.Fprintln(os.Stderr, "maintenance:", err)
+				}
+			}
+		}
+	}()
+
+	if *crash > 0 {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			select {
+			case <-done:
+				return
+			case <-time.After(*crash):
+				victim := net.Peers()[*peers/2].ID()
+				_ = net.CrashPeer(victim)
+			}
+		}()
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt)
+	tick := time.NewTicker(*refresh)
+	defer tick.Stop()
+	start := time.Now()
+	rendered := 0
+loop:
+	for {
+		select {
+		case <-sig:
+			break loop
+		case <-tick.C:
+			render(net, start)
+			rendered++
+			if *frames > 0 && rendered >= *frames {
+				break loop
+			}
+		}
+	}
+	close(done)
+	wg.Wait()
+	stopReporters()
+	if *prom {
+		fmt.Print(net.Bootstrap.Collector().ClusterText())
+	}
+}
+
+// render redraws one dashboard frame: health table on top, the
+// bootstrap's most recent events below.
+func render(net *bestpeer.Network, start time.Time) {
+	c := net.Bootstrap.Collector()
+	now := time.Now()
+	fmt.Print("\x1b[H\x1b[2J") // home + clear
+	fmt.Printf("bptop — %d peers reporting, up %v\n\n",
+		len(c.Peers()), now.Sub(start).Round(time.Second))
+	fmt.Print(bootstrap.RenderDashboard(c.Healths(), now))
+	events := net.Bootstrap.Events()
+	if len(events) > 0 {
+		fmt.Println("\nrecent events:")
+		from := len(events) - 5
+		if from < 0 {
+			from = 0
+		}
+		for _, e := range events[from:] {
+			fmt.Printf("  [%v] %-8s %-14s %s\n", e.At.Round(time.Millisecond), e.Kind, e.Peer, e.Note)
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "bptop:", err)
+	os.Exit(1)
+}

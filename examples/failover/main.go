@@ -3,7 +3,10 @@
 // consistency, §3.2), the daemon launches a replacement, restores its
 // database from the latest cloud backup and its overlay entries from
 // the adjacent replica, and the network resumes with no data loss.
-// Auto-scaling on an overloaded peer is shown as well.
+// Auto-scaling on an overloaded peer is shown as well, and a second
+// fail-over is driven purely by the monitoring plane's aggregated
+// telemetry: the cloud sim insists the instance is healthy, but every
+// peer's sender-side RPC stats say nobody can reach it.
 package main
 
 import (
@@ -64,12 +67,29 @@ func main() {
 	inst, _ := net.Provider.Instance(hot.ID())
 	fmt.Printf("\n%s reported 97%% CPU; instance type is now %s\n", hot.ID(), inst.Type.Name)
 
+	// Telemetry-driven fail-over: peer 1's process wedges — the VM still
+	// answers CloudWatch, so the cloud signal never fires. But queries
+	// against it fail, the survivors' delta reports carry those
+	// sender-side RPC failures to the collector, and the daemon fails the
+	// peer over off the aggregated telemetry signal alone.
+	wedged := net.Peer(1).ID()
+	net.ReportTelemetry() // baseline reports: every peer has a collector window
+	net.Net.SetDown(wedged, true)
+	fmt.Printf("\n%s wedged (cloud still reports it healthy)\n", wedged)
+	for i := 0; i < 12; i++ {
+		_, _ = net.Query(0, `SELECT COUNT(*) FROM lineitem`, bestpeer.QueryOptions{})
+	}
+	net.ReportTelemetry()
+	if err := net.RunMaintenance(time.Minute); err != nil {
+		log.Fatal(err)
+	}
+
 	fmt.Println("\nadministrative event log:")
 	for _, e := range net.Bootstrap.Events() {
 		fmt.Printf("  [%6s] %-9s %-12s %s\n", e.At, e.Kind, e.Peer, e.Note)
 	}
 
-	// Queries executed against the replacement match the TPC-H workload.
+	// Queries executed against the replacements match the TPC-H workload.
 	res, err := net.Query(0, tpch.Q2Default(), bestpeer.QueryOptions{})
 	if err != nil {
 		log.Fatal(err)

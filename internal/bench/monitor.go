@@ -1,0 +1,128 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"time"
+
+	"bestpeer"
+	"bestpeer/internal/peer"
+	"bestpeer/internal/tpch"
+)
+
+// This file measures what the monitoring PLANE costs on top of the
+// instrumentation: per-query recording into the peer's private
+// registry, the epoch reporter loops exporting/delta-ing/pushing
+// snapshots, and the bootstrap collector absorbing them into windows
+// and the cluster registry. The comparison runs the fig-6 workload
+// with reporters stopped, then with every peer reporting on a short
+// epoch, telemetry enabled in both modes — so the delta isolates the
+// monitoring plane itself, not the metric/span fast path (that one is
+// TelemetryOverhead's job).
+
+// MonitorOverheadResult is one baseline-vs-monitored comparison,
+// emitted as a JSON line for BENCH_monitor.json.
+type MonitorOverheadResult struct {
+	Peers         int     `json:"peers"`
+	Queries       int     `json:"queries"`
+	ReportEpochMS float64 `json:"report_epoch_ms"`
+	BaselineMS    float64 `json:"baseline_ms"`
+	MonitoredMS   float64 `json:"monitored_ms"`
+	OverheadPct   float64 `json:"overhead_pct"`
+	// Reports counts the delta reports the collector absorbed across
+	// all monitored batches — proof the plane was actually running
+	// while it was being timed.
+	Reports uint64 `json:"reports"`
+}
+
+// JSONLine renders the result as a single JSON line.
+func (r *MonitorOverheadResult) JSONLine() string {
+	b, _ := json.Marshal(r)
+	return string(b)
+}
+
+// MonitorOverhead times batches of the fig-6 query (Q1) on one loaded
+// network with the monitoring plane off (no reporter loops) and on
+// (every peer pushing delta reports each epoch, the bootstrap
+// collector scoring them). Mirrors TelemetryOverhead's protocol:
+// shared network, warm-up outside the timed region, many alternating
+// small batches keeping each mode's minimum.
+func MonitorOverhead(peers, queries int, epoch time.Duration) (*MonitorOverheadResult, error) {
+	if peers < 1 || queries < 1 {
+		return nil, fmt.Errorf("bench: monitor overhead needs >=1 peer and >=1 query")
+	}
+	if epoch <= 0 {
+		epoch = 50 * time.Millisecond
+	}
+	cfg := Default()
+	cfg.PerNodeSF = 0.004
+	net, err := buildBestPeer(cfg, peers)
+	if err != nil {
+		return nil, err
+	}
+	sql := tpch.Q1Default()
+	runQueries := func() (time.Duration, error) {
+		start := time.Now()
+		for q := 0; q < queries; q++ {
+			if _, err := net.Query(0, sql, bestpeer.QueryOptions{Strategy: peer.StrategyBasic}); err != nil {
+				return 0, err
+			}
+		}
+		return time.Since(start), nil
+	}
+	batch := func(monitored bool) (time.Duration, error) {
+		if !monitored {
+			return runQueries()
+		}
+		stop := net.StartTelemetryReporters(epoch)
+		defer stop()
+		return runQueries()
+	}
+	// Warm-up: parse/locator caches, telemetry handles, and one full
+	// report cycle so gob/registry paths are hot before timing starts.
+	if _, err := runQueries(); err != nil {
+		return nil, err
+	}
+	net.ReportTelemetry()
+
+	const rounds = 60
+	var baseline, monitored time.Duration
+	for round := 0; round < rounds; round++ {
+		order := []bool{false, true}
+		if round%2 == 1 {
+			order[0], order[1] = order[1], order[0]
+		}
+		for _, mode := range order {
+			d, err := batch(mode)
+			if err != nil {
+				return nil, err
+			}
+			if mode {
+				if monitored == 0 || d < monitored {
+					monitored = d
+				}
+			} else {
+				if baseline == 0 || d < baseline {
+					baseline = d
+				}
+			}
+		}
+	}
+	r := &MonitorOverheadResult{
+		Peers:         peers,
+		Queries:       queries,
+		ReportEpochMS: float64(epoch) / float64(time.Millisecond),
+		BaselineMS:    float64(baseline) / float64(time.Millisecond),
+		MonitoredMS:   float64(monitored) / float64(time.Millisecond),
+	}
+	if baseline > 0 {
+		r.OverheadPct = (float64(monitored)/float64(baseline) - 1) * 100
+	}
+	for _, h := range net.Bootstrap.Collector().Healths() {
+		r.Reports += h.Reports
+	}
+	if r.Reports == 0 {
+		return nil, fmt.Errorf("bench: monitored batches produced no reports — the plane never ran")
+	}
+	return r, nil
+}

@@ -66,7 +66,11 @@ type Event struct {
 	Note string
 }
 
-// Thresholds configure the Algorithm 1 daemon.
+// Thresholds configure the Algorithm 1 daemon. The first two come from
+// the cloud sim (the paper's CloudWatch); the rest act on the
+// collector's aggregated peer telemetry and only fire for peers that
+// have actually reported — a network without reporters behaves exactly
+// as before.
 type Thresholds struct {
 	// CPUHigh triggers auto-scaling when a peer's CPU utilization
 	// exceeds it.
@@ -74,21 +78,40 @@ type Thresholds struct {
 	// StorageHighFraction triggers auto-scaling when used storage
 	// exceeds this fraction of allocated storage.
 	StorageHighFraction float64
+	// RPCFailureRateHigh triggers fail-over when the windowed rate of
+	// failed calls to a peer (as observed by every other peer's sender
+	// side) reaches it. A cloud-healthy instance whose peer process
+	// stopped answering is caught here.
+	RPCFailureRateHigh float64
+	// MinRPCCalls is the minimum observed-call count before
+	// RPCFailureRateHigh is trusted (a single failed probe is not an
+	// outage).
+	MinRPCCalls int64
+	// QueryP99High triggers auto-scaling when a peer's windowed p99
+	// query wall time reaches it (0 disables the latency signal).
+	QueryP99High time.Duration
 }
 
 // DefaultThresholds returns sensible monitor thresholds.
 func DefaultThresholds() Thresholds {
-	return Thresholds{CPUHigh: 0.85, StorageHighFraction: 0.85}
+	return Thresholds{
+		CPUHigh:             0.85,
+		StorageHighFraction: 0.85,
+		RPCFailureRateHigh:  0.5,
+		MinRPCCalls:         8,
+		QueryP99High:        2 * time.Second,
+	}
 }
 
 // Peer is the bootstrap peer: the single service-provider-run instance
 // of a BestPeer++ network.
 type Peer struct {
-	ep       *pnet.Endpoint
-	provider *cloud.SimProvider
-	ca       *CertAuthority
-	failover FailoverHandler
-	thresh   Thresholds
+	ep        *pnet.Endpoint
+	provider  *cloud.SimProvider
+	ca        *CertAuthority
+	failover  FailoverHandler
+	thresh    Thresholds
+	collector *Collector
 
 	mu        sync.Mutex
 	peers     map[string]*PeerRecord
@@ -107,6 +130,7 @@ func New(net *pnet.Network, id string, provider *cloud.SimProvider) (*Peer, erro
 		ep:        net.Join(id),
 		provider:  provider,
 		thresh:    DefaultThresholds(),
+		collector: NewCollector(),
 		peers:     make(map[string]*PeerRecord),
 		blacklist: make(map[string]Certificate),
 		schemas:   make(map[string]*sqldb.Schema),
@@ -124,8 +148,47 @@ func New(net *pnet.Network, id string, provider *cloud.SimProvider) (*Peer, erro
 	}
 	b.ca = ca
 	b.ep.Handle("bootstrap.user.created", b.handleUserCreated)
+	b.ep.Handle(MsgTelemetryReport, b.handleTelemetryReport)
+	b.ep.Handle(MsgListPeers, b.handleListPeers)
 	return b, nil
 }
+
+// MsgListPeers returns the bootstrap's online peer IDs ([]string) — the
+// discovery verb remote tooling (bpremote -all) uses to enumerate the
+// cluster before fanning out.
+const MsgListPeers = "bootstrap.peers"
+
+// handleTelemetryReport absorbs one peer's delta report.
+func (b *Peer) handleTelemetryReport(msg pnet.Message) (pnet.Message, error) {
+	rep, ok := msg.Payload.(telemetry.Report)
+	if !ok {
+		return pnet.Message{}, fmt.Errorf("bootstrap: telemetry report payload %T", msg.Payload)
+	}
+	telemetry.Default.Counter("bootstrap_telemetry_reports_total").Inc()
+	if err := b.collector.Absorb(rep); err != nil {
+		return pnet.Message{}, err
+	}
+	return pnet.Message{}, nil
+}
+
+// handleListPeers serves the online peer list.
+func (b *Peer) handleListPeers(pnet.Message) (pnet.Message, error) {
+	b.mu.Lock()
+	out := make([]string, 0, len(b.peers))
+	var size int64
+	for id, rec := range b.peers {
+		if rec.Status == StatusOnline {
+			out = append(out, id)
+			size += int64(len(id))
+		}
+	}
+	b.mu.Unlock()
+	sort.Strings(out)
+	return pnet.Message{Payload: out, Size: size}, nil
+}
+
+// Collector returns the bootstrap's telemetry collector.
+func (b *Peer) Collector() *Collector { return b.collector }
 
 // ID returns the bootstrap's peer ID.
 func (b *Peer) ID() string { return b.ep.ID() }
@@ -375,27 +438,64 @@ func (b *Peer) RunMaintenanceEpoch(advance time.Duration) error {
 			// Fail-over (Algorithm 1 lines 6-10): launch a replacement,
 			// restore from backup, blacklist the failed peer.
 			telemetry.Default.Counter("bootstrap_failovers_total").Inc()
-			if err := b.doFailover(tg.id); err != nil {
+			reason := "cloud: metrics missing"
+			if ok {
+				reason = "cloud: healthy=false"
+			}
+			if err := b.doFailover(tg.id, reason); err != nil {
 				return err
 			}
 			changed = true
 			continue
 		}
+
+		// Aggregated-telemetry fail-over: the instance looks fine to the
+		// cloud, but the collector's windows say nobody can call the
+		// peer — the process is wedged even though the VM is up.
+		health, reported := b.collector.Health(tg.id)
+		minCalls := b.thresh.MinRPCCalls
+		if minCalls < 1 {
+			minCalls = 1
+		}
+		if reported && b.thresh.RPCFailureRateHigh > 0 &&
+			health.RPCCalls >= minCalls && health.RPCFailureRate >= b.thresh.RPCFailureRateHigh {
+			telemetry.Default.Counter("bootstrap_failovers_total").Inc()
+			if err := b.doFailover(tg.id, fmt.Sprintf("telemetry: rpc_failure_rate=%.2f over %d calls",
+				health.RPCFailureRate, health.RPCCalls)); err != nil {
+				return err
+			}
+			changed = true
+			continue
+		}
+
 		inst, ok := b.provider.Instance(tg.instance)
 		if !ok {
 			continue
 		}
 		overCPU := metrics.CPUUtilization > b.thresh.CPUHigh
 		overStorage := metrics.StorageUsedGB > b.thresh.StorageHighFraction*float64(inst.Type.StorageGB)
-		if overCPU || overStorage {
-			// Auto-scaling (lines 12-17).
+		overP99 := reported && b.thresh.QueryP99High > 0 &&
+			health.P99QuerySeconds >= b.thresh.QueryP99High.Seconds()
+		if overCPU || overStorage || overP99 {
+			// Auto-scaling (lines 12-17). The event notes which signal
+			// fired: the cloud sim's CPU/storage, or the collector's
+			// windowed p99 query latency.
 			newType, err := b.provider.ScaleUp(tg.instance)
 			if err != nil {
 				return err
 			}
 			telemetry.Default.Counter("bootstrap_scaleups_total").Inc()
+			note := newType.Name
+			switch {
+			case overCPU:
+				note += fmt.Sprintf(" (cloud: cpu=%.2f)", metrics.CPUUtilization)
+			case overStorage:
+				note += fmt.Sprintf(" (cloud: storage=%.1f/%dGB)", metrics.StorageUsedGB, inst.Type.StorageGB)
+			default:
+				note += fmt.Sprintf(" (telemetry: p99=%.3fs)", health.P99QuerySeconds)
+			}
 			b.mu.Lock()
-			b.logEvent("scaleup", tg.id, newType.Name)
+			b.logEvent("scaleup", tg.id, note)
 			b.mu.Unlock()
 		}
 	}
@@ -446,8 +546,9 @@ func (b *Peer) RunMaintenanceEpoch(advance time.Duration) error {
 func instanceIDFor(peerID string) string { return peerID }
 
 // doFailover performs one peer's fail-over through the installed
-// handler.
-func (b *Peer) doFailover(failedID string) error {
+// handler. reason names the signal that fired (cloud metrics or an
+// aggregated telemetry threshold) and lands in the event log.
+func (b *Peer) doFailover(failedID, reason string) error {
 	b.mu.Lock()
 	rec, ok := b.peers[failedID]
 	if !ok {
@@ -455,7 +556,7 @@ func (b *Peer) doFailover(failedID string) error {
 		return nil
 	}
 	rec.Status = StatusRecovering
-	b.logEvent("failover", failedID, "begin")
+	b.logEvent("failover", failedID, "begin: "+reason)
 	handler := b.failover
 	b.mu.Unlock()
 
@@ -467,6 +568,10 @@ func (b *Peer) doFailover(failedID string) error {
 		return fmt.Errorf("bootstrap: failover of %s: %w", failedID, err)
 	}
 	cert := b.ca.Issue(newID, newPub)
+
+	// The dead identity's telemetry window must not keep dragging
+	// scores; the replacement starts a fresh one under its new ID.
+	b.collector.Drop(failedID)
 
 	b.mu.Lock()
 	defer b.mu.Unlock()

@@ -1,0 +1,13 @@
+package bootstrap
+
+import (
+	"bestpeer/internal/pnet"
+	"bestpeer/internal/telemetry"
+)
+
+func init() {
+	// bootstrap.peers replies with the online IDs and telemetry.report
+	// carries peer delta snapshots; registered so the TCP transport can
+	// carry both verbs.
+	pnet.RegisterPayload([]string(nil), telemetry.Report{})
+}

@@ -114,6 +114,10 @@ type QueryResult struct {
 	BytesFetched int64
 	// BytesScanned is the remote disk volume read.
 	BytesScanned int64
+	// RowsScanned is the total rows read from peer databases while
+	// answering this query (summed across subqueries and join tasks).
+	// The monitoring plane reports it per peer as a load signal.
+	RowsScanned int64
 	// IndexKind reports which index type located the data owners.
 	IndexKind indexer.IndexKind
 	// Resubmissions counts Definition 2 retries before this result.
@@ -189,7 +193,9 @@ func resolveAccess(b Backend, stmt *sqldb.SelectStmt, width int, parent *telemet
 	for i, ref := range stmt.From {
 		s := b.Schema(ref.Table)
 		if s == nil {
-			return nil, nil, &UnknownTableError{Table: ref.Table}
+			err := &UnknownTableError{Table: ref.Table}
+			sp.SetError(err)
+			return nil, nil, err
 		}
 		schemas[i] = s
 	}

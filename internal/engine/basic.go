@@ -35,12 +35,13 @@ type Basic struct {
 // streams serialize into the submitting peer's inbound link (push-based
 // transfer, §6.1.7).
 type fetchRound struct {
-	rows      []sqlval.Row
-	cost      vtime.Cost
-	fetched   int64
-	scanned   int64
-	subCalls  int
-	peerCount int
+	rows        []sqlval.Row
+	cost        vtime.Cost
+	fetched     int64
+	scanned     int64
+	rowsScanned int64
+	subCalls    int
+	peerCount   int
 }
 
 func (e *Basic) fetch(a *tableAccess, bloomCol string, bloom *Bloom) (*fetchRound, error) {
@@ -76,6 +77,7 @@ func (e *Basic) fetch(a *tableAccess, bloomCol string, bloom *Bloom) (*fetchRoun
 		round.rows = append(round.rows, res.Rows...)
 		round.fetched += res.Stats.BytesReturned
 		round.scanned += res.Stats.BytesScanned
+		round.rowsScanned += res.Stats.RowsScanned
 		round.subCalls++
 		remote = vtime.Par(remote, rates.DiskRead(res.Stats.BytesScanned).Add(rates.CPUWork(res.Stats.BytesScanned)))
 		inboundBytes += res.Stats.BytesReturned
@@ -147,6 +149,7 @@ func (e *Basic) execute(stmt *sqldb.SelectStmt) (*QueryResult, error) {
 		qr.SubQueries = 1
 		qr.BytesFetched = res.Stats.BytesReturned
 		qr.BytesScanned = res.Stats.BytesScanned
+		qr.RowsScanned = res.Stats.RowsScanned
 		qr.Cost = qr.Cost.
 			Add(rates.DiskRead(res.Stats.BytesScanned)).
 			Add(rates.CPUWork(res.Stats.BytesScanned)).
@@ -181,6 +184,7 @@ func (e *Basic) execute(stmt *sqldb.SelectStmt) (*QueryResult, error) {
 				qr.SubQueries++
 				qr.BytesFetched += res.Stats.BytesReturned
 				qr.BytesScanned += res.Stats.BytesScanned
+				qr.RowsScanned += res.Stats.RowsScanned
 				remote = vtime.Par(remote, rates.DiskRead(res.Stats.BytesScanned).Add(rates.CPUWork(res.Stats.BytesScanned)))
 				inbound += res.Stats.BytesReturned
 			}
@@ -277,6 +281,7 @@ func (qr *QueryResult) addRound(r *fetchRound) {
 	qr.Cost = qr.Cost.Add(r.cost)
 	qr.BytesFetched += r.fetched
 	qr.BytesScanned += r.scanned
+	qr.RowsScanned += r.rowsScanned
 	qr.SubQueries += r.subCalls
 }
 

@@ -130,8 +130,16 @@ func TestConcurrentExecutionDeterministic(t *testing.T) {
 		engines := map[string]func(Options) interface {
 			Execute(*sqldb.SelectStmt) (*QueryResult, error)
 		}{
-			"basic":    func(o Options) interface{ Execute(*sqldb.SelectStmt) (*QueryResult, error) } { return &Basic{B: b, Opts: o} },
-			"parallel": func(o Options) interface{ Execute(*sqldb.SelectStmt) (*QueryResult, error) } { return &Parallel{B: b, Opts: o} },
+			"basic": func(o Options) interface {
+				Execute(*sqldb.SelectStmt) (*QueryResult, error)
+			} {
+				return &Basic{B: b, Opts: o}
+			},
+			"parallel": func(o Options) interface {
+				Execute(*sqldb.SelectStmt) (*QueryResult, error)
+			} {
+				return &Parallel{B: b, Opts: o}
+			},
 		}
 		for ename, mk := range engines {
 			seq, err := mk(Options{FanoutWidth: 1}).Execute(stmt)

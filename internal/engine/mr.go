@@ -84,6 +84,7 @@ func (e *MapReduce) execute(stmt *sqldb.SelectStmt) (*QueryResult, error) {
 			qr.SubQueries++
 			qr.BytesScanned += res.Stats.BytesScanned
 			qr.BytesFetched += res.Stats.BytesReturned
+			qr.RowsScanned += res.Stats.RowsScanned
 			splits = append(splits, mapreduce.Split{
 				Source: a.loc.Peers[i],
 				Rows:   res.Rows,

@@ -150,6 +150,7 @@ func (e *Parallel) execute(stmt *sqldb.SelectStmt) (*QueryResult, error) {
 			qr.SubQueries++
 			qr.BytesScanned += res.Stats.BytesScanned
 			qr.BytesFetched += res.Stats.BytesReturned
+			qr.RowsScanned += res.Stats.RowsScanned
 			nodeCost = vtime.Par(nodeCost, rates.DiskRead(res.Stats.BytesScanned).
 				Add(rates.CPUWork(res.Stats.BytesScanned+shippedBytes)))
 			inbound += res.Stats.BytesReturned

@@ -38,6 +38,9 @@ const (
 	MsgUserNew    = "peer.user.created"
 	MsgHasTable   = "peer.hastable"
 	MsgTelemetry  = "peer.telemetry"
+	// MsgTelemetrySnapshot returns the peer's private registry as a
+	// serialized telemetry.Report (full snapshot, not a delta).
+	MsgTelemetrySnapshot = "peer.telemetry.snapshot"
 )
 
 // Env is the shared environment a peer joins: the message network, the
@@ -77,6 +80,12 @@ type Peer struct {
 	schemas map[string]*sqldb.Schema
 	acl     *accesscontrol.Registry
 	load    *loader.Loader
+
+	// Monitoring plane: the peer's private metrics registry, the
+	// slow-query ring, and the reporter's delta baseline.
+	pm   *peerMetrics
+	slow *slowLog
+	rep  reporterState
 }
 
 // Join launches a cloud instance for the peer, admits it to the
@@ -104,6 +113,7 @@ func Join(id string, env Env) (*Peer, error) {
 	p.ix = indexer.New(p.node, id)
 	p.lc = indexer.NewLocator(p.node)
 	p.registerHandlers()
+	p.initTelemetry()
 
 	info, err := env.Bootstrap.Join(id, id, pub)
 	if err != nil {
@@ -167,6 +177,16 @@ func (p *Peer) registerHandlers() {
 		text := telemetry.Default.Text()
 		return pnet.Message{Payload: text, Size: int64(len(text))}, nil
 	})
+	p.ep.Handle(MsgTelemetrySnapshot, func(pnet.Message) (pnet.Message, error) {
+		// The peer's private registry as a full (non-delta) serialized
+		// snapshot — the bpremote -all merge surface.
+		rep := telemetry.Report{Peer: p.id}
+		if p.pm != nil {
+			rep.Delta = p.pm.reg.Export()
+		}
+		return pnet.Message{Payload: rep, Size: int64(64 + 48*len(rep.Delta.Points))}, nil
+	})
+	p.ep.Handle(MsgSlowLog, p.handleSlowLog)
 }
 
 // ID returns the peer's network identity.
@@ -406,6 +426,7 @@ func Recover(failedID, newID string, env Env, rangeColumns map[string][]string) 
 	p.ix = indexer.New(p.node, newID)
 	p.lc = indexer.NewLocator(p.node)
 	p.registerHandlers()
+	p.initTelemetry()
 	if err := env.Overlay.Recover(failedID, p.node); err != nil {
 		return nil, nil, err
 	}

@@ -3,6 +3,7 @@ package peer
 import (
 	"errors"
 	"fmt"
+	"time"
 
 	"bestpeer/internal/accesscontrol"
 	"bestpeer/internal/engine"
@@ -61,6 +62,7 @@ func (p *Peer) Query(sql, user string, strategy Strategy, opts engine.Options) (
 	} else {
 		telemetry.Default.Counter("peer_queries_total", telemetry.L("strategy", strategyName)).Inc()
 	}
+	start := time.Now()
 	const maxAttempts = 3
 	var lastErr error
 	for attempt := 0; attempt < maxAttempts; attempt++ {
@@ -80,17 +82,31 @@ func (p *Peer) Query(sql, user string, strategy Strategy, opts engine.Options) (
 			res.Trace = root.Trace()
 			root.SetVTime(res.Cost.Total())
 			root.SetAttr("engine", res.Engine)
+			root.End() // close before capture so the slowlog tree has no open spans
+			p.recordQuery(sql, user, time.Since(start), &queryOutcome{
+				engine:        res.Engine,
+				vtime:         res.Cost.Total(),
+				peers:         len(res.Peers),
+				resubmissions: attempt,
+				rowsScanned:   res.RowsScanned,
+				bytesFetched:  res.BytesFetched,
+			}, nil, root)
 			return res, nil
 		}
 		if !errors.Is(err, engine.ErrSnapshotNewer) {
 			root.SetError(err)
+			root.End()
+			p.recordQuery(sql, user, time.Since(start), nil, err, root)
 			return nil, err
 		}
 		resubmissions.Inc()
 		lastErr = err
 	}
 	root.SetError(lastErr)
-	return nil, fmt.Errorf("peer %s: query kept racing loader refreshes after %d attempts: %w", p.id, maxAttempts, lastErr)
+	err = fmt.Errorf("peer %s: query kept racing loader refreshes after %d attempts: %w", p.id, maxAttempts, lastErr)
+	root.End()
+	p.recordQuery(sql, user, time.Since(start), nil, err, root)
+	return nil, err
 }
 
 func (p *Peer) execute(stmt *sqldb.SelectStmt, user string, strategy Strategy, opts engine.Options, sp *telemetry.Span) (*engine.QueryResult, error) {

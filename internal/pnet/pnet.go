@@ -292,12 +292,21 @@ func (n *Network) deliverInner(msg Message, dm *destMetrics) (Message, error) {
 	return reply, nil
 }
 
+// CallObserver sees the outcome of every outgoing call made through one
+// endpoint: destination, message type, wall-clock duration, and error
+// (nil on success). Peers install one to feed their own telemetry
+// registry with per-destination RPC stats — the sender-side view is the
+// one that matters for health scoring, because a down peer cannot
+// report its own failures.
+type CallObserver func(to, msgType string, d time.Duration, err error)
+
 // Endpoint is one peer's attachment to the network.
 type Endpoint struct {
 	id       string
 	net      *Network
 	mu       sync.RWMutex
 	handlers map[string]Handler
+	observer atomic.Value // CallObserver
 }
 
 // ID returns the peer ID of this endpoint.
@@ -320,7 +329,8 @@ func (e *Endpoint) Call(to, msgType string, payload interface{}, size int64) (Me
 // CallTraced is Call with the caller's span context attached, so spans
 // opened at the destination nest under the calling query's trace.
 func (e *Endpoint) CallTraced(tc telemetry.SpanContext, to, msgType string, payload interface{}, size int64) (Message, error) {
-	return e.net.deliver(Message{
+	start := time.Now()
+	reply, err := e.net.deliver(Message{
 		From:    e.id,
 		To:      to,
 		Type:    msgType,
@@ -328,6 +338,16 @@ func (e *Endpoint) CallTraced(tc telemetry.SpanContext, to, msgType string, payl
 		Size:    size,
 		Trace:   tc,
 	})
+	if obs, ok := e.observer.Load().(CallObserver); ok && obs != nil {
+		obs(to, msgType, time.Since(start), err)
+	}
+	return reply, err
+}
+
+// SetCallObserver installs the endpoint's outgoing-call observer
+// (nil-safe to call before any traffic; replaces a previous observer).
+func (e *Endpoint) SetCallObserver(obs CallObserver) {
+	e.observer.Store(obs)
 }
 
 // Network returns the network this endpoint belongs to.

@@ -1,0 +1,185 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/gob"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// TestHistogramMergeLossless is the acceptance check for the snapshot
+// encoding: merging N shard snapshots into one histogram reports
+// p50/p95/p99 identical to a single histogram fed the union of the
+// shards' observations. With fixed buckets this is exact, not
+// approximate — bucket counts add, so the interpolated quantile is
+// bit-for-bit the same.
+func TestHistogramMergeLossless(t *testing.T) {
+	const shards = 7
+	bounds := DurationBuckets()
+	union := newHistogram(bounds)
+	parts := make([]*Histogram, shards)
+	for i := range parts {
+		parts[i] = newHistogram(bounds)
+	}
+	rng := rand.New(rand.NewSource(42))
+	for i := 0; i < 20000; i++ {
+		v := math.Exp(rng.NormFloat64()*2 - 7) // log-normal over the bucket range
+		union.Observe(v)
+		parts[i%shards].Observe(v)
+	}
+
+	merged := newHistogram(bounds)
+	for _, p := range parts {
+		if err := merged.Merge(p.Snapshot()); err != nil {
+			t.Fatalf("merge: %v", err)
+		}
+	}
+
+	if got, want := merged.Count(), union.Count(); got != want {
+		t.Fatalf("count: merged %d, union %d", got, want)
+	}
+	if got, want := merged.Sum(), union.Sum(); math.Abs(got-want) > 1e-9*math.Abs(want) {
+		t.Fatalf("sum: merged %g, union %g", got, want)
+	}
+	gc, uc := merged.BucketCounts(), union.BucketCounts()
+	for i := range gc {
+		if gc[i] != uc[i] {
+			t.Fatalf("bucket[%d]: merged %d, union %d", i, gc[i], uc[i])
+		}
+	}
+	for _, q := range []float64{0.50, 0.95, 0.99} {
+		if got, want := merged.Quantile(q), union.Quantile(q); got != want {
+			t.Fatalf("q%.2f: merged %g, union %g", q, got, want)
+		}
+	}
+	// The frozen snapshot agrees with the live estimator too.
+	snap := merged.Snapshot()
+	for _, q := range []float64{0.50, 0.95, 0.99} {
+		if got, want := snap.Quantile(q), merged.Quantile(q); got != want {
+			t.Fatalf("snapshot q%.2f: %g vs live %g", q, got, want)
+		}
+	}
+}
+
+func TestHistogramMergeBoundsMismatch(t *testing.T) {
+	h := newHistogram([]float64{1, 2, 3})
+	if err := h.Merge(HistogramSnapshot{Bounds: []float64{1, 2}, Counts: []int64{0, 0, 0}}); err == nil {
+		t.Fatal("expected bounds-length mismatch error")
+	}
+	if err := h.Merge(HistogramSnapshot{Bounds: []float64{1, 2, 4}, Counts: []int64{0, 0, 0, 0}}); err == nil {
+		t.Fatal("expected bounds-value mismatch error")
+	}
+	if err := h.Merge(HistogramSnapshot{Bounds: []float64{1, 2, 3}, Counts: []int64{0, 0}}); err == nil {
+		t.Fatal("expected counts-length mismatch error")
+	}
+}
+
+// TestExportDeltaMerge drives the full reporter/collector contract:
+// export, mutate, export again, take the delta, merge deltas from two
+// "peers" into a cluster registry under peer labels, and check the
+// aggregate matches hand counting.
+func TestExportDeltaMerge(t *testing.T) {
+	mk := func() *Registry { return NewRegistry() }
+
+	r := mk()
+	r.Counter("queries_total").Add(5)
+	r.Gauge("load").Set(3)
+	h := r.Histogram("latency_seconds", []float64{0.1, 1, 10})
+	h.Observe(0.05)
+	h.Observe(5)
+	prev := r.Export()
+
+	r.Counter("queries_total").Add(2)
+	r.Gauge("load").Set(7)
+	h.Observe(0.5)
+	r.Counter("idle_total") // touched but zero: must drop from delta
+	cur := r.Export()
+
+	d := cur.Delta(prev)
+	if p, ok := d.Find("queries_total"); !ok || p.Value != 2 {
+		t.Fatalf("delta counter: %+v ok=%v", p, ok)
+	}
+	if p, ok := d.Find("load"); !ok || p.Value != 7 {
+		t.Fatalf("delta gauge: %+v ok=%v", p, ok)
+	}
+	if p, ok := d.Find("latency_seconds"); !ok || p.Hist == nil || p.Hist.Count() != 1 {
+		t.Fatalf("delta histogram: %+v ok=%v", p, ok)
+	}
+	if _, ok := d.Find("idle_total"); ok {
+		t.Fatal("zero-delta counter survived")
+	}
+
+	// Cluster merge under peer labels: two disjoint peer registries.
+	cluster := mk()
+	if err := cluster.Merge(d, L("peer", "peer-00")); err != nil {
+		t.Fatalf("merge: %v", err)
+	}
+	other := mk()
+	other.Counter("queries_total").Add(9)
+	if err := cluster.Merge(other.Export(), L("peer", "peer-01")); err != nil {
+		t.Fatalf("merge: %v", err)
+	}
+	if got := cluster.Counter("queries_total", L("peer", "peer-00")).Value(); got != 2 {
+		t.Fatalf("cluster peer-00 counter = %d", got)
+	}
+	if got := cluster.Counter("queries_total", L("peer", "peer-01")).Value(); got != 9 {
+		t.Fatalf("cluster peer-01 counter = %d", got)
+	}
+	if got := cluster.Histogram("latency_seconds", []float64{0.1, 1, 10}, L("peer", "peer-00")).Count(); got != 1 {
+		t.Fatalf("cluster histogram count = %d", got)
+	}
+	// Merging the same delta again accumulates (counters are additive).
+	if err := cluster.Merge(d, L("peer", "peer-00")); err != nil {
+		t.Fatalf("re-merge: %v", err)
+	}
+	if got := cluster.Counter("queries_total", L("peer", "peer-00")).Value(); got != 4 {
+		t.Fatalf("cluster counter after re-merge = %d", got)
+	}
+}
+
+// TestReportGobRoundTrip proves the wire types survive gob — the same
+// encoding pnet's TCP transport uses.
+func TestReportGobRoundTrip(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("c", L("k", "v")).Add(3)
+	r.Histogram("h", []float64{1, 2}).Observe(1.5)
+	rep := Report{Peer: "peer-03", Seq: 12, Delta: r.Export()}
+
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(rep); err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	var got Report
+	if err := gob.NewDecoder(&buf).Decode(&got); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if got.Peer != "peer-03" || got.Seq != 12 || len(got.Delta.Points) != len(rep.Delta.Points) {
+		t.Fatalf("round trip mismatch: %+v", got)
+	}
+	if p, ok := got.Delta.Find("h"); !ok || p.Hist == nil || p.Hist.Count() != 1 {
+		t.Fatalf("histogram lost in transit: %+v ok=%v", p, ok)
+	}
+}
+
+// TestSpanFinished checks the leak detector: an unfinished span is
+// reported as such, and OpenSpans names it.
+func TestSpanFinished(t *testing.T) {
+	root := StartTrace("q")
+	child := root.StartChild("leaky")
+	root.End()
+	tr := root.Trace()
+	open := tr.OpenSpans()
+	if len(open) != 1 || open[0] != "leaky" {
+		t.Fatalf("open spans = %v, want [leaky]", open)
+	}
+	child.End()
+	if open := tr.OpenSpans(); len(open) != 0 {
+		t.Fatalf("open spans after End = %v", open)
+	}
+	for _, s := range tr.Spans() {
+		if !s.Finished {
+			t.Fatalf("span %s not finished", s.Name)
+		}
+	}
+}

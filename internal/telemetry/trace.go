@@ -220,6 +220,9 @@ type SpanInfo struct {
 	Wall       time.Duration
 	VTime      time.Duration
 	HasVTime   bool
+	// Finished is false for a span still open when the snapshot was
+	// taken — after a query returns, an unfinished span is a leak.
+	Finished bool
 }
 
 // Spans returns a consistent flat snapshot of the trace's spans in
@@ -247,12 +250,27 @@ func (t *Trace) Spans() []SpanInfo {
 				Attrs: append([]Label(nil), s.attrs...),
 				Start: s.start, Wall: end.Sub(s.start),
 				VTime: s.vtime, HasVTime: s.hasVT,
+				Finished: !s.end.IsZero(),
 			})
 		}
 	}
 	t.mu.Unlock()
 	sort.SliceStable(out, func(i, j int) bool { return out[i].Start.Before(out[j].Start) })
 	return out
+}
+
+// OpenSpans returns the names of spans not yet ended — the span-leak
+// detector. After a query (successful or failed) has fully returned,
+// every span in its trace must be finished; anything still open was
+// leaked by an error path.
+func (t *Trace) OpenSpans() []string {
+	var open []string
+	for _, s := range t.Spans() {
+		if !s.Finished {
+			open = append(open, s.Name)
+		}
+	}
+	return open
 }
 
 // Render draws the span tree with wall-clock and virtual time side by

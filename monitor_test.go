@@ -1,0 +1,91 @@
+package bestpeer
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestFailoverDuringInFlightQueries crashes a peer while traced queries
+// are in flight across the network: the in-flight queries must degrade
+// gracefully (error, never panic or hang), the maintenance epoch fails
+// the peer over, the collector drops the dead identity's telemetry
+// window, and queries succeed again afterwards. Run under -race this
+// doubles as the concurrency check on the monitoring plane.
+func TestFailoverDuringInFlightQueries(t *testing.T) {
+	n := newLoadedNetwork(t, 4, 0.002)
+	victim := n.Peer(2).ID()
+
+	// Everyone reports once so the victim has a collector window to drop.
+	n.ReportTelemetry()
+	if _, ok := n.Bootstrap.Collector().Health(victim); !ok {
+		t.Fatal("victim has no telemetry window before the crash")
+	}
+
+	const workers = 4
+	var wg sync.WaitGroup
+	crash := make(chan struct{})
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				_, err := n.Query(w%2, `SELECT COUNT(*) FROM lineitem`, QueryOptions{})
+				select {
+				case <-crash:
+					// The network is (or is about to be) degraded; errors
+					// are expected, panics and hangs are the failure mode.
+					_ = err
+					return
+				default:
+				}
+				if err != nil {
+					t.Errorf("worker %d query %d before crash: %v", w, i, err)
+					return
+				}
+			}
+		}(w)
+	}
+	time.Sleep(10 * time.Millisecond) // let queries get in flight
+	if err := n.CrashPeer(victim); err != nil {
+		t.Fatal(err)
+	}
+	close(crash)
+	wg.Wait()
+
+	// Reports from the survivors carry their sender-side view of the
+	// victim's failures (the victim itself cannot report: it is down).
+	n.ReportTelemetry()
+
+	if err := n.RunMaintenance(time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := n.Bootstrap.Collector().Health(victim); ok {
+		t.Error("dead peer's telemetry window survived fail-over")
+	}
+	var failNote string
+	for _, e := range n.Bootstrap.Events() {
+		if e.Kind == "failover" && e.Peer == victim && strings.Contains(e.Note, "begin") {
+			failNote = e.Note
+		}
+	}
+	if failNote == "" {
+		t.Error("no failover event for the victim")
+	}
+
+	if _, err := n.Query(0, `SELECT COUNT(*) FROM lineitem`, QueryOptions{}); err != nil {
+		t.Fatalf("query after fail-over: %v", err)
+	}
+	// The replacement identity reports into a fresh window.
+	n.ReportTelemetry()
+	found := false
+	for _, id := range n.Bootstrap.Collector().Peers() {
+		if strings.HasPrefix(id, victim+"-r") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("replacement never reported: windows = %v", n.Bootstrap.Collector().Peers())
+	}
+}
