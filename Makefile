@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: verify build fmt vet test race bench fanout bench-telemetry bench-monitor
+.PHONY: verify build fmt vet test race bench fanout bench-telemetry bench-monitor bench-exec
 
 verify: build fmt vet race
 
@@ -43,3 +43,10 @@ bench-telemetry:
 # Expected overhead_pct < 2.
 bench-monitor:
 	$(GO) run ./cmd/bpbench -fig monitor | tee BENCH_monitor.json
+
+# Wall-clock speedup of the compile-once execution layer (plan cache +
+# closure-compiled expressions + streaming pipeline) over the
+# tree-walking interpreter on the fig-6 benchmark queries; refreshes
+# the trajectory file. Expected speedup >= 2.
+bench-exec:
+	$(GO) run ./cmd/bpbench -fig exec | tee BENCH_exec.json

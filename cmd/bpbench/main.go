@@ -3,16 +3,18 @@
 //
 // Usage:
 //
-//	bpbench [-fig all|6|7|8|9|10|11|12|13|14|ablations|fanout|telemetry|monitor] [-nodes 10,20,50] [-sf 0.0004]
+//	bpbench [-fig all|6|7|8|9|10|11|12|13|14|ablations|fanout|telemetry|monitor|exec] [-nodes 10,20,50] [-sf 0.0004]
 //
-// Three experiments are wall-clock rather than vtime: "fanout" compares
+// Four experiments are wall-clock rather than vtime: "fanout" compares
 // sequential vs concurrent multi-peer fetch under an injected per-call
 // service delay (JSON line for BENCH_fanout.json), "telemetry"
 // measures the instrumentation overhead of the metrics/tracing layer on
-// the fig-6 workload (JSON line for BENCH_telemetry.json), and
-// "monitor" measures the monitoring plane — reporter loops plus the
-// bootstrap collector — on the same workload (JSON line for
-// BENCH_monitor.json).
+// the fig-6 workload (JSON line for BENCH_telemetry.json), "monitor"
+// measures the monitoring plane — reporter loops plus the bootstrap
+// collector — on the same workload (JSON line for BENCH_monitor.json),
+// and "exec" prices the compile-once execution layer against the
+// tree-walking interpreter on the fig-6 benchmark queries (JSON line
+// for BENCH_exec.json).
 package main
 
 import (
@@ -69,6 +71,16 @@ func main() {
 		r, err := bench.TelemetryOverhead(*telemetryPeers, *telemetryQueries)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "bpbench: telemetry: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Println(r.JSONLine())
+		return
+	}
+
+	if *fig == "exec" {
+		r, err := bench.ExecCompileSpeedup(*telemetryPeers, *telemetryQueries)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bpbench: exec: %v\n", err)
 			os.Exit(1)
 		}
 		fmt.Println(r.JSONLine())

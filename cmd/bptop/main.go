@@ -31,6 +31,7 @@ import (
 	"bestpeer"
 	"bestpeer/internal/bootstrap"
 	"bestpeer/internal/peer"
+	"bestpeer/internal/telemetry"
 	"bestpeer/internal/tpch"
 )
 
@@ -160,6 +161,18 @@ func render(net *bestpeer.Network, start time.Time) {
 	fmt.Printf("bptop — %d peers reporting, up %v\n\n",
 		len(c.Peers()), now.Sub(start).Round(time.Second))
 	fmt.Print(bootstrap.RenderDashboard(c.Healths(), now))
+	// Compiled-executor summary: all in-process peers share the default
+	// registry, so the counters aggregate across the whole network.
+	hits := telemetry.Default.Counter("sqldb_plan_cache_hits_total").Value()
+	misses := telemetry.Default.Counter("sqldb_plan_cache_misses_total").Value()
+	rate := 0.0
+	if hits+misses > 0 {
+		rate = float64(hits) / float64(hits+misses) * 100
+	}
+	fmt.Printf("\nplan cache: %d hits / %d misses (%.1f%% hit rate), %d exprs compiled, %d plans compiled\n",
+		hits, misses, rate,
+		telemetry.Default.Counter("sqldb_expr_compiles_total").Value(),
+		telemetry.Default.Counter("sqldb_plans_compiled_total").Value())
 	events := net.Bootstrap.Events()
 	if len(events) > 0 {
 		fmt.Println("\nrecent events:")

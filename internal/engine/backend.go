@@ -39,6 +39,24 @@ type SubQueryRequest struct {
 	// it to the pnet message so the data owner's execution nests under
 	// the caller's trace. Zero means "untraced".
 	Trace telemetry.SpanContext
+	// StmtBytes is the request's modeled wire size (see SubQueryBytes),
+	// computed once where the request is built so a fan-out round does
+	// not re-render the WHERE clause for every target peer. Zero means
+	// "unknown; the backend measures it per call".
+	StmtBytes int64
+}
+
+// SubQueryBytes models the wire size of a subquery request: a fixed
+// statement envelope plus the rendered WHERE clause. Engines stamp it
+// into SubQueryRequest.StmtBytes once per round; the formula must stay
+// identical to the backend's fallback so virtual-time costs do not
+// depend on which side measured.
+func SubQueryBytes(stmt *sqldb.SelectStmt) int64 {
+	size := int64(64)
+	if stmt.Where != nil {
+		size += int64(len(stmt.Where.String()))
+	}
+	return size
 }
 
 // JoinTask asks a data peer to act as a processing node of the parallel

@@ -50,7 +50,7 @@ func (e *Basic) fetch(a *tableAccess, bloomCol string, bloom *Bloom) (*fetchRoun
 	stmt := sqldb.BuildSubQuery(a.ref, a.columns, a.conjuncts)
 	round := &fetchRound{peerCount: len(a.loc.Peers)}
 	rates := e.B.Rates()
-	req := SubQueryRequest{Stmt: stmt, User: e.User, Timestamp: e.Timestamp, Trace: sp.Context()}
+	req := SubQueryRequest{Stmt: stmt, User: e.User, Timestamp: e.Timestamp, Trace: sp.Context(), StmtBytes: SubQueryBytes(stmt)}
 	if bloom != nil && !e.Opts.DisableBloomJoin {
 		req.BloomColumn = bloomCol
 		req.Bloom = bloom
@@ -138,7 +138,7 @@ func (e *Basic) execute(stmt *sqldb.SelectStmt) (*QueryResult, error) {
 	// has everything and skip the final processing phase (§6.2.3).
 	if peer, ok := singleCommonPeer(accesses); ok && !e.Opts.DisableSinglePeer {
 		sp := e.Span.StartChild("single-peer", telemetry.L("peer", peer))
-		res, err := e.B.SubQuery(peer, SubQueryRequest{Stmt: stmt, User: e.User, Timestamp: e.Timestamp, Trace: sp.Context()})
+		res, err := e.B.SubQuery(peer, SubQueryRequest{Stmt: stmt, User: e.User, Timestamp: e.Timestamp, Trace: sp.Context(), StmtBytes: SubQueryBytes(stmt)})
 		if err != nil {
 			sp.SetError(err)
 			sp.End()
@@ -167,7 +167,7 @@ func (e *Basic) execute(stmt *sqldb.SelectStmt) (*QueryResult, error) {
 			return nil, err
 		} else if ok {
 			sp := e.Span.StartChild("partial-agg:"+a.ref.Table, telemetry.L("peers", fmt.Sprintf("%d", len(a.loc.Peers))))
-			req := SubQueryRequest{Stmt: d.Partial, User: e.User, Timestamp: e.Timestamp, Trace: sp.Context()}
+			req := SubQueryRequest{Stmt: d.Partial, User: e.User, Timestamp: e.Timestamp, Trace: sp.Context(), StmtBytes: SubQueryBytes(d.Partial)}
 			results, err := FanOut(e.Opts.FanoutWidth, len(a.loc.Peers), func(i int) (*sqldb.Result, error) {
 				return e.B.SubQuery(a.loc.Peers[i], req)
 			})
@@ -231,8 +231,9 @@ func (e *Basic) execute(stmt *sqldb.SelectStmt) (*QueryResult, error) {
 		if len(lkeys) == 1 && !e.Opts.DisableBloomJoin {
 			if ref, ok := rkeys[0].(*sqldb.ColumnRef); ok {
 				bloom = NewBloom(len(rows))
+				keyOf := sqldb.CompileExprOver(cur, lkeys[0])
 				for _, row := range rows {
-					v, err := sqldb.EvalExprOver(cur, lkeys[0], row)
+					v, err := keyOf(row)
 					if err != nil {
 						return nil, err
 					}
@@ -324,29 +325,41 @@ func hashJoin(lb []sqldb.Binding, lrows []sqlval.Row, rb []sqldb.Binding, rrows 
 		return out, next, nil
 	}
 	// Equi-joins here are foreign-key shaped (TPC-H), so the output is
-	// near the probe side's cardinality; size the slice accordingly.
+	// near the probe side's cardinality; size the slice accordingly. The
+	// key expressions compile once — column offsets resolved up front —
+	// and the closures run per row.
 	out := make([]sqlval.Row, 0, len(lrows))
+	rhash, revals := sqldb.CompileJoinKey(rb, rkeys)
+	lhash, levals := sqldb.CompileJoinKey(lb, lkeys)
 	build := make(map[uint64][]sqlval.Row, len(rrows))
 	for _, r := range rrows {
-		h, err := sqldb.JoinKeyHash(rb, rkeys, r)
+		h, err := rhash(r)
 		if err != nil {
 			return nil, nil, err
 		}
 		build[h] = append(build[h], r)
 	}
 	for _, l := range lrows {
-		h, err := sqldb.JoinKeyHash(lb, lkeys, l)
+		h, err := lhash(l)
 		if err != nil {
 			return nil, nil, err
 		}
+	probe:
 		for _, r := range build[h] {
-			eq, err := sqldb.JoinKeysEqual(lb, lkeys, l, rb, rkeys, r)
-			if err != nil {
-				return nil, nil, err
+			for i := range levals {
+				lv, err := levals[i](l)
+				if err != nil {
+					return nil, nil, err
+				}
+				rv, err := revals[i](r)
+				if err != nil {
+					return nil, nil, err
+				}
+				if lv.IsNull() || rv.IsNull() || !sqlval.Equal(lv, rv) {
+					continue probe
+				}
 			}
-			if eq {
-				out = append(out, combinedRow(l, r))
-			}
+			out = append(out, combinedRow(l, r))
 		}
 	}
 	return out, next, nil
@@ -372,18 +385,12 @@ func applyResolvable(b []sqldb.Binding, rows []sqlval.Row, conds []sqldb.Expr) (
 	if len(applicable) == 0 {
 		return rows, pending, nil
 	}
+	match := sqldb.CompilePredicates(b, applicable)
 	kept := rows[:0]
 	for _, row := range rows {
-		ok := true
-		for _, c := range applicable {
-			pass, err := sqldb.EvalPredicate(b, c, row)
-			if err != nil {
-				return nil, nil, err
-			}
-			if !pass {
-				ok = false
-				break
-			}
+		ok, err := match(row)
+		if err != nil {
+			return nil, nil, err
 		}
 		if ok {
 			kept = append(kept, row)

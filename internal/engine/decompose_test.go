@@ -285,19 +285,20 @@ func TestRouteKeyMultiColumn(t *testing.T) {
 	r1 := sqlval.Row{sqlval.Int(1), sqlval.Str("x")}
 	r2 := sqlval.Row{sqlval.Int(1), sqlval.Str("x")}
 	r3 := sqlval.Row{sqlval.Int(2), sqlval.Str("x")}
-	k1, err := routeKey(b, keys, r1)
+	route := compileRouteKey(b, keys)
+	k1, err := route(r1)
 	if err != nil {
 		t.Fatal(err)
 	}
-	k2, _ := routeKey(b, keys, r2)
-	k3, _ := routeKey(b, keys, r3)
+	k2, _ := route(r2)
+	k3, _ := route(r3)
 	if !sqlval.Equal(k1, k2) {
 		t.Error("equal keys routed differently")
 	}
 	if sqlval.Equal(k1, k3) {
 		t.Error("different keys routed identically (exact collision)")
 	}
-	if k, _ := routeKey(b, nil, r1); !k.IsNull() {
+	if k, _ := compileRouteKey(b, nil)(r1); !k.IsNull() {
 		t.Errorf("empty key list = %v", k)
 	}
 	if k := groupKeyOf(sqlval.Row{sqlval.Int(1), sqlval.Int(2)}); k.Kind() != sqlval.KindString {

@@ -71,7 +71,7 @@ func (e *MapReduce) execute(stmt *sqldb.SelectStmt) (*QueryResult, error) {
 	splitsFor := func(a *tableAccess, sub *sqldb.SelectStmt) ([]mapreduce.Split, error) {
 		sp := e.Span.StartChild("splits:"+a.ref.Table, telemetry.L("peers", fmt.Sprintf("%d", len(a.loc.Peers))))
 		defer sp.End()
-		req := SubQueryRequest{Stmt: sub, User: e.User, Timestamp: e.Timestamp, Trace: sp.Context()}
+		req := SubQueryRequest{Stmt: sub, User: e.User, Timestamp: e.Timestamp, Trace: sp.Context(), StmtBytes: SubQueryBytes(sub)}
 		results, err := FanOut(e.Opts.FanoutWidth, len(a.loc.Peers), func(i int) (*sqldb.Result, error) {
 			return e.B.SubQuery(a.loc.Peers[i], req)
 		})
@@ -166,16 +166,19 @@ func (e *MapReduce) execute(stmt *sqldb.SelectStmt) (*QueryResult, error) {
 		splits = append(splits, tagSplits(rightSplits, "R")...)
 
 		lb, rb := leftBindings, right
+		// Route keys compile once per job; the Map closure runs per row.
+		lroute := compileRouteKey(lb, lkeys)
+		rroute := compileRouteKey(rb, rkeys)
 		job := mapreduce.Job{
 			Name:   fmt.Sprintf("join%d:%s", jobIndex, a.ref.Table),
 			Splits: splits,
 			Trace:  e.Span.Context(),
 			Map: func(src string, row sqlval.Row) ([]mapreduce.KV, error) {
-				side, keys, b := "L", lkeys, lb
+				side, route := "L", lroute
 				if strings.HasPrefix(src, "R|") {
-					side, keys, b = "R", rkeys, rb
+					side, route = "R", rroute
 				}
-				key, err := routeKey(b, keys, row)
+				key, err := route(row)
 				if err != nil {
 					return nil, err
 				}
@@ -227,13 +230,13 @@ func (e *MapReduce) execute(stmt *sqldb.SelectStmt) (*QueryResult, error) {
 		// (group key, row); reducers compute per-group partials.
 		splits := rowsToSplits(leftRows, cluster.Workers())
 		lb := leftBindings
-		groupBy := stmt.GroupBy
+		route := compileRouteKey(lb, stmt.GroupBy)
 		job := mapreduce.Job{
 			Name:   "aggregate",
 			Splits: splits,
 			Trace:  e.Span.Context(),
 			Map: func(_ string, row sqlval.Row) ([]mapreduce.KV, error) {
-				key, err := routeKey(lb, groupBy, row)
+				key, err := route(row)
 				if err != nil {
 					return nil, err
 				}
@@ -307,28 +310,36 @@ func (e *MapReduce) finishAggregate(qr *QueryResult, cluster *mapreduce.Cluster,
 	return qr, nil
 }
 
-// routeKey builds a shuffle key from key expressions: single keys route
-// by value, multi-keys by a separator-joined rendering (collisions are
-// harmless — reducers re-verify equality).
-func routeKey(b []sqldb.Binding, keys []sqldb.Expr, row sqlval.Row) (sqlval.Value, error) {
+// compileRouteKey compiles the shuffle-key function for one job's key
+// expressions: single keys route by value, multi-keys by a
+// separator-joined rendering (collisions are harmless — reducers
+// re-verify equality). Column offsets resolve once here instead of per
+// mapped row.
+func compileRouteKey(b []sqldb.Binding, keys []sqldb.Expr) func(sqlval.Row) (sqlval.Value, error) {
 	if len(keys) == 0 {
-		return sqlval.Null(), nil
+		return func(sqlval.Row) (sqlval.Value, error) { return sqlval.Null(), nil }
 	}
 	if len(keys) == 1 {
-		return sqldb.EvalExprOver(b, keys[0], row)
+		return sqldb.CompileExprOver(b, keys[0])
 	}
-	var sb strings.Builder
+	evals := make([]sqldb.CompiledExpr, len(keys))
 	for i, k := range keys {
-		v, err := sqldb.EvalExprOver(b, k, row)
-		if err != nil {
-			return sqlval.Null(), err
-		}
-		if i > 0 {
-			sb.WriteByte(0x1f)
-		}
-		sb.WriteString(v.String())
+		evals[i] = sqldb.CompileExprOver(b, k)
 	}
-	return sqlval.Str(sb.String()), nil
+	return func(row sqlval.Row) (sqlval.Value, error) {
+		var sb strings.Builder
+		for i, eval := range evals {
+			v, err := eval(row)
+			if err != nil {
+				return sqlval.Null(), err
+			}
+			if i > 0 {
+				sb.WriteByte(0x1f)
+			}
+			sb.WriteString(v.String())
+		}
+		return sqlval.Str(sb.String()), nil
+	}
 }
 
 // groupKeyOf renders leading group columns into one routing key.

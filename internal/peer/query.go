@@ -225,9 +225,9 @@ func (p *Peer) Gate(peers []string) error {
 // SubQuery implements engine.Backend: ship a subquery to a data owner
 // peer over the message substrate.
 func (p *Peer) SubQuery(peerID string, req engine.SubQueryRequest) (*sqldb.Result, error) {
-	size := int64(64)
-	if req.Stmt.Where != nil {
-		size += int64(len(req.Stmt.Where.String()))
+	size := req.StmtBytes
+	if size == 0 {
+		size = engine.SubQueryBytes(req.Stmt)
 	}
 	if req.Bloom != nil {
 		size += req.Bloom.SizeBytes()

@@ -1,10 +1,12 @@
 package pnet
 
 import (
+	"bufio"
 	"encoding/gob"
 	"fmt"
 	"net"
 	"sync"
+	"time"
 )
 
 // TCP transport: a Network can expose its peers on a TCP listener and
@@ -70,6 +72,10 @@ func (l *Listener) Close() error {
 }
 
 func (l *Listener) acceptLoop() {
+	// Transient Accept errors (EMFILE, ECONNABORTED) back off instead of
+	// hot-spinning; the delay resets on the next successful accept.
+	delay := time.Millisecond
+	const maxDelay = 100 * time.Millisecond
 	for {
 		conn, err := l.ln.Accept()
 		if err != nil {
@@ -79,17 +85,26 @@ func (l *Listener) acceptLoop() {
 			if done {
 				return
 			}
+			time.Sleep(delay)
+			if delay *= 2; delay > maxDelay {
+				delay = maxDelay
+			}
 			continue
 		}
+		delay = time.Millisecond
 		go l.serve(conn)
 	}
 }
 
 // serve handles one connection: a stream of request/response pairs.
+// Reads and writes are buffered so gob's many small writes coalesce
+// into one syscall per response frame.
 func (l *Listener) serve(conn net.Conn) {
 	defer conn.Close()
-	dec := gob.NewDecoder(conn)
-	enc := gob.NewEncoder(conn)
+	br := bufio.NewReader(conn)
+	bw := bufio.NewWriter(conn)
+	dec := gob.NewDecoder(br)
+	enc := gob.NewEncoder(bw)
 	for {
 		var req wireRequest
 		if err := dec.Decode(&req); err != nil {
@@ -103,6 +118,9 @@ func (l *Listener) serve(conn net.Conn) {
 		if err := enc.Encode(&resp); err != nil {
 			return
 		}
+		if err := bw.Flush(); err != nil {
+			return
+		}
 	}
 }
 
@@ -112,6 +130,7 @@ type remotePeer struct {
 
 	mu   sync.Mutex
 	conn net.Conn
+	bw   *bufio.Writer
 	enc  *gob.Encoder
 	dec  *gob.Decoder
 }
@@ -147,21 +166,26 @@ func (r *remotePeer) call(msg Message) (Message, error) {
 				return Message{}, fmt.Errorf("pnet: dial %s: %w", r.addr, err)
 			}
 			r.conn = conn
-			r.enc = gob.NewEncoder(conn)
-			r.dec = gob.NewDecoder(conn)
+			r.bw = bufio.NewWriter(conn)
+			r.enc = gob.NewEncoder(r.bw)
+			r.dec = gob.NewDecoder(bufio.NewReader(conn))
 		}
 		var resp wireResponse
+		// The writer buffers gob's small writes; a flush failure is a
+		// broken connection, handled like an encode failure below.
 		if err := r.enc.Encode(wireRequest{Msg: msg}); err == nil {
-			if err := r.dec.Decode(&resp); err == nil {
-				if resp.Err != "" {
-					return Message{}, fmt.Errorf("pnet: remote: %s", resp.Err)
+			if err := r.bw.Flush(); err == nil {
+				if err := r.dec.Decode(&resp); err == nil {
+					if resp.Err != "" {
+						return Message{}, fmt.Errorf("pnet: remote: %s", resp.Err)
+					}
+					return resp.Msg, nil
 				}
-				return resp.Msg, nil
 			}
 		}
 		// Broken pipe: drop the connection and retry once.
 		r.conn.Close()
-		r.conn, r.enc, r.dec = nil, nil, nil
+		r.conn, r.bw, r.enc, r.dec = nil, nil, nil, nil
 	}
 	return Message{}, fmt.Errorf("pnet: remote call to %s failed", r.addr)
 }

@@ -81,6 +81,82 @@ type SelectStmt struct {
 	Limit    int // -1 = no limit
 }
 
+// String renders the statement back to SQL. The rendering is
+// deterministic, so it doubles as the plan-cache key for statements that
+// arrive already parsed (the subqueries engines ship to data owners).
+func (s *SelectStmt) String() string {
+	var sb strings.Builder
+	sb.WriteString("SELECT ")
+	if s.Distinct {
+		sb.WriteString("DISTINCT ")
+	}
+	for i, item := range s.Items {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		if item.Star {
+			if item.Table != "" {
+				sb.WriteString(item.Table)
+				sb.WriteString(".*")
+			} else {
+				sb.WriteString("*")
+			}
+			continue
+		}
+		sb.WriteString(item.Expr.String())
+		if item.Alias != "" {
+			sb.WriteString(" AS ")
+			sb.WriteString(item.Alias)
+		}
+	}
+	if len(s.From) > 0 {
+		sb.WriteString(" FROM ")
+		for i, ref := range s.From {
+			if i > 0 {
+				sb.WriteString(", ")
+			}
+			sb.WriteString(ref.Table)
+			if ref.Alias != "" && !strings.EqualFold(ref.Alias, ref.Table) {
+				sb.WriteString(" ")
+				sb.WriteString(ref.Alias)
+			}
+		}
+	}
+	if s.Where != nil {
+		sb.WriteString(" WHERE ")
+		sb.WriteString(s.Where.String())
+	}
+	if len(s.GroupBy) > 0 {
+		sb.WriteString(" GROUP BY ")
+		for i, e := range s.GroupBy {
+			if i > 0 {
+				sb.WriteString(", ")
+			}
+			sb.WriteString(e.String())
+		}
+	}
+	if s.Having != nil {
+		sb.WriteString(" HAVING ")
+		sb.WriteString(s.Having.String())
+	}
+	if len(s.OrderBy) > 0 {
+		sb.WriteString(" ORDER BY ")
+		for i, o := range s.OrderBy {
+			if i > 0 {
+				sb.WriteString(", ")
+			}
+			sb.WriteString(o.Expr.String())
+			if o.Desc {
+				sb.WriteString(" DESC")
+			}
+		}
+	}
+	if s.Limit >= 0 {
+		fmt.Fprintf(&sb, " LIMIT %d", s.Limit)
+	}
+	return sb.String()
+}
+
 func (*CreateTableStmt) stmt() {}
 func (*CreateIndexStmt) stmt() {}
 func (*InsertStmt) stmt()      {}

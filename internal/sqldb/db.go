@@ -16,11 +16,20 @@ import (
 type DB struct {
 	mu     sync.RWMutex
 	tables map[string]*Table
+	ver    uint64 // schema version; bumped by DDL under mu
+	plans  *planCache
 }
 
 // NewDB returns an empty database.
 func NewDB() *DB {
-	return &DB{tables: make(map[string]*Table)}
+	return &DB{tables: make(map[string]*Table), plans: newPlanCache(defaultPlanCacheCap)}
+}
+
+// bumpSchemaLocked records a schema change: any cached plan may now be
+// stale, so the plan cache is cleared. Callers hold db.mu.Lock.
+func (db *DB) bumpSchemaLocked() {
+	db.ver++
+	db.plans.invalidate()
 }
 
 // table returns the named table, or nil. Callers must hold db.mu.
@@ -61,6 +70,7 @@ func (db *DB) CreateTable(schema *Schema) (*Table, error) {
 		return nil, err
 	}
 	db.tables[key] = t
+	db.bumpSchemaLocked()
 	return t, nil
 }
 
@@ -71,6 +81,9 @@ func (db *DB) DropTable(name string) bool {
 	key := strings.ToLower(name)
 	_, ok := db.tables[key]
 	delete(db.tables, key)
+	if ok {
+		db.bumpSchemaLocked()
+	}
 	return ok
 }
 
@@ -86,22 +99,42 @@ func (db *DB) InsertRow(table string, row sqlval.Row) error {
 	return err
 }
 
-// Exec parses and executes a single SQL statement.
+// Exec parses and executes a single SQL statement. Repeated statements
+// skip the parser: the plan cache keys on the raw SQL text.
 func (db *DB) Exec(sql string) (*Result, error) {
+	if stmt := db.cachedStmt(sql); stmt != nil {
+		return db.execStmtKeyed(stmt, sql)
+	}
 	stmt, err := Parse(sql)
 	if err != nil {
 		return nil, err
 	}
-	return db.ExecStmt(stmt)
+	return db.execStmtKeyed(stmt, sql)
 }
 
 // Query executes a SELECT statement and returns its result.
 func (db *DB) Query(sql string) (*Result, error) {
+	if stmt := db.cachedStmt(sql); stmt != nil {
+		if _, ok := stmt.(*SelectStmt); ok {
+			return db.execStmtKeyed(stmt, sql)
+		}
+	}
 	stmt, err := ParseSelect(sql)
 	if err != nil {
 		return nil, err
 	}
-	return db.ExecStmt(stmt)
+	return db.execStmtKeyed(stmt, sql)
+}
+
+// cachedStmt returns the parse result cached under the SQL text, or nil.
+func (db *DB) cachedStmt(sql string) Statement {
+	if !CompileEnabled() {
+		return nil
+	}
+	if e := db.plans.lookup(sql); e != nil {
+		return e.stmt
+	}
+	return nil
 }
 
 // Statement counters, resolved once per kind: ExecStmt runs on every
@@ -117,9 +150,17 @@ func init() {
 	}
 }
 
-// ExecStmt executes an already-parsed statement.
+// ExecStmt executes an already-parsed statement. SELECTs are keyed into
+// the plan cache by their SQL rendering, so the identical subquery
+// templates engines ship every round compile once.
 func (db *DB) ExecStmt(stmt Statement) (*Result, error) {
-	res, err := db.execStmt(stmt)
+	return db.execStmtKeyed(stmt, "")
+}
+
+// execStmtKeyed executes stmt; key is the plan-cache key (raw SQL text
+// when the statement came in as text, "" to derive it on demand).
+func (db *DB) execStmtKeyed(stmt Statement, key string) (*Result, error) {
+	res, err := db.execStmt(stmt, key)
 	if err == nil && res != nil {
 		stmtCounters[stmtKind(stmt)].Inc()
 		if res.Stats.RowsScanned > 0 {
@@ -149,11 +190,17 @@ func stmtKind(stmt Statement) string {
 	}
 }
 
-func (db *DB) execStmt(stmt Statement) (*Result, error) {
+func (db *DB) execStmt(stmt Statement, key string) (*Result, error) {
 	switch s := stmt.(type) {
 	case *SelectStmt:
 		db.mu.RLock()
 		defer db.mu.RUnlock()
+		if CompileEnabled() {
+			if key == "" {
+				key = s.String()
+			}
+			return db.executeSelectCached(key, s)
+		}
 		return db.executeSelect(s)
 	case *CreateTableStmt:
 		if _, err := db.CreateTable(s.Schema); err != nil {
@@ -170,6 +217,8 @@ func (db *DB) execStmt(stmt Statement) (*Result, error) {
 		if err := t.CreateIndex(s.Name, s.Column, s.Unique); err != nil {
 			return nil, err
 		}
+		// A new index changes access-path choices for cached plans.
+		db.bumpSchemaLocked()
 		return &Result{}, nil
 	case *InsertStmt:
 		return db.executeInsert(s)
@@ -180,6 +229,41 @@ func (db *DB) execStmt(stmt Statement) (*Result, error) {
 	default:
 		return nil, fmt.Errorf("sqldb: unsupported statement %T", stmt)
 	}
+}
+
+// compileWhere compiles a DELETE/UPDATE predicate once per statement,
+// falling back to the interpreter closure when compilation is disabled
+// or fails; nil means no WHERE clause.
+func compileWhere(f *frame, where Expr) func(sqlval.Row) (bool, error) {
+	if where == nil {
+		return nil
+	}
+	if CompileEnabled() {
+		if fn, err := compilePred(f, where); err == nil {
+			return fn
+		}
+	}
+	return func(row sqlval.Row) (bool, error) { return evalPred(f, where, row) }
+}
+
+// executeSelectCached runs s through the compiled executor, reusing the
+// cached plan when the schema version still matches. Callers hold
+// db.mu.RLock. A compile failure falls back to the interpreter so
+// row-at-a-time error semantics (and results on edge cases the compiler
+// rejects up front, like projecting an unknown column over zero rows)
+// stay identical to the pre-compiled executor.
+func (db *DB) executeSelectCached(key string, s *SelectStmt) (*Result, error) {
+	if e := db.plans.lookup(key); e != nil && e.plan != nil && e.ver == db.ver {
+		planCacheHits.Inc()
+		return e.plan.run()
+	}
+	planCacheMisses.Inc()
+	plan, err := db.compileSelect(s)
+	if err != nil {
+		return db.executeSelect(s)
+	}
+	db.plans.store(&planEntry{key: key, stmt: s, plan: plan, ver: db.ver})
+	return plan.run()
 }
 
 func (db *DB) executeInsert(s *InsertStmt) (*Result, error) {
@@ -217,11 +301,12 @@ func (db *DB) executeDelete(s *DeleteStmt) (*Result, error) {
 	}
 	f := &frame{}
 	f.push(s.Table, t.Schema())
+	match := compileWhere(f, s.Where)
 	var ids []int
 	var ferr error
 	t.Scan(func(id int, row sqlval.Row) bool {
-		if s.Where != nil {
-			ok, err := evalPred(f, s.Where, row)
+		if match != nil {
+			ok, err := match(row)
 			if err != nil {
 				ferr = err
 				return false
@@ -263,11 +348,12 @@ func (db *DB) executeUpdate(s *UpdateStmt) (*Result, error) {
 		id  int
 		row sqlval.Row
 	}
+	match := compileWhere(f, s.Where)
 	var changes []change
 	var ferr error
 	t.Scan(func(id int, row sqlval.Row) bool {
-		if s.Where != nil {
-			ok, err := evalPred(f, s.Where, row)
+		if match != nil {
+			ok, err := match(row)
 			if err != nil {
 				ferr = err
 				return false

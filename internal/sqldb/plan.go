@@ -1,0 +1,645 @@
+package sqldb
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"bestpeer/internal/sqlval"
+	"bestpeer/internal/telemetry"
+)
+
+// A selectPlan is a SELECT compiled once against the current schema:
+// access paths chosen, every column reference resolved to a row offset,
+// and all predicates/projections/join keys/ORDER BY keys turned into
+// closures. Plans are stateless at run time (per-run Stats and sinks),
+// so a cached plan can serve concurrent readers under db.mu.RLock.
+//
+// Single-table statements — the shape of every subquery the engines
+// ship to data owners — run as a fused scan→filter→project stream with
+// no intermediate []sqlval.Row; joins materialize per-table row sets
+// preallocated from index-cardinality estimates.
+type selectPlan struct {
+	stmt  *SelectStmt
+	scans []*scanPlan
+	joins []*joinPlan // joins[i] adds scans[i+1] onto the accumulated rows
+	proj  *projPlan
+}
+
+var planCompiles = telemetry.Default.Counter("sqldb_plans_compiled_total")
+
+// scanPlan fetches one table's rows: access path plus the table's fused
+// residual filter. Statistics charging is identical to fetchRows.
+type scanPlan struct {
+	table  *Table
+	path   accessPath
+	filter compiledPred // nil = no per-table conjuncts
+}
+
+// joinPlan hash-joins the accumulated left rows with one table's rows.
+type joinPlan struct {
+	width    int
+	lkeys    []compiledExpr // over the accumulated (left) layout
+	rkeys    []compiledExpr // over the right table's layout
+	lhash    func(sqlval.Row) (uint64, error)
+	rhash    func(sqlval.Row) (uint64, error)
+	residual compiledPred // cross conditions resolvable at this level
+}
+
+// compileSelect builds a selectPlan for stmt. Callers hold db.mu (read
+// or write). Compile-time failures (unknown columns, unknown functions,
+// unresolvable predicates) are reported up front; the caller falls back
+// to the interpreter to keep row-at-a-time error semantics identical.
+func (db *DB) compileSelect(stmt *SelectStmt) (*selectPlan, error) {
+	if len(stmt.From) == 0 {
+		return nil, fmt.Errorf("sqldb: SELECT without FROM")
+	}
+	tables := make([]*Table, len(stmt.From))
+	schemas := make([]*Schema, len(stmt.From))
+	for i, ref := range stmt.From {
+		t := db.table(ref.Table)
+		if t == nil {
+			return nil, fmt.Errorf("sqldb: unknown table %s", ref.Table)
+		}
+		tables[i] = t
+		schemas[i] = t.Schema()
+	}
+	perTable, cross := splitConjuncts(stmt.Where, stmt.From, schemas)
+
+	p := &selectPlan{stmt: stmt}
+	for i, ref := range stmt.From {
+		f := &frame{}
+		f.push(ref.Alias, schemas[i])
+		filter, err := compileFilter(f, perTable[i])
+		if err != nil {
+			return nil, err
+		}
+		p.scans = append(p.scans, &scanPlan{
+			table:  tables[i],
+			path:   chooseAccessPath(tables[i], ref.Alias, perTable[i]),
+			filter: filter,
+		})
+	}
+
+	cur := &frame{}
+	cur.push(stmt.From[0].Alias, schemas[0])
+	pending := cross
+	for i := 1; i < len(stmt.From); i++ {
+		rf := &frame{}
+		rf.push(stmt.From[i].Alias, schemas[i])
+		lkeys, rkeys, rest := equiJoinKeys(pending, cur, rf)
+
+		next := &frame{}
+		next.bindings = append(next.bindings, cur.bindings...)
+		next.width = cur.width
+		next.push(stmt.From[i].Alias, schemas[i])
+
+		var applicable, still []Expr
+		for _, c := range rest {
+			if next.resolvable(c) {
+				applicable = append(applicable, c)
+			} else {
+				still = append(still, c)
+			}
+		}
+		jp := &joinPlan{width: next.width}
+		var err error
+		if jp.lkeys, err = compileExprs(cur, lkeys); err != nil {
+			return nil, err
+		}
+		if jp.rkeys, err = compileExprs(rf, rkeys); err != nil {
+			return nil, err
+		}
+		jp.lhash = compileHash(jp.lkeys)
+		jp.rhash = compileHash(jp.rkeys)
+		if jp.residual, err = compileFilter(next, applicable); err != nil {
+			return nil, err
+		}
+		p.joins = append(p.joins, jp)
+		cur = next
+		pending = still
+	}
+	if len(pending) > 0 {
+		return nil, fmt.Errorf("sqldb: unresolvable predicate %s", AndAll(pending))
+	}
+
+	proj, err := newProjPlan(cur, stmt)
+	if err != nil {
+		return nil, err
+	}
+	p.proj = proj
+	planCompiles.Inc()
+	return p, nil
+}
+
+// run executes the plan. Callers hold db.mu.RLock.
+func (p *selectPlan) run() (*Result, error) {
+	var stats Stats
+	if len(p.scans) == 1 {
+		// Streaming pipeline: scan rows flow straight into the
+		// projection/aggregation sink.
+		sink := p.proj.newSink(0)
+		if err := p.scans[0].stream(&stats, sink.add); err != nil {
+			return nil, err
+		}
+		res, err := sink.finish()
+		if err != nil {
+			return nil, err
+		}
+		finishStats(res, stats)
+		return res, nil
+	}
+
+	rows, err := p.scans[0].fetch(&stats)
+	if err != nil {
+		return nil, err
+	}
+	for i, jp := range p.joins {
+		rrows, err := p.scans[i+1].fetch(&stats)
+		if err != nil {
+			return nil, err
+		}
+		rows, err = jp.join(rows, rrows)
+		if err != nil {
+			return nil, err
+		}
+	}
+	res, err := p.proj.runRows(rows)
+	if err != nil {
+		return nil, err
+	}
+	finishStats(res, stats)
+	return res, nil
+}
+
+func finishStats(res *Result, stats Stats) {
+	res.Stats = stats
+	res.Stats.RowsReturned = int64(len(res.Rows))
+	for _, r := range res.Rows {
+		res.Stats.BytesReturned += int64(r.EncodedSize())
+	}
+}
+
+// stream visits the table's rows through the access path and filter,
+// charging scan statistics exactly like fetchRows, without materializing
+// an intermediate slice.
+func (s *scanPlan) stream(stats *Stats, yield func(sqlval.Row) error) error {
+	t := s.table
+	if s.path.index != nil {
+		stats.IndexUsed = true
+		for _, id := range s.ids() {
+			row := t.Row(id)
+			if row == nil {
+				continue
+			}
+			stats.RowsScanned++
+			stats.BytesScanned += int64(row.EncodedSize())
+			if s.filter != nil {
+				ok, err := s.filter(row)
+				if err != nil {
+					return err
+				}
+				if !ok {
+					continue
+				}
+			}
+			if err := yield(row); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	var ferr error
+	t.Scan(func(_ int, row sqlval.Row) bool {
+		stats.RowsScanned++
+		stats.BytesScanned += int64(row.EncodedSize())
+		if s.filter != nil {
+			ok, err := s.filter(row)
+			if err != nil {
+				ferr = err
+				return false
+			}
+			if !ok {
+				return true
+			}
+		}
+		if err := yield(row); err != nil {
+			ferr = err
+			return false
+		}
+		return true
+	})
+	return ferr
+}
+
+// ids evaluates the index probe, returning candidate row IDs.
+func (s *scanPlan) ids() []int {
+	if s.path.useEq {
+		return s.path.index.Lookup(s.path.eq)
+	}
+	return s.path.index.Range(s.path.lo, s.path.hi, s.path.loInc, s.path.hiInc)
+}
+
+// fetch materializes the table's filtered rows, preallocating from the
+// index cardinality when a probe is available.
+func (s *scanPlan) fetch(stats *Stats) ([]sqlval.Row, error) {
+	if s.path.index != nil {
+		stats.IndexUsed = true
+		ids := s.ids()
+		out := make([]sqlval.Row, 0, len(ids))
+		for _, id := range ids {
+			row := s.table.Row(id)
+			if row == nil {
+				continue
+			}
+			stats.RowsScanned++
+			stats.BytesScanned += int64(row.EncodedSize())
+			if s.filter != nil {
+				ok, err := s.filter(row)
+				if err != nil {
+					return nil, err
+				}
+				if !ok {
+					continue
+				}
+			}
+			out = append(out, row)
+		}
+		return out, nil
+	}
+	est := s.table.NumRows()
+	if s.filter != nil {
+		est = est/4 + 8 // filtered scans usually keep a fraction
+	}
+	out := make([]sqlval.Row, 0, est)
+	err := s.stream(stats, func(row sqlval.Row) error {
+		out = append(out, row)
+		return nil
+	})
+	return out, err
+}
+
+// join hash-joins (or cross-joins) left rows with right rows and applies
+// the level's residual predicate in place.
+func (j *joinPlan) join(lrows, rrows []sqlval.Row) ([]sqlval.Row, error) {
+	var joined []sqlval.Row
+	if len(j.lkeys) > 0 {
+		build := make(map[uint64][]sqlval.Row, len(rrows))
+		for _, rr := range rrows {
+			h, err := j.rhash(rr)
+			if err != nil {
+				return nil, err
+			}
+			build[h] = append(build[h], rr)
+		}
+		joined = make([]sqlval.Row, 0, len(lrows))
+		for _, lr := range lrows {
+			h, err := j.lhash(lr)
+			if err != nil {
+				return nil, err
+			}
+			for _, rr := range build[h] {
+				eq := true
+				for i := range j.lkeys {
+					lv, err := j.lkeys[i](lr)
+					if err != nil {
+						return nil, err
+					}
+					rv, err := j.rkeys[i](rr)
+					if err != nil {
+						return nil, err
+					}
+					if lv.IsNull() || rv.IsNull() || !sqlval.Equal(lv, rv) {
+						eq = false
+						break
+					}
+				}
+				if !eq {
+					continue
+				}
+				nr := make(sqlval.Row, 0, j.width)
+				nr = append(nr, lr...)
+				nr = append(nr, rr...)
+				joined = append(joined, nr)
+			}
+		}
+	} else {
+		joined = make([]sqlval.Row, 0, len(lrows)*len(rrows))
+		for _, lr := range lrows {
+			for _, rr := range rrows {
+				nr := make(sqlval.Row, 0, j.width)
+				nr = append(nr, lr...)
+				nr = append(nr, rr...)
+				joined = append(joined, nr)
+			}
+		}
+	}
+	if j.residual != nil {
+		filtered := joined[:0]
+		for _, row := range joined {
+			ok, err := j.residual(row)
+			if err != nil {
+				return nil, err
+			}
+			if ok {
+				filtered = append(filtered, row)
+			}
+		}
+		joined = filtered
+	}
+	return joined, nil
+}
+
+// projPlan is the compiled projection/aggregation tail of a SELECT:
+// output expressions, group keys, aggregate arguments, and ORDER BY key
+// sources (compiled expression or select-alias index, decided once).
+// Per-group HAVING and outputs still evaluate through evalWithAggs —
+// that code runs once per group, not once per row, and keeps the
+// MySQL-permissive sample-row semantics bit-identical.
+type projPlan struct {
+	stmt    *SelectStmt
+	f       *frame
+	cols    []string
+	outAST  []Expr // expanded select-list expressions
+	grouped bool
+
+	// Non-grouped path.
+	exprs []compiledExpr
+	order []orderSource
+
+	// Grouped path.
+	coll *aggCollector
+	keys []compiledExpr
+	args []compiledExpr // aggregate argument per collected call; nil = COUNT(*)
+}
+
+// orderSource produces one ORDER BY key for an output row: a compiled
+// expression, or (when the expression only resolves as a select alias)
+// the index of the output column to reuse.
+type orderSource struct {
+	eval  compiledExpr
+	alias int
+}
+
+func newProjPlan(f *frame, stmt *SelectStmt) (*projPlan, error) {
+	grouped := len(stmt.GroupBy) > 0 || stmt.Having != nil
+	for _, item := range stmt.Items {
+		if !item.Star && HasAggregate(item.Expr) {
+			grouped = true
+		}
+	}
+	cols, outAST, err := expandItems(f, stmt.Items)
+	if err != nil {
+		return nil, err
+	}
+	pp := &projPlan{stmt: stmt, f: f, cols: cols, outAST: outAST, grouped: grouped}
+	if grouped {
+		pp.coll = collectAggregates(stmt)
+		if pp.keys, err = compileExprs(f, stmt.GroupBy); err != nil {
+			return nil, err
+		}
+		for _, name := range pp.coll.order {
+			call := pp.coll.calls[name]
+			if call.Star {
+				pp.args = append(pp.args, nil)
+				continue
+			}
+			fn, err := compileExpr(f, call.Args[0])
+			if err != nil {
+				return nil, err
+			}
+			pp.args = append(pp.args, fn)
+		}
+		return pp, nil
+	}
+	if pp.exprs, err = compileExprs(f, outAST); err != nil {
+		return nil, err
+	}
+	for _, o := range stmt.OrderBy {
+		fn, err := compileExpr(f, o.Expr)
+		if err != nil {
+			// Allow ORDER BY on a select alias, resolved once here
+			// instead of per row.
+			idx, ok := aliasIndex(o.Expr, cols)
+			if !ok {
+				return nil, err
+			}
+			pp.order = append(pp.order, orderSource{alias: idx})
+			continue
+		}
+		pp.order = append(pp.order, orderSource{eval: fn})
+	}
+	return pp, nil
+}
+
+// aliasIndex finds the select-list column an unqualified ORDER BY ref
+// names (orderByAlias, resolved at compile time).
+func aliasIndex(e Expr, cols []string) (int, bool) {
+	ref, ok := e.(*ColumnRef)
+	if !ok || ref.Table != "" {
+		return 0, false
+	}
+	for i, c := range cols {
+		if strings.EqualFold(c, ref.Column) {
+			return i, true
+		}
+	}
+	return 0, false
+}
+
+// projSink accumulates rows for one execution of a projPlan.
+type projSink struct {
+	pp   *projPlan
+	outs []sortRow
+
+	groups  map[uint64][]*group
+	ordered []*group
+}
+
+type sortRow struct {
+	out  sqlval.Row
+	keys sqlval.Row
+}
+
+func (pp *projPlan) newSink(sizeHint int) *projSink {
+	s := &projSink{pp: pp}
+	if pp.grouped {
+		s.groups = make(map[uint64][]*group)
+	} else if sizeHint > 0 {
+		s.outs = make([]sortRow, 0, sizeHint)
+	}
+	return s
+}
+
+func (pp *projPlan) newGroup(key, sample sqlval.Row) *group {
+	g := &group{key: key, sample: sample}
+	for _, name := range pp.coll.order {
+		g.aggs = append(g.aggs, newAggState(pp.coll.calls[name].Name))
+	}
+	return g
+}
+
+// runRows feeds already-materialized rows through a fresh sink.
+func (pp *projPlan) runRows(rows []sqlval.Row) (*Result, error) {
+	sink := pp.newSink(len(rows))
+	for _, row := range rows {
+		if err := sink.add(row); err != nil {
+			return nil, err
+		}
+	}
+	return sink.finish()
+}
+
+// add consumes one input row.
+func (s *projSink) add(row sqlval.Row) error {
+	pp := s.pp
+	if pp.grouped {
+		key := make(sqlval.Row, len(pp.keys))
+		var h uint64 = 14695981039346656037
+		for i, fn := range pp.keys {
+			v, err := fn(row)
+			if err != nil {
+				return err
+			}
+			key[i] = v
+			h = h*1099511628211 ^ v.Hash()
+		}
+		var g *group
+		for _, cand := range s.groups[h] {
+			same := true
+			for i := range key {
+				if !sqlval.Equal(cand.key[i], key[i]) {
+					same = false
+					break
+				}
+			}
+			if same {
+				g = cand
+				break
+			}
+		}
+		if g == nil {
+			g = pp.newGroup(key, row)
+			s.groups[h] = append(s.groups[h], g)
+			s.ordered = append(s.ordered, g)
+		}
+		for i, arg := range pp.args {
+			if arg == nil {
+				g.aggs[i].add(sqlval.Int(1))
+				continue
+			}
+			v, err := arg(row)
+			if err != nil {
+				return err
+			}
+			g.aggs[i].add(v)
+		}
+		return nil
+	}
+
+	out := make(sqlval.Row, len(pp.exprs))
+	for i, fn := range pp.exprs {
+		v, err := fn(row)
+		if err != nil {
+			return err
+		}
+		out[i] = v
+	}
+	var keys sqlval.Row
+	if len(pp.order) > 0 {
+		keys = make(sqlval.Row, len(pp.order))
+		for i, src := range pp.order {
+			if src.eval != nil {
+				v, err := src.eval(row)
+				if err != nil {
+					return err
+				}
+				keys[i] = v
+			} else {
+				keys[i] = out[src.alias]
+			}
+		}
+	}
+	s.outs = append(s.outs, sortRow{out: out, keys: keys})
+	return nil
+}
+
+// finish sorts, deduplicates, limits, and emits the result.
+func (s *projSink) finish() (*Result, error) {
+	pp := s.pp
+	if !pp.grouped {
+		if len(pp.stmt.OrderBy) > 0 {
+			sort.SliceStable(s.outs, func(i, j int) bool {
+				return lessKeys(s.outs[i].keys, s.outs[j].keys, pp.stmt.OrderBy)
+			})
+		}
+		res := &Result{Columns: pp.cols}
+		seen := newDistinctFilter(pp.stmt.Distinct)
+		for _, sr := range s.outs {
+			if !seen.admit(sr.out) {
+				continue
+			}
+			if pp.stmt.Limit >= 0 && len(res.Rows) >= pp.stmt.Limit {
+				break
+			}
+			res.Rows = append(res.Rows, sr.out)
+		}
+		return res, nil
+	}
+
+	ordered := s.ordered
+	// A global aggregate (no GROUP BY) over zero rows still yields one row.
+	if len(pp.stmt.GroupBy) == 0 && len(ordered) == 0 {
+		ordered = append(ordered, pp.newGroup(nil, nil))
+	}
+	res := &Result{Columns: pp.cols}
+	var outs []sortRow
+	for _, g := range ordered {
+		if pp.stmt.Having != nil {
+			v, err := evalWithAggs(pp.f, pp.stmt.Having, g, pp.coll)
+			if err != nil {
+				return nil, err
+			}
+			if v.IsNull() || !truthy(v) {
+				continue
+			}
+		}
+		out := make(sqlval.Row, len(pp.outAST))
+		for i, e := range pp.outAST {
+			v, err := evalWithAggs(pp.f, e, g, pp.coll)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = v
+		}
+		var keys sqlval.Row
+		for _, o := range pp.stmt.OrderBy {
+			v, err := evalWithAggs(pp.f, o.Expr, g, pp.coll)
+			if err != nil {
+				v2, err2 := orderByAlias(o.Expr, pp.cols, out)
+				if err2 != nil {
+					return nil, err
+				}
+				v = v2
+			}
+			keys = append(keys, v)
+		}
+		outs = append(outs, sortRow{out: out, keys: keys})
+	}
+	if len(pp.stmt.OrderBy) > 0 {
+		sort.SliceStable(outs, func(i, j int) bool {
+			return lessKeys(outs[i].keys, outs[j].keys, pp.stmt.OrderBy)
+		})
+	}
+	seen := newDistinctFilter(pp.stmt.Distinct)
+	for _, sr := range outs {
+		if !seen.admit(sr.out) {
+			continue
+		}
+		if pp.stmt.Limit >= 0 && len(res.Rows) >= pp.stmt.Limit {
+			break
+		}
+		res.Rows = append(res.Rows, sr.out)
+	}
+	return res, nil
+}

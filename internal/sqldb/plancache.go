@@ -1,0 +1,120 @@
+package sqldb
+
+import (
+	"container/list"
+	"sync"
+	"sync/atomic"
+
+	"bestpeer/internal/telemetry"
+)
+
+// planCache is a bounded LRU of compiled statements keyed by SQL text.
+// The engines ship the same subquery template to every peer on every
+// round, so the data-owner hot path is lookup-and-run; parse and
+// compile happen once per distinct statement per schema version.
+//
+// Invalidation: every DDL (CREATE TABLE, DROP TABLE, CREATE INDEX)
+// bumps the database's schema version under db.mu and clears the cache.
+// Entries also carry the version they were compiled under, and a
+// version mismatch on lookup is treated as a miss — a second line of
+// defense so a stale plan can never run against a changed schema.
+//
+// Lock order: db.mu (read or write) may be held while taking cache.mu,
+// never the reverse.
+type planCache struct {
+	mu    sync.Mutex
+	cap   int
+	lru   *list.List // front = most recently used; values are *planEntry
+	byKey map[string]*list.Element
+}
+
+// planEntry is one cached statement: the parse result and, for SELECTs
+// that compiled cleanly, the plan.
+type planEntry struct {
+	key  string
+	stmt Statement
+	plan *selectPlan
+	ver  uint64 // schema version the plan was compiled under
+}
+
+var (
+	planCacheHits        = telemetry.Default.Counter("sqldb_plan_cache_hits_total")
+	planCacheMisses      = telemetry.Default.Counter("sqldb_plan_cache_misses_total")
+	planCacheEvictions   = telemetry.Default.Counter("sqldb_plan_cache_evictions_total")
+	planCacheInvalidated = telemetry.Default.Counter("sqldb_plan_cache_invalidations_total")
+	planCacheEntries     = telemetry.Default.Gauge("sqldb_plan_cache_entries")
+)
+
+// compileOff disables the compiled executor and plan cache when set,
+// restoring the retained tree-walking interpreter everywhere. The
+// differential fuzz tests and make bench-exec flip it to compare paths.
+var compileOff atomic.Bool
+
+// SetCompileEnabled toggles the compiled execution layer (on by
+// default). With it off, statements parse and tree-walk per call
+// exactly as before the compiled path existed.
+func SetCompileEnabled(on bool) { compileOff.Store(!on) }
+
+// CompileEnabled reports whether the compiled execution layer is active.
+func CompileEnabled() bool { return !compileOff.Load() }
+
+const defaultPlanCacheCap = 256
+
+func newPlanCache(capacity int) *planCache {
+	return &planCache{cap: capacity, lru: list.New(), byKey: make(map[string]*list.Element)}
+}
+
+// lookup returns the entry cached under key (refreshing its recency) or
+// nil. Callers check the entry's version before trusting its plan.
+func (c *planCache) lookup(key string) *planEntry {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.byKey[key]
+	if !ok {
+		return nil
+	}
+	c.lru.MoveToFront(el)
+	return el.Value.(*planEntry)
+}
+
+// store inserts or replaces the entry for e.key, evicting from the LRU
+// tail past capacity.
+func (c *planCache) store(e *planEntry) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.byKey[e.key]; ok {
+		el.Value = e
+		c.lru.MoveToFront(el)
+		return
+	}
+	c.byKey[e.key] = c.lru.PushFront(e)
+	planCacheEntries.Add(1)
+	for c.lru.Len() > c.cap {
+		tail := c.lru.Back()
+		c.lru.Remove(tail)
+		delete(c.byKey, tail.Value.(*planEntry).key)
+		planCacheEntries.Add(-1)
+		planCacheEvictions.Inc()
+	}
+}
+
+// invalidate drops every entry; called under db.mu.Lock by DDL.
+func (c *planCache) invalidate() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := c.lru.Len()
+	if n == 0 {
+		return
+	}
+	c.lru.Init()
+	c.byKey = make(map[string]*list.Element)
+	planCacheEntries.Add(int64(-n))
+	planCacheInvalidated.Add(int64(n))
+}
+
+// len reports the number of cached entries.
+func (c *planCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.lru.Len()
+}

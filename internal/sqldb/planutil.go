@@ -47,9 +47,88 @@ func Resolvable(bindings []Binding, e Expr) bool {
 // ProjectRows applies the SELECT list, grouping/aggregation, HAVING,
 // ORDER BY, and LIMIT of stmt to already-joined, already-filtered rows.
 // The engines call it at the query submitting peer after assembling the
-// distributed intermediate result.
+// distributed intermediate result. When the compiled layer is enabled
+// the projection compiles once and loops over rows with resolved
+// offsets; otherwise (or when compilation fails) it tree-walks per row
+// as before.
 func ProjectRows(stmt *SelectStmt, bindings []Binding, rows []sqlval.Row) (*Result, error) {
-	return project(frameOf(bindings), stmt, rows)
+	f := frameOf(bindings)
+	if CompileEnabled() {
+		if pp, err := newProjPlan(f, stmt); err == nil {
+			return pp.runRows(rows)
+		}
+	}
+	return project(f, stmt, rows)
+}
+
+// CompiledExpr is a closure-compiled expression over a joined row
+// layout: column references are resolved to offsets once at compile
+// time instead of per row.
+type CompiledExpr func(row sqlval.Row) (sqlval.Value, error)
+
+// CompiledPred is a closure-compiled predicate; SQL unknown is false.
+type CompiledPred func(row sqlval.Row) (bool, error)
+
+// CompileExprOver compiles e for repeated evaluation over rows laid out
+// by bindings. It never fails: when the compiled layer is disabled or
+// the expression does not compile (unknown column, aggregate outside
+// context), the returned closure tree-walks via the interpreter and
+// reproduces its per-row errors exactly.
+func CompileExprOver(bindings []Binding, e Expr) CompiledExpr {
+	f := frameOf(bindings)
+	if CompileEnabled() {
+		if fn, err := compileExpr(f, e); err == nil {
+			return CompiledExpr(fn)
+		}
+	}
+	return func(row sqlval.Row) (sqlval.Value, error) { return evalExpr(f, e, row) }
+}
+
+// CompilePredicates fuses conds into one compiled conjunction over the
+// bindings' row layout; rows failing any conjunct are rejected. Like
+// CompileExprOver it never fails, falling back to the interpreter.
+func CompilePredicates(bindings []Binding, conds []Expr) CompiledPred {
+	f := frameOf(bindings)
+	if CompileEnabled() {
+		if fn, err := compileFilter(f, conds); err == nil {
+			if fn == nil {
+				return func(sqlval.Row) (bool, error) { return true, nil }
+			}
+			return CompiledPred(fn)
+		}
+	}
+	return func(row sqlval.Row) (bool, error) {
+		for _, c := range conds {
+			ok, err := evalPred(f, c, row)
+			if err != nil || !ok {
+				return false, err
+			}
+		}
+		return true, nil
+	}
+}
+
+// CompileJoinKey compiles a row's join-key column set once, returning
+// the key hasher (same scheme as JoinKeyHash) plus per-key evaluators
+// for equality checks. Falls back to interpreter closures when the
+// compiled layer is off or compilation fails.
+func CompileJoinKey(bindings []Binding, keys []Expr) (hash func(sqlval.Row) (uint64, error), evals []CompiledExpr) {
+	f := frameOf(bindings)
+	if CompileEnabled() {
+		if fns, err := compileExprs(f, keys); err == nil {
+			evals = make([]CompiledExpr, len(fns))
+			for i, fn := range fns {
+				evals[i] = CompiledExpr(fn)
+			}
+			return compileHash(fns), evals
+		}
+	}
+	evals = make([]CompiledExpr, len(keys))
+	for i, k := range keys {
+		k := k
+		evals[i] = func(row sqlval.Row) (sqlval.Value, error) { return evalExpr(f, k, row) }
+	}
+	return func(row sqlval.Row) (uint64, error) { return hashKey(f, keys, row) }, evals
 }
 
 // SplitConjunctsPerTable partitions WHERE conjuncts into per-table
