@@ -3,9 +3,9 @@
 
 GO ?= go
 
-.PHONY: verify build fmt vet test race bench fanout bench-telemetry bench-monitor bench-exec
+.PHONY: verify build fmt vet test race chaos bench fanout bench-telemetry bench-monitor bench-exec bench-faults
 
-verify: build fmt vet race
+verify: build fmt vet race chaos
 
 build:
 	$(GO) build ./...
@@ -24,6 +24,14 @@ test:
 
 race:
 	$(GO) test -race ./...
+
+# Chaos regression suite: seeded fault injection against the transport,
+# the BATON overlay, and the full system (failover on injected faults).
+# Deterministic — every fault decision replays from fixed seeds — and
+# bounded by the timeout so a reintroduced hang fails instead of
+# wedging CI.
+chaos:
+	$(GO) test -race -count=1 -timeout 120s -run 'TestChaos' ./internal/pnet/ ./internal/baton/ .
 
 # Regenerate the paper's figures (virtual-time, deterministic).
 bench:
@@ -50,3 +58,10 @@ bench-monitor:
 # the trajectory file. Expected speedup >= 2.
 bench-exec:
 	$(GO) run ./cmd/bpbench -fig exec | tee BENCH_exec.json
+
+# Wall-clock overhead of the hardened RPC path (deadline guard + retry
+# policy, faults off) over the bare path on the fig-6 workload;
+# refreshes the trajectory file. Expected overhead_pct < 2 with
+# retries = timeouts = 0.
+bench-faults:
+	$(GO) run ./cmd/bpbench -fig faults | tee BENCH_faults.json

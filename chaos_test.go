@@ -1,0 +1,155 @@
+package bestpeer
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"bestpeer/internal/pnet"
+)
+
+// chaosSeed fixes every fault decision in the system-level chaos suite.
+const chaosSeed = 42
+
+// TestChaosPeerDiesMidFanout: a peer whose link dies while fan-out
+// queries are in flight must fail those queries with typed errors —
+// never a panic, never a hang — and the network must answer correctly
+// again the moment the link heals, with no restart or failover needed.
+func TestChaosPeerDiesMidFanout(t *testing.T) {
+	n := newLoadedNetwork(t, 4, 0.002)
+	victim := n.Peer(2).ID()
+
+	want, err := n.Query(0, `SELECT COUNT(*) FROM lineitem`, QueryOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const workers = 4
+	var wg sync.WaitGroup
+	sever := make(chan struct{})
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				_, err := n.Query(w%2, `SELECT COUNT(*) FROM lineitem`, QueryOptions{})
+				select {
+				case <-sever:
+					// Degraded network: errors are expected; panics and
+					// hangs are the failure mode under test.
+					_ = err
+					return
+				default:
+				}
+				if err != nil {
+					t.Errorf("worker %d query %d before fault: %v", w, i, err)
+					return
+				}
+			}
+		}(w)
+	}
+	time.Sleep(10 * time.Millisecond) // queries are mid-flight
+	n.Net.SetFaultPlan(pnet.NewFaultPlan(chaosSeed).Error(victim, "", 1))
+	close(sever)
+	wg.Wait()
+
+	// With the victim's link dead, queries over its scope fail typed.
+	if _, err := n.Query(0, `SELECT COUNT(*) FROM lineitem`, QueryOptions{}); err == nil {
+		t.Fatal("query succeeded with a participant's link dead")
+	}
+
+	// Heal: the same network, no failover, answers bit-identically.
+	n.Net.SetFaultPlan(nil)
+	after, err := n.Query(0, `SELECT COUNT(*) FROM lineitem`, QueryOptions{})
+	if err != nil {
+		t.Fatalf("query after heal: %v", err)
+	}
+	if want.Result.Rows[0][0].AsInt() != after.Result.Rows[0][0].AsInt() {
+		t.Errorf("count changed across fault: %v -> %v",
+			want.Result.Rows[0][0], after.Result.Rows[0][0])
+	}
+}
+
+// TestChaosRetriesHealTransientDrops: a lossy (but not dead) network
+// is exactly what the idempotent-retry policy exists for — fan-out
+// queries over a seeded 25%-drop link must still succeed without the
+// caller seeing any failure, and the retries must be visible in the
+// transport's telemetry.
+func TestChaosRetriesHealTransientDrops(t *testing.T) {
+	n := newLoadedNetwork(t, 4, 0.002)
+	victim := n.Peer(2).ID()
+	n.Net.SetCallPolicy(pnet.CallPolicy{Timeout: 5 * time.Second, MaxAttempts: 5, Backoff: time.Millisecond})
+	n.Net.SetFaultPlan(pnet.NewFaultPlan(chaosSeed).Drop(victim, "", 0.25))
+
+	ok := 0
+	for i := 0; i < 10; i++ {
+		if _, err := n.Query(0, `SELECT COUNT(*) FROM lineitem`, QueryOptions{}); err == nil {
+			ok++
+		}
+	}
+	// P(5 consecutive drops) is under 0.1%; nearly every query must
+	// survive the lossy link. (A few calls in the path are mutations and
+	// not retried, so allow a small number of failures.)
+	if ok < 7 {
+		t.Fatalf("%d/10 queries succeeded over a 25%% drop link with retries", ok)
+	}
+}
+
+// TestChaosFailoverOnInjectedFaults: the acceptance scenario tying the
+// fault harness to the monitoring plane — a peer whose process is
+// wedged (every inbound RPC fails, but the cloud instance looks
+// healthy) must be failed over by the maintenance daemon on the
+// strength of other peers' sender-side telemetry alone.
+func TestChaosFailoverOnInjectedFaults(t *testing.T) {
+	n := newLoadedNetwork(t, 4, 0.002)
+	victim := n.Peer(2).ID()
+
+	// Baseline epoch: everyone reports, the victim gets a health window.
+	n.ReportTelemetry()
+	if _, ok := n.Bootstrap.Collector().Health(victim); !ok {
+		t.Fatal("victim has no telemetry window before the fault")
+	}
+
+	// Wedge the victim: its instance stays healthy in the cloud's eyes,
+	// but every call to it fails at the transport.
+	n.Net.SetFaultPlan(pnet.NewFaultPlan(chaosSeed).Error(victim, "", 1))
+	for i := 0; i < 12; i++ {
+		// Expected to fail; each failure is an observed call to the victim
+		// in the senders' RPC stats.
+		_, _ = n.Query(0, `SELECT COUNT(*) FROM lineitem`, QueryOptions{})
+	}
+	n.ReportTelemetry()
+
+	// The evidence is absorbed; heal the link so the failover's restore
+	// machinery is not itself fighting the fault plan.
+	n.Net.SetFaultPlan(nil)
+	if err := n.RunMaintenance(time.Minute); err != nil {
+		t.Fatal(err)
+	}
+
+	var note string
+	for _, e := range n.Bootstrap.Events() {
+		if e.Kind == "failover" && e.Peer == victim && strings.Contains(e.Note, "rpc_failure_rate") {
+			note = e.Note
+		}
+	}
+	if note == "" {
+		t.Fatalf("no telemetry-attributed failover for %s: %+v", victim, n.Bootstrap.Events())
+	}
+	if n.PeerByID(victim) != nil {
+		t.Error("wedged peer still resolvable after failover")
+	}
+	found := false
+	for _, id := range n.Bootstrap.Peers() {
+		if strings.HasPrefix(id, victim+"-r") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("no replacement peer in %v", n.Bootstrap.Peers())
+	}
+	if _, err := n.Query(0, `SELECT COUNT(*) FROM lineitem`, QueryOptions{}); err != nil {
+		t.Fatalf("query after failover: %v", err)
+	}
+}

@@ -3,18 +3,20 @@
 //
 // Usage:
 //
-//	bpbench [-fig all|6|7|8|9|10|11|12|13|14|ablations|fanout|telemetry|monitor|exec] [-nodes 10,20,50] [-sf 0.0004]
+//	bpbench [-fig all|6|7|8|9|10|11|12|13|14|ablations|fanout|telemetry|monitor|exec|faults] [-nodes 10,20,50] [-sf 0.0004]
 //
-// Four experiments are wall-clock rather than vtime: "fanout" compares
+// Five experiments are wall-clock rather than vtime: "fanout" compares
 // sequential vs concurrent multi-peer fetch under an injected per-call
 // service delay (JSON line for BENCH_fanout.json), "telemetry"
 // measures the instrumentation overhead of the metrics/tracing layer on
 // the fig-6 workload (JSON line for BENCH_telemetry.json), "monitor"
 // measures the monitoring plane — reporter loops plus the bootstrap
 // collector — on the same workload (JSON line for BENCH_monitor.json),
-// and "exec" prices the compile-once execution layer against the
+// "exec" prices the compile-once execution layer against the
 // tree-walking interpreter on the fig-6 benchmark queries (JSON line
-// for BENCH_exec.json).
+// for BENCH_exec.json), and "faults" prices the hardened RPC path
+// (deadline guard + retry policy) against the bare path on the same
+// workload (JSON line for BENCH_faults.json).
 package main
 
 import (
@@ -81,6 +83,16 @@ func main() {
 		r, err := bench.ExecCompileSpeedup(*telemetryPeers, *telemetryQueries)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "bpbench: exec: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Println(r.JSONLine())
+		return
+	}
+
+	if *fig == "faults" {
+		r, err := bench.FaultPathOverhead(*telemetryPeers, *telemetryQueries)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bpbench: faults: %v\n", err)
 			os.Exit(1)
 		}
 		fmt.Println(r.JSONLine())

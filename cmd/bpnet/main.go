@@ -5,7 +5,15 @@
 //
 // Usage:
 //
-//	bpnet [-peers 6]
+//	bpnet [-peers 6] [-fault "drop=peer-02:0.2,delay=5ms"] [-fault-seed 42]
+//
+// The -fault flag installs a seeded fault plan on the network before
+// the demo runs: drop/delay/dup/err rules scoped by peer and verb plus
+// peer-set partitions (see pnet.ParseFaultPlan for the grammar). The
+// demo then shows the hardened transport absorbing the faults —
+// retries healing lossy links, typed errors degrading queries past
+// dead peers — with the injected-fault and retry counters printed at
+// the end.
 package main
 
 import (
@@ -16,6 +24,8 @@ import (
 	"time"
 
 	"bestpeer"
+	"bestpeer/internal/pnet"
+	"bestpeer/internal/telemetry"
 	"bestpeer/internal/tpch"
 )
 
@@ -26,7 +36,22 @@ func fail(err error) {
 
 func main() {
 	peers := flag.Int("peers", 6, "number of normal peers")
+	faultSpec := flag.String("fault", "", `fault plan, e.g. "drop=peer-02:0.2,delay=5ms,partition=a+b/c"`)
+	faultSeed := flag.Int64("fault-seed", 42, "seed for the fault plan's probability draws")
 	flag.Parse()
+
+	// tolerate downgrades a step failure to a printed line when a fault
+	// plan is active: injected faults are supposed to break things, and
+	// the demo's job is to show the system degrading, not to exit.
+	tolerate := func(step string, err error) {
+		if err == nil {
+			return
+		}
+		if *faultSpec == "" {
+			fail(err)
+		}
+		fmt.Printf("  %s degraded by faults: %v\n", step, err)
+	}
 
 	net, err := bestpeer.NewNetwork(bestpeer.Config{NumPeers: *peers})
 	if err != nil {
@@ -44,6 +69,17 @@ func main() {
 	}
 	fmt.Println("\nTPC-H loaded and indexed; every peer backed up to the cloud store")
 
+	// Inject faults into the running system (chaos-testing style: the
+	// load phase is setup, the lifecycle below is the system under test).
+	if *faultSpec != "" {
+		plan, err := pnet.ParseFaultPlan(*faultSeed, *faultSpec)
+		if err != nil {
+			fail(err)
+		}
+		net.Net.SetFaultPlan(plan)
+		fmt.Printf("\nfault plan installed (seed %d): %s\n", *faultSeed, plan)
+	}
+
 	// One more business joins at runtime.
 	late, err := net.AddPeer("latecomer-01")
 	if err != nil {
@@ -52,9 +88,7 @@ func main() {
 	if err := tpch.Generate(late.DB(), tpch.Scale{ScaleFactor: 0.001, NationKey: -1}); err != nil {
 		fail(err)
 	}
-	if err := late.PublishIndexes(nil); err != nil {
-		fail(err)
-	}
+	tolerate("index publish", late.PublishIndexes(nil))
 	if err := late.Backup(); err != nil {
 		fail(err)
 	}
@@ -72,31 +106,21 @@ func main() {
 		fmt.Printf("  query during outage: %v\n", qerr)
 	}
 	fmt.Println("running maintenance epoch ...")
-	if err := net.RunMaintenance(time.Minute); err != nil {
-		fail(err)
-	}
+	tolerate("maintenance epoch", net.RunMaintenance(time.Minute))
 	fmt.Println("peer list after fail-over:", net.Bootstrap.Peers())
 
 	// Graceful departure.
 	leaver := net.Peer(3)
-	if err := leaver.Leave(); err != nil {
-		fail(err)
-	}
-	if err := net.RunMaintenance(time.Minute); err != nil {
-		fail(err)
-	}
+	tolerate("graceful departure", leaver.Leave())
+	tolerate("maintenance epoch", net.RunMaintenance(time.Minute))
 	fmt.Printf("\n%s left gracefully; overlay size %d; blacklist released\n",
 		leaver.ID(), net.Overlay.Size())
 
 	// Rebalance the overlay's index load.
 	shifts, err := net.Overlay.BalanceAdjacent()
-	if err != nil {
-		fail(err)
-	}
+	tolerate("adjacent balancing", err)
 	moved, err := net.Overlay.GlobalRebalance()
-	if err != nil {
-		fail(err)
-	}
+	tolerate("global rebalance", err)
 	fmt.Printf("\noverlay load balancing: %d adjacent boundary shifts, global move=%v\n", shifts, moved)
 
 	fmt.Println("\nadministrative event log:")
@@ -118,4 +142,24 @@ func main() {
 		}
 	}
 	fmt.Printf("pay-as-you-go charges: $%.4f\n", net.Provider.TotalBillUSD())
+
+	// Hardened-transport counters: injected faults by kind, recovered
+	// handler panics, and per-destination retries/timeouts.
+	var faults int64
+	var kinds []string
+	for _, kind := range []string{"drop", "delay", "duplicate", "error", "partition"} {
+		if v := telemetry.Default.Counter("pnet_faults_injected_total", telemetry.L("kind", kind)).Value(); v > 0 {
+			faults += v
+			kinds = append(kinds, fmt.Sprintf("%s=%d", kind, v))
+		}
+	}
+	var retries, timeouts int64
+	members := append([]string{"bootstrap"}, net.Bootstrap.Peers()...)
+	for _, id := range members {
+		retries += telemetry.Default.Counter("pnet_retries_total", telemetry.L("peer", id)).Value()
+		timeouts += telemetry.Default.Counter("pnet_timeouts_total", telemetry.L("peer", id)).Value()
+	}
+	panics := telemetry.Default.Counter("pnet_handler_panics_total").Value()
+	fmt.Printf("hardened transport: faults_injected=%d %v retries=%d timeouts=%d handler_panics=%d\n",
+		faults, kinds, retries, timeouts, panics)
 }

@@ -173,6 +173,20 @@ func render(net *bestpeer.Network, start time.Time) {
 		hits, misses, rate,
 		telemetry.Default.Counter("sqldb_expr_compiles_total").Value(),
 		telemetry.Default.Counter("sqldb_plans_compiled_total").Value())
+	// Hardened-transport summary: retries/timeouts summed over every
+	// destination the bootstrap knows, faults by the injection counters.
+	var retries, timeouts int64
+	for _, id := range append([]string{"bootstrap"}, net.Bootstrap.Peers()...) {
+		retries += telemetry.Default.Counter("pnet_retries_total", telemetry.L("peer", id)).Value()
+		timeouts += telemetry.Default.Counter("pnet_timeouts_total", telemetry.L("peer", id)).Value()
+	}
+	var faults int64
+	for _, kind := range []string{"drop", "delay", "duplicate", "error", "partition"} {
+		faults += telemetry.Default.Counter("pnet_faults_injected_total", telemetry.L("kind", kind)).Value()
+	}
+	fmt.Printf("transport: %d retries, %d timeouts, %d faults injected, %d handler panics\n",
+		retries, timeouts, faults,
+		telemetry.Default.Counter("pnet_handler_panics_total").Value())
 	events := net.Bootstrap.Events()
 	if len(events) > 0 {
 		fmt.Println("\nrecent events:")

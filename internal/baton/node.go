@@ -115,20 +115,29 @@ type Node struct {
 
 // NewNode attaches a new overlay node to a pnet endpoint and registers
 // its message handlers. The node is inert until the Overlay manager
-// installs its state via AddNode.
+// installs its state via AddNode. Read-only verbs (lookup, range,
+// stats, items, replica reads) are registered idempotent — the
+// hardened transport may safely re-send them after a timeout — while
+// index mutations (insert, delete, update, extract, accept, replica
+// writes) never retry: delivering them twice would corrupt the tree.
 func NewNode(ep *pnet.Endpoint) *Node {
 	n := &Node{ep: ep, replicas: make(map[string][]Item)}
-	ep.Handle(msgLookup, n.handleLookup)
+	ep.HandleIdempotent(msgLookup, n.handleLookup)
 	ep.Handle(msgInsert, n.handleInsert)
 	ep.Handle(msgDelete, n.handleDelete)
-	ep.Handle(msgRange, n.handleRange)
+	ep.HandleIdempotent(msgRange, n.handleRange)
 	ep.Handle(msgUpdate, n.handleUpdate)
 	ep.Handle(msgExtract, n.handleExtract)
 	ep.Handle(msgAccept, n.handleAccept)
-	ep.Handle(msgItems, n.handleItems)
-	ep.Handle(msgStats, n.handleStats)
+	ep.HandleIdempotent(msgItems, n.handleItems)
+	ep.HandleIdempotent(msgStats, n.handleStats)
 	ep.Handle(msgReplicaPut, n.handleReplicaPut)
-	ep.Handle(msgReplicaGet, n.handleReplicaGet)
+	ep.HandleIdempotent(msgReplicaGet, n.handleReplicaGet)
+	// The query-path verbs block only on nested calls through the same
+	// transport (routing hops), each carrying its own deadline, so they
+	// run unguarded in-process: a lookup chain must not pay one guard
+	// goroutine per hop.
+	ep.Network().MarkInline(msgLookup, msgInsert, msgDelete, msgRange, msgStats, msgItems)
 	return n
 }
 

@@ -268,14 +268,25 @@ func (o *Overlay) shallowestFreeSlot() *tnode {
 }
 
 // moveRange extracts items in r from one node and delivers them to
-// another, via the nodes' own maintenance handlers.
+// another, via the nodes' own maintenance handlers. Extraction is
+// destructive, so a delivery failure (the receiver died or was
+// partitioned away mid-restructure) must not strand the extracted
+// items: they are restored to the source before the error surfaces,
+// leaving ranges and items exactly as before the attempt.
 func (o *Overlay) moveRange(from, to string, r KeyRange) error {
 	reply, err := o.ep.Call(from, msgExtract, r, 16)
 	if err != nil {
 		return err
 	}
 	items := reply.Payload.([]Item)
-	return o.sendItems(to, items)
+	if err := o.sendItems(to, items); err != nil {
+		if rerr := o.sendItems(from, items); rerr != nil {
+			return fmt.Errorf("baton: move %s -> %s failed (%v); restoring %d items to %s also failed: %w",
+				from, to, err, len(items), from, rerr)
+		}
+		return err
+	}
+	return nil
 }
 
 func (o *Overlay) fetchItems(id string) ([]Item, error) {

@@ -1,0 +1,147 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"time"
+
+	"bestpeer"
+	"bestpeer/internal/peer"
+	"bestpeer/internal/pnet"
+	"bestpeer/internal/telemetry"
+	"bestpeer/internal/tpch"
+)
+
+// labeledCounterValue reads one single-labeled counter from the default
+// registry.
+func labeledCounterValue(name, key, value string) int64 {
+	return telemetry.Default.Counter(name, telemetry.L(key, value)).Value()
+}
+
+// This file prices the hardened RPC path: the per-call deadline guard,
+// the idempotent-retry policy loop, and the fault-plan check on every
+// delivery. With faults off and no failures the hardened path must be
+// nearly free — the acceptance bar is under 2% wall-clock overhead on
+// the fig-6 workload — so the benchmark times the same query batch
+// with the policy zeroed (bare path: no deadline goroutine, no retry
+// bookkeeping) and with the default policy installed.
+
+// FaultPathResult is one bare-vs-hardened comparison, emitted as a
+// JSON line for BENCH_faults.json.
+type FaultPathResult struct {
+	Peers   int `json:"peers"`
+	Queries int `json:"queries"`
+	// BareMS is the best batch with CallPolicy{} (no deadline, no
+	// retries); HardenedMS the best batch with DefaultCallPolicy.
+	BareMS      float64 `json:"bare_ms"`
+	HardenedMS  float64 `json:"hardened_ms"`
+	OverheadPct float64 `json:"overhead_pct"`
+	// Retries and Timeouts are the transport's counter deltas across the
+	// hardened batches — both must be 0 on a healthy network, proving
+	// the overhead measured is the guard itself, not hidden retries.
+	Retries  int64 `json:"retries"`
+	Timeouts int64 `json:"timeouts"`
+}
+
+// JSONLine renders the result as a single JSON line.
+func (r *FaultPathResult) JSONLine() string {
+	b, _ := json.Marshal(r)
+	return string(b)
+}
+
+// FaultPathOverhead times batches of the fig-6 benchmark queries on one
+// loaded network with the call policy zeroed and with the default
+// deadline/retry policy. Modes alternate across many small batches and
+// each keeps its minimum, the same protocol as the telemetry and exec
+// measurements (scheduler noise and GC pauses hit single batches, not
+// every batch of one mode).
+func FaultPathOverhead(peers, queries int) (*FaultPathResult, error) {
+	if peers < 1 || queries < 1 {
+		return nil, fmt.Errorf("bench: fault-path overhead needs >=1 peer and >=1 query")
+	}
+	cfg := Default()
+	cfg.PerNodeSF = 0.004
+	net, err := buildBestPeer(cfg, peers)
+	if err != nil {
+		return nil, err
+	}
+	defer net.Net.SetCallPolicy(pnet.DefaultCallPolicy())
+	workload := []string{tpch.Q1Default(), tpch.Q2Default()}
+	batch := func(pol pnet.CallPolicy) (time.Duration, error) {
+		net.Net.SetCallPolicy(pol)
+		start := time.Now()
+		for q := 0; q < queries; q++ {
+			sql := workload[q%len(workload)]
+			if _, err := net.Query(0, sql, bestpeer.QueryOptions{Strategy: peer.StrategyBasic}); err != nil {
+				return 0, err
+			}
+		}
+		return time.Since(start), nil
+	}
+	// Warm both modes outside the timed region.
+	for _, pol := range []pnet.CallPolicy{{}, pnet.DefaultCallPolicy()} {
+		net.Net.SetCallPolicy(pol)
+		for _, sql := range workload {
+			if _, err := net.Query(0, sql, bestpeer.QueryOptions{Strategy: peer.StrategyBasic}); err != nil {
+				return nil, err
+			}
+		}
+	}
+	retries0, timeouts0 := transportCounters(net, peers)
+
+	const rounds = 60
+	var bare, hardened time.Duration
+	for round := 0; round < rounds; round++ {
+		order := []bool{false, true}
+		if round%2 == 1 {
+			order[0], order[1] = order[1], order[0]
+		}
+		for _, useHardened := range order {
+			pol := pnet.CallPolicy{}
+			if useHardened {
+				pol = pnet.DefaultCallPolicy()
+			}
+			d, err := batch(pol)
+			if err != nil {
+				return nil, err
+			}
+			if useHardened {
+				if hardened == 0 || d < hardened {
+					hardened = d
+				}
+			} else {
+				if bare == 0 || d < bare {
+					bare = d
+				}
+			}
+		}
+	}
+	retries1, timeouts1 := transportCounters(net, peers)
+	r := &FaultPathResult{
+		Peers:      peers,
+		Queries:    queries,
+		BareMS:     float64(bare) / float64(time.Millisecond),
+		HardenedMS: float64(hardened) / float64(time.Millisecond),
+		Retries:    retries1 - retries0,
+		Timeouts:   timeouts1 - timeouts0,
+	}
+	if bare > 0 {
+		r.OverheadPct = (float64(hardened)/float64(bare) - 1) * 100
+	}
+	return r, nil
+}
+
+// transportCounters sums the retry and timeout counters across every
+// peer destination in the benchmark network.
+func transportCounters(net *bestpeer.Network, peers int) (retries, timeouts int64) {
+	ids := make([]string, 0, peers+1)
+	for _, p := range net.Peers() {
+		ids = append(ids, p.ID())
+	}
+	ids = append(ids, "bootstrap")
+	for _, id := range ids {
+		retries += labeledCounterValue("pnet_retries_total", "peer", id)
+		timeouts += labeledCounterValue("pnet_timeouts_total", "peer", id)
+	}
+	return retries, timeouts
+}

@@ -148,8 +148,10 @@ func New(net *pnet.Network, id string, provider *cloud.SimProvider) (*Peer, erro
 	}
 	b.ca = ca
 	b.ep.Handle("bootstrap.user.created", b.handleUserCreated)
-	b.ep.Handle(MsgTelemetryReport, b.handleTelemetryReport)
-	b.ep.Handle(MsgListPeers, b.handleListPeers)
+	// telemetry.report is retry-safe because the collector dedups by
+	// report sequence number; the peer-list read is naturally so.
+	b.ep.HandleIdempotent(MsgTelemetryReport, b.handleTelemetryReport)
+	b.ep.HandleIdempotent(MsgListPeers, b.handleListPeers)
 	return b, nil
 }
 

@@ -140,6 +140,17 @@ func (c *Collector) Absorb(rep telemetry.Report) error {
 		w = &peerWindow{}
 		c.windows[rep.Peer] = w
 	}
+	// Duplicate-delivery dedup: the hardened transport may re-send a
+	// report whose first delivery actually landed (retry after a lost
+	// reply, or an injected duplicate). A sequence number at or below
+	// the newest absorbed one has been counted already — absorbing it
+	// again would double the delta into the window and the cluster
+	// registry, corrupting rates. Dropping is the safe side: at worst
+	// one epoch's activity is undercounted, never double-counted.
+	if w.reports > 0 && rep.Seq != 0 && rep.Seq <= w.lastSeq {
+		c.mu.Unlock()
+		return nil
+	}
 	s.at = c.now()
 	w.ring = append(w.ring, s)
 	if len(w.ring) > collectorWindow {

@@ -254,3 +254,58 @@ func TestTelemetryScaleUpDecision(t *testing.T) {
 		t.Errorf("no telemetry-attributed scaleup event: %+v", b.Events())
 	}
 }
+
+// TestCollectorDedupsRetriedReports: the hardened transport may re-send
+// a report whose first delivery landed (retry after a lost reply, or an
+// injected duplicate). The collector must absorb each sequence number
+// once — double-absorption would double rates and corrupt health
+// scores — while still returning success so the reporter advances.
+func TestCollectorDedupsRetriedReports(t *testing.T) {
+	c := NewCollector()
+	rep := telemetry.Report{Peer: "p", Seq: 1, Delta: telemetry.RegistrySnapshot{Points: []telemetry.PointSnapshot{
+		counterPoint("peer_queries_total", 10),
+		counterPoint("peer_query_errors_total", 10),
+	}}}
+	for i := 0; i < 3; i++ { // first delivery + two retried duplicates
+		if err := c.Absorb(rep); err != nil {
+			t.Fatalf("duplicate absorb %d errored (reporter would wedge): %v", i, err)
+		}
+	}
+	h, ok := c.Health("p")
+	if !ok {
+		t.Fatal("no health window")
+	}
+	if h.Reports != 1 {
+		t.Errorf("reports = %d, want 1 (duplicates absorbed)", h.Reports)
+	}
+	if h.ErrorRate != 1 {
+		t.Errorf("error rate = %v, want 1 (rates must not compound)", h.ErrorRate)
+	}
+
+	// A stale re-delivery arriving after newer reports is dropped too.
+	if err := c.Absorb(telemetry.Report{Peer: "p", Seq: 2, Delta: telemetry.RegistrySnapshot{Points: []telemetry.PointSnapshot{
+		counterPoint("peer_queries_total", 5),
+	}}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Absorb(rep); err != nil {
+		t.Fatal(err)
+	}
+	if h, _ := c.Health("p"); h.Reports != 2 {
+		t.Errorf("reports = %d after stale re-delivery, want 2", h.Reports)
+	}
+
+	// Seq 0 (a reporter that never numbers) keeps the old always-absorb
+	// behavior.
+	c2 := NewCollector()
+	for i := 0; i < 2; i++ {
+		if err := c2.Absorb(telemetry.Report{Peer: "q", Delta: telemetry.RegistrySnapshot{Points: []telemetry.PointSnapshot{
+			counterPoint("peer_queries_total", 1),
+		}}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if h, _ := c2.Health("q"); h.Reports != 2 {
+		t.Errorf("unnumbered reports = %d, want 2", h.Reports)
+	}
+}

@@ -145,15 +145,19 @@ func (p *Peer) applyNetworkInfo(info bootstrap.NetworkInfo) {
 	}
 }
 
-// registerHandlers wires the peer's message handlers.
+// registerHandlers wires the peer's message handlers. Pure reads and
+// pure compute (subquery fetch, join tasks, probes, telemetry pulls,
+// cache invalidation) register idempotent so the hardened transport
+// may re-send them after transport failures; directory mutations
+// (user creation) stay at-most-once.
 func (p *Peer) registerHandlers() {
-	p.ep.Handle(MsgSubQuery, p.handleSubQuery)
-	p.ep.Handle(MsgJoinTask, p.handleJoinTask)
-	p.ep.Handle(MsgMembership, func(pnet.Message) (pnet.Message, error) {
+	p.ep.HandleIdempotent(MsgSubQuery, p.handleSubQuery)
+	p.ep.HandleIdempotent(MsgJoinTask, p.handleJoinTask)
+	p.ep.HandleIdempotent(MsgMembership, func(pnet.Message) (pnet.Message, error) {
 		p.lc.Invalidate()
 		return pnet.Message{}, nil
 	})
-	p.ep.Handle(MsgHasTable, func(msg pnet.Message) (pnet.Message, error) {
+	p.ep.HandleIdempotent(MsgHasTable, func(msg pnet.Message) (pnet.Message, error) {
 		table := msg.Payload.(string)
 		t := p.db.Table(table)
 		entry := indexer.TableEntry{Table: table, Peer: p.id}
@@ -170,14 +174,14 @@ func (p *Peer) registerHandlers() {
 		_ = p.acl.AssignUser(pair[0], pair[1])
 		return pnet.Message{}, nil
 	})
-	p.ep.Handle(MsgTelemetry, func(pnet.Message) (pnet.Message, error) {
+	p.ep.HandleIdempotent(MsgTelemetry, func(pnet.Message) (pnet.Message, error) {
 		// The exposition text of the process-wide registry, served over
 		// the same substrate every other verb uses (and relayed to other
 		// processes by the bpremote TCP surface).
 		text := telemetry.Default.Text()
 		return pnet.Message{Payload: text, Size: int64(len(text))}, nil
 	})
-	p.ep.Handle(MsgTelemetrySnapshot, func(pnet.Message) (pnet.Message, error) {
+	p.ep.HandleIdempotent(MsgTelemetrySnapshot, func(pnet.Message) (pnet.Message, error) {
 		// The peer's private registry as a full (non-delta) serialized
 		// snapshot — the bpremote -all merge surface.
 		rep := telemetry.Report{Peer: p.id}
@@ -186,7 +190,15 @@ func (p *Peer) registerHandlers() {
 		}
 		return pnet.Message{Payload: rep, Size: int64(64 + 48*len(rep.Delta.Points))}, nil
 	})
-	p.ep.Handle(MsgSlowLog, p.handleSlowLog)
+	p.ep.HandleIdempotent(MsgSlowLog, p.handleSlowLog)
+	// The query-serving verbs are pure compute over the in-memory
+	// database and the membership/probe verbs are pure reads: none of
+	// them can wait on anything outside this transport, so in-process
+	// delivery runs them on the caller's goroutine instead of paying a
+	// guard goroutine + timer per call (the deadline exists to unwedge
+	// callers from handlers that block; abandoning compute would not
+	// stop it anyway). Over TCP the connection deadline still applies.
+	p.ep.Network().MarkInline(MsgSubQuery, MsgJoinTask, MsgMembership, MsgHasTable)
 }
 
 // ID returns the peer's network identity.

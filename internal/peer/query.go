@@ -163,9 +163,12 @@ func (p *Peer) Locate(table string, conjuncts []sqldb.Expr, columns []string) (i
 // table (the unindexed fallback), probing all of them concurrently.
 // The result is not cached: partial indexing trades lookup traffic for
 // index size. A participant whose probe fails — crashed between the
-// bootstrap's online check and the call, say — is skipped so one down
-// peer cannot abort the whole locate; the probe only errors when no
-// participant answered at all.
+// bootstrap's online check and the call, say, or unreachable over TCP,
+// or timed out (pnet.Unavailable covers all of these, in-process and
+// remote alike) — is skipped so one down peer cannot abort the whole
+// locate; the probe only errors when no participant answered at all,
+// and it prefers reporting a real handler failure over a mere
+// unreachability when both occurred.
 func (p *Peer) probeParticipants(table string) (indexer.Location, error) {
 	loc := indexer.Location{Kind: indexer.KindNone}
 	var ids []string
@@ -192,7 +195,11 @@ func (p *Peer) probeParticipants(table string) (indexer.Location, error) {
 	answered := 0
 	for i, pr := range probes {
 		if pr.err != nil {
-			if firstErr == nil {
+			// A handler that ran and failed outranks an unreachable
+			// peer in the error we surface: the former is a bug signal,
+			// the latter is the failure mode this probe exists to
+			// degrade past.
+			if firstErr == nil || (pnet.Unavailable(firstErr) && !pnet.Unavailable(pr.err)) {
 				firstErr = pr.err
 			}
 			continue

@@ -1,0 +1,298 @@
+package pnet
+
+import (
+	"errors"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// Chaos suite for the TCP transport: every scenario here is a bug class
+// the hardened path exists to kill — wedged peers hanging callers,
+// handler panics killing the serving process, Close racing in-flight
+// requests, dial errors indistinguishable from handler errors. All
+// deterministic (seeded fault plans, explicit sync) and run under
+// -race by make chaos.
+
+// TestChaosWedgedTCPPeerTimesOut: a peer that accepts connections but
+// never answers (wedged handler) must fail the caller at the policy
+// deadline instead of hanging it forever.
+func TestChaosWedgedTCPPeerTimesOut(t *testing.T) {
+	netA := NewNetwork()
+	netB := NewNetwork()
+	release := make(chan struct{})
+	defer close(release)
+	b := netB.Join("b")
+	b.Handle("wedge", func(msg Message) (Message, error) {
+		<-release
+		return Message{}, nil
+	})
+	ln, err := netB.ListenTCP("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	netA.AddRemotePeer("b", ln.Addr())
+	netA.SetCallPolicy(CallPolicy{Timeout: 50 * time.Millisecond})
+
+	a := netA.Join("a")
+	start := time.Now()
+	_, err = a.Call("b", "wedge", nil, 1)
+	elapsed := time.Since(start)
+	if !errors.Is(err, ErrCallTimeout) {
+		t.Fatalf("err = %v, want ErrCallTimeout", err)
+	}
+	if elapsed > 2*time.Second {
+		t.Fatalf("caller hung %v on a wedged peer", elapsed)
+	}
+	if !Retryable(err) || !Unavailable(err) {
+		t.Error("wedged-peer timeout should classify retryable and unavailable")
+	}
+}
+
+// TestChaosDuplicateFetchOverTCP: an injected duplicate delivers the
+// request twice end to end; an idempotent fetch must still return the
+// right answer (the duplicate reply is discarded).
+func TestChaosDuplicateFetchOverTCP(t *testing.T) {
+	netA := NewNetwork()
+	netB := NewNetwork()
+	var calls atomic.Int64
+	b := netB.Join("b")
+	b.HandleIdempotent("fetch", func(msg Message) (Message, error) {
+		calls.Add(1)
+		return Message{Payload: "rows"}, nil
+	})
+	ln, err := netB.ListenTCP("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	netA.AddRemotePeer("b", ln.Addr())
+	netA.SetFaultPlan(NewFaultPlan(fixedSeed).Duplicate("b", "fetch", 1))
+
+	a := netA.Join("a")
+	reply, err := a.Call("b", "fetch", nil, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reply.Payload.(string) != "rows" {
+		t.Errorf("reply = %v", reply.Payload)
+	}
+	if got := calls.Load(); got != 2 {
+		t.Fatalf("duplicated fetch ran handler %d times, want 2", got)
+	}
+}
+
+// TestChaosPanicOverTCPKeepsServing: a panicking handler must fail only
+// its own request — the serving process, the listener, and even the
+// same connection survive for the next call.
+func TestChaosPanicOverTCPKeepsServing(t *testing.T) {
+	netA := NewNetwork()
+	netB := NewNetwork()
+	b := netB.Join("b")
+	b.Handle("boom", func(msg Message) (Message, error) {
+		panic("remote handler bug")
+	})
+	b.Handle("echo", func(msg Message) (Message, error) {
+		return Message{Payload: msg.Payload}, nil
+	})
+	ln, err := netB.ListenTCP("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	netA.AddRemotePeer("b", ln.Addr())
+
+	a := netA.Join("a")
+	_, err = a.Call("b", "boom", nil, 1)
+	if !errors.Is(err, ErrHandlerPanic) {
+		t.Fatalf("err = %v, want ErrHandlerPanic across the wire", err)
+	}
+	if !strings.Contains(err.Error(), "remote handler bug") {
+		t.Errorf("panic value lost crossing the wire: %v", err)
+	}
+	if Retryable(err) {
+		t.Error("remote panic classified retryable")
+	}
+	// The same pooled connection serves the next request.
+	reply, err := a.Call("b", "echo", "still alive", 11)
+	if err != nil {
+		t.Fatalf("call after remote panic: %v", err)
+	}
+	if reply.Payload.(string) != "still alive" {
+		t.Errorf("reply = %v", reply.Payload)
+	}
+}
+
+// TestChaosCloseDrainsInFlight: Close racing an in-flight call must let
+// the call finish (within the grace period) and must not return until
+// the serve goroutine has exited — the regression this PR fixes, where
+// Close abandoned live serve goroutines to race the test harness.
+func TestChaosCloseDrainsInFlight(t *testing.T) {
+	netA := NewNetwork()
+	netB := NewNetwork()
+	entered := make(chan struct{})
+	finished := make(chan struct{})
+	b := netB.Join("b")
+	b.Handle("slow", func(msg Message) (Message, error) {
+		close(entered)
+		time.Sleep(100 * time.Millisecond)
+		close(finished)
+		return Message{Payload: "done"}, nil
+	})
+	ln, err := netB.ListenTCP("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	netA.AddRemotePeer("b", ln.Addr())
+
+	a := netA.Join("a")
+	type result struct {
+		reply Message
+		err   error
+	}
+	callDone := make(chan result, 1)
+	go func() {
+		reply, err := a.Call("b", "slow", nil, 1)
+		callDone <- result{reply, err}
+	}()
+	<-entered // the request is in the handler; now race Close against it
+	if err := ln.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Close returned: the in-flight handler must already have finished.
+	select {
+	case <-finished:
+	default:
+		t.Fatal("Close returned while the in-flight handler was still running")
+	}
+	r := <-callDone
+	if r.err != nil {
+		t.Fatalf("in-flight call failed across Close: %v", r.err)
+	}
+	if r.reply.Payload.(string) != "done" {
+		t.Errorf("reply = %v", r.reply.Payload)
+	}
+	// Closing again is a no-op, and new calls now fail cleanly.
+	if err := ln.Close(); err != nil {
+		t.Errorf("second Close: %v", err)
+	}
+}
+
+// TestChaosCloseForceSeversWedgedConn: a handler that outlives the
+// grace period must not hold Close hostage — Close force-closes the
+// connection and returns within bounded time.
+func TestChaosCloseForceSeversWedgedConn(t *testing.T) {
+	netA := NewNetwork()
+	netB := NewNetwork()
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	defer close(release)
+	b := netB.Join("b")
+	b.Handle("wedge", func(msg Message) (Message, error) {
+		close(entered)
+		<-release
+		return Message{}, nil
+	})
+	ln, err := netB.ListenTCP("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln.SetCloseGrace(30 * time.Millisecond)
+	netA.AddRemotePeer("b", ln.Addr())
+
+	a := netA.Join("a")
+	callDone := make(chan error, 1)
+	go func() {
+		_, err := a.Call("b", "wedge", nil, 1)
+		callDone <- err
+	}()
+	<-entered
+	start := time.Now()
+	ln.Close()
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("Close held hostage %v by a wedged handler", elapsed)
+	}
+	// The force-closed connection fails the caller instead of hanging it.
+	select {
+	case err := <-callDone:
+		if err == nil {
+			t.Error("call through a force-severed connection succeeded")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("caller still hung after Close force-severed its connection")
+	}
+}
+
+// TestChaosDialErrorTyped: a peer that is down at dial time must
+// surface ErrRemoteUnavailable — the typed signal engine fan-out uses
+// to skip dead participants instead of aborting the query.
+func TestChaosDialErrorTyped(t *testing.T) {
+	netA := NewNetwork()
+	// Reserve a port, then close it so nothing listens there.
+	tmp := NewNetwork()
+	ln, err := tmp.ListenTCP("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr()
+	ln.Close()
+	netA.AddRemotePeer("dead", addr)
+	netA.SetCallPolicy(CallPolicy{Timeout: time.Second}) // no retries
+
+	a := netA.Join("a")
+	_, err = a.Call("dead", "echo", nil, 1)
+	if !errors.Is(err, ErrRemoteUnavailable) {
+		t.Fatalf("err = %v, want ErrRemoteUnavailable", err)
+	}
+	if !Retryable(err) || !Unavailable(err) {
+		t.Error("dial failure should classify retryable and unavailable")
+	}
+}
+
+// TestChaosConcurrentCallsThroughFaults: hammer a faulty remote link
+// from many goroutines — no call may hang, and the transport state
+// (pool slots, fault plan RNG) must tolerate the contention. Run with
+// -race this doubles as the transport's data-race regression.
+func TestChaosConcurrentCallsThroughFaults(t *testing.T) {
+	netA := NewNetwork()
+	netB := NewNetwork()
+	b := netB.Join("b")
+	b.HandleIdempotent("fetch", func(msg Message) (Message, error) {
+		return Message{Payload: msg.Payload}, nil
+	})
+	ln, err := netB.ListenTCP("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	netA.AddRemotePeer("b", ln.Addr())
+	netA.SetCallPolicy(CallPolicy{Timeout: 2 * time.Second, MaxAttempts: 3, Backoff: time.Millisecond})
+	netA.SetFaultPlan(NewFaultPlan(fixedSeed).
+		Drop("b", "fetch", 0.2).
+		Delay("b", "fetch", 2*time.Millisecond).
+		Duplicate("b", "fetch", 0.1))
+
+	var wg sync.WaitGroup
+	var failed atomic.Int64
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		ep := netA.Join(string(rune('p' + g)))
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				if _, err := ep.Call("b", "fetch", i, 8); err != nil {
+					failed.Add(1)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	// drop=0.2 with 3 attempts: P(fail) = 0.008 per call; across 160
+	// calls a handful may fail, but most must get through.
+	if f := failed.Load(); f > 40 {
+		t.Fatalf("%d/160 calls failed through a 20%% drop with retries", f)
+	}
+}

@@ -1,0 +1,330 @@
+package pnet
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"bestpeer/internal/telemetry"
+)
+
+// Fault injection: a FaultPlan installed on a Network perturbs message
+// delivery — dropping, delaying, duplicating, or erroring calls per
+// destination and verb, and partitioning peer sets — from a seeded
+// PRNG, so a chaos run replays identically under the same seed. The
+// paper's Algorithm 1 exists because peers fail; the plan is how tests
+// (and bpnet -fault) make them fail on demand, deterministically,
+// without touching the code under test. Faults default off: a Network
+// without a plan delivers exactly as before, bit for bit.
+
+// ErrFaultInjected marks errors produced by a FaultPlan rather than a
+// real transport or handler failure. Injected failures also match the
+// transport sentinel they simulate (ErrCallTimeout for drops,
+// ErrRemoteUnavailable for errors and partitions), so the retry and
+// degradation paths treat them exactly like the real thing.
+var ErrFaultInjected = errors.New("pnet: injected fault")
+
+// Fault kinds.
+const (
+	FaultDrop      = "drop"  // swallow the request: the caller sees its deadline fire
+	FaultDelay     = "delay" // hold the message before delivery
+	FaultDuplicate = "dup"   // deliver the request twice (duplicate-delivery probe)
+	FaultError     = "err"   // fail the call with a transport error
+)
+
+// Injected-fault counters, by kind.
+var (
+	faultDropped     = telemetry.Default.Counter("pnet_faults_injected_total", telemetry.L("kind", "drop"))
+	faultDelayed     = telemetry.Default.Counter("pnet_faults_injected_total", telemetry.L("kind", "delay"))
+	faultDuplicated  = telemetry.Default.Counter("pnet_faults_injected_total", telemetry.L("kind", "duplicate"))
+	faultErrored     = telemetry.Default.Counter("pnet_faults_injected_total", telemetry.L("kind", "error"))
+	faultPartitioned = telemetry.Default.Counter("pnet_faults_injected_total", telemetry.L("kind", "partition"))
+)
+
+// FaultRule perturbs calls matching (Peer, Verb). Empty Peer matches
+// every destination; empty Verb matches every message type.
+type FaultRule struct {
+	Peer string
+	Verb string
+	Kind string // FaultDrop, FaultDelay, FaultDuplicate, FaultError
+	// Prob is the per-call probability in [0,1]; >=1 fires always.
+	Prob float64
+	// Delay is the injected latency (FaultDelay only).
+	Delay time.Duration
+}
+
+// FaultPlan is a seeded set of fault rules plus an optional partition.
+// Decisions draw from one PRNG in rule order, so a sequential run is
+// exactly reproducible; concurrent runs reproduce the same fault
+// distribution (the interleaving decides which call draws which
+// number). The zero rules/groups plan perturbs nothing.
+type FaultPlan struct {
+	seed int64
+
+	mu     sync.Mutex
+	rng    *rand.Rand
+	rules  []FaultRule
+	groups []map[string]struct{}
+}
+
+// NewFaultPlan returns an empty plan drawing from the given seed.
+func NewFaultPlan(seed int64) *FaultPlan {
+	return &FaultPlan{seed: seed, rng: rand.New(rand.NewSource(seed))}
+}
+
+// Seed returns the plan's seed (for logging a reproducible run).
+func (p *FaultPlan) Seed() int64 { return p.seed }
+
+// Add appends one rule and returns the plan for chaining.
+func (p *FaultPlan) Add(r FaultRule) *FaultPlan {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.rules = append(p.rules, r)
+	return p
+}
+
+// Drop swallows prob of calls to peer/verb ("" = any).
+func (p *FaultPlan) Drop(peer, verb string, prob float64) *FaultPlan {
+	return p.Add(FaultRule{Peer: peer, Verb: verb, Kind: FaultDrop, Prob: prob})
+}
+
+// Delay holds every matching call for d before delivery.
+func (p *FaultPlan) Delay(peer, verb string, d time.Duration) *FaultPlan {
+	return p.Add(FaultRule{Peer: peer, Verb: verb, Kind: FaultDelay, Prob: 1, Delay: d})
+}
+
+// Duplicate delivers prob of matching calls twice.
+func (p *FaultPlan) Duplicate(peer, verb string, prob float64) *FaultPlan {
+	return p.Add(FaultRule{Peer: peer, Verb: verb, Kind: FaultDuplicate, Prob: prob})
+}
+
+// Error fails prob of matching calls with a transport error.
+func (p *FaultPlan) Error(peer, verb string, prob float64) *FaultPlan {
+	return p.Add(FaultRule{Peer: peer, Verb: verb, Kind: FaultError, Prob: prob})
+}
+
+// Partition splits the network: peers in different groups cannot
+// exchange messages (both directions fail like a dropped link); peers
+// in no group reach everyone. Replaces any previous partition.
+func (p *FaultPlan) Partition(groups ...[]string) *FaultPlan {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.groups = nil
+	for _, g := range groups {
+		set := make(map[string]struct{}, len(g))
+		for _, id := range g {
+			set[id] = struct{}{}
+		}
+		p.groups = append(p.groups, set)
+	}
+	return p
+}
+
+// Heal removes the partition (rules stay).
+func (p *FaultPlan) Heal() *FaultPlan {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.groups = nil
+	return p
+}
+
+// faultAction is one call's decided perturbation.
+type faultAction struct {
+	partition bool
+	drop      bool
+	errOut    bool
+	dup       bool
+	delay     time.Duration
+}
+
+func (a faultAction) any() bool {
+	return a.partition || a.drop || a.errOut || a.dup || a.delay > 0
+}
+
+func (p *FaultPlan) groupOf(id string) int {
+	for i, g := range p.groups {
+		if _, ok := g[id]; ok {
+			return i
+		}
+	}
+	return -1
+}
+
+// decide rolls the plan's dice for one call. Partition checks run
+// first and consume no randomness (a severed link fails every time).
+func (p *FaultPlan) decide(from, to, verb string) faultAction {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	var act faultAction
+	if len(p.groups) > 0 {
+		gf, gt := p.groupOf(from), p.groupOf(to)
+		if gf >= 0 && gt >= 0 && gf != gt {
+			act.partition = true
+			return act
+		}
+	}
+	for _, r := range p.rules {
+		if r.Peer != "" && r.Peer != to {
+			continue
+		}
+		if r.Verb != "" && r.Verb != verb {
+			continue
+		}
+		hit := r.Prob >= 1 || (r.Prob > 0 && p.rng.Float64() < r.Prob)
+		if !hit {
+			continue
+		}
+		switch r.Kind {
+		case FaultDrop:
+			act.drop = true
+		case FaultDelay:
+			act.delay += r.Delay
+		case FaultDuplicate:
+			act.dup = true
+		case FaultError:
+			act.errOut = true
+		}
+	}
+	return act
+}
+
+// String renders the plan compactly (bpnet echoes it for replay).
+func (p *FaultPlan) String() string {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	var parts []string
+	for _, r := range p.rules {
+		target := r.Peer
+		if r.Verb != "" {
+			target += "@" + r.Verb
+		}
+		switch r.Kind {
+		case FaultDelay:
+			parts = append(parts, fmt.Sprintf("%s=%s:%s", r.Kind, target, r.Delay))
+		default:
+			parts = append(parts, fmt.Sprintf("%s=%s:%g", r.Kind, target, r.Prob))
+		}
+	}
+	for i, g := range p.groups {
+		ids := make([]string, 0, len(g))
+		for id := range g {
+			ids = append(ids, id)
+		}
+		sort.Strings(ids)
+		if i == 0 {
+			parts = append(parts, "partition="+strings.Join(ids, "+"))
+		} else {
+			parts[len(parts)-1] += "/" + strings.Join(ids, "+")
+		}
+	}
+	return fmt.Sprintf("seed=%d %s", p.seed, strings.Join(parts, ","))
+}
+
+// ParseFaultPlan builds a plan from a spec string, the bpnet -fault
+// syntax. Entries are comma-separated:
+//
+//	drop=peer3:0.2            drop 20% of calls to peer3
+//	drop=0.2                  drop 20% of calls to anyone
+//	drop=peer3@peer.subquery:0.2   scope to one verb
+//	delay=50ms                delay every call 50ms
+//	delay=peer3:50ms          delay calls to peer3
+//	err=peer3:1               fail every call to peer3
+//	dup=peer3:0.5             deliver half of peer3's calls twice
+//	partition=a+b/c+d         split {a,b} from {c,d}
+func ParseFaultPlan(seed int64, spec string) (*FaultPlan, error) {
+	p := NewFaultPlan(seed)
+	spec = strings.TrimSpace(spec)
+	if spec == "" {
+		return p, nil
+	}
+	for _, entry := range strings.Split(spec, ",") {
+		entry = strings.TrimSpace(entry)
+		if entry == "" {
+			continue
+		}
+		kind, arg, ok := strings.Cut(entry, "=")
+		if !ok {
+			return nil, fmt.Errorf("pnet: fault entry %q: want kind=value", entry)
+		}
+		kind = strings.TrimSpace(kind)
+		arg = strings.TrimSpace(arg)
+		if kind == "partition" {
+			var groups [][]string
+			for _, g := range strings.Split(arg, "/") {
+				var ids []string
+				for _, id := range strings.Split(g, "+") {
+					if id = strings.TrimSpace(id); id != "" {
+						ids = append(ids, id)
+					}
+				}
+				if len(ids) > 0 {
+					groups = append(groups, ids)
+				}
+			}
+			if len(groups) < 1 {
+				return nil, fmt.Errorf("pnet: fault entry %q: empty partition", entry)
+			}
+			p.Partition(groups...)
+			continue
+		}
+		peer, verb, value, err := splitFaultTarget(arg)
+		if err != nil {
+			return nil, fmt.Errorf("pnet: fault entry %q: %w", entry, err)
+		}
+		switch kind {
+		case FaultDrop, FaultDuplicate, FaultError:
+			prob, err := strconv.ParseFloat(value, 64)
+			if err != nil || prob < 0 || prob > 1 {
+				return nil, fmt.Errorf("pnet: fault entry %q: probability %q not in [0,1]", entry, value)
+			}
+			p.Add(FaultRule{Peer: peer, Verb: verb, Kind: kind, Prob: prob})
+		case FaultDelay:
+			d, err := time.ParseDuration(value)
+			if err != nil || d < 0 {
+				return nil, fmt.Errorf("pnet: fault entry %q: bad duration %q", entry, value)
+			}
+			p.Add(FaultRule{Peer: peer, Verb: verb, Kind: FaultDelay, Prob: 1, Delay: d})
+		default:
+			return nil, fmt.Errorf("pnet: fault entry %q: unknown kind %q", entry, kind)
+		}
+	}
+	return p, nil
+}
+
+// splitFaultTarget parses "[peer][@verb]:value" or a bare "value".
+func splitFaultTarget(arg string) (peer, verb, value string, err error) {
+	if i := strings.LastIndex(arg, ":"); i >= 0 {
+		peer, value = arg[:i], arg[i+1:]
+	} else {
+		value = arg
+	}
+	if peer != "" {
+		if p, v, ok := strings.Cut(peer, "@"); ok {
+			peer, verb = p, v
+		}
+	}
+	if value == "" {
+		return "", "", "", fmt.Errorf("missing value")
+	}
+	return peer, verb, value, nil
+}
+
+// SetFaultPlan installs (or, with nil, removes) the network's fault
+// plan. Installing a plan is safe while traffic is flowing.
+func (n *Network) SetFaultPlan(p *FaultPlan) {
+	if p == nil {
+		n.fault.Store(nil)
+		return
+	}
+	n.fault.Store(p)
+}
+
+// FaultPlan returns the installed plan (nil when faults are off).
+func (n *Network) FaultPlan() *FaultPlan {
+	return n.fault.Load()
+}

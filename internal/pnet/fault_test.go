@@ -1,0 +1,174 @@
+package pnet
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+// fixedSeed is the chaos suite's seed: every fault decision in these
+// tests replays identically run to run.
+const fixedSeed = 42
+
+func TestFaultPlanDeterministic(t *testing.T) {
+	outcomes := func() []bool {
+		p := NewFaultPlan(fixedSeed).Drop("b", "", 0.5)
+		var out []bool
+		for i := 0; i < 64; i++ {
+			out = append(out, p.decide("a", "b", "q").drop)
+		}
+		return out
+	}
+	first, second := outcomes(), outcomes()
+	dropped := 0
+	for i := range first {
+		if first[i] != second[i] {
+			t.Fatalf("decision %d differs across identically seeded plans", i)
+		}
+		if first[i] {
+			dropped++
+		}
+	}
+	if dropped == 0 || dropped == len(first) {
+		t.Errorf("drop=0.5 produced %d/%d drops", dropped, len(first))
+	}
+}
+
+func TestFaultPlanRuleScoping(t *testing.T) {
+	p := NewFaultPlan(fixedSeed).Drop("b", "only.this", 1)
+	if !p.decide("a", "b", "only.this").drop {
+		t.Error("matching verb not dropped")
+	}
+	if p.decide("a", "b", "other").drop {
+		t.Error("non-matching verb dropped")
+	}
+	if p.decide("a", "c", "only.this").drop {
+		t.Error("non-matching peer dropped")
+	}
+}
+
+func TestFaultPlanPartition(t *testing.T) {
+	p := NewFaultPlan(fixedSeed).Partition([]string{"a", "b"}, []string{"c"})
+	if !p.decide("a", "c", "q").partition {
+		t.Error("cross-group call not severed")
+	}
+	if !p.decide("c", "b", "q").partition {
+		t.Error("reverse direction not severed")
+	}
+	if p.decide("a", "b", "q").partition {
+		t.Error("same-group call severed")
+	}
+	if p.decide("a", "outsider", "q").partition {
+		t.Error("ungrouped peer severed")
+	}
+	p.Heal()
+	if p.decide("a", "c", "q").partition {
+		t.Error("healed partition still severs")
+	}
+}
+
+func TestFaultPlanOnNetwork(t *testing.T) {
+	n := NewNetwork()
+	a := n.Join("a")
+	b := n.Join("b")
+	calls := 0
+	b.Handle("q", func(msg Message) (Message, error) {
+		calls++
+		return Message{}, nil
+	})
+
+	n.SetFaultPlan(NewFaultPlan(fixedSeed).Error("b", "", 1))
+	_, err := a.Call("b", "q", nil, 1)
+	if !errors.Is(err, ErrFaultInjected) || !errors.Is(err, ErrRemoteUnavailable) {
+		t.Fatalf("err = %v, want injected+unavailable", err)
+	}
+	if calls != 0 {
+		t.Fatalf("handler ran %d times through an err fault", calls)
+	}
+
+	// Removing the plan restores clean delivery.
+	n.SetFaultPlan(nil)
+	if _, err := a.Call("b", "q", nil, 1); err != nil {
+		t.Fatalf("call after plan removal: %v", err)
+	}
+	if calls != 1 {
+		t.Fatalf("calls = %d after one clean delivery", calls)
+	}
+}
+
+func TestFaultDuplicateDeliversTwice(t *testing.T) {
+	n := NewNetwork()
+	a := n.Join("a")
+	b := n.Join("b")
+	calls := 0
+	b.Handle("q", func(msg Message) (Message, error) {
+		calls++
+		return Message{}, nil
+	})
+	n.SetFaultPlan(NewFaultPlan(fixedSeed).Duplicate("b", "", 1))
+	if _, err := a.Call("b", "q", nil, 1); err != nil {
+		t.Fatal(err)
+	}
+	if calls != 2 {
+		t.Fatalf("duplicated call ran handler %d times, want 2", calls)
+	}
+}
+
+func TestFaultDropLooksLikeTimeout(t *testing.T) {
+	n := NewNetwork()
+	a := n.Join("a")
+	b := n.Join("b")
+	b.Handle("q", func(msg Message) (Message, error) { return Message{}, nil })
+	n.SetCallPolicy(CallPolicy{}) // no retries: surface the raw drop
+	n.SetFaultPlan(NewFaultPlan(fixedSeed).Drop("b", "", 1))
+	_, err := a.Call("b", "q", nil, 1)
+	if !errors.Is(err, ErrCallTimeout) || !errors.Is(err, ErrFaultInjected) {
+		t.Fatalf("err = %v, want timeout+injected", err)
+	}
+	if !Retryable(err) || !Unavailable(err) {
+		t.Errorf("dropped call should classify retryable and unavailable")
+	}
+}
+
+func TestParseFaultPlan(t *testing.T) {
+	p, err := ParseFaultPlan(fixedSeed, "drop=peer3:0.2, delay=50ms, err=peer1@peer.subquery:1, dup=0.5, partition=a+b/c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(p.rules); got != 4 {
+		t.Fatalf("rules = %d, want 4", got)
+	}
+	r := p.rules[0]
+	if r.Kind != FaultDrop || r.Peer != "peer3" || r.Prob != 0.2 {
+		t.Errorf("rule 0 = %+v", r)
+	}
+	r = p.rules[1]
+	if r.Kind != FaultDelay || r.Peer != "" || r.Delay != 50*time.Millisecond {
+		t.Errorf("rule 1 = %+v", r)
+	}
+	r = p.rules[2]
+	if r.Kind != FaultError || r.Peer != "peer1" || r.Verb != "peer.subquery" || r.Prob != 1 {
+		t.Errorf("rule 2 = %+v", r)
+	}
+	if len(p.groups) != 2 {
+		t.Errorf("groups = %d, want 2", len(p.groups))
+	}
+	if !p.decide("a", "c", "x").partition {
+		t.Error("parsed partition not active")
+	}
+
+	for _, bad := range []string{"drop", "drop=peer3:1.5", "delay=abc", "warp=x:1", "partition="} {
+		if _, err := ParseFaultPlan(1, bad); err == nil {
+			t.Errorf("ParseFaultPlan(%q) accepted", bad)
+		}
+	}
+
+	// Empty spec parses to a plan that perturbs nothing.
+	p, err = ParseFaultPlan(1, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.decide("a", "b", "q").any() {
+		t.Error("empty plan perturbs")
+	}
+}

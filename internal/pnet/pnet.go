@@ -74,10 +74,22 @@ type Network struct {
 	messages  atomic.Int64
 	bytesSent atomic.Int64
 
+	// Hardened-path state: the call policy (deadline + retry bounds),
+	// the set of verbs safe to retry, the installed fault plan (nil =
+	// faults off), and the retry backoff's jitter source.
+	policy atomic.Pointer[CallPolicy]
+	idem   sync.Map // verb string -> struct{}
+	inline sync.Map // verb string -> struct{} (safe to run unguarded, see MarkInline)
+	fault  atomic.Pointer[FaultPlan]
+	jitter jitterSource
+
 	// dest caches per-destination telemetry handles so the hot deliver
 	// path does one sync.Map read instead of a registry lookup.
 	dest sync.Map // string -> *destMetrics
 }
+
+// handlerPanics counts panics recovered in the delivery path.
+var handlerPanics = telemetry.Default.Counter("pnet_handler_panics_total")
 
 // destMetrics is one destination's cached telemetry handles.
 type destMetrics struct {
@@ -87,6 +99,8 @@ type destMetrics struct {
 	errUnknown  *telemetry.Counter
 	errNoHandle *telemetry.Counter
 	errHandler  *telemetry.Counter
+	retries     *telemetry.Counter
+	timeouts    *telemetry.Counter
 	latency     *telemetry.Histogram
 }
 
@@ -102,6 +116,8 @@ func (n *Network) destOf(to string) *destMetrics {
 		errUnknown:  telemetry.Default.Counter("pnet_errors_total", peer, telemetry.L("kind", "unknown_peer")),
 		errNoHandle: telemetry.Default.Counter("pnet_errors_total", peer, telemetry.L("kind", "no_handler")),
 		errHandler:  telemetry.Default.Counter("pnet_errors_total", peer, telemetry.L("kind", "handler")),
+		retries:     telemetry.Default.Counter("pnet_retries_total", peer),
+		timeouts:    telemetry.Default.Counter("pnet_timeouts_total", peer),
 		latency:     telemetry.Default.Histogram("pnet_call_seconds", nil, peer),
 	}
 	actual, _ := n.dest.LoadOrStore(to, d)
@@ -143,12 +159,15 @@ func (n *Network) PeerErrors() map[string]PeerErrorStats {
 	return out
 }
 
-// NewNetwork returns an empty network.
+// NewNetwork returns an empty network under the default hardened call
+// policy (SetCallPolicy with the zero policy restores the bare path).
 func NewNetwork() *Network {
-	return &Network{
+	n := &Network{
 		peers: make(map[string]*Endpoint),
 		down:  make(map[string]bool),
 	}
+	n.SetCallPolicy(DefaultCallPolicy())
+	return n
 }
 
 // Join registers a peer and returns its endpoint. Joining an existing ID
@@ -228,14 +247,74 @@ func (n *Network) deliver(msg Message) (Message, error) {
 		msg.Trace = sp.Context()
 	}
 	start := time.Now()
-	reply, err := n.deliverInner(msg, dm)
+	reply, err := n.deliverPolicy(msg, dm)
 	dm.latency.ObserveDuration(time.Since(start))
 	sp.SetError(err)
 	sp.End()
 	return reply, err
 }
 
-func (n *Network) deliverInner(msg Message, dm *destMetrics) (Message, error) {
+// deliverPolicy runs the CallPolicy retry loop around attempts. Only
+// verbs marked idempotent are ever re-sent, and only on
+// transport-shaped failures (Retryable): the request may never have
+// reached the handler. A handler error — including a recovered panic —
+// returns immediately, whatever the verb.
+func (n *Network) deliverPolicy(msg Message, dm *destMetrics) (Message, error) {
+	pol := n.CallPolicy()
+	attempts := 1
+	if pol.MaxAttempts > 1 && n.Idempotent(msg.Type) {
+		attempts = pol.MaxAttempts
+	}
+	var reply Message
+	var err error
+	for a := 1; ; a++ {
+		reply, err = n.deliverOnce(msg, dm, pol.Timeout)
+		if err != nil && errors.Is(err, ErrCallTimeout) {
+			dm.timeouts.Inc()
+		}
+		if err == nil || a >= attempts || !Retryable(err) {
+			return reply, err
+		}
+		dm.retries.Inc()
+		n.backoffSleep(pol, a)
+	}
+}
+
+// deliverOnce applies the fault plan (when one is installed) and makes
+// one delivery attempt. A dropped request surfaces as the deadline
+// firing; an injected error as the remote being unreachable; a
+// duplicate delivers the request a second time with the first reply
+// discarded — exactly the reordering/at-least-once hazards a real
+// network produces, minus the waiting.
+func (n *Network) deliverOnce(msg Message, dm *destMetrics, timeout time.Duration) (Message, error) {
+	if plan := n.fault.Load(); plan != nil {
+		if act := plan.decide(msg.From, msg.To, msg.Type); act.any() {
+			if act.delay > 0 {
+				faultDelayed.Inc()
+				time.Sleep(act.delay)
+			}
+			if act.partition {
+				faultPartitioned.Inc()
+				return Message{}, fmt.Errorf("%w (%w): partition severs %s -> %s", ErrRemoteUnavailable, ErrFaultInjected, msg.From, msg.To)
+			}
+			if act.drop {
+				faultDropped.Inc()
+				return Message{}, fmt.Errorf("%w (%w): dropped %s to %s", ErrCallTimeout, ErrFaultInjected, msg.Type, msg.To)
+			}
+			if act.errOut {
+				faultErrored.Inc()
+				return Message{}, fmt.Errorf("%w (%w): errored %s to %s", ErrRemoteUnavailable, ErrFaultInjected, msg.Type, msg.To)
+			}
+			if act.dup {
+				faultDuplicated.Inc()
+				_, _ = n.deliverInner(msg, dm, timeout)
+			}
+		}
+	}
+	return n.deliverInner(msg, dm, timeout)
+}
+
+func (n *Network) deliverInner(msg Message, dm *destMetrics, timeout time.Duration) (Message, error) {
 	n.mu.RLock()
 	dest, ok := n.peers[msg.To]
 	remote := n.remotes[msg.To]
@@ -250,9 +329,14 @@ func (n *Network) deliverInner(msg Message, dm *destMetrics) (Message, error) {
 		n.bytesSent.Add(msg.Size)
 		dm.calls.Inc()
 		dm.bytes.Add(msg.Size)
-		reply, err := remote.call(msg)
+		reply, err := remote.call(msg, timeout)
 		if err != nil {
-			dm.errHandler.Inc()
+			// Transport-shaped failures (unreachable, timed out) are
+			// counted by the retry/timeout counters, not as handler
+			// errors.
+			if !Retryable(err) {
+				dm.errHandler.Inc()
+			}
 			return Message{}, err
 		}
 		n.bytesSent.Add(reply.Size)
@@ -280,9 +364,14 @@ func (n *Network) deliverInner(msg Message, dm *destMetrics) (Message, error) {
 	n.bytesSent.Add(msg.Size)
 	dm.calls.Inc()
 	dm.bytes.Add(msg.Size)
-	reply, err := h(msg)
+	if timeout > 0 && n.InlineVerb(msg.Type) {
+		timeout = 0 // inline-safe handler: skip the guard goroutine
+	}
+	reply, err := invoke(h, msg, timeout)
 	if err != nil {
-		dm.errHandler.Inc()
+		if !Retryable(err) {
+			dm.errHandler.Inc()
+		}
 		return Message{}, err
 	}
 	n.bytesSent.Add(reply.Size)

@@ -1,0 +1,208 @@
+package pnet
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// The hardened call path. Every delivery runs under a CallPolicy: a
+// per-attempt deadline (so a wedged handler or a dead TCP peer cannot
+// hang the caller forever) and, for verbs registered as idempotent, a
+// bounded retry loop with exponential backoff and jitter. Retries are
+// strictly opt-in per verb: a subquery fetch or a BATON lookup can run
+// twice without changing state, an index mutation cannot, so only the
+// former ever re-sends. Transport-shaped failures retry; handler
+// errors never do — the handler ran, its answer is the answer.
+
+// ErrRemoteUnavailable is returned when a remote peer cannot be
+// reached: dial failure, broken connection, or an injected
+// transport fault.
+var ErrRemoteUnavailable = errors.New("pnet: remote peer unavailable")
+
+// ErrCallTimeout is returned when a call's per-attempt deadline fires
+// before the reply arrives.
+var ErrCallTimeout = errors.New("pnet: call deadline exceeded")
+
+// ErrHandlerPanic is returned when the destination handler panicked;
+// the panic is recovered in the delivery path so the hosting process
+// (and, over TCP, the serving connection's process) survives.
+var ErrHandlerPanic = errors.New("pnet: handler panicked")
+
+// CallPolicy bounds one delivery attempt and its retries.
+type CallPolicy struct {
+	// Timeout is the per-attempt deadline. On the TCP path it becomes
+	// the connection's read/write deadline; in-process it bounds the
+	// wait on the handler (whose goroutine keeps running — a wedged
+	// handler leaks exactly one goroutine, the price of not hanging
+	// the caller). Zero disables the deadline.
+	Timeout time.Duration
+	// MaxAttempts caps total attempts for idempotent verbs (<=1
+	// disables retries). Non-idempotent verbs always get one attempt.
+	MaxAttempts int
+	// Backoff is the base sleep before the first retry, doubling per
+	// attempt with ±50% jitter. Zero retries immediately.
+	Backoff time.Duration
+}
+
+// DefaultCallPolicy is the hardened default installed by NewNetwork:
+// generous enough that no healthy call ever notices it, tight enough
+// that a wedged peer fails the caller in seconds, not never.
+func DefaultCallPolicy() CallPolicy {
+	return CallPolicy{Timeout: 5 * time.Second, MaxAttempts: 3, Backoff: 2 * time.Millisecond}
+}
+
+// maxBackoff caps the exponential growth of the retry sleep.
+const maxBackoff = 250 * time.Millisecond
+
+// SetCallPolicy installs the network's call policy. The zero policy
+// (no timeout, no retries) restores the pre-hardening behavior.
+func (n *Network) SetCallPolicy(p CallPolicy) {
+	n.policy.Store(&p)
+}
+
+// CallPolicy returns the current policy.
+func (n *Network) CallPolicy() CallPolicy {
+	if p := n.policy.Load(); p != nil {
+		return *p
+	}
+	return CallPolicy{}
+}
+
+// MarkIdempotent registers verbs safe to re-send: delivering them
+// twice (a retry after a lost reply, a duplicated message) must leave
+// the destination in the same state as delivering them once. Only
+// marked verbs are retried under the CallPolicy.
+func (n *Network) MarkIdempotent(verbs ...string) {
+	for _, v := range verbs {
+		n.idem.Store(v, struct{}{})
+	}
+}
+
+// Idempotent reports whether the verb was marked idempotent.
+func (n *Network) Idempotent(verb string) bool {
+	_, ok := n.idem.Load(verb)
+	return ok
+}
+
+// HandleIdempotent registers a handler and marks its verb idempotent
+// on the endpoint's network in one step — the registration site is
+// where the handler's side effects (or lack of them) are known.
+func (e *Endpoint) HandleIdempotent(msgType string, h Handler) {
+	e.net.MarkIdempotent(msgType)
+	e.Handle(msgType, h)
+}
+
+// MarkInline registers verbs whose handlers are safe to run on the
+// caller's goroutine without the deadline-guard goroutine: they never
+// block except on calls made through this same network, and those
+// nested calls carry their own deadlines. The guard exists to unwedge
+// callers from handlers that can block indefinitely; a pure in-memory
+// probe or a BATON routing hop cannot, and the microseconds of
+// goroutine + timer per call would otherwise dominate such handlers'
+// cost on the query hot path. Only in-process delivery is affected:
+// over TCP the connection deadline always applies, because remote
+// wedging is a property of the hosting process, not of the handler.
+func (n *Network) MarkInline(verbs ...string) {
+	for _, v := range verbs {
+		n.inline.Store(v, struct{}{})
+	}
+}
+
+// InlineVerb reports whether the verb was marked inline-safe.
+func (n *Network) InlineVerb(verb string) bool {
+	_, ok := n.inline.Load(verb)
+	return ok
+}
+
+// Retryable reports whether the failure is transport-shaped — the
+// request may never have reached the handler, so an idempotent verb
+// can safely re-send. Handler errors (including recovered panics) and
+// administrative failures (peer down, unknown peer, no handler) are
+// not retryable: re-sending cannot change the outcome.
+func Retryable(err error) bool {
+	return errors.Is(err, ErrRemoteUnavailable) || errors.Is(err, ErrCallTimeout)
+}
+
+// Unavailable reports whether the failure means the destination could
+// not be reached at all — down, departed, partitioned, timed out, or
+// unreachable over TCP — as opposed to a handler that ran and failed.
+// Degradation paths (fan-out rounds skipping a crashed participant)
+// branch on this instead of string-matching.
+func Unavailable(err error) bool {
+	return errors.Is(err, ErrPeerDown) || errors.Is(err, ErrUnknownPeer) ||
+		errors.Is(err, ErrRemoteUnavailable) || errors.Is(err, ErrCallTimeout)
+}
+
+// jitterSource is the network's backoff jitter PRNG (seeded, so test
+// runs are reproducible; guarded, deliver is concurrent).
+type jitterSource struct {
+	mu  sync.Mutex
+	rng *rand.Rand
+}
+
+func (j *jitterSource) float64() float64 {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.rng == nil {
+		j.rng = rand.New(rand.NewSource(1))
+	}
+	return j.rng.Float64()
+}
+
+// backoffSleep sleeps before retry attempt (1-based), doubling the
+// base per attempt with ±50% jitter so synchronized retry storms
+// against a recovering peer spread out.
+func (n *Network) backoffSleep(pol CallPolicy, attempt int) {
+	if pol.Backoff <= 0 {
+		return
+	}
+	d := pol.Backoff << (attempt - 1)
+	if d > maxBackoff {
+		d = maxBackoff
+	}
+	d = time.Duration(float64(d) * (0.5 + n.jitter.float64()))
+	time.Sleep(d)
+}
+
+// safeHandle invokes a handler, converting a panic into an error so
+// one bad handler cannot crash the process (or, when the call arrived
+// over TCP, kill the serving host).
+func safeHandle(h Handler, msg Message) (reply Message, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			handlerPanics.Inc()
+			err = fmt.Errorf("%w: %s at %s: %v", ErrHandlerPanic, msg.Type, msg.To, r)
+		}
+	}()
+	return h(msg)
+}
+
+// invoke runs the handler under the per-attempt deadline. Without a
+// timeout the handler runs inline (zero overhead — the pre-hardening
+// fast path); with one it runs in a goroutine the caller abandons if
+// the deadline fires first.
+func invoke(h Handler, msg Message, timeout time.Duration) (Message, error) {
+	if timeout <= 0 {
+		return safeHandle(h, msg)
+	}
+	type outcome struct {
+		reply Message
+		err   error
+	}
+	ch := make(chan outcome, 1)
+	go func() {
+		r, err := safeHandle(h, msg)
+		ch <- outcome{r, err}
+	}()
+	t := time.NewTimer(timeout)
+	defer t.Stop()
+	select {
+	case o := <-ch:
+		return o.reply, o.err
+	case <-t.C:
+		return Message{}, fmt.Errorf("%w: %s to %s after %v", ErrCallTimeout, msg.Type, msg.To, timeout)
+	}
+}

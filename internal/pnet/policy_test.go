@@ -1,0 +1,237 @@
+package pnet
+
+import (
+	"errors"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestRetryOnlyIdempotentVerbs(t *testing.T) {
+	n := NewNetwork()
+	a := n.Join("a")
+	b := n.Join("b")
+	var calls atomic.Int64
+	handler := func(msg Message) (Message, error) {
+		calls.Add(1)
+		return Message{}, nil
+	}
+	b.HandleIdempotent("fetch", handler)
+	b.Handle("mutate", handler)
+	n.SetCallPolicy(CallPolicy{MaxAttempts: 4})
+	// A 100% drop: the mutation fails on its single attempt (no handler
+	// run), the idempotent verb burns all four attempts.
+	n.SetFaultPlan(NewFaultPlan(fixedSeed).Add(FaultRule{Kind: FaultDrop, Prob: 1}))
+	_, err := a.Call("b", "mutate", nil, 1)
+	if !errors.Is(err, ErrCallTimeout) {
+		t.Fatalf("mutate err = %v", err)
+	}
+	if got := calls.Load(); got != 0 {
+		t.Fatalf("mutate ran %d times through a full drop", got)
+	}
+
+	// All attempts drop: the idempotent verb retried MaxAttempts times
+	// and still failed — visible in the retry counter.
+	before := n.destOf("b").retries.Value()
+	if _, err := a.Call("b", "fetch", nil, 1); err == nil {
+		t.Fatal("fetch through a 100% drop succeeded")
+	}
+	if got := n.destOf("b").retries.Value() - before; got != 3 {
+		t.Fatalf("retries = %d, want 3 (4 attempts)", got)
+	}
+
+	// Heal the network: the verb classification survives, calls flow.
+	n.SetFaultPlan(nil)
+	if _, err := a.Call("b", "fetch", nil, 1); err != nil {
+		t.Fatal(err)
+	}
+	if !n.Idempotent("fetch") || n.Idempotent("mutate") {
+		t.Error("idempotency registry wrong")
+	}
+}
+
+func TestRetryRescuesTransientDrop(t *testing.T) {
+	n := NewNetwork()
+	a := n.Join("a")
+	b := n.Join("b")
+	var calls atomic.Int64
+	b.HandleIdempotent("fetch", func(msg Message) (Message, error) {
+		calls.Add(1)
+		return Message{Payload: "ok"}, nil
+	})
+	n.SetCallPolicy(CallPolicy{MaxAttempts: 3, Backoff: time.Microsecond})
+	// Seeded drop=0.5: across many calls every one must eventually
+	// succeed within 3 attempts or fail — none may hang, and the
+	// overall success rate must beat the per-attempt rate.
+	n.SetFaultPlan(NewFaultPlan(fixedSeed).Drop("b", "fetch", 0.5))
+	succeeded := 0
+	for i := 0; i < 100; i++ {
+		if _, err := a.Call("b", "fetch", nil, 1); err == nil {
+			succeeded++
+		}
+	}
+	// P(all 3 attempts drop) = 0.125, so ~87% succeed; anything over
+	// 2/3 proves retries are firing (one attempt alone averages 50%).
+	if succeeded < 67 {
+		t.Fatalf("succeeded = %d/100 with retries over drop=0.5", succeeded)
+	}
+}
+
+func TestHandlerErrorNotRetried(t *testing.T) {
+	n := NewNetwork()
+	a := n.Join("a")
+	b := n.Join("b")
+	var calls atomic.Int64
+	sentinel := errors.New("business error")
+	b.HandleIdempotent("fetch", func(msg Message) (Message, error) {
+		calls.Add(1)
+		return Message{}, sentinel
+	})
+	n.SetCallPolicy(CallPolicy{MaxAttempts: 5})
+	if _, err := a.Call("b", "fetch", nil, 1); !errors.Is(err, sentinel) {
+		t.Fatal("sentinel lost")
+	}
+	if got := calls.Load(); got != 1 {
+		t.Fatalf("handler error retried: %d calls", got)
+	}
+}
+
+func TestInProcessDeadlineFires(t *testing.T) {
+	n := NewNetwork()
+	a := n.Join("a")
+	b := n.Join("b")
+	release := make(chan struct{})
+	b.Handle("wedge", func(msg Message) (Message, error) {
+		<-release // wedged handler: holds the call until the test ends
+		return Message{}, nil
+	})
+	defer close(release)
+	n.SetCallPolicy(CallPolicy{Timeout: 30 * time.Millisecond})
+	before := n.destOf("b").timeouts.Value()
+	start := time.Now()
+	_, err := a.Call("b", "wedge", nil, 1)
+	if !errors.Is(err, ErrCallTimeout) {
+		t.Fatalf("err = %v, want deadline", err)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("deadline took %v to fire", elapsed)
+	}
+	if got := n.destOf("b").timeouts.Value() - before; got != 1 {
+		t.Errorf("timeouts counter delta = %d", got)
+	}
+}
+
+func TestHandlerPanicRecovered(t *testing.T) {
+	n := NewNetwork()
+	a := n.Join("a")
+	b := n.Join("b")
+	b.Handle("boom", func(msg Message) (Message, error) {
+		panic("handler bug")
+	})
+	b.Handle("ok", func(msg Message) (Message, error) { return Message{}, nil })
+	before := handlerPanics.Value()
+	_, err := a.Call("b", "boom", nil, 1)
+	if !errors.Is(err, ErrHandlerPanic) {
+		t.Fatalf("err = %v, want ErrHandlerPanic", err)
+	}
+	if !strings.Contains(err.Error(), "handler bug") {
+		t.Errorf("panic value lost: %v", err)
+	}
+	if Retryable(err) {
+		t.Error("panic classified retryable")
+	}
+	if got := handlerPanics.Value() - before; got != 1 {
+		t.Errorf("panic counter delta = %d", got)
+	}
+	// The process (and the endpoint) survive: the next call works.
+	if _, err := a.Call("b", "ok", nil, 1); err != nil {
+		t.Fatalf("call after panic: %v", err)
+	}
+}
+
+func TestHandlerPanicRecoveredUnderDeadline(t *testing.T) {
+	n := NewNetwork()
+	a := n.Join("a")
+	b := n.Join("b")
+	b.Handle("boom", func(msg Message) (Message, error) {
+		panic("guarded bug")
+	})
+	n.SetCallPolicy(CallPolicy{Timeout: time.Second})
+	if _, err := a.Call("b", "boom", nil, 1); !errors.Is(err, ErrHandlerPanic) {
+		t.Fatalf("err = %v, want ErrHandlerPanic through the guarded path", err)
+	}
+}
+
+// An inline-marked verb runs unguarded on the caller's goroutine: the
+// per-attempt deadline does not fire even when the handler outlives it.
+// Injected faults still apply — they are decided before delivery, not
+// inside the guard.
+func TestInlineVerbSkipsDeadlineGuard(t *testing.T) {
+	n := NewNetwork()
+	a := n.Join("a")
+	b := n.Join("b")
+	slow := func(msg Message) (Message, error) {
+		time.Sleep(60 * time.Millisecond)
+		return Message{Payload: "done"}, nil
+	}
+	b.Handle("slow", slow)
+	b.Handle("slow.inline", slow)
+	n.MarkInline("slow.inline")
+	if !n.InlineVerb("slow.inline") || n.InlineVerb("slow") {
+		t.Fatalf("inline registry: slow.inline=%v slow=%v", n.InlineVerb("slow.inline"), n.InlineVerb("slow"))
+	}
+	n.SetCallPolicy(CallPolicy{Timeout: 20 * time.Millisecond})
+	if _, err := a.Call("b", "slow", nil, 1); !errors.Is(err, ErrCallTimeout) {
+		t.Fatalf("guarded slow verb: err = %v, want ErrCallTimeout", err)
+	}
+	reply, err := a.Call("b", "slow.inline", nil, 1)
+	if err != nil || reply.Payload.(string) != "done" {
+		t.Fatalf("inline slow verb: %v %v, want unguarded completion", reply, err)
+	}
+	plan := NewFaultPlan(fixedSeed)
+	plan.Drop("b", "slow.inline", 1)
+	n.SetFaultPlan(plan)
+	if _, err := a.Call("b", "slow.inline", nil, 1); !errors.Is(err, ErrCallTimeout) || !errors.Is(err, ErrFaultInjected) {
+		t.Fatalf("dropped inline verb: err = %v, want injected timeout", err)
+	}
+}
+
+func TestZeroPolicyIsBarePath(t *testing.T) {
+	n := NewNetwork()
+	n.SetCallPolicy(CallPolicy{})
+	a := n.Join("a")
+	b := n.Join("b")
+	b.Handle("q", func(msg Message) (Message, error) { return Message{Payload: 7}, nil })
+	reply, err := a.Call("b", "q", nil, 1)
+	if err != nil || reply.Payload.(int) != 7 {
+		t.Fatalf("bare path: %v %v", reply, err)
+	}
+	if p := n.CallPolicy(); p.Timeout != 0 || p.MaxAttempts != 0 {
+		t.Errorf("policy = %+v", p)
+	}
+}
+
+func TestErrorClassifiers(t *testing.T) {
+	cases := []struct {
+		err         error
+		retryable   bool
+		unavailable bool
+	}{
+		{ErrPeerDown, false, true},
+		{ErrUnknownPeer, false, true},
+		{ErrNoHandler, false, false},
+		{ErrRemoteUnavailable, true, true},
+		{ErrCallTimeout, true, true},
+		{ErrHandlerPanic, false, false},
+		{errors.New("handler"), false, false},
+	}
+	for _, c := range cases {
+		if got := Retryable(c.err); got != c.retryable {
+			t.Errorf("Retryable(%v) = %v", c.err, got)
+		}
+		if got := Unavailable(c.err); got != c.unavailable {
+			t.Errorf("Unavailable(%v) = %v", c.err, got)
+		}
+	}
+}

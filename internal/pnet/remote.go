@@ -3,6 +3,7 @@ package pnet
 import (
 	"bufio"
 	"encoding/gob"
+	"errors"
 	"fmt"
 	"net"
 	"sync"
@@ -18,6 +19,15 @@ import (
 // designed to keep open: peers address each other only by ID, and every
 // payload type that crosses pnet is gob-serializable.
 //
+// The transport is hardened against the failures a real deployment
+// sees: calls carry the network's CallPolicy deadline as connection
+// read/write deadlines (a wedged-but-listening peer fails the caller
+// instead of hanging it), each remote peer is reached through a small
+// connection pool (concurrent fan-out calls no longer serialize behind
+// one connection's round-trip), sentinel errors survive the wire as
+// typed errors, and a closing listener drains its in-flight requests
+// with a bounded grace period.
+//
 // Payload types are registered with RegisterPayload (each producing
 // package registers its own in an init function).
 
@@ -28,6 +38,47 @@ func RegisterPayload(values ...interface{}) {
 	}
 }
 
+// Wire error codes: sentinel errors are mapped to codes on the serving
+// side and re-wrapped on the calling side, so errors.Is works across
+// process boundaries exactly as it does in-process.
+const (
+	wireErrGeneric = iota
+	wireErrPeerDown
+	wireErrUnknownPeer
+	wireErrNoHandler
+	wireErrHandlerPanic
+)
+
+func wireErrCode(err error) int {
+	switch {
+	case errors.Is(err, ErrPeerDown):
+		return wireErrPeerDown
+	case errors.Is(err, ErrUnknownPeer):
+		return wireErrUnknownPeer
+	case errors.Is(err, ErrNoHandler):
+		return wireErrNoHandler
+	case errors.Is(err, ErrHandlerPanic):
+		return wireErrHandlerPanic
+	default:
+		return wireErrGeneric
+	}
+}
+
+func wireErrUnpack(code int, text string) error {
+	switch code {
+	case wireErrPeerDown:
+		return fmt.Errorf("%w: remote: %s", ErrPeerDown, text)
+	case wireErrUnknownPeer:
+		return fmt.Errorf("%w: remote: %s", ErrUnknownPeer, text)
+	case wireErrNoHandler:
+		return fmt.Errorf("%w: remote: %s", ErrNoHandler, text)
+	case wireErrHandlerPanic:
+		return fmt.Errorf("%w: remote: %s", ErrHandlerPanic, text)
+	default:
+		return fmt.Errorf("pnet: remote: %s", text)
+	}
+}
+
 // wireRequest frames one remote call.
 type wireRequest struct {
 	Msg Message
@@ -35,16 +86,33 @@ type wireRequest struct {
 
 // wireResponse frames the reply (or the handler's error).
 type wireResponse struct {
-	Msg Message
-	Err string
+	Msg  Message
+	Err  string
+	Code int
 }
+
+// defaultCloseGrace bounds how long Listener.Close waits for in-flight
+// requests before force-closing their connections.
+const defaultCloseGrace = 2 * time.Second
 
 // Listener serves remote calls into a Network.
 type Listener struct {
-	ln   net.Listener
-	net  *Network
-	mu   sync.Mutex
-	done bool
+	ln    net.Listener
+	net   *Network
+	grace time.Duration
+
+	mu    sync.Mutex
+	done  bool
+	conns map[net.Conn]*servedConn
+	wg    sync.WaitGroup
+}
+
+// servedConn is one accepted connection's serve-side state. busy marks
+// a request between decode and response flush — the only state Close's
+// grace period protects; a connection idle between requests is severed
+// immediately (the client transparently redials).
+type servedConn struct {
+	busy bool
 }
 
 // ListenTCP exposes the network's peers on addr (use "127.0.0.1:0" to
@@ -55,7 +123,7 @@ func (n *Network) ListenTCP(addr string) (*Listener, error) {
 	if err != nil {
 		return nil, fmt.Errorf("pnet: listen %s: %w", addr, err)
 	}
-	l := &Listener{ln: ln, net: n}
+	l := &Listener{ln: ln, net: n, grace: defaultCloseGrace, conns: make(map[net.Conn]*servedConn)}
 	go l.acceptLoop()
 	return l, nil
 }
@@ -63,12 +131,76 @@ func (n *Network) ListenTCP(addr string) (*Listener, error) {
 // Addr returns the listener's bound address.
 func (l *Listener) Addr() string { return l.ln.Addr().String() }
 
-// Close stops serving.
+// SetCloseGrace overrides the drain grace period Close allows
+// in-flight requests (default 2s; <=0 force-closes immediately).
+func (l *Listener) SetCloseGrace(d time.Duration) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.grace = d
+}
+
+// Close stops accepting and drains in-flight requests: active serve
+// connections get the grace period to finish their current call, then
+// are force-closed; Close returns only after every serve goroutine has
+// exited (bounded by a second grace period for handlers that ignore
+// their closed connection). Closing twice is safe.
 func (l *Listener) Close() error {
 	l.mu.Lock()
+	if l.done {
+		l.mu.Unlock()
+		return nil
+	}
 	l.done = true
+	grace := l.grace
+	// Sever connections idle between requests right away: nothing is in
+	// flight on them, and their serve loops are parked in Decode — the
+	// grace period is for requests mid-handler, not parked sockets.
+	for c, s := range l.conns {
+		if !s.busy {
+			c.Close()
+		}
+	}
 	l.mu.Unlock()
-	return l.ln.Close()
+
+	err := l.ln.Close()
+	drained := make(chan struct{})
+	go func() {
+		l.wg.Wait()
+		close(drained)
+	}()
+	if !waitOrTimeout(drained, grace) {
+		// Grace expired: sever the stragglers. Their serve loops exit as
+		// soon as the in-flight deliver returns (bounded by the serving
+		// network's own call deadline) and the write fails.
+		l.mu.Lock()
+		for c := range l.conns {
+			c.Close()
+		}
+		l.mu.Unlock()
+		waitOrTimeout(drained, grace)
+	}
+	return err
+}
+
+// waitOrTimeout waits for ch up to d (d<=0 polls once) and reports
+// whether ch closed in time.
+func waitOrTimeout(ch <-chan struct{}, d time.Duration) bool {
+	if d <= 0 {
+		select {
+		case <-ch:
+			return true
+		default:
+			return false
+		}
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ch:
+		return true
+	case <-t.C:
+		return false
+	}
 }
 
 func (l *Listener) acceptLoop() {
@@ -92,15 +224,33 @@ func (l *Listener) acceptLoop() {
 			continue
 		}
 		delay = time.Millisecond
-		go l.serve(conn)
+		l.mu.Lock()
+		if l.done {
+			l.mu.Unlock()
+			conn.Close()
+			return
+		}
+		st := &servedConn{}
+		l.conns[conn] = st
+		l.wg.Add(1)
+		l.mu.Unlock()
+		go l.serve(conn, st)
 	}
 }
 
 // serve handles one connection: a stream of request/response pairs.
 // Reads and writes are buffered so gob's many small writes coalesce
-// into one syscall per response frame.
-func (l *Listener) serve(conn net.Conn) {
-	defer conn.Close()
+// into one syscall per response frame. Handler panics are recovered
+// inside deliver, so a bad handler fails one request instead of
+// killing the serving process.
+func (l *Listener) serve(conn net.Conn, st *servedConn) {
+	defer func() {
+		conn.Close()
+		l.mu.Lock()
+		delete(l.conns, conn)
+		l.mu.Unlock()
+		l.wg.Done()
+	}()
 	br := bufio.NewReader(conn)
 	bw := bufio.NewWriter(conn)
 	dec := gob.NewDecoder(br)
@@ -110,29 +260,67 @@ func (l *Listener) serve(conn net.Conn) {
 		if err := dec.Decode(&req); err != nil {
 			return
 		}
+		l.mu.Lock()
+		st.busy = true
+		l.mu.Unlock()
 		reply, err := l.net.deliver(req.Msg)
 		resp := wireResponse{Msg: reply}
 		if err != nil {
 			resp.Err = err.Error()
+			resp.Code = wireErrCode(err)
 		}
-		if err := enc.Encode(&resp); err != nil {
-			return
+		encErr := enc.Encode(&resp)
+		if encErr == nil {
+			encErr = bw.Flush()
 		}
-		if err := bw.Flush(); err != nil {
+		l.mu.Lock()
+		st.busy = false
+		l.mu.Unlock()
+		if encErr != nil {
 			return
 		}
 	}
 }
 
-// remotePeer is a connection (pool of one) to another process's network.
-type remotePeer struct {
-	addr string
+// remoteConns is the per-remote connection pool size: the most calls
+// one process keeps in flight toward a single remote peer before
+// callers queue for a slot. Sized to the fan-out worker pool's
+// appetite without holding dozens of sockets per peer.
+const remoteConns = 4
 
-	mu   sync.Mutex
+// rconn is one pooled connection with its codec state.
+type rconn struct {
 	conn net.Conn
 	bw   *bufio.Writer
 	enc  *gob.Encoder
 	dec  *gob.Decoder
+	// reused marks a connection that already served a previous call —
+	// the only kind whose failure is worth one transparent redial (a
+	// listener restart between calls leaves stale pooled connections).
+	reused bool
+}
+
+// remotePeer is a bounded connection pool to another process's
+// network. Each call checks out a connection for one request/response
+// exchange, so concurrent calls to the same remote proceed in
+// parallel instead of serializing behind a single connection's
+// network round-trip.
+type remotePeer struct {
+	addr  string
+	slots chan struct{} // capacity remoteConns; one per live call
+	idle  chan *rconn   // parked connections awaiting reuse
+}
+
+func newRemotePeer(addr string) *remotePeer {
+	r := &remotePeer{
+		addr:  addr,
+		slots: make(chan struct{}, remoteConns),
+		idle:  make(chan *rconn, remoteConns),
+	}
+	for i := 0; i < remoteConns; i++ {
+		r.slots <- struct{}{}
+	}
+	return r
 }
 
 // AddRemotePeer registers id as reachable at a TCP address served by
@@ -144,48 +332,153 @@ func (n *Network) AddRemotePeer(id, addr string) {
 	if n.remotes == nil {
 		n.remotes = make(map[string]*remotePeer)
 	}
-	n.remotes[id] = &remotePeer{addr: addr}
+	n.remotes[id] = newRemotePeer(addr)
 }
 
-// RemoveRemotePeer unregisters a remote peer.
+// RemoveRemotePeer unregisters a remote peer and closes its parked
+// connections (checked-out ones close when their call finishes).
 func (n *Network) RemoveRemotePeer(id string) {
 	n.mu.Lock()
-	defer n.mu.Unlock()
+	r := n.remotes[id]
 	delete(n.remotes, id)
+	n.mu.Unlock()
+	if r != nil {
+		r.drainIdle()
+	}
 }
 
-// call ships one message to the remote peer, reconnecting once on a
-// broken connection.
-func (r *remotePeer) call(msg Message) (Message, error) {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	for attempt := 0; attempt < 2; attempt++ {
-		if r.conn == nil {
-			conn, err := net.Dial("tcp", r.addr)
-			if err != nil {
-				return Message{}, fmt.Errorf("pnet: dial %s: %w", r.addr, err)
-			}
-			r.conn = conn
-			r.bw = bufio.NewWriter(conn)
-			r.enc = gob.NewEncoder(r.bw)
-			r.dec = gob.NewDecoder(bufio.NewReader(conn))
+// drainIdle closes every parked connection.
+func (r *remotePeer) drainIdle() {
+	for {
+		select {
+		case c := <-r.idle:
+			c.conn.Close()
+		default:
+			return
 		}
-		var resp wireResponse
-		// The writer buffers gob's small writes; a flush failure is a
-		// broken connection, handled like an encode failure below.
-		if err := r.enc.Encode(wireRequest{Msg: msg}); err == nil {
-			if err := r.bw.Flush(); err == nil {
-				if err := r.dec.Decode(&resp); err == nil {
-					if resp.Err != "" {
-						return Message{}, fmt.Errorf("pnet: remote: %s", resp.Err)
-					}
-					return resp.Msg, nil
-				}
-			}
-		}
-		// Broken pipe: drop the connection and retry once.
-		r.conn.Close()
-		r.conn, r.bw, r.enc, r.dec = nil, nil, nil, nil
 	}
-	return Message{}, fmt.Errorf("pnet: remote call to %s failed", r.addr)
+}
+
+// checkout pops a parked connection or dials a new one.
+func (r *remotePeer) checkout() (*rconn, error) {
+	select {
+	case c := <-r.idle:
+		c.reused = true
+		return c, nil
+	default:
+	}
+	conn, err := net.Dial("tcp", r.addr)
+	if err != nil {
+		return nil, fmt.Errorf("%w: dial %s: %v", ErrRemoteUnavailable, r.addr, err)
+	}
+	bw := bufio.NewWriter(conn)
+	return &rconn{
+		conn: conn,
+		bw:   bw,
+		enc:  gob.NewEncoder(bw),
+		dec:  gob.NewDecoder(bufio.NewReader(conn)),
+	}, nil
+}
+
+// call ships one message to the remote peer. timeout (the CallPolicy's
+// per-attempt deadline) bounds the wait for a pool slot plus the
+// connection's read/write deadline; zero means wait indefinitely, the
+// pre-hardening behavior.
+func (r *remotePeer) call(msg Message, timeout time.Duration) (Message, error) {
+	var deadline time.Time
+	if timeout > 0 {
+		deadline = time.Now().Add(timeout)
+	}
+	if err := r.acquireSlot(deadline); err != nil {
+		return Message{}, err
+	}
+	defer func() { r.slots <- struct{}{} }()
+
+	for attempt := 0; ; attempt++ {
+		c, err := r.checkout()
+		if err != nil {
+			return Message{}, err
+		}
+		reply, handlerErr, transportErr := c.roundTrip(msg, deadline)
+		if transportErr == nil {
+			r.park(c)
+			return reply, handlerErr
+		}
+		c.conn.Close()
+		if isTimeout(transportErr) {
+			// The request may be executing remotely; re-sending is the
+			// caller's (policy-gated) decision, never the transport's.
+			return Message{}, fmt.Errorf("%w: %s: %v", ErrCallTimeout, r.addr, transportErr)
+		}
+		if c.reused && attempt == 0 {
+			// A stale pooled connection (listener restarted between
+			// calls): every parked sibling is equally stale, so flush
+			// them and redial once.
+			r.drainIdle()
+			continue
+		}
+		return Message{}, fmt.Errorf("%w: %s: %v", ErrRemoteUnavailable, r.addr, transportErr)
+	}
+}
+
+// acquireSlot takes a pool slot, bounded by the call deadline.
+func (r *remotePeer) acquireSlot(deadline time.Time) error {
+	select {
+	case <-r.slots:
+		return nil
+	default:
+	}
+	if deadline.IsZero() {
+		<-r.slots
+		return nil
+	}
+	t := time.NewTimer(time.Until(deadline))
+	defer t.Stop()
+	select {
+	case <-r.slots:
+		return nil
+	case <-t.C:
+		return fmt.Errorf("%w: %s: connection pool exhausted", ErrCallTimeout, r.addr)
+	}
+}
+
+// park returns a healthy connection to the pool.
+func (r *remotePeer) park(c *rconn) {
+	select {
+	case r.idle <- c:
+	default:
+		c.conn.Close() // pool full (cannot happen while slots bound calls)
+	}
+}
+
+// roundTrip performs one request/response exchange. handlerErr is the
+// remote handler's error (the connection stays usable); transportErr
+// is a broken or timed-out connection.
+func (c *rconn) roundTrip(msg Message, deadline time.Time) (reply Message, handlerErr, transportErr error) {
+	// SetDeadline with the zero time clears any previous deadline.
+	if err := c.conn.SetDeadline(deadline); err != nil {
+		return Message{}, nil, err
+	}
+	// The writer buffers gob's small writes; a flush failure is a broken
+	// connection, handled like an encode failure.
+	if err := c.enc.Encode(wireRequest{Msg: msg}); err != nil {
+		return Message{}, nil, err
+	}
+	if err := c.bw.Flush(); err != nil {
+		return Message{}, nil, err
+	}
+	var resp wireResponse
+	if err := c.dec.Decode(&resp); err != nil {
+		return Message{}, nil, err
+	}
+	if resp.Err != "" {
+		return Message{}, wireErrUnpack(resp.Code, resp.Err), nil
+	}
+	return resp.Msg, nil, nil
+}
+
+// isTimeout reports whether the transport failure was a fired deadline.
+func isTimeout(err error) bool {
+	var ne net.Error
+	return errors.As(err, &ne) && ne.Timeout()
 }
