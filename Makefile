@@ -59,6 +59,13 @@ bench-monitor:
 bench-exec:
 	$(GO) run ./cmd/bpbench -fig exec | tee BENCH_exec.json
 
+# Wall-clock speedup of the vectorized batch executor (typed column
+# vectors + selection bitmaps) over the row-compiled closures on the
+# fig-6 benchmark queries; appends to the trajectory file. Expected
+# speedup >= 2 with results_identical = true.
+bench-batch:
+	$(GO) run ./cmd/bpbench -fig batch | tee -a BENCH_exec.json
+
 # Wall-clock overhead of the hardened RPC path (deadline guard + retry
 # policy, faults off) over the bare path on the fig-6 workload;
 # refreshes the trajectory file. Expected overhead_pct < 2 with

@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	bpbench [-fig all|6|7|8|9|10|11|12|13|14|ablations|fanout|telemetry|monitor|exec|faults] [-nodes 10,20,50] [-sf 0.0004]
+//	bpbench [-fig all|6|7|8|9|10|11|12|13|14|ablations|fanout|telemetry|monitor|exec|batch|faults] [-nodes 10,20,50] [-sf 0.0004]
 //
 // Five experiments are wall-clock rather than vtime: "fanout" compares
 // sequential vs concurrent multi-peer fetch under an injected per-call
@@ -14,9 +14,11 @@
 // collector — on the same workload (JSON line for BENCH_monitor.json),
 // "exec" prices the compile-once execution layer against the
 // tree-walking interpreter on the fig-6 benchmark queries (JSON line
-// for BENCH_exec.json), and "faults" prices the hardened RPC path
-// (deadline guard + retry policy) against the bare path on the same
-// workload (JSON line for BENCH_faults.json).
+// for BENCH_exec.json), "batch" prices the vectorized batch executor
+// against the row-compiled closures on the same queries (JSON line
+// appended to BENCH_exec.json), and "faults" prices the hardened RPC
+// path (deadline guard + retry policy) against the bare path on the
+// same workload (JSON line for BENCH_faults.json).
 package main
 
 import (
@@ -37,6 +39,7 @@ func main() {
 	telemetryPeers := flag.Int("telemetry-peers", 4, "peers for the telemetry overhead measurement")
 	telemetryQueries := flag.Int("telemetry-queries", 50, "queries per timed batch for the telemetry overhead measurement")
 	monitorEpoch := flag.Duration("monitor-epoch", 50*time.Millisecond, "report epoch for the monitoring-plane overhead measurement")
+	batchSF := flag.Float64("batch-sf", 0.06, "TPC-H scale factor for the batch-vs-closure executor comparison")
 	nodes := flag.String("nodes", "10,20,50", "comma-separated cluster sizes")
 	sf := flag.Float64("sf", 0.0004, "TPC-H scale factor contributed per node")
 	seed := flag.Int64("seed", 1, "throughput simulator seed")
@@ -83,6 +86,16 @@ func main() {
 		r, err := bench.ExecCompileSpeedup(*telemetryPeers, *telemetryQueries)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "bpbench: exec: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Println(r.JSONLine())
+		return
+	}
+
+	if *fig == "batch" {
+		r, err := bench.BatchExecSpeedup(*batchSF, *telemetryQueries)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bpbench: batch: %v\n", err)
 			os.Exit(1)
 		}
 		fmt.Println(r.JSONLine())

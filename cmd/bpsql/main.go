@@ -14,6 +14,7 @@
 //
 //	.strategy basic|parallel|mapreduce|adaptive   pick the engine
 //	.explain <sql>                                access plan + engine prediction
+//	.plan <sql>                                   per-peer local plans: join order, est vs actual rows
 //	.online <aggregate sql>                       progressive online aggregation
 //	.trace on|off                                 toggle per-query span trees
 //	.metrics                                      dump the telemetry registry
@@ -70,7 +71,7 @@ func main() {
 		case line == ".quit" || line == ".exit":
 			return
 		case line == ".help":
-			fmt.Println(".strategy basic|parallel|mapreduce|adaptive | .explain <sql> | .online <sql> | .trace on|off | .metrics | .slowlog [threshold] | .peers | .tables | .quit")
+			fmt.Println(".strategy basic|parallel|mapreduce|adaptive | .explain <sql> | .plan <sql> | .online <sql> | .trace on|off | .metrics | .slowlog [threshold] | .peers | .tables | .quit")
 		case line == ".metrics":
 			fmt.Print(telemetry.Default.Text())
 		case strings.HasPrefix(line, ".slowlog"):
@@ -145,6 +146,20 @@ func main() {
 				break
 			}
 			fmt.Print(exp)
+		case strings.HasPrefix(line, ".plan "):
+			sql := strings.TrimSpace(strings.TrimPrefix(line, ".plan "))
+			// Each data owner compiles the statement against its own
+			// histograms, so join order and est vs actual cardinalities
+			// can differ per peer. The submitting peer fetches every
+			// peer's rendered plan over the peer.plan verb.
+			for _, p := range net.Peers() {
+				text, err := net.Peer(0).ExplainLocalPlan(p.ID(), sql)
+				if err != nil {
+					fmt.Printf("-- %s: error: %v\n", p.ID(), err)
+					continue
+				}
+				fmt.Printf("-- %s\n%s", p.ID(), text)
+			}
 		case strings.HasPrefix(line, ".online "):
 			sql := strings.TrimSpace(strings.TrimPrefix(line, ".online "))
 			err := net.Peer(0).QueryOnline(sql, "", 1, func(e peer.OnlineEstimate) bool {

@@ -173,6 +173,28 @@ func render(net *bestpeer.Network, start time.Time) {
 		hits, misses, rate,
 		telemetry.Default.Counter("sqldb_expr_compiles_total").Value(),
 		telemetry.Default.Counter("sqldb_plans_compiled_total").Value())
+	// Vectorized-executor summary: batches produced, average rows per
+	// batch, selection-bitmap density, row-mode fallbacks, and how well
+	// the cost model's scan estimates track actuals (median est/actual).
+	batches := telemetry.Default.Counter("sqldb_batches_total").Value()
+	brows := telemetry.Default.Counter("sqldb_batch_rows_total").Value()
+	rowsPer := 0.0
+	if batches > 0 {
+		rowsPer = float64(brows) / float64(batches)
+	}
+	sel := telemetry.Default.Histogram("sqldb_batch_selectivity",
+		[]float64{0.01, 0.05, 0.1, 0.25, 0.5, 0.75, 0.9, 1})
+	selDensity := 0.0
+	if sel.Count() > 0 {
+		selDensity = sel.Sum() / float64(sel.Count()) * 100
+	}
+	ratio := telemetry.Default.Histogram("sqldb_cost_estimate_ratio",
+		[]float64{0.1, 0.25, 0.5, 0.8, 1.25, 2, 4, 10})
+	p50, _, _ := ratio.Quantiles()
+	fmt.Printf("batch exec: %d batches (%.0f rows avg, %.1f%% sel density), %d batch plans, %d fallbacks, est/actual p50=%.2f\n",
+		batches, rowsPer, selDensity,
+		telemetry.Default.Counter("sqldb_batch_plans_compiled_total").Value(),
+		telemetry.Default.Counter("sqldb_batch_fallbacks_total").Value(), p50)
 	// Hardened-transport summary: retries/timeouts summed over every
 	// destination the bootstrap knows, faults by the injection counters.
 	var retries, timeouts int64

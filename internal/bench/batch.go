@@ -1,0 +1,156 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+	"time"
+
+	"bestpeer/internal/sqldb"
+	"bestpeer/internal/tpch"
+)
+
+// This file prices the vectorized batch executor against the
+// row-at-a-time compiled closures on the fig-6 benchmark queries (Q1
+// selection, Q2 arithmetic aggregation — the per-row-heaviest shapes).
+// Unlike ExecCompileSpeedup, which goes through the distributed engine
+// stack, this measurement drives one data owner's local executor
+// directly: the batch refactor changes only the local scan/filter/
+// project/aggregate loops, and routing both modes through RPC would
+// dilute exactly the difference being priced. Both modes share one
+// compiled plan (the batch twin is compiled alongside the closures and
+// selected per run), so the comparison isolates the execution loops.
+
+// BatchExecResult is one row-compiled-vs-batch comparison, appended as
+// a JSON line to BENCH_exec.json next to the interpreter-vs-compiled
+// line.
+type BatchExecResult struct {
+	Mode         string  `json:"mode"` // always "batch"
+	SF           float64 `json:"sf"`
+	Queries      int     `json:"queries"`
+	LineItemRows int     `json:"lineitem_rows"`
+	RowMS        float64 `json:"row_compiled_ms"`
+	BatchMS      float64 `json:"batch_ms"`
+	Speedup      float64 `json:"speedup"`
+	// Counter deltas over the batch-mode runs.
+	Batches    int64   `json:"batches"`
+	RowsPerBat float64 `json:"rows_per_batch"`
+	Fallbacks  int64   `json:"batch_fallbacks"`
+	BatchPlans int64   `json:"batch_plans_compiled"`
+	Identical  bool    `json:"results_identical"`
+}
+
+// JSONLine renders the result as a single JSON line.
+func (r *BatchExecResult) JSONLine() string {
+	b, _ := json.Marshal(r)
+	return string(b)
+}
+
+// BatchExecSpeedup loads one peer-sized TPC-H LineItem partition and
+// times batches of Q1/Q2 with the vector path off (row-compiled
+// closures) and on. Each mode keeps its best batch across alternating
+// rounds (see TelemetryOverhead for the rationale), and the two modes'
+// result rows are verified bit-identical before anything is timed.
+func BatchExecSpeedup(sf float64, queries int) (*BatchExecResult, error) {
+	if sf <= 0 || queries < 1 {
+		return nil, fmt.Errorf("bench: batch speedup needs sf > 0 and >= 1 query")
+	}
+	db := sqldb.NewDB()
+	if err := tpch.Generate(db, tpch.Scale{ScaleFactor: sf, Tables: []string{tpch.Orders, tpch.LineItem}}); err != nil {
+		return nil, err
+	}
+	workload := []string{tpch.Q1Default(), tpch.Q2Default()}
+	runMode := func(batch bool, sql string) (*sqldb.Result, error) {
+		sqldb.SetBatchEnabled(batch)
+		defer sqldb.SetBatchEnabled(true)
+		return db.Query(sql)
+	}
+	// Verify bit-identical results (and warm the plan cache, histograms,
+	// and both execution paths) before the timed region.
+	identical := true
+	for _, sql := range workload {
+		want, err := runMode(false, sql)
+		if err != nil {
+			return nil, err
+		}
+		got, err := runMode(true, sql)
+		if err != nil {
+			return nil, err
+		}
+		if fingerprint(want) != fingerprint(got) {
+			identical = false
+		}
+	}
+	if !identical {
+		return nil, fmt.Errorf("bench: batch and row-compiled results diverge")
+	}
+	batch := func(mode bool) (time.Duration, error) {
+		sqldb.SetBatchEnabled(mode)
+		defer sqldb.SetBatchEnabled(true)
+		start := time.Now()
+		for q := 0; q < queries; q++ {
+			if _, err := db.Query(workload[q%len(workload)]); err != nil {
+				return 0, err
+			}
+		}
+		return time.Since(start), nil
+	}
+	batches0 := counterValue("sqldb_batches_total")
+	brows0 := counterValue("sqldb_batch_rows_total")
+	falls0 := counterValue("sqldb_batch_fallbacks_total")
+	plans0 := counterValue("sqldb_batch_plans_compiled_total")
+	const rounds = 40
+	var rowBest, batchBest time.Duration
+	for round := 0; round < rounds; round++ {
+		order := []bool{false, true}
+		if round%2 == 1 {
+			order[0], order[1] = order[1], order[0]
+		}
+		for _, mode := range order {
+			d, err := batch(mode)
+			if err != nil {
+				return nil, err
+			}
+			if mode {
+				if batchBest == 0 || d < batchBest {
+					batchBest = d
+				}
+			} else {
+				if rowBest == 0 || d < rowBest {
+					rowBest = d
+				}
+			}
+		}
+	}
+	r := &BatchExecResult{
+		Mode:         "batch",
+		SF:           sf,
+		Queries:      queries,
+		LineItemRows: db.Table(tpch.LineItem).NumRows(),
+		RowMS:        float64(rowBest) / float64(time.Millisecond),
+		BatchMS:      float64(batchBest) / float64(time.Millisecond),
+		Batches:      counterValue("sqldb_batches_total") - batches0,
+		Fallbacks:    counterValue("sqldb_batch_fallbacks_total") - falls0,
+		BatchPlans:   counterValue("sqldb_batch_plans_compiled_total") - plans0,
+		Identical:    identical,
+	}
+	if batchBest > 0 {
+		r.Speedup = float64(rowBest) / float64(batchBest)
+	}
+	if r.Batches > 0 {
+		r.RowsPerBat = float64(counterValue("sqldb_batch_rows_total")-brows0) / float64(r.Batches)
+	}
+	return r, nil
+}
+
+// fingerprint renders a result's rows for bit-identity comparison.
+func fingerprint(res *sqldb.Result) string {
+	var sb strings.Builder
+	sb.WriteString(strings.Join(res.Columns, "|"))
+	sb.WriteByte('\n')
+	for _, row := range res.Rows {
+		sb.WriteString(row.String())
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}

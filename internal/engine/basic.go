@@ -325,13 +325,38 @@ func hashJoin(lb []sqldb.Binding, lrows []sqlval.Row, rb []sqldb.Binding, rrows 
 		return out, next, nil
 	}
 	// Equi-joins here are foreign-key shaped (TPC-H), so the output is
-	// near the probe side's cardinality; size the slice accordingly. The
-	// key expressions compile once — column offsets resolved up front —
-	// and the closures run per row.
+	// near the probe side's cardinality; size the slice accordingly.
 	out := make([]sqlval.Row, 0, len(lrows))
+	build := make(map[uint64][]sqlval.Row, len(rrows))
+
+	// Fast path: when every key is a bare column reference, resolve the
+	// offsets once and hash/compare each side's key columns in a tight
+	// loop over the rows — no closure dispatch, no per-key error path.
+	loffs, lok := sqldb.JoinKeyOffsets(lb, lkeys)
+	roffs, rok := sqldb.JoinKeyOffsets(rb, rkeys)
+	if lok && rok {
+		for _, r := range rrows {
+			h := sqldb.HashKeyOffsets(r, roffs)
+			build[h] = append(build[h], r)
+		}
+		for _, l := range lrows {
+			h := sqldb.HashKeyOffsets(l, loffs)
+		probeFast:
+			for _, r := range build[h] {
+				for i := range loffs {
+					lv, rv := l[loffs[i]], r[roffs[i]]
+					if lv.IsNull() || rv.IsNull() || !sqlval.Equal(lv, rv) {
+						continue probeFast
+					}
+				}
+				out = append(out, combinedRow(l, r))
+			}
+		}
+		return out, next, nil
+	}
+
 	rhash, revals := sqldb.CompileJoinKey(rb, rkeys)
 	lhash, levals := sqldb.CompileJoinKey(lb, lkeys)
-	build := make(map[uint64][]sqlval.Row, len(rrows))
 	for _, r := range rrows {
 		h, err := rhash(r)
 		if err != nil {

@@ -5,8 +5,38 @@ import (
 	"strings"
 
 	"bestpeer/internal/engine"
+	"bestpeer/internal/pnet"
 	"bestpeer/internal/sqldb"
 )
+
+// MsgExplain is the peer.plan verb: fetch a peer's rendered LOCAL
+// execution plan for a SQL statement — the cost-based join order,
+// access-path choices, estimated vs actual scan cardinalities, and
+// whether the vectorized batch path runs it. This complements Explain
+// below, which describes the distributed access plan; peer.plan shows
+// what one data owner's local executor does with the statement.
+const MsgExplain = "peer.plan"
+
+// ExplainLocalPlan asks target to explain how its local executor would
+// run sql, returning the rendered plan text.
+func (p *Peer) ExplainLocalPlan(target, sql string) (string, error) {
+	reply, err := p.ep.Call(target, MsgExplain, sql, int64(len(sql)))
+	if err != nil {
+		return "", err
+	}
+	text, _ := reply.Payload.(string)
+	return text, nil
+}
+
+func (p *Peer) handleExplain(msg pnet.Message) (pnet.Message, error) {
+	sql, _ := msg.Payload.(string)
+	ep, err := p.db.ExplainSelect(sql)
+	if err != nil {
+		return pnet.Message{}, err
+	}
+	text := ep.Render()
+	return pnet.Message{Payload: text, Size: int64(len(text))}, nil
+}
 
 // Explanation describes how a query would execute without running it:
 // the data owners each table resolves to (and through which index

@@ -191,6 +191,7 @@ func (p *Peer) registerHandlers() {
 		return pnet.Message{Payload: rep, Size: int64(64 + 48*len(rep.Delta.Points))}, nil
 	})
 	p.ep.HandleIdempotent(MsgSlowLog, p.handleSlowLog)
+	p.ep.HandleIdempotent(MsgExplain, p.handleExplain)
 	// The query-serving verbs are pure compute over the in-memory
 	// database and the membership/probe verbs are pure reads: none of
 	// them can wait on anything outside this transport, so in-process

@@ -161,8 +161,8 @@ type group struct {
 }
 
 // projectGrouped executes grouping, aggregation, HAVING, ORDER BY and
-// projection for aggregate queries.
-func projectGrouped(f *frame, stmt *SelectStmt, rows []sqlval.Row) (*Result, error) {
+// projection for aggregate queries. starF expands stars in FROM order.
+func projectGrouped(f, starF *frame, stmt *SelectStmt, rows []sqlval.Row) (*Result, error) {
 	coll := collectAggregates(stmt)
 	groups := make(map[uint64][]*group)
 	var orderedGroups []*group
@@ -226,7 +226,7 @@ func projectGrouped(f *frame, stmt *SelectStmt, rows []sqlval.Row) (*Result, err
 		orderedGroups = append(orderedGroups, newGroup(nil, nil))
 	}
 
-	cols, exprs, err := expandItems(f, stmt.Items)
+	cols, exprs, err := expandItems(starF, stmt.Items)
 	if err != nil {
 		return nil, err
 	}

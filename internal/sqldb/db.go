@@ -5,6 +5,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"bestpeer/internal/sqlval"
 	"bestpeer/internal/telemetry"
@@ -18,18 +19,31 @@ type DB struct {
 	tables map[string]*Table
 	ver    uint64 // schema version; bumped by DDL under mu
 	plans  *planCache
+
+	// Cost-model statistics: per-table histogram snapshots with their
+	// own mutex (built lazily under db.mu.RLock), and a version counter
+	// cached plans carry so a statistics rebuild re-plans them.
+	statsMu  sync.Mutex
+	stats    map[string]*tableStats
+	statsVer atomic.Uint64
 }
 
 // NewDB returns an empty database.
 func NewDB() *DB {
-	return &DB{tables: make(map[string]*Table), plans: newPlanCache(defaultPlanCacheCap)}
+	return &DB{
+		tables: make(map[string]*Table),
+		plans:  newPlanCache(defaultPlanCacheCap),
+		stats:  make(map[string]*tableStats),
+	}
 }
 
 // bumpSchemaLocked records a schema change: any cached plan may now be
-// stale, so the plan cache is cleared. Callers hold db.mu.Lock.
+// stale, so the plan cache and the statistics snapshots are cleared.
+// Callers hold db.mu.Lock.
 func (db *DB) bumpSchemaLocked() {
 	db.ver++
 	db.plans.invalidate()
+	db.invalidateStatsLocked()
 }
 
 // table returns the named table, or nil. Callers must hold db.mu.
@@ -253,7 +267,18 @@ func compileWhere(f *frame, where Expr) func(sqlval.Row) (bool, error) {
 // rejects up front, like projecting an unknown column over zero rows)
 // stay identical to the pre-compiled executor.
 func (db *DB) executeSelectCached(key string, s *SelectStmt) (*Result, error) {
-	if e := db.plans.lookup(key); e != nil && e.plan != nil && e.ver == db.ver {
+	// Freshen statistics for the referenced tables first (a cheap
+	// staleness probe when nothing changed): if enough rows mutated
+	// since a cached plan was costed, the rebuild bumps statsVer and
+	// the version check below forces a re-plan, keeping the compiled
+	// path's cost decisions in lockstep with the always-fresh
+	// interpreter.
+	for _, ref := range s.From {
+		if t := db.table(ref.Table); t != nil {
+			db.ensureStats(t)
+		}
+	}
+	if e := db.plans.lookup(key); e != nil && e.plan != nil && e.ver == db.ver && e.sver == db.statsVer.Load() {
 		planCacheHits.Inc()
 		return e.plan.run()
 	}
@@ -262,7 +287,7 @@ func (db *DB) executeSelectCached(key string, s *SelectStmt) (*Result, error) {
 	if err != nil {
 		return db.executeSelect(s)
 	}
-	db.plans.store(&planEntry{key: key, stmt: s, plan: plan, ver: db.ver})
+	db.plans.store(&planEntry{key: key, stmt: s, plan: plan, ver: db.ver, sver: db.statsVer.Load()})
 	return plan.run()
 }
 

@@ -424,10 +424,10 @@ func flipOp(op string) string {
 	}
 }
 
-// fetchRows materializes one table's rows using the chosen access path,
-// applying the table's residual conjuncts, and charges scan statistics.
-func fetchRows(t *Table, alias string, conjuncts []Expr, stats *Stats) ([]sqlval.Row, error) {
-	path := chooseAccessPath(t, alias, conjuncts)
+// fetchRows materializes one table's rows using the access path the
+// cost model chose, applying the table's residual conjuncts, and
+// charges scan statistics.
+func fetchRows(t *Table, alias string, conjuncts []Expr, path accessPath, stats *Stats) ([]sqlval.Row, error) {
 	f := &frame{}
 	f.push(alias, t.Schema())
 
@@ -459,7 +459,7 @@ func fetchRows(t *Table, alias string, conjuncts []Expr, stats *Stats) ([]sqlval
 				continue
 			}
 			stats.RowsScanned++
-			stats.BytesScanned += int64(row.EncodedSize())
+			stats.BytesScanned += int64(t.RowSize(id))
 			ok, err := filter(row)
 			if err != nil {
 				return nil, err
@@ -472,9 +472,9 @@ func fetchRows(t *Table, alias string, conjuncts []Expr, stats *Stats) ([]sqlval
 	}
 
 	var ferr error
-	t.Scan(func(_ int, row sqlval.Row) bool {
+	t.Scan(func(id int, row sqlval.Row) bool {
 		stats.RowsScanned++
-		stats.BytesScanned += int64(row.EncodedSize())
+		stats.BytesScanned += int64(t.RowSize(id))
 		ok, err := filter(row)
 		if err != nil {
 			ferr = err
@@ -582,29 +582,43 @@ func (db *DB) executeSelect(stmt *SelectStmt) (*Result, error) {
 
 	var stats Stats
 	perTable, cross := splitConjuncts(stmt.Where, stmt.From, schemas)
+	order := db.joinOrder(tables, stmt.From, schemas, perTable, cross)
 
-	// Build the joined row set left-to-right in FROM order.
+	// Stars expand in FROM order no matter how the cost model reorders
+	// execution; the generated qualified references resolve by name in
+	// the execution frame.
+	starF := &frame{}
+	for i, ref := range stmt.From {
+		starF.push(ref.Alias, schemas[i])
+	}
+
+	// Build the joined row set left-to-right in cost-model join order.
+	first := order[0]
 	cur := &frame{}
-	cur.push(stmt.From[0].Alias, schemas[0])
-	rows, err := fetchRows(tables[0], stmt.From[0].Alias, perTable[0], &stats)
+	cur.push(stmt.From[first].Alias, schemas[first])
+	choice := db.planScan(tables[first], stmt.From[first].Alias, perTable[first])
+	rows, err := fetchRows(tables[first], stmt.From[first].Alias, perTable[first], choice.path, &stats)
 	if err != nil {
 		return nil, err
 	}
+	choice.observeEstimate(int64(len(rows)))
 	pending := cross
 
-	for i := 1; i < len(stmt.From); i++ {
+	for _, ti := range order[1:] {
 		rf := &frame{}
-		rf.push(stmt.From[i].Alias, schemas[i])
-		rrows, err := fetchRows(tables[i], stmt.From[i].Alias, perTable[i], &stats)
+		rf.push(stmt.From[ti].Alias, schemas[ti])
+		rchoice := db.planScan(tables[ti], stmt.From[ti].Alias, perTable[ti])
+		rrows, err := fetchRows(tables[ti], stmt.From[ti].Alias, perTable[ti], rchoice.path, &stats)
 		if err != nil {
 			return nil, err
 		}
+		rchoice.observeEstimate(int64(len(rrows)))
 		lkeys, rkeys, rest := equiJoinKeys(pending, cur, rf)
 
 		next := &frame{}
 		next.bindings = append(next.bindings, cur.bindings...)
 		next.width = cur.width
-		next.push(stmt.From[i].Alias, schemas[i])
+		next.push(stmt.From[ti].Alias, schemas[ti])
 
 		var joined []sqlval.Row
 		if len(lkeys) > 0 {
@@ -685,7 +699,7 @@ func (db *DB) executeSelect(stmt *SelectStmt) (*Result, error) {
 		return nil, fmt.Errorf("sqldb: unresolvable predicate %s", AndAll(pending))
 	}
 
-	res, err := project(cur, stmt, rows)
+	res, err := project(cur, starF, stmt, rows)
 	if err != nil {
 		return nil, err
 	}
@@ -698,8 +712,9 @@ func (db *DB) executeSelect(stmt *SelectStmt) (*Result, error) {
 }
 
 // project applies grouping/aggregation, HAVING, ORDER BY, LIMIT, and the
-// SELECT list to the joined rows.
-func project(f *frame, stmt *SelectStmt, rows []sqlval.Row) (*Result, error) {
+// SELECT list to the joined rows. starF is the FROM-order frame used
+// only to expand stars (f may be permuted by the join-order model).
+func project(f, starF *frame, stmt *SelectStmt, rows []sqlval.Row) (*Result, error) {
 	grouped := len(stmt.GroupBy) > 0
 	for _, item := range stmt.Items {
 		if !item.Star && HasAggregate(item.Expr) {
@@ -710,10 +725,10 @@ func project(f *frame, stmt *SelectStmt, rows []sqlval.Row) (*Result, error) {
 		grouped = true
 	}
 	if grouped {
-		return projectGrouped(f, stmt, rows)
+		return projectGrouped(f, starF, stmt, rows)
 	}
 
-	cols, exprs, err := expandItems(f, stmt.Items)
+	cols, exprs, err := expandItems(starF, stmt.Items)
 	if err != nil {
 		return nil, err
 	}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 
 	"bestpeer/internal/sqlval"
 	"bestpeer/internal/telemetry"
@@ -21,18 +22,23 @@ import (
 // preallocated from index-cardinality estimates.
 type selectPlan struct {
 	stmt  *SelectStmt
+	order []int // scans[i] reads stmt.From[order[i]] (cost-chosen join order)
 	scans []*scanPlan
 	joins []*joinPlan // joins[i] adds scans[i+1] onto the accumulated rows
 	proj  *projPlan
+	batch *batchPlan // vectorized twin; nil when any piece is not batch-compilable
 }
 
 var planCompiles = telemetry.Default.Counter("sqldb_plans_compiled_total")
 
-// scanPlan fetches one table's rows: access path plus the table's fused
-// residual filter. Statistics charging is identical to fetchRows.
+// scanPlan fetches one table's rows: the costed access-path choice plus
+// the table's fused residual filter. Statistics charging is identical to
+// fetchRows; the choice's estimate is compared with the actual row count
+// on every run to feed the cost-model misprediction histogram.
 type scanPlan struct {
 	table  *Table
-	path   accessPath
+	alias  string
+	choice scanChoice
 	filter compiledPred // nil = no per-table conjuncts
 }
 
@@ -65,34 +71,58 @@ func (db *DB) compileSelect(stmt *SelectStmt) (*selectPlan, error) {
 		schemas[i] = t.Schema()
 	}
 	perTable, cross := splitConjuncts(stmt.Where, stmt.From, schemas)
+	order := db.joinOrder(tables, stmt.From, schemas, perTable, cross)
 
-	p := &selectPlan{stmt: stmt}
+	// Stars expand in FROM order regardless of the cost-chosen execution
+	// order, so results are identical whichever order the cost model picks.
+	starF := &frame{}
 	for i, ref := range stmt.From {
+		starF.push(ref.Alias, schemas[i])
+	}
+
+	p := &selectPlan{stmt: stmt, order: order}
+	batchOK := true
+	var bscans []*bscan
+	for _, ti := range order {
+		ref := stmt.From[ti]
 		f := &frame{}
-		f.push(ref.Alias, schemas[i])
-		filter, err := compileFilter(f, perTable[i])
+		f.push(ref.Alias, schemas[ti])
+		filter, err := compileFilter(f, perTable[ti])
 		if err != nil {
 			return nil, err
 		}
 		p.scans = append(p.scans, &scanPlan{
-			table:  tables[i],
-			path:   chooseAccessPath(tables[i], ref.Alias, perTable[i]),
+			table:  tables[ti],
+			alias:  ref.Alias,
+			choice: db.planScan(tables[ti], ref.Alias, perTable[ti]),
 			filter: filter,
 		})
+		if batchOK {
+			var ns, nps int
+			bc := newBcomp(f, &ns, &nps)
+			bf, berr := bc.compileFilter(perTable[ti])
+			if berr != nil {
+				batchOK = false
+			} else {
+				bscans = append(bscans, &bscan{kinds: bc.kinds, filter: bf, filterOffs: bc.offsets()})
+			}
+		}
 	}
 
 	cur := &frame{}
-	cur.push(stmt.From[0].Alias, schemas[0])
+	cur.push(stmt.From[order[0]].Alias, schemas[order[0]])
 	pending := cross
-	for i := 1; i < len(stmt.From); i++ {
+	var bjoins []*bjoin
+	for k := 1; k < len(order); k++ {
+		ti := order[k]
 		rf := &frame{}
-		rf.push(stmt.From[i].Alias, schemas[i])
+		rf.push(stmt.From[ti].Alias, schemas[ti])
 		lkeys, rkeys, rest := equiJoinKeys(pending, cur, rf)
 
 		next := &frame{}
 		next.bindings = append(next.bindings, cur.bindings...)
 		next.width = cur.width
-		next.push(stmt.From[i].Alias, schemas[i])
+		next.push(stmt.From[ti].Alias, schemas[ti])
 
 		var applicable, still []Expr
 		for _, c := range rest {
@@ -116,6 +146,17 @@ func (db *DB) compileSelect(stmt *SelectStmt) (*selectPlan, error) {
 			return nil, err
 		}
 		p.joins = append(p.joins, jp)
+		if batchOK {
+			bj := compileBatchJoin(cur, rf, lkeys, rkeys)
+			// A nil bjoin with keys present means a key failed to batch-
+			// compile; without keys it's a cross join and the row joinPlan
+			// runs that level while the rest of the plan stays batched.
+			if bj == nil && len(lkeys) > 0 {
+				batchOK = false
+			} else {
+				bjoins = append(bjoins, bj)
+			}
+		}
 		cur = next
 		pending = still
 	}
@@ -123,25 +164,77 @@ func (db *DB) compileSelect(stmt *SelectStmt) (*selectPlan, error) {
 		return nil, fmt.Errorf("sqldb: unresolvable predicate %s", AndAll(pending))
 	}
 
-	proj, err := newProjPlan(cur, stmt)
+	proj, err := newProjPlan(cur, starF, stmt)
 	if err != nil {
 		return nil, err
 	}
 	p.proj = proj
+	if batchOK && proj.bp != nil {
+		p.batch = &batchPlan{p: p, scans: bscans, joins: bjoins}
+		batchPlanCompiles.Inc()
+	} else {
+		batchFallbacks.Inc()
+	}
 	planCompiles.Inc()
 	return p, nil
 }
 
+// compileBatchJoin builds the batch key programs for one join level, or
+// nil when the level has no equi-keys (cross join) or a key expression
+// is not batch-compilable.
+func compileBatchJoin(cur, rf *frame, lkeys, rkeys []Expr) *bjoin {
+	if len(lkeys) == 0 {
+		return nil
+	}
+	var lns, lnps, rns, rnps int
+	lc := newBcomp(cur, &lns, &lnps)
+	rc := newBcomp(rf, &rns, &rnps)
+	bj := &bjoin{}
+	for _, e := range lkeys {
+		bv, err := lc.compileValue(e)
+		if err != nil {
+			return nil
+		}
+		bj.lkeys = append(bj.lkeys, bv)
+	}
+	for _, e := range rkeys {
+		bv, err := rc.compileValue(e)
+		if err != nil {
+			return nil
+		}
+		bj.rkeys = append(bj.rkeys, bv)
+	}
+	bj.loffs, bj.roffs = lc.offsets(), rc.offsets()
+	bj.lkinds = lc.kinds
+	return bj
+}
+
 // run executes the plan. Callers hold db.mu.RLock.
 func (p *selectPlan) run() (*Result, error) {
+	if p.batch != nil && BatchEnabled() {
+		res, ok, err := p.batch.run()
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			return res, nil
+		}
+		// Runtime column-kind mismatch: rerun this statement in row mode.
+		batchFallbacks.Inc()
+	}
 	var stats Stats
 	if len(p.scans) == 1 {
 		// Streaming pipeline: scan rows flow straight into the
 		// projection/aggregation sink.
 		sink := p.proj.newSink(0)
-		if err := p.scans[0].stream(&stats, sink.add); err != nil {
+		var actual int64
+		if err := p.scans[0].stream(&stats, func(row sqlval.Row) error {
+			actual++
+			return sink.add(row)
+		}); err != nil {
 			return nil, err
 		}
+		p.scans[0].choice.observeEstimate(actual)
 		res, err := sink.finish()
 		if err != nil {
 			return nil, err
@@ -154,11 +247,13 @@ func (p *selectPlan) run() (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	p.scans[0].choice.observeEstimate(int64(len(rows)))
 	for i, jp := range p.joins {
 		rrows, err := p.scans[i+1].fetch(&stats)
 		if err != nil {
 			return nil, err
 		}
+		p.scans[i+1].choice.observeEstimate(int64(len(rrows)))
 		rows, err = jp.join(rows, rrows)
 		if err != nil {
 			return nil, err
@@ -185,7 +280,7 @@ func finishStats(res *Result, stats Stats) {
 // an intermediate slice.
 func (s *scanPlan) stream(stats *Stats, yield func(sqlval.Row) error) error {
 	t := s.table
-	if s.path.index != nil {
+	if s.choice.path.index != nil {
 		stats.IndexUsed = true
 		for _, id := range s.ids() {
 			row := t.Row(id)
@@ -193,7 +288,7 @@ func (s *scanPlan) stream(stats *Stats, yield func(sqlval.Row) error) error {
 				continue
 			}
 			stats.RowsScanned++
-			stats.BytesScanned += int64(row.EncodedSize())
+			stats.BytesScanned += int64(t.RowSize(id))
 			if s.filter != nil {
 				ok, err := s.filter(row)
 				if err != nil {
@@ -210,9 +305,9 @@ func (s *scanPlan) stream(stats *Stats, yield func(sqlval.Row) error) error {
 		return nil
 	}
 	var ferr error
-	t.Scan(func(_ int, row sqlval.Row) bool {
+	t.Scan(func(id int, row sqlval.Row) bool {
 		stats.RowsScanned++
-		stats.BytesScanned += int64(row.EncodedSize())
+		stats.BytesScanned += int64(t.RowSize(id))
 		if s.filter != nil {
 			ok, err := s.filter(row)
 			if err != nil {
@@ -234,16 +329,17 @@ func (s *scanPlan) stream(stats *Stats, yield func(sqlval.Row) error) error {
 
 // ids evaluates the index probe, returning candidate row IDs.
 func (s *scanPlan) ids() []int {
-	if s.path.useEq {
-		return s.path.index.Lookup(s.path.eq)
+	path := s.choice.path
+	if path.useEq {
+		return path.index.Lookup(path.eq)
 	}
-	return s.path.index.Range(s.path.lo, s.path.hi, s.path.loInc, s.path.hiInc)
+	return path.index.Range(path.lo, path.hi, path.loInc, path.hiInc)
 }
 
 // fetch materializes the table's filtered rows, preallocating from the
-// index cardinality when a probe is available.
+// costed cardinality estimate.
 func (s *scanPlan) fetch(stats *Stats) ([]sqlval.Row, error) {
-	if s.path.index != nil {
+	if s.choice.path.index != nil {
 		stats.IndexUsed = true
 		ids := s.ids()
 		out := make([]sqlval.Row, 0, len(ids))
@@ -253,7 +349,7 @@ func (s *scanPlan) fetch(stats *Stats) ([]sqlval.Row, error) {
 				continue
 			}
 			stats.RowsScanned++
-			stats.BytesScanned += int64(row.EncodedSize())
+			stats.BytesScanned += int64(s.table.RowSize(id))
 			if s.filter != nil {
 				ok, err := s.filter(row)
 				if err != nil {
@@ -267,11 +363,7 @@ func (s *scanPlan) fetch(stats *Stats) ([]sqlval.Row, error) {
 		}
 		return out, nil
 	}
-	est := s.table.NumRows()
-	if s.filter != nil {
-		est = est/4 + 8 // filtered scans usually keep a fraction
-	}
-	out := make([]sqlval.Row, 0, est)
+	out := make([]sqlval.Row, 0, int(s.choice.estRows)+8)
 	err := s.stream(stats, func(row sqlval.Row) error {
 		out = append(out, row)
 		return nil
@@ -371,6 +463,11 @@ type projPlan struct {
 	coll *aggCollector
 	keys []compiledExpr
 	args []compiledExpr // aggregate argument per collected call; nil = COUNT(*)
+
+	// Batch path (nil bp = row-at-a-time only).
+	bp      *batchProj
+	bpKinds []sqlval.Kind
+	bpPool  sync.Pool
 }
 
 // orderSource produces one ORDER BY key for an output row: a compiled
@@ -381,14 +478,18 @@ type orderSource struct {
 	alias int
 }
 
-func newProjPlan(f *frame, stmt *SelectStmt) (*projPlan, error) {
+// newProjPlan compiles the projection tail over the execution frame f;
+// starF (the FROM-order frame) expands stars so output column order does
+// not depend on the cost-chosen join order. Both frames resolve the same
+// names — outAST references are matched by name, not position.
+func newProjPlan(f, starF *frame, stmt *SelectStmt) (*projPlan, error) {
 	grouped := len(stmt.GroupBy) > 0 || stmt.Having != nil
 	for _, item := range stmt.Items {
 		if !item.Star && HasAggregate(item.Expr) {
 			grouped = true
 		}
 	}
-	cols, outAST, err := expandItems(f, stmt.Items)
+	cols, outAST, err := expandItems(starF, stmt.Items)
 	if err != nil {
 		return nil, err
 	}
@@ -410,6 +511,8 @@ func newProjPlan(f *frame, stmt *SelectStmt) (*projPlan, error) {
 			}
 			pp.args = append(pp.args, fn)
 		}
+		pp.bp = compileBatchProj(f, pp)
+		pp.bpKinds = frameKinds(f)
 		return pp, nil
 	}
 	if pp.exprs, err = compileExprs(f, outAST); err != nil {
@@ -429,6 +532,8 @@ func newProjPlan(f *frame, stmt *SelectStmt) (*projPlan, error) {
 		}
 		pp.order = append(pp.order, orderSource{eval: fn})
 	}
+	pp.bp = compileBatchProj(f, pp)
+	pp.bpKinds = frameKinds(f)
 	return pp, nil
 }
 
@@ -454,6 +559,12 @@ type projSink struct {
 
 	groups  map[uint64][]*group
 	ordered []*group
+
+	// Batch-mode scratch, allocated on first addBatch.
+	kvecs []*vec
+	gbuf  []*group
+	ovecs []*vec
+	okeys []*vec
 }
 
 type sortRow struct {
@@ -479,8 +590,36 @@ func (pp *projPlan) newGroup(key, sample sqlval.Row) *group {
 	return g
 }
 
-// runRows feeds already-materialized rows through a fresh sink.
+// runRows feeds already-materialized rows through a fresh sink, batching
+// when the projection compiled for batch mode.
 func (pp *projPlan) runRows(rows []sqlval.Row) (*Result, error) {
+	if pp.bp != nil && BatchEnabled() {
+		sink := pp.newSink(len(rows))
+		ok := true
+		ctx := pp.getCtx()
+		for start := 0; start < len(rows); start += batchSize {
+			end := start + batchSize
+			if end > len(rows) {
+				end = len(rows)
+			}
+			ctx.rows = rows[start:end]
+			ctx.begin()
+			bok, err := sink.addBatch(ctx)
+			if err != nil {
+				pp.putCtx(ctx)
+				return nil, err
+			}
+			if !bok {
+				ok = false
+				break
+			}
+		}
+		pp.putCtx(ctx)
+		if ok {
+			return sink.finish()
+		}
+		batchFallbacks.Inc() // input layout mismatch: redo row-at-a-time
+	}
 	sink := pp.newSink(len(rows))
 	for _, row := range rows {
 		if err := sink.add(row); err != nil {

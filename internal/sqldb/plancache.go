@@ -35,6 +35,7 @@ type planEntry struct {
 	stmt Statement
 	plan *selectPlan
 	ver  uint64 // schema version the plan was compiled under
+	sver uint64 // statistics version the plan was costed under
 }
 
 var (
@@ -57,6 +58,21 @@ func SetCompileEnabled(on bool) { compileOff.Store(!on) }
 
 // CompileEnabled reports whether the compiled execution layer is active.
 func CompileEnabled() bool { return !compileOff.Load() }
+
+// batchOff disables the vectorized batch executor when set, keeping the
+// row-at-a-time compiled closures (and, with compilation also off, the
+// interpreter). The three-way differential fuzz test and make
+// bench-batch flip it to compare paths.
+var batchOff atomic.Bool
+
+// SetBatchEnabled toggles batch-at-a-time execution (on by default).
+// Batch mode only engages when the compiled layer is also enabled;
+// statements the batch compiler cannot handle fall back to row-mode
+// closures automatically, per statement.
+func SetBatchEnabled(on bool) { batchOff.Store(!on) }
+
+// BatchEnabled reports whether the vectorized batch executor is active.
+func BatchEnabled() bool { return !batchOff.Load() }
 
 const defaultPlanCacheCap = 256
 

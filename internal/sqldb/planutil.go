@@ -54,11 +54,11 @@ func Resolvable(bindings []Binding, e Expr) bool {
 func ProjectRows(stmt *SelectStmt, bindings []Binding, rows []sqlval.Row) (*Result, error) {
 	f := frameOf(bindings)
 	if CompileEnabled() {
-		if pp, err := newProjPlan(f, stmt); err == nil {
+		if pp, err := newProjPlan(f, f, stmt); err == nil {
 			return pp.runRows(rows)
 		}
 	}
-	return project(f, stmt, rows)
+	return project(f, f, stmt, rows)
 }
 
 // CompiledExpr is a closure-compiled expression over a joined row
@@ -129,6 +129,43 @@ func CompileJoinKey(bindings []Binding, keys []Expr) (hash func(sqlval.Row) (uin
 		evals[i] = func(row sqlval.Row) (sqlval.Value, error) { return evalExpr(f, k, row) }
 	}
 	return func(row sqlval.Row) (uint64, error) { return hashKey(f, keys, row) }, evals
+}
+
+// JoinKeyOffsets resolves join keys to plain column offsets over the
+// bindings' row layout. It succeeds only when every key is a bare column
+// reference — the common foreign-key join shape — letting callers hash
+// and compare by direct row indexing with no closure dispatch and no
+// per-key error path. ok=false means at least one key is a computed
+// expression; callers keep the compiled-closure path.
+func JoinKeyOffsets(bindings []Binding, keys []Expr) (offs []int, ok bool) {
+	if len(keys) == 0 {
+		return nil, false
+	}
+	f := frameOf(bindings)
+	offs = make([]int, len(keys))
+	for i, k := range keys {
+		cr, isRef := k.(*ColumnRef)
+		if !isRef {
+			return nil, false
+		}
+		off, err := f.resolve(cr)
+		if err != nil {
+			return nil, false
+		}
+		offs[i] = off
+	}
+	return offs, true
+}
+
+// HashKeyOffsets folds the key columns at offs with the same scheme as
+// JoinKeyHash, so offset-resolved and expression-evaluated keys hash
+// identically.
+func HashKeyOffsets(row sqlval.Row, offs []int) uint64 {
+	var h uint64 = 1469598103934665603
+	for _, off := range offs {
+		h = h*1099511628211 ^ row[off].Hash()
+	}
+	return h
 }
 
 // SplitConjunctsPerTable partitions WHERE conjuncts into per-table

@@ -15,9 +15,11 @@ import (
 type Table struct {
 	schema  *Schema
 	rows    []sqlval.Row // index = rowID; nil = tombstone
+	sizes   []int32      // index = rowID; cached EncodedSize of the row
 	live    int
 	bytes   int64 // encoded size of live rows
 	indexes map[string]*Index
+	muts    uint64 // insert/delete/update count, drives statistics refresh
 }
 
 // Index is a secondary (or primary) index over a single column. Because
@@ -55,6 +57,21 @@ func (t *Table) NumRows() int { return t.live }
 // DataBytes returns the total encoded size of live rows; the cost model
 // charges full-table scans by this figure.
 func (t *Table) DataBytes() int64 { return t.bytes }
+
+// Mutations returns the number of Insert/Delete/Update calls since the
+// table was created. The statistics layer compares it against the count
+// captured at histogram-build time to decide when stats are stale.
+func (t *Table) Mutations() uint64 { return t.muts }
+
+// RowSize returns the cached encoded size of the row with the given ID.
+// Scans charge BytesScanned per visited row; caching the size at write
+// time keeps that charge O(1) instead of O(columns) per row.
+func (t *Table) RowSize(rowID int) int {
+	if rowID < 0 || rowID >= len(t.sizes) {
+		return 0
+	}
+	return int(t.sizes[rowID])
+}
 
 // CreateIndex builds an index named name over column col. Unique indexes
 // reject duplicate keys at insert time.
@@ -194,8 +211,11 @@ func (t *Table) Insert(row sqlval.Row) (int, error) {
 		added = append(added, idx)
 	}
 	t.rows = append(t.rows, coerced)
+	sz := coerced.EncodedSize()
+	t.sizes = append(t.sizes, int32(sz))
 	t.live++
-	t.bytes += int64(coerced.EncodedSize())
+	t.bytes += int64(sz)
+	t.muts++
 	return rowID, nil
 }
 
@@ -211,7 +231,9 @@ func (t *Table) Delete(rowID int) bool {
 	}
 	t.bytes -= int64(row.EncodedSize())
 	t.rows[rowID] = nil
+	t.sizes[rowID] = 0
 	t.live--
+	t.muts++
 	return true
 }
 
@@ -244,8 +266,11 @@ func (t *Table) Update(rowID int, row sqlval.Row) error {
 		}
 		swapped = append(swapped, idx)
 	}
-	t.bytes += int64(coerced.EncodedSize()) - int64(old.EncodedSize())
+	sz := coerced.EncodedSize()
+	t.bytes += int64(sz) - int64(old.EncodedSize())
 	t.rows[rowID] = coerced
+	t.sizes[rowID] = int32(sz)
+	t.muts++
 	return nil
 }
 

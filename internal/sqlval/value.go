@@ -9,7 +9,6 @@ package sqlval
 
 import (
 	"fmt"
-	"hash/fnv"
 	"math"
 	"strconv"
 	"time"
@@ -214,30 +213,36 @@ func Equal(a, b Value) bool { return Compare(a, b) == 0 }
 // Less reports a < b under Compare ordering.
 func Less(a, b Value) bool { return Compare(a, b) < 0 }
 
+// FNV-1a parameters, inlined so hashing never allocates a hash.Hash.
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
 // Hash returns a stable 64-bit hash of the value, used for hash joins,
 // grouping, and MapReduce shuffle partitioning. Values that compare
 // equal hash equally (numeric kinds hash via their float widening).
+// The layout (tag byte, then float bits little-endian for numerics or
+// raw bytes for strings) is fixed: shuffle partitioning across peers
+// depends on every process computing identical hashes.
 func (v Value) Hash() uint64 {
-	h := fnv.New64a()
-	var buf [9]byte
+	var h uint64 = fnvOffset64
 	switch v.kind {
 	case KindNull:
-		buf[0] = 0
-		h.Write(buf[:1])
+		h = (h ^ 0) * fnvPrime64
 	case KindInt, KindFloat, KindDate:
-		buf[0] = 1
-		f := v.AsFloat()
-		bits := math.Float64bits(f)
+		h = (h ^ 1) * fnvPrime64
+		bits := math.Float64bits(v.AsFloat())
 		for i := 0; i < 8; i++ {
-			buf[1+i] = byte(bits >> (8 * i))
+			h = (h ^ uint64(byte(bits>>(8*i)))) * fnvPrime64
 		}
-		h.Write(buf[:9])
 	case KindString:
-		buf[0] = 2
-		h.Write(buf[:1])
-		h.Write([]byte(v.s))
+		h = (h ^ 2) * fnvPrime64
+		for i := 0; i < len(v.s); i++ {
+			h = (h ^ uint64(v.s[i])) * fnvPrime64
+		}
 	}
-	return h.Sum64()
+	return h
 }
 
 // EncodedSize approximates the wire/storage footprint of the value in

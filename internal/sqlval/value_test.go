@@ -1,6 +1,7 @@
 package sqlval
 
 import (
+	"hash/fnv"
 	"math"
 	"testing"
 	"testing/quick"
@@ -102,6 +103,59 @@ func TestCompareAntisymmetry(t *testing.T) {
 	}
 	if err := quick.Check(f, nil); err != nil {
 		t.Error(err)
+	}
+}
+
+// referenceHash is the original hash/fnv-based implementation; the
+// inlined Hash must stay byte-identical to it forever, because shuffle
+// partitioning assumes every peer build computes the same hashes.
+func referenceHash(v Value) uint64 {
+	h := fnv.New64a()
+	var buf [9]byte
+	switch v.Kind() {
+	case KindNull:
+		buf[0] = 0
+		h.Write(buf[:1])
+	case KindInt, KindFloat, KindDate:
+		buf[0] = 1
+		bits := math.Float64bits(v.AsFloat())
+		for i := 0; i < 8; i++ {
+			buf[1+i] = byte(bits >> (8 * i))
+		}
+		h.Write(buf[:9])
+	case KindString:
+		buf[0] = 2
+		h.Write(buf[:1])
+		h.Write([]byte(v.AsString()))
+	}
+	return h.Sum64()
+}
+
+func TestHashMatchesFNVReference(t *testing.T) {
+	vals := []Value{
+		Null(), Int(0), Int(-1), Int(1 << 40), Float(3.25), Float(-0.0),
+		Str(""), Str("abc"), Str("l_shipdate"), Date(10500),
+		MustParseDate("1998-09-01"),
+	}
+	for _, v := range vals {
+		if got, want := v.Hash(), referenceHash(v); got != want {
+			t.Errorf("Hash(%v) = %#x, reference %#x", v, got, want)
+		}
+	}
+	f := func(x int64, s string) bool {
+		return Int(x).Hash() == referenceHash(Int(x)) &&
+			Str(s).Hash() == referenceHash(Str(s)) &&
+			Float(float64(x)/7).Hash() == referenceHash(Float(float64(x)/7))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHashAllocationFree(t *testing.T) {
+	v := Str("a moderately long join key value")
+	if n := testing.AllocsPerRun(100, func() { _ = v.Hash() }); n != 0 {
+		t.Errorf("Hash allocates %.1f times per call", n)
 	}
 }
 
