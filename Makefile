@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: verify build fmt vet test race chaos bench fanout bench-telemetry bench-monitor bench-exec bench-faults
+.PHONY: verify build fmt vet test race chaos bench fanout bench-telemetry bench-monitor bench-exec bench-faults bench-serving
 
 verify: build fmt vet race chaos
 
@@ -26,12 +26,13 @@ race:
 	$(GO) test -race ./...
 
 # Chaos regression suite: seeded fault injection against the transport,
-# the BATON overlay, and the full system (failover on injected faults).
+# the BATON overlay, the serving tier (shedding under injected backend
+# slowness), and the full system (failover on injected faults).
 # Deterministic — every fault decision replays from fixed seeds — and
 # bounded by the timeout so a reintroduced hang fails instead of
 # wedging CI.
 chaos:
-	$(GO) test -race -count=1 -timeout 120s -run 'TestChaos' ./internal/pnet/ ./internal/baton/ .
+	$(GO) test -race -count=1 -timeout 120s -run 'TestChaos' ./internal/pnet/ ./internal/baton/ ./internal/serving/ .
 
 # Regenerate the paper's figures (virtual-time, deterministic).
 bench:
@@ -72,3 +73,11 @@ bench-batch:
 # retries = timeouts = 0.
 bench-faults:
 	$(GO) run ./cmd/bpbench -fig faults | tee BENCH_faults.json
+
+# Serving-tier saturation: 1k+ real concurrent client sessions against
+# a live in-process cluster, result cache off then on; appends to the
+# trajectory file. Expected: interactive p99 bounded by the shed budget
+# among admitted queries, shed_total > 0 at saturation, and
+# cache_speedup > 1 on the repeated-query mix.
+bench-serving:
+	$(GO) run ./cmd/bpbench -fig serving | tee -a BENCH_serving.json

@@ -37,6 +37,7 @@ import (
 	"bestpeer/internal/mapreduce"
 	"bestpeer/internal/peer"
 	"bestpeer/internal/pnet"
+	"bestpeer/internal/serving"
 	"bestpeer/internal/sqldb"
 	"bestpeer/internal/tpch"
 	"bestpeer/internal/vtime"
@@ -86,6 +87,9 @@ type Network struct {
 	peers     []*peer.Peer
 	peersByID map[string]*peer.Peer
 	nextRepl  int
+
+	servingCfg serving.Config
+	servers    map[string]*serving.Server // peer ID -> tier; nil until EnableServing
 }
 
 // NewNetwork builds and starts a network with cfg.NumPeers peers.
@@ -175,6 +179,9 @@ func (n *Network) AddPeer(id string) (*peer.Peer, error) {
 	}
 	n.peers = append(n.peers, p)
 	n.peersByID[id] = p
+	if n.servers != nil {
+		n.servers[id] = p.StartServing(n.servingCfg)
+	}
 	return p, nil
 }
 
@@ -215,6 +222,50 @@ func (n *Network) Query(i int, sql string, opts QueryOptions) (*engine.QueryResu
 		return nil, fmt.Errorf("bestpeer: no peer %d", i)
 	}
 	return n.peers[i].Query(sql, opts.User, opts.Strategy, opts.Engine)
+}
+
+// EnableServing attaches a serving tier (session multiplexing, weighted
+// admission, versioned result cache) to every current peer with the
+// given config; peers joining or replacing failed ones later inherit
+// it. Without this call no serving verb is registered and nothing in
+// the query path changes.
+func (n *Network) EnableServing(cfg serving.Config) {
+	if cfg.Versions == nil {
+		// Queries fan out across peers, so a cached result must be keyed
+		// by the whole network's version sum: DML at any data owner
+		// invalidates, not just at the serving peer.
+		cfg.Versions = n.ClusterVersions
+	}
+	n.servingCfg = cfg
+	n.servers = make(map[string]*serving.Server, len(n.peers))
+	for _, p := range n.peers {
+		n.servers[p.ID()] = p.StartServing(cfg)
+	}
+}
+
+// ServingServer returns the serving tier attached at the peer with this
+// identity (nil before EnableServing or for unknown peers).
+func (n *Network) ServingServer(id string) *serving.Server {
+	return n.servers[id]
+}
+
+// ServingClient joins a fresh client endpoint named name into the
+// message substrate and binds a session client to the i-th peer's
+// serving tier. The caller still has to Open the session.
+func (n *Network) ServingClient(name string, i int) *serving.Client {
+	return serving.NewClient(n.Net.Join(name), n.peers[i].ID())
+}
+
+// ClusterVersions sums every live peer's (schema, data) versions: the
+// version pair a network-wide result cache entry must be stamped with
+// so any peer's DDL or DML invalidates it.
+func (n *Network) ClusterVersions() (schema, data uint64) {
+	for _, p := range n.peers {
+		s, d := p.DB().Versions()
+		schema += s
+		data += d
+	}
+	return schema, data
 }
 
 // CrashPeer injects a crash: the cloud instance stops responding and
@@ -278,5 +329,20 @@ func (n *Network) failover(failedID string) (string, ed25519.PublicKey, error) {
 	}
 	delete(n.peersByID, failedID)
 	n.peersByID[newID] = p
+	if n.servers != nil {
+		// The failed tier's sessions die with its endpoint; attach a
+		// fresh tier at the replacement. A restore can rewind the data
+		// version sum (the backup predates recent mutations), which the
+		// lazy per-lookup version check cannot detect — drop every
+		// cached result on every peer eagerly instead.
+		if old := n.servers[failedID]; old != nil {
+			old.Close()
+			delete(n.servers, failedID)
+		}
+		n.servers[newID] = p.StartServing(n.servingCfg)
+		for _, s := range n.servers {
+			s.InvalidateCache()
+		}
+	}
 	return newID, pub, nil
 }

@@ -16,9 +16,12 @@
 // tree-walking interpreter on the fig-6 benchmark queries (JSON line
 // for BENCH_exec.json), "batch" prices the vectorized batch executor
 // against the row-compiled closures on the same queries (JSON line
-// appended to BENCH_exec.json), and "faults" prices the hardened RPC
+// appended to BENCH_exec.json), "faults" prices the hardened RPC
 // path (deadline guard + retry policy) against the bare path on the
-// same workload (JSON line for BENCH_faults.json).
+// same workload (JSON line for BENCH_faults.json), and "serving"
+// saturates the serving tier with 1k+ concurrent client sessions —
+// admission, shedding, and the result cache on/off (JSON line for
+// BENCH_serving.json).
 package main
 
 import (
@@ -40,6 +43,9 @@ func main() {
 	telemetryQueries := flag.Int("telemetry-queries", 50, "queries per timed batch for the telemetry overhead measurement")
 	monitorEpoch := flag.Duration("monitor-epoch", 50*time.Millisecond, "report epoch for the monitoring-plane overhead measurement")
 	batchSF := flag.Float64("batch-sf", 0.06, "TPC-H scale factor for the batch-vs-closure executor comparison")
+	servingPeers := flag.Int("serving-peers", 4, "peers for the serving-tier saturation benchmark")
+	servingClients := flag.Int("serving-clients", 1200, "concurrent client sessions for the serving-tier saturation benchmark")
+	servingDuration := flag.Duration("serving-duration", 2*time.Second, "per-phase duration for the serving-tier saturation benchmark")
 	nodes := flag.String("nodes", "10,20,50", "comma-separated cluster sizes")
 	sf := flag.Float64("sf", 0.0004, "TPC-H scale factor contributed per node")
 	seed := flag.Int64("seed", 1, "throughput simulator seed")
@@ -106,6 +112,16 @@ func main() {
 		r, err := bench.FaultPathOverhead(*telemetryPeers, *telemetryQueries)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "bpbench: faults: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Println(r.JSONLine())
+		return
+	}
+
+	if *fig == "serving" {
+		r, err := bench.ServingSaturation(*servingPeers, *servingClients, *servingDuration)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bpbench: serving: %v\n", err)
 			os.Exit(1)
 		}
 		fmt.Println(r.JSONLine())

@@ -22,6 +22,15 @@
 // exposition with each series labeled by its peer:
 //
 //	bpremote -connect 127.0.0.1:7420 -telemetry -all
+//
+// With -session, the client opens a serving-tier session at the target
+// peer instead of shipping a raw subquery: the query goes through
+// admission control and the result cache, and typed rejections
+// (serving.ErrOverloaded) survive the wire. -repeat N issues the query
+// N times in the session, showing the cache hit on the repeats:
+//
+//	bpremote -connect 127.0.0.1:7420 -peer peer-00 -session \
+//	    -class interactive -repeat 3 -query "SELECT COUNT(*) FROM lineitem"
 package main
 
 import (
@@ -36,6 +45,7 @@ import (
 	"bestpeer/internal/engine"
 	"bestpeer/internal/peer"
 	"bestpeer/internal/pnet"
+	"bestpeer/internal/serving"
 	"bestpeer/internal/sqldb"
 	"bestpeer/internal/telemetry"
 	"bestpeer/internal/tpch"
@@ -50,6 +60,9 @@ func main() {
 	query := flag.String("query", "SELECT COUNT(*) FROM lineitem", "single-table subquery to ship")
 	telemetryMode := flag.Bool("telemetry", false, "fetch the remote process's telemetry exposition instead of querying")
 	all := flag.Bool("all", false, "with -telemetry: merge every online peer's registry snapshot")
+	sessionMode := flag.Bool("session", false, "query through a serving-tier session instead of a raw subquery")
+	class := flag.String("class", "interactive", "admission class for -session (interactive|batch)")
+	repeat := flag.Int("repeat", 1, "with -session: issue the query this many times")
 	flag.Parse()
 
 	switch {
@@ -59,6 +72,8 @@ func main() {
 		runTelemetryAll(*connect)
 	case *connect != "" && *telemetryMode:
 		runTelemetry(*connect, *target)
+	case *connect != "" && *sessionMode:
+		runSession(*connect, *target, *query, *class, *repeat)
 	case *connect != "":
 		runClient(*connect, *target, *query)
 	default:
@@ -78,6 +93,9 @@ func runServer(addr string, peers int, sf float64) {
 	if err := net.LoadTPCH(sf); err != nil {
 		fatal(err)
 	}
+	// Attach the serving tier so remote -session clients have a front
+	// door; raw subquery and telemetry verbs keep working beside it.
+	net.EnableServing(serving.Config{})
 	ln, err := net.Net.ListenTCP(addr)
 	if err != nil {
 		fatal(err)
@@ -124,6 +142,40 @@ func runClient(addr, target, query string) {
 	}
 	fmt.Printf("-- %d rows from %s over TCP (%d bytes scanned remotely)\n",
 		len(res.Rows), target, res.Stats.BytesScanned)
+}
+
+// runSession opens a serving-tier session at the target peer over TCP
+// and issues the query repeat times, printing each round's cache and
+// queue-wait outcome. A shed query surfaces the typed overload error.
+func runSession(addr, target, query, class string, repeat int) {
+	clientNet := pnet.NewNetwork()
+	clientNet.AddRemotePeer(target, addr)
+	cl := serving.NewClient(clientNet.Join("bpremote-client"), target)
+	if err := cl.Open("", class, ""); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("session %s open at %s (class=%s)\n", cl.SessionID(), target, class)
+	for i := 0; i < repeat; i++ {
+		out, err := cl.Query(query, serving.CacheUse)
+		if err != nil {
+			if serving.Overloaded(err) {
+				fmt.Printf("round %d: shed by admission control: %v\n", i+1, err)
+				continue
+			}
+			fatal(err)
+		}
+		hit := "miss"
+		if out.CacheHit {
+			hit = "hit"
+		}
+		fmt.Printf("round %d: %d rows, engine=%s, cache=%s, queue wait=%v, virtual latency=%v\n",
+			i+1, len(out.Result.Rows), out.Engine, hit, out.QueueWait, out.VTime)
+	}
+	n, err := cl.Close()
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("session closed after %d queries\n", n)
 }
 
 // runTelemetry asks the serving process for its metrics registry via

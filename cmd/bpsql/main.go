@@ -13,6 +13,8 @@
 // Shell commands:
 //
 //	.strategy basic|parallel|mapreduce|adaptive   pick the engine
+//	.session open [interactive|batch] | close     route queries through a serving-tier session
+//	.cache use|refresh|bypass                     session result-cache mode
 //	.explain <sql>                                access plan + engine prediction
 //	.plan <sql>                                   per-peer local plans: join order, est vs actual rows
 //	.online <aggregate sql>                       progressive online aggregation
@@ -35,6 +37,8 @@ import (
 
 	"bestpeer"
 	"bestpeer/internal/peer"
+	"bestpeer/internal/serving"
+	"bestpeer/internal/sqlval"
 	"bestpeer/internal/telemetry"
 	"bestpeer/internal/tpch"
 )
@@ -58,9 +62,14 @@ func main() {
 		fmt.Fprintln(os.Stderr, "bpsql:", err)
 		os.Exit(1)
 	}
+	// The serving tier is always attached so .session works; without an
+	// open session queries keep going through the library path.
+	net.EnableServing(serving.Config{})
 	fmt.Fprintln(os.Stderr, "ready. type .help for shell commands.")
 
 	strategy := peer.StrategyBasic
+	var session *serving.Client
+	cacheMode := serving.CacheUse
 	scanner := bufio.NewScanner(os.Stdin)
 	scanner.Buffer(make([]byte, 1<<20), 1<<20)
 	fmt.Print("bestpeer> ")
@@ -71,7 +80,44 @@ func main() {
 		case line == ".quit" || line == ".exit":
 			return
 		case line == ".help":
-			fmt.Println(".strategy basic|parallel|mapreduce|adaptive | .explain <sql> | .plan <sql> | .online <sql> | .trace on|off | .metrics | .slowlog [threshold] | .peers | .tables | .quit")
+			fmt.Println(".strategy basic|parallel|mapreduce|adaptive | .session open [interactive|batch] | .session close | .cache use|refresh|bypass | .explain <sql> | .plan <sql> | .online <sql> | .trace on|off | .metrics | .slowlog [threshold] | .peers | .tables | .quit")
+		case strings.HasPrefix(line, ".session"):
+			arg := strings.TrimSpace(strings.TrimPrefix(line, ".session"))
+			switch {
+			case arg == "close":
+				if session == nil {
+					fmt.Println("no open session")
+					break
+				}
+				n, err := session.Close()
+				if err != nil {
+					fmt.Println("error:", err)
+					break
+				}
+				fmt.Printf("session closed after %d queries\n", n)
+				session = nil
+			case arg == "open" || strings.HasPrefix(arg, "open "):
+				class := strings.TrimSpace(strings.TrimPrefix(arg, "open"))
+				cl := net.ServingClient("bpsql-shell", 0)
+				if err := cl.Open("", class, string(strategy)); err != nil {
+					fmt.Println("error:", err)
+					break
+				}
+				session = cl
+				fmt.Printf("session %s open (class=%s, strategy=%s); queries now route through the serving tier\n",
+					cl.SessionID(), classOrDefault(class), strategy)
+			default:
+				fmt.Println("usage: .session open [interactive|batch] | .session close")
+			}
+		case strings.HasPrefix(line, ".cache"):
+			arg := strings.TrimSpace(strings.TrimPrefix(line, ".cache"))
+			m, err := serving.ParseCacheMode(arg)
+			if err != nil {
+				fmt.Println("usage: .cache use|refresh|bypass")
+				break
+			}
+			cacheMode = m
+			fmt.Println("cache mode =", cacheMode)
 		case line == ".metrics":
 			fmt.Print(telemetry.Default.Text())
 		case strings.HasPrefix(line, ".slowlog"):
@@ -194,24 +240,27 @@ func main() {
 		case strings.HasPrefix(line, "."):
 			fmt.Println("unknown command; .help lists commands")
 		default:
+			if session != nil {
+				out, err := session.Query(line, cacheMode)
+				if err != nil {
+					fmt.Println("error:", err)
+					break
+				}
+				printRows(out.Result.Columns, out.Result.Rows)
+				hit := "miss"
+				if out.CacheHit {
+					hit = "hit"
+				}
+				fmt.Printf("-- %d rows, engine=%s, cache=%s, queue wait=%v, virtual latency=%v\n",
+					len(out.Result.Rows), out.Engine, hit, out.QueueWait.Round(time.Microsecond), out.VTime)
+				break
+			}
 			res, err := net.Query(0, line, bestpeer.QueryOptions{Strategy: strategy})
 			if err != nil {
 				fmt.Println("error:", err)
 				break
 			}
-			fmt.Println(strings.Join(res.Result.Columns, " | "))
-			const maxRows = 40
-			for i, row := range res.Result.Rows {
-				if i >= maxRows {
-					fmt.Printf("... (%d more rows)\n", len(res.Result.Rows)-maxRows)
-					break
-				}
-				cells := make([]string, len(row))
-				for j, v := range row {
-					cells[j] = v.String()
-				}
-				fmt.Println(strings.Join(cells, " | "))
-			}
+			printRows(res.Result.Columns, res.Result.Rows)
 			fmt.Printf("-- %d rows, engine=%s, peers=%d, virtual latency=%v\n",
 				len(res.Result.Rows), res.Engine, len(res.Peers), res.Cost.Total())
 			if *trace {
@@ -222,4 +271,29 @@ func main() {
 		}
 		fmt.Print("bestpeer> ")
 	}
+}
+
+// printRows renders a result's columns and first rows.
+func printRows(columns []string, rows []sqlval.Row) {
+	fmt.Println(strings.Join(columns, " | "))
+	const maxRows = 40
+	for i, row := range rows {
+		if i >= maxRows {
+			fmt.Printf("... (%d more rows)\n", len(rows)-maxRows)
+			break
+		}
+		cells := make([]string, len(row))
+		for j, v := range row {
+			cells[j] = v.String()
+		}
+		fmt.Println(strings.Join(cells, " | "))
+	}
+}
+
+// classOrDefault renders an admission class name ("" = interactive).
+func classOrDefault(class string) string {
+	if class == "" {
+		return serving.ClassInteractive
+	}
+	return class
 }

@@ -31,6 +31,7 @@ import (
 	"bestpeer"
 	"bestpeer/internal/bootstrap"
 	"bestpeer/internal/peer"
+	"bestpeer/internal/serving"
 	"bestpeer/internal/telemetry"
 	"bestpeer/internal/tpch"
 )
@@ -57,6 +58,11 @@ func main() {
 		fatal(err)
 	}
 
+	// Serving tier on every peer: worker 0 below drives it through a
+	// real session so the dashboard's serving line and SHED% column have
+	// live numbers.
+	net.EnableServing(serving.Config{})
+
 	stopReporters := net.StartTelemetryReporters(*report)
 	defer stopReporters()
 	done := make(chan struct{})
@@ -75,11 +81,29 @@ func main() {
 		go func(w int) {
 			defer wg.Done()
 			rng := rand.New(rand.NewSource(int64(w)))
+			// Worker 0 is a serving-tier client: one open session against
+			// peer 0's front door, so sessions/admission/cache counters
+			// move. The rest submit through the library path.
+			var session *serving.Client
+			if w == 0 {
+				session = net.ServingClient("bptop-session", 0)
+				if err := session.Open("", serving.ClassInteractive, ""); err != nil {
+					session = nil
+				}
+			}
 			for i := 0; ; i++ {
 				select {
 				case <-done:
 					return
 				default:
+				}
+				if session != nil {
+					if _, err := session.Query(queries[i%len(queries)], serving.CacheUse); err != nil && !serving.Overloaded(err) {
+						// The session dies with its peer on failover; fall
+						// back to the library path.
+						session = nil
+					}
+					continue
 				}
 				at := rng.Intn(*peers)
 				if net.PeerByID(net.Peers()[at].ID()) == nil {
@@ -209,6 +233,24 @@ func render(net *bestpeer.Network, start time.Time) {
 	fmt.Printf("transport: %d retries, %d timeouts, %d faults injected, %d handler panics\n",
 		retries, timeouts, faults,
 		telemetry.Default.Counter("pnet_handler_panics_total").Value())
+	// Serving-tier summary: sessions, per-class admission outcomes, and
+	// the result cache's hit economics.
+	var admitted, shed int64
+	for _, class := range []string{"interactive", "batch"} {
+		admitted += telemetry.Default.Counter("serving_admitted_total", telemetry.L("class", class)).Value()
+		shed += telemetry.Default.Counter("serving_shed_total", telemetry.L("class", class)).Value()
+	}
+	sHits := telemetry.Default.Counter("serving_cache_hits_total").Value()
+	sMisses := telemetry.Default.Counter("serving_cache_misses_total").Value()
+	sRate := 0.0
+	if sHits+sMisses > 0 {
+		sRate = float64(sHits) / float64(sHits+sMisses) * 100
+	}
+	fmt.Printf("serving: %d sessions open (%d total), %d admitted, %d shed, cache %d hits / %d misses (%.1f%% hit rate, %d entries)\n",
+		telemetry.Default.Gauge("serving_sessions_open").Value(),
+		telemetry.Default.Counter("serving_sessions_opened_total").Value(),
+		admitted, shed, sHits, sMisses, sRate,
+		telemetry.Default.Gauge("serving_cache_entries").Value())
 	events := net.Bootstrap.Events()
 	if len(events) > 0 {
 		fmt.Println("\nrecent events:")

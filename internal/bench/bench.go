@@ -360,7 +360,7 @@ func latencyCurve(cfg Config, id, title string, role string) (*Table, error) {
 	t := &Table{
 		ID:     id,
 		Title:  title,
-		Header: []string{"offered_qps", "achieved_qps", "avg_latency_s", "p95_latency_s"},
+		Header: []string{"offered_qps", "achieved_qps", "avg_latency_s", "p95_latency_s", "p99_latency_s"},
 	}
 	for _, p := range pts {
 		t.Rows = append(t.Rows, []string{
@@ -368,6 +368,7 @@ func latencyCurve(cfg Config, id, title string, role string) (*Table, error) {
 			fmt.Sprintf("%.0f", p.AchievedQPS),
 			fmt.Sprintf("%.3f", p.AvgLatency.Seconds()),
 			fmt.Sprintf("%.3f", p.P95Latency.Seconds()),
+			fmt.Sprintf("%.3f", p.P99Latency.Seconds()),
 		})
 	}
 	return t, nil

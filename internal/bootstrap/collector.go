@@ -27,15 +27,18 @@ const collectorWindow = 8
 // windowSample is one absorbed report reduced to the signals the health
 // score uses.
 type windowSample struct {
-	at       time.Time
-	queries  int64
-	errors   int64
-	rows     int64
-	shuffle  int64
-	latency  telemetry.HistogramSnapshot
-	queue    telemetry.HistogramSnapshot
-	rpcCalls map[string]int64 // destination -> calls this delta
-	rpcErrs  map[string]int64
+	at           time.Time
+	queries      int64
+	errors       int64
+	rows         int64
+	shuffle      int64
+	admitted     int64
+	shed         int64
+	latency      telemetry.HistogramSnapshot
+	queue        telemetry.HistogramSnapshot
+	servingQueue telemetry.HistogramSnapshot
+	rpcCalls     map[string]int64 // destination -> calls this delta
+	rpcErrs      map[string]int64
 }
 
 // peerWindow is one peer's rolling report window.
@@ -70,6 +73,14 @@ type PeerHealth struct {
 	ShuffleBytes int64
 	// QueueWaitP95 is the p95 fan-out pool queue wait (seconds).
 	QueueWaitP95 float64
+	// ServingQueueP99 is the p99 serving-tier admission wait (seconds);
+	// ServingAdmitted and ServingShed count the window's admission
+	// outcomes and ServingShedRate is shed over (admitted + shed). All
+	// zero for peers without a serving tier.
+	ServingQueueP99 float64
+	ServingAdmitted int64
+	ServingShed     int64
+	ServingShedRate float64
 	// LastReport is when the peer's latest report arrived; Reports
 	// counts all absorbed reports.
 	LastReport time.Time
@@ -123,6 +134,14 @@ func (c *Collector) Absorb(rep telemetry.Report) error {
 			if p.Hist != nil {
 				s.queue = *p.Hist
 			}
+		case "peer_serving_queue_seconds":
+			if p.Hist != nil {
+				s.servingQueue = *p.Hist
+			}
+		case "peer_serving_admitted_total":
+			s.admitted += int64(p.Value)
+		case "peer_serving_shed_total":
+			s.shed += int64(p.Value)
 		case "peer_rpc_calls_total":
 			if to := labelValue(p.Labels, "to"); to != "" {
 				s.rpcCalls[to] += int64(p.Value)
@@ -201,13 +220,17 @@ func (c *Collector) Health(peer string) (PeerHealth, bool) {
 	var queries, errs int64
 	lat := telemetry.HistogramSnapshot{}
 	queue := telemetry.HistogramSnapshot{}
+	servingQueue := telemetry.HistogramSnapshot{}
 	for _, s := range w.ring {
 		queries += s.queries
 		errs += s.errors
 		h.RowsScanned += s.rows
 		h.ShuffleBytes += s.shuffle
+		h.ServingAdmitted += s.admitted
+		h.ServingShed += s.shed
 		lat = addHist(lat, s.latency)
 		queue = addHist(queue, s.queue)
+		servingQueue = addHist(servingQueue, s.servingQueue)
 	}
 	if queries > 0 {
 		h.ErrorRate = float64(errs) / float64(queries)
@@ -217,6 +240,12 @@ func (c *Collector) Health(peer string) (PeerHealth, bool) {
 	}
 	if queue.Count() > 0 {
 		h.QueueWaitP95 = queue.Quantile(0.95)
+	}
+	if servingQueue.Count() > 0 {
+		h.ServingQueueP99 = servingQueue.Quantile(0.99)
+	}
+	if total := h.ServingAdmitted + h.ServingShed; total > 0 {
+		h.ServingShedRate = float64(h.ServingShed) / float64(total)
 	}
 	if len(w.ring) >= 2 {
 		span := w.ring[len(w.ring)-1].at.Sub(w.ring[0].at)
@@ -258,7 +287,9 @@ func (c *Collector) Health(peer string) (PeerHealth, bool) {
 
 // score maps health signals to [0,1]: the RPC failure rate is the
 // dominant penalty (a peer nobody can call is effectively down), the
-// p99 overrun a secondary one.
+// p99 overrun a secondary one, and a shedding serving tier — clients
+// being turned away even though RPCs succeed — a further deduction so
+// Algorithm 1's auto-scaler sees saturation before it sees failures.
 func (c *Collector) score(h PeerHealth) float64 {
 	s := 1.0
 	s -= 0.7 * h.RPCFailureRate
@@ -269,6 +300,7 @@ func (c *Collector) score(h PeerHealth) float64 {
 		}
 		s -= 0.3 * over
 	}
+	s -= 0.2 * h.ServingShedRate
 	if s < 0 {
 		s = 0
 	}

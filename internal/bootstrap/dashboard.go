@@ -11,10 +11,10 @@ import (
 // layout is unit-testable without a network.
 func RenderDashboard(healths []PeerHealth, now time.Time) string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "%-16s %6s %7s %8s %6s %8s %12s %10s %8s %6s\n",
-		"PEER", "HEALTH", "QPS", "P99", "ERR%", "RPCFAIL", "ROWS", "SHUFFLE", "QWAIT", "AGE")
+	fmt.Fprintf(&b, "%-16s %6s %7s %8s %6s %8s %12s %10s %8s %6s %6s\n",
+		"PEER", "HEALTH", "QPS", "P99", "ERR%", "RPCFAIL", "ROWS", "SHUFFLE", "QWAIT", "SHED%", "AGE")
 	for _, h := range healths {
-		fmt.Fprintf(&b, "%-16s %6.2f %7.1f %8s %5.1f%% %7.1f%% %12d %10s %8s %6s\n",
+		fmt.Fprintf(&b, "%-16s %6.2f %7.1f %8s %5.1f%% %7.1f%% %12d %10s %8s %5.1f%% %6s\n",
 			h.Peer,
 			h.Score,
 			h.QPS,
@@ -24,6 +24,7 @@ func RenderDashboard(healths []PeerHealth, now time.Time) string {
 			h.RowsScanned,
 			humanBytes(h.ShuffleBytes),
 			shortDuration(time.Duration(h.QueueWaitP95*float64(time.Second))),
+			100*h.ServingShedRate,
 			reportAge(h.LastReport, now))
 	}
 	if len(healths) == 0 {

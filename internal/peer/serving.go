@@ -1,0 +1,38 @@
+package peer
+
+import (
+	"bestpeer/internal/engine"
+	"bestpeer/internal/serving"
+)
+
+// servingBackend adapts the peer's online query path to the serving
+// tier's Backend interface.
+type servingBackend struct {
+	p *Peer
+}
+
+// ServeQuery implements serving.Backend.
+func (b servingBackend) ServeQuery(sql, user, strategy string) (serving.Executed, error) {
+	res, err := b.p.Query(sql, user, Strategy(strategy), engine.Options{})
+	if err != nil {
+		return serving.Executed{}, err
+	}
+	return serving.Executed{Result: res.Result, Engine: res.Engine, VTime: res.Cost.Total()}, nil
+}
+
+// StartServing attaches a serving tier to this peer's endpoint: the
+// session verbs route through the admission queue and result cache into
+// Query. Unset config fields default; in particular the version source
+// defaults to this peer's own database (fine for single-peer data
+// scopes — a multi-peer network passes a cluster-wide source so remote
+// DML invalidates too) and the telemetry registry to this peer's, so
+// shedding reaches the collector.
+func (p *Peer) StartServing(cfg serving.Config) *serving.Server {
+	if cfg.Versions == nil {
+		cfg.Versions = p.db.Versions
+	}
+	if cfg.Registry == nil {
+		cfg.Registry = p.Metrics()
+	}
+	return serving.Attach(p.ep, servingBackend{p: p}, cfg)
+}

@@ -49,6 +49,30 @@ const (
 	wireErrHandlerPanic
 )
 
+// WireSentinelBase is the first wire error code available to packages
+// above pnet; codes below it are reserved for pnet's own sentinels.
+const WireSentinelBase = 64
+
+// wireSentinels maps registered codes (int) to sentinel errors (error).
+var wireSentinels sync.Map
+
+// RegisterWireSentinel maps a sentinel error defined above pnet (for
+// example the serving tier's admission rejection) to a stable wire
+// code, so errors.Is keeps working when the error crosses the TCP
+// transport. The producing package registers its sentinels from an init
+// function with a code >= WireSentinelBase; since both ends of the wire
+// import the producing package, the mapping exists on both sides.
+// Codes must be process-wide unique; re-registering a code replaces it.
+func RegisterWireSentinel(code int, sentinel error) {
+	if code < WireSentinelBase {
+		panic(fmt.Sprintf("pnet: wire sentinel code %d collides with the reserved range [0,%d)", code, WireSentinelBase))
+	}
+	if sentinel == nil {
+		panic("pnet: nil wire sentinel")
+	}
+	wireSentinels.Store(code, sentinel)
+}
+
 func wireErrCode(err error) int {
 	switch {
 	case errors.Is(err, ErrPeerDown):
@@ -60,7 +84,15 @@ func wireErrCode(err error) int {
 	case errors.Is(err, ErrHandlerPanic):
 		return wireErrHandlerPanic
 	default:
-		return wireErrGeneric
+		code := wireErrGeneric
+		wireSentinels.Range(func(k, v interface{}) bool {
+			if errors.Is(err, v.(error)) {
+				code = k.(int)
+				return false
+			}
+			return true
+		})
+		return code
 	}
 }
 
@@ -75,6 +107,9 @@ func wireErrUnpack(code int, text string) error {
 	case wireErrHandlerPanic:
 		return fmt.Errorf("%w: remote: %s", ErrHandlerPanic, text)
 	default:
+		if v, ok := wireSentinels.Load(code); ok {
+			return fmt.Errorf("%w: remote: %s", v.(error), text)
+		}
 		return fmt.Errorf("pnet: remote: %s", text)
 	}
 }

@@ -1,0 +1,292 @@
+package serving
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Weighted admission control: callers block in admit until a worker
+// slot frees (stride scheduling across classes, so interactive traffic
+// gets InteractiveWeight grants for every batch grant under
+// contention), and are rejected with ErrOverloaded when their class
+// queue is full or the recent queue-wait p95/p99 blew the shedding
+// budget. The feedback signal is the same queue-wait quantile the
+// bootstrap collector scores — computed locally over a short rotating
+// window so shedding reacts within ShedWindow, not a report epoch.
+
+// Class indexes (admitter-internal; the wire speaks the Class* names).
+const (
+	classInteractive = iota
+	classBatch
+	numClasses
+)
+
+// classNames maps class indexes to wire names.
+var classNames = [numClasses]string{ClassInteractive, ClassBatch}
+
+// classIndex resolves a wire class name ("" = interactive).
+func classIndex(name string) (int, error) {
+	switch name {
+	case ClassInteractive, "":
+		return classInteractive, nil
+	case ClassBatch:
+		return classBatch, nil
+	default:
+		return 0, fmt.Errorf("serving: unknown admission class %q (%s|%s)", name, ClassInteractive, ClassBatch)
+	}
+}
+
+// waiter is one queued admission request. The grant channel is buffered
+// so dispatch never blocks on a waiter.
+type waiter struct {
+	ch   chan bool // true = admitted, false = queue closed
+	at   time.Time
+	wait time.Duration // queue wait, stamped at grant
+}
+
+// classQueue is one class's FIFO plus its stride-scheduling state.
+type classQueue struct {
+	waiters []*waiter
+	pass    float64 // stride pass value; smallest pass dispatches next
+	stride  float64 // 1/weight
+	budget  struct{ p95, p99 time.Duration }
+}
+
+// admitter is the weighted admission queue for one serving tier.
+type admitter struct {
+	mu      sync.Mutex
+	workers int
+	depth   int // per-class queue bound
+	active  int
+	closed  bool
+	classes [numClasses]classQueue
+	window  *waitWindow
+	minObs  int // samples required before quantile shedding engages
+	m       *metrics
+}
+
+func newAdmitter(cfg Config, m *metrics) *admitter {
+	a := &admitter{
+		workers: cfg.Workers,
+		depth:   cfg.QueueDepth,
+		window:  newWaitWindow(cfg.ShedWindow),
+		minObs:  cfg.MinShedSamples,
+		m:       m,
+	}
+	a.classes[classInteractive].stride = 1 / float64(cfg.InteractiveWeight)
+	a.classes[classBatch].stride = 1 / float64(cfg.BatchWeight)
+	// Interactive sheds at the configured budget; batch at half of it,
+	// so background load yields headroom before interactive suffers.
+	a.classes[classInteractive].budget.p95 = cfg.ShedP95
+	a.classes[classInteractive].budget.p99 = cfg.ShedP99
+	a.classes[classBatch].budget.p95 = cfg.ShedP95 / 2
+	a.classes[classBatch].budget.p99 = cfg.ShedP99 / 2
+	return a
+}
+
+// admit blocks until a worker slot is granted and returns the queue
+// wait plus a release func the caller must invoke when done. It fails
+// fast with ErrOverloaded when the class should shed instead of queue.
+func (a *admitter) admit(class int) (time.Duration, func(), error) {
+	a.mu.Lock()
+	if a.closed {
+		a.mu.Unlock()
+		return 0, nil, fmt.Errorf("%w: serving tier closed", ErrOverloaded)
+	}
+	cq := &a.classes[class]
+	if len(cq.waiters) >= a.depth {
+		a.m.shed[class].Inc()
+		a.mu.Unlock()
+		return 0, nil, fmt.Errorf("%w: %s queue full (%d waiting)", ErrOverloaded, classNames[class], a.depth)
+	}
+	now := time.Now()
+	if p95, p99, over := a.overBudgetLocked(cq, now); over {
+		a.m.shed[class].Inc()
+		a.mu.Unlock()
+		return 0, nil, fmt.Errorf("%w: %s queue wait p95=%v p99=%v over budget (p95<=%v p99<=%v)",
+			ErrOverloaded, classNames[class], p95.Round(time.Millisecond), p99.Round(time.Millisecond),
+			cq.budget.p95, cq.budget.p99)
+	}
+	w := &waiter{ch: make(chan bool, 1), at: now}
+	cq.waiters = append(cq.waiters, w)
+	a.m.queueDepth[class].Add(1)
+	a.dispatchLocked()
+	a.mu.Unlock()
+
+	if !<-w.ch {
+		return 0, nil, fmt.Errorf("%w: serving tier closed", ErrOverloaded)
+	}
+	return w.wait, a.release, nil
+}
+
+// overBudgetLocked evaluates the class's shedding predicate over the
+// recent queue-wait window.
+func (a *admitter) overBudgetLocked(cq *classQueue, now time.Time) (p95, p99 time.Duration, over bool) {
+	if cq.budget.p95 <= 0 && cq.budget.p99 <= 0 {
+		return 0, 0, false
+	}
+	if a.window.samples(now) < int64(a.minObs) {
+		return 0, 0, false
+	}
+	p95 = a.window.quantile(0.95, now)
+	p99 = a.window.quantile(0.99, now)
+	over = (cq.budget.p95 > 0 && p95 > cq.budget.p95) || (cq.budget.p99 > 0 && p99 > cq.budget.p99)
+	return p95, p99, over
+}
+
+// release frees the caller's worker slot and hands it to the next
+// waiter.
+func (a *admitter) release() {
+	a.mu.Lock()
+	a.active--
+	a.dispatchLocked()
+	a.mu.Unlock()
+}
+
+// dispatchLocked grants worker slots to queued waiters, picking the
+// class with the smallest stride pass (ties favor interactive). Each
+// grant stamps the waiter's queue wait into the shedding window and the
+// telemetry histograms.
+func (a *admitter) dispatchLocked() {
+	for a.active < a.workers {
+		best := -1
+		for i := range a.classes {
+			if len(a.classes[i].waiters) == 0 {
+				continue
+			}
+			if best < 0 || a.classes[i].pass < a.classes[best].pass {
+				best = i
+			}
+		}
+		if best < 0 {
+			// Idle: re-zero the pass values so they cannot drift apart
+			// (and eventually lose float precision) across bursts.
+			for i := range a.classes {
+				a.classes[i].pass = 0
+			}
+			return
+		}
+		cq := &a.classes[best]
+		w := cq.waiters[0]
+		cq.waiters = cq.waiters[1:]
+		cq.pass += cq.stride
+		a.active++
+		now := time.Now()
+		w.wait = now.Sub(w.at)
+		a.window.observe(w.wait, now)
+		a.m.queueDepth[best].Add(-1)
+		a.m.admitted[best].Inc()
+		a.m.observeQueueWait(w.wait)
+		w.ch <- true
+	}
+}
+
+// close rejects every queued waiter and makes future admits fail fast.
+func (a *admitter) close() {
+	a.mu.Lock()
+	a.closed = true
+	var all []*waiter
+	for i := range a.classes {
+		n := len(a.classes[i].waiters)
+		all = append(all, a.classes[i].waiters...)
+		a.classes[i].waiters = nil
+		a.m.queueDepth[i].Add(int64(-n))
+	}
+	a.mu.Unlock()
+	for _, w := range all {
+		w.ch <- false
+	}
+}
+
+// waitBounds are the shedding window's bucket upper bounds in seconds.
+var waitBounds = []float64{0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5}
+
+// waitWindow is a two-epoch rotating bucket histogram of recent queue
+// waits: quantiles merge the current and previous epoch, so the view
+// always spans between one and two ShedWindows of history and old
+// saturation ages out in O(1). Callers hold the admitter's mutex.
+type waitWindow struct {
+	span    time.Duration
+	rotated time.Time
+	cur     []int64
+	prev    []int64
+	curN    int64
+	prevN   int64
+}
+
+func newWaitWindow(span time.Duration) *waitWindow {
+	return &waitWindow{
+		span:    span,
+		rotated: time.Now(),
+		cur:     make([]int64, len(waitBounds)+1),
+		prev:    make([]int64, len(waitBounds)+1),
+	}
+}
+
+// rotate ages the epochs forward when the current one expired.
+func (w *waitWindow) rotate(now time.Time) {
+	age := now.Sub(w.rotated)
+	if age < w.span {
+		return
+	}
+	if age >= 2*w.span {
+		// Both epochs are stale: start clean.
+		for i := range w.prev {
+			w.prev[i] = 0
+		}
+		w.prevN = 0
+	} else {
+		copy(w.prev, w.cur)
+		w.prevN = w.curN
+	}
+	for i := range w.cur {
+		w.cur[i] = 0
+	}
+	w.curN = 0
+	w.rotated = now
+}
+
+// observe records one queue wait.
+func (w *waitWindow) observe(d time.Duration, now time.Time) {
+	w.rotate(now)
+	sec := d.Seconds()
+	i := 0
+	for i < len(waitBounds) && sec > waitBounds[i] {
+		i++
+	}
+	w.cur[i]++
+	w.curN++
+}
+
+// samples counts the observations currently in view.
+func (w *waitWindow) samples(now time.Time) int64 {
+	w.rotate(now)
+	return w.curN + w.prevN
+}
+
+// quantile returns a conservative (bucket upper bound) estimate of the
+// q-quantile over the merged epochs; 0 when empty.
+func (w *waitWindow) quantile(q float64, now time.Time) time.Duration {
+	w.rotate(now)
+	total := w.curN + w.prevN
+	if total == 0 {
+		return 0
+	}
+	rank := int64(q*float64(total) + 0.5)
+	if rank < 1 {
+		rank = 1
+	}
+	var cum int64
+	for i := range w.cur {
+		cum += w.cur[i] + w.prev[i]
+		if cum >= rank {
+			if i < len(waitBounds) {
+				return time.Duration(waitBounds[i] * float64(time.Second))
+			}
+			// Overflow bucket: beyond the largest bound.
+			return time.Duration(2 * waitBounds[len(waitBounds)-1] * float64(time.Second))
+		}
+	}
+	return time.Duration(2 * waitBounds[len(waitBounds)-1] * float64(time.Second))
+}

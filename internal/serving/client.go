@@ -1,0 +1,89 @@
+package serving
+
+import (
+	"fmt"
+	"time"
+
+	"bestpeer/internal/pnet"
+	"bestpeer/internal/sqldb"
+)
+
+// Client drives one logical session against a peer's serving tier over
+// any pnet endpoint (in-process or TCP — the verbs and typed errors
+// survive both). Not safe for concurrent use; open one Client per
+// simulated client.
+type Client struct {
+	ep     *pnet.Endpoint
+	peer   string
+	id     string
+	closed bool
+}
+
+// NewClient prepares a session client addressing the serving tier at
+// peer through ep. Call Open before Query.
+func NewClient(ep *pnet.Endpoint, peer string) *Client {
+	return &Client{ep: ep, peer: peer}
+}
+
+// Open establishes the session. class "" means interactive; strategy ""
+// means the basic engine.
+func (c *Client) Open(user, class, strategy string) error {
+	rep, err := c.ep.Call(c.peer, MsgOpen, OpenRequest{User: user, Class: class, Strategy: strategy}, 64)
+	if err != nil {
+		return err
+	}
+	or, ok := rep.Payload.(OpenReply)
+	if !ok {
+		return fmt.Errorf("serving: bad open reply %T", rep.Payload)
+	}
+	c.id = or.SessionID
+	c.closed = false
+	return nil
+}
+
+// SessionID reports the open session's identity ("" before Open).
+func (c *Client) SessionID() string { return c.id }
+
+// QueryOutcome is one session query's client-side view.
+type QueryOutcome struct {
+	Result    *sqldb.Result
+	Engine    string
+	VTime     time.Duration
+	CacheHit  bool
+	QueueWait time.Duration
+}
+
+// Query runs sql in the session under the given cache mode. Rejections
+// surface as ErrOverloaded (test with Overloaded(err)).
+func (c *Client) Query(sql string, mode CacheMode) (QueryOutcome, error) {
+	if c.id == "" {
+		return QueryOutcome{}, fmt.Errorf("%w: client has no open session", ErrUnknownSession)
+	}
+	rep, err := c.ep.Call(c.peer, MsgQuery, QueryRequest{SessionID: c.id, SQL: sql, Cache: mode}, int64(len(sql)))
+	if err != nil {
+		return QueryOutcome{}, err
+	}
+	qr, ok := rep.Payload.(QueryReply)
+	if !ok {
+		return QueryOutcome{}, fmt.Errorf("serving: bad query reply %T", rep.Payload)
+	}
+	return QueryOutcome{Result: qr.Result, Engine: qr.Engine, VTime: qr.VTime, CacheHit: qr.CacheHit, QueueWait: qr.QueueWait}, nil
+}
+
+// Close tears the session down and reports its lifetime query count.
+// Closing twice is a no-op.
+func (c *Client) Close() (int64, error) {
+	if c.id == "" || c.closed {
+		return 0, nil
+	}
+	rep, err := c.ep.Call(c.peer, MsgClose, CloseRequest{SessionID: c.id}, 64)
+	if err != nil {
+		return 0, err
+	}
+	cr, ok := rep.Payload.(CloseReply)
+	if !ok {
+		return 0, fmt.Errorf("serving: bad close reply %T", rep.Payload)
+	}
+	c.closed = true
+	return cr.Queries, nil
+}

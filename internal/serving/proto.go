@@ -1,0 +1,137 @@
+package serving
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"bestpeer/internal/pnet"
+	"bestpeer/internal/sqldb"
+)
+
+// The session protocol: three verbs layered on the hardened pnet
+// transport. session.open and session.close mutate the session table,
+// so they register at-most-once; session.query is a read-only verb and
+// registers idempotent, so the CallPolicy's retry machinery may re-send
+// it transparently after a lost reply.
+const (
+	MsgOpen  = "session.open"
+	MsgQuery = "session.query"
+	MsgClose = "session.close"
+)
+
+// Admission classes (wire names). Interactive traffic is weighted ahead
+// of batch and sheds last; batch sheds at half the interactive budget.
+const (
+	ClassInteractive = "interactive"
+	ClassBatch       = "batch"
+)
+
+// CacheMode selects a query's interaction with the result cache.
+type CacheMode uint8
+
+const (
+	// CacheUse serves a fresh cached result when one exists and fills
+	// the cache on a miss (the default).
+	CacheUse CacheMode = iota
+	// CacheRefresh always executes, then replaces the cached entry.
+	CacheRefresh
+	// CacheBypass neither reads nor writes the cache.
+	CacheBypass
+)
+
+// String renders the mode's wire/CLI name.
+func (m CacheMode) String() string {
+	switch m {
+	case CacheRefresh:
+		return "refresh"
+	case CacheBypass:
+		return "bypass"
+	default:
+		return "use"
+	}
+}
+
+// ParseCacheMode parses a CLI/wire cache-mode name.
+func ParseCacheMode(s string) (CacheMode, error) {
+	switch s {
+	case "use", "":
+		return CacheUse, nil
+	case "refresh":
+		return CacheRefresh, nil
+	case "bypass":
+		return CacheBypass, nil
+	default:
+		return CacheUse, fmt.Errorf("serving: unknown cache mode %q (use|refresh|bypass)", s)
+	}
+}
+
+// OpenRequest opens a logical client session at a peer's serving tier.
+type OpenRequest struct {
+	// User is the submitting account ("" = benchmark full-access user).
+	User string
+	// Class is the admission class ("" = interactive).
+	Class string
+	// Strategy picks the query engine for the session ("" = basic).
+	Strategy string
+}
+
+// OpenReply carries the session identity the other verbs address.
+type OpenReply struct {
+	SessionID string
+}
+
+// QueryRequest runs one SQL query inside a session.
+type QueryRequest struct {
+	SessionID string
+	SQL       string
+	Cache     CacheMode
+}
+
+// QueryReply is a query's outcome. A cache hit reports zero QueueWait:
+// hits are served before admission and never occupy a worker slot.
+type QueryReply struct {
+	Result    *sqldb.Result
+	Engine    string
+	VTime     time.Duration
+	CacheHit  bool
+	QueueWait time.Duration
+}
+
+// CloseRequest tears a session down.
+type CloseRequest struct {
+	SessionID string
+}
+
+// CloseReply reports the closed session's lifetime query count.
+type CloseReply struct {
+	Queries int64
+}
+
+// Typed serving errors. Both survive the TCP transport via pnet's wire
+// sentinel registry, so remote clients branch on errors.Is exactly like
+// in-process ones.
+var (
+	// ErrOverloaded is the admission rejection: the queue is full, the
+	// session table is full, or queue-wait p95/p99 blew the configured
+	// shedding budget. Clients should back off (or retry elsewhere).
+	ErrOverloaded = errors.New("serving: overloaded")
+	// ErrUnknownSession means the session ID was never opened, was
+	// closed, or belonged to a server that restarted.
+	ErrUnknownSession = errors.New("serving: unknown session")
+)
+
+// Overloaded reports whether err is a load-shedding rejection.
+func Overloaded(err error) bool { return errors.Is(err, ErrOverloaded) }
+
+// Wire sentinel codes (>= pnet.WireSentinelBase; process-wide unique).
+const (
+	wireCodeOverloaded     = pnet.WireSentinelBase + 0
+	wireCodeUnknownSession = pnet.WireSentinelBase + 1
+)
+
+func init() {
+	pnet.RegisterPayload(OpenRequest{}, OpenReply{}, QueryRequest{}, QueryReply{}, CloseRequest{}, CloseReply{})
+	pnet.RegisterWireSentinel(wireCodeOverloaded, ErrOverloaded)
+	pnet.RegisterWireSentinel(wireCodeUnknownSession, ErrUnknownSession)
+}

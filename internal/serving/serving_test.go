@@ -1,0 +1,492 @@
+package serving
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"bestpeer/internal/pnet"
+	"bestpeer/internal/sqldb"
+)
+
+// stubBackend answers every query with a canned result after an
+// optional service delay, counting executions.
+type stubBackend struct {
+	delay time.Duration
+	execs atomic.Int64
+	err   error
+}
+
+func (b *stubBackend) ServeQuery(sql, user, strategy string) (Executed, error) {
+	b.execs.Add(1)
+	if b.delay > 0 {
+		time.Sleep(b.delay)
+	}
+	if b.err != nil {
+		return Executed{}, b.err
+	}
+	res := &sqldb.Result{Columns: []string{"n"}}
+	res.Stats.BytesReturned = 8
+	return Executed{Result: res, Engine: "stub", VTime: time.Millisecond}, nil
+}
+
+// versionSource is a mutable version pair for cache tests.
+type versionSource struct {
+	mu      sync.Mutex
+	schemaV uint64
+	dataV   uint64
+}
+
+func (v *versionSource) get() (uint64, uint64) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return v.schemaV, v.dataV
+}
+
+func (v *versionSource) bumpData() {
+	v.mu.Lock()
+	v.dataV++
+	v.mu.Unlock()
+}
+
+func (v *versionSource) bumpSchema() {
+	v.mu.Lock()
+	v.schemaV++
+	v.mu.Unlock()
+}
+
+// attach wires a Server over a fresh in-process network and returns a
+// client-side endpoint facing it.
+func attach(t *testing.T, be Backend, cfg Config) (*Server, *pnet.Endpoint) {
+	t.Helper()
+	net := pnet.NewNetwork()
+	srv := Attach(net.Join("server"), be, cfg)
+	t.Cleanup(srv.Close)
+	return srv, net.Join("client")
+}
+
+func TestSessionLifecycle(t *testing.T) {
+	be := &stubBackend{}
+	srv, ep := attach(t, be, Config{})
+	cl := NewClient(ep, "server")
+
+	// Query before open fails typed.
+	if _, err := cl.Query("SELECT COUNT(*) FROM t", CacheUse); !errors.Is(err, ErrUnknownSession) {
+		t.Fatalf("query before open: got %v, want ErrUnknownSession", err)
+	}
+	if err := cl.Open("alice", ClassInteractive, "basic"); err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	if cl.SessionID() == "" {
+		t.Fatal("open returned empty session id")
+	}
+	if got := srv.Sessions(); got != 1 {
+		t.Fatalf("sessions = %d, want 1", got)
+	}
+	for i := 0; i < 3; i++ {
+		out, err := cl.Query("SELECT COUNT(*) FROM t", CacheBypass)
+		if err != nil {
+			t.Fatalf("query %d: %v", i, err)
+		}
+		if out.Engine != "stub" {
+			t.Fatalf("engine = %q", out.Engine)
+		}
+	}
+	n, err := cl.Close()
+	if err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	if n != 3 {
+		t.Fatalf("close reported %d queries, want 3", n)
+	}
+	if got := srv.Sessions(); got != 0 {
+		t.Fatalf("sessions after close = %d, want 0", got)
+	}
+	// The dead session is gone server-side.
+	if _, err := ep.Call("server", MsgQuery, QueryRequest{SessionID: "server/s00000001", SQL: "SELECT 1 FROM t"}, 8); !errors.Is(err, ErrUnknownSession) {
+		t.Fatalf("query on closed session: got %v, want ErrUnknownSession", err)
+	}
+}
+
+func TestOpenRejectsUnknownClass(t *testing.T) {
+	_, ep := attach(t, &stubBackend{}, Config{})
+	cl := NewClient(ep, "server")
+	if err := cl.Open("", "premium", ""); err == nil {
+		t.Fatal("open with unknown class succeeded")
+	}
+}
+
+func TestSessionTableBound(t *testing.T) {
+	_, ep := attach(t, &stubBackend{}, Config{MaxSessions: 2})
+	for i := 0; i < 2; i++ {
+		if err := NewClient(ep, "server").Open("", "", ""); err != nil {
+			t.Fatalf("open %d: %v", i, err)
+		}
+	}
+	err := NewClient(ep, "server").Open("", "", "")
+	if !Overloaded(err) {
+		t.Fatalf("third open: got %v, want ErrOverloaded", err)
+	}
+}
+
+// TestWeightedAdmissionFairness drives both classes through a saturated
+// one-worker admitter and checks the stride scheduler grants roughly
+// weight-proportional shares.
+func TestWeightedAdmissionFairness(t *testing.T) {
+	m := newMetrics(nil)
+	cfg := Config{Workers: 1, QueueDepth: 1024, InteractiveWeight: 4, BatchWeight: 1,
+		// Budgets high enough that nothing sheds in this test.
+		ShedP95: time.Hour, ShedP99: time.Hour, ShedWindow: time.Second, MinShedSamples: 1 << 30}.withDefaults()
+	a := newAdmitter(cfg, m)
+
+	var grants [numClasses]atomic.Int64
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for class := 0; class < numClasses; class++ {
+		for c := 0; c < 8; c++ {
+			wg.Add(1)
+			go func(class int) {
+				defer wg.Done()
+				for {
+					select {
+					case <-stop:
+						return
+					default:
+					}
+					_, release, err := a.admit(class)
+					if err != nil {
+						return
+					}
+					grants[class].Add(1)
+					time.Sleep(200 * time.Microsecond) // hold the worker
+					release()
+				}
+			}(class)
+		}
+	}
+	time.Sleep(300 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+	a.close()
+
+	inter, batch := grants[classInteractive].Load(), grants[classBatch].Load()
+	if inter == 0 || batch == 0 {
+		t.Fatalf("starvation: interactive=%d batch=%d", inter, batch)
+	}
+	ratio := float64(inter) / float64(batch)
+	// Weight ratio is 4:1; allow generous scheduling noise.
+	if ratio < 2 || ratio > 8 {
+		t.Fatalf("grant ratio %.2f (interactive=%d batch=%d), want ~4", ratio, inter, batch)
+	}
+}
+
+// TestChaosServingShedsUnderSlowBackend saturates a tier whose backend
+// is artificially slow and asserts (a) arrivals beyond the budget are
+// rejected with the typed ErrOverloaded, (b) the shed counters moved,
+// and (c) the tier recovers once the overload stops.
+func TestChaosServingShedsUnderSlowBackend(t *testing.T) {
+	be := &stubBackend{delay: 20 * time.Millisecond}
+	srv, ep := attach(t, be, Config{
+		Workers:        2,
+		QueueDepth:     512,
+		ShedP95:        5 * time.Millisecond,
+		ShedP99:        10 * time.Millisecond,
+		ShedWindow:     200 * time.Millisecond,
+		MinShedSamples: 4,
+	})
+
+	const clients = 64
+	var wg sync.WaitGroup
+	var shed, served, other atomic.Int64
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			cl := NewClient(ep, "server")
+			if err := cl.Open("", ClassInteractive, ""); err != nil {
+				other.Add(1)
+				return
+			}
+			for i := 0; i < 6; i++ {
+				_, err := cl.Query(fmt.Sprintf("SELECT %d FROM t", c), CacheBypass)
+				switch {
+				case err == nil:
+					served.Add(1)
+				case Overloaded(err):
+					shed.Add(1)
+				default:
+					other.Add(1)
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+
+	if other.Load() != 0 {
+		t.Fatalf("%d queries failed with untyped errors", other.Load())
+	}
+	if served.Load() == 0 {
+		t.Fatal("no queries served at all — shedding is not graceful")
+	}
+	if shed.Load() == 0 {
+		t.Fatalf("no queries shed despite %d clients on 2 slow workers", clients)
+	}
+	if srv.m.shed[classInteractive].Value() == 0 {
+		t.Fatal("typed rejections not counted in telemetry")
+	}
+
+	// Recovery: overload gone, the shedding window ages out, and a lone
+	// client is admitted again.
+	be.delay = 0
+	deadline := time.Now().Add(5 * time.Second)
+	cl := NewClient(ep, "server")
+	if err := cl.Open("", ClassInteractive, ""); err != nil {
+		t.Fatalf("open after overload: %v", err)
+	}
+	for {
+		_, err := cl.Query("SELECT 1 FROM t", CacheBypass)
+		if err == nil {
+			break
+		}
+		if !Overloaded(err) {
+			t.Fatalf("recovery query: %v", err)
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("tier never recovered after overload ended")
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// TestConcurrentSessions exercises the whole tier under -race: many
+// sessions across both classes opening, querying with mixed cache
+// modes, and closing concurrently while versions bump underneath.
+func TestConcurrentSessions(t *testing.T) {
+	vs := &versionSource{}
+	be := &stubBackend{}
+	_, ep := attach(t, be, Config{Workers: 4, Versions: vs.get, CacheEntries: 16})
+
+	const clients = 32
+	var wg sync.WaitGroup
+	var failures atomic.Int64
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			class := ClassInteractive
+			if c%3 == 0 {
+				class = ClassBatch
+			}
+			cl := NewClient(ep, "server")
+			if err := cl.Open("", class, ""); err != nil {
+				failures.Add(1)
+				return
+			}
+			for i := 0; i < 20; i++ {
+				mode := CacheMode(i % 3)
+				if _, err := cl.Query(fmt.Sprintf("SELECT c%d FROM t%d", i%4, c%8), mode); err != nil && !Overloaded(err) {
+					failures.Add(1)
+				}
+				if i%7 == 0 {
+					vs.bumpData()
+				}
+			}
+			if _, err := cl.Close(); err != nil {
+				failures.Add(1)
+			}
+		}(c)
+	}
+	wg.Wait()
+	if failures.Load() != 0 {
+		t.Fatalf("%d unexpected failures across concurrent sessions", failures.Load())
+	}
+}
+
+// TestResultCacheVersioning proves a cached result is never served
+// across a schema or data version bump, and that the cache modes do
+// what they say.
+func TestResultCacheVersioning(t *testing.T) {
+	vs := &versionSource{}
+	be := &stubBackend{}
+	srv, ep := attach(t, be, Config{Versions: vs.get})
+	cl := NewClient(ep, "server")
+	if err := cl.Open("", "", ""); err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	const q = "SELECT COUNT(*) FROM t"
+
+	mustQuery := func(mode CacheMode) QueryOutcome {
+		t.Helper()
+		out, err := cl.Query(q, mode)
+		if err != nil {
+			t.Fatalf("query: %v", err)
+		}
+		return out
+	}
+
+	inval0 := srv.m.cacheInvalidations.Value()
+
+	// Fill, then hit: the backend runs once.
+	if out := mustQuery(CacheUse); out.CacheHit {
+		t.Fatal("first query reported a cache hit")
+	}
+	if out := mustQuery(CacheUse); !out.CacheHit {
+		t.Fatal("repeat query missed the cache")
+	}
+	if got := be.execs.Load(); got != 1 {
+		t.Fatalf("backend executed %d times, want 1", got)
+	}
+
+	// DML bump: the stale entry must not be served.
+	vs.bumpData()
+	if out := mustQuery(CacheUse); out.CacheHit {
+		t.Fatal("cache hit across a data version bump")
+	}
+	if got := be.execs.Load(); got != 2 {
+		t.Fatalf("backend executed %d times after data bump, want 2", got)
+	}
+	if srv.m.cacheInvalidations.Value() == inval0 {
+		t.Fatal("version-mismatch invalidation not counted")
+	}
+
+	// DDL bump likewise.
+	vs.bumpSchema()
+	if out := mustQuery(CacheUse); out.CacheHit {
+		t.Fatal("cache hit across a schema version bump")
+	}
+
+	// Refresh executes even though the entry is fresh.
+	before := be.execs.Load()
+	if out := mustQuery(CacheRefresh); out.CacheHit {
+		t.Fatal("refresh reported a cache hit")
+	}
+	if got := be.execs.Load(); got != before+1 {
+		t.Fatalf("refresh did not execute (execs %d -> %d)", before, got)
+	}
+	// ... but it refilled the cache for the next CacheUse.
+	if out := mustQuery(CacheUse); !out.CacheHit {
+		t.Fatal("use after refresh missed")
+	}
+
+	// Bypass neither reads nor writes.
+	before = be.execs.Load()
+	bypassBefore := srv.m.cacheBypass.Value()
+	if out := mustQuery(CacheBypass); out.CacheHit {
+		t.Fatal("bypass reported a cache hit")
+	}
+	if got := be.execs.Load(); got != before+1 {
+		t.Fatal("bypass did not execute")
+	}
+	if srv.m.cacheBypass.Value() != bypassBefore+1 {
+		t.Fatal("bypass not counted")
+	}
+}
+
+// TestResultCacheLRUBound fills the cache past capacity and checks the
+// LRU eviction and the entry gauge.
+func TestResultCacheLRUBound(t *testing.T) {
+	vs := &versionSource{}
+	srv, ep := attach(t, &stubBackend{}, Config{Versions: vs.get, CacheEntries: 4})
+	cl := NewClient(ep, "server")
+	if err := cl.Open("", "", ""); err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	// Counters live in the process-wide default registry, so assert the
+	// delta, not the absolute value.
+	evict0 := srv.m.cacheEvictions.Value()
+	for i := 0; i < 8; i++ {
+		if _, err := cl.Query(fmt.Sprintf("SELECT c FROM t%d", i), CacheUse); err != nil {
+			t.Fatalf("query %d: %v", i, err)
+		}
+	}
+	if got := srv.cache.len(); got != 4 {
+		t.Fatalf("cache holds %d entries, want 4", got)
+	}
+	if got := srv.m.cacheEvictions.Value() - evict0; got != 4 {
+		t.Fatalf("evictions = %d, want 4", got)
+	}
+	// The oldest keys were evicted; the newest still hit.
+	if out, err := cl.Query("SELECT c FROM t7", CacheUse); err != nil || !out.CacheHit {
+		t.Fatalf("newest entry missed (err=%v)", err)
+	}
+	if out, err := cl.Query("SELECT c FROM t0", CacheUse); err != nil || out.CacheHit {
+		t.Fatalf("evicted entry hit (err=%v)", err)
+	}
+}
+
+// TestOverloadedSurvivesTCP proves the typed serving errors cross the
+// gob/TCP transport via the wire-sentinel registry.
+func TestOverloadedSurvivesTCP(t *testing.T) {
+	serverNet := pnet.NewNetwork()
+	// Session table of 1: the second open sheds with ErrOverloaded.
+	srv := Attach(serverNet.Join("server"), &stubBackend{}, Config{MaxSessions: 1})
+	defer srv.Close()
+	ln, err := serverNet.ListenTCP("127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	defer ln.Close()
+
+	clientNet := pnet.NewNetwork()
+	clientNet.AddRemotePeer("server", ln.Addr())
+	ep := clientNet.Join("remote-client")
+
+	cl := NewClient(ep, "server")
+	if err := cl.Open("", "", ""); err != nil {
+		t.Fatalf("open over TCP: %v", err)
+	}
+	out, err := cl.Query("SELECT COUNT(*) FROM t", CacheBypass)
+	if err != nil {
+		t.Fatalf("query over TCP: %v", err)
+	}
+	if out.Engine != "stub" {
+		t.Fatalf("engine = %q over TCP", out.Engine)
+	}
+
+	if err := NewClient(ep, "server").Open("", "", ""); !Overloaded(err) {
+		t.Fatalf("second open over TCP: got %v, want ErrOverloaded", err)
+	}
+	bogus := &Client{ep: ep, peer: "server", id: "server/s99999999"}
+	if _, err := bogus.Query("SELECT 1 FROM t", CacheBypass); !errors.Is(err, ErrUnknownSession) {
+		t.Fatalf("bogus session over TCP: got %v, want ErrUnknownSession", err)
+	}
+}
+
+// TestCloseRejectsWaiters closes the tier with queued waiters and
+// checks they all fail fast and typed.
+func TestCloseRejectsWaiters(t *testing.T) {
+	be := &stubBackend{delay: 50 * time.Millisecond}
+	srv, ep := attach(t, be, Config{Workers: 1, ShedP95: time.Hour, ShedP99: time.Hour, MinShedSamples: 1 << 30})
+	var wg sync.WaitGroup
+	var typed, untyped atomic.Int64
+	for c := 0; c < 8; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			cl := NewClient(ep, "server")
+			if err := cl.Open("", "", ""); err != nil {
+				untyped.Add(1)
+				return
+			}
+			if _, err := cl.Query("SELECT 1 FROM t", CacheBypass); err != nil {
+				if Overloaded(err) {
+					typed.Add(1)
+				} else {
+					untyped.Add(1)
+				}
+			}
+		}(c)
+	}
+	time.Sleep(20 * time.Millisecond) // let queries queue behind the slow worker
+	srv.Close()
+	wg.Wait()
+	if untyped.Load() != 0 {
+		t.Fatalf("%d untyped failures on close", untyped.Load())
+	}
+	if typed.Load() == 0 {
+		t.Fatal("close rejected no queued waiters (test raced shut)")
+	}
+}

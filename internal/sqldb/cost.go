@@ -99,6 +99,16 @@ func (db *DB) invalidateStatsLocked() {
 	db.statsVer.Add(1)
 }
 
+// dropStatsLocked discards one table's statistics snapshot without
+// bumping statsVer: scoped invalidation already removed every cached
+// plan that read the table, and a global statsVer bump would needlessly
+// re-plan the survivors. Called under db.mu.Lock.
+func (db *DB) dropStatsLocked(table string) {
+	db.statsMu.Lock()
+	delete(db.stats, strings.ToLower(table))
+	db.statsMu.Unlock()
+}
+
 // buildTableStats scans the table once, building a 1-D MHIST histogram
 // per number-line column and a distinct count per column.
 func buildTableStats(t *Table) *tableStats {

@@ -20,6 +20,12 @@ type DB struct {
 	ver    uint64 // schema version; bumped by DDL under mu
 	plans  *planCache
 
+	// droppedMuts folds dropped tables' mutation counts (plus one per
+	// drop) into the data version, so Versions stays monotonic across
+	// DROP TABLE + re-CREATE even when the new table starts at zero
+	// mutations.
+	droppedMuts uint64
+
 	// Cost-model statistics: per-table histogram snapshots with their
 	// own mutex (built lazily under db.mu.RLock), and a version counter
 	// cached plans carry so a statistics rebuild re-plans them.
@@ -44,6 +50,34 @@ func (db *DB) bumpSchemaLocked() {
 	db.ver++
 	db.plans.invalidate()
 	db.invalidateStatsLocked()
+}
+
+// bumpSchemaScopedLocked records a schema change confined to one table
+// (DROP TABLE, CREATE INDEX): only cached plans referencing that table
+// are dropped; survivors cannot observe the change, so they are
+// restamped to the new schema version instead of recompiled. Only the
+// table's own statistics snapshot is discarded — statsVer stays put, so
+// survivors' sver check keeps matching. Callers hold db.mu.Lock.
+func (db *DB) bumpSchemaScopedLocked(table string) {
+	db.ver++
+	db.plans.invalidateScoped(table, db.ver)
+	db.dropStatsLocked(table)
+}
+
+// Versions returns the database's monotonic (schema, data) version
+// pair. The schema version counts DDL; the data version counts row
+// mutations (insert/delete/update) across all tables, folding in
+// dropped tables so it never regresses. Result caches key entries on
+// this pair: any DDL or DML makes previously cached results
+// unservable.
+func (db *DB) Versions() (schema, data uint64) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	data = db.droppedMuts
+	for _, t := range db.tables {
+		data += t.Mutations()
+	}
+	return db.ver, data
 }
 
 // table returns the named table, or nil. Callers must hold db.mu.
@@ -93,10 +127,11 @@ func (db *DB) DropTable(name string) bool {
 	db.mu.Lock()
 	defer db.mu.Unlock()
 	key := strings.ToLower(name)
-	_, ok := db.tables[key]
+	t, ok := db.tables[key]
 	delete(db.tables, key)
 	if ok {
-		db.bumpSchemaLocked()
+		db.droppedMuts += t.Mutations() + 1
+		db.bumpSchemaScopedLocked(key)
 	}
 	return ok
 }
@@ -231,8 +266,9 @@ func (db *DB) execStmt(stmt Statement, key string) (*Result, error) {
 		if err := t.CreateIndex(s.Name, s.Column, s.Unique); err != nil {
 			return nil, err
 		}
-		// A new index changes access-path choices for cached plans.
-		db.bumpSchemaLocked()
+		// A new index changes access-path choices only for plans that
+		// read this table; everyone else's plan survives.
+		db.bumpSchemaScopedLocked(s.Table)
 		return &Result{}, nil
 	case *InsertStmt:
 		return db.executeInsert(s)
@@ -287,7 +323,7 @@ func (db *DB) executeSelectCached(key string, s *SelectStmt) (*Result, error) {
 	if err != nil {
 		return db.executeSelect(s)
 	}
-	db.plans.store(&planEntry{key: key, stmt: s, plan: plan, ver: db.ver, sver: db.statsVer.Load()})
+	db.plans.store(&planEntry{key: key, stmt: s, plan: plan, ver: db.ver, sver: db.statsVer.Load(), tables: tablesOf(s)})
 	return plan.run()
 }
 

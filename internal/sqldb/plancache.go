@@ -2,6 +2,7 @@ package sqldb
 
 import (
 	"container/list"
+	"strings"
 	"sync"
 	"sync/atomic"
 
@@ -31,11 +32,32 @@ type planCache struct {
 // planEntry is one cached statement: the parse result and, for SELECTs
 // that compiled cleanly, the plan.
 type planEntry struct {
-	key  string
-	stmt Statement
-	plan *selectPlan
-	ver  uint64 // schema version the plan was compiled under
-	sver uint64 // statistics version the plan was costed under
+	key    string
+	stmt   Statement
+	plan   *selectPlan
+	ver    uint64   // schema version the plan was compiled under
+	sver   uint64   // statistics version the plan was costed under
+	tables []string // lowercased FROM-clause tables (scoped invalidation)
+}
+
+// references reports whether the entry's plan reads the given
+// (lowercased) table.
+func (e *planEntry) references(table string) bool {
+	for _, t := range e.tables {
+		if t == table {
+			return true
+		}
+	}
+	return false
+}
+
+// tablesOf lists a SELECT's FROM-clause tables, lowercased.
+func tablesOf(s *SelectStmt) []string {
+	out := make([]string, 0, len(s.From))
+	for _, ref := range s.From {
+		out = append(out, strings.ToLower(ref.Table))
+	}
+	return out
 }
 
 var (
@@ -44,6 +66,12 @@ var (
 	planCacheEvictions   = telemetry.Default.Counter("sqldb_plan_cache_evictions_total")
 	planCacheInvalidated = telemetry.Default.Counter("sqldb_plan_cache_invalidations_total")
 	planCacheEntries     = telemetry.Default.Gauge("sqldb_plan_cache_entries")
+	// Invalidation *events* by scope: "full" (CREATE TABLE clears
+	// everything) vs "scoped" (DROP TABLE / CREATE INDEX drop only the
+	// plans reading the changed table). planCacheInvalidated keeps
+	// counting the entries dropped, as before.
+	planCacheInvalFull   = telemetry.Default.Counter("sqldb_plan_cache_invalidation_events_total", telemetry.L("scope", "full"))
+	planCacheInvalScoped = telemetry.Default.Counter("sqldb_plan_cache_invalidation_events_total", telemetry.L("scope", "scoped"))
 )
 
 // compileOff disables the compiled executor and plan cache when set,
@@ -118,6 +146,7 @@ func (c *planCache) store(e *planEntry) {
 func (c *planCache) invalidate() {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	planCacheInvalFull.Inc()
 	n := c.lru.Len()
 	if n == 0 {
 		return
@@ -126,6 +155,37 @@ func (c *planCache) invalidate() {
 	c.byKey = make(map[string]*list.Element)
 	planCacheEntries.Add(int64(-n))
 	planCacheInvalidated.Add(int64(n))
+}
+
+// invalidateScoped drops only the entries whose plans read table and
+// restamps the survivors to newVer: a plan that never touches the
+// changed table stays valid under the new schema version, so dropping
+// it would throw away a compilation for nothing. Restamping is safe
+// against concurrent lookups because scoped invalidation runs under
+// db.mu.Lock while lookups hold db.mu.RLock. Called by DROP TABLE and
+// CREATE INDEX.
+func (c *planCache) invalidateScoped(table string, newVer uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	planCacheInvalScoped.Inc()
+	key := strings.ToLower(table)
+	dropped := int64(0)
+	var next *list.Element
+	for el := c.lru.Front(); el != nil; el = next {
+		next = el.Next()
+		e := el.Value.(*planEntry)
+		if e.references(key) {
+			c.lru.Remove(el)
+			delete(c.byKey, e.key)
+			dropped++
+			continue
+		}
+		e.ver = newVer
+	}
+	if dropped > 0 {
+		planCacheEntries.Add(-dropped)
+		planCacheInvalidated.Add(dropped)
+	}
 }
 
 // len reports the number of cached entries.

@@ -1,0 +1,126 @@
+package throughput
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// RunLive drives real concurrent clients against a live system — the
+// wall-clock complement to the package's virtual-time simulator. Each
+// LiveClass contributes a population of closed-loop clients (next
+// request the moment the previous one finishes) issuing whatever its
+// Do func encodes; per-class QPS and latency quantiles come back as
+// ClassResults. The serving-tier saturation benchmark uses it to push
+// 1k+ sessions through a peer's admission queue.
+
+// LiveClass is one client population.
+type LiveClass struct {
+	// Name labels the class in results ("interactive", "batch", ...).
+	Name string
+	// Clients is the population size.
+	Clients int
+	// Do issues client c's next request (c is stable per client, so Do
+	// can close over per-client state such as an open session). The
+	// returned error classifies the outcome together with IsRejection.
+	Do func(c int) error
+	// IsRejection reports whether an error was an admission rejection
+	// (counted separately from failures, no latency sample recorded).
+	IsRejection func(error) bool
+	// Backoff is slept after a rejection before the client retries
+	// (0 = none).
+	Backoff time.Duration
+}
+
+// ClassResult is one class's measured outcome.
+type ClassResult struct {
+	Name      string
+	Clients   int
+	Completed int64
+	Rejected  int64
+	Failed    int64
+	QPS       float64
+	Avg       time.Duration
+	P50       time.Duration
+	P95       time.Duration
+	P99       time.Duration
+}
+
+// RunLive runs every class's clients concurrently for d and reports
+// per-class results in input order.
+func RunLive(d time.Duration, classes ...LiveClass) []ClassResult {
+	type classState struct {
+		mu        sync.Mutex
+		latencies []time.Duration
+		rejected  int64
+		failed    int64
+	}
+	states := make([]*classState, len(classes))
+	for i := range states {
+		states[i] = &classState{}
+	}
+	deadline := time.Now().Add(d)
+	var wg sync.WaitGroup
+	for ci := range classes {
+		cls := classes[ci]
+		st := states[ci]
+		for c := 0; c < cls.Clients; c++ {
+			wg.Add(1)
+			go func(c int) {
+				defer wg.Done()
+				// Per-client local tallies, merged once: the latency
+				// slice append is the only cross-client contention.
+				var lats []time.Duration
+				var rej, fail int64
+				for time.Now().Before(deadline) {
+					start := time.Now()
+					err := cls.Do(c)
+					switch {
+					case err == nil:
+						lats = append(lats, time.Since(start))
+					case cls.IsRejection != nil && cls.IsRejection(err):
+						rej++
+						if cls.Backoff > 0 {
+							time.Sleep(cls.Backoff)
+						}
+					default:
+						fail++
+					}
+				}
+				st.mu.Lock()
+				st.latencies = append(st.latencies, lats...)
+				st.rejected += rej
+				st.failed += fail
+				st.mu.Unlock()
+			}(c)
+		}
+	}
+	wg.Wait()
+
+	out := make([]ClassResult, len(classes))
+	for i, cls := range classes {
+		st := states[i]
+		r := ClassResult{
+			Name:      cls.Name,
+			Clients:   cls.Clients,
+			Completed: int64(len(st.latencies)),
+			Rejected:  st.rejected,
+			Failed:    st.failed,
+		}
+		if r.Completed > 0 {
+			sort.Slice(st.latencies, func(a, b int) bool { return st.latencies[a] < st.latencies[b] })
+			var sum time.Duration
+			for _, l := range st.latencies {
+				sum += l
+			}
+			n := len(st.latencies)
+			r.QPS = float64(n) / d.Seconds()
+			r.Avg = sum / time.Duration(n)
+			r.P50 = st.latencies[n*50/100]
+			r.P95 = st.latencies[n*95/100]
+			r.P99 = st.latencies[n*99/100]
+		}
+		out[i] = r
+	}
+	return out
+}

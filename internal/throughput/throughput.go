@@ -50,6 +50,7 @@ type Point struct {
 	AchievedQPS float64
 	AvgLatency  time.Duration
 	P95Latency  time.Duration
+	P99Latency  time.Duration
 	Completed   int
 }
 
@@ -132,6 +133,7 @@ func OpenLoop(cfg Config, qps float64, duration time.Duration, seed int64) (Poin
 		sorted := append([]time.Duration(nil), latencies...)
 		sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
 		p.P95Latency = sorted[len(sorted)*95/100]
+		p.P99Latency = sorted[len(sorted)*99/100]
 		span := measuredSpan - warmup
 		if span <= 0 {
 			span = duration - warmup
@@ -163,6 +165,7 @@ func ClosedLoop(cfg Config, clients int, duration time.Duration, seed int64) (Po
 	heap.Init(&ready)
 	completed := 0
 	var totalLatency time.Duration
+	var latencies []time.Duration
 	for {
 		t := ready[0]
 		if t >= duration {
@@ -171,6 +174,7 @@ func ClosedLoop(cfg Config, clients int, duration time.Duration, seed int64) (Po
 		ps := peers[rng.Intn(len(peers))]
 		done := serve(ps, t, cfg.ServiceTime)
 		totalLatency += done - t
+		latencies = append(latencies, done-t)
 		completed++
 		ready[0] = done
 		heap.Fix(&ready, 0)
@@ -180,6 +184,9 @@ func ClosedLoop(cfg Config, clients int, duration time.Duration, seed int64) (Po
 		p.AchievedQPS = float64(completed) / duration.Seconds()
 		p.AvgLatency = totalLatency / time.Duration(completed)
 		p.OfferedQPS = p.AchievedQPS
+		sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+		p.P95Latency = latencies[len(latencies)*95/100]
+		p.P99Latency = latencies[len(latencies)*99/100]
 	}
 	return p, nil
 }
