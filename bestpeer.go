@@ -27,6 +27,7 @@ package bestpeer
 import (
 	"crypto/ed25519"
 	"fmt"
+	"sync"
 	"time"
 
 	"bestpeer/internal/baton"
@@ -82,8 +83,14 @@ type Network struct {
 	FS        *dfs.FileSystem
 	Clock     *pnet.LogicalClock
 
-	cfg       Config
-	env       peer.Env
+	cfg Config
+	env peer.Env
+
+	// mu guards the peer topology below. Readers are everywhere — the
+	// serving tier calls ClusterVersions from handler goroutines on
+	// every cacheable query — while failover and AddPeer mutate under
+	// load, so every access goes through it.
+	mu        sync.RWMutex
 	peers     []*peer.Peer
 	peersByID map[string]*peer.Peer
 	nextRepl  int
@@ -177,6 +184,8 @@ func (n *Network) AddPeer(id string) (*peer.Peer, error) {
 	if err != nil {
 		return nil, err
 	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
 	n.peers = append(n.peers, p)
 	n.peersByID[id] = p
 	if n.servers != nil {
@@ -185,23 +194,36 @@ func (n *Network) AddPeer(id string) (*peer.Peer, error) {
 	return p, nil
 }
 
-// Peers returns the live normal peers in join order (replaced peers
-// appear under their replacement identity).
-func (n *Network) Peers() []*peer.Peer { return n.peers }
+// Peers returns a snapshot of the live normal peers in join order
+// (replaced peers appear under their replacement identity).
+func (n *Network) Peers() []*peer.Peer {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	return append([]*peer.Peer(nil), n.peers...)
+}
 
 // Peer returns the i-th peer.
-func (n *Network) Peer(i int) *peer.Peer { return n.peers[i] }
+func (n *Network) Peer(i int) *peer.Peer {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	return n.peers[i]
+}
 
 // PeerByID resolves a peer by identity.
-func (n *Network) PeerByID(id string) *peer.Peer { return n.peersByID[id] }
+func (n *Network) PeerByID(id string) *peer.Peer {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	return n.peersByID[id]
+}
 
 // LoadTPCH loads a deterministic TPC-H partition into every peer
 // (scale factor per whole network), builds the Table 4 indexes,
 // publishes index entries into the overlay, and takes an initial cloud
 // backup of every peer — the paper's §6.1.5 loading process.
 func (n *Network) LoadTPCH(sf float64) error {
-	for i, p := range n.peers {
-		sc := tpch.Scale{ScaleFactor: sf, Peer: i, NumPeers: len(n.peers), NationKey: -1}
+	peers := n.Peers()
+	for i, p := range peers {
+		sc := tpch.Scale{ScaleFactor: sf, Peer: i, NumPeers: len(peers), NationKey: -1}
 		if err := tpch.Generate(p.DB(), sc); err != nil {
 			return err
 		}
@@ -218,10 +240,14 @@ func (n *Network) LoadTPCH(sf float64) error {
 
 // Query submits a SQL query at the i-th peer.
 func (n *Network) Query(i int, sql string, opts QueryOptions) (*engine.QueryResult, error) {
+	n.mu.RLock()
 	if i < 0 || i >= len(n.peers) {
+		n.mu.RUnlock()
 		return nil, fmt.Errorf("bestpeer: no peer %d", i)
 	}
-	return n.peers[i].Query(sql, opts.User, opts.Strategy, opts.Engine)
+	p := n.peers[i]
+	n.mu.RUnlock()
+	return p.Query(sql, opts.User, opts.Strategy, opts.Engine)
 }
 
 // EnableServing attaches a serving tier (session multiplexing, weighted
@@ -236,6 +262,8 @@ func (n *Network) EnableServing(cfg serving.Config) {
 		// invalidates, not just at the serving peer.
 		cfg.Versions = n.ClusterVersions
 	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
 	n.servingCfg = cfg
 	n.servers = make(map[string]*serving.Server, len(n.peers))
 	for _, p := range n.peers {
@@ -246,6 +274,8 @@ func (n *Network) EnableServing(cfg serving.Config) {
 // ServingServer returns the serving tier attached at the peer with this
 // identity (nil before EnableServing or for unknown peers).
 func (n *Network) ServingServer(id string) *serving.Server {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
 	return n.servers[id]
 }
 
@@ -253,14 +283,16 @@ func (n *Network) ServingServer(id string) *serving.Server {
 // message substrate and binds a session client to the i-th peer's
 // serving tier. The caller still has to Open the session.
 func (n *Network) ServingClient(name string, i int) *serving.Client {
-	return serving.NewClient(n.Net.Join(name), n.peers[i].ID())
+	return serving.NewClient(n.Net.Join(name), n.Peer(i).ID())
 }
 
 // ClusterVersions sums every live peer's (schema, data) versions: the
 // version pair a network-wide result cache entry must be stamped with
-// so any peer's DDL or DML invalidates it.
+// so any peer's DDL or DML invalidates it. Serving handler goroutines
+// call this on every cacheable query, concurrently with failover and
+// AddPeer — it reads a snapshot of the topology, never the live slice.
 func (n *Network) ClusterVersions() (schema, data uint64) {
-	for _, p := range n.peers {
+	for _, p := range n.Peers() {
 		s, d := p.DB().Versions()
 		schema += s
 		data += d
@@ -284,7 +316,7 @@ func (n *Network) CrashPeer(id string) error {
 // their silence is itself the signal (last-report age grows and other
 // peers' sender-side RPC stats report the failures).
 func (n *Network) ReportTelemetry() {
-	for _, p := range n.peers {
+	for _, p := range n.Peers() {
 		_ = p.ReportTelemetry()
 	}
 }
@@ -292,8 +324,9 @@ func (n *Network) ReportTelemetry() {
 // StartTelemetryReporters launches every peer's epoch reporter loop and
 // returns a single stop function for all of them.
 func (n *Network) StartTelemetryReporters(interval time.Duration) (stop func()) {
-	stops := make([]func(), 0, len(n.peers))
-	for _, p := range n.peers {
+	peers := n.Peers()
+	stops := make([]func(), 0, len(peers))
+	for _, p := range peers {
 		stops = append(stops, p.StartTelemetryReporter(interval))
 	}
 	return func() {
@@ -315,12 +348,15 @@ func (n *Network) RunMaintenance(epoch time.Duration) error {
 // instance, restore the database from the latest backup, take over the
 // overlay position, and republish indexes.
 func (n *Network) failover(failedID string) (string, ed25519.PublicKey, error) {
+	n.mu.Lock()
 	n.nextRepl++
 	newID := fmt.Sprintf("%s-r%d", failedID, n.nextRepl)
+	n.mu.Unlock()
 	p, pub, err := peer.Recover(failedID, newID, n.env, n.cfg.RangeIndexColumns)
 	if err != nil {
 		return "", nil, err
 	}
+	n.mu.Lock()
 	for i, old := range n.peers {
 		if old.ID() == failedID {
 			n.peers[i] = p
@@ -329,20 +365,29 @@ func (n *Network) failover(failedID string) (string, ed25519.PublicKey, error) {
 	}
 	delete(n.peersByID, failedID)
 	n.peersByID[newID] = p
+	var oldSrv *serving.Server
+	var tiers []*serving.Server
 	if n.servers != nil {
 		// The failed tier's sessions die with its endpoint; attach a
-		// fresh tier at the replacement. A restore can rewind the data
-		// version sum (the backup predates recent mutations), which the
-		// lazy per-lookup version check cannot detect — drop every
-		// cached result on every peer eagerly instead.
-		if old := n.servers[failedID]; old != nil {
-			old.Close()
-			delete(n.servers, failedID)
-		}
+		// fresh tier at the replacement.
+		oldSrv = n.servers[failedID]
+		delete(n.servers, failedID)
 		n.servers[newID] = p.StartServing(n.servingCfg)
 		for _, s := range n.servers {
-			s.InvalidateCache()
+			tiers = append(tiers, s)
 		}
+	}
+	n.mu.Unlock()
+	// Close and invalidate outside the lock: both take serving-tier
+	// locks that handler goroutines hold while serving queries. A
+	// restore can rewind the data version sum (the backup predates
+	// recent mutations), which the lazy per-lookup version check cannot
+	// detect — drop every cached result on every peer eagerly instead.
+	if oldSrv != nil {
+		oldSrv.Close()
+	}
+	for _, s := range tiers {
+		s.InvalidateCache()
 	}
 	return newID, pub, nil
 }

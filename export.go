@@ -35,10 +35,13 @@ func (n *Network) ExportTable(table, user string) (*Export, error) {
 	if n.MRCluster == nil || n.FS == nil {
 		return nil, fmt.Errorf("bestpeer: MapReduce service not mounted")
 	}
+	n.mu.RLock()
 	if len(n.peers) == 0 {
+		n.mu.RUnlock()
 		return nil, fmt.Errorf("bestpeer: no peers")
 	}
 	submitter := n.peers[0]
+	n.mu.RUnlock()
 	schema := submitter.GlobalSchema(table)
 	if schema == nil {
 		return nil, fmt.Errorf("bestpeer: unknown global table %s", table)

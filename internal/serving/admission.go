@@ -60,6 +60,7 @@ type admitter struct {
 	depth   int // per-class queue bound
 	active  int
 	closed  bool
+	vtime   float64 // scheduler virtual time: pass of the last dispatched class
 	classes [numClasses]classQueue
 	window  *waitWindow
 	minObs  int // samples required before quantile shedding engages
@@ -109,6 +110,14 @@ func (a *admitter) admit(class int) (time.Duration, func(), error) {
 			cq.budget.p95, cq.budget.p99)
 	}
 	w := &waiter{ch: make(chan bool, 1), at: now}
+	if len(cq.waiters) == 0 && cq.pass < a.vtime {
+		// Stride activation rule: a class waking from idle joins at the
+		// scheduler's current virtual time. Keeping its stale (smaller)
+		// pass would replay every grant it missed while idle as one long
+		// consecutive burst, inverting the weights exactly when the other
+		// class is saturated.
+		cq.pass = a.vtime
+	}
 	cq.waiters = append(cq.waiters, w)
 	a.m.queueDepth[class].Add(1)
 	a.dispatchLocked()
@@ -165,11 +174,13 @@ func (a *admitter) dispatchLocked() {
 			for i := range a.classes {
 				a.classes[i].pass = 0
 			}
+			a.vtime = 0
 			return
 		}
 		cq := &a.classes[best]
 		w := cq.waiters[0]
 		cq.waiters = cq.waiters[1:]
+		a.vtime = cq.pass
 		cq.pass += cq.stride
 		a.active++
 		now := time.Now()

@@ -8,9 +8,11 @@ import (
 	"bestpeer/internal/sqldb"
 )
 
-// Versioned result cache: entries are keyed by the statement's
-// normalized rendering (so textual variants of one query share an
-// entry) and stamped with the (schema, data) version pair captured
+// Versioned result cache: entries are keyed by the session user plus
+// the statement's normalized rendering (so textual variants of one
+// query share an entry, but accounts never do — data owners mask rows
+// per role; see cacheKey) and stamped with the (schema, data) version
+// pair captured
 // before execution. A lookup serves an entry only when both versions
 // still match the database exactly — any DDL or DML bumps a version, so
 // a stale result is structurally unservable; the mismatching entry is

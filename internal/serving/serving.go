@@ -15,10 +15,13 @@
 //     arrivals are rejected with the typed ErrOverloaded instead of
 //     queuing toward a timeout (batch sheds at half the interactive
 //     budget).
-//   - A versioned result cache keyed by normalized statement text and
-//     the database's monotonic (schema, data) version pair, so a cached
-//     result is never served across a DDL or DML bump. Per-query
-//     CacheMode selects use/refresh/bypass.
+//   - A versioned result cache keyed by the session user plus the
+//     normalized statement text, stamped with the database's monotonic
+//     (schema, data) version pair, so a cached result is never served
+//     across a DDL or DML bump — and never across accounts, because
+//     data owners apply per-role access checks and row masking, making
+//     results user-dependent. Per-query CacheMode selects
+//     use/refresh/bypass.
 //
 // The tier is attached per peer (peer.StartServing / Network
 // .EnableServing); with it unattached, nothing changes anywhere.
@@ -352,6 +355,7 @@ func (s *Server) handleQuery(msg pnet.Message) (pnet.Message, error) {
 	// slot and no queue wait, which is exactly the serving-capacity win
 	// the cache exists for.
 	key, cacheable := normalizeSQL(req.SQL)
+	key = cacheKey(sess.user, key)
 	cacheable = cacheable && s.cache != nil
 	switch {
 	case !cacheable || req.Cache == CacheBypass:
@@ -414,7 +418,7 @@ func (s *Server) handleClose(msg pnet.Message) (pnet.Message, error) {
 	return pnet.Message{Payload: CloseReply{Queries: queries}, Size: 16}, nil
 }
 
-// normalizeSQL renders a SELECT into its canonical cache key; non-SELECT
+// normalizeSQL renders a SELECT into its canonical form; non-SELECT
 // or unparsable text is uncacheable (the backend surfaces the error).
 func normalizeSQL(sql string) (string, bool) {
 	stmt, err := sqldb.ParseSelect(sql)
@@ -422,4 +426,13 @@ func normalizeSQL(sql string) (string, bool) {
 		return "", false
 	}
 	return stmt.String(), true
+}
+
+// cacheKey scopes a normalized statement to the session user. Results
+// are user-dependent — data owners enforce per-role access checks and
+// row masking (peer.handleSubQuery) — so an entry cached for one
+// account must never satisfy another's lookup: serving a full-access
+// user's rows to a restricted user would bypass access control.
+func cacheKey(user, normalized string) string {
+	return user + "\x00" + normalized
 }

@@ -10,6 +10,7 @@ import (
 
 	"bestpeer/internal/pnet"
 	"bestpeer/internal/sqldb"
+	"bestpeer/internal/sqlval"
 )
 
 // stubBackend answers every query with a canned result after an
@@ -383,6 +384,161 @@ func TestResultCacheVersioning(t *testing.T) {
 	if srv.m.cacheBypass.Value() != bypassBefore+1 {
 		t.Fatal("bypass not counted")
 	}
+}
+
+// userBackend answers with the requesting user's name as the result
+// row — a stand-in for the per-role row masking data owners apply — so
+// any cache leak across accounts is visible in the returned rows.
+type userBackend struct{ execs atomic.Int64 }
+
+func (b *userBackend) ServeQuery(sql, user, strategy string) (Executed, error) {
+	b.execs.Add(1)
+	res := &sqldb.Result{Columns: []string{"who"}, Rows: []sqlval.Row{{sqlval.Str(user)}}}
+	res.Stats.BytesReturned = int64(len(user))
+	return Executed{Result: res, Engine: "stub", VTime: time.Millisecond}, nil
+}
+
+// TestResultCacheUserScoped proves the cache never serves one account's
+// result to another: data owners mask rows per role, so a cross-user
+// hit would be an access-control bypass.
+func TestResultCacheUserScoped(t *testing.T) {
+	vs := &versionSource{}
+	be := &userBackend{}
+	_, ep := attach(t, be, Config{Versions: vs.get})
+
+	open := func(user string) *Client {
+		t.Helper()
+		cl := NewClient(ep, "server")
+		if err := cl.Open(user, "", ""); err != nil {
+			t.Fatalf("open %s: %v", user, err)
+		}
+		return cl
+	}
+	who := func(cl *Client, want string, wantHit bool) {
+		t.Helper()
+		out, err := cl.Query("SELECT name FROM t", CacheUse)
+		if err != nil {
+			t.Fatalf("query as %s: %v", want, err)
+		}
+		if out.CacheHit != wantHit {
+			t.Fatalf("query as %s: hit=%v, want %v", want, out.CacheHit, wantHit)
+		}
+		if got := out.Result.Rows[0][0].AsString(); got != want {
+			t.Fatalf("query as %s returned %s's rows (hit=%v): cross-user cache leak", want, got, out.CacheHit)
+		}
+	}
+
+	alice, bob := open("alice"), open("bob")
+	who(alice, "alice", false) // cold: executes and caches under alice
+	// Same normalized SQL as a different user must NOT hit alice's
+	// entry — bob's view of the data is masked differently.
+	who(bob, "bob", false)
+	if got := be.execs.Load(); got != 2 {
+		t.Fatalf("backend executed %d times, want 2 (one per user)", got)
+	}
+	// Each account's own entry still hits, with its own rows.
+	who(alice, "alice", true)
+	who(bob, "bob", true)
+	if got := be.execs.Load(); got != 2 {
+		t.Fatalf("backend executed %d times after warm repeats, want 2", got)
+	}
+}
+
+// TestStrideActivationAvoidsBurst pins the stride activation rule:
+// after sustained single-class saturation inflates the interactive pass
+// value, newly arriving batch work must join at the scheduler's current
+// virtual time and interleave at the configured weights — not replay
+// every grant it missed while idle as one consecutive burst.
+func TestStrideActivationAvoidsBurst(t *testing.T) {
+	m := newMetrics(nil)
+	cfg := Config{Workers: 1, QueueDepth: 1024, InteractiveWeight: 4, BatchWeight: 1,
+		ShedP95: time.Hour, ShedP99: time.Hour, MinShedSamples: 1 << 30}.withDefaults()
+	a := newAdmitter(cfg, m)
+
+	waitDepth := func(class, want int) {
+		t.Helper()
+		deadline := time.Now().Add(5 * time.Second)
+		for {
+			a.mu.Lock()
+			n := len(a.classes[class].waiters)
+			a.mu.Unlock()
+			if n == want {
+				return
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("queue depth for class %d never reached %d (at %d)", class, want, n)
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}
+
+	// Hold the single worker slot, then run 40 back-to-back interactive
+	// grants with the system never going idle (one waiter is always
+	// queued when the slot frees), so the interactive pass value climbs
+	// while batch sits idle.
+	_, release, err := a.admit(classInteractive)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 40; i++ {
+		relCh := make(chan func(), 1)
+		go func() {
+			_, rel, err := a.admit(classInteractive)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			relCh <- rel
+		}()
+		waitDepth(classInteractive, 1)
+		release()
+		release = <-relCh
+	}
+
+	// With the slot still held, queue a batch/interactive mix, then let
+	// the cascade of grants drain it, recording grant order.
+	const nBatch, nInter = 4, 12
+	order := make(chan int, nBatch+nInter)
+	var wg sync.WaitGroup
+	for i := 0; i < nBatch+nInter; i++ {
+		class := classBatch
+		if i >= nBatch {
+			class = classInteractive
+		}
+		wg.Add(1)
+		go func(class int) {
+			defer wg.Done()
+			_, rel, err := a.admit(class)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			order <- class
+			rel()
+		}(class)
+	}
+	waitDepth(classBatch, nBatch)
+	waitDepth(classInteractive, nInter)
+	release()
+	wg.Wait()
+	close(order)
+
+	grants := make([]int, 0, nBatch+nInter)
+	for class := range order {
+		grants = append(grants, class)
+	}
+	batchEarly := 0
+	for _, class := range grants[:8] {
+		if class == classBatch {
+			batchEarly++
+		}
+	}
+	// At 4:1 weights, 8 grants carry at most 2 batch dispatches; the
+	// stale-pass bug front-loads all 4 batch waiters instead.
+	if batchEarly > 2 {
+		t.Fatalf("batch got %d of the first 8 grants (order %v): idle class banked stride credit", batchEarly, grants)
+	}
+	a.close()
 }
 
 // TestResultCacheLRUBound fills the cache past capacity and checks the

@@ -1,6 +1,7 @@
 package bestpeer
 
 import (
+	"fmt"
 	"sync"
 	"testing"
 	"time"
@@ -86,6 +87,71 @@ func TestServingEndToEndCacheInvalidation(t *testing.T) {
 	if !again.CacheHit || again.Result.Rows[0][0].AsInt() != got {
 		t.Fatalf("re-cached result wrong: hit=%v count=%d want %d",
 			again.CacheHit, again.Result.Rows[0][0].AsInt(), got)
+	}
+}
+
+// TestServingSurvivesFailoverUnderLoad races cacheable serving traffic
+// against topology mutations: every CacheUse lookup reads
+// ClusterVersions from a handler goroutine while a peer crashes, the
+// maintenance daemon replaces it (rewriting the peer slice and serving
+// tier map), and a late peer joins. Run under -race this pins the
+// snapshot discipline on Network's peer topology; mid-crash query
+// errors are expected, but after failover the tier must serve again.
+func TestServingSurvivesFailoverUnderLoad(t *testing.T) {
+	n := newLoadedNetwork(t, 3, 0.002)
+	n.EnableServing(serving.Config{})
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for c := 0; c < 4; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			cl := n.ServingClient(fmt.Sprintf("failover-client-%d", c), 0)
+			if err := cl.Open("", serving.ClassInteractive, ""); err != nil {
+				t.Errorf("client %d open: %v", c, err)
+				return
+			}
+			defer cl.Close()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				// Errors are fine while the crashed data owner is gone;
+				// the invariant under test is race-freedom.
+				_, _ = cl.Query(`SELECT COUNT(*) FROM lineitem`, serving.CacheUse)
+			}
+		}(c)
+	}
+
+	victim := n.Peer(2).ID()
+	if err := n.CrashPeer(victim); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.RunMaintenance(time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	// Join a fresh peer after the overlay is whole again, still under
+	// full query load: AddPeer appends to the same slice the handler
+	// goroutines snapshot.
+	if _, err := n.AddPeer("late-joiner"); err != nil {
+		t.Fatal(err)
+	}
+	close(stop)
+	wg.Wait()
+
+	if n.PeerByID(victim) != nil {
+		t.Fatalf("failover did not replace %s", victim)
+	}
+	cl := n.ServingClient("failover-after", 0)
+	if err := cl.Open("", serving.ClassInteractive, ""); err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	if _, err := cl.Query(`SELECT COUNT(*) FROM lineitem`, serving.CacheUse); err != nil {
+		t.Fatalf("query after failover: %v", err)
 	}
 }
 
