@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: verify build fmt vet test race chaos bench fanout bench-telemetry bench-monitor bench-exec bench-faults bench-serving
+.PHONY: verify build fmt vet test race chaos bench fanout bench-telemetry bench-monitor bench-exec bench-faults bench-serving bench-hotspot cover
 
 verify: build fmt vet race chaos
 
@@ -81,3 +81,15 @@ bench-faults:
 # cache_speedup > 1 on the repeated-query mix.
 bench-serving:
 	$(GO) run ./cmd/bpbench -fig serving | tee -a BENCH_serving.json
+
+# Heat-plane acceptance: Zipfian shipdate windows must raise a hotspot
+# event, a uniform workload must stay quiet, and the heat plane's
+# kill-switch overhead on the fig-6 workload must stay < 2%; refreshes
+# the trajectory file.
+bench-hotspot:
+	$(GO) run ./cmd/bpbench -fig hotspot | tee BENCH_hotspot.json
+
+# Per-package statement coverage (not part of the verify gate; the
+# baseline lives in EXPERIMENTS.md).
+cover:
+	$(GO) test -count=1 -cover ./... | grep -v 'no test files'

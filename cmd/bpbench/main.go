@@ -33,6 +33,7 @@ import (
 	"time"
 
 	"bestpeer/internal/bench"
+	"bestpeer/internal/telemetry"
 )
 
 func main() {
@@ -46,11 +47,23 @@ func main() {
 	servingPeers := flag.Int("serving-peers", 4, "peers for the serving-tier saturation benchmark")
 	servingClients := flag.Int("serving-clients", 1200, "concurrent client sessions for the serving-tier saturation benchmark")
 	servingDuration := flag.Duration("serving-duration", 2*time.Second, "per-phase duration for the serving-tier saturation benchmark")
+	hotspotQueries := flag.Int("hotspot-queries", 200, "queries per workload for the hotspot detection benchmark")
 	nodes := flag.String("nodes", "10,20,50", "comma-separated cluster sizes")
 	sf := flag.Float64("sf", 0.0004, "TPC-H scale factor contributed per node")
 	seed := flag.Int64("seed", 1, "throughput simulator seed")
 	gb := flag.Float64("gb", 1.0, "virtual data volume per node in GB (0 = real partition size)")
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof and /metrics on this address")
 	flag.Parse()
+
+	if *pprofAddr != "" {
+		addr, closeDebug, err := telemetry.StartDebugServer(*pprofAddr, nil)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bpbench: pprof: %v\n", err)
+			os.Exit(1)
+		}
+		defer closeDebug()
+		fmt.Fprintf(os.Stderr, "pprof+metrics on http://%s/debug/pprof/\n", addr)
+	}
 
 	cfg := bench.Config{PerNodeSF: *sf, Seed: *seed, TargetPerNodeBytes: *gb * 1e9}
 	for _, part := range strings.Split(*nodes, ",") {
@@ -122,6 +135,16 @@ func main() {
 		r, err := bench.ServingSaturation(*servingPeers, *servingClients, *servingDuration)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "bpbench: serving: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Println(r.JSONLine())
+		return
+	}
+
+	if *fig == "hotspot" {
+		r, err := bench.HotspotDetection(*telemetryPeers, *hotspotQueries)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bpbench: hotspot: %v\n", err)
 			os.Exit(1)
 		}
 		fmt.Println(r.JSONLine())

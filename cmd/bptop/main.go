@@ -44,7 +44,17 @@ func main() {
 	frames := flag.Int("frames", 0, "render this many frames then exit (0 = until interrupted)")
 	crash := flag.Duration("crash", 0, "crash one peer after this long (0 = never)")
 	prom := flag.Bool("prom", false, "print the merged cluster exposition on exit")
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof and /metrics on this address")
 	flag.Parse()
+
+	if *pprofAddr != "" {
+		addr, closeDebug, err := telemetry.StartDebugServer(*pprofAddr, nil)
+		if err != nil {
+			fatal(err)
+		}
+		defer closeDebug()
+		fmt.Fprintf(os.Stderr, "pprof+metrics on http://%s/debug/pprof/\n", addr)
+	}
 
 	fmt.Fprintf(os.Stderr, "starting %d-peer network with TPC-H sf=%g ...\n", *peers, *sf)
 	net, err := bestpeer.NewNetwork(bestpeer.Config{
@@ -62,6 +72,14 @@ func main() {
 	// real session so the dashboard's serving line and SHED% column have
 	// live numbers.
 	net.EnableServing(serving.Config{})
+
+	// Publish the shipdate stats domain so the workload's window scans
+	// attribute into the heat plane — the HEAT column and key-heat bar
+	// below stay empty without it.
+	shipLo, shipHi := tpch.ShipdateDomain()
+	net.Bootstrap.DefineStatsDomain(tpch.LineItem, bootstrap.StatsDomainRecord{
+		Columns: []string{"l_shipdate"}, Lo: []float64{shipLo}, Hi: []float64{shipHi},
+	})
 
 	stopReporters := net.StartTelemetryReporters(*report)
 	defer stopReporters()
@@ -81,6 +99,15 @@ func main() {
 		go func(w int) {
 			defer wg.Done()
 			rng := rand.New(rand.NewSource(int64(w)))
+			// Zipfian shipdate windows interleave with the fixed rotation:
+			// the skewed key-range traffic the heat bar is there to show.
+			zipf := tpch.NewShipdateWorkload(int64(w)+1, true, 7)
+			nextQuery := func(i int) string {
+				if i%2 == 1 {
+					return zipf.Next()
+				}
+				return queries[(i/2)%len(queries)]
+			}
 			// Worker 0 is a serving-tier client: one open session against
 			// peer 0's front door, so sessions/admission/cache counters
 			// move. The rest submit through the library path.
@@ -98,7 +125,7 @@ func main() {
 				default:
 				}
 				if session != nil {
-					if _, err := session.Query(queries[i%len(queries)], serving.CacheUse); err != nil && !serving.Overloaded(err) {
+					if _, err := session.Query(nextQuery(i), serving.CacheUse); err != nil && !serving.Overloaded(err) {
 						// The session dies with its peer on failover; fall
 						// back to the library path.
 						session = nil
@@ -109,7 +136,7 @@ func main() {
 				if net.PeerByID(net.Peers()[at].ID()) == nil {
 					continue
 				}
-				_, _ = net.Query(at, queries[i%len(queries)], bestpeer.QueryOptions{
+				_, _ = net.Query(at, nextQuery(i), bestpeer.QueryOptions{
 					Strategy: strategies[rng.Intn(len(strategies))],
 				})
 			}
@@ -185,6 +212,9 @@ func render(net *bestpeer.Network, start time.Time) {
 	fmt.Printf("bptop — %d peers reporting, up %v\n\n",
 		len(c.Peers()), now.Sub(start).Round(time.Second))
 	fmt.Print(bootstrap.RenderDashboard(c.Healths(), now))
+	// Cluster-wide key-space heat: every reporting peer's heat vector
+	// summed, sparkline over the BATON key space.
+	fmt.Print(bootstrap.RenderHeatBar(c.ClusterHeat()))
 	// Compiled-executor summary: all in-process peers share the default
 	// registry, so the counters aggregate across the whole network.
 	hits := telemetry.Default.Counter("sqldb_plan_cache_hits_total").Value()

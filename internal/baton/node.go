@@ -4,8 +4,10 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"bestpeer/internal/pnet"
+	"bestpeer/internal/telemetry"
 )
 
 // Item is one entry stored in the overlay: an index entry, a histogram
@@ -107,10 +109,47 @@ type replicaPut struct {
 type Node struct {
 	ep *pnet.Endpoint
 
+	// heat is the optional per-node key-space heatmap (SetHeatmap):
+	// every query-path hop this node serves or forwards records the
+	// request's key, so the overlay's routing load is attributable to
+	// key-space ranges. The peer wires its private-registry heatmap
+	// here, shipping overlay heat in its telemetry reports.
+	heat atomic.Pointer[telemetry.Heatmap]
+
 	mu       sync.RWMutex
 	state    NodeState
 	items    []Item            // sorted by Key, then Name
 	replicas map[string][]Item // owner node ID -> replicated items
+}
+
+// processHeat aggregates overlay key traffic process-wide (the
+// /metrics view every node in the process shares), independent of any
+// per-node heatmap wired via SetHeatmap.
+var processHeat = telemetry.Default.Heatmap("baton_key_heat", telemetry.DefaultHeatBuckets)
+
+func init() {
+	telemetry.Default.SetHelp("baton_key_heat",
+		"Overlay query-path hops per key-space bucket [lo,hi) across all nodes in the process.")
+}
+
+// SetHeatmap wires a per-node heatmap that every query-path hop records
+// into (nil detaches it). Safe to call while traffic is flowing.
+func (n *Node) SetHeatmap(h *telemetry.Heatmap) { n.heat.Store(h) }
+
+// recordKey accounts one query-path hop at key k.
+func (n *Node) recordKey(k Key) {
+	processHeat.Record(float64(k))
+	if h := n.heat.Load(); h != nil {
+		h.Record(float64(k))
+	}
+}
+
+// recordRange accounts one range-search hop over r.
+func (n *Node) recordRange(r KeyRange) {
+	processHeat.RecordRange(float64(r.Lo), float64(r.Hi))
+	if h := n.heat.Load(); h != nil {
+		h.RecordRange(float64(r.Lo), float64(r.Hi))
+	}
 }
 
 // NewNode attaches a new overlay node to a pnet endpoint and registers
@@ -204,6 +243,7 @@ func (n *Node) routeNext(k Key) string {
 
 func (n *Node) handleLookup(msg pnet.Message) (pnet.Message, error) {
 	req := msg.Payload.(lookupReq)
+	n.recordKey(req.Key)
 	n.mu.RLock()
 	next := n.routeNext(req.Key)
 	n.mu.RUnlock()
@@ -230,6 +270,7 @@ func (n *Node) handleLookup(msg pnet.Message) (pnet.Message, error) {
 
 func (n *Node) handleInsert(msg pnet.Message) (pnet.Message, error) {
 	req := msg.Payload.(insertReq)
+	n.recordKey(req.Item.Key)
 	n.mu.RLock()
 	next := n.routeNext(req.Item.Key)
 	n.mu.RUnlock()
@@ -246,6 +287,7 @@ func (n *Node) handleInsert(msg pnet.Message) (pnet.Message, error) {
 
 func (n *Node) handleDelete(msg pnet.Message) (pnet.Message, error) {
 	req := msg.Payload.(deleteReq)
+	n.recordKey(req.Key)
 	n.mu.RLock()
 	next := n.routeNext(req.Key)
 	n.mu.RUnlock()
@@ -276,6 +318,7 @@ func (n *Node) handleDelete(msg pnet.Message) (pnet.Message, error) {
 // matches into the reply.
 func (n *Node) handleRange(msg pnet.Message) (pnet.Message, error) {
 	req := msg.Payload.(rangeReq)
+	n.recordRange(req.Range)
 	n.mu.RLock()
 	next := n.routeNext(req.Range.Lo)
 	n.mu.RUnlock()

@@ -1,0 +1,44 @@
+package bench
+
+import (
+	"testing"
+
+	"bestpeer"
+	"bestpeer/internal/bootstrap"
+	"bestpeer/internal/peer"
+	"bestpeer/internal/telemetry"
+	"bestpeer/internal/tpch"
+)
+
+func benchHeatNet(b testing.TB) *bestpeer.Network {
+	cfg := Default()
+	cfg.PerNodeSF = 0.004
+	net, err := buildBestPeer(cfg, 4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	lo, hi := tpch.ShipdateDomain()
+	net.Bootstrap.DefineStatsDomain(tpch.LineItem, bootstrap.StatsDomainRecord{
+		Columns: []string{"l_shipdate"}, Lo: []float64{lo}, Hi: []float64{hi},
+	})
+	return net
+}
+
+func runHeatToggle(b *testing.B, on bool) {
+	net := benchHeatNet(b)
+	sql := tpch.Q1Default()
+	telemetry.SetHeatEnabled(on)
+	defer telemetry.SetHeatEnabled(true)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := net.Query(0, sql, bestpeer.QueryOptions{Strategy: peer.StrategyBasic}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkQueryHeatOff/On price the end-to-end query path with the
+// heat plane's kill switch off vs on — the A/B behind the bench-hotspot
+// overhead number.
+func BenchmarkQueryHeatOff(b *testing.B) { runHeatToggle(b, false) }
+func BenchmarkQueryHeatOn(b *testing.B)  { runHeatToggle(b, true) }

@@ -1,0 +1,190 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"runtime"
+	"sort"
+	"time"
+
+	"bestpeer"
+	"bestpeer/internal/bootstrap"
+	"bestpeer/internal/peer"
+	"bestpeer/internal/telemetry"
+	"bestpeer/internal/tpch"
+)
+
+// The heat plane's acceptance benchmark, two halves:
+//
+//  1. Detection: run a Zipfian shipdate-window workload (windows
+//     concentrated at the start of the date domain) and a uniform one
+//     on two fresh networks. After one report + maintenance epoch the
+//     bootstrap must log hotspot events for the Zipfian run and stay
+//     quiet for the uniform run.
+//  2. Overhead: price the heat plane itself — the SetHeatEnabled kill
+//     switch off vs on — on the fig-6 workload, pairing adjacent
+//     off/on batches and taking the median of per-round ratios.
+
+// HotspotResult is the detection + overhead outcome, emitted as a JSON
+// line for BENCH_hotspot.json.
+type HotspotResult struct {
+	Peers   int `json:"peers"`
+	Queries int `json:"queries"`
+	// Zipfian run: hotspot events logged, cluster-wide skew, and the
+	// hottest range's bounds/share.
+	ZipfHotspots int     `json:"zipf_hotspots"`
+	ZipfSkew     float64 `json:"zipf_skew"`
+	TopRangeLo   float64 `json:"top_range_lo"`
+	TopRangeHi   float64 `json:"top_range_hi"`
+	TopShare     float64 `json:"top_share"`
+	TopPeer      string  `json:"top_peer"`
+	// Uniform run: must stay quiet.
+	UniformHotspots int     `json:"uniform_hotspots"`
+	UniformSkew     float64 `json:"uniform_skew"`
+	// Heat-plane overhead on the fig-6 workload.
+	HeatOffMS   float64 `json:"heat_off_ms"`
+	HeatOnMS    float64 `json:"heat_on_ms"`
+	OverheadPct float64 `json:"overhead_pct"`
+	// Detected and Quiet summarize the acceptance criteria.
+	Detected bool `json:"detected"`
+	Quiet    bool `json:"quiet"`
+}
+
+// JSONLine renders the result as a single JSON line.
+func (r *HotspotResult) JSONLine() string {
+	b, _ := json.Marshal(r)
+	return string(b)
+}
+
+// heatPhase runs one workload distribution on a fresh network and
+// returns the hotspot events logged plus the cluster heat vector.
+func heatPhase(peers, queries int, zipfian bool) (hotspots int, heat telemetry.HeatmapSnapshot, top bootstrap.HotRange, net *bestpeer.Network, err error) {
+	cfg := Default()
+	cfg.PerNodeSF = 0.004
+	net, err = buildBestPeer(cfg, peers)
+	if err != nil {
+		return 0, heat, top, nil, err
+	}
+	lo, hi := tpch.ShipdateDomain()
+	net.Bootstrap.DefineStatsDomain(tpch.LineItem, bootstrap.StatsDomainRecord{
+		Columns: []string{"l_shipdate"}, Lo: []float64{lo}, Hi: []float64{hi},
+	})
+	w := tpch.NewShipdateWorkload(1, zipfian, 7)
+	for q := 0; q < queries; q++ {
+		if _, err := net.Query(q%peers, w.Next(), bestpeer.QueryOptions{Strategy: peer.StrategyBasic}); err != nil {
+			return 0, heat, top, nil, err
+		}
+	}
+	net.ReportTelemetry()
+	if err := net.RunMaintenance(50 * time.Millisecond); err != nil {
+		return 0, heat, top, nil, err
+	}
+	for _, e := range net.Bootstrap.Events() {
+		if e.Kind == "hotspot" {
+			hotspots++
+		}
+	}
+	heat = net.Bootstrap.Collector().ClusterHeat()
+	th := bootstrap.DefaultThresholds()
+	if ranges := net.Bootstrap.Collector().HotRanges(th.HeatSkewHigh, th.MinHeatSamples); len(ranges) > 0 {
+		top = ranges[0]
+	}
+	return hotspots, heat, top, net, nil
+}
+
+// HotspotDetection runs the full heat-plane benchmark.
+func HotspotDetection(peers, queries int) (*HotspotResult, error) {
+	if peers < 1 || queries < 1 {
+		return nil, fmt.Errorf("bench: hotspot detection needs >=1 peer and >=1 query")
+	}
+
+	zipfHot, zipfHeat, top, net, err := heatPhase(peers, queries, true)
+	if err != nil {
+		return nil, err
+	}
+	uniHot, uniHeat, _, _, err := heatPhase(peers, queries, false)
+	if err != nil {
+		return nil, err
+	}
+
+	r := &HotspotResult{
+		Peers:           peers,
+		Queries:         queries,
+		ZipfHotspots:    zipfHot,
+		ZipfSkew:        zipfHeat.Skew(),
+		TopRangeLo:      top.Lo,
+		TopRangeHi:      top.Hi,
+		TopShare:        top.Share,
+		TopPeer:         top.TopPeer,
+		UniformHotspots: uniHot,
+		UniformSkew:     uniHeat.Skew(),
+		Detected:        zipfHot > 0,
+		Quiet:           uniHot == 0,
+	}
+
+	// Overhead: the fig-6 query on the Zipfian network (stats domain
+	// defined, so heat-on runs the full attribution path). Alternating
+	// batches keeping each mode's minimum; heat re-enabled afterwards.
+	sql := tpch.Q1Default()
+	runQueries := func() (time.Duration, error) {
+		// Collect outside the timed region: the batches are short enough
+		// that one GC cycle landing inside a batch would swamp the
+		// sub-microsecond path being priced.
+		runtime.GC()
+		start := time.Now()
+		for q := 0; q < queries; q++ {
+			if _, err := net.Query(0, sql, bestpeer.QueryOptions{Strategy: peer.StrategyBasic}); err != nil {
+				return 0, err
+			}
+		}
+		return time.Since(start), nil
+	}
+	defer telemetry.SetHeatEnabled(true)
+	if _, err := runQueries(); err != nil { // warm-up
+		return nil, err
+	}
+	// Paired design: each round times one heat-off and one heat-on batch
+	// back to back (order alternating) and keeps their ratio. Adjacent
+	// batches see the same machine conditions, so slow drift cancels out
+	// of the ratio; the median over rounds then shrugs off the outlier
+	// rounds a minimum-of-batches would chase. The reported off/on times
+	// are each mode's minimum, for scale.
+	const rounds = 40
+	var off, on time.Duration
+	ratios := make([]float64, 0, rounds)
+	for round := 0; round < rounds; round++ {
+		order := []bool{false, true}
+		if round%2 == 1 {
+			order[0], order[1] = order[1], order[0]
+		}
+		var roundOff, roundOn time.Duration
+		for _, heatOn := range order {
+			telemetry.SetHeatEnabled(heatOn)
+			d, err := runQueries()
+			if err != nil {
+				return nil, err
+			}
+			if heatOn {
+				roundOn = d
+				if on == 0 || d < on {
+					on = d
+				}
+			} else {
+				roundOff = d
+				if off == 0 || d < off {
+					off = d
+				}
+			}
+		}
+		if roundOff > 0 {
+			ratios = append(ratios, float64(roundOn)/float64(roundOff))
+		}
+	}
+	r.HeatOffMS = float64(off) / float64(time.Millisecond)
+	r.HeatOnMS = float64(on) / float64(time.Millisecond)
+	if len(ratios) > 0 {
+		sort.Float64s(ratios)
+		r.OverheadPct = (ratios[len(ratios)/2] - 1) * 100
+	}
+	return r, nil
+}

@@ -83,14 +83,16 @@ func (p *Peer) Query(sql, user string, strategy Strategy, opts engine.Options) (
 			root.SetVTime(res.Cost.Total())
 			root.SetAttr("engine", res.Engine)
 			root.End() // close before capture so the slowlog tree has no open spans
-			p.recordQuery(sql, user, time.Since(start), &queryOutcome{
+			out := &queryOutcome{
 				engine:        res.Engine,
 				vtime:         res.Cost.Total(),
 				peers:         len(res.Peers),
 				resubmissions: attempt,
 				rowsScanned:   res.RowsScanned,
 				bytesFetched:  res.BytesFetched,
-			}, nil, root)
+			}
+			out.tables, out.keyLo, out.keyHi, out.hasKeyRange = p.stmtKeyRange(stmt)
+			p.recordQuery(sql, user, time.Since(start), out, nil, root)
 			return res, nil
 		}
 		if !errors.Is(err, engine.ErrSnapshotNewer) {
@@ -307,6 +309,9 @@ func (p *Peer) handleSubQuery(msg pnet.Message) (pnet.Message, error) {
 		sp.SetError(err)
 		return pnet.Message{}, err
 	}
+	// Only the data owner heats the key range — the coordinator does
+	// not, so one logical access counts once cluster-wide.
+	p.recordStmtHeat(req.Stmt)
 	engine.ApplyBloomToResult(res, req.BloomColumn, req.Bloom)
 	if role != nil && len(req.Stmt.From) == 1 {
 		accesscontrol.MaskRows(role, req.Stmt.From[0].Table, res.Columns, res.Rows)
@@ -342,6 +347,7 @@ func (p *Peer) handleJoinTask(msg pnet.Message) (pnet.Message, error) {
 		sp.SetError(err)
 		return pnet.Message{}, err
 	}
+	p.recordStmtHeat(task.Local.Stmt)
 	if role != nil && len(task.Local.Stmt.From) == 1 {
 		accesscontrol.MaskRows(role, task.Local.Stmt.From[0].Table, local.Columns, local.Rows)
 	}

@@ -1,0 +1,28 @@
+package pnet
+
+import (
+	"strings"
+	"testing"
+
+	"bestpeer/internal/telemetry"
+)
+
+// TestEveryPnetMetricHasHelp exercises the transport enough to create
+// every pnet_* family, then fails if any renders without a # HELP line.
+func TestEveryPnetMetricHasHelp(t *testing.T) {
+	n := NewNetwork()
+	a := n.Join("help-a")
+	b := n.Join("help-b")
+	b.Handle("ping", func(msg Message) (Message, error) {
+		return Message{Payload: "pong", Size: 4}, nil
+	})
+	if _, err := a.Call("help-b", "ping", nil, 8); err != nil {
+		t.Fatal(err)
+	}
+
+	for _, name := range telemetry.MissingHelp(telemetry.Default.Text()) {
+		if strings.HasPrefix(name, "pnet_") {
+			t.Errorf("pnet family %q has no HELP text", name)
+		}
+	}
+}

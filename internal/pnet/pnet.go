@@ -104,6 +104,23 @@ type destMetrics struct {
 	latency     *telemetry.Histogram
 }
 
+// pnetHelpOnce documents every pnet_* family. It runs after the first
+// destination's series are created: SetHelp attaches to an existing
+// family, so package init would be too early for the per-peer ones.
+var pnetHelpOnce sync.Once
+
+func setPnetHelp() {
+	d := telemetry.Default
+	d.SetHelp("pnet_calls_total", "RPC deliveries attempted, by destination peer.")
+	d.SetHelp("pnet_bytes_total", "Payload bytes delivered, by destination peer.")
+	d.SetHelp("pnet_errors_total", "Failed deliveries, by destination peer and cause.")
+	d.SetHelp("pnet_retries_total", "Delivery retries, by destination peer.")
+	d.SetHelp("pnet_timeouts_total", "Deliveries abandoned at the deadline, by destination peer.")
+	d.SetHelp("pnet_call_seconds", "Delivery latency, by destination peer.")
+	d.SetHelp("pnet_handler_panics_total", "Panics recovered in the delivery path.")
+	d.SetHelp("pnet_faults_injected_total", "Faults injected by the chaos plane, by kind.")
+}
+
 func (n *Network) destOf(to string) *destMetrics {
 	if v, ok := n.dest.Load(to); ok {
 		return v.(*destMetrics)
@@ -120,6 +137,7 @@ func (n *Network) destOf(to string) *destMetrics {
 		timeouts:    telemetry.Default.Counter("pnet_timeouts_total", peer),
 		latency:     telemetry.Default.Histogram("pnet_call_seconds", nil, peer),
 	}
+	pnetHelpOnce.Do(setPnetHelp)
 	actual, _ := n.dest.LoadOrStore(to, d)
 	return actual.(*destMetrics)
 }

@@ -1,0 +1,28 @@
+package serving
+
+import (
+	"strings"
+	"testing"
+
+	"bestpeer/internal/telemetry"
+)
+
+// TestEveryServingMetricHasHelp fails when a serving_* family on the
+// process registry — or a peer_serving_* family on the peer registry —
+// renders without a # HELP line. Adding a metric without documenting it
+// breaks this test.
+func TestEveryServingMetricHasHelp(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	_ = newMetrics(reg)
+
+	for _, name := range telemetry.MissingHelp(telemetry.Default.Text()) {
+		if strings.HasPrefix(name, "serving_") {
+			t.Errorf("serving family %q has no HELP text", name)
+		}
+	}
+	for _, name := range telemetry.MissingHelp(reg.Text()) {
+		if strings.HasPrefix(name, "peer_serving_") {
+			t.Errorf("peer serving family %q has no HELP text", name)
+		}
+	}
+}

@@ -177,10 +177,27 @@ func newMetrics(reg *telemetry.Registry) *metrics {
 		m.shed[i] = d.Counter("serving_shed_total", telemetry.L("class", classNames[i]))
 		m.queueDepth[i] = d.Gauge("serving_queue_depth", telemetry.L("class", classNames[i]))
 	}
+	d.SetHelp("serving_sessions_open", "Client sessions currently open on this frontend.")
+	d.SetHelp("serving_sessions_opened_total", "Client sessions opened since start.")
+	d.SetHelp("serving_queue_wait_seconds", "Admission queue wait for admitted statements.")
+	d.SetHelp("serving_cache_hits_total", "Result-cache lookups served from cache.")
+	d.SetHelp("serving_cache_misses_total", "Result-cache lookups that went to execution.")
+	d.SetHelp("serving_cache_bypass_total", "Statements that skipped the result cache.")
+	d.SetHelp("serving_cache_invalidations_total", "Cache entries dropped by version bumps.")
+	d.SetHelp("serving_cache_evictions_total", "Cache entries evicted by capacity pressure.")
+	d.SetHelp("serving_cache_oversize_total", "Results too large to cache.")
+	d.SetHelp("serving_cache_entries", "Result-cache entries resident.")
+	d.SetHelp("serving_cache_bytes", "Result-cache bytes resident.")
+	d.SetHelp("serving_admitted_total", "Statements admitted, by workload class.")
+	d.SetHelp("serving_shed_total", "Statements shed at admission, by workload class.")
+	d.SetHelp("serving_queue_depth", "Admission queue depth, by workload class.")
 	if reg != nil {
 		m.peerQueueWait = reg.Histogram("peer_serving_queue_seconds", nil)
 		m.peerAdmitted = reg.Counter("peer_serving_admitted_total")
 		m.peerShed = reg.Counter("peer_serving_shed_total")
+		reg.SetHelp("peer_serving_queue_seconds", "Admission queue wait on this peer's frontend.")
+		reg.SetHelp("peer_serving_admitted_total", "Statements admitted on this peer's frontend.")
+		reg.SetHelp("peer_serving_shed_total", "Statements shed on this peer's frontend.")
 	}
 	return m
 }

@@ -121,6 +121,7 @@ func (b *batchPlan) run() (*Result, bool, error) {
 func (b *batchPlan) scanBatches(idx int, stats *Stats, ctx *bctx, flush func() (bool, error)) (bool, error) {
 	sp := b.p.scans[idx]
 	t := sp.table
+	sp.acc.record(sp.choice.path.index != nil)
 	var ferr error
 	okAll := true
 	emit := func(id int, row sqlval.Row) bool {

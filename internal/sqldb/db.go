@@ -32,6 +32,10 @@ type DB struct {
 	statsMu  sync.Mutex
 	stats    map[string]*tableStats
 	statsVer atomic.Uint64
+
+	// access is the bounded per-table access accounting (heat plane):
+	// index probes vs full scans per table, capped table set.
+	access accessStats
 }
 
 // NewDB returns an empty database.

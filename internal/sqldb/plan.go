@@ -40,6 +40,9 @@ type scanPlan struct {
 	alias  string
 	choice scanChoice
 	filter compiledPred // nil = no per-table conjuncts
+	// acc is the table's bounded access-counter handle, resolved once at
+	// compile time and charged on every execution (row and batch paths).
+	acc *TableAccess
 }
 
 // joinPlan hash-joins the accumulated left rows with one table's rows.
@@ -96,6 +99,7 @@ func (db *DB) compileSelect(stmt *SelectStmt) (*selectPlan, error) {
 			alias:  ref.Alias,
 			choice: db.planScan(tables[ti], ref.Alias, perTable[ti]),
 			filter: filter,
+			acc:    db.access.handle(tables[ti].Schema().Table),
 		})
 		if batchOK {
 			var ns, nps int
@@ -280,6 +284,7 @@ func finishStats(res *Result, stats Stats) {
 // an intermediate slice.
 func (s *scanPlan) stream(stats *Stats, yield func(sqlval.Row) error) error {
 	t := s.table
+	s.acc.record(s.choice.path.index != nil)
 	if s.choice.path.index != nil {
 		stats.IndexUsed = true
 		for _, id := range s.ids() {
@@ -340,6 +345,7 @@ func (s *scanPlan) ids() []int {
 // costed cardinality estimate.
 func (s *scanPlan) fetch(stats *Stats) ([]sqlval.Row, error) {
 	if s.choice.path.index != nil {
+		s.acc.record(true)
 		stats.IndexUsed = true
 		ids := s.ids()
 		out := make([]sqlval.Row, 0, len(ids))

@@ -1,0 +1,36 @@
+package telemetry
+
+import (
+	"net"
+	"net/http"
+	"net/http/pprof"
+)
+
+// StartDebugServer serves live profiling and metrics over HTTP for the
+// CLI tools' -pprof flag: net/http/pprof under /debug/pprof/ (CPU and
+// heap profiles pulled mid-bench) and the registry's text exposition
+// under /metrics. It uses an explicit mux so nothing leaks onto
+// http.DefaultServeMux. The returned address is the bound listen
+// address (useful with ":0"); close shuts the listener down.
+func StartDebugServer(addr string, reg *Registry) (boundAddr string, close func() error, err error) {
+	if reg == nil {
+		reg = Default
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+		_ = reg.WriteText(w)
+	})
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", nil, err
+	}
+	srv := &http.Server{Handler: mux}
+	go func() { _ = srv.Serve(ln) }()
+	return ln.Addr().String(), srv.Close, nil
+}

@@ -65,10 +65,13 @@ func writeChild(w io.Writer, name string, kind metricKind, c *child) error {
 	case kindGauge:
 		_, err := fmt.Fprintf(w, "%s%s %d\n", name, renderLabels(c.labels, "", 0), c.gauge.Value())
 		return err
+	case kindHeatmap:
+		return writeHeat(w, name, c)
 	}
 	h := c.hist
 	counts := h.BucketCounts()
 	bounds := h.Bounds()
+	exemplars := h.Exemplars()
 	var cum int64
 	for i, cnt := range counts {
 		cum += cnt
@@ -76,7 +79,13 @@ func writeChild(w io.Writer, name string, kind metricKind, c *child) error {
 		if i < len(bounds) {
 			le = bounds[i]
 		}
-		if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", name, renderLabels(c.labels, "le", le), cum); err != nil {
+		// Traced observations append an OpenMetrics-style exemplar to
+		// their bucket line: the trace ID that paid this latency class.
+		suffix := ""
+		if i < len(exemplars) && exemplars[i] != nil {
+			suffix = fmt.Sprintf(" # {trace_id=\"%016x\"} %s", exemplars[i].TraceID, formatFloat(exemplars[i].Value))
+		}
+		if _, err := fmt.Fprintf(w, "%s_bucket%s %d%s\n", name, renderLabels(c.labels, "le", le), cum, suffix); err != nil {
 			return err
 		}
 	}
@@ -85,6 +94,52 @@ func writeChild(w io.Writer, name string, kind metricKind, c *child) error {
 	}
 	_, err := fmt.Fprintf(w, "%s_count%s %d\n", name, renderLabels(c.labels, "", 0), h.Count())
 	return err
+}
+
+// writeHeat renders one heatmap child: a sample per non-empty key-space
+// bucket (lo/hi labels name the bucket's [lo,hi) range) plus the total.
+func writeHeat(w io.Writer, name string, c *child) error {
+	counts := c.heat.BucketCounts()
+	n := len(counts)
+	for i, cnt := range counts {
+		if cnt == 0 {
+			continue
+		}
+		lo, hi := HeatBucketRange(i, n)
+		labels := append(append([]Label(nil), c.labels...),
+			L("lo", formatFloat(lo)), L("hi", formatFloat(hi)))
+		if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", name, renderLabels(labels, "", 0), cnt); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintf(w, "%s_count%s %d\n", name, renderLabels(c.labels, "", 0), c.heat.Count())
+	return err
+}
+
+// MissingHelp scans a text exposition and returns every family that has
+// a # TYPE line but no # HELP line — the guard tests use it to keep
+// every exported metric documented.
+func MissingHelp(exposition string) []string {
+	helped := map[string]bool{}
+	var out []string
+	for _, line := range strings.Split(exposition, "\n") {
+		fields := strings.Fields(line)
+		if len(fields) < 3 {
+			continue
+		}
+		if fields[0] != "#" {
+			continue
+		}
+		switch fields[1] {
+		case "HELP":
+			helped[fields[2]] = true
+		case "TYPE":
+			if !helped[fields[2]] {
+				out = append(out, fields[2])
+			}
+		}
+	}
+	return out
 }
 
 // renderLabels renders {k="v",...}, appending an le bound when leKey is

@@ -1,0 +1,259 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestHeatmapRecordAndTop(t *testing.T) {
+	h := NewHeatmap(8)
+	for i := 0; i < 7; i++ {
+		h.Record(0.15) // bucket 1
+	}
+	h.Record(0.9) // bucket 7
+	if got := h.Count(); got != 8 {
+		t.Fatalf("count = %d, want 8", got)
+	}
+	s := h.Snapshot()
+	bucket, share := s.Top()
+	if bucket != 1 || share != 0.875 {
+		t.Fatalf("top = (%d, %v), want (1, 0.875)", bucket, share)
+	}
+	if got := s.Skew(); got != 7 {
+		t.Fatalf("skew = %v, want 7 (0.875 share x 8 buckets)", got)
+	}
+	// Out-of-range and NaN keys clamp instead of panicking.
+	h.Record(-3)
+	h.Record(42)
+	var nan float64
+	h.Record(nan / nan)
+}
+
+func TestHeatmapRecordRange(t *testing.T) {
+	h := NewHeatmap(8)
+	h.RecordRange(0.1, 0.4) // buckets 0..3
+	c := h.BucketCounts()
+	for i, want := range []int64{1, 1, 1, 1, 0, 0, 0, 0} {
+		if c[i] != want {
+			t.Fatalf("bucket %d = %d, want %d (counts %v)", i, c[i], want, c)
+		}
+	}
+	if h.Count() != 4 {
+		t.Fatalf("count = %d, want 4", h.Count())
+	}
+	// Point access (hi <= lo) touches exactly one bucket.
+	h.RecordRange(0.9, 0.9)
+	if got := h.BucketCounts()[7]; got != 1 {
+		t.Fatalf("point access bucket = %d, want 1", got)
+	}
+}
+
+// TestHeatmapSnapshotRoundTrip is the lossless contract: snapshot,
+// delta, merge into a fresh heatmap, and gob across the wire — the
+// buckets must survive every hop bit-exact.
+func TestHeatmapSnapshotRoundTrip(t *testing.T) {
+	r := NewRegistry()
+	h := r.Heatmap("key_heat", 16)
+	h.RecordRange(0, 0.2)
+	prev := r.Export()
+	h.RecordRange(0.5, 0.6)
+	h.Record(0.99)
+
+	d := r.Export().Delta(prev)
+	p, ok := d.Find("key_heat")
+	if !ok || p.Heat == nil {
+		t.Fatalf("heatmap missing from delta: %+v ok=%v", p, ok)
+	}
+	if got := p.Heat.Count(); got != 3 {
+		t.Fatalf("delta count = %d, want 3 (2 range buckets + 1 point)", got)
+	}
+
+	// Gob round trip, the same encoding the telemetry report rides.
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(Report{Peer: "p", Delta: d}); err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	var rep Report
+	if err := gob.NewDecoder(&buf).Decode(&rep); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	p2, ok := rep.Delta.Find("key_heat")
+	if !ok || p2.Heat == nil {
+		t.Fatal("heatmap lost in transit")
+	}
+
+	// Merge into a cluster registry and compare bucket-wise.
+	cluster := NewRegistry()
+	if err := cluster.Merge(rep.Delta, L("peer", "p")); err != nil {
+		t.Fatalf("merge: %v", err)
+	}
+	got := cluster.Heatmap("key_heat", 16, L("peer", "p")).Snapshot()
+	for i, c := range p.Heat.Buckets {
+		if got.Buckets[i] != c {
+			t.Fatalf("bucket %d = %d, want %d", i, got.Buckets[i], c)
+		}
+	}
+}
+
+func TestHeatmapMergeRejectsBadSnapshots(t *testing.T) {
+	h := NewHeatmap(8)
+	if err := h.Merge(HeatmapSnapshot{Buckets: make([]int64, 4)}); err == nil {
+		t.Fatal("expected bucket-count mismatch error")
+	}
+	if err := h.Merge(HeatmapSnapshot{Buckets: []int64{0, 0, -1, 0, 0, 0, 0, 0}}); err == nil {
+		t.Fatal("expected negative-count error")
+	}
+	if h.Count() != 0 {
+		t.Fatalf("rejected merges mutated the heatmap: count = %d", h.Count())
+	}
+	if err := h.Merge(HeatmapSnapshot{Buckets: []int64{1, 0, 0, 0, 0, 0, 0, 2}}); err != nil {
+		t.Fatalf("valid merge: %v", err)
+	}
+	if h.Count() != 3 {
+		t.Fatalf("count after merge = %d, want 3", h.Count())
+	}
+}
+
+func TestHeatmapSubFallsBackOnReset(t *testing.T) {
+	cur := HeatmapSnapshot{Buckets: []int64{5, 2}}
+	prev := HeatmapSnapshot{Buckets: []int64{3, 1}}
+	d := cur.Sub(prev)
+	if d.Buckets[0] != 2 || d.Buckets[1] != 1 {
+		t.Fatalf("delta = %v", d.Buckets)
+	}
+	// A counter that went backwards (heatmap replaced underneath) falls
+	// back to the absolute snapshot.
+	back := cur.Sub(HeatmapSnapshot{Buckets: []int64{9, 0}})
+	if back.Buckets[0] != 5 || back.Buckets[1] != 2 {
+		t.Fatalf("reset fallback = %v, want absolute", back.Buckets)
+	}
+}
+
+// TestHeatmapConcurrent hammers Record/RecordRange/Merge/Snapshot from
+// many goroutines; under -race this is the heat plane's data-race gate,
+// and the final count must equal the hand-computed total.
+func TestHeatmapConcurrent(t *testing.T) {
+	h := NewHeatmap(DefaultHeatBuckets)
+	src := NewHeatmap(DefaultHeatBuckets)
+	src.Record(0.5)
+	delta := src.Snapshot()
+
+	const workers, iters = 8, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				switch w % 4 {
+				case 0:
+					h.Record(float64(i) / iters)
+				case 1:
+					h.RecordRange(0.25, 0.26) // always one bucket
+				case 2:
+					if err := h.Merge(delta); err != nil {
+						t.Error(err)
+						return
+					}
+				case 3:
+					_ = h.Snapshot().Skew()
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	// Workers 0,4 record once per iter; 1,5 record one bucket per iter;
+	// 2,6 merge a 1-count snapshot per iter; 3,7 only read.
+	if got := h.Count(); got != int64(6*iters) {
+		t.Fatalf("count = %d, want %d", got, 6*iters)
+	}
+}
+
+func TestExemplarLinksTailBucket(t *testing.T) {
+	h := newHistogram([]float64{0.01, 0.1, 1})
+	h.Observe(0.005) // untraced: no exemplar
+	if _, ok := h.TailExemplar(); ok {
+		t.Fatal("exemplar present before any traced observation")
+	}
+	h.ObserveExemplar(0.05, 0xabc)
+	h.ObserveExemplar(5, 0xdef) // +Inf bucket: the tail
+	ex, ok := h.TailExemplar()
+	if !ok || ex.TraceID != 0xdef || ex.Value != 5 {
+		t.Fatalf("tail exemplar = %+v ok=%v, want trace 0xdef value 5", ex, ok)
+	}
+	// Latest-wins per bucket.
+	h.ObserveExemplar(6, 0x123)
+	if ex, _ := h.TailExemplar(); ex.TraceID != 0x123 {
+		t.Fatalf("tail exemplar not replaced: %+v", ex)
+	}
+	// Zero trace IDs never displace a stored exemplar.
+	h.Observe(7)
+	if ex, _ := h.TailExemplar(); ex.TraceID != 0x123 {
+		t.Fatalf("untraced observation displaced exemplar: %+v", ex)
+	}
+}
+
+func TestExpositionRendersExemplars(t *testing.T) {
+	r := NewRegistry()
+	r.Histogram("q_seconds", []float64{1}).ObserveExemplar(0.5, 0xbeef)
+	text := r.Text()
+	want := `# {trace_id="000000000000beef"} 0.5`
+	if !strings.Contains(text, want) {
+		t.Fatalf("exposition missing exemplar %q:\n%s", want, text)
+	}
+}
+
+func TestMissingHelp(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("documented_total").Inc()
+	r.SetHelp("documented_total", "Has help.")
+	r.Counter("naked_total").Inc()
+	missing := MissingHelp(r.Text())
+	if len(missing) != 1 || missing[0] != "naked_total" {
+		t.Fatalf("missing = %v, want [naked_total]", missing)
+	}
+	r.SetHelp("naked_total", "Now documented.")
+	if missing := MissingHelp(r.Text()); len(missing) != 0 {
+		t.Fatalf("missing after SetHelp = %v", missing)
+	}
+}
+
+// TestStartDebugServer binds :0 and checks both the pprof index and the
+// /metrics exposition answer — the CLI tools' -pprof flag end to end.
+func TestStartDebugServer(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("debug_probe_total").Inc()
+	addr, closeSrv, err := StartDebugServer("127.0.0.1:0", r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer closeSrv()
+
+	get := func(path string) string {
+		resp, err := http.Get(fmt.Sprintf("http://%s%s", addr, path))
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+		}
+		b, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(b)
+	}
+	if body := get("/metrics"); !strings.Contains(body, "debug_probe_total 1") {
+		t.Fatalf("/metrics missing probe counter:\n%s", body)
+	}
+	if body := get("/debug/pprof/"); !strings.Contains(body, "goroutine") {
+		t.Fatalf("/debug/pprof/ index unexpected:\n%.200s", body)
+	}
+}

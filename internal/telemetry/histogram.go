@@ -17,6 +17,19 @@ type Histogram struct {
 	counts []atomic.Int64
 	count  atomic.Int64
 	sum    atomic.Uint64 // float64 bits, CAS-accumulated
+	// exemplars holds the latest traced observation per bucket
+	// (ObserveExemplar): a p99 overrun read off the tail buckets links
+	// straight to a replayable trace ID. Latest-wins per bucket, so the
+	// memory cost is one pointer per bucket regardless of traffic.
+	exemplars []atomic.Pointer[Exemplar]
+}
+
+// Exemplar is one traced observation attached to a histogram bucket —
+// the bridge from an aggregate latency tail to the concrete trace that
+// produced it.
+type Exemplar struct {
+	Value   float64
+	TraceID uint64
 }
 
 // DurationBuckets returns the default latency bounds in seconds:
@@ -46,11 +59,24 @@ func newHistogram(bounds []float64) *Histogram {
 			panic("telemetry: histogram bounds must be strictly ascending")
 		}
 	}
-	return &Histogram{bounds: bs, counts: make([]atomic.Int64, len(bs)+1)}
+	return &Histogram{
+		bounds:    bs,
+		counts:    make([]atomic.Int64, len(bs)+1),
+		exemplars: make([]atomic.Pointer[Exemplar], len(bs)+1),
+	}
 }
 
 // Observe records one value.
 func (h *Histogram) Observe(v float64) {
+	h.ObserveExemplar(v, 0)
+}
+
+// ObserveExemplar records one value and, when traceID is non-zero,
+// stamps the observation's bucket with a {value, trace ID} exemplar
+// (latest observation wins). Tail buckets thus always carry the most
+// recent slow trace: reading the highest populated exemplar answers
+// "show me a query that actually paid that p99".
+func (h *Histogram) ObserveExemplar(v float64, traceID uint64) {
 	if h == nil || !enabled.Load() {
 		return
 	}
@@ -60,6 +86,9 @@ func (h *Histogram) Observe(v float64) {
 	}
 	h.counts[i].Add(1)
 	h.count.Add(1)
+	if traceID != 0 {
+		h.exemplars[i].Store(&Exemplar{Value: v, TraceID: traceID})
+	}
 	for {
 		old := h.sum.Load()
 		next := math.Float64bits(math.Float64frombits(old) + v)
@@ -103,6 +132,35 @@ func (h *Histogram) BucketCounts() []int64 {
 		out[i] = h.counts[i].Load()
 	}
 	return out
+}
+
+// Exemplars returns the per-bucket exemplars (nil entries for buckets
+// that never saw a traced observation; the last entry is the +Inf
+// bucket's).
+func (h *Histogram) Exemplars() []*Exemplar {
+	if h == nil {
+		return nil
+	}
+	out := make([]*Exemplar, len(h.exemplars))
+	for i := range h.exemplars {
+		out[i] = h.exemplars[i].Load()
+	}
+	return out
+}
+
+// TailExemplar returns the exemplar of the highest bucket holding one —
+// the slowest traced observation class — and false when no traced
+// observation was ever recorded.
+func (h *Histogram) TailExemplar() (Exemplar, bool) {
+	if h == nil {
+		return Exemplar{}, false
+	}
+	for i := len(h.exemplars) - 1; i >= 0; i-- {
+		if e := h.exemplars[i].Load(); e != nil {
+			return *e, true
+		}
+	}
+	return Exemplar{}, false
 }
 
 // Quantile estimates the q-quantile (0 < q < 1) of the observed
