@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: verify build fmt vet test race chaos bench fanout bench-telemetry bench-monitor bench-exec bench-faults bench-serving bench-hotspot cover
+.PHONY: verify build fmt vet test race chaos bench fanout bench-telemetry bench-monitor bench-exec bench-faults bench-serving bench-hotspot bench-rebalance cover
 
 verify: build fmt vet race chaos
 
@@ -85,9 +85,18 @@ bench-serving:
 # Heat-plane acceptance: Zipfian shipdate windows must raise a hotspot
 # event, a uniform workload must stay quiet, and the heat plane's
 # kill-switch overhead on the fig-6 workload must stay < 2%; refreshes
-# the trajectory file.
+# the trajectory file. Also runs the mitigation A/B (see
+# bench-rebalance below — same figure, same file).
 bench-hotspot:
 	$(GO) run ./cmd/bpbench -fig hotspot | tee BENCH_hotspot.json
+
+# Heat-response acceptance: the flash-crowd mitigation A/B. Expected:
+# mit_on_hot_share near 1/(k+1)=0.33 (vs 1.0 off), mit_on_p99_ms and
+# mit_on_qps better than off, results_match = true (replicated reads
+# change no answers), armed_quiet = true (the armed daemon fires
+# nothing on a uniform workload). Alias of bench-hotspot — the A/B
+# lives in the same figure so its arms share the detection networks.
+bench-rebalance: bench-hotspot
 
 # Per-package statement coverage (not part of the verify gate; the
 # baseline lives in EXPERIMENTS.md).

@@ -6,6 +6,7 @@ import (
 	"testing"
 	"time"
 
+	"bestpeer/internal/peer"
 	"bestpeer/internal/pnet"
 )
 
@@ -68,6 +69,76 @@ func TestChaosPeerDiesMidFanout(t *testing.T) {
 	if want.Result.Rows[0][0].AsInt() != after.Result.Rows[0][0].AsInt() {
 		t.Errorf("count changed across fault: %v -> %v",
 			want.Result.Rows[0][0], after.Result.Rows[0][0])
+	}
+}
+
+// TestChaosRebalanceMidFanout: BATON rebalancing passes run while
+// fan-out queries are in flight — with locator caches off so every
+// query walks the overlay the rebalance is mutating. Index items move
+// between nodes atomically per key, so a query either answers exactly
+// right or fails typed during the hand-off window; a wrong answer, a
+// panic, or a hang is the failure mode under test.
+func TestChaosRebalanceMidFanout(t *testing.T) {
+	n := newLoadedNetwork(t, 4, 0.002)
+	n.SetLocatorCache(false)
+
+	want, err := n.Query(0, `SELECT COUNT(*) FROM lineitem`, QueryOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantCount := want.Result.Rows[0][0].AsInt()
+
+	const workers = 4
+	var wg sync.WaitGroup
+	done := make(chan struct{})
+	for w := 0; w < workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			strategies := []peer.Strategy{peer.StrategyBasic, peer.StrategyParallel}
+			for i := 0; ; i++ {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				res, err := n.Query(w%4, `SELECT COUNT(*) FROM lineitem`, QueryOptions{
+					Strategy: strategies[i%len(strategies)],
+				})
+				if err != nil {
+					// Transient unavailability while index items are in
+					// hand-off is acceptable; a wrong answer is not.
+					continue
+				}
+				if got := res.Result.Rows[0][0].AsInt(); got != wantCount {
+					t.Errorf("worker %d query %d: count %d during rebalance, want %d", w, i, got, wantCount)
+					return
+				}
+			}
+		}()
+	}
+
+	// Rebalance passes racing the fan-out above: adjacent boundary
+	// shifts and global leaf relocations back to back.
+	for i := 0; i < 5; i++ {
+		if _, err := n.Overlay.BalanceAdjacent(); err != nil {
+			t.Logf("balance pass %d: %v", i, err)
+		}
+		if _, err := n.Overlay.GlobalRebalance(); err != nil {
+			t.Logf("global pass %d: %v", i, err)
+		}
+	}
+	close(done)
+	wg.Wait()
+
+	// Quiesced overlay answers bit-identically.
+	after, err := n.Query(0, `SELECT COUNT(*) FROM lineitem`, QueryOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := after.Result.Rows[0][0].AsInt(); got != wantCount {
+		t.Errorf("count after rebalancing = %d, want %d", got, wantCount)
 	}
 }
 

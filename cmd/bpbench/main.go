@@ -34,6 +34,7 @@ import (
 
 	"bestpeer/internal/bench"
 	"bestpeer/internal/telemetry"
+	"bestpeer/internal/tpch"
 )
 
 func main() {
@@ -48,6 +49,7 @@ func main() {
 	servingClients := flag.Int("serving-clients", 1200, "concurrent client sessions for the serving-tier saturation benchmark")
 	servingDuration := flag.Duration("serving-duration", 2*time.Second, "per-phase duration for the serving-tier saturation benchmark")
 	hotspotQueries := flag.Int("hotspot-queries", 200, "queries per workload for the hotspot detection benchmark")
+	zipfSkew := flag.Float64("zipf", tpch.DefaultZipfSkew, "Zipf exponent (>1) of the hotspot benchmark's skewed workload")
 	nodes := flag.String("nodes", "10,20,50", "comma-separated cluster sizes")
 	sf := flag.Float64("sf", 0.0004, "TPC-H scale factor contributed per node")
 	seed := flag.Int64("seed", 1, "throughput simulator seed")
@@ -142,7 +144,7 @@ func main() {
 	}
 
 	if *fig == "hotspot" {
-		r, err := bench.HotspotDetection(*telemetryPeers, *hotspotQueries)
+		r, err := bench.HotspotDetection(*telemetryPeers, *hotspotQueries, *zipfSkew)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "bpbench: hotspot: %v\n", err)
 			os.Exit(1)

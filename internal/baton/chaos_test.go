@@ -3,6 +3,7 @@ package baton
 import (
 	"errors"
 	"fmt"
+	"sync"
 	"testing"
 
 	"bestpeer/internal/pnet"
@@ -138,6 +139,83 @@ func TestChaosMoveRangeRestoresOnDeliveryFailure(t *testing.T) {
 	}
 	if err := o.CheckInvariants(nodes); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestChaosReplicaInvalidationRacesHotWrites: concurrent writers
+// hammering a replicated hot range while readers rotate lookups across
+// owner+holders. The invalidation protocol acknowledges no write until
+// every holder is invalidated, so a reader that observes its own
+// writer's completed insert must always find the item — whichever
+// serve path the rotation picks — and never a stale copy.
+func TestChaosReplicaInvalidationRacesHotWrites(t *testing.T) {
+	o, nodes, _ := testOverlay(t, 6)
+	// All names share one tight key band ("hotdocNN" differs only past
+	// the first keyed bytes by its digits), so every write lands inside
+	// the replicated range.
+	name := func(w, i int) string { return fmt.Sprintf("hotdoc%d%d", w, i) }
+	lo := StringKey("hotdoc00")
+	hi := StringKey("hotdoc99") + 1e-6
+	if _, err := nodes["peer-00"].Insert(Item{Key: StringKey(name(0, 0)), Name: name(0, 0), Size: 8}); err != nil {
+		t.Fatal(err)
+	}
+	if _, installed, err := o.ReplicateRange(KeyRange{Lo: lo, Hi: hi}, 2); err != nil || installed == 0 {
+		t.Fatalf("replicate: installed %d, err %v", installed, err)
+	}
+
+	ids := o.Members()
+	var wg sync.WaitGroup
+	const writers, docs = 4, 8
+	errCh := make(chan error, writers)
+	for w := 1; w <= writers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			writeAt := nodes[ids[w%len(ids)]]
+			readAt := nodes[ids[(w+3)%len(ids)]]
+			for i := 0; i < docs; i++ {
+				nm := name(w, i)
+				if _, err := writeAt.Insert(Item{Key: StringKey(nm), Name: nm, Value: w, Size: 8}); err != nil {
+					errCh <- fmt.Errorf("insert %s: %w", nm, err)
+					return
+				}
+				// The write is acknowledged, so every serve path must
+				// already see it; three reads walk the rotation across
+				// owner and both holders.
+				for r := 0; r < 3; r++ {
+					items, _, err := readAt.Lookup(nm)
+					if err != nil {
+						errCh <- fmt.Errorf("lookup %s: %w", nm, err)
+						return
+					}
+					if len(items) != 1 || items[0].Value.(int) != w {
+						errCh <- fmt.Errorf("stale read of %s: %+v", nm, items)
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Error(err)
+	}
+	if err := o.CheckInvariants(nodes); err != nil {
+		t.Fatal(err)
+	}
+	// Quiesced: every written doc is found exactly once from anywhere.
+	for w := 1; w <= writers; w++ {
+		for i := 0; i < docs; i++ {
+			items, _, err := nodes[ids[0]].Lookup(name(w, i))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(items) != 1 {
+				t.Fatalf("doc %s = %+v after quiesce", name(w, i), items)
+			}
+		}
 	}
 }
 

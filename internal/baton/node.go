@@ -69,6 +69,11 @@ type lookupReq struct {
 	Key  Key
 	Name string
 	Hops int
+	// SkipAds disables the hot-range advertisement short-circuit:
+	// set on direct-to-owner forwards and after a failed replica
+	// serve, so a fallback routes normally instead of re-trying ads
+	// at every hop.
+	SkipAds bool
 }
 
 type lookupResp struct {
@@ -98,9 +103,21 @@ type rangeReq struct {
 	Hops  int
 }
 
+// replicaPut carries one adjacent-replica push: a full item-set resync
+// (Op == repOpFull) or a sequence-numbered delta (add/del/cut). Seq is
+// the owner's mutation counter at the time the mutation applied; the
+// holder applies deltas only in sequence order and rejects gaps, which
+// forces the owner to resync.
 type replicaPut struct {
 	Owner string
 	Items []Item
+	Op    string
+	Seq   uint64
+	// Delete-delta selector (repOpDel): mirrors deleteReq semantics.
+	Name      string
+	ItemOwner string
+	// Cut-delta selector (repOpCut): items extracted from the owner.
+	Range KeyRange
 }
 
 // Node is one overlay participant. All query-path operations (Lookup,
@@ -119,7 +136,36 @@ type Node struct {
 	mu       sync.RWMutex
 	state    NodeState
 	items    []Item            // sorted by Key, then Name
-	replicas map[string][]Item // owner node ID -> replicated items
+	replicas map[string][]Item // owner node ID -> adjacent-replica items
+
+	// replicaSeq tracks the last applied adjacent-replica sequence
+	// number per owner (delta ordering; guarded by mu).
+	replicaSeq map[string]uint64
+	// replSeq counts this node's own mutations; each delta push
+	// carries the value assigned when its mutation applied (mu).
+	replSeq uint64
+	// pushMu serializes adjacent-replica pushes; push is the holder
+	// bookkeeping behind the delta/full decision (guarded by pushMu).
+	pushMu sync.Mutex
+	push   pushState
+
+	// Hot-range replication state: replOut is this node's outbound
+	// replication (owner side), hosted the replicas this node serves
+	// for other owners (holder side); both guarded by mu. replVersion
+	// orders puts against invalidations.
+	replOut     *replOut
+	replVersion uint64
+	hosted      map[string]*rangeReplica
+
+	// ads is the coordinator-broadcast hot-range advertisement table;
+	// rrPick rotates lookups across owner+holders.
+	ads    atomic.Pointer[[]ReplicaAd]
+	rrPick atomic.Uint64
+
+	// Lookup serve accounting: answered from own items vs from a
+	// hosted hot-range replica.
+	servedLocal   atomic.Int64
+	servedReplica atomic.Int64
 }
 
 // processHeat aggregates overlay key traffic process-wide (the
@@ -144,6 +190,16 @@ func (n *Node) recordKey(k Key) {
 	}
 }
 
+// recordMutation accounts one index-mutation hop at key k. Mutations
+// feed only the process-wide view: the per-node heatmap backs
+// peer_index_heat, whose hot-range detector triggers read replication,
+// and bulk index publishing (every loaded table inserts under the same
+// handful of catalog keys) would otherwise register as a phantom read
+// hotspot before a single query has run.
+func (n *Node) recordMutation(k Key) {
+	processHeat.Record(float64(k))
+}
+
 // recordRange accounts one range-search hop over r.
 func (n *Node) recordRange(r KeyRange) {
 	processHeat.RecordRange(float64(r.Lo), float64(r.Hi))
@@ -160,7 +216,12 @@ func (n *Node) recordRange(r KeyRange) {
 // index mutations (insert, delete, update, extract, accept, replica
 // writes) never retry: delivering them twice would corrupt the tree.
 func NewNode(ep *pnet.Endpoint) *Node {
-	n := &Node{ep: ep, replicas: make(map[string][]Item)}
+	n := &Node{
+		ep:         ep,
+		replicas:   make(map[string][]Item),
+		replicaSeq: make(map[string]uint64),
+		hosted:     make(map[string]*rangeReplica),
+	}
 	ep.HandleIdempotent(msgLookup, n.handleLookup)
 	ep.Handle(msgInsert, n.handleInsert)
 	ep.Handle(msgDelete, n.handleDelete)
@@ -172,11 +233,20 @@ func NewNode(ep *pnet.Endpoint) *Node {
 	ep.HandleIdempotent(msgStats, n.handleStats)
 	ep.Handle(msgReplicaPut, n.handleReplicaPut)
 	ep.HandleIdempotent(msgReplicaGet, n.handleReplicaGet)
+	// Hot-range replication: put/drop are idempotent by version, the
+	// serve path is a read, ads install is last-write-wins, and
+	// replicate/release assign a fresh version per delivery.
+	ep.HandleIdempotent(msgReplicate, n.handleReplicate)
+	ep.HandleIdempotent(msgReplicateRelease, n.handleReplicateRelease)
+	ep.HandleIdempotent(msgRangeReplicaPut, n.handleRangeReplicaPut)
+	ep.HandleIdempotent(msgRangeReplicaDrop, n.handleRangeReplicaDrop)
+	ep.HandleIdempotent(msgReplicaServe, n.handleReplicaServe)
+	ep.HandleIdempotent(msgReplicaAds, n.handleReplicaAds)
 	// The query-path verbs block only on nested calls through the same
 	// transport (routing hops), each carrying its own deadline, so they
 	// run unguarded in-process: a lookup chain must not pay one guard
 	// goroutine per hop.
-	ep.Network().MarkInline(msgLookup, msgInsert, msgDelete, msgRange, msgStats, msgItems)
+	ep.Network().MarkInline(msgLookup, msgInsert, msgDelete, msgRange, msgStats, msgItems, msgReplicaServe)
 	return n
 }
 
@@ -244,6 +314,16 @@ func (n *Node) routeNext(k Key) string {
 func (n *Node) handleLookup(msg pnet.Message) (pnet.Message, error) {
 	req := msg.Payload.(lookupReq)
 	n.recordKey(req.Key)
+	if !req.SkipAds {
+		// Hot-range short-circuit: if the key is advertised as
+		// replicated, serve it from the rotation instead of routing the
+		// whole chain onto the owner. Any miss falls through to normal
+		// routing, with ads disabled for the rest of the chain.
+		if reply, ok := n.lookupViaReplica(req); ok {
+			return reply, nil
+		}
+		req.SkipAds = true
+	}
 	n.mu.RLock()
 	next := n.routeNext(req.Key)
 	n.mu.RUnlock()
@@ -265,12 +345,13 @@ func (n *Node) handleLookup(msg pnet.Message) (pnet.Message, error) {
 		}
 	}
 	n.mu.RUnlock()
+	n.servedLocal.Add(1)
 	return pnet.Message{Payload: lookupResp{Items: out, Hops: req.Hops}, Size: size}, nil
 }
 
 func (n *Node) handleInsert(msg pnet.Message) (pnet.Message, error) {
 	req := msg.Payload.(insertReq)
-	n.recordKey(req.Item.Key)
+	n.recordMutation(req.Item.Key)
 	n.mu.RLock()
 	next := n.routeNext(req.Item.Key)
 	n.mu.RUnlock()
@@ -280,14 +361,18 @@ func (n *Node) handleInsert(msg pnet.Message) (pnet.Message, error) {
 	}
 	n.mu.Lock()
 	n.storeLocked(req.Item)
+	n.replSeq++
+	seq := n.replSeq
+	drops, dv := n.bumpHotLocked(func(r KeyRange) bool { return r.Contains(req.Item.Key) })
 	n.mu.Unlock()
-	n.pushReplica()
+	n.sendDrops(drops, dv)
+	n.pushAdjacent(replicaPut{Op: repOpAdd, Seq: seq, Items: []Item{req.Item}})
 	return pnet.Message{Payload: opResp{Hops: req.Hops}}, nil
 }
 
 func (n *Node) handleDelete(msg pnet.Message) (pnet.Message, error) {
 	req := msg.Payload.(deleteReq)
-	n.recordKey(req.Key)
+	n.recordMutation(req.Key)
 	n.mu.RLock()
 	next := n.routeNext(req.Key)
 	n.mu.RUnlock()
@@ -306,9 +391,17 @@ func (n *Node) handleDelete(msg pnet.Message) (pnet.Message, error) {
 		kept = append(kept, it)
 	}
 	n.items = kept
+	var seq, dv uint64
+	var drops []string
+	if deleted > 0 {
+		n.replSeq++
+		seq = n.replSeq
+		drops, dv = n.bumpHotLocked(func(r KeyRange) bool { return r.Contains(req.Key) })
+	}
 	n.mu.Unlock()
 	if deleted > 0 {
-		n.pushReplica()
+		n.sendDrops(drops, dv)
+		n.pushAdjacent(replicaPut{Op: repOpDel, Seq: seq, Name: req.Name, ItemOwner: req.Owner})
 	}
 	return pnet.Message{Payload: opResp{Hops: req.Hops, Deleted: deleted}}, nil
 }
@@ -363,7 +456,8 @@ func (n *Node) handleUpdate(msg pnet.Message) (pnet.Message, error) {
 	n.state = st
 	n.mu.Unlock()
 	if st.RightAdj != oldAdj {
-		n.pushReplica()
+		// New replica holder: force a full resync.
+		n.pushAdjacent(replicaPut{Op: repOpFull})
 	}
 	return pnet.Message{}, nil
 }
@@ -383,9 +477,20 @@ func (n *Node) handleExtract(msg pnet.Message) (pnet.Message, error) {
 		}
 	}
 	n.items = kept
+	var seq, dv uint64
+	var drops []string
+	if len(moved) > 0 {
+		n.replSeq++
+		seq = n.replSeq
+		drops, dv = n.bumpHotLocked(func(rr KeyRange) bool {
+			_, ok := intersect(rr, r)
+			return ok
+		})
+	}
 	n.mu.Unlock()
 	if len(moved) > 0 {
-		n.pushReplica()
+		n.sendDrops(drops, dv)
+		n.pushAdjacent(replicaPut{Op: repOpCut, Seq: seq, Range: r})
 	}
 	return pnet.Message{Payload: moved, Size: size}, nil
 }
@@ -396,9 +501,24 @@ func (n *Node) handleAccept(msg pnet.Message) (pnet.Message, error) {
 	for _, it := range items {
 		n.storeLocked(it)
 	}
+	var seq, dv uint64
+	var drops []string
+	if len(items) > 0 {
+		n.replSeq++
+		seq = n.replSeq
+		drops, dv = n.bumpHotLocked(func(rr KeyRange) bool {
+			for _, it := range items {
+				if rr.Contains(it.Key) {
+					return true
+				}
+			}
+			return false
+		})
+	}
 	n.mu.Unlock()
 	if len(items) > 0 {
-		n.pushReplica()
+		n.sendDrops(drops, dv)
+		n.pushAdjacent(replicaPut{Op: repOpAdd, Seq: seq, Items: items})
 	}
 	return pnet.Message{}, nil
 }
@@ -421,12 +541,56 @@ func (n *Node) handleStats(msg pnet.Message) (pnet.Message, error) {
 	return pnet.Message{Payload: count, Size: 8}, nil
 }
 
+// handleReplicaPut maintains this node's copy of an adjacent owner's
+// item set. A full push replaces the copy and anchors the sequence; a
+// delta applies only if it is the immediate successor of the last
+// applied mutation — anything older is already covered by the anchor
+// (ack OK, no-op), and a gap means a delta was lost, so the holder
+// refuses and the owner falls back to a full resync.
 func (n *Node) handleReplicaPut(msg pnet.Message) (pnet.Message, error) {
 	put := msg.Payload.(replicaPut)
 	n.mu.Lock()
-	n.replicas[put.Owner] = put.Items
-	n.mu.Unlock()
-	return pnet.Message{}, nil
+	defer n.mu.Unlock()
+	if put.Op == repOpFull {
+		n.replicas[put.Owner] = put.Items
+		n.replicaSeq[put.Owner] = put.Seq
+		return pnet.Message{Payload: repAck{OK: true}}, nil
+	}
+	last := n.replicaSeq[put.Owner]
+	if put.Seq <= last {
+		return pnet.Message{Payload: repAck{OK: true}}, nil
+	}
+	if put.Seq != last+1 {
+		return pnet.Message{Payload: repAck{OK: false}}, nil
+	}
+	cur := n.replicas[put.Owner]
+	switch put.Op {
+	case repOpAdd:
+		cur = append(cur, put.Items...)
+	case repOpDel:
+		kept := cur[:0]
+		for _, it := range cur {
+			if it.Name == put.Name && (put.ItemOwner == "" || it.Owner == put.ItemOwner) {
+				continue
+			}
+			kept = append(kept, it)
+		}
+		cur = kept
+	case repOpCut:
+		kept := cur[:0]
+		for _, it := range cur {
+			if put.Range.Contains(it.Key) {
+				continue
+			}
+			kept = append(kept, it)
+		}
+		cur = kept
+	default:
+		return pnet.Message{Payload: repAck{OK: false}}, nil
+	}
+	n.replicas[put.Owner] = cur
+	n.replicaSeq[put.Owner] = put.Seq
+	return pnet.Message{Payload: repAck{OK: true}}, nil
 }
 
 func (n *Node) handleReplicaGet(msg pnet.Message) (pnet.Message, error) {
@@ -452,31 +616,6 @@ func (n *Node) storeLocked(it Item) {
 	n.items = append(n.items, Item{})
 	copy(n.items[i+1:], n.items[i:])
 	n.items[i] = it
-}
-
-// pushReplica sends a full copy of this node's items to its replica
-// holder (the right adjacent node, or the left adjacent for the
-// rightmost node). This implements a lightweight version of the paper's
-// two-tier partial replication [24]: a single adjacent replica per node,
-// enough for the overlay to survive any single-node failure.
-func (n *Node) pushReplica() {
-	n.mu.RLock()
-	target := n.state.RightAdj
-	if target == "" {
-		target = n.state.LeftAdj
-	}
-	items := append([]Item(nil), n.items...)
-	var size int64
-	for _, it := range items {
-		size += it.Size
-	}
-	id := n.state.ID
-	n.mu.RUnlock()
-	if target == "" || id == "" {
-		return
-	}
-	// Best-effort: a down replica holder must not fail the operation.
-	_, _ = n.ep.Call(target, msgReplicaPut, replicaPut{Owner: id, Items: items}, size)
 }
 
 // --- client API (paper Table 1) ---

@@ -1,0 +1,292 @@
+package baton
+
+import (
+	"fmt"
+	"testing"
+
+	"bestpeer/internal/telemetry"
+)
+
+// clusterServeCounts sums lookup-serve accounting across the overlay.
+func clusterServeCounts(nodes map[string]*Node) (local, replica int64) {
+	for _, n := range nodes {
+		l, r := n.ServeCounts()
+		local += l
+		replica += r
+	}
+	return local, replica
+}
+
+// TestReplicateRangeSpreadsLookups: replicating a hot key range onto
+// two neighbours makes lookups rotate across owner+holders — replica
+// serves appear, the owner stops serving everything, and every answer
+// stays correct.
+func TestReplicateRangeSpreadsLookups(t *testing.T) {
+	o, nodes, _ := testOverlay(t, 6)
+	name := "hot:item"
+	key := StringKey(name)
+	if _, err := nodes["peer-00"].Insert(Item{Key: key, Name: name, Value: "v1", Size: 8}); err != nil {
+		t.Fatal(err)
+	}
+
+	owners, installed, err := o.ReplicateRange(KeyRange{Lo: key, Hi: key + 1e-6}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if owners != 1 || installed != 2 {
+		t.Fatalf("replicated %d owner ranges onto %d holders, want 1 onto 2", owners, installed)
+	}
+
+	localBefore, replicaBefore := clusterServeCounts(nodes)
+	lookups := 0
+	for round := 0; round < 4; round++ {
+		for _, n := range nodes {
+			items, _, err := n.Lookup(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(items) != 1 || items[0].Value.(string) != "v1" {
+				t.Fatalf("lookup through replicas = %+v", items)
+			}
+			lookups++
+		}
+	}
+	localAfter, replicaAfter := clusterServeCounts(nodes)
+	if replicaAfter == replicaBefore {
+		t.Error("no lookups served from replicas despite installed holders")
+	}
+	if served := localAfter - localBefore; served >= int64(lookups) {
+		t.Errorf("owner path served %d of %d lookups; replicas absorbed nothing", served, lookups)
+	}
+}
+
+// TestReplicaInvalidatedBeforeWriteAck pins the staleness contract: a
+// write into a replicated range synchronously invalidates every holder
+// before it is acknowledged, so no later lookup — whichever owner or
+// holder the rotation picks — can miss the write. A re-push then
+// revalidates the holders and replica serving resumes.
+func TestReplicaInvalidatedBeforeWriteAck(t *testing.T) {
+	o, nodes, _ := testOverlay(t, 6)
+	name := "hot:item" // exactly 8 bytes: "hot:itemX" names share its key
+	key := StringKey(name)
+	if _, err := nodes["peer-00"].Insert(Item{Key: key, Name: name, Value: "v1", Size: 8}); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := o.ReplicateRange(KeyRange{Lo: key, Hi: key + 1e-6}, 2); err != nil {
+		t.Fatal(err)
+	}
+	// Warm the rotation so holders hold (and serve) valid copies.
+	for round := 0; round < 3; round++ {
+		for _, n := range nodes {
+			if _, _, err := n.Lookup(name); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+
+	invalBefore := telemetry.Default.Counter("baton_replica_invalidations_total").Value()
+	name2 := "hot:item2"
+	if StringKey(name2) != key {
+		t.Fatalf("setup: %q must share %q's key", name2, name)
+	}
+	if _, err := nodes["peer-05"].Insert(Item{Key: key, Name: name2, Value: "v2", Size: 8}); err != nil {
+		t.Fatal(err)
+	}
+	if got := telemetry.Default.Counter("baton_replica_invalidations_total").Value(); got == invalBefore {
+		t.Error("write into a replicated range sent no invalidations")
+	}
+
+	// Enough lookups from every node to cycle each rotation through the
+	// owner and both holders: all must see the new item.
+	for round := 0; round < 4; round++ {
+		for id, n := range nodes {
+			items, _, err := n.Lookup(name2)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(items) != 1 || items[0].Value.(string) != "v2" {
+				t.Fatalf("stale read from %s after invalidated write: %+v", id, items)
+			}
+		}
+	}
+
+	// Re-push: holders revalidate and replica serving resumes, with the
+	// fresh item in the copies.
+	if _, installed, err := o.ReplicateRange(KeyRange{Lo: key, Hi: key + 1e-6}, 2); err != nil || installed != 2 {
+		t.Fatalf("re-push installed %d holders, err %v", installed, err)
+	}
+	_, replicaBefore := clusterServeCounts(nodes)
+	for round := 0; round < 4; round++ {
+		for _, n := range nodes {
+			items, _, err := n.Lookup(name2)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(items) != 1 || items[0].Value.(string) != "v2" {
+				t.Fatalf("stale read after re-push: %+v", items)
+			}
+		}
+	}
+	if _, replicaAfter := clusterServeCounts(nodes); replicaAfter == replicaBefore {
+		t.Error("replica serving did not resume after re-push")
+	}
+}
+
+// TestClearReplicasRestoresOwnerOnlyServing: releasing the replication
+// withdraws the ads — lookups stop touching holders and funnel back to
+// the owner, still correct.
+func TestClearReplicasRestoresOwnerOnlyServing(t *testing.T) {
+	o, nodes, _ := testOverlay(t, 6)
+	name := "hot:item"
+	key := StringKey(name)
+	if _, err := nodes["peer-00"].Insert(Item{Key: key, Name: name, Size: 8}); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := o.ReplicateRange(KeyRange{Lo: key, Hi: key + 1e-6}, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := o.ClearReplicas(); err != nil {
+		t.Fatal(err)
+	}
+	_, replicaBefore := clusterServeCounts(nodes)
+	for round := 0; round < 3; round++ {
+		for _, n := range nodes {
+			items, _, err := n.Lookup(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(items) != 1 {
+				t.Fatalf("lookup after release = %+v", items)
+			}
+		}
+	}
+	if _, replicaAfter := clusterServeCounts(nodes); replicaAfter != replicaBefore {
+		t.Error("replica serves recorded after ClearReplicas withdrew the ads")
+	}
+}
+
+// TestHeatWeightedBalanceSplitsByHeat: with a heat source wired, equal
+// item cardinality no longer means balanced — a node serving all the
+// measured access load sheds the hot part of its range to its
+// neighbour, splitting the pair's heat instead of its item count.
+// Without heat evidence the pass stays byte-identical to the paper's
+// cardinality balancing and does nothing here.
+func TestHeatWeightedBalanceSplitsByHeat(t *testing.T) {
+	o, nodes, _ := testOverlay(t, 2)
+	ids := o.Members()
+	a, b := nodes[ids[0]], nodes[ids[1]]
+	if a.State().R0.Lo > b.State().R0.Lo {
+		a, b = b, a
+	}
+	ra, rb := a.State().R0, b.State().R0
+
+	// Equal cardinality on both sides: 8 items spread over each range.
+	for i := 0; i < 8; i++ {
+		ka := ra.Lo + Key(float64(ra.Hi-ra.Lo)*float64(i+1)/10)
+		kb := rb.Lo + Key(float64(rb.Hi-rb.Lo)*float64(i+1)/10)
+		if _, err := a.Insert(Item{Key: ka, Name: fmt.Sprintf("a-%d", i), Size: 4}); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := a.Insert(Item{Key: kb, Name: fmt.Sprintf("b-%d", i), Size: 4}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	before := totalItems(nodes)
+
+	// Count-balanced: no heat source, no shift.
+	if shifts, err := o.BalanceAdjacent(); err != nil || shifts != 0 {
+		t.Fatalf("count-balanced overlay shifted %d boundaries, err %v", shifts, err)
+	}
+
+	// All measured heat in one bucket fully inside a's range.
+	const buckets = telemetry.DefaultHeatBuckets
+	hotBucket := -1
+	for i := 0; i < buckets; i++ {
+		lo, hi := telemetry.HeatBucketRange(i, buckets)
+		if Key(lo) >= ra.Lo && Key(hi) <= ra.Hi {
+			hotBucket = i
+		}
+	}
+	if hotBucket < 0 {
+		t.Fatalf("no heat bucket fits inside %v", ra)
+	}
+	o.SetHeatSource(func(id string) (telemetry.HeatmapSnapshot, bool) {
+		v := make([]int64, buckets)
+		if id == a.ID() {
+			v[hotBucket] = 2 * minBalanceHeat
+		}
+		return telemetry.HeatmapSnapshot{Buckets: v}, true
+	})
+
+	shifts, err := o.BalanceAdjacent()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if shifts != 1 {
+		t.Fatalf("heat-weighted pass shifted %d boundaries, want 1", shifts)
+	}
+	if err := o.CheckInvariants(nodes); err != nil {
+		t.Fatal(err)
+	}
+	if got := totalItems(nodes); got != before {
+		t.Fatalf("items = %d after heat shift, want %d", got, before)
+	}
+	// The boundary moved to the heat midpoint: the middle of the hot
+	// bucket, well inside a's old range.
+	lo, hi := telemetry.HeatBucketRange(hotBucket, buckets)
+	want := Key((lo + hi) / 2)
+	gotLo := b.State().R0.Lo
+	if diff := float64(gotLo - want); diff > 1e-9 || diff < -1e-9 {
+		t.Errorf("new boundary = %v, want heat midpoint %v", gotLo, want)
+	}
+	if a.State().R0.Hi != gotLo {
+		t.Errorf("ranges not contiguous after heat shift: %v / %v", a.State().R0, b.State().R0)
+	}
+}
+
+// TestAdjacentReplicaDeltaCoalescing: per-mutation pushes to the
+// adjacent replica ship sequence-numbered deltas, not the full item
+// set — the byte-savings counter grows with the replica — and the
+// copy stays exact, proven by recovering a crashed node from it.
+func TestAdjacentReplicaDeltaCoalescing(t *testing.T) {
+	deltasBefore := telemetry.Default.Counter("baton_replica_push_total", telemetry.L("kind", "delta")).Value()
+	savedBefore := telemetry.Default.Counter("baton_replica_push_saved_bytes_total").Value()
+
+	o, nodes, net := testOverlay(t, 6)
+	for i := 0; i < 60; i++ {
+		k := Key(float64(i) / 60)
+		if _, err := nodes["peer-00"].Insert(Item{Key: k, Name: fmt.Sprintf("it-%d", i), Size: 64}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := telemetry.Default.Counter("baton_replica_push_total", telemetry.L("kind", "delta")).Value(); got == deltasBefore {
+		t.Error("no delta pushes across 60 mutations")
+	}
+	if got := telemetry.Default.Counter("baton_replica_push_saved_bytes_total").Value(); got <= savedBefore {
+		t.Error("delta coalescing saved no bytes over full resyncs")
+	}
+
+	// The deltas must have kept the replica exact: crash a loaded node
+	// and recover it purely from its neighbour's copy.
+	var victim string
+	for id, n := range nodes {
+		if n.NumItems() > 0 {
+			victim = id
+			break
+		}
+	}
+	lost := nodes[victim].NumItems()
+	net.SetDown(victim, true)
+	replacement := NewNode(net.Join(victim + "-replacement"))
+	if err := o.Recover(victim, replacement); err != nil {
+		t.Fatal(err)
+	}
+	delete(nodes, victim)
+	nodes[victim+"-replacement"] = replacement
+	if replacement.NumItems() != lost {
+		t.Errorf("recovered %d items from the delta-maintained replica, want %d", replacement.NumItems(), lost)
+	}
+	if err := o.CheckInvariants(nodes); err != nil {
+		t.Fatal(err)
+	}
+}

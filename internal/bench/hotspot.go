@@ -5,11 +5,15 @@ import (
 	"fmt"
 	"runtime"
 	"sort"
+	"strings"
+	"sync"
 	"time"
 
 	"bestpeer"
+	"bestpeer/internal/baton"
 	"bestpeer/internal/bootstrap"
 	"bestpeer/internal/peer"
+	"bestpeer/internal/pnet"
 	"bestpeer/internal/telemetry"
 	"bestpeer/internal/tpch"
 )
@@ -45,6 +49,24 @@ type HotspotResult struct {
 	HeatOffMS   float64 `json:"heat_off_ms"`
 	HeatOnMS    float64 `json:"heat_on_ms"`
 	OverheadPct float64 `json:"overhead_pct"`
+	// Mitigation A/B under the flash-crowd scenario (locator cache off,
+	// Zipfian load, identical per-hop delays in both arms): the hottest
+	// peer's share of terminally served index lookups, cluster p99, and
+	// closed-loop QPS with mitigation off vs armed.
+	MitOffHotShare  float64 `json:"mit_off_hot_share"`
+	MitOnHotShare   float64 `json:"mit_on_hot_share"`
+	MitOffP99MS     float64 `json:"mit_off_p99_ms"`
+	MitOnP99MS      float64 `json:"mit_on_p99_ms"`
+	MitOffQPS       float64 `json:"mit_off_qps"`
+	MitOnQPS        float64 `json:"mit_on_qps"`
+	MitRebalances   int     `json:"mit_rebalances"`
+	MitReplicaReads int64   `json:"mit_replica_reads"`
+	// ResultsMatch: both arms returned byte-identical rows for a fixed
+	// query set (replicated reads never change answers). ArmedQuiet: the
+	// armed daemon fired zero rebalance actions on a uniform workload and
+	// its results matched an unarmed uniform run bit for bit.
+	ResultsMatch bool `json:"results_match"`
+	ArmedQuiet   bool `json:"armed_quiet"`
 	// Detected and Quiet summarize the acceptance criteria.
 	Detected bool `json:"detected"`
 	Quiet    bool `json:"quiet"`
@@ -56,9 +78,10 @@ func (r *HotspotResult) JSONLine() string {
 	return string(b)
 }
 
-// heatPhase runs one workload distribution on a fresh network and
+// heatPhase runs one workload distribution (skew > 1 = Zipfian window
+// placement with that exponent, else uniform) on a fresh network and
 // returns the hotspot events logged plus the cluster heat vector.
-func heatPhase(peers, queries int, zipfian bool) (hotspots int, heat telemetry.HeatmapSnapshot, top bootstrap.HotRange, net *bestpeer.Network, err error) {
+func heatPhase(peers, queries int, skew float64) (hotspots int, heat telemetry.HeatmapSnapshot, top bootstrap.HotRange, net *bestpeer.Network, err error) {
 	cfg := Default()
 	cfg.PerNodeSF = 0.004
 	net, err = buildBestPeer(cfg, peers)
@@ -69,7 +92,7 @@ func heatPhase(peers, queries int, zipfian bool) (hotspots int, heat telemetry.H
 	net.Bootstrap.DefineStatsDomain(tpch.LineItem, bootstrap.StatsDomainRecord{
 		Columns: []string{"l_shipdate"}, Lo: []float64{lo}, Hi: []float64{hi},
 	})
-	w := tpch.NewShipdateWorkload(1, zipfian, 7)
+	w := tpch.NewShipdateWorkloadSkew(1, skew, 7)
 	for q := 0; q < queries; q++ {
 		if _, err := net.Query(q%peers, w.Next(), bestpeer.QueryOptions{Strategy: peer.StrategyBasic}); err != nil {
 			return 0, heat, top, nil, err
@@ -92,17 +115,178 @@ func heatPhase(peers, queries int, zipfian bool) (hotspots int, heat telemetry.H
 	return hotspots, heat, top, net, nil
 }
 
-// HotspotDetection runs the full heat-plane benchmark.
-func HotspotDetection(peers, queries int) (*HotspotResult, error) {
-	if peers < 1 || queries < 1 {
-		return nil, fmt.Errorf("bench: hotspot detection needs >=1 peer and >=1 query")
-	}
+// mitigationHopDelay models per-hop network latency: every overlay
+// lookup hop and every replica serve pays it, identically in both arms,
+// so the A/B difference is pure hop count — the routed path to the
+// funnel owner vs the one-hop (or zero-hop) replica path.
+const mitigationHopDelay = 2 * time.Millisecond
 
-	zipfHot, zipfHeat, top, net, err := heatPhase(peers, queries, true)
+// mitigationOutcome is one arm of the mitigation A/B.
+type mitigationOutcome struct {
+	hotShare     float64
+	p99          time.Duration
+	qps          float64
+	rebalances   int
+	replicaReads int64
+	fingerprint  string
+}
+
+// mitigationPhase runs one arm of the mitigation benchmark on a fresh
+// network. flashCrowd recreates the funnel the mitigation exists for:
+// locator caches off, so every query's index lookups ("IT:lineitem",
+// "ID:lineitem" — one key-space bucket) hit the overlay and converge on
+// one owner, with a per-hop delivery delay making hops cost wall time.
+// mitigate arms EnableHeatMitigation; the warm phase plus one report +
+// maintenance epoch is what lets the daemon detect and replicate before
+// the timed window opens.
+func mitigationPhase(peers, queries int, skew float64, flashCrowd, mitigate bool) (*mitigationOutcome, error) {
+	cfg := Default()
+	cfg.PerNodeSF = 0.004
+	net, err := buildBestPeer(cfg, peers)
 	if err != nil {
 		return nil, err
 	}
-	uniHot, uniHeat, _, _, err := heatPhase(peers, queries, false)
+	lo, hi := tpch.ShipdateDomain()
+	net.Bootstrap.DefineStatsDomain(tpch.LineItem, bootstrap.StatsDomainRecord{
+		Columns: []string{"l_shipdate"}, Lo: []float64{lo}, Hi: []float64{hi},
+	})
+	if mitigate {
+		net.EnableHeatMitigation(2)
+	}
+	if flashCrowd {
+		net.SetLocatorCache(false)
+		net.Net.SetFaultPlan(pnet.NewFaultPlan(1).
+			Delay("", baton.LookupVerb, mitigationHopDelay).
+			Delay("", baton.ReplicaServeVerb, mitigationHopDelay))
+	}
+
+	// Warm until the collector's index-heat window clears MinHeatSamples,
+	// then one epoch: an armed daemon replicates the hot range and
+	// broadcasts the advisory; an unarmed one just logs the hotspot.
+	warm := tpch.NewShipdateWorkloadSkew(1, skew, 7)
+	for q := 0; q < 64; q++ {
+		if _, err := net.Query(q%peers, warm.Next(), bestpeer.QueryOptions{Strategy: peer.StrategyBasic}); err != nil {
+			return nil, err
+		}
+	}
+	net.ReportTelemetry()
+	if err := net.RunMaintenance(50 * time.Millisecond); err != nil {
+		return nil, err
+	}
+
+	// Serve-count baselines: the timed window's shares must not include
+	// pre-mitigation warm-up traffic.
+	base := make(map[string][2]int64)
+	for _, p := range net.Peers() {
+		l, r := p.ServeCounts()
+		base[p.ID()] = [2]int64{l, r}
+	}
+
+	// Timed closed loop: four workers, each with its own generator.
+	const workers = 4
+	perWorker := queries / workers
+	if perWorker < 1 {
+		perWorker = 1
+	}
+	lats := make([][]time.Duration, workers)
+	errs := make([]error, workers)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for wk := 0; wk < workers; wk++ {
+		wk := wk
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			gen := tpch.NewShipdateWorkloadSkew(int64(wk)+2, skew, 7)
+			for q := 0; q < perWorker; q++ {
+				t0 := time.Now()
+				if _, err := net.Query((wk+q)%peers, gen.Next(), bestpeer.QueryOptions{Strategy: peer.StrategyBasic}); err != nil {
+					errs[wk] = err
+					return
+				}
+				lats[wk] = append(lats[wk], time.Since(t0))
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	out := &mitigationOutcome{}
+	var all []time.Duration
+	for _, l := range lats {
+		all = append(all, l...)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	if len(all) > 0 {
+		idx := (len(all) * 99) / 100
+		if idx >= len(all) {
+			idx = len(all) - 1
+		}
+		out.p99 = all[idx]
+		out.qps = float64(len(all)) / elapsed.Seconds()
+	}
+
+	// The hottest peer's share of terminally served lookups over the
+	// timed window. Unmitigated, the funnel owner serves ~everything;
+	// mitigated, rotation over owner+holders caps any one peer near
+	// 1/(k+1).
+	var total, max int64
+	for _, p := range net.Peers() {
+		l, r := p.ServeCounts()
+		b := base[p.ID()]
+		served := (l - b[0]) + (r - b[1])
+		total += served
+		if served > max {
+			max = served
+		}
+		out.replicaReads += r - b[1]
+	}
+	if total > 0 {
+		out.hotShare = float64(max) / float64(total)
+	}
+	for _, e := range net.Bootstrap.Events() {
+		if e.Kind == "rebalance" {
+			out.rebalances++
+		}
+	}
+
+	// Fingerprint a fixed query set (same seed in every arm) while the
+	// arm's configuration is still live: byte-identical fingerprints
+	// prove replicated reads and dispatch reordering change no answers.
+	fp := tpch.NewShipdateWorkloadSkew(99, skew, 7)
+	var sb strings.Builder
+	for q := 0; q < 16; q++ {
+		res, err := net.Query(q%peers, fp.Next(), bestpeer.QueryOptions{Strategy: peer.StrategyBasic})
+		if err != nil {
+			return nil, err
+		}
+		fmt.Fprintf(&sb, "%v\n", res.Result.Rows)
+	}
+	out.fingerprint = sb.String()
+	return out, nil
+}
+
+// HotspotDetection runs the full heat-plane benchmark. zipfSkew is the
+// Zipf exponent of the skewed arms (rand.Zipf needs s > 1; the uniform
+// arms always run with no skew).
+func HotspotDetection(peers, queries int, zipfSkew float64) (*HotspotResult, error) {
+	if peers < 1 || queries < 1 {
+		return nil, fmt.Errorf("bench: hotspot detection needs >=1 peer and >=1 query")
+	}
+	if zipfSkew <= 1 {
+		return nil, fmt.Errorf("bench: hotspot detection needs a Zipf exponent > 1, got %g", zipfSkew)
+	}
+
+	zipfHot, zipfHeat, top, net, err := heatPhase(peers, queries, zipfSkew)
+	if err != nil {
+		return nil, err
+	}
+	uniHot, uniHeat, _, _, err := heatPhase(peers, queries, 0)
 	if err != nil {
 		return nil, err
 	}
@@ -186,5 +370,48 @@ func HotspotDetection(peers, queries int) (*HotspotResult, error) {
 		sort.Float64s(ratios)
 		r.OverheadPct = (ratios[len(ratios)/2] - 1) * 100
 	}
+
+	// The overhead loop's last batch can leave the kill switch off;
+	// mitigation needs the index-heat signal flowing again.
+	telemetry.SetHeatEnabled(true)
+
+	// Mitigation A/B: the flash-crowd scenario with mitigation off vs
+	// armed (identical fault plans, workloads, and seeds in both arms).
+	mitOff, err := mitigationPhase(peers, queries, zipfSkew, true, false)
+	if err != nil {
+		return nil, err
+	}
+	mitOn, err := mitigationPhase(peers, queries, zipfSkew, true, true)
+	if err != nil {
+		return nil, err
+	}
+	r.MitOffHotShare = mitOff.hotShare
+	r.MitOnHotShare = mitOn.hotShare
+	r.MitOffP99MS = float64(mitOff.p99) / float64(time.Millisecond)
+	r.MitOnP99MS = float64(mitOn.p99) / float64(time.Millisecond)
+	r.MitOffQPS = mitOff.qps
+	r.MitOnQPS = mitOn.qps
+	r.MitRebalances = mitOn.rebalances
+	r.MitReplicaReads = mitOn.replicaReads
+	r.ResultsMatch = mitOff.fingerprint == mitOn.fingerprint && mitOff.fingerprint != ""
+
+	// Armed-but-uniform: with locator caches on (the production default)
+	// a uniform workload leaves index heat below the evidence floor, so
+	// the armed daemon must fire nothing and answers must match an
+	// unarmed run bit for bit.
+	uniQueries := queries / 2
+	if uniQueries < 16 {
+		uniQueries = 16
+	}
+	uniArmed, err := mitigationPhase(peers, uniQueries, 0, false, true)
+	if err != nil {
+		return nil, err
+	}
+	uniPlain, err := mitigationPhase(peers, uniQueries, 0, false, false)
+	if err != nil {
+		return nil, err
+	}
+	r.ArmedQuiet = uniArmed.rebalances == 0 && uniArmed.replicaReads == 0 &&
+		uniArmed.fingerprint == uniPlain.fingerprint
 	return r, nil
 }
