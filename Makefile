@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: verify build fmt vet test race chaos bench fanout bench-telemetry bench-monitor bench-exec bench-faults bench-serving bench-hotspot bench-rebalance cover
+.PHONY: verify build fmt vet test race chaos bench fanout bench-telemetry bench-monitor bench-exec bench-faults bench-serving bench-hotspot bench-rebalance bench-ingest cover
 
 verify: build fmt vet race chaos
 
@@ -32,7 +32,7 @@ race:
 # bounded by the timeout so a reintroduced hang fails instead of
 # wedging CI.
 chaos:
-	$(GO) test -race -count=1 -timeout 120s -run 'TestChaos' ./internal/pnet/ ./internal/baton/ ./internal/serving/ .
+	$(GO) test -race -count=1 -timeout 120s -run 'TestChaos' ./internal/pnet/ ./internal/baton/ ./internal/serving/ ./internal/sqldb/ .
 
 # Regenerate the paper's figures (virtual-time, deterministic).
 bench:
@@ -97,6 +97,14 @@ bench-hotspot:
 # nothing on a uniform workload). Alias of bench-hotspot — the A/B
 # lives in the same figure so its arms share the detection networks.
 bench-rebalance: bench-hotspot
+
+# Continuous-ingest acceptance: CDC refresh must beat snapshot-diff
+# passes at low churn (cdc_speedup > 1) with bit-identical query
+# results (results_identical = true), and serving entries over tables
+# the ingest never touches must keep hitting while sync rounds race
+# the query stream (unrelated_misses stays at the warm-up count).
+bench-ingest:
+	$(GO) run ./cmd/bpbench -fig ingest | tee BENCH_ingest.json
 
 # Per-package statement coverage (not part of the verify gate; the
 # baseline lives in EXPERIMENTS.md).

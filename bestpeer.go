@@ -262,6 +262,12 @@ func (n *Network) EnableServing(cfg serving.Config) {
 		// invalidates, not just at the serving peer.
 		cfg.Versions = n.ClusterVersions
 	}
+	if cfg.TableVersions == nil {
+		// Precise stamping: per-table version vectors summed across the
+		// cluster, so DML against one table leaves results over other
+		// tables cached (the cluster sum would invalidate everything).
+		cfg.TableVersions = n.ClusterTableVersions
+	}
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	n.servingCfg = cfg
@@ -296,6 +302,22 @@ func (n *Network) ClusterVersions() (schema, data uint64) {
 		s, d := p.DB().Versions()
 		schema += s
 		data += d
+	}
+	return schema, data
+}
+
+// ClusterTableVersions sums, across every peer, the schema version and
+// the per-table data versions of exactly the given tables. The serving
+// result cache stamps entries with this vector so DML against one table
+// only invalidates results that actually read it.
+func (n *Network) ClusterTableVersions(tables []string) (schema uint64, data []uint64) {
+	data = make([]uint64, len(tables))
+	for _, p := range n.Peers() {
+		s, vec := p.DB().VersionVector(tables)
+		schema += s
+		for i, v := range vec {
+			data[i] += v
+		}
 	}
 	return schema, data
 }

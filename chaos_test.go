@@ -1,13 +1,20 @@
 package bestpeer
 
 import (
+	"fmt"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
+	"bestpeer/internal/erp"
 	"bestpeer/internal/peer"
 	"bestpeer/internal/pnet"
+	"bestpeer/internal/schemamap"
+	"bestpeer/internal/serving"
+	"bestpeer/internal/sqldb"
+	"bestpeer/internal/sqlval"
 )
 
 // chaosSeed fixes every fault decision in the system-level chaos suite.
@@ -222,5 +229,170 @@ func TestChaosFailoverOnInjectedFaults(t *testing.T) {
 	}
 	if _, err := n.Query(0, `SELECT COUNT(*) FROM lineitem`, QueryOptions{}); err != nil {
 		t.Fatalf("query after failover: %v", err)
+	}
+}
+
+// TestChaosIngestDuringServing races the continuous-ingest pipeline
+// (ERP mutations streamed as CDC deltas through peer.SyncData, applied
+// as atomic batches on the peer database) against live serving traffic:
+// sessions issuing cacheable fan-out queries on an unrelated table plus
+// direct queries over the ingested one. Run under -race this pins the
+// loader's locking discipline (merges go through DB.Atomic, never bare
+// table writes); the end-state assertions pin correctness: the ingested
+// table converges to the production system, and cache entries over the
+// unrelated table survive every round of DML thanks to per-table
+// version stamping.
+func TestChaosIngestDuringServing(t *testing.T) {
+	n := newLoadedNetwork(t, 3, 0.002)
+	n.EnableServing(serving.Config{})
+
+	sys := erp.NewSystem("SAP")
+	local := &sqldb.Schema{Table: "vbak", Columns: []sqldb.Column{
+		{Name: "price", Kind: sqlval.KindFloat},
+		{Name: "id", Kind: sqlval.KindInt},
+	}}
+	if err := sys.CreateTable(local); err != nil {
+		t.Fatal(err)
+	}
+	mapping := &schemamap.Mapping{System: "SAP", Tables: []schemamap.TableMapping{{
+		LocalTable: "vbak", GlobalTable: "orders",
+		Columns: []schemamap.ColumnMapping{
+			{Local: "id", Global: "o_orderkey"},
+			{Local: "price", Global: "o_totalprice"},
+		},
+	}}}
+	ingester := n.Peer(0)
+	if err := ingester.AttachProduction(sys, mapping); err != nil {
+		t.Fatal(err)
+	}
+	// Business keys far above the TPC-H order keys already loaded.
+	const base = 1 << 30
+	next := base
+	live := 0
+	for ; next < base+20; next++ {
+		if err := sys.Insert("vbak", sqlval.Row{sqlval.Float(1), sqlval.Int(int64(next))}); err != nil {
+			t.Fatal(err)
+		}
+		live++
+	}
+	if _, err := ingester.SyncData(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Warm a lineitem entry at a serving tier that is NOT the ingesting
+	// peer; ingest churns only orders, so this entry must keep hitting.
+	warm := n.ServingClient("ingest-warm", 1)
+	if err := warm.Open("", serving.ClassInteractive, ""); err != nil {
+		t.Fatal(err)
+	}
+	defer warm.Close()
+	const unrelated = `SELECT COUNT(*) FROM lineitem`
+	if _, err := warm.Query(unrelated, serving.CacheUse); err != nil {
+		t.Fatal(err)
+	}
+	if out, err := warm.Query(unrelated, serving.CacheUse); err != nil || !out.CacheHit {
+		t.Fatalf("warm-up hit failed: hit=%v err=%v", out.CacheHit, err)
+	}
+
+	stop := make(chan struct{})
+	ready := make(chan struct{}, 3)
+	var wg sync.WaitGroup
+	var unrelatedHits, unrelatedMisses atomic.Int64
+	for c := 0; c < 3; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			cl := n.ServingClient(fmt.Sprintf("ingest-client-%d", c), c)
+			if err := cl.Open("", serving.ClassInteractive, ""); err != nil {
+				t.Errorf("client %d open: %v", c, err)
+				return
+			}
+			defer cl.Close()
+			ready <- struct{}{}
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if i%2 == 0 {
+					out, err := cl.Query(unrelated, serving.CacheUse)
+					if err != nil {
+						if !serving.Overloaded(err) {
+							t.Errorf("client %d unrelated query: %v", c, err)
+							return
+						}
+						continue
+					}
+					if out.CacheHit {
+						unrelatedHits.Add(1)
+					} else {
+						unrelatedMisses.Add(1)
+					}
+				} else {
+					// Reads racing the atomic ingest batches.
+					if _, err := cl.Query(`SELECT COUNT(*) FROM orders`, serving.CacheUse); err != nil && !serving.Overloaded(err) {
+						t.Errorf("client %d orders query: %v", c, err)
+						return
+					}
+				}
+			}
+		}(c)
+	}
+
+	// Every client is open and querying before the churn begins, so the
+	// ingest rounds genuinely race the serving traffic.
+	for c := 0; c < 3; c++ {
+		<-ready
+	}
+
+	// Ingest loop: every round mutates production and runs one CDC sync
+	// concurrently with the query traffic above.
+	cdcPasses := 0
+	for round := 0; round < 25; round++ {
+		for k := 0; k < 4; k++ {
+			if err := sys.Insert("vbak", sqlval.Row{sqlval.Float(float64(round)), sqlval.Int(int64(next))}); err != nil {
+				t.Fatal(err)
+			}
+			next++
+			live++
+		}
+		if round%3 == 1 {
+			victim := base + round
+			if _, err := sys.Exec(fmt.Sprintf(`DELETE FROM vbak WHERE id = %d`, victim)); err != nil {
+				t.Fatal(err)
+			}
+			live--
+		}
+		d, err := ingester.SyncData()
+		if err != nil {
+			t.Fatalf("round %d: sync: %v (delta %+v)", round, err, d)
+		}
+		if d.Events > 0 {
+			cdcPasses++
+		}
+	}
+	close(stop)
+	wg.Wait()
+
+	if cdcPasses == 0 {
+		t.Fatal("no sync pass consumed CDC events; ingest ran on snapshots only")
+	}
+	// Unrelated-table entries survived the orders churn: hits dominate
+	// (the only allowed misses are warm-ups on each client's tier).
+	if unrelatedHits.Load() == 0 {
+		t.Fatal("no cache hits on the unrelated table during ingest")
+	}
+	if m := unrelatedMisses.Load(); m > 3 {
+		t.Fatalf("unrelated-table entries invalidated %d times during orders-only ingest", m)
+	}
+
+	// Convergence: the ingested table matches production exactly.
+	res, err := n.Query(1, fmt.Sprintf(`SELECT COUNT(*) FROM orders WHERE o_orderkey >= %d`, base), QueryOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Result.Rows[0][0].AsInt(); got != int64(live) {
+		t.Fatalf("ingested rows = %d, want %d", got, live)
 	}
 }

@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	bpbench [-fig all|6|7|8|9|10|11|12|13|14|ablations|fanout|telemetry|monitor|exec|batch|faults] [-nodes 10,20,50] [-sf 0.0004]
+//	bpbench [-fig all|6|7|8|9|10|11|12|13|14|ablations|fanout|telemetry|monitor|exec|batch|faults|ingest] [-nodes 10,20,50] [-sf 0.0004]
 //
 // Five experiments are wall-clock rather than vtime: "fanout" compares
 // sequential vs concurrent multi-peer fetch under an injected per-call
@@ -49,6 +49,10 @@ func main() {
 	servingClients := flag.Int("serving-clients", 1200, "concurrent client sessions for the serving-tier saturation benchmark")
 	servingDuration := flag.Duration("serving-duration", 2*time.Second, "per-phase duration for the serving-tier saturation benchmark")
 	hotspotQueries := flag.Int("hotspot-queries", 200, "queries per workload for the hotspot detection benchmark")
+	ingestRows := flag.Int("ingest-rows", 20000, "production-table rows for the snapshot-vs-CDC ingest comparison")
+	ingestRounds := flag.Int("ingest-rounds", 8, "churn+sync rounds for the ingest comparison")
+	ingestChurn := flag.Float64("ingest-churn", 0.02, "per-round mutation fraction for the ingest comparison")
+	ingestQueries := flag.Int("ingest-queries", 400, "serving queries per phase for the ingest impact measurement")
 	zipfSkew := flag.Float64("zipf", tpch.DefaultZipfSkew, "Zipf exponent (>1) of the hotspot benchmark's skewed workload")
 	nodes := flag.String("nodes", "10,20,50", "comma-separated cluster sizes")
 	sf := flag.Float64("sf", 0.0004, "TPC-H scale factor contributed per node")
@@ -137,6 +141,16 @@ func main() {
 		r, err := bench.ServingSaturation(*servingPeers, *servingClients, *servingDuration)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "bpbench: serving: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Println(r.JSONLine())
+		return
+	}
+
+	if *fig == "ingest" {
+		r, err := bench.IngestComparison(*ingestRows, *ingestRounds, *ingestChurn, *ingestQueries)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bpbench: ingest: %v\n", err)
 			os.Exit(1)
 		}
 		fmt.Println(r.JSONLine())

@@ -1,0 +1,358 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync/atomic"
+	"time"
+
+	"bestpeer/internal/erp"
+	"bestpeer/internal/loader"
+	"bestpeer/internal/schemamap"
+	"bestpeer/internal/serving"
+	"bestpeer/internal/sqldb"
+	"bestpeer/internal/sqlval"
+)
+
+// This file prices the continuous-ingest pipeline two ways.
+//
+// Part one is a head-to-head on the loader's refresh strategies: one
+// production system churning a small percentage of its rows per round,
+// loaded into two destination databases — one loader forced to full
+// snapshot differentials (extract + fingerprint + sort + merge every
+// pass), one tailing the CDC change feed (cost proportional to churn).
+// Both must answer queries bit-identically after every round; the
+// interesting number is the per-pass wall clock.
+//
+// Part two measures what ingest does to the serving tier: a loaded
+// network with serving attached answers a cacheable query over a table
+// the ingest never touches, idle and then concurrent with CDC sync
+// rounds. Per-table version stamping should keep the unrelated entry
+// hitting and the p99 close to idle.
+
+// IngestModeStats is one refresh strategy's measured outcome.
+type IngestModeStats struct {
+	Passes    int     `json:"passes"`
+	TotalMS   float64 `json:"total_ms"`
+	AvgPassMS float64 `json:"avg_pass_ms"`
+	Inserted  int     `json:"inserted"`
+	Deleted   int     `json:"deleted"`
+	Events    int     `json:"cdc_events"`
+}
+
+// IngestServingStats compares serving latency idle vs during ingest.
+type IngestServingStats struct {
+	Queries         int     `json:"queries_per_phase"`
+	IdleP99MS       float64 `json:"idle_p99_ms"`
+	DuringP99MS     float64 `json:"during_ingest_p99_ms"`
+	UnrelatedHits   int64   `json:"unrelated_hits"`
+	UnrelatedMisses int64   `json:"unrelated_misses"`
+	SyncRounds      int     `json:"sync_rounds"`
+}
+
+// IngestResult is the benchmark's JSON line for BENCH_ingest.json.
+type IngestResult struct {
+	Rows             int                `json:"rows"`
+	Rounds           int                `json:"rounds"`
+	ChurnPct         float64            `json:"churn_pct"`
+	Snapshot         IngestModeStats    `json:"snapshot"`
+	CDC              IngestModeStats    `json:"cdc"`
+	Speedup          float64            `json:"cdc_speedup"`
+	ResultsIdentical bool               `json:"results_identical"`
+	Serving          IngestServingStats `json:"serving"`
+}
+
+// JSONLine renders the result as a single JSON line.
+func (r *IngestResult) JSONLine() string {
+	b, _ := json.Marshal(r)
+	return string(b)
+}
+
+// ingestSchema is the production-side relation the benchmark churns.
+func ingestMapping() (*sqldb.Schema, *sqldb.Schema, *schemamap.Mapping) {
+	local := &sqldb.Schema{
+		Table: "vbak_orders",
+		Columns: []sqldb.Column{
+			{Name: "net_value", Kind: sqlval.KindFloat},
+			{Name: "order_id", Kind: sqlval.KindInt},
+		},
+	}
+	global := &sqldb.Schema{
+		Table: "orders",
+		Columns: []sqldb.Column{
+			{Name: "o_orderkey", Kind: sqlval.KindInt},
+			{Name: "o_totalprice", Kind: sqlval.KindFloat},
+		},
+	}
+	mapping := &schemamap.Mapping{System: "SAP", Tables: []schemamap.TableMapping{{
+		LocalTable: "vbak_orders", GlobalTable: "orders",
+		Columns: []schemamap.ColumnMapping{
+			{Local: "order_id", Global: "o_orderkey"},
+			{Local: "net_value", Global: "o_totalprice"},
+		},
+	}}}
+	return local, global, mapping
+}
+
+// IngestComparison runs the snapshot-vs-CDC head-to-head plus the
+// serving-impact phase. rows is the production table size, rounds the
+// number of churn+sync cycles, churn the per-round mutation fraction.
+func IngestComparison(rows, rounds int, churn float64, servingQueries int) (*IngestResult, error) {
+	if rows < 10 || rounds < 1 || churn <= 0 || churn > 0.5 {
+		return nil, fmt.Errorf("bench: ingest needs rows>=10, rounds>=1, 0<churn<=0.5")
+	}
+	local, global, mapping := ingestMapping()
+	sys := erp.NewSystem("SAP")
+	if err := sys.CreateTable(local); err != nil {
+		return nil, err
+	}
+	resolve := func(name string) *sqldb.Schema {
+		if name == "orders" {
+			return global
+		}
+		return nil
+	}
+	destSnap, destCDC := sqldb.NewDB(), sqldb.NewDB()
+	snapLoader, err := loader.New(sys, mapping, destSnap, resolve)
+	if err != nil {
+		return nil, err
+	}
+	snapLoader.SetMode(loader.ModeSnapshot)
+	cdcLoader, err := loader.New(sys, mapping, destCDC, resolve)
+	if err != nil {
+		return nil, err
+	}
+
+	rng := rand.New(rand.NewSource(7))
+	next := 0
+	live := make([]int, 0, rows)
+	insert := func() error {
+		if err := sys.Insert("vbak_orders", sqlval.Row{sqlval.Float(float64(next) / 3), sqlval.Int(int64(next))}); err != nil {
+			return err
+		}
+		live = append(live, next)
+		next++
+		return nil
+	}
+	for i := 0; i < rows; i++ {
+		if err := insert(); err != nil {
+			return nil, err
+		}
+	}
+	// Initial loads (both are snapshot passes; excluded from timing).
+	if _, err := snapLoader.Run(); err != nil {
+		return nil, err
+	}
+	if _, err := cdcLoader.Run(); err != nil {
+		return nil, err
+	}
+
+	r := &IngestResult{Rows: rows, Rounds: rounds, ChurnPct: churn * 100, ResultsIdentical: true}
+	timed := func(l *loader.Loader, st *IngestModeStats) error {
+		t0 := time.Now()
+		d, err := l.Run()
+		if err != nil {
+			return err
+		}
+		st.TotalMS += float64(time.Since(t0)) / float64(time.Millisecond)
+		st.Passes++
+		st.Inserted += d.Inserted
+		st.Deleted += d.Deleted
+		st.Events += d.Events
+		return nil
+	}
+	const checkQuery = `SELECT o_orderkey, o_totalprice FROM orders ORDER BY o_orderkey, o_totalprice`
+	for round := 0; round < rounds; round++ {
+		// Churn: half inserts, a quarter deletes, a quarter updates.
+		muts := int(float64(rows) * churn)
+		if muts < 4 {
+			muts = 4
+		}
+		for m := 0; m < muts; m++ {
+			switch k := rng.Intn(4); {
+			case k < 2:
+				if err := insert(); err != nil {
+					return nil, err
+				}
+			case k < 3 && len(live) > 0:
+				i := rng.Intn(len(live))
+				id := live[i]
+				if _, err := sys.Exec(fmt.Sprintf(`DELETE FROM vbak_orders WHERE order_id = %d`, id)); err != nil {
+					return nil, err
+				}
+				live = append(live[:i], live[i+1:]...)
+			case len(live) > 0:
+				id := live[rng.Intn(len(live))]
+				if _, err := sys.Exec(fmt.Sprintf(`UPDATE vbak_orders SET net_value = %d.5 WHERE order_id = %d`, round, id)); err != nil {
+					return nil, err
+				}
+			}
+		}
+		// CDC first: the snapshot loader never consumes the feed, so
+		// ordering only matters for cache warmth fairness (none here).
+		if err := timed(cdcLoader, &r.CDC); err != nil {
+			return nil, fmt.Errorf("bench: cdc round %d: %w", round, err)
+		}
+		if err := timed(snapLoader, &r.Snapshot); err != nil {
+			return nil, fmt.Errorf("bench: snapshot round %d: %w", round, err)
+		}
+		a, err := destSnap.Query(checkQuery)
+		if err != nil {
+			return nil, err
+		}
+		b, err := destCDC.Query(checkQuery)
+		if err != nil {
+			return nil, err
+		}
+		if fmt.Sprint(a.Rows) != fmt.Sprint(b.Rows) {
+			r.ResultsIdentical = false
+		}
+	}
+	if r.Snapshot.Passes > 0 {
+		r.Snapshot.AvgPassMS = r.Snapshot.TotalMS / float64(r.Snapshot.Passes)
+	}
+	if r.CDC.Passes > 0 {
+		r.CDC.AvgPassMS = r.CDC.TotalMS / float64(r.CDC.Passes)
+	}
+	if r.CDC.TotalMS > 0 {
+		r.Speedup = r.Snapshot.TotalMS / r.CDC.TotalMS
+	}
+
+	sv, err := ingestServingPhase(servingQueries)
+	if err != nil {
+		return nil, err
+	}
+	r.Serving = *sv
+	return r, nil
+}
+
+// ingestServingPhase measures cacheable serving latency over a table
+// the ingest pipeline never writes, idle and then racing CDC syncs.
+func ingestServingPhase(queries int) (*IngestServingStats, error) {
+	if queries < 10 {
+		queries = 10
+	}
+	cfg := Default()
+	cfg.PerNodeSF = 0.002
+	net, err := buildBestPeer(cfg, 3)
+	if err != nil {
+		return nil, err
+	}
+	net.EnableServing(serving.Config{})
+
+	local, _, mapping := ingestMapping()
+	sys := erp.NewSystem("SAP")
+	if err := sys.CreateTable(local); err != nil {
+		return nil, err
+	}
+	ingester := net.Peer(0)
+	if err := ingester.AttachProduction(sys, mapping); err != nil {
+		return nil, err
+	}
+	const base = 1 << 30
+	next := base
+	for ; next < base+100; next++ {
+		if err := sys.Insert("vbak_orders", sqlval.Row{sqlval.Float(1), sqlval.Int(int64(next))}); err != nil {
+			return nil, err
+		}
+	}
+	if _, err := ingester.SyncData(); err != nil {
+		return nil, err
+	}
+
+	cl := net.ServingClient("bench-ingest-client", 1)
+	if err := cl.Open("", serving.ClassInteractive, ""); err != nil {
+		return nil, err
+	}
+	defer cl.Close()
+
+	const unrelated = `SELECT COUNT(*) FROM lineitem`
+	st := &IngestServingStats{Queries: queries}
+	// more, when non-nil, extends the phase past the base query count
+	// (bounded) until the condition it watches is satisfied.
+	phase := func(more func(i int) bool) ([]time.Duration, error) {
+		lat := make([]time.Duration, 0, queries)
+		for i := 0; i < queries || (more != nil && more(i)); i++ {
+			t0 := time.Now()
+			out, err := cl.Query(unrelated, serving.CacheUse)
+			if err != nil {
+				if serving.Overloaded(err) {
+					continue
+				}
+				return nil, err
+			}
+			lat = append(lat, time.Since(t0))
+			if out.CacheHit {
+				st.UnrelatedHits++
+			} else {
+				st.UnrelatedMisses++
+			}
+		}
+		return lat, nil
+	}
+
+	idle, err := phase(nil)
+	if err != nil {
+		return nil, err
+	}
+	st.IdleP99MS = p99(idle)
+
+	// Concurrent ingest: churn + sync rounds race the query phase. The
+	// cached queries are microsecond-cheap while a sync round is not, so
+	// the measured phase keeps querying until enough rounds have landed
+	// concurrently — otherwise nothing would actually race the stream.
+	var rounds atomic.Int64
+	done := make(chan error, 1)
+	stop := make(chan struct{})
+	go func() {
+		for {
+			select {
+			case <-stop:
+				done <- nil
+				return
+			default:
+			}
+			for k := 0; k < 5; k++ {
+				if err := sys.Insert("vbak_orders", sqlval.Row{sqlval.Float(2), sqlval.Int(int64(next))}); err != nil {
+					done <- err
+					return
+				}
+				next++
+			}
+			if _, err := ingester.SyncData(); err != nil {
+				done <- err
+				return
+			}
+			rounds.Add(1)
+		}
+	}()
+	const minSyncRounds = 5
+	during, qerr := phase(func(i int) bool {
+		return rounds.Load() < minSyncRounds && i < queries*1000
+	})
+	close(stop)
+	if err := <-done; err != nil {
+		return nil, err
+	}
+	if qerr != nil {
+		return nil, qerr
+	}
+	st.SyncRounds = int(rounds.Load())
+	st.DuringP99MS = p99(during)
+	return st, nil
+}
+
+// p99 returns the 99th percentile of the samples (destructive: sorts).
+func p99(samples []time.Duration) float64 {
+	if len(samples) == 0 {
+		return 0
+	}
+	sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
+	idx := len(samples) * 99 / 100
+	if idx >= len(samples) {
+		idx = len(samples) - 1
+	}
+	return float64(samples[idx]) / float64(time.Millisecond)
+}

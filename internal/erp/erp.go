@@ -19,11 +19,20 @@ type System struct {
 	// schema-mapping templates are keyed by it.
 	Kind string
 	db   *sqldb.DB
+	wal  *sqldb.WAL
 }
 
-// NewSystem creates an empty production system of the given kind.
+// NewSystem creates an empty production system of the given kind. Every
+// system keeps a memory-only WAL so mutations double as a CDC change
+// feed the loader can tail instead of re-extracting full snapshots.
 func NewSystem(kind string) *System {
-	return &System{Kind: kind, db: sqldb.NewDB()}
+	db := sqldb.NewDB()
+	wal, err := db.EnableWAL(sqldb.WALConfig{GroupSize: 1})
+	if err != nil {
+		// Fresh DB: the only failure mode is a programming error.
+		panic(err)
+	}
+	return &System{Kind: kind, db: db, wal: wal}
 }
 
 // CreateTable declares one local relation.
@@ -55,6 +64,33 @@ func (s *System) Insert(table string, row sqlval.Row) error {
 func (s *System) Exec(sql string) (*sqldb.Result, error) {
 	return s.db.Exec(sql)
 }
+
+// FeedSeq returns the sequence number of the last change recorded in
+// the system's feed. A consumer that remembers this value can later ask
+// ChangesSince(seq) for exactly the mutations it has not yet seen.
+func (s *System) FeedSeq() uint64 { return s.wal.Seq() }
+
+// ChangesSince returns the ordered change events recorded after seq
+// (DML only — local DDL is invisible to consumers, which work from the
+// mapped schema). ok=false means the feed has been truncated past seq
+// and the consumer must fall back to a full snapshot resync.
+func (s *System) ChangesSince(seq uint64) ([]sqldb.WALRecord, bool) {
+	recs, ok := s.wal.Since(seq)
+	if !ok {
+		return nil, false
+	}
+	out := recs[:0]
+	for _, r := range recs {
+		if r.Kind.IsDML() {
+			out = append(out, r)
+		}
+	}
+	return out, true
+}
+
+// AckFeed releases feed retention up to and including seq; events at or
+// below it can no longer be replayed.
+func (s *System) AckFeed(seq uint64) { s.wal.Truncate(seq) }
 
 // Extract snapshots all rows of a local table in insertion order. This
 // is the loader's only read path into the production system.

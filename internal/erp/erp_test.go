@@ -78,3 +78,59 @@ func TestSchemaAndTables(t *testing.T) {
 		t.Errorf("Kind = %q", s.Kind)
 	}
 }
+
+func TestChangeFeedOrderedDeltas(t *testing.T) {
+	s := newSys(t)
+	mark := s.FeedSeq()
+	if err := s.Insert("t", sqlval.Row{sqlval.Int(1), sqlval.Str("a")}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Exec(`INSERT INTO t VALUES (2, 'b')`); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Exec(`UPDATE t SET name = 'bb' WHERE id = 2`); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Exec(`DELETE FROM t WHERE id = 1`); err != nil {
+		t.Fatal(err)
+	}
+	recs, ok := s.ChangesSince(mark)
+	if !ok {
+		t.Fatal("feed reported gap on a fresh consumer")
+	}
+	kinds := make([]sqldb.RecordKind, len(recs))
+	for i, r := range recs {
+		kinds[i] = r.Kind
+		if i > 0 && recs[i].Seq <= recs[i-1].Seq {
+			t.Fatalf("feed out of order at %d: %+v", i, recs)
+		}
+		if r.Table != "t" {
+			t.Fatalf("record %d table = %q", i, r.Table)
+		}
+	}
+	want := []sqldb.RecordKind{sqldb.RecInsert, sqldb.RecInsert, sqldb.RecUpdate, sqldb.RecDelete}
+	if len(kinds) != len(want) {
+		t.Fatalf("kinds = %v, want %v", kinds, want)
+	}
+	for i := range want {
+		if kinds[i] != want[i] {
+			t.Fatalf("kinds = %v, want %v", kinds, want)
+		}
+	}
+	if recs[2].Old == nil || recs[2].Old[1].AsString() != "b" {
+		t.Fatalf("update pre-image missing: %+v", recs[2])
+	}
+	if recs[3].Old == nil || recs[3].Old[0].AsInt() != 1 {
+		t.Fatalf("delete pre-image missing: %+v", recs[3])
+	}
+
+	// Ack releases retention; asking for history before the ack point
+	// signals a resync.
+	s.AckFeed(recs[1].Seq)
+	if _, ok := s.ChangesSince(mark); ok {
+		t.Fatal("acked feed still serves the truncated range")
+	}
+	if rest, ok := s.ChangesSince(recs[1].Seq); !ok || len(rest) != 2 {
+		t.Fatalf("post-ack tail: ok=%v len=%d", ok, len(rest))
+	}
+}

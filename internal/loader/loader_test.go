@@ -187,6 +187,10 @@ func TestDuplicateTuplesHandled(t *testing.T) {
 	insertOrder(t, sys, "01", 7, 1.0)
 	insertOrder(t, sys, "01", 7, 1.0) // identical tuple
 	l, _ := New(sys, mapping, dest, global)
+	// Snapshot differentials report the *net* effect (delete both +
+	// re-insert one diffs to a single delete); the CDC twin below
+	// checks the literal-event accounting.
+	l.SetMode(ModeSnapshot)
 	d, err := l.Run()
 	if err != nil {
 		t.Fatal(err)
@@ -245,5 +249,258 @@ func TestNewRejectsBadMapping(t *testing.T) {
 		schemamap.ColumnMapping{Local: "no_such_col", Global: "o_comment"})
 	if _, err := New(sys, mapping, dest, global); err == nil {
 		t.Error("bad mapping accepted")
+	}
+}
+
+func TestDuplicateTuplesHandledCDC(t *testing.T) {
+	sys, mapping, dest, global := testSetup(t)
+	insertOrder(t, sys, "01", 7, 1.0)
+	insertOrder(t, sys, "01", 7, 1.0) // identical tuple
+	l, _ := New(sys, mapping, dest, global)
+	if _, err := l.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.Exec(`DELETE FROM vbak_orders WHERE order_id = 7`); err != nil {
+		t.Fatal(err)
+	}
+	insertOrder(t, sys, "01", 7, 1.0)
+	// CDC reports the events as they happened: two deletes, one insert.
+	d, err := l.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Events != 3 || d.Deleted != 2 || d.Inserted != 1 {
+		t.Fatalf("delta = %+v", d)
+	}
+	res, _ := dest.Query(`SELECT COUNT(*) FROM orders`)
+	if res.Rows[0][0].AsInt() != 1 {
+		t.Errorf("dest rows = %v", res.Rows[0][0])
+	}
+}
+
+// uniqueSetup is testSetup with a primary key on the global table, so a
+// mid-merge duplicate-key insert can be injected to fail the pass.
+func uniqueSetup(t *testing.T) (*erp.System, *schemamap.Mapping, *sqldb.DB, func(string) *sqldb.Schema) {
+	t.Helper()
+	sys, mapping, dest, _ := testSetup(t)
+	globalSchema := &sqldb.Schema{
+		Table: "orders",
+		Columns: []sqldb.Column{
+			{Name: "o_orderkey", Kind: sqlval.KindInt},
+			{Name: "o_totalprice", Kind: sqlval.KindFloat},
+			{Name: "o_orderstatus", Kind: sqlval.KindString},
+			{Name: "o_comment", Kind: sqlval.KindString},
+		},
+		PrimaryKey: "o_orderkey",
+	}
+	global := func(name string) *sqldb.Schema {
+		if name == "orders" {
+			return globalSchema
+		}
+		return nil
+	}
+	return sys, mapping, dest, global
+}
+
+func destOrderKeys(t *testing.T, dest *sqldb.DB) []int64 {
+	t.Helper()
+	res, err := dest.Query(`SELECT o_orderkey FROM orders ORDER BY o_orderkey`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := make([]int64, len(res.Rows))
+	for i, r := range res.Rows {
+		keys[i] = r[0].AsInt()
+	}
+	return keys
+}
+
+// TestMidMergeFailureRollsBack is the partial-apply regression test:
+// a pass that dies mid-merge (duplicate primary key after a delete
+// already applied) must roll back completely, and the retried pass
+// must succeed without duplicating inserts or hitting stale snapshot
+// row IDs — in both snapshot and CDC mode.
+func TestMidMergeFailureRollsBack(t *testing.T) {
+	for _, mode := range []Mode{ModeSnapshot, ModeAuto} {
+		name := "snapshot"
+		if mode == ModeAuto {
+			name = "cdc"
+		}
+		t.Run(name, func(t *testing.T) {
+			sys, mapping, dest, global := uniqueSetup(t)
+			insertOrder(t, sys, "01", 1, 10)
+			insertOrder(t, sys, "01", 2, 20)
+			l, err := New(sys, mapping, dest, global)
+			if err != nil {
+				t.Fatal(err)
+			}
+			l.SetMode(mode)
+			if _, err := l.Run(); err != nil {
+				t.Fatal(err)
+			}
+
+			// Business activity whose merge fails half-way: row 1 is
+			// deleted (applies cleanly), then two rows share o_orderkey=3
+			// with different values, so the second insert violates the
+			// primary key after the delete and first insert went in.
+			if _, err := sys.Exec(`DELETE FROM vbak_orders WHERE order_id = 1`); err != nil {
+				t.Fatal(err)
+			}
+			insertOrder(t, sys, "01", 3, 30)
+			insertOrder(t, sys, "01", 3, 31)
+
+			d, err := l.Run()
+			if err == nil {
+				t.Fatalf("conflicting pass succeeded: %+v", d)
+			}
+			if got := destOrderKeys(t, dest); len(got) != 2 || got[0] != 1 || got[1] != 2 {
+				t.Fatalf("partial apply leaked: dest keys = %v", got)
+			}
+
+			// Fix production data and retry: the pass must apply exactly
+			// the surviving changes, with no duplicates and no stale row
+			// IDs left over from the aborted merge.
+			if _, err := sys.Exec(`DELETE FROM vbak_orders WHERE net_value = 31.0`); err != nil {
+				t.Fatal(err)
+			}
+			d, err = l.Run()
+			if err != nil {
+				t.Fatalf("retry after rollback: %v (delta %+v)", err, d)
+			}
+			if got := destOrderKeys(t, dest); len(got) != 2 || got[0] != 2 || got[1] != 3 {
+				t.Fatalf("retry converged wrong: dest keys = %v", got)
+			}
+		})
+	}
+}
+
+// TestCDCModeUsesFeed checks that a refresh consumes change events
+// instead of re-diffing, and that per-table outcomes are honest: a
+// no-change pass reports TablesUnchanged, not TablesLoaded.
+func TestCDCModeUsesFeed(t *testing.T) {
+	sys, mapping, dest, global := testSetup(t)
+	insertOrder(t, sys, "01", 1, 10)
+	l, _ := New(sys, mapping, dest, global)
+	d, err := l.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Outcomes) != 1 || d.Outcomes[0].Mode != "initial" || d.TablesLoaded != 1 {
+		t.Fatalf("initial delta = %+v", d)
+	}
+
+	// No-op refresh: zero events, table counted as unchanged.
+	d, err = l.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Events != 0 || d.TablesLoaded != 0 || d.TablesUnchanged != 1 || d.Unchanged != 1 {
+		t.Fatalf("noop delta = %+v", d)
+	}
+	if d.Outcomes[0].Mode != "cdc" {
+		t.Fatalf("noop outcome = %+v", d.Outcomes[0])
+	}
+
+	// Mixed activity rides the feed: insert + update + delete.
+	insertOrder(t, sys, "01", 2, 20)
+	if _, err := sys.Exec(`UPDATE vbak_orders SET net_value = 11.0 WHERE order_id = 1`); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.Exec(`DELETE FROM vbak_orders WHERE order_id = 2`); err != nil {
+		t.Fatal(err)
+	}
+	d, err = l.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Events != 3 || d.Inserted != 2 || d.Deleted != 2 {
+		t.Fatalf("cdc delta = %+v", d)
+	}
+	res, _ := dest.Query(`SELECT o_orderkey, o_totalprice FROM orders`)
+	if len(res.Rows) != 1 || res.Rows[0][0].AsInt() != 1 || res.Rows[0][1].AsFloat() != 11.0 {
+		t.Fatalf("dest after cdc = %+v", res.Rows)
+	}
+}
+
+// TestCDCFeedGapFallsBackToSnapshot truncates the feed past the
+// loader's position: the next pass must detect the gap and converge via
+// a full snapshot diff.
+func TestCDCFeedGapFallsBackToSnapshot(t *testing.T) {
+	sys, mapping, dest, global := testSetup(t)
+	insertOrder(t, sys, "01", 1, 10)
+	l, _ := New(sys, mapping, dest, global)
+	if _, err := l.Run(); err != nil {
+		t.Fatal(err)
+	}
+	insertOrder(t, sys, "01", 2, 20)
+	sys.AckFeed(sys.FeedSeq()) // retention moved past the loader's mark
+	d, err := l.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Events != 0 || d.Inserted != 1 || d.Unchanged != 1 {
+		t.Fatalf("fallback delta = %+v", d)
+	}
+	if d.Outcomes[0].Mode != "snapshot" {
+		t.Fatalf("fallback outcome = %+v", d.Outcomes[0])
+	}
+	// The snapshot pass re-anchors the feed position; CDC resumes.
+	insertOrder(t, sys, "01", 3, 30)
+	d, err = l.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Events != 1 || d.Inserted != 1 || d.Outcomes[0].Mode != "cdc" {
+		t.Fatalf("resumed delta = %+v", d)
+	}
+}
+
+// TestCDCEquivalentToSnapshot churns one system and loads it through
+// two loaders — one forced to snapshots, one on the feed — asserting
+// identical query results every round.
+func TestCDCEquivalentToSnapshot(t *testing.T) {
+	sys, mapping, destSnap, global := testSetup(t)
+	destCDC := sqldb.NewDB()
+	ls, err := New(sys, mapping, destSnap, global)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ls.SetMode(ModeSnapshot)
+	lc, err := New(sys, mapping, destCDC, global)
+	if err != nil {
+		t.Fatal(err)
+	}
+	next := 0
+	for round := 0; round < 8; round++ {
+		for k := 0; k < 4; k++ {
+			insertOrder(t, sys, "01", next, float64(next))
+			next++
+		}
+		if round > 0 {
+			if _, err := sys.Exec(fmt.Sprintf(`DELETE FROM vbak_orders WHERE order_id = %d`, round*3)); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := sys.Exec(fmt.Sprintf(`UPDATE vbak_orders SET net_value = 999.0 WHERE order_id = %d`, round*2)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if _, err := ls.Run(); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := lc.Run(); err != nil {
+			t.Fatal(err)
+		}
+		q := `SELECT o_orderkey, o_totalprice, o_orderstatus FROM orders ORDER BY o_orderkey, o_totalprice`
+		a, err := destSnap.Query(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := destCDC.Query(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fmt.Sprint(a.Rows) != fmt.Sprint(b.Rows) {
+			t.Fatalf("round %d: snapshot %v vs cdc %v", round, a.Rows, b.Rows)
+		}
 	}
 }

@@ -11,14 +11,20 @@ import (
 // Versioned result cache: entries are keyed by the session user plus
 // the statement's normalized rendering (so textual variants of one
 // query share an entry, but accounts never do — data owners mask rows
-// per role; see cacheKey) and stamped with the (schema, data) version
-// pair captured
-// before execution. A lookup serves an entry only when both versions
-// still match the database exactly — any DDL or DML bumps a version, so
-// a stale result is structurally unservable; the mismatching entry is
-// dropped on sight and counted as an invalidation. Bounded by entry
-// count (LRU) and per-result bytes (oversized results are never
-// cached).
+// per role; see cacheKey) and stamped with versions captured before
+// execution. A lookup serves an entry only when the versions still
+// match the database exactly, so a stale result is structurally
+// unservable; the mismatching entry is dropped on sight and counted as
+// an invalidation. Bounded by entry count (LRU) and per-result bytes
+// (oversized results are never cached).
+//
+// Two stamping schemes exist. The precise one (Config.TableVersions)
+// records a per-table data-version vector covering exactly the tables
+// the statement reads: DML against any other table leaves the entry
+// servable, so a busy ingest pipeline on one table no longer storms the
+// whole cache. The legacy one (Config.Versions) stamps the cluster-wide
+// (schema, data) sums, under which any DML anywhere invalidates
+// everything.
 //
 // Cached *sqldb.Result values are shared by reference with every hit;
 // results are treated as immutable once executed, the same contract the
@@ -31,8 +37,25 @@ type cacheEntry struct {
 	engine  string
 	vtime   time.Duration
 	schemaV uint64
-	dataV   uint64
+	dataV   uint64 // cluster data-version sum (legacy stamping)
+	// dataVec, when non-nil, is the per-table data-version vector for
+	// the tables the statement reads (sorted table order); it replaces
+	// dataV in freshness checks.
+	dataVec []uint64
 	bytes   int64
+}
+
+// vecEqual reports element-wise equality of two version vectors.
+func vecEqual(a, b []uint64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
 }
 
 type resultCache struct {
@@ -59,7 +82,7 @@ func newResultCache(capacity int, maxBytes int64, m *metrics) *resultCache {
 // whose version pair no longer matches is removed and counted as an
 // invalidation — the lazy half of invalidation; the eager half is
 // InvalidateAll on failover.
-func (c *resultCache) lookup(key string, schemaV, dataV uint64) *cacheEntry {
+func (c *resultCache) lookup(key string, schemaV, dataV uint64, dataVec []uint64) *cacheEntry {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	el, ok := c.byKey[key]
@@ -67,7 +90,15 @@ func (c *resultCache) lookup(key string, schemaV, dataV uint64) *cacheEntry {
 		return nil
 	}
 	e := el.Value.(*cacheEntry)
-	if e.schemaV != schemaV || e.dataV != dataV {
+	fresh := e.schemaV == schemaV
+	if fresh {
+		if e.dataVec != nil || dataVec != nil {
+			fresh = vecEqual(e.dataVec, dataVec)
+		} else {
+			fresh = e.dataV == dataV
+		}
+	}
+	if !fresh {
 		c.removeLocked(el, e)
 		c.m.cacheInvalidations.Inc()
 		return nil

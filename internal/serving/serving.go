@@ -80,9 +80,16 @@ type Config struct {
 	CacheMaxResultBytes int64
 	// DisableCache turns the result cache off entirely.
 	DisableCache bool
-	// Versions supplies the (schema, data) version pair results are
-	// cached under. Required for caching: nil disables the cache.
+	// Versions supplies the cluster-wide (schema, data) version pair
+	// results are cached under when TableVersions is unset. Coarse: any
+	// DML anywhere bumps the data sum and invalidates every entry.
 	Versions func() (schema, data uint64)
+	// TableVersions supplies the schema version plus a per-table
+	// data-version vector for exactly the (sorted) tables a statement
+	// reads. When set it takes precedence over Versions and scopes
+	// invalidation: DML against unrelated tables keeps entries servable.
+	// Caching requires one of the two; both nil disables the cache.
+	TableVersions func(tables []string) (schema uint64, data []uint64)
 	// Registry, when set, receives the peer-scoped serving series
 	// (peer_serving_*) the telemetry reporter ships to the bootstrap
 	// collector. Process-wide serving_* series always go to
@@ -125,7 +132,7 @@ func (c Config) withDefaults() Config {
 	if c.CacheMaxResultBytes <= 0 {
 		c.CacheMaxResultBytes = 1 << 20
 	}
-	if c.Versions == nil {
+	if c.Versions == nil && c.TableVersions == nil {
 		c.DisableCache = true
 	}
 	return c
@@ -304,6 +311,18 @@ func (s *Server) versions() (uint64, uint64) {
 	return s.cfg.Versions()
 }
 
+// stampFor captures the freshness stamp for a statement reading the
+// given tables: a per-table vector when TableVersions is configured,
+// the cluster-wide sums otherwise (vec nil).
+func (s *Server) stampFor(tables []string) (schemaV, dataV uint64, vec []uint64) {
+	if s.cfg.TableVersions != nil {
+		schemaV, vec = s.cfg.TableVersions(tables)
+		return schemaV, 0, vec
+	}
+	schemaV, dataV = s.versions()
+	return schemaV, dataV, nil
+}
+
 func (s *Server) handleOpen(msg pnet.Message) (pnet.Message, error) {
 	req, ok := msg.Payload.(OpenRequest)
 	if !ok {
@@ -371,15 +390,15 @@ func (s *Server) handleQuery(msg pnet.Message) (pnet.Message, error) {
 	// Cache interaction happens before admission: a hit costs no worker
 	// slot and no queue wait, which is exactly the serving-capacity win
 	// the cache exists for.
-	key, cacheable := normalizeSQL(req.SQL)
+	key, tables, cacheable := normalizeSQL(req.SQL)
 	key = cacheKey(sess.user, key)
 	cacheable = cacheable && s.cache != nil
 	switch {
 	case !cacheable || req.Cache == CacheBypass:
 		s.m.cacheBypass.Inc()
 	case req.Cache == CacheUse:
-		schemaV, dataV := s.versions()
-		if e := s.cache.lookup(key, schemaV, dataV); e != nil {
+		schemaV, dataV, dataVec := s.stampFor(tables)
+		if e := s.cache.lookup(key, schemaV, dataV, dataVec); e != nil {
 			s.m.cacheHits.Inc()
 			rep := QueryReply{Result: e.res, Engine: e.engine, VTime: e.vtime, CacheHit: true}
 			return pnet.Message{Payload: rep, Size: e.bytes}, nil
@@ -401,7 +420,7 @@ func (s *Server) handleQuery(msg pnet.Message) (pnet.Message, error) {
 	// Version capture precedes execution: a mutation racing the query
 	// lands the entry under a version the next lookup rejects — the
 	// conservative side.
-	schemaV, dataV := s.versions()
+	schemaV, dataV, dataVec := s.stampFor(tables)
 	ex, err := s.be.ServeQuery(req.SQL, sess.user, sess.strategy)
 	if err != nil {
 		return pnet.Message{}, err
@@ -410,7 +429,7 @@ func (s *Server) handleQuery(msg pnet.Message) (pnet.Message, error) {
 	if cacheable && req.Cache != CacheBypass {
 		s.cache.store(&cacheEntry{
 			key: key, res: ex.Result, engine: ex.Engine, vtime: ex.VTime,
-			schemaV: schemaV, dataV: dataV, bytes: bytes,
+			schemaV: schemaV, dataV: dataV, dataVec: dataVec, bytes: bytes,
 		})
 	}
 	rep := QueryReply{Result: ex.Result, Engine: ex.Engine, VTime: ex.VTime, QueueWait: wait}
@@ -435,14 +454,15 @@ func (s *Server) handleClose(msg pnet.Message) (pnet.Message, error) {
 	return pnet.Message{Payload: CloseReply{Queries: queries}, Size: 16}, nil
 }
 
-// normalizeSQL renders a SELECT into its canonical form; non-SELECT
-// or unparsable text is uncacheable (the backend surfaces the error).
-func normalizeSQL(sql string) (string, bool) {
+// normalizeSQL renders a SELECT into its canonical form and lists the
+// tables it reads (sorted, deduped); non-SELECT or unparsable text is
+// uncacheable (the backend surfaces the error).
+func normalizeSQL(sql string) (string, []string, bool) {
 	stmt, err := sqldb.ParseSelect(sql)
 	if err != nil {
-		return "", false
+		return "", nil, false
 	}
-	return stmt.String(), true
+	return stmt.String(), sqldb.ReferencedTables(stmt), true
 }
 
 // cacheKey scopes a normalized statement to the session user. Results

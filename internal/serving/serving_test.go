@@ -646,3 +646,100 @@ func TestCloseRejectsWaiters(t *testing.T) {
 		t.Fatal("close rejected no queued waiters (test raced shut)")
 	}
 }
+
+// tableVersionSource is a mutable per-table version map for precise
+// invalidation tests.
+type tableVersionSource struct {
+	mu      sync.Mutex
+	schemaV uint64
+	data    map[string]uint64
+}
+
+func (v *tableVersionSource) get(tables []string) (uint64, []uint64) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	vec := make([]uint64, len(tables))
+	for i, t := range tables {
+		vec[i] = v.data[t]
+	}
+	return v.schemaV, vec
+}
+
+func (v *tableVersionSource) bump(table string) {
+	v.mu.Lock()
+	if v.data == nil {
+		v.data = map[string]uint64{}
+	}
+	v.data[table]++
+	v.mu.Unlock()
+}
+
+// TestResultCachePreciseInvalidation proves entries are stamped with
+// the version vector of the tables they read: DML against an unrelated
+// table keeps the hit, DML against a read table drops it.
+func TestResultCachePreciseInvalidation(t *testing.T) {
+	vs := &tableVersionSource{}
+	be := &stubBackend{}
+	srv, ep := attach(t, be, Config{TableVersions: vs.get})
+	cl := NewClient(ep, "server")
+	if err := cl.Open("", "", ""); err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	const qOrders = "SELECT COUNT(*) FROM orders"
+	const qItems = "SELECT COUNT(*) FROM lineitem"
+
+	mustQuery := func(q string) QueryOutcome {
+		t.Helper()
+		out, err := cl.Query(q, CacheUse)
+		if err != nil {
+			t.Fatalf("query: %v", err)
+		}
+		return out
+	}
+
+	// Warm both entries, confirm both hit.
+	mustQuery(qOrders)
+	mustQuery(qItems)
+	if out := mustQuery(qOrders); !out.CacheHit {
+		t.Fatal("orders entry did not hit after warm")
+	}
+	if out := mustQuery(qItems); !out.CacheHit {
+		t.Fatal("lineitem entry did not hit after warm")
+	}
+
+	// DML on orders: the orders entry invalidates, the lineitem entry
+	// survives — the scoped-invalidation fix.
+	vs.bump("orders")
+	if out := mustQuery(qItems); !out.CacheHit {
+		t.Fatal("unrelated DML invalidated the lineitem entry")
+	}
+	if out := mustQuery(qOrders); out.CacheHit {
+		t.Fatal("stale orders entry served after DML on orders")
+	}
+	if out := mustQuery(qOrders); !out.CacheHit {
+		t.Fatal("orders entry did not re-warm under the new vector")
+	}
+
+	// A join reading both tables invalidates when either side moves.
+	const qJoin = "SELECT COUNT(*) FROM orders, lineitem WHERE o_orderkey = l_orderkey"
+	mustQuery(qJoin)
+	if out := mustQuery(qJoin); !out.CacheHit {
+		t.Fatal("join entry did not hit")
+	}
+	vs.bump("lineitem")
+	if out := mustQuery(qJoin); out.CacheHit {
+		t.Fatal("join entry survived DML on one of its tables")
+	}
+
+	// Schema bumps still invalidate everything they cover.
+	mustQuery(qItems)
+	vs.mu.Lock()
+	vs.schemaV++
+	vs.mu.Unlock()
+	if out := mustQuery(qItems); out.CacheHit {
+		t.Fatal("entry survived a schema bump")
+	}
+	if srv.m.cacheInvalidations.Value() == 0 {
+		t.Fatal("invalidations not counted")
+	}
+}

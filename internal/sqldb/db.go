@@ -23,8 +23,21 @@ type DB struct {
 	// droppedMuts folds dropped tables' mutation counts (plus one per
 	// drop) into the data version, so Versions stays monotonic across
 	// DROP TABLE + re-CREATE even when the new table starts at zero
-	// mutations.
-	droppedMuts uint64
+	// mutations. droppedPerTable keeps the same fold per table name for
+	// the per-table version vector (TableDataVersions).
+	droppedMuts     uint64
+	droppedPerTable map[string]uint64
+
+	// Write-ahead log (nil unless EnableWAL ran) and the atomic-batch
+	// state: while inBatch is set (only under mu.Lock, by Atomic), table
+	// mutations collect in batch instead of reaching the WAL, so an
+	// aborted batch can be physically undone and never logged. walOn
+	// mirrors wal != nil with the atomic happens-before edge bare Table
+	// writers need.
+	wal     *WAL
+	walOn   atomic.Bool
+	inBatch atomic.Bool
+	batch   []WALRecord
 
 	// Cost-model statistics: per-table histogram snapshots with their
 	// own mutex (built lazily under db.mu.RLock), and a version counter
@@ -41,9 +54,108 @@ type DB struct {
 // NewDB returns an empty database.
 func NewDB() *DB {
 	return &DB{
-		tables: make(map[string]*Table),
-		plans:  newPlanCache(defaultPlanCacheCap),
-		stats:  make(map[string]*tableStats),
+		tables:          make(map[string]*Table),
+		plans:           newPlanCache(defaultPlanCacheCap),
+		stats:           make(map[string]*tableStats),
+		droppedPerTable: make(map[string]uint64),
+	}
+}
+
+// EnableWAL attaches a write-ahead log. It must run before any DDL or
+// DML — the log is the database's complete history, so replaying it
+// reconstructs the state bit-identically; a non-empty database has
+// history the log would miss.
+func (db *DB) EnableWAL(cfg WALConfig) (*WAL, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.wal != nil {
+		return nil, fmt.Errorf("sqldb: WAL already enabled")
+	}
+	if len(db.tables) > 0 || db.ver != 0 || db.droppedMuts != 0 {
+		return nil, fmt.Errorf("sqldb: WAL must be enabled on an empty database")
+	}
+	w, err := newWAL(cfg)
+	if err != nil {
+		return nil, err
+	}
+	db.wal = w
+	db.walOn.Store(true)
+	return w, nil
+}
+
+// WAL returns the attached write-ahead log, or nil.
+func (db *DB) WAL() *WAL {
+	if !db.walOn.Load() {
+		return nil
+	}
+	return db.wal
+}
+
+// logRecord routes one mutation record: into the current atomic batch
+// when one is open (committed or discarded wholesale later), else
+// straight to the WAL. Without a WAL and outside a batch it is a no-op.
+func (db *DB) logRecord(rec WALRecord) {
+	if db.inBatch.Load() {
+		db.batch = append(db.batch, rec)
+		return
+	}
+	if db.walOn.Load() {
+		db.wal.append(rec)
+	}
+}
+
+// Atomic runs fn with the database write-locked and every table
+// mutation it performs staged as one batch: on success the batch
+// reaches the WAL as a unit (group commit applies downstream of the
+// whole batch), on error every staged mutation is physically undone —
+// rows, indexes, byte accounting, and mutation counters all revert, so
+// the failed batch leaves no trace in either the tables or the log.
+// fn must mutate only through Table handles of this database (DB-level
+// methods would deadlock on mu; DDL belongs outside batches).
+func (db *DB) Atomic(fn func() error) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	db.inBatch.Store(true)
+	db.batch = db.batch[:0]
+	err := fn()
+	db.inBatch.Store(false)
+	if err != nil {
+		db.rollbackLocked(db.batch)
+		db.batch = nil
+		walRollbacks.Inc()
+		return err
+	}
+	if db.wal != nil {
+		db.wal.appendBatch(db.batch)
+	}
+	db.batch = nil
+	return nil
+}
+
+// rollbackLocked undoes a staged batch in reverse order. An undo
+// failure is unrecoverable corruption and panics: it cannot happen
+// unless fn bypassed the staged tables.
+func (db *DB) rollbackLocked(batch []WALRecord) {
+	for i := len(batch) - 1; i >= 0; i-- {
+		rec := batch[i]
+		t := db.table(rec.Table)
+		if t == nil {
+			panic(fmt.Sprintf("sqldb: rollback: table %s vanished mid-batch", rec.Table))
+		}
+		var err error
+		switch rec.Kind {
+		case RecInsert:
+			err = t.undoInsert(rec.RowID)
+		case RecDelete:
+			err = t.undoDelete(rec.RowID, rec.Old)
+		case RecUpdate:
+			err = t.undoUpdate(rec.RowID, rec.Old)
+		default:
+			err = fmt.Errorf("non-DML record %s in batch", rec.Kind)
+		}
+		if err != nil {
+			panic(fmt.Sprintf("sqldb: rollback failed: %v", err))
+		}
 	}
 }
 
@@ -80,6 +192,27 @@ func (db *DB) Versions() (schema, data uint64) {
 	data = db.droppedMuts
 	for _, t := range db.tables {
 		data += t.Mutations()
+	}
+	return db.ver, data
+}
+
+// VersionVector returns the schema version plus the per-table data
+// version of each named table (its mutation count, folded with any
+// same-named dropped tables so the version never regresses across
+// DROP + re-CREATE). Unknown tables report their dropped fold (0 if
+// never seen). The serving result cache stamps entries with this
+// vector, so DML on unrelated tables leaves them servable.
+func (db *DB) VersionVector(tables []string) (schema uint64, data []uint64) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	data = make([]uint64, len(tables))
+	for i, name := range tables {
+		key := strings.ToLower(name)
+		v := db.droppedPerTable[key]
+		if t := db.tables[key]; t != nil {
+			v += t.muts
+		}
+		data[i] = v
 	}
 	return db.ver, data
 }
@@ -121,8 +254,10 @@ func (db *DB) CreateTable(schema *Schema) (*Table, error) {
 	if err != nil {
 		return nil, err
 	}
+	t.db, t.key = db, key
 	db.tables[key] = t
 	db.bumpSchemaLocked()
+	db.logRecord(WALRecord{Kind: RecCreateTable, Table: key, Schema: schema.Clone()})
 	return t, nil
 }
 
@@ -135,7 +270,9 @@ func (db *DB) DropTable(name string) bool {
 	delete(db.tables, key)
 	if ok {
 		db.droppedMuts += t.Mutations() + 1
+		db.droppedPerTable[key] += t.Mutations() + 1
 		db.bumpSchemaScopedLocked(key)
+		db.logRecord(WALRecord{Kind: RecDropTable, Table: key, TableVer: t.Mutations()})
 	}
 	return ok
 }
@@ -267,12 +404,14 @@ func (db *DB) execStmt(stmt Statement, key string) (*Result, error) {
 		if t == nil {
 			return nil, fmt.Errorf("sqldb: unknown table %s", s.Table)
 		}
-		if err := t.CreateIndex(s.Name, s.Column, s.Unique); err != nil {
+		if err := t.createIndexRaw(s.Name, s.Column, s.Unique); err != nil {
 			return nil, err
 		}
 		// A new index changes access-path choices only for plans that
-		// read this table; everyone else's plan survives.
+		// read this table; everyone else's plan survives. The WAL record
+		// carries Bump so replay reproduces the version bump too.
 		db.bumpSchemaScopedLocked(s.Table)
+		db.logRecord(WALRecord{Kind: RecCreateIndex, Table: strings.ToLower(s.Table), IxName: s.Name, IxColumn: s.Column, IxUnique: s.Unique, Bump: true})
 		return &Result{}, nil
 	case *InsertStmt:
 		return db.executeInsert(s)

@@ -2,6 +2,7 @@ package sqldb
 
 import (
 	"container/list"
+	"sort"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -56,6 +57,21 @@ func tablesOf(s *SelectStmt) []string {
 	out := make([]string, 0, len(s.From))
 	for _, ref := range s.From {
 		out = append(out, strings.ToLower(ref.Table))
+	}
+	return out
+}
+
+// ReferencedTables lists the distinct tables a SELECT reads, lowercased
+// and sorted: the key set a result cache needs to stamp an entry with a
+// per-table version vector (VersionVector).
+func ReferencedTables(s *SelectStmt) []string {
+	tables := tablesOf(s)
+	sort.Strings(tables)
+	out := tables[:0]
+	for i, t := range tables {
+		if i == 0 || t != tables[i-1] {
+			out = append(out, t)
+		}
 	}
 	return out
 }

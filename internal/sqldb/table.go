@@ -20,6 +20,13 @@ type Table struct {
 	bytes   int64 // encoded size of live rows
 	indexes map[string]*Index
 	muts    uint64 // insert/delete/update count, drives statistics refresh
+
+	// db points back to the owning database when the table was created
+	// through one (DB.CreateTable); mutations are then offered to the
+	// database's write-ahead log and atomic-batch machinery. A bare
+	// NewTable has no owner and logs nothing.
+	db  *DB
+	key string // lowercased table name, the WAL record key
 }
 
 // Index is a secondary (or primary) index over a single column. Because
@@ -41,7 +48,9 @@ func NewTable(schema *Schema) (*Table, error) {
 	}
 	t := &Table{schema: schema.Clone(), indexes: make(map[string]*Index)}
 	if schema.PrimaryKey != "" {
-		if err := t.CreateIndex("primary", schema.PrimaryKey, true); err != nil {
+		// The primary index is implied by the schema, so it is not
+		// logged: replaying a create_table record rebuilds it.
+		if err := t.createIndexRaw("primary", schema.PrimaryKey, true); err != nil {
 			return nil, err
 		}
 	}
@@ -74,8 +83,22 @@ func (t *Table) RowSize(rowID int) int {
 }
 
 // CreateIndex builds an index named name over column col. Unique indexes
-// reject duplicate keys at insert time.
+// reject duplicate keys at insert time. The DDL is logged to the owning
+// database's WAL (without a schema-version bump — the SQL CREATE INDEX
+// path bumps and logs through the database instead).
 func (t *Table) CreateIndex(name, col string, unique bool) error {
+	if err := t.createIndexRaw(name, col, unique); err != nil {
+		return err
+	}
+	if t.db != nil {
+		t.db.logRecord(WALRecord{Kind: RecCreateIndex, Table: t.key, IxName: name, IxColumn: col, IxUnique: unique})
+	}
+	return nil
+}
+
+// createIndexRaw builds the index without touching the WAL: the shared
+// body of CreateIndex, the SQL DDL path, and replay.
+func (t *Table) createIndexRaw(name, col string, unique bool) error {
 	ci := t.schema.ColumnIndex(col)
 	if ci < 0 {
 		return fmt.Errorf("sqldb: table %s: no column %s to index", t.schema.Table, col)
@@ -185,6 +208,17 @@ func (idx *Index) MinMax() (lo, hi sqlval.Value, ok bool) {
 // Insert appends a row, returning its row ID. The row is cloned, so the
 // caller may reuse its slice.
 func (t *Table) Insert(row sqlval.Row) (int, error) {
+	rowID, err := t.insertRaw(row)
+	if err != nil {
+		return rowID, err
+	}
+	if t.db != nil {
+		t.db.logRecord(WALRecord{Kind: RecInsert, Table: t.key, RowID: rowID, Row: t.rows[rowID], TableVer: t.muts})
+	}
+	return rowID, nil
+}
+
+func (t *Table) insertRaw(row sqlval.Row) (int, error) {
 	if len(row) != len(t.schema.Columns) {
 		return 0, fmt.Errorf("sqldb: table %s: insert with %d values, want %d", t.schema.Table, len(row), len(t.schema.Columns))
 	}
@@ -225,6 +259,20 @@ func (t *Table) Delete(rowID int) bool {
 	if rowID < 0 || rowID >= len(t.rows) || t.rows[rowID] == nil {
 		return false
 	}
+	old := t.rows[rowID]
+	if !t.deleteRaw(rowID) {
+		return false
+	}
+	if t.db != nil {
+		t.db.logRecord(WALRecord{Kind: RecDelete, Table: t.key, RowID: rowID, Old: old, TableVer: t.muts})
+	}
+	return true
+}
+
+func (t *Table) deleteRaw(rowID int) bool {
+	if rowID < 0 || rowID >= len(t.rows) || t.rows[rowID] == nil {
+		return false
+	}
 	row := t.rows[rowID]
 	for _, idx := range t.indexes {
 		idx.remove(row[idx.col], rowID)
@@ -239,6 +287,20 @@ func (t *Table) Delete(rowID int) bool {
 
 // Update replaces the row with the given ID.
 func (t *Table) Update(rowID int, row sqlval.Row) error {
+	if rowID < 0 || rowID >= len(t.rows) || t.rows[rowID] == nil {
+		return fmt.Errorf("sqldb: table %s: update of absent row %d", t.schema.Table, rowID)
+	}
+	old := t.rows[rowID]
+	if err := t.updateRaw(rowID, row); err != nil {
+		return err
+	}
+	if t.db != nil {
+		t.db.logRecord(WALRecord{Kind: RecUpdate, Table: t.key, RowID: rowID, Row: t.rows[rowID], Old: old, TableVer: t.muts})
+	}
+	return nil
+}
+
+func (t *Table) updateRaw(rowID int, row sqlval.Row) error {
 	if rowID < 0 || rowID >= len(t.rows) || t.rows[rowID] == nil {
 		return fmt.Errorf("sqldb: table %s: update of absent row %d", t.schema.Table, rowID)
 	}
@@ -280,6 +342,70 @@ func (t *Table) Row(rowID int) sqlval.Row {
 		return nil
 	}
 	return t.rows[rowID]
+}
+
+// The undo helpers physically revert one logged mutation, restoring row
+// storage, indexes, byte accounting, and the mutation counter exactly —
+// a rolled-back atomic batch leaves no trace, so the table's data
+// version describes the same state as before the batch and a later WAL
+// replay (which never sees aborted records) still agrees bit-for-bit.
+// DB.Atomic applies them in reverse batch order under db.mu.
+
+// undoInsert reverts the batch's trailing insert. Inserts append, and a
+// batch rolls back newest-first, so the target is always the last row.
+func (t *Table) undoInsert(rowID int) error {
+	if rowID != len(t.rows)-1 || t.rows[rowID] == nil {
+		return fmt.Errorf("sqldb: table %s: cannot undo insert of row %d", t.schema.Table, rowID)
+	}
+	row := t.rows[rowID]
+	for _, idx := range t.indexes {
+		idx.remove(row[idx.col], rowID)
+	}
+	t.bytes -= int64(t.sizes[rowID])
+	t.rows = t.rows[:rowID]
+	t.sizes = t.sizes[:rowID]
+	t.live--
+	t.muts--
+	return nil
+}
+
+// undoDelete restores a deleted row at its original ID.
+func (t *Table) undoDelete(rowID int, old sqlval.Row) error {
+	if rowID < 0 || rowID >= len(t.rows) || t.rows[rowID] != nil {
+		return fmt.Errorf("sqldb: table %s: cannot undo delete of row %d", t.schema.Table, rowID)
+	}
+	for _, idx := range t.indexes {
+		if err := idx.add(old[idx.col], rowID); err != nil {
+			return err
+		}
+	}
+	sz := old.EncodedSize()
+	t.rows[rowID] = old
+	t.sizes[rowID] = int32(sz)
+	t.live++
+	t.bytes += int64(sz)
+	t.muts--
+	return nil
+}
+
+// undoUpdate restores a row's pre-image.
+func (t *Table) undoUpdate(rowID int, old sqlval.Row) error {
+	if rowID < 0 || rowID >= len(t.rows) || t.rows[rowID] == nil {
+		return fmt.Errorf("sqldb: table %s: cannot undo update of row %d", t.schema.Table, rowID)
+	}
+	cur := t.rows[rowID]
+	for _, idx := range t.indexes {
+		idx.remove(cur[idx.col], rowID)
+		if err := idx.add(old[idx.col], rowID); err != nil {
+			return err
+		}
+	}
+	sz := old.EncodedSize()
+	t.bytes += int64(sz) - int64(cur.EncodedSize())
+	t.rows[rowID] = old
+	t.sizes[rowID] = int32(sz)
+	t.muts--
+	return nil
 }
 
 // Scan visits every live row in insertion order until fn returns false.
